@@ -1,0 +1,18 @@
+//! Regenerates the paper's Figure 3 (§4.1): execution time vs may-fail
+//! casts, one series per benchmark. Prints CSV data followed by ASCII
+//! scatter plots (lower-left is better, as in the paper).
+//!
+//! Usage: `cargo run --release -p pta-bench --bin figure3`
+//! Environment: PTA_SCALE, PTA_WORKLOADS, PTA_ANALYSES, PTA_REPS, PTA_JSON.
+
+use pta_bench::{
+    maybe_dump_json, render_figure3_csv, render_figure3_scatter, run_matrix, MatrixOptions,
+};
+
+fn main() {
+    let opts = MatrixOptions::from_env();
+    let rows = run_matrix(&opts);
+    println!("{}", render_figure3_csv(&rows));
+    print!("{}", render_figure3_scatter(&rows));
+    maybe_dump_json(&rows);
+}

@@ -1,0 +1,15 @@
+//! Computes the paper's §1/§4 aggregate claims (average speedups, uniform
+//! hybrid slowdowns, the 1call+H tradeoff) from a full matrix run and
+//! reports paper-vs-measured for each.
+//!
+//! Usage: `cargo run --release -p pta-bench --bin summary`
+//! Environment: PTA_SCALE, PTA_WORKLOADS, PTA_ANALYSES, PTA_REPS, PTA_JSON.
+
+use pta_bench::{maybe_dump_json, render_summary, run_matrix, MatrixOptions};
+
+fn main() {
+    let opts = MatrixOptions::from_env();
+    let rows = run_matrix(&opts);
+    print!("{}", render_summary(&rows));
+    maybe_dump_json(&rows);
+}

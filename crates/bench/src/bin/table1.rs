@@ -1,0 +1,13 @@
+//! Regenerates the paper's Table 1 (§4.2) over the synthetic DaCapo suite.
+//!
+//! Usage: `cargo run --release -p pta-bench --bin table1`
+//! Environment: PTA_SCALE, PTA_WORKLOADS, PTA_ANALYSES, PTA_REPS, PTA_JSON.
+
+use pta_bench::{maybe_dump_json, render_table1, run_matrix, MatrixOptions};
+
+fn main() {
+    let opts = MatrixOptions::from_env();
+    let rows = run_matrix(&opts);
+    print!("{}", render_table1(&rows));
+    maybe_dump_json(&rows);
+}

@@ -1,0 +1,247 @@
+//! # pta-bench — the experiment harness
+//!
+//! Regenerates **every table and figure** of the paper's evaluation (§4):
+//!
+//! | paper artifact | binary | output |
+//! |---|---|---|
+//! | Table 1 (12 analyses × 10 benchmarks × 6 metrics) | `table1` | the table, in the paper's layout, plus JSON rows |
+//! | Figure 3 (time vs may-fail casts scatter) | `figure3` | per-benchmark CSV series + ASCII scatter |
+//! | §1/§4 summary statistics (speedups, slowdowns) | `summary` | the aggregate claims, paper vs. measured |
+//!
+//! All binaries accept environment variables:
+//!
+//! - `PTA_SCALE` — workload scale factor (default `1.0`; the full DaCapo
+//!   suite at scale 1 runs the complete matrix in well under a minute);
+//! - `PTA_WORKLOADS` — comma-separated subset of benchmark names;
+//! - `PTA_ANALYSES` — comma-separated subset of analysis names
+//!   (e.g. `1obj,S-2obj+H`);
+//! - `PTA_JSON` — if set, a path to dump the raw [`ExperimentRow`]s as JSON
+//!   (used to fill EXPERIMENTS.md).
+//!
+//! Criterion micro-benchmarks (`cargo bench`) cover per-analysis solver
+//! time (`analyses`), the design-choice ablations called out in DESIGN.md
+//! (`ablation`), and solver-internals (`solver`).
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use pta_clients::{precision_metrics, ExperimentMetrics};
+use pta_core::{analyze, Analysis};
+use pta_ir::{Program, ProgramStats};
+use pta_workload::{dacapo_workload, DACAPO_NAMES};
+
+pub mod render;
+
+pub use render::{render_figure3_csv, render_figure3_scatter, render_summary, render_table1};
+
+// Re-export for binaries.
+pub use pta_workload::dacapo_config as workload_config;
+
+/// One `(workload, analysis)` measurement: every Table 1 cell group.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRow {
+    /// Benchmark name (Table 1 row).
+    pub workload: String,
+    /// Analysis name (Table 1 column).
+    pub analysis: String,
+    /// Reachable methods ("over ~N meths").
+    pub reachable_methods: usize,
+    /// "avg objs per var".
+    pub avg_objs_per_var: f64,
+    /// "edges" in the context-insensitive call graph.
+    pub call_graph_edges: usize,
+    /// "poly v-calls".
+    pub poly_v_calls: usize,
+    /// Total reachable virtual call sites ("of ~N").
+    pub reachable_v_calls: usize,
+    /// "may-fail casts".
+    pub may_fail_casts: usize,
+    /// Total reachable casts ("of ~N").
+    pub reachable_casts: usize,
+    /// "elapsed time (s)".
+    pub time_secs: f64,
+    /// "sensitive var-points-to" (tuples; the paper reports millions).
+    pub sensitive_var_points_to: u64,
+    /// Distinct calling contexts.
+    pub contexts: usize,
+    /// Distinct heap contexts.
+    pub heap_contexts: usize,
+    /// Exception sites that may escape `main` uncaught.
+    pub uncaught_exception_sites: usize,
+}
+
+impl ExperimentRow {
+    fn new(workload: &str, analysis: Analysis, m: &ExperimentMetrics, time_secs: f64) -> Self {
+        ExperimentRow {
+            workload: workload.to_owned(),
+            analysis: analysis.name().to_owned(),
+            reachable_methods: m.reachable_methods,
+            avg_objs_per_var: m.avg_var_points_to,
+            call_graph_edges: m.call_graph_edges,
+            poly_v_calls: m.poly_virtual_calls,
+            reachable_v_calls: m.reachable_virtual_calls,
+            may_fail_casts: m.may_fail_casts,
+            reachable_casts: m.reachable_casts,
+            time_secs,
+            sensitive_var_points_to: m.ctx_var_points_to,
+            contexts: m.contexts,
+            heap_contexts: m.heap_contexts,
+            uncaught_exception_sites: m.uncaught_exception_sites,
+        }
+    }
+}
+
+/// Harness options, usually read from the environment via
+/// [`MatrixOptions::from_env`].
+#[derive(Debug, Clone)]
+pub struct MatrixOptions {
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Benchmarks to run (Table 1 row order).
+    pub workloads: Vec<String>,
+    /// Analyses to run (Table 1 column order).
+    pub analyses: Vec<Analysis>,
+    /// Repetitions per cell; the median time is reported (the paper uses
+    /// medians of three runs).
+    pub repetitions: usize,
+}
+
+impl Default for MatrixOptions {
+    fn default() -> Self {
+        MatrixOptions {
+            scale: 1.0,
+            workloads: DACAPO_NAMES.iter().map(|s| s.to_string()).collect(),
+            analyses: Analysis::TABLE1.to_vec(),
+            repetitions: 3,
+        }
+    }
+}
+
+impl MatrixOptions {
+    /// Reads `PTA_SCALE`, `PTA_WORKLOADS`, `PTA_ANALYSES` and `PTA_REPS`
+    /// from the environment, falling back to defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message on malformed values (these are operator
+    /// inputs on the command line).
+    pub fn from_env() -> MatrixOptions {
+        let mut opts = MatrixOptions::default();
+        if let Ok(s) = std::env::var("PTA_SCALE") {
+            opts.scale = s.parse().unwrap_or_else(|_| panic!("bad PTA_SCALE: {s:?}"));
+        }
+        if let Ok(s) = std::env::var("PTA_WORKLOADS") {
+            opts.workloads = s.split(',').map(|w| w.trim().to_owned()).collect();
+        }
+        if let Ok(s) = std::env::var("PTA_ANALYSES") {
+            opts.analyses = s
+                .split(',')
+                .map(|a| a.trim().parse().unwrap_or_else(|e| panic!("{e}")))
+                .collect();
+        }
+        if let Ok(s) = std::env::var("PTA_REPS") {
+            opts.repetitions = s.parse().unwrap_or_else(|_| panic!("bad PTA_REPS: {s:?}"));
+        }
+        opts
+    }
+}
+
+/// Runs one `(program, analysis)` cell, timing the solver only (workload
+/// generation and metric computation excluded), median of `reps` runs.
+pub fn run_cell(
+    workload: &str,
+    program: &Program,
+    analysis: Analysis,
+    reps: usize,
+) -> ExperimentRow {
+    let mut times = Vec::with_capacity(reps.max(1));
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = analyze(program, &analysis);
+        times.push(start.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    times.sort_by(f64::total_cmp);
+    let median = times[times.len() / 2];
+    let metrics = precision_metrics(program, &result.expect("at least one repetition"));
+    ExperimentRow::new(workload, analysis, &metrics, median)
+}
+
+/// Runs the full matrix described by `opts`, printing progress to stderr.
+pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
+    let mut rows = Vec::new();
+    for name in &opts.workloads {
+        let program = dacapo_workload(name, opts.scale);
+        let stats = ProgramStats::of(&program);
+        eprintln!("[pta-bench] {name}: {stats}");
+        for &analysis in &opts.analyses {
+            let row = run_cell(name, &program, analysis, opts.repetitions);
+            eprintln!(
+                "[pta-bench]   {:>10}  {:>8.3}s  vpt {:>10}  casts {}/{}",
+                row.analysis,
+                row.time_secs,
+                row.sensitive_var_points_to,
+                row.may_fail_casts,
+                row.reachable_casts
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Writes rows as pretty JSON to the path named by `PTA_JSON`, if set.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (operator-facing tool).
+pub fn maybe_dump_json(rows: &[ExperimentRow]) {
+    if let Ok(path) = std::env::var("PTA_JSON") {
+        let json = serde_json::to_string_pretty(rows).expect("rows serialize");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("[pta-bench] wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cell_produces_consistent_row() {
+        let program = dacapo_workload("luindex", 0.15);
+        let row = run_cell("luindex", &program, Analysis::OneObj, 1);
+        assert_eq!(row.workload, "luindex");
+        assert_eq!(row.analysis, "1obj");
+        assert!(row.reachable_methods > 0);
+        assert!(row.sensitive_var_points_to > 0);
+        assert!(row.may_fail_casts <= row.reachable_casts);
+        assert!(row.poly_v_calls <= row.reachable_v_calls);
+        assert!(row.time_secs >= 0.0);
+    }
+
+    #[test]
+    fn matrix_runs_a_small_subset() {
+        let opts = MatrixOptions {
+            scale: 0.15,
+            workloads: vec!["antlr".into()],
+            analyses: vec![Analysis::Insens, Analysis::STwoObjH],
+            repetitions: 1,
+        };
+        let rows = run_matrix(&opts);
+        assert_eq!(rows.len(), 2);
+        // Context-sensitivity is more precise than insens on every metric.
+        assert!(rows[1].may_fail_casts <= rows[0].may_fail_casts);
+        assert!(rows[1].call_graph_edges <= rows[0].call_graph_edges);
+    }
+
+    #[test]
+    fn rows_serialize_to_json() {
+        let program = dacapo_workload("luindex", 0.15);
+        let row = run_cell("luindex", &program, Analysis::OneCall, 1);
+        let json = serde_json::to_string(&row).unwrap();
+        assert!(json.contains("\"analysis\":\"1call\""));
+    }
+}

@@ -1,0 +1,158 @@
+//! The may-fail casts client.
+//!
+//! A cast `to = (T) from` *may fail* if the analysis cannot prove that every
+//! object `from` may point to is a subtype of `T`. The paper reports, per
+//! benchmark, "the number of casts that cannot be statically shown safe" —
+//! one of its two client-analysis precision metrics. Only casts in
+//! *reachable* methods are counted (the paper's totals are "reachable
+//! casts").
+
+use pta_core::PointsToResult;
+use pta_ir::{Instr, MethodId, Program, TypeId, VarId};
+
+/// A cast instruction that the analysis could not prove safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CastSite {
+    /// The method containing the cast.
+    pub method: MethodId,
+    /// The index of the cast instruction within the method body.
+    pub instr_index: usize,
+    /// The cast target type.
+    pub target_type: TypeId,
+    /// The source variable.
+    pub from: VarId,
+    /// How many of the source's possible objects are incompatible.
+    pub incompatible_objects: usize,
+}
+
+/// Returns every reachable cast the analysis cannot prove safe, along with
+/// the total number of reachable casts.
+///
+/// The pair `(may_fail, reachable_total)` corresponds to Table 1's
+/// "may-fail casts (of ~N)" column.
+pub fn may_fail_casts(program: &Program, result: &PointsToResult) -> (Vec<CastSite>, usize) {
+    let mut failing = Vec::new();
+    let mut reachable_casts = 0usize;
+    for method in program.methods() {
+        if !result.is_reachable(method) {
+            continue;
+        }
+        for (instr_index, instr) in program.instrs(method).iter().enumerate() {
+            if let Instr::Cast { from, ty, .. } = *instr {
+                reachable_casts += 1;
+                let incompatible = result
+                    .points_to(from)
+                    .iter()
+                    .filter(|&&h| !program.is_subtype(program.heap_type(h), ty))
+                    .count();
+                if incompatible > 0 {
+                    failing.push(CastSite {
+                        method,
+                        instr_index,
+                        target_type: ty,
+                        from,
+                        incompatible_objects: incompatible,
+                    });
+                }
+            }
+        }
+    }
+    (failing, reachable_casts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta_core::{analyze, Analysis};
+    use pta_lang::parse_program;
+
+    /// A deserialization-style program: payloads of two types stored in a
+    /// shared container and cast after retrieval.
+    const SOURCE: &str = r#"
+        class Object {}
+        class A : Object {}
+        class B : Object {}
+        class Box : Object {
+            field v;
+            method set(x) { this.v = x; }
+            method get() { r = this.v; return r; }
+        }
+        class Main : Object {
+            static main() {
+                b1 = new Box;
+                b2 = new Box;
+                a = new A;
+                bb = new B;
+                b1.set(a);
+                b2.set(bb);
+                ra = b1.get();
+                rb = b2.get();
+                ca = (A) ra;
+                cb = (B) rb;
+            }
+        }
+        entry Main.main;
+    "#;
+
+    #[test]
+    fn insensitive_analysis_cannot_prove_the_casts() {
+        let p = parse_program(SOURCE).unwrap();
+        let r = analyze(&p, &Analysis::Insens);
+        let (failing, total) = may_fail_casts(&p, &r);
+        assert_eq!(total, 2);
+        // Both boxes are conflated: each cast sees both A and B.
+        assert_eq!(failing.len(), 2);
+        assert_eq!(failing[0].incompatible_objects, 1);
+    }
+
+    #[test]
+    fn object_sensitive_analysis_proves_the_casts() {
+        let p = parse_program(SOURCE).unwrap();
+        let r = analyze(&p, &Analysis::OneObj);
+        let (failing, total) = may_fail_casts(&p, &r);
+        assert_eq!(total, 2);
+        assert!(
+            failing.is_empty(),
+            "1obj separates the two boxes: {failing:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_casts_are_not_counted() {
+        let p = parse_program(
+            r#"
+            class Object {}
+            class A : Object {}
+            class Main : Object {
+                static main() { x = new Object; }
+                static dead() { y = new Object; z = (A) y; }
+            }
+            entry Main.main;
+        "#,
+        )
+        .unwrap();
+        let r = analyze(&p, &Analysis::Insens);
+        let (failing, total) = may_fail_casts(&p, &r);
+        assert_eq!(total, 0);
+        assert!(failing.is_empty());
+    }
+
+    #[test]
+    fn upcasts_are_always_safe() {
+        let p = parse_program(
+            r#"
+            class Object {}
+            class A : Object {}
+            class Main : Object {
+                static main() { a = new A; o = (Object) a; }
+            }
+            entry Main.main;
+        "#,
+        )
+        .unwrap();
+        let r = analyze(&p, &Analysis::Insens);
+        let (failing, total) = may_fail_casts(&p, &r);
+        assert_eq!(total, 1);
+        assert!(failing.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! The devirtualization client.
+//!
+//! A virtual call site is *monomorphic* if the analysis resolves it to at
+//! most one target method — such calls can be devirtualized (inlined or
+//! turned into direct calls) by a compiler. The paper reports the number of
+//! "virtual calls whose target cannot be disambiguated" ("poly v-calls") as
+//! one of its two client-analysis precision metrics; only call sites in
+//! reachable methods are counted.
+
+use pta_core::PointsToResult;
+use pta_ir::{Instr, InvoId, MethodId, Program};
+
+/// A reachable virtual call site with its resolved target set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSiteTargets {
+    /// The invocation site.
+    pub invo: InvoId,
+    /// The methods the analysis says it may dispatch to (sorted).
+    pub targets: Vec<MethodId>,
+}
+
+fn reachable_vcalls<'p>(
+    program: &'p Program,
+    result: &'p PointsToResult,
+) -> impl Iterator<Item = InvoId> + 'p {
+    program
+        .methods()
+        .filter(|&m| result.is_reachable(m))
+        .flat_map(move |m| {
+            program.instrs(m).iter().filter_map(|i| match *i {
+                Instr::VCall { invo, .. } => Some(invo),
+                _ => None,
+            })
+        })
+}
+
+/// Returns every reachable *polymorphic* virtual call site (≥ 2 targets),
+/// along with the total number of reachable virtual call sites.
+///
+/// The pair corresponds to Table 1's "poly v-calls (of ~N)" column.
+pub fn poly_virtual_calls(
+    program: &Program,
+    result: &PointsToResult,
+) -> (Vec<CallSiteTargets>, usize) {
+    let mut poly = Vec::new();
+    let mut total = 0usize;
+    for invo in reachable_vcalls(program, result) {
+        total += 1;
+        let targets = result.call_targets(invo);
+        if targets.len() >= 2 {
+            poly.push(CallSiteTargets {
+                invo,
+                targets: targets.to_vec(),
+            });
+        }
+    }
+    (poly, total)
+}
+
+/// Returns every reachable virtual call site the analysis resolves to
+/// exactly one target — the devirtualization opportunities.
+pub fn mono_virtual_calls(program: &Program, result: &PointsToResult) -> Vec<CallSiteTargets> {
+    reachable_vcalls(program, result)
+        .filter_map(|invo| {
+            let targets = result.call_targets(invo);
+            (targets.len() == 1).then(|| CallSiteTargets {
+                invo,
+                targets: targets.to_vec(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta_core::{analyze, Analysis};
+    use pta_lang::parse_program;
+
+    /// Polymorphic hierarchy where precision determines devirtualization:
+    /// each handler is invoked on a receiver loaded from its own container.
+    const SOURCE: &str = r#"
+        class Object {}
+        class Handler : Object { method handle() { return this; } }
+        class Fast : Handler { method handle() { return this; } }
+        class Slow : Handler { method handle() { return this; } }
+        class Box : Object {
+            field h;
+            method set(x) { this.h = x; }
+            method get() { r = this.h; return r; }
+        }
+        class Main : Object {
+            static main() {
+                bf = new Box;
+                bs = new Box;
+                f = new Fast;
+                s = new Slow;
+                bf.set(f);
+                bs.set(s);
+                hf = bf.get();
+                hs = bs.get();
+                x = hf.handle();
+                y = hs.handle();
+            }
+        }
+        entry Main.main;
+    "#;
+
+    #[test]
+    fn insens_sees_polymorphic_handlers() {
+        let p = parse_program(SOURCE).unwrap();
+        let r = analyze(&p, &Analysis::Insens);
+        let (poly, total) = poly_virtual_calls(&p, &r);
+        // set/get on conflated boxes stay monomorphic (one Box class), but
+        // the two handle() calls each see {Fast, Slow}.
+        assert_eq!(total, 6);
+        assert_eq!(poly.len(), 2);
+        for site in &poly {
+            assert_eq!(site.targets.len(), 2);
+        }
+    }
+
+    #[test]
+    fn one_obj_devirtualizes_the_handlers() {
+        let p = parse_program(SOURCE).unwrap();
+        let r = analyze(&p, &Analysis::OneObj);
+        let (poly, total) = poly_virtual_calls(&p, &r);
+        assert_eq!(total, 6);
+        assert!(poly.is_empty(), "1obj separates the boxes: {poly:?}");
+        assert_eq!(mono_virtual_calls(&p, &r).len(), 6);
+    }
+
+    #[test]
+    fn unreached_sites_are_not_devirt_candidates() {
+        let p = parse_program(
+            r#"
+            class Object {}
+            class C : Object { method m() {} }
+            class Main : Object {
+                static main() { x = new Object; }
+                static dead() { c = new C; c.m(); }
+            }
+            entry Main.main;
+        "#,
+        )
+        .unwrap();
+        let r = analyze(&p, &Analysis::Insens);
+        let (poly, total) = poly_virtual_calls(&p, &r);
+        assert_eq!(total, 0);
+        assert!(poly.is_empty());
+        assert!(mono_virtual_calls(&p, &r).is_empty());
+    }
+}

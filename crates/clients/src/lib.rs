@@ -1,0 +1,35 @@
+//! # pta-clients — client analyses and evaluation metrics
+//!
+//! The paper's evaluation (§4.2) judges every analysis by four precision
+//! metrics and two performance metrics. This crate computes all of them
+//! from a [`PointsToResult`]:
+//!
+//! **Precision** (Table 1, lower is better):
+//! - *average points-to set size* ("avg objs per var") — [`precision_metrics`];
+//! - *call-graph edges* — context-insensitive edge count;
+//! - *polymorphic virtual calls* ("poly v-calls") — reachable virtual call
+//!   sites the analysis cannot devirtualize ([`poly_virtual_calls`]);
+//! - *may-fail casts* — reachable cast instructions the analysis cannot
+//!   prove safe ([`may_fail_casts`]).
+//!
+//! **Performance**:
+//! - *context-sensitive var-points-to size* — "the foremost internal
+//!   complexity metric of a points-to analysis";
+//! - wall-clock time (measured by the bench harness, not here).
+//!
+//! The devirtualization and cast-check clients are also usable directly —
+//! see the `devirtualize` and `cast_checker` examples at the repository
+//! root.
+
+pub mod casts;
+pub mod devirt;
+pub mod metrics;
+pub mod stats;
+
+pub use casts::{may_fail_casts, CastSite};
+pub use devirt::{mono_virtual_calls, poly_virtual_calls, CallSiteTargets};
+pub use metrics::{precision_metrics, ExperimentMetrics};
+pub use stats::{context_stats, ContextStats};
+
+// Re-exported so client code only needs this crate.
+pub use pta_core::PointsToResult;

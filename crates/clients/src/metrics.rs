@@ -1,0 +1,118 @@
+//! Aggregate experiment metrics: one struct with every number a Table 1
+//! cell group needs.
+
+use pta_core::PointsToResult;
+use pta_ir::Program;
+
+use crate::casts::may_fail_casts;
+use crate::devirt::poly_virtual_calls;
+
+/// All precision and (platform-independent) performance metrics of the
+/// paper's Table 1 for one `(program, analysis)` run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentMetrics {
+    /// "avg objs per var": average context-insensitive points-to set size.
+    pub avg_var_points_to: f64,
+    /// Median context-insensitive points-to set size (the paper notes this
+    /// is 1 across the board).
+    pub median_var_points_to: usize,
+    /// "edges": context-insensitive call-graph edges.
+    pub call_graph_edges: usize,
+    /// Reachable methods (Table 1's "over ~N meths" reference count).
+    pub reachable_methods: usize,
+    /// "poly v-calls": reachable virtual call sites with ≥ 2 targets.
+    pub poly_virtual_calls: usize,
+    /// Total reachable virtual call sites (the "of ~N" reference).
+    pub reachable_virtual_calls: usize,
+    /// "may-fail casts": reachable casts not provably safe.
+    pub may_fail_casts: usize,
+    /// Total reachable casts (the "of ~N" reference).
+    pub reachable_casts: usize,
+    /// "sensitive var-points-to": context-sensitive tuple count, the
+    /// paper's main internal complexity metric.
+    pub ctx_var_points_to: u64,
+    /// Context-sensitive call-graph edges.
+    pub ctx_call_graph_edges: u64,
+    /// Distinct calling contexts created.
+    pub contexts: usize,
+    /// Distinct heap contexts created.
+    pub heap_contexts: usize,
+    /// Exception allocation sites that may escape the entry points
+    /// uncaught (the exception-analysis extension's headline number).
+    pub uncaught_exception_sites: usize,
+}
+
+/// Computes every metric for one analysis run.
+pub fn precision_metrics(program: &Program, result: &PointsToResult) -> ExperimentMetrics {
+    let (poly, reachable_vcalls) = poly_virtual_calls(program, result);
+    let (failing, reachable_casts) = may_fail_casts(program, result);
+    ExperimentMetrics {
+        avg_var_points_to: result.average_points_to_size(),
+        median_var_points_to: result.median_points_to_size(),
+        call_graph_edges: result.call_graph_edge_count(),
+        reachable_methods: result.reachable_method_count(),
+        poly_virtual_calls: poly.len(),
+        reachable_virtual_calls: reachable_vcalls,
+        may_fail_casts: failing.len(),
+        reachable_casts,
+        ctx_var_points_to: result.ctx_var_points_to_count(),
+        ctx_call_graph_edges: result.ctx_call_graph_edge_count(),
+        contexts: result.context_count(),
+        heap_contexts: result.heap_context_count(),
+        uncaught_exception_sites: result.uncaught_exceptions().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta_core::{analyze, Analysis};
+    use pta_lang::parse_program;
+
+    const SOURCE: &str = r#"
+        class Object {}
+        class A : Object { method m() {} }
+        class B : A { method m() {} }
+        class Main : Object {
+            static pick(x, y) { return x; return y; }
+            static main() {
+                a = new A;
+                bb = new B;
+                p = Main.pick(a, bb);
+                p.m();
+                c = (B) p;
+            }
+        }
+        entry Main.main;
+    "#;
+
+    #[test]
+    fn metrics_are_internally_consistent() {
+        let p = parse_program(SOURCE).unwrap();
+        let r = analyze(&p, &Analysis::Insens);
+        let m = precision_metrics(&p, &r);
+        assert_eq!(m.reachable_methods, 4); // main, pick, A.m, B.m
+        assert_eq!(m.reachable_virtual_calls, 1);
+        assert_eq!(m.poly_virtual_calls, 1); // p.m() sees A.m and B.m
+        assert_eq!(m.reachable_casts, 1);
+        assert_eq!(m.may_fail_casts, 1); // p may be an A
+        assert!(m.avg_var_points_to >= 1.0);
+        assert!(m.ctx_var_points_to > 0);
+        assert_eq!(m.median_var_points_to, 1);
+        // Call graph: main->pick, p.m()->{A.m, B.m}.
+        assert_eq!(m.call_graph_edges, 3);
+        assert_eq!(m.contexts, 1); // insens
+        assert_eq!(m.heap_contexts, 1);
+    }
+
+    #[test]
+    fn more_context_means_no_worse_precision_metrics() {
+        let p = parse_program(SOURCE).unwrap();
+        let insens = precision_metrics(&p, &analyze(&p, &Analysis::Insens));
+        let obj = precision_metrics(&p, &analyze(&p, &Analysis::SAOneObj));
+        assert!(obj.may_fail_casts <= insens.may_fail_casts);
+        assert!(obj.poly_virtual_calls <= insens.poly_virtual_calls);
+        assert!(obj.call_graph_edges <= insens.call_graph_edges);
+        assert!(obj.avg_var_points_to <= insens.avg_var_points_to);
+    }
+}

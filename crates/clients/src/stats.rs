@@ -1,0 +1,142 @@
+//! Context statistics: where an analysis spends its contexts and tuples.
+//!
+//! The paper's cost discussions (§4.2) come down to how many contexts each
+//! analysis creates and how the context-sensitive tuples distribute over
+//! methods — uniform hybrids explode because *every* method multiplies its
+//! contexts by the invocation sites reaching it. This client computes that
+//! distribution from a result with retained tuples, surfacing the "hot"
+//! methods that dominate an analysis's cost (useful when tuning a custom
+//! `ContextPolicy`).
+
+use pta_core::PointsToResult;
+use pta_ir::hash::FxHashMap;
+use pta_ir::{MethodId, Program};
+
+/// Distribution of contexts and tuples over methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextStats {
+    /// Methods with at least one context-sensitive tuple.
+    pub methods_with_tuples: usize,
+    /// The largest number of distinct contexts any single method's
+    /// variables were analyzed under.
+    pub max_contexts_per_method: usize,
+    /// Mean distinct contexts per method (over methods with tuples).
+    pub avg_contexts_per_method: f64,
+    /// Mean tuples per (method, context) pair.
+    pub avg_tuples_per_context: f64,
+    /// The methods carrying the most tuples, descending (up to `top`).
+    pub hottest_methods: Vec<(MethodId, usize)>,
+}
+
+/// Computes the context/tuple distribution.
+///
+/// Returns `None` when `result` was produced without
+/// `SolverConfig::keep_tuples` (there is nothing to aggregate).
+pub fn context_stats(
+    program: &Program,
+    result: &PointsToResult,
+    top: usize,
+) -> Option<ContextStats> {
+    let tuples = result.context_sensitive_tuples()?;
+    let mut tuples_per_method: FxHashMap<MethodId, usize> = FxHashMap::default();
+    let mut contexts_per_method: FxHashMap<MethodId, Vec<u32>> = FxHashMap::default();
+    for t in tuples {
+        let m = program.var_method(t.var);
+        *tuples_per_method.entry(m).or_default() += 1;
+        contexts_per_method.entry(m).or_default().push(t.ctx.raw());
+    }
+    let mut total_ctx_pairs = 0usize;
+    let mut max_contexts = 0usize;
+    for ctxs in contexts_per_method.values_mut() {
+        ctxs.sort_unstable();
+        ctxs.dedup();
+        total_ctx_pairs += ctxs.len();
+        max_contexts = max_contexts.max(ctxs.len());
+    }
+    let methods_with_tuples = tuples_per_method.len();
+    let mut hottest: Vec<(MethodId, usize)> = tuples_per_method.into_iter().collect();
+    hottest.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    hottest.truncate(top);
+
+    Some(ContextStats {
+        methods_with_tuples,
+        max_contexts_per_method: max_contexts,
+        avg_contexts_per_method: if methods_with_tuples == 0 {
+            0.0
+        } else {
+            total_ctx_pairs as f64 / methods_with_tuples as f64
+        },
+        avg_tuples_per_context: if total_ctx_pairs == 0 {
+            0.0
+        } else {
+            tuples.len() as f64 / total_ctx_pairs as f64
+        },
+        hottest_methods: hottest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta_core::{analyze, analyze_with_config, Analysis, SolverConfig};
+    use pta_workload::{generate, WorkloadConfig};
+
+    fn with_tuples(analysis: Analysis) -> (pta_ir::Program, PointsToResult) {
+        let p = generate(&WorkloadConfig::tiny(5));
+        let r = analyze_with_config(
+            &p,
+            &analysis,
+            SolverConfig {
+                keep_tuples: true,
+                ..SolverConfig::default()
+            },
+        );
+        (p, r)
+    }
+
+    #[test]
+    fn requires_retained_tuples() {
+        let p = generate(&WorkloadConfig::tiny(5));
+        let r = analyze(&p, &Analysis::OneObj);
+        assert!(context_stats(&p, &r, 5).is_none());
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let (p, r) = with_tuples(Analysis::STwoObjH);
+        let s = context_stats(&p, &r, 5).unwrap();
+        assert!(s.methods_with_tuples > 0);
+        assert!(s.max_contexts_per_method >= 1);
+        assert!(s.avg_contexts_per_method >= 1.0);
+        assert!(s.avg_contexts_per_method <= s.max_contexts_per_method as f64);
+        assert!(s.avg_tuples_per_context >= 1.0);
+        assert!(s.hottest_methods.len() <= 5);
+        // Hottest methods are sorted descending.
+        for w in s.hottest_methods.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // The hottest method's tuple count never exceeds the total.
+        let total: usize = s.hottest_methods.iter().map(|&(_, n)| n).sum();
+        assert!(total as u64 <= r.ctx_var_points_to_count());
+    }
+
+    #[test]
+    fn uniform_hybrid_creates_more_contexts_per_method() {
+        let (p, base) = with_tuples(Analysis::TwoObjH);
+        let (_, uniform) = with_tuples(Analysis::UTwoObjH);
+        let sb = context_stats(&p, &base, 3).unwrap();
+        let su = context_stats(&p, &uniform, 3).unwrap();
+        assert!(
+            su.avg_contexts_per_method > sb.avg_contexts_per_method,
+            "uniform {su:?} vs base {sb:?}"
+        );
+    }
+
+    #[test]
+    fn insens_has_one_context_everywhere() {
+        let (p, r) = with_tuples(Analysis::Insens);
+        let s = context_stats(&p, &r, 3).unwrap();
+        assert_eq!(s.max_contexts_per_method, 1);
+        assert!((s.avg_contexts_per_method - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,355 @@
+//! Analysis results: the `VarPointsTo` and `CallGraph` output relations of
+//! the paper's Figure 1, plus the counters its evaluation reports.
+//!
+//! Results store the *context-insensitive projections* (variable → heap
+//! abstractions, invocation site → callees, reachable methods) that the
+//! paper's precision metrics are defined over, together with the
+//! context-sensitive cardinalities that are its performance metrics — most
+//! importantly the total size of context-sensitive var-points-to, "the
+//! foremost internal complexity metric of a points-to analysis" (§4.2).
+//! The full context-sensitive tuple set can optionally be retained
+//! (see `SolverConfig::keep_tuples`) for clients that inspect per-context
+//! facts, such as the `quickstart` example.
+
+use pta_ir::hash::{FxHashMap, FxHashSet};
+use pta_ir::{FieldId, HeapId, InvoId, MethodId, Program, VarId};
+
+use crate::context::{Ctx, CtxId, CtxInterner, HCtxId, HCtxInterner, HeapCtx};
+
+/// One retained context-sensitive points-to tuple.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub struct CtxVarPointsTo {
+    /// The variable.
+    pub var: VarId,
+    /// The variable's qualifying context.
+    pub ctx: CtxId,
+    /// The heap abstraction pointed to.
+    pub heap: HeapId,
+    /// The heap abstraction's qualifying heap context.
+    pub hctx: HCtxId,
+}
+
+/// How a context-sensitive points-to tuple was first derived, for
+/// [`PointsToResult::explain`]. Recorded only under
+/// `SolverConfig::track_provenance`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Derivation {
+    /// The allocation rule: the variable is directly assigned the `new`.
+    Alloc,
+    /// Copied by a `move`/`cast` from another tuple.
+    Assign {
+        /// The source tuple.
+        from: CtxVarPointsTo,
+    },
+    /// Propagated across a call boundary (parameter or return passing).
+    InterProc {
+        /// The source tuple.
+        from: CtxVarPointsTo,
+    },
+    /// Loaded from a field of a base object.
+    Load {
+        /// The tuple through which the base object was reached.
+        base: CtxVarPointsTo,
+        /// The field read.
+        field: FieldId,
+    },
+    /// The receiver (`this`) binding performed by the virtual-call rule.
+    ThisBinding {
+        /// The invocation site that bound the receiver.
+        invo: InvoId,
+    },
+    /// Loaded from a static field (a global, context-insensitive cell).
+    StaticLoad {
+        /// The static field read.
+        field: FieldId,
+    },
+    /// Bound by a catch clause (the object arrived as a thrown exception).
+    Caught,
+}
+
+/// Key of an instance-field provenance entry:
+/// `(baseHeap, baseHeapCtx, field, valueHeap, valueHeapCtx)`.
+type FldProvKey = (HeapId, HCtxId, FieldId, HeapId, HCtxId);
+
+/// The result of running a points-to analysis over a program.
+#[derive(Debug)]
+pub struct PointsToResult {
+    pub(crate) var_points_to: FxHashMap<VarId, Vec<HeapId>>,
+    pub(crate) call_targets: FxHashMap<InvoId, Vec<MethodId>>,
+    pub(crate) call_graph_edges: usize,
+    pub(crate) reachable: FxHashSet<MethodId>,
+    pub(crate) ctx_vpt_count: u64,
+    pub(crate) ctx_call_graph_edges: u64,
+    pub(crate) ctx_reachable_count: u64,
+    pub(crate) ctx_count: usize,
+    pub(crate) hctx_count: usize,
+    pub(crate) tuples: Option<Vec<CtxVarPointsTo>>,
+    pub(crate) provenance: Option<FxHashMap<CtxVarPointsTo, Derivation>>,
+    pub(crate) fld_provenance: Option<FxHashMap<FldProvKey, CtxVarPointsTo>>,
+    pub(crate) static_fld_provenance: Option<FxHashMap<(FieldId, HeapId, HCtxId), CtxVarPointsTo>>,
+    pub(crate) uncaught: Vec<HeapId>,
+    pub(crate) ctx_interner: CtxInterner,
+    pub(crate) hctx_interner: HCtxInterner,
+}
+
+impl PointsToResult {
+    /// The (context-insensitive) points-to set of `var`, sorted by heap ID.
+    ///
+    /// Empty for variables the analysis never reached.
+    pub fn points_to(&self, var: VarId) -> &[HeapId] {
+        self.var_points_to
+            .get(&var)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The possible callees of invocation site `invo`, sorted.
+    ///
+    /// For static call sites this is the single static target (if reached).
+    pub fn call_targets(&self, invo: InvoId) -> &[MethodId] {
+        self.call_targets
+            .get(&invo)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of edges in the context-insensitive call graph — the paper's
+    /// "edges" precision metric.
+    pub fn call_graph_edge_count(&self) -> usize {
+        self.call_graph_edges
+    }
+
+    /// `true` if the analysis found `meth` reachable in some context.
+    pub fn is_reachable(&self, meth: MethodId) -> bool {
+        self.reachable.contains(&meth)
+    }
+
+    /// The set of reachable methods.
+    pub fn reachable_methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.reachable.iter().copied()
+    }
+
+    /// Number of reachable methods.
+    pub fn reachable_method_count(&self) -> usize {
+        self.reachable.len()
+    }
+
+    /// Total number of context-sensitive `VarPointsTo` tuples — the paper's
+    /// platform-independent performance metric ("sensitive var-points-to").
+    pub fn ctx_var_points_to_count(&self) -> u64 {
+        self.ctx_vpt_count
+    }
+
+    /// Number of context-sensitive call-graph edges.
+    pub fn ctx_call_graph_edge_count(&self) -> u64 {
+        self.ctx_call_graph_edges
+    }
+
+    /// Number of (method, context) reachability pairs.
+    pub fn ctx_reachable_count(&self) -> u64 {
+        self.ctx_reachable_count
+    }
+
+    /// Number of distinct calling contexts created.
+    pub fn context_count(&self) -> usize {
+        self.ctx_count
+    }
+
+    /// Number of distinct heap contexts created.
+    pub fn heap_context_count(&self) -> usize {
+        self.hctx_count
+    }
+
+    /// The retained context-sensitive tuples, if the solver was configured
+    /// with `keep_tuples` (otherwise `None`).
+    pub fn context_sensitive_tuples(&self) -> Option<&[CtxVarPointsTo]> {
+        self.tuples.as_deref()
+    }
+
+    /// Resolves an interned context to its element tuple.
+    pub fn resolve_ctx(&self, ctx: CtxId) -> Ctx {
+        self.ctx_interner.resolve(ctx)
+    }
+
+    /// Resolves an interned heap context to its elements.
+    pub fn resolve_hctx(&self, hctx: HCtxId) -> HeapCtx {
+        self.hctx_interner.resolve(hctx)
+    }
+
+    /// Renders a context with names resolved against `program`.
+    pub fn display_ctx(&self, ctx: CtxId, program: &Program) -> String {
+        let elems = self.resolve_ctx(ctx);
+        let parts: Vec<String> = elems.iter().map(|e| e.display(program)).collect();
+        format!("({})", parts.join(", "))
+    }
+
+    /// Explains why `var` may point to `heap`: a human-readable derivation
+    /// chain from the tuple back to the allocation that introduced the
+    /// object, following assignments, call boundaries, and field loads
+    /// (continuing through the store that populated each loaded field).
+    ///
+    /// Returns `None` when the fact does not hold, or when the solver ran
+    /// without `SolverConfig::track_provenance`.
+    ///
+    /// Intended for interactive debugging of analysis precision (the `pta`
+    /// CLI exposes it as `--explain VAR`); lookup scans the tuple set for a
+    /// matching starting tuple, so this is not a hot-path API.
+    pub fn explain(&self, program: &Program, var: VarId, heap: HeapId) -> Option<Vec<String>> {
+        let provenance = self.provenance.as_ref()?;
+        // Any tuple for (var, heap) serves as a starting point.
+        let start = *provenance.keys().find(|t| t.var == var && t.heap == heap)?;
+        let mut lines = Vec::new();
+        let mut cur = start;
+        let mut guard = 0usize;
+        loop {
+            guard += 1;
+            if guard > 256 {
+                lines.push("... (chain truncated)".to_owned());
+                break;
+            }
+            let describe_var = |t: &CtxVarPointsTo| {
+                format!(
+                    "{}::{} @ {}",
+                    program.method_qualified_name(program.var_method(t.var)),
+                    program.var_name(t.var),
+                    self.display_ctx(t.ctx, program),
+                )
+            };
+            match provenance.get(&cur) {
+                None => {
+                    lines.push(format!("{} (derivation not recorded)", describe_var(&cur)));
+                    break;
+                }
+                Some(Derivation::Alloc) => {
+                    lines.push(format!(
+                        "{} = new {} [allocation site {}]",
+                        describe_var(&cur),
+                        program.type_name(program.heap_type(cur.heap)),
+                        program.heap_label(cur.heap),
+                    ));
+                    break;
+                }
+                Some(Derivation::Assign { from }) => {
+                    lines.push(format!(
+                        "{} copied from {}",
+                        describe_var(&cur),
+                        program.var_name(from.var)
+                    ));
+                    cur = *from;
+                }
+                Some(Derivation::InterProc { from }) => {
+                    lines.push(format!(
+                        "{} received across a call boundary from {}",
+                        describe_var(&cur),
+                        describe_var(from),
+                    ));
+                    cur = *from;
+                }
+                Some(Derivation::Load { base, field }) => {
+                    lines.push(format!(
+                        "{} loaded from field {} of {} [{}]",
+                        describe_var(&cur),
+                        program.field_name(*field),
+                        program.heap_label(base.heap),
+                        describe_var(base),
+                    ));
+                    // Continue with the value that was stored into that
+                    // field, if recorded.
+                    let key = (base.heap, base.hctx, *field, cur.heap, cur.hctx);
+                    match self.fld_provenance.as_ref().and_then(|m| m.get(&key)) {
+                        Some(&value) => cur = value,
+                        None => {
+                            lines.push("... (store origin not recorded)".to_owned());
+                            break;
+                        }
+                    }
+                }
+                Some(Derivation::ThisBinding { invo }) => {
+                    lines.push(format!(
+                        "{} bound as receiver at call site {}",
+                        describe_var(&cur),
+                        program.invo_label(*invo),
+                    ));
+                    break;
+                }
+                Some(Derivation::Caught) => {
+                    lines.push(format!(
+                        "{} bound by a catch clause (thrown object {})",
+                        describe_var(&cur),
+                        program.heap_label(cur.heap),
+                    ));
+                    break;
+                }
+                Some(Derivation::StaticLoad { field }) => {
+                    lines.push(format!(
+                        "{} loaded from static field {}.{}",
+                        describe_var(&cur),
+                        program.type_name(program.field_owner(*field)),
+                        program.field_name(*field),
+                    ));
+                    let key = (*field, cur.heap, cur.hctx);
+                    match self
+                        .static_fld_provenance
+                        .as_ref()
+                        .and_then(|m| m.get(&key))
+                    {
+                        Some(&value) => cur = value,
+                        None => {
+                            lines.push("... (store origin not recorded)".to_owned());
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Some(lines)
+    }
+
+    /// Allocation sites of exception objects that may escape the entry
+    /// points uncaught (sorted).
+    pub fn uncaught_exceptions(&self) -> &[HeapId] {
+        &self.uncaught
+    }
+
+    /// `true` if `a` and `b` may point to a common heap object — the
+    /// classic may-alias query derived from points-to sets, the paper's
+    /// "close relative" of points-to analysis (§1).
+    ///
+    /// Sound but conservative: a `true` answer may be a false positive; a
+    /// `false` answer guarantees the variables never alias (under the
+    /// analyzed entry points).
+    pub fn may_alias(&self, a: VarId, b: VarId) -> bool {
+        let (sa, sb) = (self.points_to(a), self.points_to(b));
+        // Both sets are sorted; merge-step intersection test.
+        let (mut i, mut j) = (0, 0);
+        while i < sa.len() && j < sb.len() {
+            match sa[i].cmp(&sb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// The average points-to set size over variables of reachable methods
+    /// with non-empty sets — the paper's "avg objs per var" metric.
+    pub fn average_points_to_size(&self) -> f64 {
+        if self.var_points_to.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.var_points_to.values().map(|v| v.len() as u64).sum();
+        total as f64 / self.var_points_to.len() as f64
+    }
+
+    /// The median points-to set size over variables with non-empty sets.
+    /// (The paper notes this is 1 for all analyses and benchmarks.)
+    pub fn median_points_to_size(&self) -> usize {
+        if self.var_points_to.is_empty() {
+            return 0;
+        }
+        let mut sizes: Vec<usize> = self.var_points_to.values().map(Vec::len).collect();
+        sizes.sort_unstable();
+        sizes[sizes.len() / 2]
+    }
+}

@@ -1,0 +1,794 @@
+//! The specialized semi-naive solver for the paper's nine rules (Figure 2).
+//!
+//! This is the performance-oriented implementation — the analogue of the
+//! compiled, indexed LogicBlox program Doop generates. It is an explicit
+//! worklist algorithm whose indices correspond one-to-one to the joins in
+//! Figure 2:
+//!
+//! | Figure 2 rule | here |
+//! |---|---|
+//! | `InterProcAssign <- CallGraph, FormalArg, ActualArg` | `Solver::add_call_edge` installs parameter edges |
+//! | `InterProcAssign <- CallGraph, FormalReturn, ActualReturn` | `Solver::add_call_edge` installs the return edge |
+//! | `VarPointsTo <- Reachable, Alloc` (+ `Record`) | `Solver::process_reachable` |
+//! | `VarPointsTo <- Move, VarPointsTo` | assignment edges in `Solver::process_vpt` (casts are filtered moves) |
+//! | `VarPointsTo <- InterProcAssign, VarPointsTo` | inter-procedural edges in `Solver::process_vpt` |
+//! | `VarPointsTo <- Load, VarPointsTo, FldPointsTo` | load witnesses in `Solver::process_vpt` / `Solver::insert_fld` |
+//! | `FldPointsTo <- Store, VarPointsTo, VarPointsTo` | store handling in `Solver::process_vpt` |
+//! | virtual-call rule (+ `Merge`) | `Solver::process_vpt` receiver dispatch |
+//! | static-call rule (+ `MergeStatic`) | `Solver::process_reachable` |
+//!
+//! The worklist carries `VarPointsTo` deltas and `(method, context)`
+//! reachability events; every rule fires exactly once per new tuple, which
+//! is precisely semi-naive evaluation with the rule set unrolled.
+
+use std::collections::VecDeque;
+
+use pta_ir::hash::{FxHashMap, FxHashSet};
+use pta_ir::{FieldId, HeapId, Instr, InvoId, MethodId, Program, SigId, TypeId, VarId};
+
+use crate::context::{CtxId, CtxInterner, HCtxId, HCtxInterner};
+use crate::policy::ContextPolicy;
+use crate::results::{CtxVarPointsTo, Derivation, PointsToResult};
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverConfig {
+    /// Retain the full context-sensitive tuple set in the result (memory
+    /// proportional to the sensitive var-points-to metric). Off by default.
+    pub keep_tuples: bool,
+    /// Record one derivation per tuple so `PointsToResult::explain` can
+    /// reconstruct why a variable points to an object. Off by default
+    /// (costs one map entry per tuple).
+    pub track_provenance: bool,
+}
+
+/// Runs `policy` over `program` with default configuration.
+///
+/// This is the main entry point of the crate:
+///
+/// ```
+/// use pta_core::{analyze, Analysis};
+/// use pta_ir::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// let object = b.class("Object", None);
+/// let c = b.class("C", Some(object));
+/// let main = b.method(c, "main", &[], true);
+/// let v = b.var(main, "v");
+/// b.alloc(main, v, c, "new C");
+/// b.entry_point(main);
+/// let program = b.finish()?;
+///
+/// let result = analyze(&program, &Analysis::STwoObjH);
+/// assert_eq!(result.points_to(v).len(), 1);
+/// # Ok::<(), pta_ir::ValidateError>(())
+/// ```
+pub fn analyze<P: ContextPolicy>(program: &Program, policy: &P) -> PointsToResult {
+    analyze_with_config(program, policy, SolverConfig::default())
+}
+
+/// Runs `policy` over `program` with explicit configuration.
+pub fn analyze_with_config<P: ContextPolicy>(
+    program: &Program,
+    policy: &P,
+    config: SolverConfig,
+) -> PointsToResult {
+    Solver::new(program, policy, config).solve()
+}
+
+/// Precomputed, context-independent instruction indices keyed by variable.
+/// These are the static input relations of Figure 1, organized by the
+/// variable each rule joins on.
+struct StaticIndex {
+    /// `from -> [(to, cast filter)]` for `Move` and `Cast`.
+    assigns: Vec<Vec<(VarId, Option<TypeId>)>>,
+    /// `base -> [(to, field)]` for `Load`.
+    loads_on: Vec<Vec<(VarId, FieldId)>>,
+    /// `base -> [(field, from)]` for `Store`.
+    stores_on: Vec<Vec<(FieldId, VarId)>>,
+    /// `from -> [(base, field)]` for `Store`.
+    stores_of: Vec<Vec<(VarId, FieldId)>>,
+    /// `from -> [field]` for `SStore` (static-field writes).
+    sstores_of: Vec<Vec<FieldId>>,
+    /// `base -> [(sig, invo)]` for `VCall`.
+    vcalls_on: Vec<Vec<(SigId, InvoId)>>,
+    /// `var -> thrown somewhere in its method`.
+    thrown: Vec<bool>,
+}
+
+impl StaticIndex {
+    fn build(program: &Program) -> StaticIndex {
+        let n = program.var_count();
+        let mut idx = StaticIndex {
+            assigns: vec![Vec::new(); n],
+            loads_on: vec![Vec::new(); n],
+            stores_on: vec![Vec::new(); n],
+            stores_of: vec![Vec::new(); n],
+            sstores_of: vec![Vec::new(); n],
+            vcalls_on: vec![Vec::new(); n],
+            thrown: vec![false; n],
+        };
+        for m in program.methods() {
+            for instr in program.instrs(m) {
+                match *instr {
+                    Instr::Move { to, from } => idx.assigns[from.index()].push((to, None)),
+                    Instr::Cast { to, from, ty } => idx.assigns[from.index()].push((to, Some(ty))),
+                    Instr::Load { to, base, field } => idx.loads_on[base.index()].push((to, field)),
+                    Instr::Store { base, field, from } => {
+                        idx.stores_on[base.index()].push((field, from));
+                        idx.stores_of[from.index()].push((base, field));
+                    }
+                    Instr::VCall { base, sig, invo } => {
+                        idx.vcalls_on[base.index()].push((sig, invo))
+                    }
+                    Instr::SStore { field, from } => idx.sstores_of[from.index()].push(field),
+                    Instr::Throw { var } => idx.thrown[var.index()] = true,
+                    // SLoad fires on reachability, handled by the solver.
+                    Instr::Alloc { .. } | Instr::SCall { .. } | Instr::SLoad { .. } => {}
+                }
+            }
+        }
+        // Deduplicate (a method may contain textually repeated instructions).
+        fn dedup<T: Ord>(lists: &mut [Vec<T>]) {
+            for list in lists {
+                list.sort_unstable();
+                list.dedup();
+            }
+        }
+        dedup(&mut idx.assigns);
+        dedup(&mut idx.loads_on);
+        dedup(&mut idx.stores_on);
+        dedup(&mut idx.stores_of);
+        dedup(&mut idx.sstores_of);
+        dedup(&mut idx.vcalls_on);
+        idx
+    }
+}
+
+type Vpt = (u32, u32, u32, u32); // (var, ctx, heap, hctx)
+
+/// A pending load destination: `(to, ctx, baseVar)`.
+type LoadWitness = (u32, u32, u32);
+
+/// Converts a raw tuple to the public form.
+fn to_tuple((var, ctx, heap, hctx): Vpt) -> CtxVarPointsTo {
+    CtxVarPointsTo {
+        var: VarId::from_raw(var),
+        ctx: CtxId::from_raw(ctx),
+        heap: HeapId::from_raw(heap),
+        hctx: HCtxId::from_raw(hctx),
+    }
+}
+
+/// How a `VarPointsTo` tuple was first derived (recorded only under
+/// `SolverConfig::track_provenance`). Mirrors `results::Derivation` with
+/// raw IDs.
+#[derive(Debug, Clone, Copy)]
+enum Reason {
+    /// The allocation rule.
+    Alloc,
+    /// A `Move`/`Cast` from a source tuple.
+    Assign(Vpt),
+    /// An `InterProcAssign` edge from a source tuple.
+    InterProc(Vpt),
+    /// A `Load` through a base tuple's field.
+    Load { base: Vpt, field: u32 },
+    /// The receiver (`this`) binding at a virtual call site.
+    ThisBinding { invo: u32 },
+    /// A static-field load.
+    StaticLoad { field: u32 },
+    /// Bound by a catch clause.
+    Caught,
+}
+
+struct Solver<'a, P: ContextPolicy> {
+    program: &'a Program,
+    policy: &'a P,
+    config: SolverConfig,
+    index: StaticIndex,
+    ctxs: CtxInterner,
+    hctxs: HCtxInterner,
+
+    /// All `VarPointsTo(var, ctx, heap, hctx)` tuples.
+    vpt_set: FxHashSet<Vpt>,
+    /// `(var, ctx) -> [(heap, hctx)]` — the join index for loads, stores and
+    /// inter-procedural propagation.
+    pts: FxHashMap<(u32, u32), Vec<(u32, u32)>>,
+    /// All `FldPointsTo(baseH, baseHCtx, fld, heap, hctx)` tuples.
+    fld_set: FxHashSet<(u32, u32, u32, u32, u32)>,
+    /// `(baseH, baseHCtx, fld) -> [(heap, hctx)]`.
+    fld_pts: FxHashMap<(u32, u32, u32), Vec<(u32, u32)>>,
+    /// `(baseH, baseHCtx, fld) -> [(to, ctx, baseVar)]` — load destinations
+    /// waiting for new field facts (the base variable is kept for
+    /// provenance).
+    load_witness: FxHashMap<(u32, u32, u32), Vec<LoadWitness>>,
+    /// `InterProcAssign`: `(from, fromCtx) -> [(to, toCtx)]`.
+    ipa: FxHashMap<(u32, u32), Vec<(u32, u32)>>,
+    ipa_set: FxHashSet<(u32, u32, u32, u32)>,
+    /// `CallGraph(invo, callerCtx, meth, calleeCtx)`.
+    call_graph: FxHashSet<(u32, u32, u32, u32)>,
+    /// Context-insensitive call-graph projection.
+    cg_insens: FxHashSet<(InvoId, MethodId)>,
+    /// `Reachable(meth, ctx)`.
+    reachable: FxHashSet<(u32, u32)>,
+
+    vpt_queue: VecDeque<Vpt>,
+    reach_queue: VecDeque<(u32, u32)>,
+
+    /// First derivation of each tuple (provenance mode only).
+    provenance: FxHashMap<Vpt, Reason>,
+    /// For each `FldPointsTo` tuple, the value tuple that was stored
+    /// (provenance mode only).
+    fld_provenance: FxHashMap<(u32, u32, u32, u32, u32), Vpt>,
+
+    /// `StaticFldPointsTo(fld, heap, hctx)` — static fields are global,
+    /// context-insensitive cells (paper §2.1).
+    static_fld_set: FxHashSet<(u32, u32, u32)>,
+    /// `fld -> [(heap, hctx)]`.
+    static_fld: FxHashMap<u32, Vec<(u32, u32)>>,
+    /// `fld -> [(to, ctx)]` — static-load destinations.
+    static_witness: FxHashMap<u32, Vec<(u32, u32)>>,
+    /// For each static-field tuple, the stored value tuple (provenance).
+    static_fld_provenance: FxHashMap<(u32, u32, u32), Vpt>,
+
+    /// `ThrowPointsTo(meth, ctx, heap, hctx)` — exceptions escaping a
+    /// method under a context.
+    throw_set: FxHashSet<(u32, u32, u32, u32)>,
+    /// `(meth, ctx) -> [(heap, hctx)]`.
+    throw_pts: FxHashMap<(u32, u32), Vec<(u32, u32)>>,
+    /// `(callee, calleeCtx) -> [(callerMeth, callerCtx)]` — who to notify
+    /// when an exception escapes the callee.
+    throw_listeners: FxHashMap<(u32, u32), Vec<(u32, u32)>>,
+    throw_listener_set: FxHashSet<(u32, u32, u32, u32)>,
+}
+
+impl<'a, P: ContextPolicy> Solver<'a, P> {
+    fn new(program: &'a Program, policy: &'a P, config: SolverConfig) -> Solver<'a, P> {
+        Solver {
+            program,
+            policy,
+            config,
+            index: StaticIndex::build(program),
+            ctxs: CtxInterner::new(),
+            hctxs: HCtxInterner::new(),
+            vpt_set: FxHashSet::default(),
+            pts: FxHashMap::default(),
+            fld_set: FxHashSet::default(),
+            fld_pts: FxHashMap::default(),
+            load_witness: FxHashMap::default(),
+            ipa: FxHashMap::default(),
+            ipa_set: FxHashSet::default(),
+            call_graph: FxHashSet::default(),
+            cg_insens: FxHashSet::default(),
+            reachable: FxHashSet::default(),
+            vpt_queue: VecDeque::new(),
+            reach_queue: VecDeque::new(),
+            provenance: FxHashMap::default(),
+            fld_provenance: FxHashMap::default(),
+            static_fld_set: FxHashSet::default(),
+            static_fld: FxHashMap::default(),
+            static_witness: FxHashMap::default(),
+            static_fld_provenance: FxHashMap::default(),
+            throw_set: FxHashSet::default(),
+            throw_pts: FxHashMap::default(),
+            throw_listeners: FxHashMap::default(),
+            throw_listener_set: FxHashSet::default(),
+        }
+    }
+
+    fn solve(mut self) -> PointsToResult {
+        // Entry points are reachable under the initial context.
+        for &entry in self.program.entry_points() {
+            self.mark_reachable(entry.raw(), CtxId::INITIAL.raw());
+        }
+        // Drain both worklists to fixpoint. Reachability events are
+        // processed eagerly because they seed allocations and static calls.
+        loop {
+            if let Some((m, ctx)) = self.reach_queue.pop_front() {
+                self.process_reachable(m, ctx);
+                continue;
+            }
+            if let Some(t) = self.vpt_queue.pop_front() {
+                self.process_vpt(t);
+                continue;
+            }
+            break;
+        }
+        self.into_result()
+    }
+
+    // ----- tuple insertion -------------------------------------------------
+
+    /// Inserts a `VarPointsTo` tuple; enqueues it if new.
+    fn insert_vpt(&mut self, var: u32, ctx: u32, heap: u32, hctx: u32, reason: Reason) {
+        let t = (var, ctx, heap, hctx);
+        if self.vpt_set.insert(t) {
+            self.pts.entry((var, ctx)).or_default().push((heap, hctx));
+            self.vpt_queue.push_back(t);
+            if self.config.track_provenance {
+                self.provenance.insert(t, reason);
+            }
+        }
+    }
+
+    /// Inserts a `FldPointsTo` tuple; wakes pending load witnesses if new.
+    /// `value` is the tuple that was stored (for provenance).
+    fn insert_fld(&mut self, bh: u32, bhc: u32, fld: u32, heap: u32, hctx: u32, value: Vpt) {
+        if self.fld_set.insert((bh, bhc, fld, heap, hctx)) {
+            self.fld_pts
+                .entry((bh, bhc, fld))
+                .or_default()
+                .push((heap, hctx));
+            if self.config.track_provenance {
+                self.fld_provenance
+                    .insert((bh, bhc, fld, heap, hctx), value);
+            }
+            if let Some(witnesses) = self.load_witness.get(&(bh, bhc, fld)) {
+                let witnesses = witnesses.clone();
+                for (to, ctx, base_var) in witnesses {
+                    self.insert_vpt(
+                        to,
+                        ctx,
+                        heap,
+                        hctx,
+                        Reason::Load {
+                            base: (base_var, ctx, bh, bhc),
+                            field: fld,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Inserts a `StaticFldPointsTo` tuple; wakes pending static-load
+    /// witnesses if new. `value` is the stored tuple (for provenance).
+    fn insert_static_fld(&mut self, fld: u32, heap: u32, hctx: u32, value: Vpt) {
+        if self.static_fld_set.insert((fld, heap, hctx)) {
+            self.static_fld.entry(fld).or_default().push((heap, hctx));
+            if self.config.track_provenance {
+                self.static_fld_provenance.insert((fld, heap, hctx), value);
+            }
+            if let Some(witnesses) = self.static_witness.get(&fld) {
+                let witnesses = witnesses.clone();
+                for (to, ctx) in witnesses {
+                    self.insert_vpt(to, ctx, heap, hctx, Reason::StaticLoad { field: fld });
+                }
+            }
+        }
+    }
+
+    /// Marks `(meth, ctx)` reachable; enqueues its body processing if new.
+    fn mark_reachable(&mut self, meth: u32, ctx: u32) {
+        if self.reachable.insert((meth, ctx)) {
+            self.reach_queue.push_back((meth, ctx));
+        }
+    }
+
+    /// Installs a call-graph edge with its parameter/return
+    /// `InterProcAssign` edges (first two rules of Figure 2) and marks the
+    /// callee reachable.
+    fn add_call_edge(&mut self, invo: InvoId, caller_ctx: u32, callee: MethodId, callee_ctx: u32) {
+        if !self
+            .call_graph
+            .insert((invo.raw(), caller_ctx, callee.raw(), callee_ctx))
+        {
+            return;
+        }
+        self.cg_insens.insert((invo, callee));
+        self.mark_reachable(callee.raw(), callee_ctx);
+        let formals = self.program.formals(callee);
+        let actuals = self.program.actual_args(invo);
+        for (&formal, &actual) in formals.iter().zip(actuals.iter()) {
+            self.add_ipa_edge(actual.raw(), caller_ctx, formal.raw(), callee_ctx);
+        }
+        if let (Some(fret), Some(aret)) = (
+            self.program.formal_return(callee),
+            self.program.actual_return(invo),
+        ) {
+            self.add_ipa_edge(fret.raw(), callee_ctx, aret.raw(), caller_ctx);
+        }
+
+        // Exceptions escaping the callee propagate to the caller.
+        let caller_meth = self.program.invo_method(invo).raw();
+        if self
+            .throw_listener_set
+            .insert((callee.raw(), callee_ctx, caller_meth, caller_ctx))
+        {
+            self.throw_listeners
+                .entry((callee.raw(), callee_ctx))
+                .or_default()
+                .push((caller_meth, caller_ctx));
+            if let Some(existing) = self.throw_pts.get(&(callee.raw(), callee_ctx)) {
+                let existing = existing.clone();
+                for (h, hc) in existing {
+                    self.handle_incoming_exception(caller_meth, caller_ctx, h, hc);
+                }
+            }
+        }
+    }
+
+    /// An exception `(heap, hctx)` has arrived at `(meth, ctx)` — from the
+    /// method's own `throw` or from a callee. Any matching catch clause
+    /// binds it; if none matches it escapes to `ThrowPointsTo` and
+    /// propagates to registered callers.
+    fn handle_incoming_exception(&mut self, meth: u32, ctx: u32, heap: u32, hctx: u32) {
+        let meth_id = MethodId::from_raw(meth);
+        let heap_ty = self.program.heap_type(HeapId::from_raw(heap));
+        let mut caught = false;
+        for i in 0..self.program.catches(meth_id).len() {
+            let (ty, binder) = self.program.catches(meth_id)[i];
+            if self.program.is_subtype(heap_ty, ty) {
+                self.insert_vpt(binder.raw(), ctx, heap, hctx, Reason::Caught);
+                caught = true;
+            }
+        }
+        if !caught && self.throw_set.insert((meth, ctx, heap, hctx)) {
+            self.throw_pts
+                .entry((meth, ctx))
+                .or_default()
+                .push((heap, hctx));
+            if let Some(listeners) = self.throw_listeners.get(&(meth, ctx)) {
+                let listeners = listeners.clone();
+                for (caller, caller_ctx) in listeners {
+                    self.handle_incoming_exception(caller, caller_ctx, heap, hctx);
+                }
+            }
+        }
+    }
+
+    /// Installs an `InterProcAssign` edge and propagates existing facts
+    /// across it.
+    fn add_ipa_edge(&mut self, from: u32, from_ctx: u32, to: u32, to_ctx: u32) {
+        if !self.ipa_set.insert((from, from_ctx, to, to_ctx)) {
+            return;
+        }
+        self.ipa
+            .entry((from, from_ctx))
+            .or_default()
+            .push((to, to_ctx));
+        if let Some(existing) = self.pts.get(&(from, from_ctx)) {
+            let existing = existing.clone();
+            for (heap, hctx) in existing {
+                self.insert_vpt(
+                    to,
+                    to_ctx,
+                    heap,
+                    hctx,
+                    Reason::InterProc((from, from_ctx, heap, hctx)),
+                );
+            }
+        }
+    }
+
+    // ----- rule firing ------------------------------------------------------
+
+    /// Fires the allocation and static-call rules for a newly reachable
+    /// `(meth, ctx)` pair.
+    fn process_reachable(&mut self, meth: u32, ctx: u32) {
+        let meth_id = MethodId::from_raw(meth);
+        let ctx_val = self.ctxs.resolve(CtxId::from_raw(ctx));
+        for instr in self.program.instrs(meth_id) {
+            match *instr {
+                Instr::Alloc { var, heap } => {
+                    // VarPointsTo(var, ctx, heap, Record(heap, ctx)).
+                    let elem = self.policy.record(heap, ctx_val, self.program);
+                    let hctx = self.hctxs.intern(elem);
+                    self.insert_vpt(var.raw(), ctx, heap.raw(), hctx.raw(), Reason::Alloc);
+                }
+                Instr::SCall { target, invo } => {
+                    // CallGraph(invo, ctx, target, MergeStatic(invo, ctx)).
+                    let callee_ctx_val = self.policy.merge_static(invo, ctx_val, self.program);
+                    let callee_ctx = self.ctxs.intern(callee_ctx_val);
+                    self.add_call_edge(invo, ctx, target, callee_ctx.raw());
+                }
+                Instr::SLoad { to, field } => {
+                    // Static loads fire once the enclosing (method, ctx) is
+                    // reachable: register a witness and pull current facts.
+                    let fld = field.raw();
+                    self.static_witness
+                        .entry(fld)
+                        .or_default()
+                        .push((to.raw(), ctx));
+                    if let Some(vals) = self.static_fld.get(&fld) {
+                        let vals = vals.clone();
+                        for (h, hc) in vals {
+                            self.insert_vpt(
+                                to.raw(),
+                                ctx,
+                                h,
+                                hc,
+                                Reason::StaticLoad { field: fld },
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Fires every rule that joins on a new `VarPointsTo` tuple.
+    fn process_vpt(&mut self, (var, ctx, heap, hctx): Vpt) {
+        let heap_id = HeapId::from_raw(heap);
+        let heap_ty = self.program.heap_type(heap_id);
+
+        // Move / Cast: VarPointsTo(to, ctx, heap, hctx) <- Move(to, var).
+        // Casts filter by subtyping (Doop's AssignCast).
+        for i in 0..self.index.assigns[var as usize].len() {
+            let (to, filter) = self.index.assigns[var as usize][i];
+            let pass = match filter {
+                None => true,
+                Some(ty) => self.program.is_subtype(heap_ty, ty),
+            };
+            if pass {
+                self.insert_vpt(
+                    to.raw(),
+                    ctx,
+                    heap,
+                    hctx,
+                    Reason::Assign((var, ctx, heap, hctx)),
+                );
+            }
+        }
+
+        // InterProcAssign propagation.
+        if let Some(targets) = self.ipa.get(&(var, ctx)) {
+            let targets = targets.clone();
+            for (to, to_ctx) in targets {
+                self.insert_vpt(
+                    to,
+                    to_ctx,
+                    heap,
+                    hctx,
+                    Reason::InterProc((var, ctx, heap, hctx)),
+                );
+            }
+        }
+
+        // Loads where `var` is the base: register a witness and pull
+        // existing field facts.
+        for i in 0..self.index.loads_on[var as usize].len() {
+            let (to, field) = self.index.loads_on[var as usize][i];
+            let key = (heap, hctx, field.raw());
+            self.load_witness
+                .entry(key)
+                .or_default()
+                .push((to.raw(), ctx, var));
+            if let Some(vals) = self.fld_pts.get(&key) {
+                let vals = vals.clone();
+                for (h2, hc2) in vals {
+                    self.insert_vpt(
+                        to.raw(),
+                        ctx,
+                        h2,
+                        hc2,
+                        Reason::Load {
+                            base: (var, ctx, heap, hctx),
+                            field: field.raw(),
+                        },
+                    );
+                }
+            }
+        }
+
+        // Stores where `var` is the base: FldPointsTo(heap, hctx, fld, *pts(from, ctx)).
+        for i in 0..self.index.stores_on[var as usize].len() {
+            let (field, from) = self.index.stores_on[var as usize][i];
+            if let Some(vals) = self.pts.get(&(from.raw(), ctx)) {
+                let vals = vals.clone();
+                for (h2, hc2) in vals {
+                    self.insert_fld(heap, hctx, field.raw(), h2, hc2, (from.raw(), ctx, h2, hc2));
+                }
+            }
+        }
+
+        // Stores where `var` is the source: FldPointsTo(*pts(base, ctx), fld, heap, hctx).
+        for i in 0..self.index.stores_of[var as usize].len() {
+            let (base, field) = self.index.stores_of[var as usize][i];
+            if let Some(bases) = self.pts.get(&(base.raw(), ctx)) {
+                let bases = bases.clone();
+                for (bh, bhc) in bases {
+                    self.insert_fld(bh, bhc, field.raw(), heap, hctx, (var, ctx, heap, hctx));
+                }
+            }
+        }
+
+        // Throws of `var`: the exception arrives at the enclosing method.
+        if self.index.thrown[var as usize] {
+            let meth = self.program.var_method(VarId::from_raw(var)).raw();
+            self.handle_incoming_exception(meth, ctx, heap, hctx);
+        }
+
+        // Static-field stores where `var` is the source.
+        for i in 0..self.index.sstores_of[var as usize].len() {
+            let field = self.index.sstores_of[var as usize][i];
+            self.insert_static_fld(field.raw(), heap, hctx, (var, ctx, heap, hctx));
+        }
+
+        // Virtual calls where `var` is the receiver: dispatch, Merge, and
+        // derive CallGraph + this-points-to + Reachable.
+        for i in 0..self.index.vcalls_on[var as usize].len() {
+            let (sig, invo) = self.index.vcalls_on[var as usize][i];
+            if let Some(callee) = self.program.lookup(heap_ty, sig) {
+                let ctx_val = self.ctxs.resolve(CtxId::from_raw(ctx));
+                let hctx_val = self.hctxs.resolve(HCtxId::from_raw(hctx));
+                let callee_ctx_val =
+                    self.policy
+                        .merge(heap_id, hctx_val, invo, ctx_val, self.program);
+                let callee_ctx = self.ctxs.intern(callee_ctx_val);
+                self.add_call_edge(invo, ctx, callee, callee_ctx.raw());
+                if let Some(this) = self.program.this_var(callee) {
+                    // VarPointsTo(this, calleeCtx, heap, hctx) — per
+                    // receiver tuple, even when the call-graph edge existed.
+                    self.insert_vpt(
+                        this.raw(),
+                        callee_ctx.raw(),
+                        heap,
+                        hctx,
+                        Reason::ThisBinding { invo: invo.raw() },
+                    );
+                }
+            }
+        }
+    }
+
+    // ----- result construction ----------------------------------------------
+
+    fn into_result(self) -> PointsToResult {
+        let mut var_points_to: FxHashMap<VarId, Vec<HeapId>> = FxHashMap::default();
+        {
+            let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+            for &(var, _ctx, heap, _hctx) in &self.vpt_set {
+                if seen.insert((var, heap)) {
+                    var_points_to
+                        .entry(VarId::from_raw(var))
+                        .or_default()
+                        .push(HeapId::from_raw(heap));
+                }
+            }
+        }
+        for v in var_points_to.values_mut() {
+            v.sort_unstable();
+        }
+
+        let mut call_targets: FxHashMap<InvoId, Vec<MethodId>> = FxHashMap::default();
+        for &(invo, meth) in &self.cg_insens {
+            call_targets.entry(invo).or_default().push(meth);
+        }
+        for v in call_targets.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        let mut reachable: FxHashSet<MethodId> = FxHashSet::default();
+        for &(m, _ctx) in &self.reachable {
+            reachable.insert(MethodId::from_raw(m));
+        }
+
+        let tuples = if self.config.keep_tuples {
+            Some(
+                self.vpt_set
+                    .iter()
+                    .map(|&(var, ctx, heap, hctx)| CtxVarPointsTo {
+                        var: VarId::from_raw(var),
+                        ctx: CtxId::from_raw(ctx),
+                        heap: HeapId::from_raw(heap),
+                        hctx: HCtxId::from_raw(hctx),
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        let provenance = if self.config.track_provenance {
+            Some(
+                self.provenance
+                    .into_iter()
+                    .map(|(t, r)| {
+                        let d = match r {
+                            Reason::Alloc => Derivation::Alloc,
+                            Reason::Assign(src) => Derivation::Assign {
+                                from: to_tuple(src),
+                            },
+                            Reason::InterProc(src) => Derivation::InterProc {
+                                from: to_tuple(src),
+                            },
+                            Reason::Load { base, field } => Derivation::Load {
+                                base: to_tuple(base),
+                                field: FieldId::from_raw(field),
+                            },
+                            Reason::ThisBinding { invo } => Derivation::ThisBinding {
+                                invo: InvoId::from_raw(invo),
+                            },
+                            Reason::StaticLoad { field } => Derivation::StaticLoad {
+                                field: FieldId::from_raw(field),
+                            },
+                            Reason::Caught => Derivation::Caught,
+                        };
+                        (to_tuple(t), d)
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let mut uncaught: Vec<HeapId> = {
+            let entries: FxHashSet<u32> = self
+                .program
+                .entry_points()
+                .iter()
+                .map(|m| m.raw())
+                .collect();
+            let mut set: FxHashSet<HeapId> = FxHashSet::default();
+            for &(m, _ctx, h, _hc) in &self.throw_set {
+                if entries.contains(&m) {
+                    set.insert(HeapId::from_raw(h));
+                }
+            }
+            set.into_iter().collect()
+        };
+        uncaught.sort_unstable();
+
+        let static_fld_provenance = if self.config.track_provenance {
+            Some(
+                self.static_fld_provenance
+                    .into_iter()
+                    .map(|((fld, h, hc), v)| {
+                        (
+                            (
+                                FieldId::from_raw(fld),
+                                HeapId::from_raw(h),
+                                HCtxId::from_raw(hc),
+                            ),
+                            to_tuple(v),
+                        )
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let fld_provenance = if self.config.track_provenance {
+            Some(
+                self.fld_provenance
+                    .into_iter()
+                    .map(|((bh, bhc, fld, h, hc), v)| {
+                        (
+                            (
+                                HeapId::from_raw(bh),
+                                HCtxId::from_raw(bhc),
+                                FieldId::from_raw(fld),
+                                HeapId::from_raw(h),
+                                HCtxId::from_raw(hc),
+                            ),
+                            to_tuple(v),
+                        )
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        PointsToResult {
+            var_points_to,
+            call_graph_edges: self.cg_insens.len(),
+            call_targets,
+            reachable,
+            ctx_vpt_count: self.vpt_set.len() as u64,
+            ctx_call_graph_edges: self.call_graph.len() as u64,
+            ctx_reachable_count: self.reachable.len() as u64,
+            ctx_count: self.ctxs.len(),
+            hctx_count: self.hctxs.len(),
+            tuples,
+            provenance,
+            fld_provenance,
+            static_fld_provenance,
+            uncaught,
+            ctx_interner: self.ctxs,
+            hctx_interner: self.hctxs,
+        }
+    }
+}

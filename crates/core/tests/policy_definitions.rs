@@ -1,0 +1,309 @@
+//! Exhaustive check of every analysis's constructor functions against the
+//! paper's definition tables (§2.2 standard analyses, §3.1 uniform
+//! hybrids, §3.2 selective hybrids), evaluated on symbolic inputs.
+//!
+//! The inputs are a generic calling context `(c0, c1, c2)`, a generic heap
+//! context `(g0, g1)`, a fresh allocation site `heap` and invocation site
+//! `invo` — all distinct, so any misplaced or dropped element is caught.
+
+use pta_core::{Analysis, ContextPolicy, Ctx, CtxElem, HeapCtx};
+use pta_ir::{HeapId, InvoId, Program, ProgramBuilder, TypeId};
+
+/// A program with one allocation so `CA(heap)` is meaningful: the heap is
+/// allocated inside class `Owner`.
+fn fixture() -> (Program, HeapId, TypeId) {
+    let mut b = ProgramBuilder::new();
+    let object = b.class("Object", None);
+    let owner = b.class("Owner", Some(object));
+    let allocated = b.class("Product", Some(object));
+    let m = b.method(owner, "make", &[], true);
+    let v = b.var(m, "v");
+    let h = b.alloc(m, v, allocated, "the site");
+    let main = b.method(owner, "main", &[], true);
+    b.entry_point(main);
+    (b.finish().unwrap(), h, owner)
+}
+
+struct Sym {
+    c: [CtxElem; 3],
+    g: [CtxElem; 2],
+    heap: HeapId,
+    heap_elem: CtxElem,
+    ca_elem: CtxElem,
+    invo: InvoId,
+    invo_elem: CtxElem,
+    star: CtxElem,
+}
+
+fn symbols(h: HeapId, owner: TypeId) -> Sym {
+    // Distinct heap IDs for the context slots so positions are traceable.
+    let c = [
+        CtxElem::heap(HeapId::from_raw(101)),
+        CtxElem::heap(HeapId::from_raw(102)),
+        CtxElem::heap(HeapId::from_raw(103)),
+    ];
+    let g = [
+        CtxElem::heap(HeapId::from_raw(201)),
+        CtxElem::heap(HeapId::from_raw(202)),
+    ];
+    let invo = InvoId::from_raw(77);
+    Sym {
+        c,
+        g,
+        heap: h,
+        heap_elem: CtxElem::heap(h),
+        ca_elem: CtxElem::ty(owner),
+        invo,
+        invo_elem: CtxElem::invo(invo),
+        star: CtxElem::STAR,
+    }
+}
+
+fn check(
+    analysis: Analysis,
+    program: &Program,
+    s: &Sym,
+    record: HeapCtx,
+    merge: Ctx,
+    merge_static: Ctx,
+) {
+    assert_eq!(
+        analysis.record(s.heap, s.c, program),
+        record,
+        "{analysis}: Record definition"
+    );
+    assert_eq!(
+        analysis.merge(s.heap, s.g, s.invo, s.c, program),
+        merge,
+        "{analysis}: Merge definition"
+    );
+    assert_eq!(
+        analysis.merge_static(s.invo, s.c, program),
+        merge_static,
+        "{analysis}: MergeStatic definition"
+    );
+}
+
+#[test]
+fn every_constructor_matches_the_papers_table() {
+    let (p, h, owner) = fixture();
+    let s = symbols(h, owner);
+    let (c, g) = (s.c, s.g);
+    let star = s.star;
+
+    // §2.2 insens: everything collapses.
+    check(Analysis::Insens, &p, &s, [star; 2], [star; 3], [star; 3]);
+
+    // §2.2 1call: Record = *, Merge = MergeStatic = invo.
+    check(
+        Analysis::OneCall,
+        &p,
+        &s,
+        [star; 2],
+        [s.invo_elem, star, star],
+        [s.invo_elem, star, star],
+    );
+
+    // §2.2 1call+H: Record = ctx.
+    check(
+        Analysis::OneCallH,
+        &p,
+        &s,
+        [c[0], star],
+        [s.invo_elem, star, star],
+        [s.invo_elem, star, star],
+    );
+
+    // 2call+H ablation: Merge = MergeStatic = pair(invo, first(ctx)),
+    // Record = first(ctx).
+    check(
+        Analysis::TwoCallH,
+        &p,
+        &s,
+        [c[0], star],
+        [s.invo_elem, c[0], star],
+        [s.invo_elem, c[0], star],
+    );
+
+    // §2.2 1obj: Record = *, Merge = heap, MergeStatic = ctx.
+    check(
+        Analysis::OneObj,
+        &p,
+        &s,
+        [star; 2],
+        [s.heap_elem, star, star],
+        c,
+    );
+
+    // §3.1 U-1obj: Merge = pair(heap, invo),
+    // MergeStatic = pair(first(ctx), invo).
+    check(
+        Analysis::UOneObj,
+        &p,
+        &s,
+        [star; 2],
+        [s.heap_elem, s.invo_elem, star],
+        [c[0], s.invo_elem, star],
+    );
+
+    // §3.2 SA-1obj: Merge = heap, MergeStatic = invo.
+    check(
+        Analysis::SAOneObj,
+        &p,
+        &s,
+        [star; 2],
+        [s.heap_elem, star, star],
+        [s.invo_elem, star, star],
+    );
+
+    // §3.2 SB-1obj: Merge = pair(heap, *),
+    // MergeStatic = pair(first(ctx), invo).
+    check(
+        Analysis::SBOneObj,
+        &p,
+        &s,
+        [star; 2],
+        [s.heap_elem, star, star],
+        [c[0], s.invo_elem, star],
+    );
+
+    // §2.2 2obj+H: Record = first(ctx), Merge = pair(heap, hctx),
+    // MergeStatic = ctx.
+    check(
+        Analysis::TwoObjH,
+        &p,
+        &s,
+        [c[0], star],
+        [s.heap_elem, g[0], star],
+        c,
+    );
+
+    // §3.1 U-2obj+H: Merge = triple(heap, hctx, invo),
+    // MergeStatic = triple(first, second, invo).
+    check(
+        Analysis::UTwoObjH,
+        &p,
+        &s,
+        [c[0], star],
+        [s.heap_elem, g[0], s.invo_elem],
+        [c[0], c[1], s.invo_elem],
+    );
+
+    // §3.2 S-2obj+H: Merge = triple(heap, hctx, *),
+    // MergeStatic = triple(first, invo, second).
+    check(
+        Analysis::STwoObjH,
+        &p,
+        &s,
+        [c[0], star],
+        [s.heap_elem, g[0], star],
+        [c[0], s.invo_elem, c[1]],
+    );
+
+    // §2.2 2type+H: as 2obj+H with CA(heap).
+    check(
+        Analysis::TwoTypeH,
+        &p,
+        &s,
+        [c[0], star],
+        [s.ca_elem, g[0], star],
+        c,
+    );
+
+    // §3.1 U-2type+H.
+    check(
+        Analysis::UTwoTypeH,
+        &p,
+        &s,
+        [c[0], star],
+        [s.ca_elem, g[0], s.invo_elem],
+        [c[0], c[1], s.invo_elem],
+    );
+
+    // §3.2 S-2type+H.
+    check(
+        Analysis::STwoTypeH,
+        &p,
+        &s,
+        [c[0], star],
+        [s.ca_elem, g[0], star],
+        [c[0], s.invo_elem, c[1]],
+    );
+
+    // Extensions (§6 deeper contexts).
+    check(
+        Analysis::TwoObj2H,
+        &p,
+        &s,
+        [c[0], c[1]],
+        [s.heap_elem, g[0], star],
+        c,
+    );
+    check(
+        Analysis::ThreeObj2H,
+        &p,
+        &s,
+        [c[0], c[1]],
+        [s.heap_elem, g[0], g[1]],
+        c,
+    );
+    check(
+        Analysis::SThreeObj2H,
+        &p,
+        &s,
+        [c[0], c[1]],
+        [s.heap_elem, g[0], g[1]],
+        [c[0], s.invo_elem, c[1]],
+    );
+}
+
+/// §3.1: "the REC0RD function produces the same heap context as 2obj+H on
+/// an object's allocation" — the uniform and selective 2obj hybrids share
+/// 2obj+H's Record exactly (and likewise for the 2type family).
+#[test]
+fn hybrids_share_their_bases_record() {
+    let (p, h, owner) = fixture();
+    let s = symbols(h, owner);
+    for (hybrid, base) in [
+        (Analysis::UTwoObjH, Analysis::TwoObjH),
+        (Analysis::STwoObjH, Analysis::TwoObjH),
+        (Analysis::UTwoTypeH, Analysis::TwoTypeH),
+        (Analysis::STwoTypeH, Analysis::TwoTypeH),
+    ] {
+        assert_eq!(
+            hybrid.record(s.heap, s.c, &p),
+            base.record(s.heap, s.c, &p),
+            "{hybrid} must keep {base}'s heap context"
+        );
+    }
+}
+
+/// Selective hybrids differ from their bases *only* in MergeStatic
+/// (§3.2's definitions): Record and Merge coincide (modulo SA/SB, whose
+/// Merge is also the base's).
+#[test]
+fn selective_hybrids_only_change_merge_static() {
+    let (p, h, owner) = fixture();
+    let s = symbols(h, owner);
+    for (selective, base) in [
+        (Analysis::SAOneObj, Analysis::OneObj),
+        (Analysis::STwoObjH, Analysis::TwoObjH),
+        (Analysis::STwoTypeH, Analysis::TwoTypeH),
+        (Analysis::SThreeObj2H, Analysis::ThreeObj2H),
+    ] {
+        assert_eq!(
+            selective.record(s.heap, s.c, &p),
+            base.record(s.heap, s.c, &p)
+        );
+        assert_eq!(
+            selective.merge(s.heap, s.g, s.invo, s.c, &p),
+            base.merge(s.heap, s.g, s.invo, s.c, &p),
+            "{selective}: virtual-call context must match {base}"
+        );
+        assert_ne!(
+            selective.merge_static(s.invo, s.c, &p),
+            base.merge_static(s.invo, s.c, &p),
+            "{selective}: static-call context must differ from {base}"
+        );
+    }
+}

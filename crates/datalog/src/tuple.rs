@@ -1,0 +1,177 @@
+//! Fixed-capacity tuples ("rows") of `u32` values.
+//!
+//! Every Datalog fact is a row of at most [`MAX_ARITY`] interned IDs. Rows
+//! are inline, `Copy`, and hashable, so relations and indices never allocate
+//! per fact.
+
+use std::fmt;
+
+/// Maximum relation arity supported by the engine.
+///
+/// The widest relation in the points-to analysis is `FldPointsTo` with five
+/// columns; six leaves headroom for clients.
+pub const MAX_ARITY: usize = 6;
+
+/// A tuple of up to [`MAX_ARITY`] `u32` values.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Row {
+    data: [u32; MAX_ARITY],
+    len: u8,
+}
+
+impl Row {
+    /// Creates a row from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() > MAX_ARITY`.
+    #[inline]
+    pub fn new(values: &[u32]) -> Row {
+        assert!(
+            values.len() <= MAX_ARITY,
+            "row arity {} exceeds max",
+            values.len()
+        );
+        let mut data = [0u32; MAX_ARITY];
+        data[..values.len()].copy_from_slice(values);
+        Row {
+            data,
+            len: values.len() as u8,
+        }
+    }
+
+    /// An empty row (arity 0), useful as an index key when no columns are
+    /// bound.
+    #[inline]
+    pub fn empty() -> Row {
+        Row {
+            data: [0; MAX_ARITY],
+            len: 0,
+        }
+    }
+
+    /// The arity of this row.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` if the row has no columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The values as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.data[..self.len as usize]
+    }
+
+    /// The value at column `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        assert!(i < self.len as usize, "column {i} out of bounds");
+        self.data[i]
+    }
+
+    /// Appends a value, returning the extended row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is already at [`MAX_ARITY`].
+    #[inline]
+    pub fn push(mut self, value: u32) -> Row {
+        assert!((self.len as usize) < MAX_ARITY, "row overflow");
+        self.data[self.len as usize] = value;
+        self.len += 1;
+        self
+    }
+
+    /// Projects the columns selected by `mask` (bit `i` selects column `i`),
+    /// in ascending column order.
+    #[inline]
+    pub fn project(&self, mask: u8) -> Row {
+        let mut out = Row::empty();
+        for i in 0..self.len() {
+            if mask & (1 << i) != 0 {
+                out = out.push(self.data[i]);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.as_slice().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<&[u32]> for Row {
+    fn from(values: &[u32]) -> Row {
+        Row::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let r = Row::new(&[1, 2, 3]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.as_slice(), &[1, 2, 3]);
+        assert_eq!(r.get(1), 2);
+        assert!(!r.is_empty());
+        assert!(Row::empty().is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_unused_capacity() {
+        let a = Row::new(&[7]);
+        let b = Row::empty().push(7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn project_selects_masked_columns() {
+        let r = Row::new(&[10, 20, 30, 40]);
+        assert_eq!(r.project(0b0101).as_slice(), &[10, 30]);
+        assert_eq!(r.project(0b1111).as_slice(), &[10, 20, 30, 40]);
+        assert_eq!(r.project(0).as_slice(), &[] as &[u32]);
+    }
+
+    #[test]
+    fn debug_format_is_tuple_like() {
+        assert_eq!(format!("{:?}", Row::new(&[1, 2])), "(1, 2)");
+        assert_eq!(format!("{:?}", Row::empty()), "()");
+    }
+
+    #[test]
+    #[should_panic(expected = "row overflow")]
+    fn push_past_capacity_panics() {
+        let mut r = Row::empty();
+        for i in 0..=MAX_ARITY as u32 {
+            r = r.push(i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Row::new(&[1]).get(1);
+    }
+}

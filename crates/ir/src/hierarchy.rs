@@ -1,0 +1,222 @@
+//! Class hierarchy: constant-time subtype tests and virtual dispatch.
+//!
+//! Implements the paper's `LOOKUP(type, sig) = meth` symbol-table function
+//! and the subtype relation used by cast handling. Subtyping over the
+//! single-inheritance class forest is answered in O(1) with an Euler-tour
+//! (pre/post order) interval encoding; dispatch is a per-type table from
+//! signature to the nearest definition walking up the superclass chain —
+//! exactly Java's virtual method resolution.
+
+use crate::hash::FxHashMap;
+use crate::ids::{MethodId, SigId, TypeId};
+use crate::program::{MethodInfo, TypeInfo};
+
+/// Precomputed subtyping and dispatch tables for a program.
+///
+/// Built once by [`crate::ProgramBuilder::finish`]; immutable afterwards.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Euler-tour entry time per type.
+    pre: Vec<u32>,
+    /// Euler-tour exit time per type.
+    post: Vec<u32>,
+    /// Per-type virtual dispatch table: signature -> resolved method.
+    dispatch: Vec<FxHashMap<SigId, MethodId>>,
+    /// Children lists (kept for hierarchy queries and workload tooling).
+    children: Vec<Vec<TypeId>>,
+}
+
+impl Hierarchy {
+    pub(crate) fn build(types: &[TypeInfo], methods: &[MethodInfo]) -> Hierarchy {
+        let n = types.len();
+        let mut children: Vec<Vec<TypeId>> = vec![Vec::new(); n];
+        let mut roots: Vec<TypeId> = Vec::new();
+        for (i, info) in types.iter().enumerate() {
+            let id = TypeId::from_index(i);
+            match info.parent {
+                Some(p) => children[p.index()].push(id),
+                None => roots.push(id),
+            }
+        }
+
+        // Iterative Euler tour over the forest.
+        let mut pre = vec![0u32; n];
+        let mut post = vec![0u32; n];
+        let mut clock = 0u32;
+        // Stack holds (type, next-child-index).
+        let mut stack: Vec<(TypeId, usize)> = Vec::new();
+        for &root in &roots {
+            stack.push((root, 0));
+            pre[root.index()] = clock;
+            clock += 1;
+            while let Some(top) = stack.last_mut() {
+                let ty = top.0;
+                if top.1 < children[ty.index()].len() {
+                    let child = children[ty.index()][top.1];
+                    top.1 += 1;
+                    pre[child.index()] = clock;
+                    clock += 1;
+                    stack.push((child, 0));
+                } else {
+                    post[ty.index()] = clock;
+                    clock += 1;
+                    stack.pop();
+                }
+            }
+        }
+
+        // Declared methods per type (instance methods only participate in
+        // virtual dispatch).
+        let mut declared: Vec<FxHashMap<SigId, MethodId>> = vec![FxHashMap::default(); n];
+        for (i, m) in methods.iter().enumerate() {
+            if !m.is_static {
+                declared[m.declaring.index()].insert(m.sig, MethodId::from_index(i));
+            }
+        }
+
+        // Dispatch tables: inherit the parent's table, then overlay own
+        // declarations. Parents appear before children in a forest-order
+        // traversal we derive from the Euler tour (process types sorted by
+        // pre-order time, so a parent's table is complete first).
+        let mut order: Vec<TypeId> = (0..n).map(TypeId::from_index).collect();
+        order.sort_by_key(|t| pre[t.index()]);
+        let mut dispatch: Vec<FxHashMap<SigId, MethodId>> = vec![FxHashMap::default(); n];
+        for ty in order {
+            let mut table = match types[ty.index()].parent {
+                Some(p) => dispatch[p.index()].clone(),
+                None => FxHashMap::default(),
+            };
+            for (&sig, &m) in &declared[ty.index()] {
+                table.insert(sig, m);
+            }
+            dispatch[ty.index()] = table;
+        }
+
+        Hierarchy {
+            pre,
+            post,
+            dispatch,
+            children,
+        }
+    }
+
+    /// `true` if `sub` is a reflexive–transitive subtype of `sup`.
+    #[inline]
+    pub fn is_subtype(&self, sub: TypeId, sup: TypeId) -> bool {
+        self.pre[sup.index()] <= self.pre[sub.index()]
+            && self.post[sub.index()] <= self.post[sup.index()]
+    }
+
+    /// The paper's `LOOKUP(type, sig)`: the method a virtual call with
+    /// signature `sig` resolves to when the receiver's dynamic type is `ty`.
+    ///
+    /// Returns `None` if no definition exists along the superclass chain
+    /// (an ill-typed call; the analysis simply derives no callee for it).
+    #[inline]
+    pub fn lookup(&self, ty: TypeId, sig: SigId) -> Option<MethodId> {
+        self.dispatch[ty.index()].get(&sig).copied()
+    }
+
+    /// Enumerates the full dispatch table of `ty`: every signature
+    /// resolvable on a receiver of dynamic type `ty`, with the method it
+    /// resolves to. This is the paper's `LOOKUP` relation restricted to one
+    /// type; the Datalog back end materializes it as input facts.
+    pub fn dispatch_entries(&self, ty: TypeId) -> impl Iterator<Item = (SigId, MethodId)> + '_ {
+        self.dispatch[ty.index()].iter().map(|(&s, &m)| (s, m))
+    }
+
+    /// Direct subclasses of `ty`.
+    pub fn children(&self, ty: TypeId) -> &[TypeId] {
+        &self.children[ty.index()]
+    }
+
+    /// All reflexive–transitive subtypes of `ty`, in pre-order.
+    pub fn subtypes(&self, ty: TypeId) -> Vec<TypeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![ty];
+        while let Some(t) = stack.pop() {
+            out.push(t);
+            stack.extend(self.children(t).iter().copied());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn subtype_is_reflexive_and_transitive() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let a = b.class("A", Some(object));
+        let a1 = b.class("A1", Some(a));
+        let a2 = b.class("A2", Some(a));
+        let deep = b.class("Deep", Some(a1));
+        let m = b.method(object, "main", &[], true);
+        b.entry_point(m);
+        let p = b.finish().unwrap();
+
+        for t in [object, a, a1, a2, deep] {
+            assert!(p.is_subtype(t, t), "reflexive at {t:?}");
+            assert!(p.is_subtype(t, object));
+        }
+        assert!(p.is_subtype(deep, a));
+        assert!(p.is_subtype(deep, a1));
+        assert!(!p.is_subtype(deep, a2));
+        assert!(!p.is_subtype(a, a1));
+        assert!(!p.is_subtype(a1, a2));
+        assert!(!p.is_subtype(a2, a1));
+    }
+
+    #[test]
+    fn dispatch_picks_nearest_override() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let a = b.class("A", Some(object));
+        let b1 = b.class("B", Some(a));
+        let c = b.class("C", Some(b1));
+        let m_a = b.method(a, "foo", &["x"], false);
+        let m_b = b.method(b1, "foo", &["x"], false);
+        let main = b.method(object, "main", &[], true);
+        b.entry_point(main);
+        let sig = b.sig("foo", 1);
+        let p = b.finish().unwrap();
+
+        assert_eq!(p.lookup(a, sig), Some(m_a));
+        assert_eq!(p.lookup(b1, sig), Some(m_b));
+        // C inherits B's definition.
+        assert_eq!(p.lookup(c, sig), Some(m_b));
+        // Object has no definition.
+        assert_eq!(p.lookup(object, sig), None);
+    }
+
+    #[test]
+    fn static_methods_do_not_enter_dispatch() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let a = b.class("A", Some(object));
+        let _stat = b.method(a, "util", &[], true);
+        let main = b.method(object, "main", &[], true);
+        b.entry_point(main);
+        let sig = b.sig("util", 0);
+        let p = b.finish().unwrap();
+        assert_eq!(p.lookup(a, sig), None);
+    }
+
+    #[test]
+    fn subtypes_enumerates_subtree() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let a = b.class("A", Some(object));
+        let a1 = b.class("A1", Some(a));
+        let a2 = b.class("A2", Some(a));
+        let main = b.method(object, "main", &[], true);
+        b.entry_point(main);
+        let p = b.finish().unwrap();
+        let mut subs = p.hierarchy().subtypes(a);
+        subs.sort();
+        assert_eq!(subs, vec![a, a1, a2]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Dense, newtyped ID spaces for the analysis domain of Figure 1.
+//!
+//! Every entity the analysis manipulates — variables, allocation sites,
+//! methods, signatures, fields, invocation sites and class types — is
+//! interned into a dense `u32` space. This mirrors Doop's finite-domain
+//! encoding on the LogicBlox engine and is what makes the solvers
+//! allocation-free on their hot paths: facts are tuples of `u32`s.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw `u32` as an ID.
+            #[inline]
+            pub const fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw `u32` behind this ID.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns this ID as a `usize` index into the owning arena.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an ID from an arena index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in a `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                assert!(index <= u32::MAX as usize, "id space overflow");
+                Self(index as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A program variable (`V` in the paper's domain).
+    ///
+    /// Every local variable is declared in exactly one method, so a `VarId`
+    /// implies its enclosing method (`Program::var_method`).
+    VarId,
+    "v"
+);
+
+define_id!(
+    /// A heap abstraction, i.e. an allocation site (`H` in the paper).
+    ///
+    /// The paper "represent\[s\] heap objects as allocation sites throughout";
+    /// a `HeapId` identifies one `new` instruction.
+    HeapId,
+    "h"
+);
+
+define_id!(
+    /// A method (`M` in the paper).
+    MethodId,
+    "m"
+);
+
+define_id!(
+    /// A method signature — name plus type signature (`S` in the paper).
+    ///
+    /// Virtual dispatch resolves a `SigId` against the dynamic type of the
+    /// receiver object via `Lookup` ([`crate::Hierarchy::lookup`]).
+    SigId,
+    "s"
+);
+
+define_id!(
+    /// An instance field (`F` in the paper).
+    FieldId,
+    "f"
+);
+
+define_id!(
+    /// An instruction label used as an invocation site (`I` in the paper).
+    ///
+    /// Call-site-sensitive analyses use these as context elements.
+    InvoId,
+    "i"
+);
+
+define_id!(
+    /// A class type (`T` in the paper).
+    ///
+    /// Type-sensitive analyses use the class *containing an allocation site*
+    /// (the paper's `CA : H -> T` map) as a context element.
+    TypeId,
+    "t"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw() {
+        let v = VarId::from_raw(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(VarId::from_index(42), v);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(VarId::from_raw(3).to_string(), "v3");
+        assert_eq!(HeapId::from_raw(7).to_string(), "h7");
+        assert_eq!(format!("{:?}", MethodId::from_raw(0)), "m0");
+        assert_eq!(TypeId::from_raw(9).to_string(), "t9");
+        assert_eq!(SigId::from_raw(1).to_string(), "s1");
+        assert_eq!(FieldId::from_raw(2).to_string(), "f2");
+        assert_eq!(InvoId::from_raw(4).to_string(), "i4");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(VarId::from_raw(1) < VarId::from_raw(2));
+        assert_eq!(VarId::default(), VarId::from_raw(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "id space overflow")]
+    fn from_index_overflow_panics() {
+        let _ = VarId::from_index(u32::MAX as usize + 1);
+    }
+}

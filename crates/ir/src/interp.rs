@@ -1,0 +1,496 @@
+//! A concrete interpreter for the intermediate language.
+//!
+//! Points-to analysis is sound iff every points-to fact observable in *any*
+//! concrete execution is included in the analysis result. This module
+//! executes programs under the language's dynamic semantics (objects are
+//! concrete instances tagged with their allocation site; virtual calls
+//! dispatch on the receiver's dynamic class; casts throw — here: skip — on
+//! incompatible types) and records the dynamic analogues of the analysis
+//! relations: `(var, allocation-site)` bindings and `(invocation-site,
+//! callee)` call edges.
+//!
+//! The soundness property tests in `pta-core` and the repository-level
+//! integration tests run randomly generated programs through this
+//! interpreter and assert that the dynamic facts are a subset of every
+//! analysis's result.
+//!
+//! Execution is bounded by a step and a recursion budget; any *prefix* of an
+//! execution yields valid dynamic facts, so truncation never invalidates the
+//! subset check.
+
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::ids::{FieldId, HeapId, InvoId, MethodId, VarId};
+use crate::program::{Instr, Program};
+
+/// Budgets for bounded concrete execution.
+#[derive(Debug, Clone, Copy)]
+pub struct InterpConfig {
+    /// Maximum number of instructions executed across the whole run.
+    pub max_steps: usize,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for InterpConfig {
+    fn default() -> InterpConfig {
+        InterpConfig {
+            max_steps: 200_000,
+            max_depth: 128,
+        }
+    }
+}
+
+/// Facts observed during concrete execution.
+#[derive(Debug, Default, Clone)]
+pub struct DynamicFacts {
+    /// Every `(variable, allocation site)` binding that occurred.
+    pub var_points_to: FxHashSet<(VarId, HeapId)>,
+    /// Every `(invocation site, resolved callee)` edge taken.
+    pub call_edges: FxHashSet<(InvoId, MethodId)>,
+    /// Methods that were entered at least once.
+    pub reachable: FxHashSet<MethodId>,
+    /// Cast instructions (identified by `(method, instruction index)`) that
+    /// failed at least once at run time.
+    pub failed_casts: FxHashSet<(MethodId, usize)>,
+    /// Allocation sites of exception objects that escaped the entry points
+    /// uncaught.
+    pub uncaught: FxHashSet<HeapId>,
+    /// `true` if execution exhausted a budget (the facts are then a prefix
+    /// of the full execution, which is still sound to compare against).
+    pub truncated: bool,
+}
+
+/// Outcome of executing one method: normal return or a thrown object.
+enum Flow {
+    Normal(Option<usize>),
+    Thrown(usize),
+}
+
+/// A concrete object: its allocation site plus its field store.
+#[derive(Debug, Default)]
+struct ConcreteObject {
+    site: HeapId,
+    fields: FxHashMap<FieldId, usize>,
+}
+
+/// The interpreter. Create one per program and call [`Interpreter::run`].
+#[derive(Debug)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    config: InterpConfig,
+    heap: Vec<ConcreteObject>,
+    static_fields: FxHashMap<FieldId, usize>,
+    steps: usize,
+    facts: DynamicFacts,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter for `program` with the given budgets.
+    pub fn new(program: &'p Program, config: InterpConfig) -> Interpreter<'p> {
+        Interpreter {
+            program,
+            config,
+            heap: Vec::new(),
+            static_fields: FxHashMap::default(),
+            steps: 0,
+            facts: DynamicFacts::default(),
+        }
+    }
+
+    /// Executes every entry point in order and returns the observed facts.
+    pub fn run(mut self) -> DynamicFacts {
+        for &entry in self.program.entry_points() {
+            self.facts.reachable.insert(entry);
+            if let Flow::Thrown(obj) = self.call(entry, None, &[], 0) {
+                let site = self.heap[obj].site;
+                self.facts.uncaught.insert(site);
+            }
+        }
+        self.facts
+    }
+
+    /// Delivers a thrown object to `meth`'s catch clauses (first match, as
+    /// in Java); returns `true` if caught. The analysis lets *any* matching
+    /// clause catch, so this concrete choice is always covered.
+    fn deliver_catch(
+        &mut self,
+        meth: MethodId,
+        obj: usize,
+        env: &mut FxHashMap<VarId, usize>,
+    ) -> bool {
+        let dynamic = self.program.heap_type(self.heap[obj].site);
+        for i in 0..self.program.catches(meth).len() {
+            let (ty, binder) = self.program.catches(meth)[i];
+            if self.program.is_subtype(dynamic, ty) {
+                env.insert(binder, obj);
+                self.record(binder, obj);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Executes `meth`; returns the value of its return variable or the
+    /// thrown object escaping it.
+    fn call(&mut self, meth: MethodId, this: Option<usize>, args: &[usize], depth: usize) -> Flow {
+        if depth >= self.config.max_depth {
+            self.facts.truncated = true;
+            return Flow::Normal(None);
+        }
+        let mut env: FxHashMap<VarId, usize> = FxHashMap::default();
+        if let (Some(this_var), Some(this_obj)) = (self.program.this_var(meth), this) {
+            env.insert(this_var, this_obj);
+            self.record(this_var, this_obj);
+        }
+        for (&formal, &arg) in self.program.formals(meth).iter().zip(args.iter()) {
+            env.insert(formal, arg);
+            self.record(formal, arg);
+        }
+        let instrs = self.program.instrs(meth);
+        for (idx, instr) in instrs.iter().enumerate() {
+            if self.steps >= self.config.max_steps {
+                self.facts.truncated = true;
+                break;
+            }
+            self.steps += 1;
+            match *instr {
+                Instr::Alloc { var, heap } => {
+                    let obj = self.heap.len();
+                    self.heap.push(ConcreteObject {
+                        site: heap,
+                        fields: FxHashMap::default(),
+                    });
+                    env.insert(var, obj);
+                    self.record(var, obj);
+                }
+                Instr::Move { to, from } => {
+                    if let Some(&obj) = env.get(&from) {
+                        env.insert(to, obj);
+                        self.record(to, obj);
+                    }
+                }
+                Instr::Cast { to, from, ty } => {
+                    if let Some(&obj) = env.get(&from) {
+                        let dynamic = self.heap[obj].site;
+                        if self.program.is_subtype(self.program.heap_type(dynamic), ty) {
+                            env.insert(to, obj);
+                            self.record(to, obj);
+                        } else {
+                            self.facts.failed_casts.insert((meth, idx));
+                        }
+                    }
+                }
+                Instr::Load { to, base, field } => {
+                    if let Some(&b) = env.get(&base) {
+                        if let Some(&obj) = self.heap[b].fields.get(&field) {
+                            env.insert(to, obj);
+                            self.record(to, obj);
+                        }
+                    }
+                }
+                Instr::Store { base, field, from } => {
+                    if let (Some(&b), Some(&v)) = (env.get(&base), env.get(&from)) {
+                        self.heap[b].fields.insert(field, v);
+                    }
+                }
+                Instr::SLoad { to, field } => {
+                    if let Some(&obj) = self.static_fields.get(&field) {
+                        env.insert(to, obj);
+                        self.record(to, obj);
+                    }
+                }
+                Instr::SStore { field, from } => {
+                    if let Some(&v) = env.get(&from) {
+                        self.static_fields.insert(field, v);
+                    }
+                }
+                Instr::Throw { var } => {
+                    if let Some(&obj) = env.get(&var) {
+                        if !self.deliver_catch(meth, obj, &mut env) {
+                            return Flow::Thrown(obj);
+                        }
+                    }
+                }
+                Instr::VCall { base, sig, invo } => {
+                    if let Some(&recv) = env.get(&base) {
+                        let dynamic = self.program.heap_type(self.heap[recv].site);
+                        if let Some(target) = self.program.lookup(dynamic, sig) {
+                            self.facts.call_edges.insert((invo, target));
+                            self.facts.reachable.insert(target);
+                            let arg_objs: Vec<usize> = self
+                                .program
+                                .actual_args(invo)
+                                .iter()
+                                .filter_map(|a| env.get(a).copied())
+                                .collect();
+                            // Skip the call if any argument is unbound: a
+                            // concrete execution would pass null, which
+                            // contributes no points-to facts anyway, but
+                            // positional args must line up; in generated
+                            // programs arguments are always initialized.
+                            if arg_objs.len() == self.program.actual_args(invo).len() {
+                                match self.call(target, Some(recv), &arg_objs, depth + 1) {
+                                    Flow::Normal(ret) => {
+                                        if let (Some(ret_var), Some(obj)) =
+                                            (self.program.actual_return(invo), ret)
+                                        {
+                                            env.insert(ret_var, obj);
+                                            self.record(ret_var, obj);
+                                        }
+                                    }
+                                    Flow::Thrown(obj) => {
+                                        if !self.deliver_catch(meth, obj, &mut env) {
+                                            return Flow::Thrown(obj);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Instr::SCall { target, invo } => {
+                    self.facts.call_edges.insert((invo, target));
+                    self.facts.reachable.insert(target);
+                    let arg_objs: Vec<usize> = self
+                        .program
+                        .actual_args(invo)
+                        .iter()
+                        .filter_map(|a| env.get(a).copied())
+                        .collect();
+                    if arg_objs.len() == self.program.actual_args(invo).len() {
+                        match self.call(target, None, &arg_objs, depth + 1) {
+                            Flow::Normal(ret) => {
+                                if let (Some(ret_var), Some(obj)) =
+                                    (self.program.actual_return(invo), ret)
+                                {
+                                    env.insert(ret_var, obj);
+                                    self.record(ret_var, obj);
+                                }
+                            }
+                            Flow::Thrown(obj) => {
+                                if !self.deliver_catch(meth, obj, &mut env) {
+                                    return Flow::Thrown(obj);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Flow::Normal(
+            self.program
+                .formal_return(meth)
+                .and_then(|r| env.get(&r).copied()),
+        )
+    }
+
+    fn record(&mut self, var: VarId, obj: usize) {
+        let site = self.heap[obj].site;
+        self.facts.var_points_to.insert((var, site));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    /// The paper's §1 motivating example: two call sites of `foo` with
+    /// different arguments.
+    fn motivating_example() -> (Program, Vec<VarId>, Vec<HeapId>) {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let c = b.class("C", Some(object));
+        let client = b.class("Client", Some(object));
+        let foo = b.method(c, "foo", &["o"], false);
+        let o_formal = b.formals(foo)[0];
+        let main = b.method(client, "main", &[], true);
+        let c1 = b.var(main, "c1");
+        let c2 = b.var(main, "c2");
+        let obj1 = b.var(main, "obj1");
+        let obj2 = b.var(main, "obj2");
+        let h_c1 = b.alloc(main, c1, c, "new C /*1*/");
+        let h_c2 = b.alloc(main, c2, c, "new C /*2*/");
+        let h1 = b.alloc(main, obj1, object, "new Object /*1*/");
+        let h2 = b.alloc(main, obj2, object, "new Object /*2*/");
+        b.vcall(main, c1, "foo", &[obj1], None, "c1.foo(obj1)");
+        b.vcall(main, c2, "foo", &[obj2], None, "c2.foo(obj2)");
+        b.entry_point(main);
+        let p = b.finish().unwrap();
+        (p, vec![o_formal], vec![h_c1, h_c2, h1, h2])
+    }
+
+    #[test]
+    fn virtual_dispatch_and_arguments_flow() {
+        let (p, vars, heaps) = motivating_example();
+        let facts = Interpreter::new(&p, InterpConfig::default()).run();
+        let o = vars[0];
+        // Both objects flow into foo's formal across the two calls.
+        assert!(facts.var_points_to.contains(&(o, heaps[2])));
+        assert!(facts.var_points_to.contains(&(o, heaps[3])));
+        assert!(!facts.truncated);
+        assert_eq!(facts.call_edges.len(), 2);
+    }
+
+    #[test]
+    fn failing_cast_is_recorded_and_blocks_flow() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let a = b.class("A", Some(object));
+        let bb = b.class("B", Some(object));
+        let main = b.method(object, "main", &[], true);
+        let x = b.var(main, "x");
+        let y = b.var(main, "y");
+        let h = b.alloc(main, x, a, "new A");
+        b.cast(main, y, x, bb);
+        b.entry_point(main);
+        let p = b.finish().unwrap();
+        let facts = Interpreter::new(&p, InterpConfig::default()).run();
+        assert!(facts.failed_casts.contains(&(main, 1)));
+        assert!(!facts.var_points_to.contains(&(y, h)));
+    }
+
+    #[test]
+    fn field_store_then_load_flows() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let boxc = b.class("Box", Some(object));
+        let f = b.field(boxc, "value");
+        let main = b.method(object, "main", &[], true);
+        let bx = b.var(main, "bx");
+        let v = b.var(main, "v");
+        let w = b.var(main, "w");
+        b.alloc(main, bx, boxc, "new Box");
+        let hv = b.alloc(main, v, object, "new Object");
+        b.store(main, bx, f, v);
+        b.load(main, w, bx, f);
+        b.entry_point(main);
+        let p = b.finish().unwrap();
+        let facts = Interpreter::new(&p, InterpConfig::default()).run();
+        assert!(facts.var_points_to.contains(&(w, hv)));
+    }
+
+    #[test]
+    fn recursion_is_truncated_not_hung() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let c = b.class("C", Some(object));
+        let rec = b.method(c, "rec", &[], true);
+        b.scall(rec, rec, &[], None, "self call");
+        let main = b.method(c, "main", &[], true);
+        b.scall(main, rec, &[], None, "kick off");
+        b.entry_point(main);
+        let p = b.finish().unwrap();
+        let facts = Interpreter::new(
+            &p,
+            InterpConfig {
+                max_steps: 10_000,
+                max_depth: 16,
+            },
+        )
+        .run();
+        assert!(facts.truncated);
+        assert!(facts.reachable.contains(&rec));
+    }
+
+    #[test]
+    fn static_call_returns_value() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let c = b.class("C", Some(object));
+        let mk = b.method(c, "make", &[], true);
+        let r = b.var(mk, "r");
+        let h = b.alloc(mk, r, c, "new C in make");
+        b.set_return(mk, r);
+        let main = b.method(c, "main", &[], true);
+        let out = b.var(main, "out");
+        b.scall(main, mk, &[], Some(out), "out = make()");
+        b.entry_point(main);
+        let p = b.finish().unwrap();
+        let facts = Interpreter::new(&p, InterpConfig::default()).run();
+        assert!(facts.var_points_to.contains(&(out, h)));
+    }
+}
+
+#[cfg(test)]
+mod exception_tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn uncaught_throws_escape_to_the_entry() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let err = b.class("Err", Some(object));
+        let main = b.method(object, "main", &[], true);
+        let x = b.var(main, "x");
+        let h = b.alloc(main, x, err, "boom");
+        b.throw(main, x);
+        b.entry_point(main);
+        let p = b.finish().unwrap();
+        let facts = Interpreter::new(&p, InterpConfig::default()).run();
+        assert_eq!(facts.uncaught.len(), 1);
+        assert!(facts.uncaught.contains(&h));
+    }
+
+    #[test]
+    fn matching_catch_binds_and_clears() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let err = b.class("Err", Some(object));
+        let thrower = b.method(object, "boom", &[], true);
+        let tv = b.var(thrower, "t");
+        let h = b.alloc(thrower, tv, err, "the error");
+        b.throw(thrower, tv);
+        let main = b.method(object, "main", &[], true);
+        let binder = b.catch_clause(main, err, "caught");
+        let after = b.var(main, "after");
+        b.scall(main, thrower, &[], None, "boom()");
+        b.alloc(main, after, object, "after the catch");
+        b.entry_point(main);
+        let p = b.finish().unwrap();
+        let facts = Interpreter::new(&p, InterpConfig::default()).run();
+        assert!(facts.var_points_to.contains(&(binder, h)), "catch binds");
+        assert!(facts.uncaught.is_empty(), "nothing escapes");
+        // Execution continued after the handled call.
+        assert!(facts.var_points_to.iter().any(|&(v, _)| v == after));
+    }
+
+    #[test]
+    fn non_matching_catch_propagates() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let err_a = b.class("ErrA", Some(object));
+        let err_b = b.class("ErrB", Some(object));
+        let thrower = b.method(object, "boom", &[], true);
+        let tv = b.var(thrower, "t");
+        let h = b.alloc(thrower, tv, err_a, "an ErrA");
+        b.throw(thrower, tv);
+        let main = b.method(object, "main", &[], true);
+        let binder = b.catch_clause(main, err_b, "caught"); // wrong type
+        b.scall(main, thrower, &[], None, "boom()");
+        b.entry_point(main);
+        let p = b.finish().unwrap();
+        let facts = Interpreter::new(&p, InterpConfig::default()).run();
+        assert!(!facts.var_points_to.iter().any(|&(v, _)| v == binder));
+        assert!(facts.uncaught.contains(&h));
+    }
+
+    #[test]
+    fn static_cell_roundtrip() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let reg = b.class("Reg", Some(object));
+        let cell = b.static_field(reg, "cell");
+        let main = b.method(reg, "main", &[], true);
+        let v = b.var(main, "v");
+        let got = b.var(main, "got");
+        let h = b.alloc(main, v, object, "value");
+        b.sstore(main, cell, v);
+        b.sload(main, got, cell);
+        b.entry_point(main);
+        let p = b.finish().unwrap();
+        let facts = Interpreter::new(&p, InterpConfig::default()).run();
+        assert!(facts.var_points_to.contains(&(got, h)));
+    }
+}

@@ -1,0 +1,351 @@
+//! Well-formedness validation for [`Program`]s.
+//!
+//! Checked once when a builder is frozen; analyses may then rely on these
+//! invariants without re-checking (e.g. every variable in an instruction
+//! belongs to the enclosing method, call arities match, entry points exist).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{MethodId, VarId};
+use crate::program::{Instr, InvoKind, Program};
+
+/// An ill-formedness diagnosis for a program under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A program must have at least one entry point.
+    NoEntryPoint,
+    /// An instruction in `method` uses `var`, which belongs to a different
+    /// method.
+    ForeignVariable {
+        /// The method containing the offending instruction.
+        method: MethodId,
+        /// The variable that belongs elsewhere.
+        var: VarId,
+    },
+    /// An invocation site passes a different number of arguments than the
+    /// (static) callee declares.
+    ArityMismatch {
+        /// The method containing the call.
+        method: MethodId,
+        /// Human-readable description of the site.
+        detail: String,
+    },
+    /// A static call targets an instance method or a virtual call names a
+    /// static-only signature context.
+    BadCallKind {
+        /// The method containing the call.
+        method: MethodId,
+        /// Human-readable description of the site.
+        detail: String,
+    },
+    /// A static-field instruction names an instance field or vice versa.
+    BadFieldKind {
+        /// The method containing the instruction.
+        method: MethodId,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An entry point declares formal parameters or a receiver; analysis
+    /// roots must be self-contained static methods.
+    BadEntryPoint {
+        /// The offending entry point.
+        method: MethodId,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::NoEntryPoint => write!(f, "program has no entry point"),
+            ValidateError::ForeignVariable { method, var } => {
+                write!(
+                    f,
+                    "method {method} uses variable {var} declared in another method"
+                )
+            }
+            ValidateError::ArityMismatch { method, detail } => {
+                write!(f, "arity mismatch in {method}: {detail}")
+            }
+            ValidateError::BadCallKind { method, detail } => {
+                write!(f, "bad call kind in {method}: {detail}")
+            }
+            ValidateError::BadFieldKind { method, detail } => {
+                write!(f, "bad field kind in {method}: {detail}")
+            }
+            ValidateError::BadEntryPoint { method } => {
+                write!(
+                    f,
+                    "entry point {method} must be a static method without parameters"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// Checks all well-formedness invariants of `program`.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] discovered.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    if program.entry_points().is_empty() {
+        return Err(ValidateError::NoEntryPoint);
+    }
+    for &entry in program.entry_points() {
+        if !program.method_is_static(entry) || !program.formals(entry).is_empty() {
+            return Err(ValidateError::BadEntryPoint { method: entry });
+        }
+    }
+
+    for meth in program.methods() {
+        let own = |var: VarId| -> Result<(), ValidateError> {
+            if program.var_method(var) == meth {
+                Ok(())
+            } else {
+                Err(ValidateError::ForeignVariable { method: meth, var })
+            }
+        };
+        for instr in program.instrs(meth) {
+            match *instr {
+                Instr::Alloc { var, .. } => own(var)?,
+                Instr::Move { to, from } | Instr::Cast { to, from, .. } => {
+                    own(to)?;
+                    own(from)?;
+                }
+                Instr::Load { to, base, field } => {
+                    own(to)?;
+                    own(base)?;
+                    if program.field_is_static(field) {
+                        return Err(ValidateError::BadFieldKind {
+                            method: meth,
+                            detail: format!("instance load of static field {field}"),
+                        });
+                    }
+                }
+                Instr::Store { base, from, field } => {
+                    own(base)?;
+                    own(from)?;
+                    if program.field_is_static(field) {
+                        return Err(ValidateError::BadFieldKind {
+                            method: meth,
+                            detail: format!("instance store to static field {field}"),
+                        });
+                    }
+                }
+                Instr::Throw { var } => own(var)?,
+                Instr::SLoad { to, field } => {
+                    own(to)?;
+                    if !program.field_is_static(field) {
+                        return Err(ValidateError::BadFieldKind {
+                            method: meth,
+                            detail: format!("static load of instance field {field}"),
+                        });
+                    }
+                }
+                Instr::SStore { field, from } => {
+                    own(from)?;
+                    if !program.field_is_static(field) {
+                        return Err(ValidateError::BadFieldKind {
+                            method: meth,
+                            detail: format!("static store to instance field {field}"),
+                        });
+                    }
+                }
+                Instr::VCall { base, sig, invo } => {
+                    own(base)?;
+                    for &a in program.actual_args(invo) {
+                        own(a)?;
+                    }
+                    if let Some(r) = program.actual_return(invo) {
+                        own(r)?;
+                    }
+                    if program.invo_kind(invo) != InvoKind::Virtual {
+                        return Err(ValidateError::BadCallKind {
+                            method: meth,
+                            detail: format!("site {invo} recorded as static but used virtually"),
+                        });
+                    }
+                    if program.actual_args(invo).len() != program.sig_arity(sig) {
+                        return Err(ValidateError::ArityMismatch {
+                            method: meth,
+                            detail: format!(
+                                "virtual site {invo} passes {} args for signature of arity {}",
+                                program.actual_args(invo).len(),
+                                program.sig_arity(sig)
+                            ),
+                        });
+                    }
+                }
+                Instr::SCall { target, invo } => {
+                    for &a in program.actual_args(invo) {
+                        own(a)?;
+                    }
+                    if let Some(r) = program.actual_return(invo) {
+                        own(r)?;
+                    }
+                    if program.invo_kind(invo) != InvoKind::Static {
+                        return Err(ValidateError::BadCallKind {
+                            method: meth,
+                            detail: format!("site {invo} recorded as virtual but used statically"),
+                        });
+                    }
+                    if !program.method_is_static(target) {
+                        return Err(ValidateError::BadCallKind {
+                            method: meth,
+                            detail: format!(
+                                "static site {invo} targets instance method {}",
+                                program.method_qualified_name(target)
+                            ),
+                        });
+                    }
+                    if program.actual_args(invo).len() != program.formals(target).len() {
+                        return Err(ValidateError::ArityMismatch {
+                            method: meth,
+                            detail: format!(
+                                "static site {invo} passes {} args to {} expecting {}",
+                                program.actual_args(invo).len(),
+                                program.method_qualified_name(target),
+                                program.formals(target).len()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        for &(_, binder) in program.catches(meth) {
+            own(binder)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn missing_entry_point_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let _ = b.method(object, "main", &[], true);
+        assert_eq!(b.finish().unwrap_err(), ValidateError::NoEntryPoint);
+    }
+
+    #[test]
+    fn instance_entry_point_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let m = b.method(object, "main", &[], false);
+        b.entry_point(m);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            ValidateError::BadEntryPoint { .. }
+        ));
+    }
+
+    #[test]
+    fn static_call_to_instance_method_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let c = b.class("C", Some(object));
+        let inst = b.method(c, "foo", &[], false);
+        let main = b.method(c, "main", &[], true);
+        b.scall(main, inst, &[], None, "bad");
+        b.entry_point(main);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            ValidateError::BadCallKind { .. }
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_on_static_call_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let c = b.class("C", Some(object));
+        let callee = b.method(c, "util", &["a", "b"], true);
+        let main = b.method(c, "main", &[], true);
+        let x = b.var(main, "x");
+        b.scall(main, callee, &[x], None, "bad arity");
+        b.entry_point(main);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            ValidateError::ArityMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn well_formed_program_passes() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let c = b.class("C", Some(object));
+        let callee = b.method(c, "id", &["a"], true);
+        let pa = b.formals(callee)[0];
+        b.set_return(callee, pa);
+        let main = b.method(c, "main", &[], true);
+        let x = b.var(main, "x");
+        let y = b.var(main, "y");
+        b.alloc(main, x, c, "new C");
+        b.scall(main, callee, &[x], Some(y), "call id");
+        b.entry_point(main);
+        assert!(b.finish().is_ok());
+    }
+}
+
+#[cfg(test)]
+mod field_kind_tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn instance_access_to_static_field_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let c = b.class("C", Some(object));
+        let f = b.static_field(c, "cell");
+        let main = b.method(c, "main", &[], true);
+        let x = b.var(main, "x");
+        let y = b.var(main, "y");
+        b.alloc(main, x, c, "new C");
+        b.load(main, y, x, f); // instance load of a static field
+        b.entry_point(main);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            ValidateError::BadFieldKind { .. }
+        ));
+    }
+
+    #[test]
+    fn static_access_to_instance_field_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let c = b.class("C", Some(object));
+        let f = b.field(c, "slot");
+        let main = b.method(c, "main", &[], true);
+        let y = b.var(main, "y");
+        b.sload(main, y, f); // static load of an instance field
+        b.entry_point(main);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            ValidateError::BadFieldKind { .. }
+        ));
+    }
+
+    #[test]
+    fn throw_and_catch_validate() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let err = b.class("Err", Some(object));
+        let main = b.method(object, "main", &[], true);
+        let _binder = b.catch_clause(main, err, "e");
+        let x = b.var(main, "x");
+        b.alloc(main, x, err, "new Err");
+        b.throw(main, x);
+        b.entry_point(main);
+        assert!(b.finish().is_ok());
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the class hierarchy: the Euler-tour subtype test and
+//! the dispatch tables must agree with naive reference implementations on
+//! random class forests.
+
+use proptest::prelude::*;
+
+use pta_ir::{Program, ProgramBuilder, TypeId};
+
+/// Builds a random single-inheritance forest: class `i`'s parent is a
+/// uniformly random earlier class (or a root). Each class declares method
+/// `m` with probability ~1/2 and a `probe` method per class for dispatch
+/// variety.
+fn build_forest(parents: &[Option<usize>], declares: &[bool]) -> (Program, Vec<TypeId>) {
+    let mut b = ProgramBuilder::new();
+    let mut types = Vec::new();
+    for (i, parent) in parents.iter().enumerate() {
+        let p = parent.map(|pi| types[pi]);
+        let ty = b.class(&format!("C{i}"), p);
+        types.push(ty);
+        if declares[i] {
+            let _ = b.method(ty, "m", &[], false);
+        }
+    }
+    let main = b.method(types[0], "main", &[], true);
+    b.entry_point(main);
+    (b.finish().unwrap(), types)
+}
+
+/// Reference subtype check: walk the parent chain.
+fn naive_subtype(parents: &[Option<usize>], mut sub: usize, sup: usize) -> bool {
+    loop {
+        if sub == sup {
+            return true;
+        }
+        match parents[sub] {
+            Some(p) => sub = p,
+            None => return false,
+        }
+    }
+}
+
+/// Reference lookup: nearest ancestor (inclusive) declaring `m`.
+fn naive_lookup(parents: &[Option<usize>], declares: &[bool], mut ty: usize) -> Option<usize> {
+    loop {
+        if declares[ty] {
+            return Some(ty);
+        }
+        match parents[ty] {
+            Some(p) => ty = p,
+            None => return None,
+        }
+    }
+}
+
+fn forest_strategy() -> impl Strategy<Value = (Vec<Option<usize>>, Vec<bool>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let parents: Vec<BoxedStrategy<Option<usize>>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    Just(None).boxed()
+                } else {
+                    prop_oneof![
+                        1 => Just(None),
+                        4 => (0..i).prop_map(Some),
+                    ]
+                    .boxed()
+                }
+            })
+            .collect();
+        (parents, proptest::collection::vec(any::<bool>(), n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn subtype_matches_parent_chain_walk((parents, declares) in forest_strategy()) {
+        let (p, types) = build_forest(&parents, &declares);
+        for (i, &ti) in types.iter().enumerate() {
+            for (j, &tj) in types.iter().enumerate() {
+                prop_assert_eq!(
+                    p.is_subtype(ti, tj),
+                    naive_subtype(&parents, i, j),
+                    "subtype(C{}, C{})", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_matches_ancestor_walk((parents, declares) in forest_strategy()) {
+        let (p, types) = build_forest(&parents, &declares);
+        // Find the interned signature for "m"/0 by looking at any declared
+        // method; if none declares m, every lookup must be None.
+        let sig = p
+            .methods()
+            .find(|&m| p.method_name(m) == "m")
+            .map(|m| p.method_sig(m));
+        for (i, &ti) in types.iter().enumerate() {
+            let expected = naive_lookup(&parents, &declares, i);
+            match sig {
+                None => prop_assert!(expected.is_none()),
+                Some(sig) => {
+                    let got = p.lookup(ti, sig).map(|m| p.method_declaring(m));
+                    prop_assert_eq!(
+                        got,
+                        expected.map(|e| types[e]),
+                        "lookup on C{}", i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtypes_listing_agrees_with_subtype_test((parents, declares) in forest_strategy()) {
+        let (p, types) = build_forest(&parents, &declares);
+        for &t in &types {
+            let listed = p.hierarchy().subtypes(t);
+            for &u in &types {
+                prop_assert_eq!(listed.contains(&u), p.is_subtype(u, t));
+            }
+        }
+    }
+}
+
+mod interp_props {
+    use super::*;
+    use pta_ir::{InterpConfig, Interpreter};
+    use pta_workload::{generate, WorkloadConfig};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// The interpreter is deterministic: same program, same facts.
+        #[test]
+        fn interpreter_is_deterministic(seed in 0u64..5_000) {
+            let p = generate(&WorkloadConfig::tiny(seed));
+            let run = || {
+                let f = Interpreter::new(&p, InterpConfig::default()).run();
+                let mut v: Vec<_> = f.var_points_to.iter().copied().collect();
+                v.sort();
+                let mut c: Vec<_> = f.call_edges.iter().copied().collect();
+                c.sort();
+                (v, c, f.truncated)
+            };
+            prop_assert_eq!(run(), run());
+        }
+
+        /// A run that did not hit its budget is the full execution: any
+        /// larger budget observes exactly the same facts. (With exceptions
+        /// in the language, *truncated* runs are not prefix-comparable — a
+        /// callee cut off before its `throw` lets the caller continue — so
+        /// the guarantee only holds for complete runs; each truncated run
+        /// is still a valid execution covered by the soundness tests.)
+        #[test]
+        fn untruncated_runs_are_budget_independent(seed in 0u64..5_000) {
+            let p = generate(&WorkloadConfig::tiny(seed));
+            let small = Interpreter::new(&p, InterpConfig { max_steps: 2_000, max_depth: 16 }).run();
+            prop_assume!(!small.truncated);
+            let big = Interpreter::new(&p, InterpConfig { max_steps: 100_000, max_depth: 64 }).run();
+            prop_assert_eq!(&small.var_points_to, &big.var_points_to);
+            prop_assert_eq!(&small.call_edges, &big.call_edges);
+            prop_assert_eq!(&small.uncaught, &big.uncaught);
+        }
+    }
+}

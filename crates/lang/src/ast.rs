@@ -1,0 +1,140 @@
+//! Abstract syntax for `.jir` modules.
+//!
+//! The AST is deliberately unresolved: call receivers are plain identifiers
+//! whose classification (local variable vs. class name, i.e. virtual vs.
+//! static call) happens during lowering, once all classes are known.
+
+use crate::error::Location;
+
+/// A whole source module.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Module {
+    /// Class declarations, in source order.
+    pub classes: Vec<ClassDecl>,
+    /// `entry Class.method;` directives.
+    pub entries: Vec<EntryDecl>,
+}
+
+/// `class Name : Parent { ... }`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDecl {
+    /// The class name.
+    pub name: String,
+    /// The superclass name, or `None` for a root class.
+    pub parent: Option<String>,
+    /// Instance field declarations.
+    pub fields: Vec<String>,
+    /// Static field declarations (`static field name;`).
+    pub static_fields: Vec<String>,
+    /// Method declarations.
+    pub methods: Vec<MethodDecl>,
+    /// Source location of the declaration.
+    pub location: Location,
+}
+
+/// `method name(params) { ... }` or `static name(params) { ... }`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDecl {
+    /// The method name.
+    pub name: String,
+    /// Formal parameter names.
+    pub params: Vec<String>,
+    /// `true` for `static` methods.
+    pub is_static: bool,
+    /// Catch clauses `(type name, binder name)` from the optional
+    /// `catch (T e, U f)` header suffix.
+    pub catches: Vec<(String, String)>,
+    /// Statements in source order.
+    pub body: Vec<Stmt>,
+    /// Source location of the declaration.
+    pub location: Location,
+}
+
+/// `entry Class.method;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryDecl {
+    /// The class name.
+    pub class: String,
+    /// The method name.
+    pub method: String,
+    /// Source location of the directive.
+    pub location: Location,
+}
+
+/// One statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// The statement's payload.
+    pub kind: StmtKind,
+    /// Source location.
+    pub location: Location,
+}
+
+/// Statement kinds, mirroring the intermediate language one-to-one (plus
+/// `Return`, which lowers to a move into the method's return variable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `x = new C;`
+    Alloc {
+        /// Destination local.
+        to: String,
+        /// Allocated class name.
+        class: String,
+    },
+    /// `x = y;`
+    Move {
+        /// Destination local.
+        to: String,
+        /// Source local.
+        from: String,
+    },
+    /// `x = (C) y;`
+    Cast {
+        /// Destination local.
+        to: String,
+        /// Cast target class name.
+        class: String,
+        /// Source local.
+        from: String,
+    },
+    /// `x = y.f;`
+    Load {
+        /// Destination local.
+        to: String,
+        /// Base local.
+        base: String,
+        /// Field name.
+        field: String,
+    },
+    /// `x.f = y;`
+    Store {
+        /// Base local.
+        base: String,
+        /// Field name.
+        field: String,
+        /// Source local.
+        from: String,
+    },
+    /// `[x =] recv.m(args);` — virtual if `recv` is a local, static if it
+    /// names a class (resolved during lowering).
+    Call {
+        /// Destination local receiving the return value, if any.
+        to: Option<String>,
+        /// Receiver identifier (local or class name).
+        recv: String,
+        /// Method name.
+        method: String,
+        /// Argument locals.
+        args: Vec<String>,
+    },
+    /// `return x;`
+    Return {
+        /// The returned local.
+        var: String,
+    },
+    /// `throw x;`
+    Throw {
+        /// The thrown local.
+        var: String,
+    },
+}

@@ -1,0 +1,89 @@
+//! Frontend diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+use pta_ir::ValidateError;
+
+/// A line/column position in the source text (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Location {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// A lexical, syntactic, or semantic frontend error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// An unexpected character in the input.
+    Lex {
+        /// Where it occurred.
+        location: Location,
+        /// What was found.
+        message: String,
+    },
+    /// A parse error: unexpected token.
+    Parse {
+        /// Where it occurred.
+        location: Location,
+        /// What was expected / found.
+        message: String,
+    },
+    /// A name-resolution or typing error during lowering.
+    Lower {
+        /// Human-readable description.
+        message: String,
+    },
+    /// The lowered program failed IR validation.
+    Validate(ValidateError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { location, message } => write!(f, "lex error at {location}: {message}"),
+            LangError::Parse { location, message } => {
+                write!(f, "parse error at {location}: {message}")
+            }
+            LangError::Lower { message } => write!(f, "lowering error: {message}"),
+            LangError::Validate(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl Error for LangError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LangError::Validate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateError> for LangError {
+    fn from(e: ValidateError) -> LangError {
+        LangError::Validate(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = LangError::Parse {
+            location: Location { line: 3, column: 7 },
+            message: "expected `;`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `;`");
+    }
+}

@@ -1,0 +1,618 @@
+//! AST → IR lowering: name resolution and program construction.
+//!
+//! Lowering resolves class names (with forward references), builds the
+//! field and method tables, classifies each call as virtual or static (a
+//! receiver that names a class is a static call; a receiver that names a
+//! local is a virtual call — locals shadow classes), and lowers bodies to
+//! the intermediate language. `return x;` statements lower to moves into a
+//! synthetic `$ret` variable when a method has several returns, which is
+//! equivalent under flow-insensitive analysis.
+//!
+//! Field names must be unique program-wide (diagnosed otherwise); prefix
+//! with the class name (`box_value`) when two classes need a same-named
+//! field. This keeps field uses resolvable without local type annotations.
+
+use pta_ir::hash::FxHashMap;
+use pta_ir::{FieldId, MethodId, Program, ProgramBuilder, TypeId, VarId};
+
+use crate::ast::{ClassDecl, MethodDecl, Module, StmtKind};
+use crate::error::LangError;
+
+/// Lowers a parsed module into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns [`LangError::Lower`] for unresolved or ambiguous names and
+/// [`LangError::Validate`] if the resulting IR is ill-formed.
+pub fn lower(module: &Module) -> Result<Program, LangError> {
+    Lowerer::default().run(module)
+}
+
+#[derive(Default)]
+struct Lowerer {
+    builder: ProgramBuilder,
+    classes: FxHashMap<String, TypeId>,
+    fields: FxHashMap<String, FieldId>,
+    /// (class, method name) -> (id, arity, is_static)
+    methods: FxHashMap<(TypeId, String), (MethodId, usize, bool)>,
+    /// Superclass links, kept for static-method resolution up the chain.
+    parents: FxHashMap<TypeId, Option<TypeId>>,
+}
+
+fn err(message: impl Into<String>) -> LangError {
+    LangError::Lower {
+        message: message.into(),
+    }
+}
+
+impl Lowerer {
+    fn run(mut self, module: &Module) -> Result<Program, LangError> {
+        self.declare_classes(module)?;
+        self.declare_members(module)?;
+        for class in &module.classes {
+            let ty = self.classes[&class.name];
+            for method in &class.methods {
+                self.lower_body(class, ty, method)?;
+            }
+        }
+        for entry in &module.entries {
+            let ty = *self
+                .classes
+                .get(&entry.class)
+                .ok_or_else(|| err(format!("entry names unknown class `{}`", entry.class)))?;
+            let (meth, _, is_static) = self.resolve_method(ty, &entry.method).ok_or_else(|| {
+                err(format!(
+                    "entry names unknown method `{}.{}`",
+                    entry.class, entry.method
+                ))
+            })?;
+            if !is_static {
+                return Err(err(format!(
+                    "entry `{}.{}` must be static",
+                    entry.class, entry.method
+                )));
+            }
+            self.builder.entry_point(meth);
+        }
+        Ok(self.builder.finish()?)
+    }
+
+    /// Declares all classes, tolerating forward references to superclasses
+    /// by iterating to a fixpoint. Remaining unresolved classes indicate an
+    /// unknown parent or an inheritance cycle.
+    fn declare_classes(&mut self, module: &Module) -> Result<(), LangError> {
+        let mut pending: Vec<&ClassDecl> = module.classes.iter().collect();
+        // Duplicate check first for a clearer message.
+        {
+            let mut seen = FxHashMap::default();
+            for c in &pending {
+                if seen.insert(c.name.clone(), ()).is_some() {
+                    return Err(err(format!("class `{}` declared twice", c.name)));
+                }
+            }
+        }
+        while !pending.is_empty() {
+            let before = pending.len();
+            pending.retain(|class| {
+                let parent = match &class.parent {
+                    None => None,
+                    Some(p) => match self.classes.get(p) {
+                        Some(&ty) => Some(ty),
+                        None => return true, // try again next round
+                    },
+                };
+                let ty = self.builder.class(&class.name, parent);
+                self.classes.insert(class.name.clone(), ty);
+                self.parents.insert(ty, parent);
+                false
+            });
+            if pending.len() == before {
+                let names: Vec<&str> = pending.iter().map(|c| c.name.as_str()).collect();
+                return Err(err(format!(
+                    "unresolved superclass or inheritance cycle involving: {}",
+                    names.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn declare_members(&mut self, module: &Module) -> Result<(), LangError> {
+        for class in &module.classes {
+            let ty = self.classes[&class.name];
+            for field in &class.fields {
+                if self.fields.contains_key(field) {
+                    return Err(err(format!(
+                        "field `{field}` declared in more than one class; field names must be \
+                         unique program-wide (prefix with the class name)"
+                    )));
+                }
+                let id = self.builder.field(ty, field);
+                self.fields.insert(field.clone(), id);
+            }
+            for field in &class.static_fields {
+                if self.fields.contains_key(field) {
+                    return Err(err(format!(
+                        "field `{field}` declared in more than one class; field names must be \
+                         unique program-wide (prefix with the class name)"
+                    )));
+                }
+                let id = self.builder.static_field(ty, field);
+                self.fields.insert(field.clone(), id);
+            }
+            for method in &class.methods {
+                let key = (ty, method.name.clone());
+                if self.methods.contains_key(&key) {
+                    return Err(err(format!(
+                        "method `{}.{}` declared twice",
+                        class.name, method.name
+                    )));
+                }
+                let params: Vec<&str> = method.params.iter().map(String::as_str).collect();
+                let id = self
+                    .builder
+                    .method(ty, &method.name, &params, method.is_static);
+                self.methods
+                    .insert(key, (id, method.params.len(), method.is_static));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves `name` on `ty` or the nearest ancestor declaring it.
+    fn resolve_method(&self, ty: TypeId, name: &str) -> Option<(MethodId, usize, bool)> {
+        // Walk up the superclass chain using builder-declared parents. The
+        // chain is finite because declare_classes rejected cycles.
+        let mut cur = Some(ty);
+        while let Some(t) = cur {
+            if let Some(&found) = self.methods.get(&(t, name.to_owned())) {
+                return Some(found);
+            }
+            cur = self.parent_of(t);
+        }
+        None
+    }
+
+    fn parent_of(&self, ty: TypeId) -> Option<TypeId> {
+        // The builder does not expose parents, so consult our own map via
+        // the module-declared names. Cheaper: store parents alongside.
+        self.parents.get(&ty).copied().flatten()
+    }
+
+    fn lower_body(
+        &mut self,
+        class: &ClassDecl,
+        ty: TypeId,
+        method: &MethodDecl,
+    ) -> Result<(), LangError> {
+        let (meth, _, _) = self.methods[&(ty, method.name.clone())];
+        let qualified = format!("{}.{}", class.name, method.name);
+
+        // Pass 1: names assigned somewhere in the body (flow-insensitive
+        // definition set).
+        let mut vars: FxHashMap<String, VarId> = FxHashMap::default();
+        if let Some(this) = self.builder.this(meth) {
+            vars.insert("this".to_owned(), this);
+        }
+        for (i, p) in method.params.iter().enumerate() {
+            vars.insert(p.clone(), self.builder.formals(meth)[i]);
+        }
+        for stmt in &method.body {
+            let target = match &stmt.kind {
+                StmtKind::Alloc { to, .. }
+                | StmtKind::Move { to, .. }
+                | StmtKind::Cast { to, .. }
+                | StmtKind::Load { to, .. } => Some(to),
+                StmtKind::Call { to: Some(to), .. } => Some(to),
+                _ => None,
+            };
+            if let Some(name) = target {
+                if !vars.contains_key(name) {
+                    let v = self.builder.var(meth, name);
+                    vars.insert(name.clone(), v);
+                }
+            }
+        }
+
+        let use_var = |vars: &FxHashMap<String, VarId>, name: &str| -> Result<VarId, LangError> {
+            vars.get(name).copied().ok_or_else(|| {
+                err(format!(
+                    "in {qualified}: variable `{name}` is used but never assigned"
+                ))
+            })
+        };
+
+        // Catch binders are implicit definitions.
+        for (ty_name, binder) in &method.catches {
+            let cty = *self
+                .classes
+                .get(ty_name)
+                .ok_or_else(|| err(format!("in {qualified}: unknown catch type `{ty_name}`")))?;
+            if vars.contains_key(binder) {
+                return Err(err(format!(
+                    "in {qualified}: catch binder `{binder}` shadows another variable"
+                )));
+            }
+            let v = self.builder.catch_clause(meth, cty, binder);
+            vars.insert(binder.clone(), v);
+        }
+
+        // Return handling: a single `return v;` sets the return variable
+        // directly; multiple returns move into a synthetic `$ret`.
+        let return_count = method
+            .body
+            .iter()
+            .filter(|s| matches!(s.kind, StmtKind::Return { .. }))
+            .count();
+        let ret_var = if return_count > 1 {
+            let v = self.builder.var(meth, "$ret");
+            self.builder.set_return(meth, v);
+            Some(v)
+        } else {
+            None
+        };
+
+        // Pass 2: lower statements.
+        let mut alloc_counter = 0usize;
+        let mut invo_counter = 0usize;
+        for stmt in &method.body {
+            match &stmt.kind {
+                StmtKind::Alloc { to, class: cname } => {
+                    let to = vars[to];
+                    let cty = *self.classes.get(cname).ok_or_else(|| {
+                        err(format!("in {qualified}: unknown class `{cname}` in `new`"))
+                    })?;
+                    let label = format!("{qualified}/new {cname}#{alloc_counter}");
+                    alloc_counter += 1;
+                    self.builder.alloc(meth, to, cty, &label);
+                }
+                StmtKind::Move { to, from } => {
+                    let from = use_var(&vars, from)?;
+                    self.builder.move_(meth, vars[to], from);
+                }
+                StmtKind::Cast {
+                    to,
+                    class: cname,
+                    from,
+                } => {
+                    let from = use_var(&vars, from)?;
+                    let cty = *self.classes.get(cname).ok_or_else(|| {
+                        err(format!("in {qualified}: unknown class `{cname}` in cast"))
+                    })?;
+                    self.builder.cast(meth, vars[to], from, cty);
+                }
+                StmtKind::Load { to, base, field } => {
+                    let f = *self
+                        .fields
+                        .get(field)
+                        .ok_or_else(|| err(format!("in {qualified}: unknown field `{field}`")))?;
+                    if let Some(&base) = vars.get(base) {
+                        self.builder.load(meth, vars[to], base, f);
+                    } else if self.classes.contains_key(base) {
+                        // `x = Class.field` — static-field load.
+                        self.builder.sload(meth, vars[to], f);
+                    } else {
+                        return Err(err(format!(
+                            "in {qualified}: `{base}` is neither a local variable nor a class"
+                        )));
+                    }
+                }
+                StmtKind::Store { base, field, from } => {
+                    let from = use_var(&vars, from)?;
+                    let f = *self
+                        .fields
+                        .get(field)
+                        .ok_or_else(|| err(format!("in {qualified}: unknown field `{field}`")))?;
+                    if let Some(&base) = vars.get(base) {
+                        self.builder.store(meth, base, f, from);
+                    } else if self.classes.contains_key(base) {
+                        // `Class.field = x` — static-field store.
+                        self.builder.sstore(meth, f, from);
+                    } else {
+                        return Err(err(format!(
+                            "in {qualified}: `{base}` is neither a local variable nor a class"
+                        )));
+                    }
+                }
+                StmtKind::Call {
+                    to,
+                    recv,
+                    method: mname,
+                    args,
+                } => {
+                    let ret = to.as_ref().map(|name| vars[name]);
+                    let arg_ids: Vec<VarId> = args
+                        .iter()
+                        .map(|a| use_var(&vars, a))
+                        .collect::<Result<_, _>>()?;
+                    let label = format!("{qualified}/{mname}#{invo_counter}");
+                    invo_counter += 1;
+                    if let Some(&base) = vars.get(recv) {
+                        // Virtual call on a local.
+                        self.builder.vcall(meth, base, mname, &arg_ids, ret, &label);
+                    } else if let Some(&cty) = self.classes.get(recv) {
+                        // Static call on a class.
+                        let (target, arity, is_static) =
+                            self.resolve_method(cty, mname).ok_or_else(|| {
+                                err(format!(
+                                    "in {qualified}: unknown static method `{recv}.{mname}`"
+                                ))
+                            })?;
+                        if !is_static {
+                            return Err(err(format!(
+                                "in {qualified}: `{recv}.{mname}` is an instance method; call it \
+                                 on a variable"
+                            )));
+                        }
+                        if arity != arg_ids.len() {
+                            return Err(err(format!(
+                                "in {qualified}: `{recv}.{mname}` expects {arity} arguments, got {}",
+                                arg_ids.len()
+                            )));
+                        }
+                        self.builder.scall(meth, target, &arg_ids, ret, &label);
+                    } else {
+                        return Err(err(format!(
+                            "in {qualified}: `{recv}` is neither a local variable nor a class"
+                        )));
+                    }
+                }
+                StmtKind::Throw { var } => {
+                    let v = use_var(&vars, var)?;
+                    self.builder.throw(meth, v);
+                }
+                StmtKind::Return { var } => {
+                    let v = use_var(&vars, var)?;
+                    match ret_var {
+                        Some(synthetic) => self.builder.move_(meth, synthetic, v),
+                        None => self.builder.set_return(meth, v),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_program;
+    use crate::LangError;
+
+    fn lower_err(src: &str) -> String {
+        match parse_program(src) {
+            Err(LangError::Lower { message }) => message,
+            other => panic!("expected lowering error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_class_in_new_is_reported() {
+        let msg = lower_err(
+            "class Object {} class Main : Object { static main() { x = new Ghost; } } entry Main.main;",
+        );
+        assert!(msg.contains("Ghost"), "{msg}");
+        assert!(msg.contains("Main.main"), "{msg}");
+    }
+
+    #[test]
+    fn use_of_unassigned_variable_is_reported() {
+        let msg = lower_err(
+            "class Object {} class Main : Object { static main() { x = y; } } entry Main.main;",
+        );
+        assert!(msg.contains("`y`"), "{msg}");
+        assert!(msg.contains("never assigned"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_field_is_reported() {
+        let msg = lower_err(
+            "class Object {} class Main : Object { static main() { x = new Object; x.ghost = x; } } entry Main.main;",
+        );
+        assert!(msg.contains("ghost"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_field_names_across_classes_are_rejected_with_hint() {
+        let msg = lower_err(
+            "class Object {} class A : Object { field v; } class B : Object { field v; }
+             class Main : Object { static main() {} } entry Main.main;",
+        );
+        assert!(msg.contains("unique program-wide"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_superclass_is_reported() {
+        let msg = lower_err("class A : Nowhere {}");
+        assert!(
+            msg.contains("Nowhere") || msg.contains("unresolved"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn inheritance_cycle_is_reported() {
+        let msg = lower_err("class A : B {} class B : A {}");
+        assert!(msg.contains("cycle") || msg.contains("unresolved"), "{msg}");
+    }
+
+    #[test]
+    fn static_call_resolves_up_the_superclass_chain() {
+        let p = parse_program(
+            "class Object {}
+             class Base : Object { static helper(x) { return x; } }
+             class Derived : Base {}
+             class Main : Object {
+                 static main() { v = new Object; r = Derived.helper(v); }
+             }
+             entry Main.main;",
+        )
+        .unwrap();
+        // The call resolved: one static call site exists and targets
+        // Base.helper.
+        assert_eq!(p.invo_count(), 1);
+    }
+
+    #[test]
+    fn calling_instance_method_statically_is_reported() {
+        let msg = lower_err(
+            "class Object {}
+             class C : Object { method m() {} }
+             class Main : Object { static main() { C.m(); } }
+             entry Main.main;",
+        );
+        assert!(msg.contains("instance method"), "{msg}");
+    }
+
+    #[test]
+    fn static_call_arity_mismatch_is_reported() {
+        let msg = lower_err(
+            "class Object {}
+             class C : Object { static m(a, b) {} }
+             class Main : Object { static main() { x = new Object; C.m(x); } }
+             entry Main.main;",
+        );
+        assert!(msg.contains("expects 2 arguments"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_receiver_is_reported() {
+        let msg = lower_err(
+            "class Object {} class Main : Object { static main() { Ghost.m(); } } entry Main.main;",
+        );
+        assert!(
+            msg.contains("neither a local variable nor a class"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn multiple_returns_lower_through_synthetic_ret() {
+        let p = parse_program(
+            "class Object {}
+             class Main : Object {
+                 static pick(a, b) { return a; return b; }
+                 static main() { x = new Object; y = new Object; r = Main.pick(x, y); }
+             }
+             entry Main.main;",
+        )
+        .unwrap();
+        // pick has a formal return and both returns feed it.
+        let pick = p
+            .methods()
+            .find(|&m| p.method_name(m) == "pick")
+            .expect("pick exists");
+        assert!(p.formal_return(pick).is_some());
+        assert_eq!(p.var_name(p.formal_return(pick).unwrap()), "$ret");
+    }
+
+    #[test]
+    fn entry_must_be_static_and_known() {
+        let msg =
+            lower_err("class Object {} class Main : Object { method main() {} } entry Main.main;");
+        assert!(msg.contains("must be static"), "{msg}");
+        let msg = lower_err("class Object {} entry Object.nothing;");
+        assert!(msg.contains("unknown method"), "{msg}");
+        let msg = lower_err("class Object {} entry Ghost.main;");
+        assert!(msg.contains("unknown class"), "{msg}");
+    }
+
+    #[test]
+    fn locals_shadow_classes_in_call_position() {
+        // A local named like a class: the call must be virtual on the local.
+        let p = parse_program(
+            "class Object {}
+             class Box : Object { method get() { return this; } }
+             class Main : Object {
+                 static main() {
+                     Box = new Box;      // local named Box
+                     r = Box.get();      // virtual call on the local
+                 }
+             }
+             entry Main.main;",
+        )
+        .unwrap();
+        use pta_ir::InvoKind;
+        let invo = p.invos().next().unwrap();
+        assert_eq!(p.invo_kind(invo), InvoKind::Virtual);
+    }
+
+    #[test]
+    fn duplicate_method_in_class_is_reported() {
+        let msg = lower_err("class Object {} class C : Object { static m() {} static m() {} }");
+        assert!(msg.contains("declared twice"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_class_is_reported() {
+        let msg = lower_err("class A {} class A {}");
+        assert!(msg.contains("declared twice"), "{msg}");
+    }
+}
+
+#[cfg(test)]
+mod static_field_tests {
+    use crate::parse_program;
+    use pta_ir::{Instr, ProgramStats};
+
+    const SOURCE: &str = r#"
+        class Object {}
+        class Registry : Object {
+            static field current;
+            static publish(x) { Registry.current = x; }
+            static consume() { r = Registry.current; return r; }
+        }
+        class Main : Object {
+            static main() {
+                v = new Object;
+                Registry.publish(v);
+                got = Registry.consume();
+            }
+        }
+        entry Main.main;
+    "#;
+
+    #[test]
+    fn static_fields_parse_and_lower() {
+        let p = parse_program(SOURCE).unwrap();
+        let s = ProgramStats::of(&p);
+        assert_eq!(s.sloads, 1);
+        assert_eq!(s.sstores, 1);
+        let f = (0..p.field_count())
+            .map(pta_ir::FieldId::from_index)
+            .find(|&f| p.field_name(f) == "current")
+            .unwrap();
+        assert!(p.field_is_static(f));
+    }
+
+    #[test]
+    fn class_receiver_selects_static_access() {
+        let p = parse_program(SOURCE).unwrap();
+        let publish = p
+            .methods()
+            .find(|&m| p.method_name(m) == "publish")
+            .unwrap();
+        assert!(matches!(p.instrs(publish)[0], Instr::SStore { .. }));
+        let consume = p
+            .methods()
+            .find(|&m| p.method_name(m) == "consume")
+            .unwrap();
+        assert!(matches!(p.instrs(consume)[0], Instr::SLoad { .. }));
+    }
+
+    #[test]
+    fn instance_access_to_static_field_is_rejected() {
+        let err = parse_program(
+            r#"
+            class Object {}
+            class R : Object { static field cell; }
+            class Main : Object {
+                static main() { r = new R; x = r.cell; }
+            }
+            entry Main.main;
+        "#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("static"), "{err}");
+    }
+}

@@ -1,0 +1,421 @@
+//! Recursive-descent parser for `.jir` modules.
+
+use crate::ast::{ClassDecl, EntryDecl, MethodDecl, Module, Stmt, StmtKind};
+use crate::error::{LangError, Location};
+use crate::lexer::{Token, TokenKind};
+
+/// Parses a token stream into a [`Module`].
+///
+/// # Errors
+///
+/// Returns [`LangError::Parse`] at the first unexpected token.
+pub fn parse(tokens: &[Token]) -> Result<Module, LangError> {
+    Parser { tokens, pos: 0 }.module()
+}
+
+struct Parser<'t> {
+    tokens: &'t [Token],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn location(&self) -> Location {
+        self.tokens[self.pos].location
+    }
+
+    fn advance(&mut self) -> &TokenKind {
+        let k = &self.tokens[self.pos].kind;
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn error(&self, expected: &str) -> LangError {
+        LangError::Parse {
+            location: self.location(),
+            message: format!("expected {expected}, found {}", self.peek().describe()),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), LangError> {
+        if *self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(what))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, LangError> {
+        if let TokenKind::Ident(name) = self.peek() {
+            let name = name.clone();
+            self.advance();
+            Ok(name)
+        } else {
+            Err(self.error(what))
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, LangError> {
+        let mut module = Module::default();
+        loop {
+            match self.peek() {
+                TokenKind::KwClass => module.classes.push(self.class_decl()?),
+                TokenKind::KwEntry => module.entries.push(self.entry_decl()?),
+                TokenKind::Eof => break,
+                _ => return Err(self.error("`class`, `entry`, or end of input")),
+            }
+        }
+        Ok(module)
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, LangError> {
+        let location = self.location();
+        self.expect(TokenKind::KwClass, "`class`")?;
+        let name = self.ident("class name")?;
+        let parent = if *self.peek() == TokenKind::Colon {
+            self.advance();
+            Some(self.ident("superclass name")?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut fields = Vec::new();
+        let mut static_fields = Vec::new();
+        let mut methods = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::KwField => {
+                    self.advance();
+                    fields.push(self.ident("field name")?);
+                    self.expect(TokenKind::Semi, "`;`")?;
+                }
+                TokenKind::KwMethod => {
+                    self.advance();
+                    methods.push(self.method_decl(false)?);
+                }
+                TokenKind::KwStatic => {
+                    self.advance();
+                    // `static field name;` declares a static field;
+                    // `static name(...) {...}` declares a static method.
+                    if *self.peek() == TokenKind::KwField {
+                        self.advance();
+                        static_fields.push(self.ident("field name")?);
+                        self.expect(TokenKind::Semi, "`;`")?;
+                    } else {
+                        methods.push(self.method_decl(true)?);
+                    }
+                }
+                TokenKind::RBrace => {
+                    self.advance();
+                    break;
+                }
+                _ => return Err(self.error("`field`, `method`, `static`, or `}`")),
+            }
+        }
+        Ok(ClassDecl {
+            name,
+            parent,
+            fields,
+            static_fields,
+            methods,
+            location,
+        })
+    }
+
+    fn method_decl(&mut self, is_static: bool) -> Result<MethodDecl, LangError> {
+        let location = self.location();
+        let name = self.ident("method name")?;
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                params.push(self.ident("parameter name")?);
+                if *self.peek() == TokenKind::Comma {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        // Optional `catch (T e, U f)` clause list.
+        let mut catches = Vec::new();
+        if *self.peek() == TokenKind::KwCatch {
+            self.advance();
+            self.expect(TokenKind::LParen, "`(`")?;
+            loop {
+                let ty = self.ident("catch type")?;
+                let binder = self.ident("catch binder")?;
+                catches.push((ty, binder));
+                if *self.peek() == TokenKind::Comma {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen, "`)`")?;
+        }
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut body = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            body.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace, "`}`")?;
+        Ok(MethodDecl {
+            name,
+            params,
+            is_static,
+            catches,
+            body,
+            location,
+        })
+    }
+
+    fn entry_decl(&mut self) -> Result<EntryDecl, LangError> {
+        let location = self.location();
+        self.expect(TokenKind::KwEntry, "`entry`")?;
+        let class = self.ident("class name")?;
+        self.expect(TokenKind::Dot, "`.`")?;
+        let method = self.ident("method name")?;
+        self.expect(TokenKind::Semi, "`;`")?;
+        Ok(EntryDecl {
+            class,
+            method,
+            location,
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let location = self.location();
+        // return x;
+        if *self.peek() == TokenKind::KwReturn {
+            self.advance();
+            let var = self.ident("variable")?;
+            self.expect(TokenKind::Semi, "`;`")?;
+            return Ok(Stmt {
+                kind: StmtKind::Return { var },
+                location,
+            });
+        }
+
+        // throw x;
+        if *self.peek() == TokenKind::KwThrow {
+            self.advance();
+            let var = self.ident("variable")?;
+            self.expect(TokenKind::Semi, "`;`")?;
+            return Ok(Stmt {
+                kind: StmtKind::Throw { var },
+                location,
+            });
+        }
+
+        let first = self.ident("statement")?;
+        match self.peek().clone() {
+            // x = ...
+            TokenKind::Eq => {
+                self.advance();
+                let kind = self.assignment_rhs(first)?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt { kind, location })
+            }
+            // x.f = y;  |  recv.m(args);
+            TokenKind::Dot => {
+                self.advance();
+                let member = self.ident("field or method name")?;
+                match self.peek() {
+                    TokenKind::LParen => {
+                        let args = self.call_args()?;
+                        self.expect(TokenKind::Semi, "`;`")?;
+                        Ok(Stmt {
+                            kind: StmtKind::Call {
+                                to: None,
+                                recv: first,
+                                method: member,
+                                args,
+                            },
+                            location,
+                        })
+                    }
+                    TokenKind::Eq => {
+                        self.advance();
+                        let from = self.ident("variable")?;
+                        self.expect(TokenKind::Semi, "`;`")?;
+                        Ok(Stmt {
+                            kind: StmtKind::Store {
+                                base: first,
+                                field: member,
+                                from,
+                            },
+                            location,
+                        })
+                    }
+                    _ => Err(self.error("`(` or `=` after member access")),
+                }
+            }
+            _ => Err(self.error("`=` or `.` in statement")),
+        }
+    }
+
+    /// Parses the right-hand side of `to = ...`.
+    fn assignment_rhs(&mut self, to: String) -> Result<StmtKind, LangError> {
+        match self.peek().clone() {
+            // to = new C
+            TokenKind::KwNew => {
+                self.advance();
+                let class = self.ident("class name")?;
+                Ok(StmtKind::Alloc { to, class })
+            }
+            // to = (C) y
+            TokenKind::LParen => {
+                self.advance();
+                let class = self.ident("cast target class")?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let from = self.ident("variable")?;
+                Ok(StmtKind::Cast { to, class, from })
+            }
+            TokenKind::Ident(_) => {
+                let source = self.ident("variable")?;
+                match self.peek() {
+                    // to = y.f  |  to = recv.m(args)
+                    TokenKind::Dot => {
+                        self.advance();
+                        let member = self.ident("field or method name")?;
+                        if *self.peek() == TokenKind::LParen {
+                            let args = self.call_args()?;
+                            Ok(StmtKind::Call {
+                                to: Some(to),
+                                recv: source,
+                                method: member,
+                                args,
+                            })
+                        } else {
+                            Ok(StmtKind::Load {
+                                to,
+                                base: source,
+                                field: member,
+                            })
+                        }
+                    }
+                    // to = y
+                    _ => Ok(StmtKind::Move { to, from: source }),
+                }
+            }
+            _ => Err(self.error("`new`, `(`, or a variable")),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<String>, LangError> {
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                args.push(self.ident("argument variable")?);
+                if *self.peek() == TokenKind::Comma {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Module, LangError> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn parses_full_module() {
+        let m = parse_src(
+            r#"
+            class Object {}
+            class Box : Object {
+                field value;
+                method set(v) { this.value = v; }
+                method get() { r = this.value; return r; }
+            }
+            class Main : Object {
+                static main() {
+                    b = new Box;
+                    p = new Object;
+                    b.set(p);
+                    r = b.get();
+                    o = (Object) r;
+                    q = o;
+                    Main.helper();
+                }
+                static helper() {}
+            }
+            entry Main.main;
+        "#,
+        )
+        .unwrap();
+        assert_eq!(m.classes.len(), 3);
+        assert_eq!(m.entries.len(), 1);
+        let main = &m.classes[2].methods[0];
+        assert!(main.is_static);
+        assert_eq!(main.body.len(), 7);
+        assert!(matches!(main.body[0].kind, StmtKind::Alloc { .. }));
+        assert!(matches!(main.body[2].kind, StmtKind::Call { to: None, .. }));
+        assert!(matches!(
+            main.body[3].kind,
+            StmtKind::Call { to: Some(_), .. }
+        ));
+        assert!(matches!(main.body[4].kind, StmtKind::Cast { .. }));
+        assert!(matches!(main.body[5].kind, StmtKind::Move { .. }));
+        assert!(matches!(main.body[6].kind, StmtKind::Call { .. }));
+    }
+
+    #[test]
+    fn parses_field_access_statements() {
+        let m = parse_src(
+            r#"
+            class C {
+                field f;
+                method m(x) {
+                    this.f = x;
+                    y = this.f;
+                    return y;
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        let body = &m.classes[0].methods[0].body;
+        assert!(matches!(body[0].kind, StmtKind::Store { .. }));
+        assert!(matches!(body[1].kind, StmtKind::Load { .. }));
+        assert!(matches!(body[2].kind, StmtKind::Return { .. }));
+    }
+
+    #[test]
+    fn error_reports_location() {
+        let err = parse_src("class C {\n  field ; \n}").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("2:"), "location missing in: {msg}");
+        assert!(msg.contains("field name"));
+    }
+
+    #[test]
+    fn rejects_garbage_at_top_level() {
+        assert!(parse_src("banana").is_err());
+    }
+
+    #[test]
+    fn empty_module_is_fine() {
+        let m = parse_src("").unwrap();
+        assert!(m.classes.is_empty());
+    }
+}

@@ -1,0 +1,357 @@
+//! Pretty-printer: renders a [`Program`] back to `.jir` source.
+//!
+//! The printer emits *canonical* names (classes keep their declared names,
+//! sanitized and deduplicated; fields and methods are qualified enough to be
+//! unambiguous; locals keep their names where possible). Labels of
+//! allocation and invocation sites are not part of the surface syntax, so a
+//! print → parse round trip preserves program *structure* — instruction
+//! counts, points-to results, call graphs — but not site labels. The
+//! round-trip property tests in this crate assert exactly that.
+
+use std::fmt::Write as _;
+
+use pta_ir::hash::FxHashMap;
+use pta_ir::{Instr, MethodId, Program, VarId};
+
+/// Renders `program` as parseable `.jir` source.
+pub fn print_program(program: &Program) -> String {
+    let names = Names::build(program);
+    let mut out = String::new();
+
+    for ty in program.types() {
+        let class_name = &names.types[ty.index()];
+        match program.type_parent(ty) {
+            Some(p) => {
+                let _ = writeln!(out, "class {class_name} : {} {{", names.types[p.index()]);
+            }
+            None => {
+                let _ = writeln!(out, "class {class_name} {{");
+            }
+        }
+        // Fields declared by this class.
+        for (fi, fname) in names.fields.iter().enumerate() {
+            let f = pta_ir::FieldId::from_index(fi);
+            if program.field_owner(f) == ty {
+                if program.field_is_static(f) {
+                    let _ = writeln!(out, "    static field {fname};");
+                } else {
+                    let _ = writeln!(out, "    field {fname};");
+                }
+            }
+        }
+        // Methods declared by this class.
+        for m in program.methods() {
+            if program.method_declaring(m) != ty {
+                continue;
+            }
+            let kw = if program.method_is_static(m) {
+                "static"
+            } else {
+                "method"
+            };
+            let params: Vec<String> = program
+                .formals(m)
+                .iter()
+                .map(|&v| names.var(m, v))
+                .collect();
+            let catches = program.catches(m);
+            let catch_suffix = if catches.is_empty() {
+                String::new()
+            } else {
+                let clauses: Vec<String> = catches
+                    .iter()
+                    .map(|&(cty, binder)| {
+                        format!("{} {}", names.types[cty.index()], names.var(m, binder))
+                    })
+                    .collect();
+                format!(" catch ({})", clauses.join(", "))
+            };
+            let _ = writeln!(
+                out,
+                "    {kw} {}({}){catch_suffix} {{",
+                names.methods[m.index()],
+                params.join(", ")
+            );
+            for instr in program.instrs(m) {
+                let line = match *instr {
+                    Instr::Alloc { var, heap } => format!(
+                        "{} = new {}",
+                        names.var(m, var),
+                        names.types[program.heap_type(heap).index()]
+                    ),
+                    Instr::Move { to, from } => {
+                        format!("{} = {}", names.var(m, to), names.var(m, from))
+                    }
+                    Instr::Cast { to, from, ty } => format!(
+                        "{} = ({}) {}",
+                        names.var(m, to),
+                        names.types[ty.index()],
+                        names.var(m, from)
+                    ),
+                    Instr::Load { to, base, field } => format!(
+                        "{} = {}.{}",
+                        names.var(m, to),
+                        names.var(m, base),
+                        names.fields[field.index()]
+                    ),
+                    Instr::Store { base, field, from } => format!(
+                        "{}.{} = {}",
+                        names.var(m, base),
+                        names.fields[field.index()],
+                        names.var(m, from)
+                    ),
+                    Instr::Throw { var } => format!("throw {}", names.var(m, var)),
+                    Instr::SLoad { to, field } => format!(
+                        "{} = {}.{}",
+                        names.var(m, to),
+                        names.types[program.field_owner(field).index()],
+                        names.fields[field.index()]
+                    ),
+                    Instr::SStore { field, from } => format!(
+                        "{}.{} = {}",
+                        names.types[program.field_owner(field).index()],
+                        names.fields[field.index()],
+                        names.var(m, from)
+                    ),
+                    Instr::VCall { base, sig, invo } => {
+                        let args: Vec<String> = program
+                            .actual_args(invo)
+                            .iter()
+                            .map(|&a| names.var(m, a))
+                            .collect();
+                        let call = format!(
+                            "{}.{}({})",
+                            names.var(m, base),
+                            program.sig_name(sig),
+                            args.join(", ")
+                        );
+                        match program.actual_return(invo) {
+                            Some(r) => format!("{} = {call}", names.var(m, r)),
+                            None => call,
+                        }
+                    }
+                    Instr::SCall { target, invo } => {
+                        let args: Vec<String> = program
+                            .actual_args(invo)
+                            .iter()
+                            .map(|&a| names.var(m, a))
+                            .collect();
+                        let call = format!(
+                            "{}.{}({})",
+                            names.types[program.method_declaring(target).index()],
+                            names.methods[target.index()],
+                            args.join(", ")
+                        );
+                        match program.actual_return(invo) {
+                            Some(r) => format!("{} = {call}", names.var(m, r)),
+                            None => call,
+                        }
+                    }
+                };
+                let _ = writeln!(out, "        {line};");
+            }
+            if let Some(r) = program.formal_return(m) {
+                let _ = writeln!(out, "        return {};", names.var(m, r));
+            }
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "}}");
+        let _ = writeln!(out);
+    }
+
+    for &entry in program.entry_points() {
+        let _ = writeln!(
+            out,
+            "entry {}.{};",
+            names.types[program.method_declaring(entry).index()],
+            names.methods[entry.index()]
+        );
+    }
+    out
+}
+
+/// Canonical, collision-free names for every entity.
+struct Names {
+    types: Vec<String>,
+    fields: Vec<String>,
+    /// Method *surface* names. Virtual methods keep their signature name
+    /// (required for dispatch); static methods are deduplicated per class.
+    methods: Vec<String>,
+    vars: FxHashMap<(MethodId, VarId), String>,
+}
+
+impl Names {
+    fn build(program: &Program) -> Names {
+        let mut used_class = FxHashMap::default();
+        let types: Vec<String> = program
+            .types()
+            .map(|t| unique(&mut used_class, &sanitize(program.type_name(t))))
+            .collect();
+
+        // Field names must be globally unique in the surface syntax. Keep
+        // the declared name when it is already unique (so printing is
+        // idempotent) and qualify with the owner class only on collision.
+        let mut name_counts: FxHashMap<String, usize> = FxHashMap::default();
+        for fi in 0..program.field_count() {
+            let f = pta_ir::FieldId::from_index(fi);
+            *name_counts
+                .entry(sanitize(program.field_name(f)))
+                .or_default() += 1;
+        }
+        let mut used_fields = FxHashMap::default();
+        let mut fields = Vec::with_capacity(program.field_count());
+        for fi in 0..program.field_count() {
+            let f = pta_ir::FieldId::from_index(fi);
+            let plain = sanitize(program.field_name(f));
+            let base = if name_counts[&plain] == 1 {
+                plain
+            } else {
+                let owner = program.field_owner(f);
+                format!(
+                    "{}_{plain}",
+                    sanitize(program.type_name(owner)).to_lowercase()
+                )
+            };
+            fields.push(unique(&mut used_fields, &base));
+        }
+
+        // Method names: virtual methods must keep their signature name so
+        // overriding still lines up; static methods keep their name (the
+        // builder scopes them per class). Both are sanitized.
+        let methods: Vec<String> = program
+            .methods()
+            .map(|m| sanitize(program.method_name(m)))
+            .collect();
+
+        // Variables: per-method unique names; `this` stays `this`. Class
+        // names are reserved so a printed local never shadows a class
+        // (which would flip static accesses to instance accesses on
+        // re-parse).
+        let mut vars = FxHashMap::default();
+        for m in program.methods() {
+            let mut used: FxHashMap<String, usize> = FxHashMap::default();
+            used.insert("this".to_owned(), 1);
+            for t in &types {
+                used.insert(t.clone(), 1);
+            }
+            if let Some(t) = program.this_var(m) {
+                vars.insert((m, t), "this".to_owned());
+            }
+            for v in program.vars() {
+                if program.var_method(v) != m || Some(v) == program.this_var(m) {
+                    continue;
+                }
+                let name = unique(&mut used, &sanitize(program.var_name(v)));
+                vars.insert((m, v), name);
+            }
+        }
+
+        Names {
+            types,
+            fields,
+            methods,
+            vars,
+        }
+    }
+
+    fn var(&self, m: MethodId, v: VarId) -> String {
+        self.vars[&(m, v)].clone()
+    }
+}
+
+/// Keeps `[A-Za-z0-9_$]`, replaces everything else with `_`, and ensures a
+/// non-digit first character.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() || out.chars().next().unwrap().is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    // Avoid keywords.
+    match out.as_str() {
+        "class" | "field" | "method" | "static" | "new" | "return" | "entry" | "throw"
+        | "catch" => {
+            out.push('_');
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Deduplicates `base` against previously issued names.
+fn unique(used: &mut FxHashMap<String, usize>, base: &str) -> String {
+    match used.get_mut(base) {
+        None => {
+            used.insert(base.to_owned(), 1);
+            base.to_owned()
+        }
+        Some(count) => {
+            *count += 1;
+            let fresh = format!("{base}_{count}");
+            used.insert(fresh.clone(), 1);
+            fresh
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+    use pta_ir::ProgramStats;
+
+    const SAMPLE: &str = r#"
+        class Object {}
+        class Box : Object {
+            field value;
+            method set(v) { this.value = v; }
+            method get() { r = this.value; return r; }
+        }
+        class Main : Object {
+            static main() {
+                b = new Box;
+                p = new Object;
+                b.set(p);
+                r = b.get();
+                c = (Object) r;
+                Main.aux(r);
+            }
+            static aux(x) {}
+        }
+        entry Main.main;
+    "#;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let p1 = parse_program(SAMPLE).unwrap();
+        let text = print_program(&p1);
+        let p2 = parse_program(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(ProgramStats::of(&p1), ProgramStats::of(&p2));
+        assert_eq!(p1.entry_points().len(), p2.entry_points().len());
+    }
+
+    #[test]
+    fn sanitize_handles_odd_names() {
+        assert_eq!(sanitize("foo bar"), "foo_bar");
+        assert_eq!(sanitize("1abc"), "_1abc");
+        assert_eq!(sanitize("class"), "class_");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn unique_appends_counters() {
+        let mut used = FxHashMap::default();
+        assert_eq!(unique(&mut used, "x"), "x");
+        assert_eq!(unique(&mut used, "x"), "x_2");
+        assert_eq!(unique(&mut used, "x"), "x_3");
+        assert_eq!(unique(&mut used, "y"), "y");
+    }
+}

@@ -1,0 +1,65 @@
+//! Print → parse round-trip: the pretty-printer's output must re-parse to a
+//! structurally identical program, and the *analysis results* of original
+//! and round-tripped programs must coincide (up to entity renumbering,
+//! compared via size-signatures of points-to sets and call graphs).
+
+use proptest::prelude::*;
+
+use pta_core::{analyze, Analysis};
+use pta_ir::{Program, ProgramStats};
+use pta_lang::{parse_program, print_program};
+use pta_workload::{generate, WorkloadConfig};
+
+/// An ID-independent signature of an analysis result: the sorted multiset
+/// of per-variable points-to sizes, the edge count, and reachable-method
+/// count. Equal programs (up to renaming) must produce equal signatures.
+fn signature(program: &Program, analysis: Analysis) -> (Vec<usize>, usize, usize, u64) {
+    let r = analyze(program, &analysis);
+    let mut sizes: Vec<usize> = program
+        .vars()
+        .map(|v| r.points_to(v).len())
+        .filter(|&n| n > 0)
+        .collect();
+    sizes.sort_unstable();
+    (
+        sizes,
+        r.call_graph_edge_count(),
+        r.reachable_method_count(),
+        r.ctx_var_points_to_count(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn roundtrip_preserves_structure_and_semantics(seed in 0u64..10_000) {
+        let original = generate(&WorkloadConfig::tiny(seed));
+        let text = print_program(&original);
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("reparse failed for seed {seed}: {e}"));
+
+        // Structure: identical instruction counts.
+        prop_assert_eq!(ProgramStats::of(&original), ProgramStats::of(&reparsed));
+
+        // Semantics: identical analysis signatures for representative
+        // analyses (insensitive, object-sensitive, selective hybrid).
+        for analysis in [Analysis::Insens, Analysis::OneObj, Analysis::STwoObjH] {
+            prop_assert_eq!(
+                signature(&original, analysis),
+                signature(&reparsed, analysis),
+                "analysis {} differs after round-trip (seed {})",
+                analysis,
+                seed
+            );
+        }
+    }
+
+    #[test]
+    fn double_roundtrip_is_stable(seed in 0u64..10_000) {
+        let original = generate(&WorkloadConfig::tiny(seed));
+        let once = print_program(&original);
+        let twice = print_program(&parse_program(&once).unwrap());
+        prop_assert_eq!(once, twice, "printer not idempotent for seed {}", seed);
+    }
+}

@@ -1,0 +1,1288 @@
+//! The workload generator.
+//!
+//! Generation proceeds in two phases. Phase one builds a *library*: class
+//! hierarchies with virtual-method variants, container classes, and static
+//! utility classes (identity helpers, wrappers that allocate containers,
+//! `fill` helpers that virtual-call through a parameter, and chains of
+//! nested static calls). Phase two synthesizes the *application layer*:
+//!
+//! - **service classes** whose instance methods do the bulk of the work —
+//!   each service allocates its own container in an `init` method (the
+//!   classic per-instance allocation that only a context-sensitive *heap*
+//!   separates), runs seeded-random operation sequences in `run`/`step`
+//!   methods, and chains to other services through a `next` field;
+//! - **static task and setup layers** gluing services together — `setup(s)`
+//!   calls `s.init()` through one shared virtual site (collapsing
+//!   call-site-sensitive distinctions, as real factory loops do);
+//! - a `main` that allocates services at distinct sites (object-sensitive
+//!   analyses distinguish them) and fans out through many static call
+//!   sites (where the paper's `MergeStatic` differentiation pays off).
+//!
+//! The generator tracks an approximate static type for every local so that
+//! virtual calls always name signatures their receivers can dispatch
+//! (mirroring javac output), while casts are intentionally optimistic
+//! (deserialization-style) so the may-fail-casts client has work to do.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pta_ir::{FieldId, MethodId, Program, ProgramBuilder, TypeId, VarId};
+
+use crate::config::WorkloadConfig;
+use crate::prelude::{build_array_list, build_pair, ArrayListClasses, PairClasses};
+
+/// Generates the program described by `config`.
+///
+/// Deterministic: equal configs produce identical programs.
+pub fn generate(config: &WorkloadConfig) -> Program {
+    Gen::new(config).run()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VKind {
+    /// An instance of (a subclass of) hierarchy `h`.
+    Hier(usize),
+    /// An instance of container class `c`.
+    Container(usize),
+    /// A prelude `List` instance.
+    List,
+    /// A prelude `Pair` instance.
+    Pair,
+    /// Statically unknown (helper results, container reads).
+    Other,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum UtilKind {
+    /// `id(x) = x` — 1 arg, returns.
+    Id,
+    /// `wrap(x)` — allocates container `c`, sets `x`, returns it.
+    Wrap(usize),
+    /// `fill(c, v)` — virtual-calls `c.set(v)`; 2 args, no return.
+    Fill,
+    /// Head of a static call chain; identity overall.
+    Chain,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct UtilEntry {
+    meth: MethodId,
+    kind: UtilKind,
+}
+
+#[derive(Debug, Clone)]
+struct ServiceInfo {
+    ty: TypeId,
+    /// Container class index its `init` allocates.
+    con: usize,
+    /// Preferred hierarchy: the type family this service mostly stores in
+    /// its own container (and casts retrievals back to).
+    pref: usize,
+    con_field: FieldId,
+    next_field: FieldId,
+    run: MethodId,
+    steps: Vec<MethodId>,
+}
+
+struct Gen<'c> {
+    cfg: &'c WorkloadConfig,
+    rng: SmallRng,
+    b: ProgramBuilder,
+    object: TypeId,
+    /// Per hierarchy: base type followed by subclass types.
+    hier_subs: Vec<Vec<TypeId>>,
+    containers: Vec<TypeId>,
+    utils: Vec<UtilEntry>,
+    services: Vec<ServiceInfo>,
+    setup: Option<MethodId>,
+    tasks: Vec<MethodId>,
+    lists: Option<ArrayListClasses>,
+    pairs: Option<PairClasses>,
+    /// Global registry cells (static fields) — context-insensitive by
+    /// nature, a realistic source of conflation in every analysis.
+    registry: Vec<pta_ir::FieldId>,
+    /// Error hierarchy: `[base, sub0, sub1]` used by throw/catch traffic.
+    errors: Vec<TypeId>,
+}
+
+impl<'c> Gen<'c> {
+    fn new(cfg: &'c WorkloadConfig) -> Gen<'c> {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        Gen {
+            cfg,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            b,
+            object,
+            hier_subs: Vec::new(),
+            containers: Vec::new(),
+            utils: Vec::new(),
+            services: Vec::new(),
+            setup: None,
+            tasks: Vec::new(),
+            lists: None,
+            pairs: None,
+            registry: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Program {
+        self.build_hierarchies();
+        self.build_containers();
+        // The miniature standard library (lists, iterators, pairs) shared
+        // by every workload, like the JDK in the paper's measurements.
+        self.lists = Some(build_array_list(&mut self.b, self.object));
+        self.pairs = Some(build_pair(&mut self.b, self.object));
+        // Global registry: a handful of static fields (the language
+        // feature the paper's model omits; included here as in full Doop).
+        // Error hierarchy for throw/catch traffic.
+        let err_base = self.b.class("Err", Some(self.object));
+        let err_a = self.b.class("ErrA", Some(err_base));
+        let err_b = self.b.class("ErrB", Some(err_base));
+        self.errors = vec![err_base, err_a, err_b];
+        let registry_class = self.b.class("Registry", Some(self.object));
+        let cells = (self.cfg.containers / 3).max(1);
+        for i in 0..cells {
+            let f = self.b.static_field(registry_class, &format!("reg{i}"));
+            self.registry.push(f);
+        }
+        self.build_utils();
+        self.build_services();
+        self.build_glue();
+        self.build_main();
+        self.b
+            .finish()
+            .expect("generated workload must be well-formed")
+    }
+
+    // ----- library ----------------------------------------------------------
+
+    /// Hierarchies: a base class with `process`/`fresh` virtual methods and
+    /// `subclasses` overriding variants (store-and-load, fresh-allocation,
+    /// identity). Odd-indexed subclasses extend their predecessor, giving
+    /// depth-2 chains; all participate in dispatch.
+    fn build_hierarchies(&mut self) {
+        for h in 0..self.cfg.hierarchies {
+            let base = self.b.class(&format!("Hier{h}"), Some(self.object));
+            let data = self.b.field(base, &format!("h{h}_data"));
+
+            // Base: store + load.
+            let process = self.b.method(base, "process", &["x"], false);
+            let this = self.b.this(process).unwrap();
+            let x = self.b.formals(process)[0];
+            let r = self.b.var(process, "r");
+            self.b.store(process, this, data, x);
+            self.b.load(process, r, this, data);
+            self.b.set_return(process, r);
+
+            let fresh = self.b.method(base, "fresh", &[], false);
+            let n = self.b.var(fresh, "n");
+            self.b.alloc(fresh, n, base, &format!("Hier{h}.fresh/new"));
+            self.b.set_return(fresh, n);
+
+            let mut subs = vec![base];
+            for i in 0..self.cfg.subclasses {
+                let parent = if i % 2 == 1 {
+                    subs[subs.len() - 1]
+                } else {
+                    base
+                };
+                let sub = self.b.class(&format!("Hier{h}S{i}"), Some(parent));
+
+                let process = self.b.method(sub, "process", &["x"], false);
+                let this = self.b.this(process).unwrap();
+                let x = self.b.formals(process)[0];
+                match i % 3 {
+                    0 => {
+                        let r = self.b.var(process, "r");
+                        self.b.store(process, this, data, x);
+                        self.b.load(process, r, this, data);
+                        self.b.set_return(process, r);
+                    }
+                    1 => {
+                        let n = self.b.var(process, "n");
+                        self.b.store(process, this, data, x);
+                        self.b
+                            .alloc(process, n, sub, &format!("Hier{h}S{i}.process/new"));
+                        self.b.set_return(process, n);
+                    }
+                    _ => {
+                        self.b.set_return(process, x);
+                    }
+                }
+
+                let fresh = self.b.method(sub, "fresh", &[], false);
+                let n = self.b.var(fresh, "n");
+                self.b
+                    .alloc(fresh, n, sub, &format!("Hier{h}S{i}.fresh/new"));
+                self.b.set_return(fresh, n);
+
+                subs.push(sub);
+            }
+            self.hier_subs.push(subs);
+        }
+    }
+
+    /// Containers: field + `set`/`get` virtual methods. All containers
+    /// share the `set`/`get` signature so helper methods can operate on any
+    /// of them.
+    fn build_containers(&mut self) {
+        for c in 0..self.cfg.containers {
+            let ty = self.b.class(&format!("Con{c}"), Some(self.object));
+            let field = self.b.field(ty, &format!("con{c}_v"));
+
+            let set = self.b.method(ty, "set", &["x"], false);
+            let this = self.b.this(set).unwrap();
+            let x = self.b.formals(set)[0];
+            self.b.store(set, this, field, x);
+
+            let get = self.b.method(ty, "get", &[], false);
+            let this = self.b.this(get).unwrap();
+            let r = self.b.var(get, "r");
+            self.b.load(get, r, this, field);
+            self.b.set_return(get, r);
+
+            self.containers.push(ty);
+        }
+    }
+
+    /// Static utility classes: per group an identity helper, a wrapper
+    /// (allocates a container and fills it), a `fill` helper (virtual call
+    /// through a parameter — the pattern where shallow call-site
+    /// sensitivity loses container identity), and a chain of nested static
+    /// calls (the static-call-inside-static-call shape whose context the
+    /// selective hybrids treat specially).
+    fn build_utils(&mut self) {
+        for u in 0..self.cfg.util_classes {
+            let class = self.b.class(&format!("Util{u}"), Some(self.object));
+            for j in 0..self.cfg.utils_per_class {
+                // id(x) = x
+                let id = self.b.method(class, &format!("id{j}"), &["x"], true);
+                let x = self.b.formals(id)[0];
+                self.b.set_return(id, x);
+                self.utils.push(UtilEntry {
+                    meth: id,
+                    kind: UtilKind::Id,
+                });
+
+                // wrap(x) = { b = new Con; b.set(x); return b; }
+                if !self.containers.is_empty() {
+                    let cidx = self.rng.gen_range(0..self.containers.len());
+                    let wrap = self.b.method(class, &format!("wrap{j}"), &["x"], true);
+                    let x = self.b.formals(wrap)[0];
+                    let bx = self.b.var(wrap, "b");
+                    self.b.alloc(
+                        wrap,
+                        bx,
+                        self.containers[cidx],
+                        &format!("Util{u}.wrap{j}/new"),
+                    );
+                    self.b
+                        .vcall(wrap, bx, "set", &[x], None, &format!("Util{u}.wrap{j}/set"));
+                    self.b.set_return(wrap, bx);
+                    self.utils.push(UtilEntry {
+                        meth: wrap,
+                        kind: UtilKind::Wrap(cidx),
+                    });
+
+                    // fill(c, v) = { c.set(v); }
+                    let fill = self.b.method(class, &format!("fill{j}"), &["c", "v"], true);
+                    let cp = self.b.formals(fill)[0];
+                    let vp = self.b.formals(fill)[1];
+                    self.b.vcall(
+                        fill,
+                        cp,
+                        "set",
+                        &[vp],
+                        None,
+                        &format!("Util{u}.fill{j}/set"),
+                    );
+                    self.utils.push(UtilEntry {
+                        meth: fill,
+                        kind: UtilKind::Fill,
+                    });
+                }
+
+                // chain_0(x) -> chain_1(x) -> ... -> x
+                let mut prev: Option<MethodId> = None;
+                for d in (0..self.cfg.chain_depth).rev() {
+                    let link = self.b.method(class, &format!("chain{j}x{d}"), &["x"], true);
+                    let x = self.b.formals(link)[0];
+                    match prev {
+                        None => self.b.set_return(link, x),
+                        Some(next) => {
+                            let r = self.b.var(link, "r");
+                            self.b.scall(
+                                link,
+                                next,
+                                &[x],
+                                Some(r),
+                                &format!("Util{u}.chain{j}x{d}/call"),
+                            );
+                            self.b.set_return(link, r);
+                        }
+                    }
+                    prev = Some(link);
+                }
+                if let Some(head) = prev {
+                    self.utils.push(UtilEntry {
+                        meth: head,
+                        kind: UtilKind::Chain,
+                    });
+                }
+            }
+        }
+    }
+
+    // ----- application layer ---------------------------------------------
+
+    /// Services: the instance-method layer where most of the program's work
+    /// happens (as in real Java). Each service owns a container allocated
+    /// in its `init` — one allocation site shared by all instances of the
+    /// class, so only a context-sensitive heap keeps the instances'
+    /// contents apart.
+    fn build_services(&mut self) {
+        // Declare all classes and method headers first so bodies can
+        // reference any service (`run` dispatch through `next` fields).
+        let mut infos = Vec::new();
+        for i in 0..self.cfg.drivers {
+            let ty = self.b.class(&format!("Service{i}"), Some(self.object));
+            let con_field = self.b.field(ty, &format!("svc{i}_con"));
+            let next_field = self.b.field(ty, &format!("svc{i}_next"));
+            let con = if self.containers.is_empty() {
+                0
+            } else {
+                self.rng.gen_range(0..self.containers.len())
+            };
+            let pref = if self.hier_subs.is_empty() {
+                0
+            } else {
+                self.rng.gen_range(0..self.hier_subs.len())
+            };
+
+            // init(): per-instance container allocation.
+            let init = self.b.method(ty, "init", &[], false);
+            let this = self.b.this(init).unwrap();
+            if !self.containers.is_empty() {
+                let cv = self.b.var(init, "c");
+                self.b.alloc(
+                    init,
+                    cv,
+                    self.containers[con],
+                    &format!("Service{i}.init/new"),
+                );
+                self.b.store(init, this, con_field, cv);
+            }
+
+            // link(o): wire the next service.
+            let link = self.b.method(ty, "link", &["o"], false);
+            let this = self.b.this(link).unwrap();
+            let o = self.b.formals(link)[0];
+            self.b.store(link, this, next_field, o);
+
+            let run = self.b.method(ty, "run", &["x"], false);
+            // Every service's run() catches the error base type: exceptions
+            // thrown in step bodies or delegated services surface here.
+            if !self.errors.is_empty() && self.rng.gen_bool(0.7) {
+                let _ = self.b.catch_clause(run, self.errors[0], "err");
+            }
+            let steps: Vec<MethodId> = (0..2)
+                .map(|j| self.b.method(ty, &format!("step{j}"), &["x"], false))
+                .collect();
+
+            infos.push(ServiceInfo {
+                ty,
+                con,
+                pref,
+                con_field,
+                next_field,
+                run,
+                steps,
+            });
+        }
+        self.services = infos;
+
+        // Now fill bodies.
+        for i in 0..self.services.len() {
+            let run = self.services[i].run;
+            self.fill_instance_body(i, run, self.cfg.ops_per_driver, true);
+            for s in 0..self.services[i].steps.len() {
+                let step = self.services[i].steps[s];
+                self.fill_instance_body(i, step, self.cfg.ops_per_driver / 3 + 1, false);
+            }
+        }
+    }
+
+    /// Static glue: `Setup.setup(s)` calls `s.init()` through one shared
+    /// virtual site (as a factory loop would), and task methods that
+    /// allocate a service, set it up, and run it.
+    fn build_glue(&mut self) {
+        let glue = self.b.class("Setup", Some(self.object));
+
+        let setup = self.b.method(glue, "setup", &["s"], true);
+        let s = self.b.formals(setup)[0];
+        self.b
+            .vcall(setup, s, "init", &[], None, "Setup.setup/init");
+        self.setup = Some(setup);
+
+        let tasks = (self.cfg.drivers / 2).max(1);
+        for t in 0..tasks {
+            // One class per task: allocation sites spread across classes,
+            // which is what gives type-sensitivity its contexts (`CA` maps
+            // each site to its containing class).
+            let task_class = self.b.class(&format!("Task{t}"), Some(self.object));
+            let task = self.b.method(task_class, &format!("task{t}"), &["x"], true);
+            let x = self.b.formals(task)[0];
+            if self.services.is_empty() {
+                self.b.set_return(task, x);
+            } else {
+                let i = self.rng.gen_range(0..self.services.len());
+                let sv = self.b.var(task, "s");
+                let r = self.b.var(task, "r");
+                self.b
+                    .alloc(task, sv, self.services[i].ty, &format!("Task{t}/new"));
+                self.b
+                    .scall(task, setup, &[sv], None, &format!("Task{t}/setup"));
+                self.b
+                    .vcall(task, sv, "run", &[x], Some(r), &format!("Task{t}/run"));
+                self.b.set_return(task, r);
+            }
+            self.tasks.push(task);
+        }
+    }
+
+    /// Generates one instance-method body of `ops` random operations for
+    /// service `index`. `allow_steps` gates `this.step(v)` and
+    /// next-service calls so step bodies do not immediately recurse.
+    fn fill_instance_body(&mut self, index: usize, meth: MethodId, ops: usize, allow_steps: bool) {
+        let info = self.services[index].clone();
+        let this = self.b.this(meth).unwrap();
+        let x = self.b.formals(meth)[0];
+        let mut pool: Vec<(VarId, VKind)> = vec![(x, VKind::Other)];
+        let mut counter = 0usize;
+
+        // The service's own container, loaded from the field.
+        if !self.containers.is_empty() {
+            let cv = self.b.var(meth, "own");
+            self.b.load(meth, cv, this, info.con_field);
+            pool.push((cv, VKind::Container(info.con)));
+        }
+
+        let mut site = 0usize;
+        for _ in 0..ops {
+            let op = self.rng.gen_range(0..100u32);
+            site += 1;
+            match op {
+                // Allocate a hierarchy instance.
+                0..=9 => {
+                    if self.hier_subs.is_empty() {
+                        continue;
+                    }
+                    let h = self.rng.gen_range(0..self.hier_subs.len());
+                    let s = self.rng.gen_range(0..self.hier_subs[h].len());
+                    let v = self.fresh_var(meth, &mut counter);
+                    self.b.alloc(
+                        meth,
+                        v,
+                        self.hier_subs[h][s],
+                        &format!("svc{index}/alloc#{site}"),
+                    );
+                    pool.push((v, VKind::Hier(h)));
+                }
+                // Write into a container (mostly the service's own). The
+                // value is biased toward the service's preferred hierarchy
+                // so that retrieval casts are provable by analyses that
+                // keep per-instance container contents apart.
+                10..=24 => {
+                    if let Some(cv) = self.pick_container(&pool) {
+                        let pv = if !self.hier_subs.is_empty() && self.rng.gen_bool(0.8) {
+                            let ph = info.pref;
+                            let si = self.rng.gen_range(0..self.hier_subs[ph].len());
+                            let v = self.fresh_var(meth, &mut counter);
+                            self.b.alloc(
+                                meth,
+                                v,
+                                self.hier_subs[ph][si],
+                                &format!("svc{index}/pstore#{site}"),
+                            );
+                            pool.push((v, VKind::Hier(ph)));
+                            v
+                        } else {
+                            self.pick_any(&pool)
+                        };
+                        if self.rng.gen_bool(0.5) {
+                            self.b.vcall(
+                                meth,
+                                cv,
+                                "set",
+                                &[pv],
+                                None,
+                                &format!("svc{index}/set#{site}"),
+                            );
+                        } else if let Some(fill) = self.pick_util(|k| matches!(k, UtilKind::Fill)) {
+                            self.b.scall(
+                                meth,
+                                fill,
+                                &[cv, pv],
+                                None,
+                                &format!("svc{index}/fill#{site}"),
+                            );
+                        }
+                    }
+                }
+                // Read from a container, optionally downcast.
+                25..=39 => {
+                    if let Some(cv) = self.pick_container(&pool) {
+                        let r = self.fresh_var(meth, &mut counter);
+                        self.b.vcall(
+                            meth,
+                            cv,
+                            "get",
+                            &[],
+                            Some(r),
+                            &format!("svc{index}/get#{site}"),
+                        );
+                        if !self.hier_subs.is_empty()
+                            && self.rng.gen_range(0..100) < self.cfg.cast_percent
+                        {
+                            // Mostly cast back to the preferred hierarchy's
+                            // base (provable when the container is kept
+                            // clean), sometimes to a random subclass
+                            // (unprovable noise, as in deserialization).
+                            let (h, s) = if self.rng.gen_bool(0.8) {
+                                (info.pref, 0)
+                            } else {
+                                let h = self.rng.gen_range(0..self.hier_subs.len());
+                                (h, self.rng.gen_range(0..self.hier_subs[h].len()))
+                            };
+                            let cast = self.fresh_var(meth, &mut counter);
+                            self.b.cast(meth, cast, r, self.hier_subs[h][s]);
+                            pool.push((cast, VKind::Hier(h)));
+                        } else {
+                            pool.push((r, VKind::Other));
+                        }
+                    }
+                }
+                // Virtual dispatch into a hierarchy.
+                40..=52 => {
+                    if let Some(hv) = self.pick_hier(&pool) {
+                        let av = self.pick_any(&pool);
+                        let r = self.fresh_var(meth, &mut counter);
+                        self.b.vcall(
+                            meth,
+                            hv,
+                            "process",
+                            &[av],
+                            Some(r),
+                            &format!("svc{index}/process#{site}"),
+                        );
+                        pool.push((r, VKind::Other));
+                    }
+                }
+                // Factory call.
+                53..=57 => {
+                    if let Some((hv, h)) = self.pick_hier_with_index(&pool) {
+                        let r = self.fresh_var(meth, &mut counter);
+                        self.b.vcall(
+                            meth,
+                            hv,
+                            "fresh",
+                            &[],
+                            Some(r),
+                            &format!("svc{index}/fresh#{site}"),
+                        );
+                        pool.push((r, VKind::Hier(h)));
+                    }
+                }
+                // Paired static conversion: two calls to the *same* static
+                // helper in one method body, each result downcast to its
+                // own type. Analyses whose `MergeStatic` copies the caller
+                // context (1obj, 2obj+H, 2type+H) analyze both calls under
+                // one context, conflate the payloads, and fail both casts;
+                // hybrids that append the invocation site keep them apart.
+                // Routing ~20% through a chain helper exercises the
+                // static-call-inside-static-call case where S-2obj+H's
+                // context shape retains the outer call site but the
+                // uniform hybrid's does not.
+                58..=60 => {
+                    if self.hier_subs.len() >= 2 {
+                        let h1 = self.rng.gen_range(0..self.hier_subs.len());
+                        let mut h2 = self.rng.gen_range(0..self.hier_subs.len());
+                        if h2 == h1 {
+                            h2 = (h1 + 1) % self.hier_subs.len();
+                        }
+                        let want_chain = self.rng.gen_bool(0.2);
+                        let util = self.pick_util(|k| {
+                            if want_chain {
+                                matches!(k, UtilKind::Chain)
+                            } else {
+                                matches!(k, UtilKind::Id)
+                            }
+                        });
+                        if let Some(util) = util {
+                            let s1 = self.rng.gen_range(0..self.hier_subs[h1].len());
+                            let s2 = self.rng.gen_range(0..self.hier_subs[h2].len());
+                            let v1 = self.fresh_var(meth, &mut counter);
+                            let v2 = self.fresh_var(meth, &mut counter);
+                            self.b.alloc(
+                                meth,
+                                v1,
+                                self.hier_subs[h1][s1],
+                                &format!("svc{index}/pairA#{site}"),
+                            );
+                            self.b.alloc(
+                                meth,
+                                v2,
+                                self.hier_subs[h2][s2],
+                                &format!("svc{index}/pairB#{site}"),
+                            );
+                            let r1 = self.fresh_var(meth, &mut counter);
+                            let r2 = self.fresh_var(meth, &mut counter);
+                            self.b.scall(
+                                meth,
+                                util,
+                                &[v1],
+                                Some(r1),
+                                &format!("svc{index}/convA#{site}"),
+                            );
+                            self.b.scall(
+                                meth,
+                                util,
+                                &[v2],
+                                Some(r2),
+                                &format!("svc{index}/convB#{site}"),
+                            );
+                            // Use the raw results as receivers before
+                            // casting: an analysis that conflated the two
+                            // helper calls now dispatches `process` over
+                            // both hierarchies at each site, paying for its
+                            // imprecision downstream — the mechanism behind
+                            // the paper's selective-hybrid speedups.
+                            let t1 = self.fresh_var(meth, &mut counter);
+                            let t2 = self.fresh_var(meth, &mut counter);
+                            self.b.vcall(
+                                meth,
+                                r1,
+                                "process",
+                                &[v1],
+                                Some(t1),
+                                &format!("svc{index}/rawA#{site}"),
+                            );
+                            self.b.vcall(
+                                meth,
+                                r2,
+                                "process",
+                                &[v2],
+                                Some(t2),
+                                &format!("svc{index}/rawB#{site}"),
+                            );
+                            let c1 = self.fresh_var(meth, &mut counter);
+                            let c2 = self.fresh_var(meth, &mut counter);
+                            self.b.cast(meth, c1, r1, self.hier_subs[h1][0]);
+                            self.b.cast(meth, c2, r2, self.hier_subs[h2][0]);
+                            pool.push((c1, VKind::Hier(h1)));
+                            pool.push((c2, VKind::Hier(h2)));
+                        }
+                    }
+                }
+                // Paired virtual conversion: the same identity-returning
+                // virtual method called twice on one receiver with payloads
+                // of different types, results downcast. Only a `Merge` that
+                // includes the invocation site (the uniform hybrids, or
+                // call-site-sensitivity) separates the two calls.
+                61..=61 => {
+                    if self.cfg.subclasses >= 3 && self.hier_subs.len() >= 2 {
+                        // Subclass i uses the identity `process` variant
+                        // when i % 3 == 2; it sits at subs[i + 1].
+                        let hr = self.rng.gen_range(0..self.hier_subs.len());
+                        let recv_ty = self.hier_subs[hr][3];
+                        let h1 = self.rng.gen_range(0..self.hier_subs.len());
+                        let mut h2 = self.rng.gen_range(0..self.hier_subs.len());
+                        if h2 == h1 {
+                            h2 = (h1 + 1) % self.hier_subs.len();
+                        }
+                        let recv = self.fresh_var(meth, &mut counter);
+                        self.b
+                            .alloc(meth, recv, recv_ty, &format!("svc{index}/vrecv#{site}"));
+                        let p1 = self.fresh_var(meth, &mut counter);
+                        let p2 = self.fresh_var(meth, &mut counter);
+                        let s1 = self.rng.gen_range(0..self.hier_subs[h1].len());
+                        let s2 = self.rng.gen_range(0..self.hier_subs[h2].len());
+                        self.b.alloc(
+                            meth,
+                            p1,
+                            self.hier_subs[h1][s1],
+                            &format!("svc{index}/vpayA#{site}"),
+                        );
+                        self.b.alloc(
+                            meth,
+                            p2,
+                            self.hier_subs[h2][s2],
+                            &format!("svc{index}/vpayB#{site}"),
+                        );
+                        let r1 = self.fresh_var(meth, &mut counter);
+                        let r2 = self.fresh_var(meth, &mut counter);
+                        self.b.vcall(
+                            meth,
+                            recv,
+                            "process",
+                            &[p1],
+                            Some(r1),
+                            &format!("svc{index}/vconvA#{site}"),
+                        );
+                        self.b.vcall(
+                            meth,
+                            recv,
+                            "process",
+                            &[p2],
+                            Some(r2),
+                            &format!("svc{index}/vconvB#{site}"),
+                        );
+                        let c1 = self.fresh_var(meth, &mut counter);
+                        let c2 = self.fresh_var(meth, &mut counter);
+                        self.b.cast(meth, c1, r1, self.hier_subs[h1][0]);
+                        self.b.cast(meth, c2, r2, self.hier_subs[h2][0]);
+                        pool.push((c1, VKind::Hier(h1)));
+                        pool.push((c2, VKind::Hier(h2)));
+                    }
+                }
+                // Wrap echo: wrap a preferred-hierarchy value in a fresh
+                // container through the shared static `wrap` helper, read
+                // it back, and downcast. The wrapper's allocation site is
+                // shared program-wide, so only a context-sensitive *heap*
+                // (2obj+H and its hybrids: hctx = the calling service)
+                // keeps different services' wrappers apart; 1obj, 1call and
+                // 1call+H all conflate them — the paper's heap-context
+                // lesson.
+                62..=71 => {
+                    if !self.hier_subs.is_empty() {
+                        if let Some(wrap) = self.pick_util(|k| matches!(k, UtilKind::Wrap(_))) {
+                            let ph = info.pref;
+                            let si = self.rng.gen_range(0..self.hier_subs[ph].len());
+                            let v = self.fresh_var(meth, &mut counter);
+                            self.b.alloc(
+                                meth,
+                                v,
+                                self.hier_subs[ph][si],
+                                &format!("svc{index}/echo#{site}"),
+                            );
+                            let w = self.fresh_var(meth, &mut counter);
+                            self.b.scall(
+                                meth,
+                                wrap,
+                                &[v],
+                                Some(w),
+                                &format!("svc{index}/wrap#{site}"),
+                            );
+                            let r = self.fresh_var(meth, &mut counter);
+                            self.b.vcall(
+                                meth,
+                                w,
+                                "get",
+                                &[],
+                                Some(r),
+                                &format!("svc{index}/unwrap#{site}"),
+                            );
+                            let c = self.fresh_var(meth, &mut counter);
+                            self.b.cast(meth, c, r, self.hier_subs[ph][0]);
+                            pool.push((c, VKind::Hier(ph)));
+                        }
+                    }
+                }
+                // Static helper: id / chain — the call sites whose
+                // contexts the hybrid analyses differentiate.
+                72..=75 => {
+                    if let Some(util) =
+                        self.pick_util(|k| matches!(k, UtilKind::Id | UtilKind::Chain))
+                    {
+                        let entry = self.utils.iter().find(|e| e.meth == util).copied().unwrap();
+                        let av = self.pick_any(&pool);
+                        let av_kind = pool
+                            .iter()
+                            .find(|(v, _)| *v == av)
+                            .map(|&(_, k)| k)
+                            .unwrap();
+                        let r = self.fresh_var(meth, &mut counter);
+                        self.b.scall(
+                            meth,
+                            util,
+                            &[av],
+                            Some(r),
+                            &format!("svc{index}/util#{site}"),
+                        );
+                        let kind = match entry.kind {
+                            UtilKind::Wrap(c) => VKind::Container(c),
+                            UtilKind::Id | UtilKind::Chain => av_kind,
+                            UtilKind::Fill => unreachable!("filtered out"),
+                        };
+                        pool.push((r, kind));
+                    }
+                }
+                // Step into a sibling instance method on `this`.
+                // Standard-library usage: lists (allocation, adds through
+                // the shared Entry site, reads with preferred-type casts,
+                // the iterator protocol, and the Lists static helpers) and
+                // pairs. This is the JDK-collections traffic that makes
+                // heap context valuable in the paper's benchmarks.
+                76..=85 => {
+                    let Some(lst) = self.lists else { continue };
+                    match self.rng.gen_range(0..5u32) {
+                        // Allocate a list, directly or via Lists.singleton.
+                        0 => {
+                            let lv = self.fresh_var(meth, &mut counter);
+                            if self.rng.gen_bool(0.5) {
+                                self.b.alloc(
+                                    meth,
+                                    lv,
+                                    lst.list,
+                                    &format!("svc{index}/newlist#{site}"),
+                                );
+                            } else {
+                                let pv = self.preferred_value(
+                                    meth,
+                                    &mut pool,
+                                    &mut counter,
+                                    index,
+                                    site,
+                                );
+                                self.b.scall(
+                                    meth,
+                                    lst.singleton,
+                                    &[pv],
+                                    Some(lv),
+                                    &format!("svc{index}/singleton#{site}"),
+                                );
+                            }
+                            pool.push((lv, VKind::List));
+                        }
+                        // Add into a list (preferred-type biased).
+                        1 => {
+                            if let Some(lv) = self.pick_kind(&pool, VKind::List) {
+                                let pv = self.preferred_value(
+                                    meth,
+                                    &mut pool,
+                                    &mut counter,
+                                    index,
+                                    site,
+                                );
+                                self.b.vcall(
+                                    meth,
+                                    lv,
+                                    "add",
+                                    &[pv],
+                                    None,
+                                    &format!("svc{index}/listadd#{site}"),
+                                );
+                            }
+                        }
+                        // Copy between lists through the static helper.
+                        2 => {
+                            if let (Some(src), Some(dst)) = (
+                                self.pick_kind(&pool, VKind::List),
+                                self.pick_kind(&pool, VKind::List),
+                            ) {
+                                self.b.scall(
+                                    meth,
+                                    lst.copy,
+                                    &[src, dst],
+                                    None,
+                                    &format!("svc{index}/listcopy#{site}"),
+                                );
+                            }
+                        }
+                        // Read, sometimes through the iterator protocol,
+                        // with a preferred-base downcast.
+                        3 => {
+                            if let Some(lv) = self.pick_kind(&pool, VKind::List) {
+                                let got = self.fresh_var(meth, &mut counter);
+                                if self.rng.gen_bool(0.5) {
+                                    let it = self.fresh_var(meth, &mut counter);
+                                    self.b.vcall(
+                                        meth,
+                                        lv,
+                                        "iterator",
+                                        &[],
+                                        Some(it),
+                                        &format!("svc{index}/iter#{site}"),
+                                    );
+                                    self.b.vcall(
+                                        meth,
+                                        it,
+                                        "next",
+                                        &[],
+                                        Some(got),
+                                        &format!("svc{index}/next#{site}"),
+                                    );
+                                } else if self.rng.gen_bool(0.5) {
+                                    self.b.vcall(
+                                        meth,
+                                        lv,
+                                        "get",
+                                        &[],
+                                        Some(got),
+                                        &format!("svc{index}/listget#{site}"),
+                                    );
+                                } else {
+                                    self.b.scall(
+                                        meth,
+                                        lst.head,
+                                        &[lv],
+                                        Some(got),
+                                        &format!("svc{index}/listhead#{site}"),
+                                    );
+                                }
+                                if !self.hier_subs.is_empty()
+                                    && self.rng.gen_range(0..100) < self.cfg.cast_percent
+                                {
+                                    let cast = self.fresh_var(meth, &mut counter);
+                                    self.b.cast(meth, cast, got, self.hier_subs[info.pref][0]);
+                                    pool.push((cast, VKind::Hier(info.pref)));
+                                } else {
+                                    pool.push((got, VKind::Other));
+                                }
+                            }
+                        }
+                        // Pairs through the static factory.
+                        _ => {
+                            let Some(pr) = self.pairs else { continue };
+                            let a = self.pick_any(&pool);
+                            let bb = self.pick_any(&pool);
+                            let pv = self.fresh_var(meth, &mut counter);
+                            self.b.scall(
+                                meth,
+                                pr.of,
+                                &[a, bb],
+                                Some(pv),
+                                &format!("svc{index}/pairof#{site}"),
+                            );
+                            pool.push((pv, VKind::Pair));
+                            if self.rng.gen_bool(0.5) {
+                                let f = self.fresh_var(meth, &mut counter);
+                                self.b.vcall(
+                                    meth,
+                                    pv,
+                                    "getFirst",
+                                    &[],
+                                    Some(f),
+                                    &format!("svc{index}/pairfst#{site}"),
+                                );
+                                pool.push((f, VKind::Other));
+                            }
+                        }
+                    }
+                }
+                // Error path: allocate an error object and throw it. Step
+                // bodies mostly lack handlers, so the exception unwinds to
+                // the calling run() (or further), linking methods through
+                // the exception rules rather than returns.
+                94..=95 if !allow_steps => {
+                    if self.errors.is_empty() {
+                        continue;
+                    }
+                    let which = self.rng.gen_range(1..self.errors.len().max(2));
+                    let ety = self.errors[which.min(self.errors.len() - 1)];
+                    let ev = self.fresh_var(meth, &mut counter);
+                    self.b
+                        .alloc(meth, ev, ety, &format!("svc{index}/err#{site}"));
+                    self.b.throw(meth, ev);
+                }
+                // Global registry traffic: publish a value into a static
+                // cell or read one back (optionally casting). Static
+                // fields are context-insensitive, so this is conflation
+                // pressure every analysis shares equally — the paper's
+                // argument for omitting them from the context model.
+                86..=87 => {
+                    if self.registry.is_empty() {
+                        continue;
+                    }
+                    let cell = self.registry[self.rng.gen_range(0..self.registry.len())];
+                    if self.rng.gen_bool(0.5) {
+                        let pv = self.pick_any(&pool);
+                        self.b.sstore(meth, cell, pv);
+                    } else {
+                        let r = self.fresh_var(meth, &mut counter);
+                        self.b.sload(meth, r, cell);
+                        pool.push((r, VKind::Other));
+                    }
+                }
+                88..=93 => {
+                    if allow_steps && !info.steps.is_empty() {
+                        let av = self.pick_any(&pool);
+                        let r = self.fresh_var(meth, &mut counter);
+                        let j = self.rng.gen_range(0..info.steps.len());
+                        self.b.vcall(
+                            meth,
+                            this,
+                            &format!("step{j}"),
+                            &[av],
+                            Some(r),
+                            &format!("svc{index}/step#{site}"),
+                        );
+                        pool.push((r, VKind::Other));
+                    }
+                }
+                // Delegate to the linked service.
+                _ => {
+                    if allow_steps {
+                        let n = self.fresh_var(meth, &mut counter);
+                        self.b.load(meth, n, this, info.next_field);
+                        let av = self.pick_any(&pool);
+                        let r = self.fresh_var(meth, &mut counter);
+                        self.b.vcall(
+                            meth,
+                            n,
+                            "run",
+                            &[av],
+                            Some(r),
+                            &format!("svc{index}/next#{site}"),
+                        );
+                        pool.push((r, VKind::Other));
+                    }
+                }
+            }
+        }
+        let ret = self.pick_any(&pool);
+        self.b.set_return(meth, ret);
+    }
+
+    fn build_main(&mut self) {
+        let main_class = self.b.class("Main", Some(self.object));
+        let main = self.b.method(main_class, "main", &[], true);
+
+        // Payload allocations.
+        let mut payloads: Vec<VarId> = Vec::new();
+        for p in 0..4.max(self.cfg.main_calls / 4) {
+            let v = self.b.var(main, &format!("p{p}"));
+            if self.hier_subs.is_empty() {
+                self.b
+                    .alloc(main, v, self.object, &format!("main/payload{p}"));
+            } else {
+                let h = self.rng.gen_range(0..self.hier_subs.len());
+                let s = self.rng.gen_range(0..self.hier_subs[h].len());
+                self.b
+                    .alloc(main, v, self.hier_subs[h][s], &format!("main/payload{p}"));
+            }
+            payloads.push(v);
+        }
+
+        // Service instances allocated at distinct sites, set up through the
+        // shared Setup.setup site, and linked into chains.
+        let mut svc_vars: Vec<VarId> = Vec::new();
+        if !self.services.is_empty() {
+            let instances = (self.cfg.main_calls / 4).max(2);
+            for k in 0..instances {
+                let i = self.rng.gen_range(0..self.services.len());
+                let v = self.b.var(main, &format!("s{k}"));
+                self.b
+                    .alloc(main, v, self.services[i].ty, &format!("main/service{k}"));
+                if let Some(setup) = self.setup {
+                    self.b
+                        .scall(main, setup, &[v], None, &format!("main/setup{k}"));
+                }
+                svc_vars.push(v);
+            }
+            // Random linking (may form chains or cycles — both realistic).
+            for k in 0..svc_vars.len() {
+                if self.rng.gen_bool(0.6) {
+                    let other = svc_vars[self.rng.gen_range(0..svc_vars.len())];
+                    self.b.vcall(
+                        main,
+                        svc_vars[k],
+                        "link",
+                        &[other],
+                        None,
+                        &format!("main/link{k}"),
+                    );
+                }
+            }
+        }
+
+        // Fan out: virtual runs on the services and static task calls.
+        for call in 0..self.cfg.main_calls {
+            let p = payloads[self.rng.gen_range(0..payloads.len())];
+            let r = self.b.var(main, &format!("r{call}"));
+            if !svc_vars.is_empty() && self.rng.gen_bool(0.45) {
+                let s = svc_vars[self.rng.gen_range(0..svc_vars.len())];
+                self.b
+                    .vcall(main, s, "run", &[p], Some(r), &format!("main/run#{call}"));
+            } else if !self.tasks.is_empty() {
+                let t = self.tasks[self.rng.gen_range(0..self.tasks.len())];
+                self.b
+                    .scall(main, t, &[p], Some(r), &format!("main/task#{call}"));
+            }
+        }
+        self.b.entry_point(main);
+    }
+
+    // ----- pool helpers -------------------------------------------------------
+
+    fn fresh_var(&mut self, meth: MethodId, counter: &mut usize) -> VarId {
+        let v = self.b.var(meth, &format!("v{counter}"));
+        *counter += 1;
+        v
+    }
+
+    fn pick_any(&mut self, pool: &[(VarId, VKind)]) -> VarId {
+        pool[self.rng.gen_range(0..pool.len())].0
+    }
+
+    fn pick_container(&mut self, pool: &[(VarId, VKind)]) -> Option<VarId> {
+        // Bias toward the service's own container (index 1 in the pool)
+        // by sampling from all container-kind vars uniformly.
+        let candidates: Vec<VarId> = pool
+            .iter()
+            .filter(|(_, k)| matches!(k, VKind::Container(_)))
+            .map(|&(v, _)| v)
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.rng.gen_range(0..candidates.len())])
+        }
+    }
+
+    fn pick_hier(&mut self, pool: &[(VarId, VKind)]) -> Option<VarId> {
+        self.pick_hier_with_index(pool).map(|(v, _)| v)
+    }
+
+    fn pick_hier_with_index(&mut self, pool: &[(VarId, VKind)]) -> Option<(VarId, usize)> {
+        let candidates: Vec<(VarId, usize)> = pool
+            .iter()
+            .filter_map(|&(v, k)| match k {
+                VKind::Hier(h) => Some((v, h)),
+                _ => None,
+            })
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.rng.gen_range(0..candidates.len())])
+        }
+    }
+
+    /// A fresh allocation of the service's preferred hierarchy (or an
+    /// existing pool value when no hierarchies exist).
+    fn preferred_value(
+        &mut self,
+        meth: MethodId,
+        pool: &mut Vec<(VarId, VKind)>,
+        counter: &mut usize,
+        index: usize,
+        site: usize,
+    ) -> VarId {
+        if self.hier_subs.is_empty() {
+            return self.pick_any(pool);
+        }
+        // Use the service's preferred hierarchy most of the time so list
+        // contents stay homogeneous per service (provable casts); the rest
+        // is realistic noise.
+        if self.rng.gen_bool(0.8) {
+            let ph = self.services.get(index).map(|s| s.pref).unwrap_or(0);
+            let si = self.rng.gen_range(0..self.hier_subs[ph].len());
+            let v = self.fresh_var(meth, counter);
+            self.b.alloc(
+                meth,
+                v,
+                self.hier_subs[ph][si],
+                &format!("svc{index}/pval#{site}"),
+            );
+            pool.push((v, VKind::Hier(ph)));
+            v
+        } else {
+            self.pick_any(pool)
+        }
+    }
+
+    fn pick_kind(&mut self, pool: &[(VarId, VKind)], kind: VKind) -> Option<VarId> {
+        let candidates: Vec<VarId> = pool
+            .iter()
+            .filter(|(_, k)| *k == kind)
+            .map(|&(v, _)| v)
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.rng.gen_range(0..candidates.len())])
+        }
+    }
+
+    fn pick_util(&mut self, filter: impl Fn(UtilKind) -> bool) -> Option<MethodId> {
+        let candidates: Vec<MethodId> = self
+            .utils
+            .iter()
+            .filter(|e| filter(e.kind))
+            .map(|e| e.meth)
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.rng.gen_range(0..candidates.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta_ir::ProgramStats;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorkloadConfig::tiny(7);
+        let p1 = generate(&cfg);
+        let p2 = generate(&cfg);
+        assert_eq!(ProgramStats::of(&p1), ProgramStats::of(&p2));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p1 = generate(&WorkloadConfig::tiny(1));
+        let p2 = generate(&WorkloadConfig::tiny(2));
+        let (s1, s2) = (ProgramStats::of(&p1), ProgramStats::of(&p2));
+        assert!(s1 != s2, "seeds produced identical programs");
+    }
+
+    #[test]
+    fn generated_programs_are_valid_and_sized() {
+        for seed in 0..5 {
+            let p = generate(&WorkloadConfig::tiny(seed));
+            let s = ProgramStats::of(&p);
+            assert!(s.methods > 10, "too few methods: {s}");
+            assert!(s.vcalls > 0 && s.scalls > 0, "missing call kinds: {s}");
+            assert!(
+                s.allocs > 0 && s.loads > 0 && s.stores > 0,
+                "missing data flow: {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_config_has_casts() {
+        let p = generate(&WorkloadConfig::small(3));
+        let s = ProgramStats::of(&p);
+        assert!(s.casts > 0, "cast ops never generated: {s}");
+    }
+
+    #[test]
+    fn services_expose_instance_layer() {
+        // The bulk of instructions must sit in instance methods (services,
+        // containers, hierarchies), not in static glue — that is what makes
+        // object-sensitivity matter, as in real Java programs.
+        let p = generate(&WorkloadConfig::small(11));
+        let mut instance_instrs = 0usize;
+        let mut static_instrs = 0usize;
+        for m in p.methods() {
+            let n = p.instrs(m).len();
+            if p.method_is_static(m) {
+                static_instrs += n;
+            } else {
+                instance_instrs += n;
+            }
+        }
+        assert!(
+            instance_instrs > static_instrs,
+            "instance {instance_instrs} <= static {static_instrs}"
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! A miniature standard library shared by all workloads.
+//!
+//! The paper's measurements "integrate application- and library-level
+//! metrics" — the JDK's collection classes are where context-sensitivity
+//! traditionally pays off (and where context-insensitive analyses drown).
+//! This module builds the equivalent substrate into every generated
+//! program:
+//!
+//! - [`ArrayListClasses`]: a list backed by a chain of `Entry` nodes
+//!   (`add` allocates an entry per element — the shared allocation site
+//!   that only a context-sensitive heap separates per list), with an
+//!   `iterator()` / `Iter.next()` protocol that threads elements through a
+//!   second object layer;
+//! - [`PairClasses`]: a two-slot product type with `first`/`second`;
+//! - `Lists`: static helpers over lists (`copy`, `singleton`, `head`)
+//!   whose virtual calls through parameters collapse call-site contexts,
+//!   exactly like `java.util.Collections` utilities.
+
+use pta_ir::{FieldId, MethodId, ProgramBuilder, TypeId};
+
+/// Handles to the generated list classes.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayListClasses {
+    /// The list class.
+    pub list: TypeId,
+    /// The entry (node) class.
+    pub entry: TypeId,
+    /// The iterator class.
+    pub iter: TypeId,
+    /// `Lists.copy(src, dst)` static helper.
+    pub copy: MethodId,
+    /// `Lists.singleton(x)` static helper returning a fresh list.
+    pub singleton: MethodId,
+    /// `Lists.head(list)` static helper returning the first element.
+    pub head: MethodId,
+}
+
+/// Handles to the generated pair classes.
+#[derive(Debug, Clone, Copy)]
+pub struct PairClasses {
+    /// The pair class.
+    pub pair: TypeId,
+    /// `Pairs.of(a, b)` static factory.
+    pub of: MethodId,
+    /// Field holding the first component.
+    pub first: FieldId,
+    /// Field holding the second component.
+    pub second: FieldId,
+}
+
+/// Builds the list/entry/iterator classes plus their static helper layer.
+///
+/// Layout (in `.jir` notation):
+///
+/// ```text
+/// class Entry { field entry_val; field entry_rest; method fill(v, r) ... }
+/// class List {
+///     field list_head;
+///     method add(x)     { e = new Entry; h = this.list_head;
+///                         e.fill(x, h); this.list_head = e; }
+///     method get()      { h = this.list_head; r = h.value(); return r; }
+///     method iterator() { it = new Iter; it.bind(this); return it; }
+/// }
+/// class Iter {
+///     field iter_list;
+///     method bind(l)  { this.iter_list = l; }
+///     method next()   { l = this.iter_list; r = l.get(); return r; }
+/// }
+/// class Lists {
+///     static copy(src, dst) { v = src.get(); dst.add(v); }
+///     static singleton(x)   { l = new List; l.add(x); return l; }
+///     static head(l)        { r = l.get(); return r; }
+/// }
+/// ```
+pub fn build_array_list(b: &mut ProgramBuilder, object: TypeId) -> ArrayListClasses {
+    let entry = b.class("Entry", Some(object));
+    let entry_val = b.field(entry, "entry_val");
+    let entry_rest = b.field(entry, "entry_rest");
+
+    // Entry.fill(v, r)
+    let fill = b.method(entry, "fill", &["v", "r"], false);
+    let this = b.this(fill).unwrap();
+    let (v, r) = (b.formals(fill)[0], b.formals(fill)[1]);
+    b.store(fill, this, entry_val, v);
+    b.store(fill, this, entry_rest, r);
+
+    // Entry.value()
+    let value = b.method(entry, "value", &[], false);
+    let this = b.this(value).unwrap();
+    let out = b.var(value, "out");
+    b.load(value, out, this, entry_val);
+    b.set_return(value, out);
+
+    let list = b.class("List", Some(object));
+    let list_head = b.field(list, "list_head");
+
+    // List.add(x): per-element Entry allocation — one shared site.
+    let add = b.method(list, "add", &["x"], false);
+    let this = b.this(add).unwrap();
+    let x = b.formals(add)[0];
+    let e = b.var(add, "e");
+    let h = b.var(add, "h");
+    b.alloc(add, e, entry, "List.add/new Entry");
+    b.load(add, h, this, list_head);
+    b.vcall(add, e, "fill", &[x, h], None, "List.add/fill");
+    b.store(add, this, list_head, e);
+
+    // List.get(): first element (flow-insensitively: any element).
+    let get = b.method(list, "get", &[], false);
+    let this = b.this(get).unwrap();
+    let h = b.var(get, "h");
+    let out = b.var(get, "out");
+    b.load(get, h, this, list_head);
+    b.vcall(get, h, "value", &[], Some(out), "List.get/value");
+    b.set_return(get, out);
+
+    let iter = b.class("Iter", Some(object));
+    let iter_list = b.field(iter, "iter_list");
+
+    // List.iterator(): allocates an Iter bound to this.
+    let iterator = b.method(list, "iterator", &[], false);
+    let this = b.this(iterator).unwrap();
+    let it = b.var(iterator, "it");
+    b.alloc(iterator, it, iter, "List.iterator/new Iter");
+    b.vcall(iterator, it, "bind", &[this], None, "List.iterator/bind");
+    b.set_return(iterator, it);
+
+    // Iter.bind(l)
+    let bind = b.method(iter, "bind", &["l"], false);
+    let this = b.this(bind).unwrap();
+    let l = b.formals(bind)[0];
+    b.store(bind, this, iter_list, l);
+
+    // Iter.next()
+    let next = b.method(iter, "next", &[], false);
+    let this = b.this(next).unwrap();
+    let l = b.var(next, "l");
+    let out = b.var(next, "out");
+    b.load(next, l, this, iter_list);
+    b.vcall(next, l, "get", &[], Some(out), "Iter.next/get");
+    b.set_return(next, out);
+
+    // Static helper layer.
+    let lists = b.class("Lists", Some(object));
+
+    let copy = b.method(lists, "copy", &["src", "dst"], true);
+    let (src, dst) = (b.formals(copy)[0], b.formals(copy)[1]);
+    let cv = b.var(copy, "v");
+    b.vcall(copy, src, "get", &[], Some(cv), "Lists.copy/get");
+    b.vcall(copy, dst, "add", &[cv], None, "Lists.copy/add");
+
+    let singleton = b.method(lists, "singleton", &["x"], true);
+    let sx = b.formals(singleton)[0];
+    let sl = b.var(singleton, "l");
+    b.alloc(singleton, sl, list, "Lists.singleton/new List");
+    b.vcall(singleton, sl, "add", &[sx], None, "Lists.singleton/add");
+    b.set_return(singleton, sl);
+
+    let head = b.method(lists, "head", &["l"], true);
+    let hl = b.formals(head)[0];
+    let hr = b.var(head, "r");
+    b.vcall(head, hl, "get", &[], Some(hr), "Lists.head/get");
+    b.set_return(head, hr);
+
+    ArrayListClasses {
+        list,
+        entry,
+        iter,
+        copy,
+        singleton,
+        head,
+    }
+}
+
+/// Builds the pair class and its static factory.
+pub fn build_pair(b: &mut ProgramBuilder, object: TypeId) -> PairClasses {
+    let pair = b.class("Pair", Some(object));
+    let first = b.field(pair, "pair_first");
+    let second = b.field(pair, "pair_second");
+
+    let set = b.method(pair, "setBoth", &["a", "bb"], false);
+    let this = b.this(set).unwrap();
+    let (a, bb) = (b.formals(set)[0], b.formals(set)[1]);
+    b.store(set, this, first, a);
+    b.store(set, this, second, bb);
+
+    let get_first = b.method(pair, "getFirst", &[], false);
+    let this = b.this(get_first).unwrap();
+    let out = b.var(get_first, "out");
+    b.load(get_first, out, this, first);
+    b.set_return(get_first, out);
+
+    let get_second = b.method(pair, "getSecond", &[], false);
+    let this = b.this(get_second).unwrap();
+    let out = b.var(get_second, "out");
+    b.load(get_second, out, this, second);
+    b.set_return(get_second, out);
+
+    let pairs = b.class("Pairs", Some(object));
+    let of = b.method(pairs, "of", &["a", "bb"], true);
+    let (a, bb) = (b.formals(of)[0], b.formals(of)[1]);
+    let p = b.var(of, "p");
+    b.alloc(of, p, pair, "Pairs.of/new Pair");
+    b.vcall(of, p, "setBoth", &[a, bb], None, "Pairs.of/setBoth");
+    b.set_return(of, p);
+
+    PairClasses {
+        pair,
+        of,
+        first,
+        second,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta_core::{analyze, Analysis};
+    use pta_ir::ProgramBuilder;
+
+    /// Two lists, two payload types: only heap-context analyses keep the
+    /// shared `new Entry` site apart — the JDK-collections behavior the
+    /// prelude exists to reproduce.
+    #[test]
+    fn lists_need_heap_context_like_real_collections() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let lst = build_array_list(&mut b, object);
+        let red = b.class("Red", Some(object));
+        let blue = b.class("Blue", Some(object));
+        let main_class = b.class("Main", Some(object));
+        let main = b.method(main_class, "main", &[], true);
+        let (l1, l2) = (b.var(main, "l1"), b.var(main, "l2"));
+        let (r, bl) = (b.var(main, "r"), b.var(main, "bl"));
+        let (g1, g2) = (b.var(main, "g1"), b.var(main, "g2"));
+        b.alloc(main, l1, lst.list, "list one");
+        b.alloc(main, l2, lst.list, "list two");
+        let h_red = b.alloc(main, r, red, "red");
+        let h_blue = b.alloc(main, bl, blue, "blue");
+        b.vcall(main, l1, "add", &[r], None, "l1.add");
+        b.vcall(main, l2, "add", &[bl], None, "l2.add");
+        b.vcall(main, l1, "get", &[], Some(g1), "l1.get");
+        b.vcall(main, l2, "get", &[], Some(g2), "l2.get");
+        b.entry_point(main);
+        let p = b.finish().unwrap();
+
+        let coarse = analyze(&p, &Analysis::OneObj);
+        assert_eq!(coarse.points_to(g1).len(), 2, "1obj conflates the entries");
+
+        let fine = analyze(&p, &Analysis::TwoObjH);
+        assert_eq!(fine.points_to(g1), &[h_red], "2obj+H separates the lists");
+        assert_eq!(fine.points_to(g2), &[h_blue]);
+    }
+
+    /// The iterator protocol threads elements through two object layers
+    /// (Iter -> List -> Entry) and still resolves under 2obj+H.
+    #[test]
+    fn iterator_protocol_flows_elements() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let lst = build_array_list(&mut b, object);
+        let main_class = b.class("Main", Some(object));
+        let main = b.method(main_class, "main", &[], true);
+        let l = b.var(main, "l");
+        let x = b.var(main, "x");
+        let it = b.var(main, "it");
+        let got = b.var(main, "got");
+        b.alloc(main, l, lst.list, "the list");
+        let hx = b.alloc(main, x, object, "the element");
+        b.vcall(main, l, "add", &[x], None, "add");
+        b.vcall(main, l, "iterator", &[], Some(it), "iterator");
+        b.vcall(main, it, "next", &[], Some(got), "next");
+        b.entry_point(main);
+        let p = b.finish().unwrap();
+        for analysis in [Analysis::Insens, Analysis::TwoObjH, Analysis::SThreeObj2H] {
+            let r = analyze(&p, &analysis);
+            assert_eq!(r.points_to(got), &[hx], "{analysis}");
+        }
+    }
+
+    /// Pairs keep their two slots apart (field sensitivity through the
+    /// static factory).
+    #[test]
+    fn pairs_are_field_sensitive_through_the_factory() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let pr = build_pair(&mut b, object);
+        let main_class = b.class("Main", Some(object));
+        let main = b.method(main_class, "main", &[], true);
+        let (a, bb) = (b.var(main, "a"), b.var(main, "bb"));
+        let p_var = b.var(main, "p");
+        let (f, s) = (b.var(main, "f"), b.var(main, "s"));
+        let ha = b.alloc(main, a, object, "A");
+        let hb = b.alloc(main, bb, object, "B");
+        b.scall(main, pr.of, &[a, bb], Some(p_var), "Pairs.of");
+        b.vcall(main, p_var, "getFirst", &[], Some(f), "first");
+        b.vcall(main, p_var, "getSecond", &[], Some(s), "second");
+        b.entry_point(main);
+        let p = b.finish().unwrap();
+        let r = analyze(&p, &Analysis::Insens);
+        assert_eq!(r.points_to(f), &[ha]);
+        assert_eq!(r.points_to(s), &[hb]);
+    }
+}

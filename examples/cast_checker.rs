@@ -1,0 +1,115 @@
+//! Cast-safety checker: a deserialization-style program whose downcasts can
+//! only be proven safe with the right kind of context.
+//!
+//! The program wraps typed messages in shared envelope containers through a
+//! static helper and casts them back after retrieval — the idiom behind the
+//! paper's may-fail-casts metric. Watch the warnings disappear as context
+//! grows richer: `insens` fails everything, `1obj` proves the per-receiver
+//! casts, `2obj+H` additionally proves the wrapper casts (heap context),
+//! and the selective hybrid `S-2obj+H` also proves the static-helper casts.
+//!
+//! Run with: `cargo run --example cast_checker`
+
+use pta_clients::may_fail_casts;
+use pta_core::{analyze, Analysis};
+use pta_lang::parse_program;
+
+const SOURCE: &str = r#"
+    class Object {}
+    class Request : Object {}
+    class Response : Object {}
+
+    class Envelope : Object {
+        field payload;
+        method put(x) { this.payload = x; }
+        method take() { r = this.payload; return r; }
+    }
+
+    class Wire : Object {
+        // Shared wrapper: one envelope allocation site for the whole
+        // program. Only a context-sensitive heap keeps different callers'
+        // envelopes apart.
+        static seal(x) {
+            e = new Envelope;
+            e.put(x);
+            return e;
+        }
+        // Shared identity conversion: only an invocation-site-aware
+        // MergeStatic keeps different call sites apart.
+        static convert(x) { return x; }
+    }
+
+    class Client : Object {
+        // Instance method: under object-sensitive analyses its context is
+        // the client's allocation site, which becomes the envelope's heap
+        // context inside `seal`.
+        method send(x) {
+            e = Wire.seal(x);
+            r = e.take();
+            return r;
+        }
+    }
+
+    class Main : Object {
+        static main() {
+            req = new Request;
+            resp = new Response;
+
+            // Heap-context casts: each client seals its own value through
+            // the same shared Envelope allocation site.
+            cl1 = new Client;
+            cl2 = new Client;
+            rq = cl1.send(req);
+            rp = cl2.send(resp);
+            c1 = (Request) rq;
+            c2 = (Response) rp;
+
+            // Static-call casts: two conversions from one method.
+            k1 = Wire.convert(req);
+            k2 = Wire.convert(resp);
+            c3 = (Request) k1;
+            c4 = (Response) k2;
+        }
+    }
+
+    entry Main.main;
+"#;
+
+fn main() {
+    let program = parse_program(SOURCE).expect("cast_checker program parses");
+    println!("checking {} casts under each analysis:\n", 4);
+
+    for analysis in [
+        Analysis::Insens,
+        Analysis::OneCall,
+        Analysis::OneObj,
+        Analysis::TwoObjH,
+        Analysis::STwoObjH,
+        Analysis::UTwoObjH,
+    ] {
+        let result = analyze(&program, &analysis);
+        let (failing, total) = may_fail_casts(&program, &result);
+        println!(
+            "=== {analysis}: {} of {total} casts may fail",
+            failing.len()
+        );
+        for cast in &failing {
+            println!(
+                "  warning: cast to {} in {} (instruction {}) may fail: {} incompatible object(s) reach `{}`",
+                program.type_name(cast.target_type),
+                program.method_qualified_name(cast.method),
+                cast.instr_index,
+                cast.incompatible_objects,
+                program.var_name(cast.from),
+            );
+        }
+        println!();
+    }
+
+    println!("Shape to notice (the paper's Table 1, in miniature):");
+    println!("- insens:   all 4 fail.");
+    println!("- 1call:    the convert casts pass (call-site context), seal casts fail.");
+    println!("- 1obj:     everything still fails: no heap context, static calls copy ctx.");
+    println!("- 2obj+H:   the seal casts pass (context-sensitive heap).");
+    println!("- S-2obj+H: all 4 pass — heap context plus call-site-aware static calls.");
+}

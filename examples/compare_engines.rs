@@ -1,0 +1,76 @@
+//! The two evaluation back ends side by side: the specialized worklist
+//! solver (the analogue of Doop's compiled LogicBlox program) and the
+//! paper's Figure 2 rules run literally on the generic Datalog engine.
+//!
+//! Verifies on the spot that both produce identical results — points-to
+//! sets, call graphs, reachable methods, and even the context-sensitive
+//! tuple counts — and reports the performance gap between a compiled and an
+//! interpreted evaluation strategy.
+//!
+//! Run with: `cargo run --release --example compare_engines [seed]`
+
+use std::time::Instant;
+
+use pta_core::datalog_impl::analyze_datalog_with_stats;
+use pta_core::{analyze, Analysis};
+use pta_workload::{generate, WorkloadConfig};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let program = generate(&WorkloadConfig::tiny(seed));
+    println!(
+        "program: {} methods, {} vars, {} allocation sites (tiny workload, seed {seed})\n",
+        program.method_count(),
+        program.var_count(),
+        program.heap_count()
+    );
+
+    for analysis in [
+        Analysis::Insens,
+        Analysis::OneCall,
+        Analysis::OneObj,
+        Analysis::TwoObjH,
+        Analysis::STwoObjH,
+    ] {
+        let t0 = Instant::now();
+        let fast = analyze(&program, &analysis);
+        let fast_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let (slow, stats) = analyze_datalog_with_stats(&program, &analysis);
+        let slow_time = t1.elapsed();
+
+        // Cross-validate everything observable.
+        let mut mismatches = 0usize;
+        for var in program.vars() {
+            if fast.points_to(var) != slow.points_to(var) {
+                mismatches += 1;
+            }
+        }
+        assert_eq!(mismatches, 0, "{analysis}: {mismatches} vars differ");
+        assert_eq!(fast.call_graph_edge_count(), slow.call_graph_edge_count());
+        assert_eq!(fast.reachable_method_count(), slow.reachable_method_count());
+        assert_eq!(
+            fast.ctx_var_points_to_count(),
+            slow.ctx_var_points_to_count()
+        );
+
+        println!(
+            "{:>9}: identical results ({} vpt tuples, {} cg edges) | solver {:>8.2?} vs datalog {:>8.2?} ({:.0}x) | {} fixpoint rounds, {} strata",
+            analysis.name(),
+            fast.ctx_var_points_to_count(),
+            fast.call_graph_edge_count(),
+            fast_time,
+            slow_time,
+            slow_time.as_secs_f64() / fast_time.as_secs_f64().max(1e-9),
+            stats.rounds,
+            stats.strata,
+        );
+    }
+
+    println!("\nThe specialized solver and the literal Figure 2 rule set agree exactly —");
+    println!("the same check runs over every workload in the integration test suite.");
+}

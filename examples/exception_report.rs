@@ -1,0 +1,100 @@
+//! Exception-flow report: which exception objects can escape `main`
+//! uncaught, and how context-sensitivity narrows the answer.
+//!
+//! Exceptions are the full-Doop extension beyond the paper's nine-rule
+//! model: thrown objects bind to matching catch clauses or unwind across
+//! call-graph edges. Because the escaping paths run through the same
+//! context-qualified call graph as everything else, a more precise analysis
+//! reports fewer (and more accurate) uncaught exceptions.
+//!
+//! Run with: `cargo run --release --example exception_report [workload]`
+
+use pta_core::{analyze, Analysis};
+use pta_lang::parse_program;
+use pta_workload::dacapo_workload;
+
+const DEMO: &str = r#"
+    class Object {}
+    class Err : Object {}
+    class Timeout : Err {}
+    class Corrupt : Err {}
+
+    class Channel : Object {
+        field mode;
+        method arm(m) { this.mode = m; }
+        method fire() {
+            m = this.mode;
+            throw m;
+        }
+    }
+
+    class Main : Object {
+        // Handles timeouts on the polling path.
+        static poll(c) catch (Timeout t) {
+            c.fire();
+            return t;
+        }
+        // The hot path has no handler at all.
+        static rush(c) {
+            c.fire();
+        }
+        static main() {
+            slow = new Channel;
+            bad = new Channel;
+            tmo = new Timeout;
+            crp = new Corrupt;
+            slow.arm(tmo);
+            bad.arm(crp);
+            h1 = Main.poll(slow);
+            Main.rush(bad);
+        }
+    }
+    entry Main.main;
+"#;
+
+fn main() {
+    // Part 1: the hand-written demo, where precision changes the verdict.
+    let p = parse_program(DEMO).expect("demo parses");
+    println!("demo: two channels, one armed with a Timeout, one with a Corrupt\n");
+    for analysis in [Analysis::Insens, Analysis::SBOneObj, Analysis::STwoObjH] {
+        let r = analyze(&p, &analysis);
+        let sites: Vec<&str> = r
+            .uncaught_exceptions()
+            .iter()
+            .map(|&h| p.heap_label(h))
+            .collect();
+        println!(
+            "  {analysis:>10}: {} uncaught at main: {{{}}}",
+            sites.len(),
+            sites.join(", ")
+        );
+    }
+    println!();
+    println!("  insens conflates the two channels' payloads, so the unhandled");
+    println!("  rush() path appears to leak the Timeout as well (a false alarm);");
+    println!("  the object-sensitive analyses keep the channels apart and report");
+    println!("  exactly the real Corrupt escape.\n");
+
+    // Part 2: a synthetic benchmark's exception surface across analyses.
+    let workload = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "xalan".to_owned());
+    let program = dacapo_workload(&workload, 1.0);
+    println!(
+        "workload {workload}: {} methods — uncaught exception sites per analysis",
+        program.method_count()
+    );
+    for analysis in [
+        Analysis::Insens,
+        Analysis::OneCall,
+        Analysis::OneObj,
+        Analysis::TwoObjH,
+        Analysis::STwoObjH,
+    ] {
+        let r = analyze(&program, &analysis);
+        println!(
+            "  {analysis:>10}: {:>3} uncaught exception sites",
+            r.uncaught_exceptions().len()
+        );
+    }
+}

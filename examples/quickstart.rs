@@ -1,0 +1,128 @@
+//! Quickstart: the paper's §1 motivating example, end to end.
+//!
+//! Builds the `c1.foo(obj1); c2.foo(obj2)` program from the paper's
+//! introduction (plus the static-call variant from §2.2 that motivates
+//! hybrid context-sensitivity), runs a context-insensitive, an
+//! object-sensitive, and a selective-hybrid analysis, and prints what each
+//! one knows about `foo`'s parameter — including the per-context points-to
+//! sets that show *why* context-sensitivity helps.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pta_core::{analyze_with_config, Analysis, SolverConfig};
+use pta_lang::parse_program;
+
+const SOURCE: &str = r#"
+    class Object {}
+
+    // The paper's Section 1 example: method foo called on two receivers.
+    class C : Object {
+        method foo(o) {
+            kept = o;
+            return kept;
+        }
+    }
+
+    // A static identity helper: the language feature whose context
+    // treatment (MergeStatic) distinguishes the paper's hybrid analyses.
+    class Util : Object {
+        static id(x) { return x; }
+    }
+
+    class Client : Object {
+        static main() {
+            c1 = new C;
+            c2 = new C;
+            obj1 = new Object;
+            obj2 = new Object;
+
+            // Virtual calls: object-sensitivity separates these by the
+            // receiver's allocation site.
+            r1 = c1.foo(obj1);
+            r2 = c2.foo(obj2);
+
+            // Static calls: 1obj copies the caller's context into both,
+            // conflating obj1 and obj2; hybrids append the call site.
+            s1 = Util.id(obj1);
+            s2 = Util.id(obj2);
+        }
+    }
+
+    entry Client.main;
+"#;
+
+fn main() {
+    let program = parse_program(SOURCE).expect("quickstart program parses");
+    println!(
+        "program: {} classes, {} methods, {} allocation sites\n",
+        program.type_count(),
+        program.method_count(),
+        program.heap_count()
+    );
+
+    let interesting: Vec<_> = program
+        .vars()
+        .filter(|&v| {
+            let name = program.var_name(v);
+            matches!(name, "o" | "r1" | "r2" | "s1" | "s2")
+        })
+        .collect();
+
+    for analysis in [Analysis::Insens, Analysis::OneObj, Analysis::SAOneObj] {
+        let result = analyze_with_config(
+            &program,
+            &analysis,
+            SolverConfig {
+                keep_tuples: true,
+                ..SolverConfig::default()
+            },
+        );
+        println!("=== {analysis} ===");
+        for &var in &interesting {
+            let meth = program.method_qualified_name(program.var_method(var));
+            let pts: Vec<&str> = result
+                .points_to(var)
+                .iter()
+                .map(|&h| program.heap_label(h))
+                .collect();
+            println!(
+                "  {meth}::{:<4} -> {{{}}}",
+                program.var_name(var),
+                pts.join(", ")
+            );
+        }
+        // Show the per-context view of foo's parameter `o`: this is what
+        // context-sensitivity actually computes.
+        if let Some(tuples) = result.context_sensitive_tuples() {
+            let o = interesting
+                .iter()
+                .copied()
+                .find(|&v| program.var_name(v) == "o")
+                .expect("foo has a formal o");
+            let mut per_ctx: Vec<String> = tuples
+                .iter()
+                .filter(|t| t.var == o)
+                .map(|t| {
+                    format!(
+                        "    o under ctx {} -> {}",
+                        result.display_ctx(t.ctx, &program),
+                        program.heap_label(t.heap)
+                    )
+                })
+                .collect();
+            per_ctx.sort();
+            println!("  per-context view of C.foo::o:");
+            for line in per_ctx {
+                println!("{line}");
+            }
+        }
+        println!();
+    }
+
+    println!("Reading the output:");
+    println!("- insens conflates everything: o, s1, s2 all see both objects.");
+    println!("- 1obj separates the virtual calls (r1/r2 and o per receiver context)");
+    println!("  but conflates the static Util.id calls (s1 and s2 both see both).");
+    println!("- SA-1obj — a selective hybrid — uses the invocation site as context");
+    println!("  for static calls, so s1 and s2 become precise too.");
+}

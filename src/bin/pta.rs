@@ -1,0 +1,354 @@
+//! `pta` — command-line driver for the hybrid points-to analysis.
+//!
+//! ```text
+//! pta list                               list available analyses
+//! pta analyze FILE.jir [options]         analyze a .jir program
+//!     --analysis NAME      analysis to run (repeatable; default S-2obj+H)
+//!     --metrics            print the full Table 1 metric set
+//!     --points-to VAR      print the points-to set of every local named VAR
+//!     --explain VAR        explain each object VAR may point to (derivation
+//!                          chains back to the allocation)
+//!     --casts              print may-fail cast warnings
+//!     --devirt             print polymorphic virtual call sites
+//!     --exceptions         print exception sites that may escape main
+//!     --hot                print the context/tuple distribution and the
+//!                          methods dominating analysis cost
+//!     --datalog            evaluate on the Datalog back end instead
+//! pta workload NAME [--scale S] [--print]
+//!                                        generate a synthetic DaCapo
+//!                                        workload; --print emits it as .jir
+//! ```
+
+use std::process::ExitCode;
+
+use pta_clients::{context_stats, may_fail_casts, poly_virtual_calls, precision_metrics};
+use pta_core::datalog_impl::analyze_datalog;
+use pta_core::{analyze, analyze_with_config, Analysis, PointsToResult, SolverConfig};
+use pta_ir::Program;
+use pta_lang::{parse_program, print_program};
+use pta_workload::{dacapo_workload, DACAPO_NAMES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("available analyses (paper name — description):");
+            for a in Analysis::ALL {
+                println!("  {:>10} — {}", a.name(), describe(a));
+            }
+            ExitCode::SUCCESS
+        }
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("workload") => cmd_workload(&args[1..]),
+        _ => {
+            eprintln!("usage: pta <list|analyze|workload> ...  (see --help in the README)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn describe(a: Analysis) -> &'static str {
+    match a {
+        Analysis::Insens => "context-insensitive Andersen-style baseline",
+        Analysis::OneCall => "1-call-site-sensitive (kCFA, k=1)",
+        Analysis::OneCallH => "1call with a call-site-sensitive heap",
+        Analysis::TwoCallH => "2-call-site-sensitive with 1-ctx heap (ablation)",
+        Analysis::OneObj => "1-object-sensitive",
+        Analysis::UOneObj => "uniform 1-object hybrid (receiver + call site)",
+        Analysis::SAOneObj => "selective hybrid A: call site replaces ctx at static calls",
+        Analysis::SBOneObj => "selective hybrid B: call site extends ctx at static calls",
+        Analysis::OneObjH => "1obj with context-sensitive heap (paper: strictly inferior)",
+        Analysis::TwoObjH => "2-object-sensitive with context-sensitive heap",
+        Analysis::UTwoObjH => "uniform 2-object hybrid",
+        Analysis::STwoObjH => "selective 2-object hybrid (the paper's sweet spot)",
+        Analysis::TwoTypeH => "2-type-sensitive with context-sensitive heap",
+        Analysis::UTwoTypeH => "uniform 2-type hybrid",
+        Analysis::STwoTypeH => "selective 2-type hybrid",
+        Analysis::TwoObj2H => "2-object with 2-deep heap context (extension)",
+        Analysis::ThreeObj2H => "3-object with 2-deep heap context (extension)",
+        Analysis::SThreeObj2H => "selective 3-object hybrid (extension)",
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: pta analyze FILE.jir [--analysis NAME] [--metrics] [--points-to VAR] [--casts] [--devirt] [--datalog]");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error in {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut analyses: Vec<Analysis> = Vec::new();
+    let mut metrics = false;
+    let mut hot = false;
+    let mut casts = false;
+    let mut devirt = false;
+    let mut exceptions = false;
+    let mut datalog = false;
+    let mut points_to: Vec<String> = Vec::new();
+    let mut explain: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--analysis" => {
+                i += 1;
+                match args.get(i).map(|s| s.parse::<Analysis>()) {
+                    Some(Ok(a)) => analyses.push(a),
+                    _ => {
+                        eprintln!("error: --analysis needs a known name (try `pta list`)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--points-to" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => points_to.push(v.clone()),
+                    None => {
+                        eprintln!("error: --points-to needs a variable name");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--explain" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => explain.push(v.clone()),
+                    None => {
+                        eprintln!("error: --explain needs a variable name");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--metrics" => metrics = true,
+            "--hot" => hot = true,
+            "--casts" => casts = true,
+            "--devirt" => devirt = true,
+            "--exceptions" => exceptions = true,
+            "--datalog" => datalog = true,
+            other => {
+                eprintln!("error: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if analyses.is_empty() {
+        analyses.push(Analysis::STwoObjH);
+    }
+
+    for analysis in analyses {
+        let start = std::time::Instant::now();
+        let result: PointsToResult = if datalog {
+            if !explain.is_empty() {
+                eprintln!("error: --explain requires the specialized solver (drop --datalog)");
+                return ExitCode::FAILURE;
+            }
+            analyze_datalog(&program, &analysis)
+        } else if explain.is_empty() && !hot {
+            analyze(&program, &analysis)
+        } else {
+            analyze_with_config(
+                &program,
+                &analysis,
+                SolverConfig {
+                    track_provenance: !explain.is_empty(),
+                    keep_tuples: hot,
+                },
+            )
+        };
+        let elapsed = start.elapsed();
+        println!(
+            "== {analysis} ({}; {elapsed:.2?}): {} reachable methods, {} call-graph edges",
+            if datalog {
+                "datalog back end"
+            } else {
+                "specialized solver"
+            },
+            result.reachable_method_count(),
+            result.call_graph_edge_count(),
+        );
+        if metrics {
+            let m = precision_metrics(&program, &result);
+            println!(
+                "   avg objs/var {:.2} | poly v-calls {}/{} | may-fail casts {}/{} | sensitive vpt {} | ctxs {} | hctxs {}",
+                m.avg_var_points_to,
+                m.poly_virtual_calls,
+                m.reachable_virtual_calls,
+                m.may_fail_casts,
+                m.reachable_casts,
+                m.ctx_var_points_to,
+                m.contexts,
+                m.heap_contexts,
+            );
+        }
+        for name in &points_to {
+            print_points_to(&program, &result, name);
+        }
+        for name in &explain {
+            explain_var(&program, &result, name);
+        }
+        if hot {
+            if let Some(s) = context_stats(&program, &result, 8) {
+                println!(
+                    "   contexts/method: avg {:.1}, max {} | tuples/context: avg {:.1} | {} methods carry tuples",
+                    s.avg_contexts_per_method,
+                    s.max_contexts_per_method,
+                    s.avg_tuples_per_context,
+                    s.methods_with_tuples,
+                );
+                println!("   hottest methods:");
+                for (m, n) in s.hottest_methods {
+                    println!("     {:>6} tuples  {}", n, program.method_qualified_name(m));
+                }
+            }
+        }
+        if casts {
+            let (failing, total) = may_fail_casts(&program, &result);
+            println!("   may-fail casts: {} of {total}", failing.len());
+            for c in failing {
+                println!(
+                    "     cast to {} in {} (instr {}) — {} incompatible object(s)",
+                    program.type_name(c.target_type),
+                    program.method_qualified_name(c.method),
+                    c.instr_index,
+                    c.incompatible_objects
+                );
+            }
+        }
+        if exceptions {
+            let sites = result.uncaught_exceptions();
+            println!("   uncaught exception sites: {}", sites.len());
+            for &h in sites {
+                println!(
+                    "     {} ({})",
+                    program.heap_label(h),
+                    program.type_name(program.heap_type(h))
+                );
+            }
+        }
+        if devirt {
+            let (poly, total) = poly_virtual_calls(&program, &result);
+            println!("   polymorphic v-calls: {} of {total}", poly.len());
+            for site in poly {
+                let targets: Vec<String> = site
+                    .targets
+                    .iter()
+                    .map(|&m| program.method_qualified_name(m))
+                    .collect();
+                println!(
+                    "     {} -> {{{}}}",
+                    program.invo_label(site.invo),
+                    targets.join(", ")
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_points_to(program: &Program, result: &PointsToResult, name: &str) {
+    let mut found = false;
+    for var in program.vars() {
+        if program.var_name(var) != name {
+            continue;
+        }
+        found = true;
+        let labels: Vec<&str> = result
+            .points_to(var)
+            .iter()
+            .map(|&h| program.heap_label(h))
+            .collect();
+        println!(
+            "   {}::{} -> {{{}}}",
+            program.method_qualified_name(program.var_method(var)),
+            name,
+            labels.join(", ")
+        );
+    }
+    if !found {
+        println!("   (no variable named {name})");
+    }
+}
+
+fn explain_var(program: &Program, result: &PointsToResult, name: &str) {
+    let mut found = false;
+    for var in program.vars() {
+        if program.var_name(var) != name {
+            continue;
+        }
+        found = true;
+        for &heap in result.points_to(var) {
+            println!(
+                "   why {}::{} -> {}:",
+                program.method_qualified_name(program.var_method(var)),
+                name,
+                program.heap_label(heap)
+            );
+            match result.explain(program, var, heap) {
+                Some(lines) => {
+                    for line in lines {
+                        println!("     {line}");
+                    }
+                }
+                None => println!("     (no derivation recorded)"),
+            }
+        }
+    }
+    if !found {
+        println!("   (no variable named {name})");
+    }
+}
+
+fn cmd_workload(args: &[String]) -> ExitCode {
+    let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: pta workload NAME [--scale S] [--print]; names: {DACAPO_NAMES:?}");
+        return ExitCode::FAILURE;
+    };
+    if !DACAPO_NAMES.contains(&name.as_str()) {
+        eprintln!("error: unknown workload {name}; names: {DACAPO_NAMES:?}");
+        return ExitCode::FAILURE;
+    }
+    let mut scale = 1.0f64;
+    let mut print = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("error: --scale needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--print" => print = true,
+            other => {
+                eprintln!("error: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let program = dacapo_workload(name, scale);
+    if print {
+        print!("{}", print_program(&program));
+    } else {
+        println!("{name} @ {scale}: {}", pta_ir::ProgramStats::of(&program));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,8 @@
+//! Facade crate — re-exports the full hybrid points-to analysis stack.
+//! See README.md for the architecture overview.
+pub use pta_clients as clients;
+pub use pta_core as core;
+pub use pta_datalog as datalog;
+pub use pta_ir as ir;
+pub use pta_lang as lang;
+pub use pta_workload as workload;

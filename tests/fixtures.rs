@@ -1,0 +1,148 @@
+//! The hand-written `.jir` fixture programs under `examples/programs/`:
+//! every fixture must parse, validate, analyze under every analysis, stay
+//! sound against concrete execution, and exhibit the precision distinction
+//! it was written to demonstrate.
+
+use hybrid_pta::clients::may_fail_casts;
+use hybrid_pta::core::{analyze, Analysis};
+use hybrid_pta::ir::{InterpConfig, Interpreter, Program};
+use hybrid_pta::lang::parse_program;
+
+const FIXTURES: [(&str, &str); 5] = [
+    (
+        "motivating",
+        include_str!("../examples/programs/motivating.jir"),
+    ),
+    (
+        "static_dispatch",
+        include_str!("../examples/programs/static_dispatch.jir"),
+    ),
+    ("visitor", include_str!("../examples/programs/visitor.jir")),
+    (
+        "linked_list",
+        include_str!("../examples/programs/linked_list.jir"),
+    ),
+    (
+        "factory_chain",
+        include_str!("../examples/programs/factory_chain.jir"),
+    ),
+];
+
+fn parse(name: &str, src: &str) -> Program {
+    parse_program(src).unwrap_or_else(|e| panic!("fixture {name} failed to parse: {e}"))
+}
+
+#[test]
+fn all_fixtures_parse_and_analyze_under_every_analysis() {
+    for (name, src) in FIXTURES {
+        let p = parse(name, src);
+        for analysis in Analysis::ALL {
+            let r = analyze(&p, &analysis);
+            assert!(r.reachable_method_count() > 0, "{name}/{analysis}");
+        }
+    }
+}
+
+#[test]
+fn all_fixtures_are_soundly_analyzed() {
+    for (name, src) in FIXTURES {
+        let p = parse(name, src);
+        let facts = Interpreter::new(&p, InterpConfig::default()).run();
+        assert!(!facts.truncated, "{name}: fixture should terminate");
+        for analysis in [Analysis::Insens, Analysis::OneObj, Analysis::STwoObjH] {
+            let r = analyze(&p, &analysis);
+            for &(var, site) in &facts.var_points_to {
+                assert!(
+                    r.points_to(var).contains(&site),
+                    "{name}/{analysis}: dynamic fact {}::{} -> {} missing",
+                    p.method_qualified_name(p.var_method(var)),
+                    p.var_name(var),
+                    p.heap_label(site)
+                );
+            }
+            for &(invo, callee) in &facts.call_edges {
+                assert!(
+                    r.call_targets(invo).contains(&callee),
+                    "{name}/{analysis}: dynamic edge missing at {}",
+                    p.invo_label(invo)
+                );
+            }
+        }
+    }
+}
+
+/// static_dispatch: the depth-2 static chain (`twice` -> `identity`) can
+/// only be kept apart by S-2obj+H-style context (retaining the outer
+/// site); even the uniform hybrid conflates, as §3.2 explains.
+#[test]
+fn static_dispatch_fixture_distinguishes_hybrid_depth() {
+    let p = parse("static_dispatch", FIXTURES[1].1);
+    let expect = |analysis: Analysis, failing: usize| {
+        let r = analyze(&p, &analysis);
+        let (f, total) = may_fail_casts(&p, &r);
+        assert_eq!(total, 2, "{analysis}");
+        assert_eq!(f.len(), failing, "{analysis}: may-fail casts");
+    };
+    expect(Analysis::Insens, 2);
+    expect(Analysis::OneObj, 2); // MergeStatic = ctx conflates
+    expect(Analysis::TwoObjH, 2);
+    expect(Analysis::UTwoObjH, 2); // single invo slot overwritten at depth 2
+    expect(Analysis::STwoObjH, 0); // retains the outer call site
+    expect(Analysis::TwoCallH, 0); // two call-site slots also suffice
+    expect(Analysis::OneCall, 2); // depth 1 is not enough
+}
+
+/// linked_list: both lists' nodes come from the single `new Node` site
+/// inside `push`, so separating their contents requires a context-
+/// sensitive *heap* — receiver context alone (1obj) is not enough. This is
+/// the paper's case for `2obj+H` as the practical sweet spot.
+#[test]
+fn linked_list_fixture_needs_heap_context_to_separate_lists() {
+    let p = parse("linked_list", FIXTURES[3].1);
+    for coarse in [Analysis::Insens, Analysis::OneObj, Analysis::OneCall] {
+        let r = analyze(&p, &coarse);
+        let (f, total) = may_fail_casts(&p, &r);
+        assert_eq!(total, 2, "{coarse}");
+        assert_eq!(f.len(), 2, "{coarse} mixes the two lists' nodes");
+    }
+    for fine in [Analysis::TwoObjH, Analysis::STwoObjH, Analysis::ThreeObj2H] {
+        let r = analyze(&p, &fine);
+        let (f, _) = may_fail_casts(&p, &r);
+        assert!(f.is_empty(), "{fine} separates the lists: {f:?}");
+    }
+}
+
+/// factory_chain: the factories share one allocation site inside
+/// `makeFactory`, so only their *parent receiver* (the maker) tells them
+/// apart — exactly the depth-2 receiver chain 2obj+H's context encodes.
+/// 1obj fails, 2obj+H succeeds.
+#[test]
+fn factory_chain_fixture_needs_heap_context() {
+    let p = parse("factory_chain", FIXTURES[4].1);
+    let one_obj = analyze(&p, &Analysis::OneObj);
+    let (f, total) = may_fail_casts(&p, &one_obj);
+    assert_eq!(total, 2);
+    assert_eq!(f.len(), 2, "1obj conflates the two factories");
+
+    let two_obj = analyze(&p, &Analysis::TwoObjH);
+    let (f, _) = may_fail_casts(&p, &two_obj);
+    assert!(f.is_empty(), "2obj+H's heap context separates them: {f:?}");
+
+    // And the paper's Section 2.2 intuition — the method context of
+    // `produce` is "the receiver object together with the parent receiver
+    // object" — shows up as extra contexts relative to 1obj.
+    assert!(two_obj.context_count() > one_obj.context_count());
+}
+
+/// visitor: double dispatch stays monomorphic under object-sensitivity.
+#[test]
+fn visitor_fixture_devirtualizes_cleanly() {
+    let p = parse("visitor", FIXTURES[2].1);
+    let r = analyze(&p, &Analysis::OneObj);
+    let (poly, total) = hybrid_pta::clients::poly_virtual_calls(&p, &r);
+    assert!(total >= 5, "visitor fixture has dispatch sites");
+    assert!(
+        poly.len() <= 2,
+        "accept/visit dispatch should be mostly monomorphic: {poly:?}"
+    );
+}

@@ -1,0 +1,165 @@
+//! Internal-consistency invariants of the metrics pipeline, across all
+//! analyses and a spread of workloads.
+
+use hybrid_pta::clients::precision_metrics;
+use hybrid_pta::core::{analyze, Analysis};
+use hybrid_pta::workload::{dacapo_workload, generate, WorkloadConfig, DACAPO_NAMES};
+
+#[test]
+fn metrics_invariants_hold_for_all_analyses() {
+    let program = generate(&WorkloadConfig::small(7));
+    let insens = precision_metrics(&program, &analyze(&program, &Analysis::Insens));
+    for analysis in Analysis::ALL {
+        let result = analyze(&program, &analysis);
+        let m = precision_metrics(&program, &result);
+
+        assert!(m.may_fail_casts <= m.reachable_casts, "{analysis}");
+        assert!(
+            m.poly_virtual_calls <= m.reachable_virtual_calls,
+            "{analysis}"
+        );
+        assert!(m.reachable_methods <= program.method_count(), "{analysis}");
+        assert!(m.reachable_methods > 0, "{analysis}");
+        assert!(
+            m.avg_var_points_to >= 1.0,
+            "{analysis}: non-empty sets average >= 1"
+        );
+        // The paper notes the median points-to size is 1 for all its
+        // benchmarks; our synthetic programs have a slightly denser core,
+        // so allow a small constant.
+        assert!(
+            m.median_var_points_to <= 2,
+            "{analysis}: median {}",
+            m.median_var_points_to
+        );
+        assert!(m.ctx_var_points_to > 0, "{analysis}");
+        assert!(m.contexts >= 1 && m.heap_contexts >= 1, "{analysis}");
+
+        // Context-sensitivity can only remove behaviors relative to insens.
+        assert!(m.call_graph_edges <= insens.call_graph_edges, "{analysis}");
+        assert!(m.may_fail_casts <= insens.may_fail_casts, "{analysis}");
+        assert!(
+            m.poly_virtual_calls <= insens.poly_virtual_calls,
+            "{analysis}"
+        );
+        assert!(
+            m.reachable_methods <= insens.reachable_methods,
+            "{analysis}"
+        );
+    }
+}
+
+#[test]
+fn insens_has_exactly_one_context() {
+    let program = generate(&WorkloadConfig::tiny(1));
+    let m = precision_metrics(&program, &analyze(&program, &Analysis::Insens));
+    assert_eq!(m.contexts, 1);
+    assert_eq!(m.heap_contexts, 1);
+}
+
+#[test]
+fn heap_context_counts_track_analysis_family() {
+    let program = generate(&WorkloadConfig::tiny(2));
+    // HC = {*} for 1call, 1obj and all 1obj hybrids.
+    for analysis in [
+        Analysis::OneCall,
+        Analysis::OneObj,
+        Analysis::UOneObj,
+        Analysis::SAOneObj,
+        Analysis::SBOneObj,
+    ] {
+        let m = precision_metrics(&program, &analyze(&program, &analysis));
+        assert_eq!(m.heap_contexts, 1, "{analysis} has no heap context");
+    }
+    // Context-sensitive-heap analyses create more than one heap context.
+    for analysis in [
+        Analysis::OneCallH,
+        Analysis::TwoObjH,
+        Analysis::STwoObjH,
+        Analysis::TwoTypeH,
+    ] {
+        let m = precision_metrics(&program, &analyze(&program, &analysis));
+        assert!(
+            m.heap_contexts > 1,
+            "{analysis} should create heap contexts"
+        );
+    }
+}
+
+#[test]
+fn reference_counts_are_stable_across_analyses() {
+    // The paper prints "of ~N" reference counts once per benchmark because
+    // they "change little per-analysis": totals may only shrink as
+    // precision grows (fewer reachable methods).
+    let program = dacapo_workload("luindex", 0.3);
+    let insens = precision_metrics(&program, &analyze(&program, &Analysis::Insens));
+    for analysis in [Analysis::OneObj, Analysis::STwoObjH] {
+        let m = precision_metrics(&program, &analyze(&program, &analysis));
+        assert!(m.reachable_casts <= insens.reachable_casts);
+        assert!(m.reachable_virtual_calls <= insens.reachable_virtual_calls);
+        // And they stay in the same ballpark (within 25%).
+        assert!(m.reachable_casts as f64 >= 0.75 * insens.reachable_casts as f64);
+    }
+}
+
+#[test]
+fn every_dacapo_workload_analyzes_cleanly_at_miniature_scale() {
+    for name in DACAPO_NAMES {
+        let program = dacapo_workload(name, 0.1);
+        let m = precision_metrics(&program, &analyze(&program, &Analysis::STwoObjH));
+        assert!(m.reachable_methods > 5, "{name}");
+        assert!(m.ctx_var_points_to > 0, "{name}");
+    }
+}
+
+/// Soak test: the full Table 1 analysis set on a scale-8 workload (about
+/// the size ratio of the paper's smaller benchmarks). Run explicitly with
+/// `cargo test --release -- --ignored soak`.
+#[test]
+#[ignore = "multi-second soak test; run with --ignored"]
+fn soak_scale_8_full_analysis_set() {
+    let program = dacapo_workload("antlr", 8.0);
+    let insens = precision_metrics(&program, &analyze(&program, &Analysis::Insens));
+    for analysis in Analysis::ALL {
+        let m = precision_metrics(&program, &analyze(&program, &analysis));
+        assert!(m.may_fail_casts <= insens.may_fail_casts, "{analysis}");
+        assert!(m.ctx_var_points_to > 0, "{analysis}");
+    }
+}
+
+/// §2.2 "Other Analyses": the paper rejects `1obj+H` as "a strictly
+/// inferior choice to other analyses (especially 2type+H) in practice: it
+/// is both much less precise and much slower". Measured on our suite:
+/// 2type+H dominates it on may-fail casts *and* on the sensitive
+/// var-points-to cost metric — and 1obj+H's heap context buys no cast
+/// precision over plain 1obj, because its `Merge = heap` drops the heap
+/// context from method contexts, re-conflating methods invoked on the
+/// objects the heap context had separated.
+#[test]
+fn one_obj_h_is_dominated_by_two_type_h() {
+    for name in ["antlr", "jython", "xalan"] {
+        let program = dacapo_workload(name, 1.0);
+        let one_obj = precision_metrics(&program, &analyze(&program, &Analysis::OneObj));
+        let one_obj_h = precision_metrics(&program, &analyze(&program, &Analysis::OneObjH));
+        let two_type = precision_metrics(&program, &analyze(&program, &Analysis::TwoTypeH));
+
+        // "much less precise" than 2type+H:
+        assert!(
+            two_type.may_fail_casts < one_obj_h.may_fail_casts,
+            "{name}: 2type+H should beat 1obj+H on casts ({} vs {})",
+            two_type.may_fail_casts,
+            one_obj_h.may_fail_casts
+        );
+        // "much slower" (platform-independent cost metric):
+        assert!(
+            two_type.ctx_var_points_to < one_obj_h.ctx_var_points_to,
+            "{name}: 2type+H should be cheaper than 1obj+H"
+        );
+        // And the heap context alone buys nothing over 1obj:
+        assert_eq!(one_obj_h.may_fail_casts, one_obj.may_fail_casts, "{name}");
+        assert!(
+            one_obj_h.ctx_var_points_to > one_obj.ctx_var_points_to,
+            "{name}"
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! End-to-end checks on the paper's own example programs, with exact
+//! expected points-to sets per analysis.
+//!
+//! Covers the §1 motivating example (two call sites of `C.foo`), the §2.2
+//! static-call discussion (why `MergeStatic(invo, ctx) = invo` is
+//! attractive), and a §3.2-style static chain distinguishing S-2obj+H from
+//! both its base and the uniform hybrid.
+
+use hybrid_pta::core::{analyze, Analysis};
+use hybrid_pta::ir::{HeapId, Program, VarId};
+use hybrid_pta::lang::parse_program;
+
+/// Finds the unique variable with `name` inside the method whose qualified
+/// name is `meth`.
+fn var(program: &Program, meth: &str, name: &str) -> VarId {
+    program
+        .vars()
+        .find(|&v| {
+            program.var_name(v) == name
+                && program.method_qualified_name(program.var_method(v)) == meth
+        })
+        .unwrap_or_else(|| panic!("no var {meth}::{name}"))
+}
+
+fn heaps_of(program: &Program, result: &hybrid_pta::core::PointsToResult, v: VarId) -> Vec<String> {
+    result
+        .points_to(v)
+        .iter()
+        .map(|&h: &HeapId| program.heap_label(h).to_owned())
+        .collect()
+}
+
+const SECTION1: &str = r#"
+    class Object {}
+    class C : Object {
+        method foo(o) { kept = o; return kept; }
+    }
+    class Client : Object {
+        static main() {
+            c1 = new C;
+            c2 = new C;
+            obj1 = new Object;
+            obj2 = new Object;
+            r1 = c1.foo(obj1);
+            r2 = c2.foo(obj2);
+        }
+    }
+    entry Client.main;
+"#;
+
+/// §1: "a 1-object-sensitive analysis will analyze foo separately
+/// depending on the allocation sites of the objects that c1 and c2 may
+/// point to" — so the returned values stay separate.
+#[test]
+fn section1_one_obj_separates_the_receivers() {
+    let p = parse_program(SECTION1).unwrap();
+    let r = analyze(&p, &Analysis::OneObj);
+    let r1 = var(&p, "Client.main", "r1");
+    let r2 = var(&p, "Client.main", "r2");
+    assert_eq!(heaps_of(&p, &r, r1), vec!["Client.main/new Object#2"]);
+    assert_eq!(heaps_of(&p, &r, r2), vec!["Client.main/new Object#3"]);
+    // The merged view of the formal still holds both (context projection).
+    let o = var(&p, "C.foo", "o");
+    assert_eq!(r.points_to(o).len(), 2);
+}
+
+/// §1 (contrast): "a 1-call-site-sensitive analysis will distinguish the
+/// two call-sites of method foo" — same outcome through different means.
+#[test]
+fn section1_one_call_also_separates_these_sites() {
+    let p = parse_program(SECTION1).unwrap();
+    let r = analyze(&p, &Analysis::OneCall);
+    assert_eq!(r.points_to(var(&p, "Client.main", "r1")).len(), 1);
+    assert_eq!(r.points_to(var(&p, "Client.main", "r2")).len(), 1);
+}
+
+/// A context-insensitive analysis conflates the two calls entirely.
+#[test]
+fn section1_insens_conflates() {
+    let p = parse_program(SECTION1).unwrap();
+    let r = analyze(&p, &Analysis::Insens);
+    assert_eq!(r.points_to(var(&p, "Client.main", "r1")).len(), 2);
+    assert_eq!(r.points_to(var(&p, "Client.main", "r2")).len(), 2);
+}
+
+const SECTION22: &str = r#"
+    class Object {}
+    class Util : Object {
+        static id(x) { return x; }
+    }
+    class Main : Object {
+        static main() {
+            a = new Object;
+            b = new Object;
+            ra = Util.id(a);
+            rb = Util.id(b);
+        }
+    }
+    entry Main.main;
+"#;
+
+/// §2.2: under 1obj, "for static method calls, the context for the called
+/// method is that of the calling method" — both calls share `main`'s
+/// context, so the identity method conflates its inputs.
+#[test]
+fn section22_one_obj_conflates_static_calls() {
+    let p = parse_program(SECTION22).unwrap();
+    let r = analyze(&p, &Analysis::OneObj);
+    assert_eq!(r.points_to(var(&p, "Main.main", "ra")).len(), 2);
+    assert_eq!(r.points_to(var(&p, "Main.main", "rb")).len(), 2);
+}
+
+/// §2.2/§3.2: "an invocation site is available and can be used to
+/// distinguish different static calls" — SA-1obj and SB-1obj both do.
+#[test]
+fn section22_selective_hybrids_distinguish_static_calls() {
+    let p = parse_program(SECTION22).unwrap();
+    for analysis in [Analysis::SAOneObj, Analysis::SBOneObj, Analysis::UOneObj] {
+        let r = analyze(&p, &analysis);
+        assert_eq!(
+            r.points_to(var(&p, "Main.main", "ra")).len(),
+            1,
+            "{analysis} should separate the first static call"
+        );
+        assert_eq!(r.points_to(var(&p, "Main.main", "rb")).len(), 1);
+    }
+}
+
+/// §3.2: a depth-2 static chain called twice from one method. S-2obj+H
+/// retains the *outer* invocation site through the chain
+/// (`MergeStatic = triple(first(ctx), invo, second(ctx))`), so the two
+/// flows stay apart; U-2obj+H overwrites its single invocation-site slot
+/// at the inner call and conflates them; 2obj+H conflates immediately.
+const SECTION32_CHAIN: &str = r#"
+    class Object {}
+    class Chain : Object {
+        static outer(x) { r = Chain.inner(x); return r; }
+        static inner(x) { return x; }
+    }
+    class Driver : Object {
+        method go() {
+            a = new Object;
+            b = new Object;
+            ra = Chain.outer(a);
+            rb = Chain.outer(b);
+            keep = ra;
+            keep2 = rb;
+        }
+    }
+    class Main : Object {
+        static main() {
+            d = new Driver;
+            d.go();
+        }
+    }
+    entry Main.main;
+"#;
+
+#[test]
+fn section32_static_chain_separates_only_under_selective_hybrid() {
+    let p = parse_program(SECTION32_CHAIN).unwrap();
+
+    let s = analyze(&p, &Analysis::STwoObjH);
+    assert_eq!(
+        s.points_to(var(&p, "Driver.go", "ra")).len(),
+        1,
+        "S-2obj+H keeps the chain apart"
+    );
+    assert_eq!(s.points_to(var(&p, "Driver.go", "rb")).len(), 1);
+
+    let u = analyze(&p, &Analysis::UTwoObjH);
+    assert_eq!(
+        u.points_to(var(&p, "Driver.go", "ra")).len(),
+        2,
+        "U-2obj+H's single invocation slot is overwritten at the inner call"
+    );
+
+    let base = analyze(&p, &Analysis::TwoObjH);
+    assert_eq!(
+        base.points_to(var(&p, "Driver.go", "ra")).len(),
+        2,
+        "2obj+H conflates static calls"
+    );
+
+    // And 2call+H also separates (two call-site slots), matching §3.2's
+    // remark that deeper call-site context handles nested static calls.
+    let cc = analyze(&p, &Analysis::TwoCallH);
+    assert_eq!(cc.points_to(var(&p, "Driver.go", "ra")).len(), 1);
+}
+
+/// The paired virtual-call case: only a `Merge` that includes the
+/// invocation site (the uniform hybrids or call-site-sensitivity) separates
+/// two calls on the *same* receiver.
+const PAIRED_VIRTUAL: &str = r#"
+    class Object {}
+    class Echo : Object {
+        method echo(x) { return x; }
+    }
+    class Main : Object {
+        static main() {
+            e = new Echo;
+            a = new Object;
+            b = new Object;
+            ra = e.echo(a);
+            rb = e.echo(b);
+        }
+    }
+    entry Main.main;
+"#;
+
+#[test]
+fn paired_virtual_calls_separate_only_with_call_site_in_merge() {
+    let p = parse_program(PAIRED_VIRTUAL).unwrap();
+    for (analysis, expected, why) in [
+        (Analysis::OneObj, 2, "same receiver, same context"),
+        (Analysis::TwoObjH, 2, "same receiver and heap context"),
+        (
+            Analysis::STwoObjH,
+            2,
+            "selective hybrid keeps object-only Merge",
+        ),
+        (
+            Analysis::UOneObj,
+            1,
+            "uniform hybrid appends the invocation site",
+        ),
+        (
+            Analysis::UTwoObjH,
+            1,
+            "uniform hybrid appends the invocation site",
+        ),
+        (Analysis::OneCall, 1, "call-site context"),
+    ] {
+        let r = analyze(&p, &analysis);
+        assert_eq!(
+            r.points_to(var(&p, "Main.main", "ra")).len(),
+            expected,
+            "{analysis}: {why}"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Soundness: every points-to fact observable in a concrete execution must
+//! be included in every analysis's result.
+//!
+//! Randomly generated workloads are executed by the concrete interpreter
+//! (bounded budgets — any execution prefix yields valid dynamic facts) and
+//! the observed `(var, allocation-site)` bindings, call edges, reachable
+//! methods and failed casts are checked against all fourteen analyses.
+
+use proptest::prelude::*;
+
+use hybrid_pta::core::{analyze, Analysis};
+use hybrid_pta::ir::{DynamicFacts, InterpConfig, Interpreter, Program};
+use hybrid_pta::workload::{generate, WorkloadConfig};
+
+fn dynamic_facts(program: &Program) -> DynamicFacts {
+    Interpreter::new(
+        program,
+        InterpConfig {
+            max_steps: 50_000,
+            max_depth: 48,
+        },
+    )
+    .run()
+}
+
+fn assert_sound(program: &Program, facts: &DynamicFacts, analysis: Analysis) {
+    let result = analyze(program, &analysis);
+    for &(var, site) in &facts.var_points_to {
+        assert!(
+            result.points_to(var).contains(&site),
+            "{analysis}: dynamic binding {} -> {} missing from analysis ({}::{})",
+            var,
+            site,
+            program.method_qualified_name(program.var_method(var)),
+            program.var_name(var),
+        );
+    }
+    for &(invo, callee) in &facts.call_edges {
+        assert!(
+            result.call_targets(invo).contains(&callee),
+            "{analysis}: dynamic call edge {} -> {} missing",
+            program.invo_label(invo),
+            program.method_qualified_name(callee),
+        );
+    }
+    for &meth in &facts.reachable {
+        assert!(
+            result.is_reachable(meth),
+            "{analysis}: dynamically reached method {} not reachable",
+            program.method_qualified_name(meth),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every analysis over-approximates concrete execution on random tiny
+    /// workloads.
+    #[test]
+    fn analyses_overapproximate_execution(seed in 0u64..10_000) {
+        let program = generate(&WorkloadConfig::tiny(seed));
+        let facts = dynamic_facts(&program);
+        prop_assume!(!facts.var_points_to.is_empty());
+        for analysis in Analysis::ALL {
+            assert_sound(&program, &facts, analysis);
+        }
+    }
+
+    /// The most precise analyses stay sound on bigger programs.
+    #[test]
+    fn precise_analyses_sound_on_small_workloads(seed in 0u64..1_000) {
+        let program = generate(&WorkloadConfig::small(seed));
+        let facts = dynamic_facts(&program);
+        prop_assume!(!facts.var_points_to.is_empty());
+        for analysis in [Analysis::TwoObjH, Analysis::UTwoObjH, Analysis::STwoObjH] {
+            assert_sound(&program, &facts, analysis);
+        }
+    }
+}
+
+/// The may-fail-casts client is sound: every cast that actually failed at
+/// run time must be flagged as may-fail by every analysis.
+#[test]
+fn dynamically_failing_casts_are_flagged() {
+    for seed in [3u64, 17, 40] {
+        let program = generate(&WorkloadConfig::tiny(seed));
+        let facts = dynamic_facts(&program);
+        if facts.failed_casts.is_empty() {
+            continue;
+        }
+        for analysis in [Analysis::Insens, Analysis::OneObj, Analysis::STwoObjH] {
+            let result = analyze(&program, &analysis);
+            let (failing, _) = hybrid_pta::clients::may_fail_casts(&program, &result);
+            for &(meth, idx) in &facts.failed_casts {
+                assert!(
+                    failing
+                        .iter()
+                        .any(|c| c.method == meth && c.instr_index == idx),
+                    "{analysis}: cast at {}#{idx} failed dynamically but was not flagged",
+                    program.method_qualified_name(meth),
+                );
+            }
+        }
+    }
+}
