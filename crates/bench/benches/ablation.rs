@@ -11,94 +11,63 @@
 //! - **workload scaling**: `S-2obj+H` across scales, showing cost grows
 //!   near-linearly in program size (the paper's scalability argument).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use pta_bench::timing::Bench;
 use pta_core::{analyze, Analysis};
 use pta_workload::dacapo_workload;
 
-fn merge_static_ablation(c: &mut Criterion) {
-    let program = dacapo_workload("jython", 1.0); // static-call-heavy
-    let mut group = c.benchmark_group("ablation-merge-static");
-    group.sample_size(20);
-    for analysis in [Analysis::OneObj, Analysis::SAOneObj, Analysis::SBOneObj] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(analysis.name()),
-            &analysis,
-            |b, a| b.iter(|| black_box(analyze(black_box(&program), a))),
-        );
-    }
-    group.finish();
-}
-
-fn heap_context_ablation(c: &mut Criterion) {
-    let program = dacapo_workload("hsqldb", 1.0); // container-heavy
-    let mut group = c.benchmark_group("ablation-heap-context");
-    group.sample_size(20);
-    for analysis in [Analysis::OneCall, Analysis::OneCallH, Analysis::TwoCallH] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(analysis.name()),
-            &analysis,
-            |b, a| b.iter(|| black_box(analyze(black_box(&program), a))),
-        );
-    }
-    group.finish();
-}
-
-fn uniform_vs_selective(c: &mut Criterion) {
-    let program = dacapo_workload("xalan", 1.0);
-    let mut group = c.benchmark_group("ablation-uniform-vs-selective");
-    group.sample_size(20);
-    for analysis in [Analysis::TwoObjH, Analysis::UTwoObjH, Analysis::STwoObjH] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(analysis.name()),
-            &analysis,
-            |b, a| b.iter(|| black_box(analyze(black_box(&program), a))),
-        );
-    }
-    group.finish();
-}
-
-/// Deeper object-sensitive contexts (the paper's §6 "deeper-context
-/// analyses" future work): 2obj+H vs 2obj+2H vs 3obj+2H vs the depth-3
-/// selective hybrid.
-fn deeper_contexts(c: &mut Criterion) {
-    let program = dacapo_workload("eclipse", 1.0);
-    let mut group = c.benchmark_group("ablation-deeper-contexts");
-    group.sample_size(15);
-    for analysis in [
-        Analysis::TwoObjH,
-        Analysis::TwoObj2H,
-        Analysis::ThreeObj2H,
-        Analysis::SThreeObj2H,
-    ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(analysis.name()),
-            &analysis,
-            |b, a| b.iter(|| black_box(analyze(black_box(&program), a))),
-        );
-    }
-    group.finish();
-}
-
-fn scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation-scaling");
-    group.sample_size(10);
-    for scale in [1u32, 2, 4] {
-        let program = dacapo_workload("antlr", scale as f64);
-        group.bench_with_input(BenchmarkId::from_parameter(scale), &program, |b, p| {
-            b.iter(|| black_box(analyze(black_box(p), &Analysis::STwoObjH)))
+fn ablation(bench: &mut Bench, group: &str, workload: &str, analyses: &[Analysis]) {
+    let program = dacapo_workload(workload, 1.0);
+    for &analysis in analyses {
+        bench.measure(&format!("{group}/{}", analysis.name()), || {
+            black_box(analyze(black_box(&program), &analysis))
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    merge_static_ablation,
-    heap_context_ablation,
-    uniform_vs_selective,
-    deeper_contexts,
-    scaling
-);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_args();
+    bench.sample_size(20);
+    // jython is static-call-heavy; hsqldb container-heavy.
+    ablation(
+        &mut bench,
+        "ablation-merge-static",
+        "jython",
+        &[Analysis::OneObj, Analysis::SAOneObj, Analysis::SBOneObj],
+    );
+    ablation(
+        &mut bench,
+        "ablation-heap-context",
+        "hsqldb",
+        &[Analysis::OneCall, Analysis::OneCallH, Analysis::TwoCallH],
+    );
+    ablation(
+        &mut bench,
+        "ablation-uniform-vs-selective",
+        "xalan",
+        &[Analysis::TwoObjH, Analysis::UTwoObjH, Analysis::STwoObjH],
+    );
+    // Deeper object-sensitive contexts (the paper's §6 "deeper-context
+    // analyses" future work): 2obj+H vs 2obj+2H vs 3obj+2H vs the depth-3
+    // selective hybrid.
+    bench.sample_size(15);
+    ablation(
+        &mut bench,
+        "ablation-deeper-contexts",
+        "eclipse",
+        &[
+            Analysis::TwoObjH,
+            Analysis::TwoObj2H,
+            Analysis::ThreeObj2H,
+            Analysis::SThreeObj2H,
+        ],
+    );
+    bench.sample_size(10);
+    for scale in [1u32, 2, 4] {
+        let program = dacapo_workload("antlr", f64::from(scale));
+        bench.measure(&format!("ablation-scaling/{scale}x"), || {
+            black_box(analyze(black_box(&program), &Analysis::STwoObjH))
+        });
+    }
+}

@@ -1,40 +1,34 @@
-//! Criterion benchmark: solver wall-clock per analysis (Table 1's time
-//! column), one group per paper analysis group, on a mid-size workload.
+//! Benchmark: solver wall-clock per analysis (Table 1's time column), one
+//! group per paper analysis group, on a mid-size workload.
 //!
 //! Run a single group with e.g.
 //! `cargo bench -p pta-bench --bench analyses -- 2obj`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use pta_bench::timing::Bench;
 use pta_core::{analyze, Analysis};
 use pta_workload::dacapo_workload;
 
-fn bench_group(c: &mut Criterion, group_name: &str, analyses: &[Analysis]) {
+fn bench_group(bench: &mut Bench, group_name: &str, analyses: &[Analysis]) {
     let program = dacapo_workload("antlr", 1.0);
-    let mut group = c.benchmark_group(group_name);
-    group.sample_size(20);
+    bench.sample_size(20);
     for &analysis in analyses {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(analysis.name()),
-            &analysis,
-            |b, a| b.iter(|| black_box(analyze(black_box(&program), a))),
-        );
+        bench.measure(&format!("{group_name}/{}", analysis.name()), || {
+            black_box(analyze(black_box(&program), &analysis))
+        });
     }
-    group.finish();
 }
 
-fn call_site_group(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_args();
     bench_group(
-        c,
+        &mut bench,
         "call-site",
         &[Analysis::OneCall, Analysis::OneCallH, Analysis::TwoCallH],
     );
-}
-
-fn one_obj_group(c: &mut Criterion) {
     bench_group(
-        c,
+        &mut bench,
         "1obj",
         &[
             Analysis::OneObj,
@@ -43,29 +37,14 @@ fn one_obj_group(c: &mut Criterion) {
             Analysis::SBOneObj,
         ],
     );
-}
-
-fn two_obj_group(c: &mut Criterion) {
     bench_group(
-        c,
+        &mut bench,
         "2obj",
         &[Analysis::TwoObjH, Analysis::UTwoObjH, Analysis::STwoObjH],
     );
-}
-
-fn two_type_group(c: &mut Criterion) {
     bench_group(
-        c,
+        &mut bench,
         "2type",
         &[Analysis::TwoTypeH, Analysis::UTwoTypeH, Analysis::STwoTypeH],
     );
 }
-
-criterion_group!(
-    benches,
-    call_site_group,
-    one_obj_group,
-    two_obj_group,
-    two_type_group
-);
-criterion_main!(benches);

@@ -2,47 +2,38 @@
 //! generic Datalog back end (the gap between Doop's compiled rules and an
 //! interpreted engine), plus workload generation throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use pta_bench::timing::Bench;
 use pta_core::datalog_impl::analyze_datalog;
 use pta_core::{analyze, Analysis};
 use pta_workload::{generate, WorkloadConfig};
 
-fn solver_vs_datalog(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_args();
     // Small program: the Datalog back end is the executable specification,
     // not the fast path.
     let program = generate(&WorkloadConfig::tiny(42));
-    let mut group = c.benchmark_group("solver-vs-datalog");
-    group.sample_size(10);
-    group.bench_function("specialized/1obj", |b| {
-        b.iter(|| black_box(analyze(black_box(&program), &Analysis::OneObj)))
+    bench.sample_size(10);
+    bench.measure("solver-vs-datalog/specialized/1obj", || {
+        black_box(analyze(black_box(&program), &Analysis::OneObj))
     });
-    group.bench_function("datalog/1obj", |b| {
-        b.iter(|| black_box(analyze_datalog(black_box(&program), &Analysis::OneObj)))
+    bench.measure("solver-vs-datalog/datalog/1obj", || {
+        black_box(analyze_datalog(black_box(&program), &Analysis::OneObj))
     });
-    group.bench_function("specialized/S-2obj+H", |b| {
-        b.iter(|| black_box(analyze(black_box(&program), &Analysis::STwoObjH)))
+    bench.measure("solver-vs-datalog/specialized/S-2obj+H", || {
+        black_box(analyze(black_box(&program), &Analysis::STwoObjH))
     });
-    group.bench_function("datalog/S-2obj+H", |b| {
-        b.iter(|| black_box(analyze_datalog(black_box(&program), &Analysis::STwoObjH)))
+    bench.measure("solver-vs-datalog/datalog/S-2obj+H", || {
+        black_box(analyze_datalog(black_box(&program), &Analysis::STwoObjH))
     });
-    group.finish();
-}
-
-fn workload_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload-generation");
-    group.sample_size(20);
+    bench.sample_size(20);
     for (name, cfg) in [
         ("tiny", WorkloadConfig::tiny(7)),
         ("small", WorkloadConfig::small(7)),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| black_box(generate(black_box(cfg))))
+        bench.measure(&format!("workload-generation/{name}"), || {
+            black_box(generate(black_box(&cfg)))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, solver_vs_datalog, workload_generation);
-criterion_main!(benches);

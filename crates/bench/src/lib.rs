@@ -18,13 +18,11 @@
 //! - `PTA_JSON` — if set, a path to dump the raw [`ExperimentRow`]s as JSON
 //!   (used to fill EXPERIMENTS.md).
 //!
-//! Criterion micro-benchmarks (`cargo bench`) cover per-analysis solver
-//! time (`analyses`), the design-choice ablations called out in DESIGN.md
-//! (`ablation`), and solver-internals (`solver`).
+//! Micro-benchmarks (`cargo bench`, plain `main`-style harnesses) cover
+//! per-analysis solver time (`analyses`), the design-choice ablations
+//! called out in DESIGN.md (`ablation`), and solver-internals (`solver`).
 
 use std::time::Instant;
-
-use serde::Serialize;
 
 use pta_clients::{precision_metrics, ExperimentMetrics};
 use pta_core::{analyze, Analysis};
@@ -32,6 +30,7 @@ use pta_ir::{Program, ProgramStats};
 use pta_workload::{dacapo_workload, DACAPO_NAMES};
 
 pub mod render;
+pub mod timing;
 
 pub use render::{render_figure3_csv, render_figure3_scatter, render_summary, render_table1};
 
@@ -39,7 +38,7 @@ pub use render::{render_figure3_csv, render_figure3_scatter, render_summary, ren
 pub use pta_workload::dacapo_config as workload_config;
 
 /// One `(workload, analysis)` measurement: every Table 1 cell group.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRow {
     /// Benchmark name (Table 1 row).
     pub workload: String,
@@ -90,6 +89,68 @@ impl ExperimentRow {
             uncaught_exception_sites: m.uncaught_exception_sites,
         }
     }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (finite values only).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl ExperimentRow {
+    /// Serializes the row as a single-line JSON object. The toolchain runs
+    /// fully offline, so this is hand-rolled rather than serde-derived.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\":\"{}\",\"analysis\":\"{}\",\"reachable_methods\":{},\
+             \"avg_objs_per_var\":{},\"call_graph_edges\":{},\"poly_v_calls\":{},\
+             \"reachable_v_calls\":{},\"may_fail_casts\":{},\"reachable_casts\":{},\
+             \"time_secs\":{},\"sensitive_var_points_to\":{},\"contexts\":{},\
+             \"heap_contexts\":{},\"uncaught_exception_sites\":{}}}",
+            json_escape(&self.workload),
+            json_escape(&self.analysis),
+            self.reachable_methods,
+            json_f64(self.avg_objs_per_var),
+            self.call_graph_edges,
+            self.poly_v_calls,
+            self.reachable_v_calls,
+            self.may_fail_casts,
+            self.reachable_casts,
+            json_f64(self.time_secs),
+            self.sensitive_var_points_to,
+            self.contexts,
+            self.heap_contexts,
+            self.uncaught_exception_sites,
+        )
+    }
+}
+
+/// Serializes rows as a JSON array, one object per line.
+#[must_use]
+pub fn rows_to_json(rows: &[ExperimentRow]) -> String {
+    let body: Vec<String> = rows.iter().map(|r| format!("  {}", r.to_json())).collect();
+    format!("[\n{}\n]", body.join(",\n"))
 }
 
 /// Harness options, usually read from the environment via
@@ -199,7 +260,7 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
 /// Panics if the file cannot be written (operator-facing tool).
 pub fn maybe_dump_json(rows: &[ExperimentRow]) {
     if let Ok(path) = std::env::var("PTA_JSON") {
-        let json = serde_json::to_string_pretty(rows).expect("rows serialize");
+        let json = rows_to_json(rows);
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("[pta-bench] wrote {path}");
     }
@@ -241,7 +302,17 @@ mod tests {
     fn rows_serialize_to_json() {
         let program = dacapo_workload("luindex", 0.15);
         let row = run_cell("luindex", &program, Analysis::OneCall, 1);
-        let json = serde_json::to_string(&row).unwrap();
+        let json = row.to_json();
         assert!(json.contains("\"analysis\":\"1call\""));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        let arr = rows_to_json(std::slice::from_ref(&row));
+        assert!(arr.starts_with('[') && arr.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
     }
 }

@@ -1,0 +1,108 @@
+//! A minimal timing harness for the `cargo bench` targets.
+//!
+//! The toolchain runs fully offline, so instead of an external benchmark
+//! framework this module provides the small subset the bench targets need:
+//! named measurements, an optional substring filter from the command line
+//! (`cargo bench -p pta-bench --bench analyses -- 2obj`), a configurable
+//! sample count, and a median/min/max report on stdout. Bench targets are
+//! declared with `harness = false` and drive this from a plain `main`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A bench session: holds the CLI filter and default sample count.
+pub struct Bench {
+    filter: Vec<String>,
+    samples: usize,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::new()
+    }
+}
+
+impl Bench {
+    /// Creates a session with no filter and 10 samples per measurement.
+    #[must_use]
+    pub fn new() -> Bench {
+        Bench {
+            filter: Vec::new(),
+            samples: 10,
+        }
+    }
+
+    /// Creates a session from `std::env::args`: every non-flag argument is
+    /// a substring filter (a measurement runs if it matches any of them;
+    /// no filters means run everything). Flags (`--bench`, `--exact`, …)
+    /// that cargo forwards are ignored.
+    #[must_use]
+    pub fn from_args() -> Bench {
+        let mut b = Bench::new();
+        b.filter = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        b
+    }
+
+    /// Sets the sample count for subsequent measurements.
+    pub fn sample_size(&mut self, n: usize) -> &mut Bench {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// `true` if `id` passes the CLI filter.
+    #[must_use]
+    pub fn matches(&self, id: &str) -> bool {
+        self.filter.is_empty() || self.filter.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Times `f` (one warm-up call plus `samples` measured calls) and
+    /// prints a `min/median/max` line. The closure's result is passed
+    /// through [`black_box`] so the work is not optimized away.
+    pub fn measure<T, F: FnMut() -> T>(&self, id: &str, mut f: F) {
+        if !self.matches(id) {
+            return;
+        }
+        black_box(f());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed().as_secs_f64());
+        }
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        println!(
+            "{id:<44} {:>10.3} ms  (min {:.3}, max {:.3}, n={})",
+            median * 1e3,
+            times[0] * 1e3,
+            times[times.len() - 1] * 1e3,
+            self.samples
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_matches_substrings() {
+        let mut b = Bench::new();
+        assert!(b.matches("anything"));
+        b.filter = vec!["2obj".into()];
+        assert!(b.matches("ablation/2obj+H"));
+        assert!(!b.matches("ablation/1call"));
+    }
+
+    #[test]
+    fn measure_runs_the_closure() {
+        let mut b = Bench::new();
+        b.sample_size(2);
+        let mut calls = 0;
+        b.measure("self-test", || calls += 1);
+        assert_eq!(calls, 3); // warm-up + 2 samples
+    }
+}

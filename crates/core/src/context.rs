@@ -368,61 +368,79 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use pta_ir::rng::Rng;
 
-    fn arb_elem() -> impl Strategy<Value = CtxElem> {
-        prop_oneof![
-            Just(CtxElem::STAR),
-            (0u32..1_000_000).prop_map(|n| CtxElem::heap(HeapId::from_raw(n))),
-            (0u32..1_000_000).prop_map(|n| CtxElem::invo(InvoId::from_raw(n))),
-            (0u32..1_000_000).prop_map(|n| CtxElem::ty(TypeId::from_raw(n))),
-        ]
+    fn random_elem(rng: &mut Rng) -> CtxElem {
+        match rng.gen_range(0..4u32) {
+            0 => CtxElem::STAR,
+            1 => CtxElem::heap(HeapId::from_raw(rng.gen_range(0..1_000_000u32))),
+            2 => CtxElem::invo(InvoId::from_raw(rng.gen_range(0..1_000_000u32))),
+            _ => CtxElem::ty(TypeId::from_raw(rng.gen_range(0..1_000_000u32))),
+        }
     }
 
-    proptest! {
-        /// The packed representation round-trips through `kind()`.
-        #[test]
-        fn elem_pack_unpack_roundtrip(e in arb_elem()) {
+    /// The packed representation round-trips through `kind()`.
+    #[test]
+    fn elem_pack_unpack_roundtrip() {
+        let mut rng = Rng::seed_from_u64(0xe1e);
+        for _ in 0..512 {
+            let e = random_elem(&mut rng);
             let rebuilt = match e.kind() {
                 CtxElemKind::Star => CtxElem::STAR,
                 CtxElemKind::Heap(h) => CtxElem::heap(h),
                 CtxElemKind::Invo(i) => CtxElem::invo(i),
                 CtxElemKind::Type(t) => CtxElem::ty(t),
             };
-            prop_assert_eq!(e, rebuilt);
+            assert_eq!(e, rebuilt);
         }
+    }
 
-        /// Interning is injective: distinct tuples get distinct IDs, equal
-        /// tuples the same ID, and `resolve` inverts `intern`.
-        #[test]
-        fn interner_injective(tuples in proptest::collection::vec(
-            (arb_elem(), arb_elem(), arb_elem()), 1..50))
-        {
+    /// Interning is injective: distinct tuples get distinct IDs, equal
+    /// tuples the same ID, and `resolve` inverts `intern`.
+    #[test]
+    fn interner_injective() {
+        let mut rng = Rng::seed_from_u64(0x171);
+        for _ in 0..16 {
+            let n = rng.gen_range(1..50usize);
+            let tuples: Vec<(CtxElem, CtxElem, CtxElem)> = (0..n)
+                .map(|_| {
+                    (
+                        random_elem(&mut rng),
+                        random_elem(&mut rng),
+                        random_elem(&mut rng),
+                    )
+                })
+                .collect();
             let mut interner = CtxInterner::new();
             let ids: Vec<CtxId> = tuples
                 .iter()
                 .map(|&(a, b, c)| interner.intern([a, b, c]))
                 .collect();
             for (i, &(a, b, c)) in tuples.iter().enumerate() {
-                prop_assert_eq!(interner.resolve(ids[i]), [a, b, c]);
+                assert_eq!(interner.resolve(ids[i]), [a, b, c]);
                 for (j, &(x, y, z)) in tuples.iter().enumerate() {
-                    prop_assert_eq!(ids[i] == ids[j], [a, b, c] == [x, y, z]);
+                    assert_eq!(ids[i] == ids[j], [a, b, c] == [x, y, z]);
                 }
             }
         }
+    }
 
-        /// Heap-context interning behaves identically.
-        #[test]
-        fn hctx_interner_injective(tuples in proptest::collection::vec(
-            (arb_elem(), arb_elem()), 1..50))
-        {
+    /// Heap-context interning behaves identically.
+    #[test]
+    fn hctx_interner_injective() {
+        let mut rng = Rng::seed_from_u64(0x4c7);
+        for _ in 0..16 {
+            let n = rng.gen_range(1..50usize);
+            let tuples: Vec<(CtxElem, CtxElem)> = (0..n)
+                .map(|_| (random_elem(&mut rng), random_elem(&mut rng)))
+                .collect();
             let mut interner = HCtxInterner::new();
             let ids: Vec<HCtxId> = tuples
                 .iter()
                 .map(|&(a, b)| interner.intern([a, b]))
                 .collect();
             for (i, &(a, b)) in tuples.iter().enumerate() {
-                prop_assert_eq!(interner.resolve(ids[i]), [a, b]);
+                assert_eq!(interner.resolve(ids[i]), [a, b]);
             }
         }
     }

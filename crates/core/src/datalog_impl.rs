@@ -25,7 +25,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use pta_datalog::{Engine, EngineStats, Term};
+use pta_datalog::{Engine, EngineStats, RelId, Term, VerifyReport};
 use pta_ir::hash::{FxHashMap, FxHashSet};
 use pta_ir::{HeapId, Instr, InvoId, MethodId, Program, TypeId, VarId};
 
@@ -52,6 +52,137 @@ where
 /// Like [`analyze_datalog`], also returning engine statistics (fixpoint
 /// rounds, strata, total rows).
 pub fn analyze_datalog_with_stats<P>(program: &Program, policy: &P) -> (PointsToResult, EngineStats)
+where
+    P: ContextPolicy + Clone + 'static,
+{
+    let Fig2Engine {
+        mut e,
+        vpt,
+        call_graph,
+        reachable,
+        throw_pts,
+        ctxs,
+        hctxs,
+    } = build_figure2(program, policy);
+
+    // ----- verify, run, extract ------------------------------------------
+    // The rule-program verifier is the engine's pre-flight check: safety
+    // or schema errors mean the encoding above is broken, and evaluating
+    // it would silently produce garbage. Warnings (dead rules, unused
+    // relations) are tolerated — small programs legitimately leave parts
+    // of Figure 2 inert (e.g. no static calls anywhere).
+    let report = e.verify();
+    assert!(
+        !report.has_errors(),
+        "datalog rule program failed verification:\n{report}"
+    );
+    let stats = e.run();
+
+    let mut var_points_to: FxHashMap<VarId, Vec<HeapId>> = FxHashMap::default();
+    {
+        let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+        for row in e.rows(vpt) {
+            let (var, heap) = (row.get(0), row.get(2));
+            if seen.insert((var, heap)) {
+                var_points_to
+                    .entry(VarId::from_raw(var))
+                    .or_default()
+                    .push(HeapId::from_raw(heap));
+            }
+        }
+    }
+    for vals in var_points_to.values_mut() {
+        vals.sort_unstable();
+    }
+
+    let mut call_targets: FxHashMap<InvoId, Vec<MethodId>> = FxHashMap::default();
+    let mut cg_insens: FxHashSet<(InvoId, MethodId)> = FxHashSet::default();
+    for row in e.rows(call_graph) {
+        let (invo, meth) = (InvoId::from_raw(row.get(0)), MethodId::from_raw(row.get(2)));
+        if cg_insens.insert((invo, meth)) {
+            call_targets.entry(invo).or_default().push(meth);
+        }
+    }
+    for vals in call_targets.values_mut() {
+        vals.sort_unstable();
+    }
+
+    let mut reachable_set: FxHashSet<MethodId> = FxHashSet::default();
+    for row in e.rows(reachable) {
+        reachable_set.insert(MethodId::from_raw(row.get(0)));
+    }
+
+    let ctx_interner = Rc::try_unwrap(ctxs)
+        .map(RefCell::into_inner)
+        .unwrap_or_else(|rc| {
+            // Functors still hold clones of the Rc (they live in the
+            // engine, dropped above — but `e` is still alive here), so fall
+            // back to reconstructing by cloning the contents.
+            clone_ctx_interner(&rc.borrow())
+        });
+    let hctx_interner = Rc::try_unwrap(hctxs)
+        .map(RefCell::into_inner)
+        .unwrap_or_else(|rc| clone_hctx_interner(&rc.borrow()));
+
+    let mut uncaught: Vec<HeapId> = {
+        let entries: FxHashSet<u32> = program.entry_points().iter().map(|m| m.raw()).collect();
+        let mut set: FxHashSet<HeapId> = FxHashSet::default();
+        for row in e.rows(throw_pts) {
+            if entries.contains(&row.get(0)) {
+                set.insert(HeapId::from_raw(row.get(2)));
+            }
+        }
+        set.into_iter().collect()
+    };
+    uncaught.sort_unstable();
+
+    let result = PointsToResult {
+        var_points_to,
+        call_graph_edges: cg_insens.len(),
+        call_targets,
+        reachable: reachable_set,
+        ctx_vpt_count: e.len(vpt) as u64,
+        ctx_call_graph_edges: e.len(call_graph) as u64,
+        ctx_reachable_count: e.len(reachable) as u64,
+        ctx_count: ctx_interner.len(),
+        hctx_count: hctx_interner.len(),
+        tuples: None,
+        provenance: None,
+        fld_provenance: None,
+        static_fld_provenance: None,
+        uncaught,
+        ctx_interner,
+        hctx_interner,
+    };
+    (result, stats)
+}
+
+/// Runs only the pre-flight verifier over the literal Figure 2 rule set as
+/// assembled for `program` — no evaluation. Exposed so tests (and curious
+/// operators) can inspect the safety/strata report for the exact rule
+/// program [`analyze_datalog`] would execute.
+pub fn verify_figure2<P>(program: &Program, policy: &P) -> VerifyReport
+where
+    P: ContextPolicy + Clone + 'static,
+{
+    build_figure2(program, policy).e.verify()
+}
+
+/// The assembled Figure 2 engine plus the handles result extraction needs.
+struct Fig2Engine {
+    e: Engine,
+    vpt: RelId,
+    call_graph: RelId,
+    reachable: RelId,
+    throw_pts: RelId,
+    ctxs: Rc<RefCell<CtxInterner>>,
+    hctxs: Rc<RefCell<HCtxInterner>>,
+}
+
+/// Registers the Figure 1 relations and context functors, materializes the
+/// input facts from `program`, and builds the nine rules of Figure 2 —
+/// everything short of evaluating.
+fn build_figure2<P>(program: &Program, policy: &P) -> Fig2Engine
 where
     P: ContextPolicy + Clone + 'static,
 {
@@ -468,86 +599,15 @@ where
         .build()
         .expect("escape-no-clauses rule");
 
-    // ----- run and extract -----------------------------------------------
-    let stats = e.run();
-
-    let mut var_points_to: FxHashMap<VarId, Vec<HeapId>> = FxHashMap::default();
-    {
-        let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
-        for row in e.rows(vpt) {
-            let (var, heap) = (row.get(0), row.get(2));
-            if seen.insert((var, heap)) {
-                var_points_to
-                    .entry(VarId::from_raw(var))
-                    .or_default()
-                    .push(HeapId::from_raw(heap));
-            }
-        }
+    Fig2Engine {
+        e,
+        vpt,
+        call_graph,
+        reachable,
+        throw_pts,
+        ctxs,
+        hctxs,
     }
-    for vals in var_points_to.values_mut() {
-        vals.sort_unstable();
-    }
-
-    let mut call_targets: FxHashMap<InvoId, Vec<MethodId>> = FxHashMap::default();
-    let mut cg_insens: FxHashSet<(InvoId, MethodId)> = FxHashSet::default();
-    for row in e.rows(call_graph) {
-        let (invo, meth) = (InvoId::from_raw(row.get(0)), MethodId::from_raw(row.get(2)));
-        if cg_insens.insert((invo, meth)) {
-            call_targets.entry(invo).or_default().push(meth);
-        }
-    }
-    for vals in call_targets.values_mut() {
-        vals.sort_unstable();
-    }
-
-    let mut reachable_set: FxHashSet<MethodId> = FxHashSet::default();
-    for row in e.rows(reachable) {
-        reachable_set.insert(MethodId::from_raw(row.get(0)));
-    }
-
-    let ctx_interner = Rc::try_unwrap(ctxs)
-        .map(RefCell::into_inner)
-        .unwrap_or_else(|rc| {
-            // Functors still hold clones of the Rc (they live in the
-            // engine, dropped above — but `e` is still alive here), so fall
-            // back to reconstructing by cloning the contents.
-            clone_ctx_interner(&rc.borrow())
-        });
-    let hctx_interner = Rc::try_unwrap(hctxs)
-        .map(RefCell::into_inner)
-        .unwrap_or_else(|rc| clone_hctx_interner(&rc.borrow()));
-
-    let mut uncaught: Vec<HeapId> = {
-        let entries: FxHashSet<u32> = program.entry_points().iter().map(|m| m.raw()).collect();
-        let mut set: FxHashSet<HeapId> = FxHashSet::default();
-        for row in e.rows(throw_pts) {
-            if entries.contains(&row.get(0)) {
-                set.insert(HeapId::from_raw(row.get(2)));
-            }
-        }
-        set.into_iter().collect()
-    };
-    uncaught.sort_unstable();
-
-    let result = PointsToResult {
-        var_points_to,
-        call_graph_edges: cg_insens.len(),
-        call_targets,
-        reachable: reachable_set,
-        ctx_vpt_count: e.len(vpt) as u64,
-        ctx_call_graph_edges: e.len(call_graph) as u64,
-        ctx_reachable_count: e.len(reachable) as u64,
-        ctx_count: ctx_interner.len(),
-        hctx_count: hctx_interner.len(),
-        tuples: None,
-        provenance: None,
-        fld_provenance: None,
-        static_fld_provenance: None,
-        uncaught,
-        ctx_interner,
-        hctx_interner,
-    };
-    (result, stats)
 }
 
 fn clone_ctx_interner(src: &CtxInterner) -> CtxInterner {

@@ -137,6 +137,28 @@ impl Engine {
         self.rules.push(rule);
     }
 
+    /// Number of rules registered so far.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Number of relations declared so far.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    pub(crate) fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    pub(crate) fn functor_count(&self) -> usize {
+        self.functors.len()
+    }
+
+    pub(crate) fn relations_ref(&self) -> &[Relation] {
+        &self.relations
+    }
+
     /// Number of rows currently in `rel`.
     pub fn len(&self, rel: RelId) -> usize {
         self.relations[rel.index()].len()

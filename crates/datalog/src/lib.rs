@@ -59,7 +59,9 @@ pub mod relation;
 pub mod rule;
 pub mod stratify;
 pub mod tuple;
+pub mod verify;
 
 pub use engine::{Engine, EngineStats, FunctorId, RelId};
 pub use rule::{RuleBuildError, RuleBuilder, Term};
 pub use tuple::{Row, MAX_ARITY};
+pub use verify::{StratumInfo, VerifyIssue, VerifyIssueKind, VerifyReport};

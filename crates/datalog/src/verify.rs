@@ -1,0 +1,564 @@
+//! Whole-program verification of a registered rule set.
+//!
+//! [`RuleBuilder::build`](crate::rule::RuleBuilder::build) validates each
+//! rule in isolation as it is constructed. [`Engine::verify`] re-checks the
+//! *registered program* as a whole, just before evaluation:
+//!
+//! - **rule safety** (range restriction): every head variable and every
+//!   functor argument must be bound by a positive body atom or by an
+//!   earlier functor output. Re-checked here because rules reach the engine
+//!   as resolved slot programs and a bug in resolution (or a future
+//!   alternative rule frontend) would otherwise read uninitialized slots
+//!   during the join;
+//! - **schema consistency**: every atom's term count must equal its
+//!   relation's declared arity, and every functor binding must reference a
+//!   registered functor;
+//! - **dead rules**: rules that can never fire because some body relation
+//!   is empty and is not derivable by any live rule (computed as a
+//!   fixpoint over the rule/relation dependency graph);
+//! - **unused relations**: declared relations that no rule reads or
+//!   derives and that hold no facts;
+//! - a **stratification report**: the strata the scheduler will run, in
+//!   order, with the mutually recursive core called out — for the paper's
+//!   Figure 2 rule set this surfaces the single large recursive stratum
+//!   (`VarPointsTo`/`CallGraph`/`FldPointsTo`/`Reachable`/…) exactly as
+//!   Doop reports it.
+//!
+//! Safety and schema violations are *errors* (evaluation would be
+//! meaningless); dead rules and unused relations are *warnings* (the
+//! program runs, but part of it is inert). `pta-core` runs the verifier
+//! before every `analyze_datalog` evaluation and refuses to evaluate a
+//! program with errors.
+
+use std::fmt;
+
+use crate::engine::Engine;
+use crate::rule::{Rule, Slot};
+
+/// What a [`VerifyIssue`] is about. Kinds map 1:1 onto the diagnostic codes
+/// in `pta-lint` (E010–E012, W010–W011).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerifyIssueKind {
+    /// A head atom uses a variable slot no body atom or binding produces.
+    UnboundHeadVar,
+    /// An atom's term count differs from its relation's declared arity.
+    ArityMismatch,
+    /// A functor binding reads a variable slot that is not yet bound (or
+    /// names an unregistered functor).
+    BadBinding,
+    /// The rule can never fire: some body relation is empty and no live
+    /// rule can ever derive into it.
+    DeadRule,
+    /// A declared relation that no rule touches and that holds no facts.
+    UnusedRelation,
+}
+
+impl VerifyIssueKind {
+    /// `true` for kinds that make evaluation meaningless.
+    #[must_use]
+    pub fn is_error(self) -> bool {
+        matches!(
+            self,
+            VerifyIssueKind::UnboundHeadVar
+                | VerifyIssueKind::ArityMismatch
+                | VerifyIssueKind::BadBinding
+        )
+    }
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone)]
+pub struct VerifyIssue {
+    /// What went wrong.
+    pub kind: VerifyIssueKind,
+    /// Label of the offending rule (`rule #N` if the rule is unlabeled);
+    /// `None` for relation-level findings.
+    pub rule: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = if self.kind.is_error() {
+            "error"
+        } else {
+            "warning"
+        };
+        match &self.rule {
+            Some(r) => write!(f, "{sev}: [{r}] {}", self.message),
+            None => write!(f, "{sev}: {}", self.message),
+        }
+    }
+}
+
+/// One scheduled stratum, as [`Engine::run`] will execute it.
+#[derive(Debug, Clone)]
+pub struct StratumInfo {
+    /// Labels of the rules in this stratum.
+    pub rules: Vec<String>,
+    /// Names of the relations derived by this stratum's rules.
+    pub relations: Vec<String>,
+    /// `true` if the stratum must iterate to fixpoint because a rule in it
+    /// reads a relation the same stratum derives.
+    pub recursive: bool,
+}
+
+/// The result of [`Engine::verify`]: findings plus the stratification
+/// report.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// All findings, errors first.
+    pub issues: Vec<VerifyIssue>,
+    /// The strata [`Engine::run`] will execute, in execution order.
+    pub strata: Vec<StratumInfo>,
+}
+
+impl VerifyReport {
+    /// `true` if any finding is an error.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.issues.iter().any(|i| i.kind.is_error())
+    }
+
+    /// The error findings.
+    pub fn errors(&self) -> impl Iterator<Item = &VerifyIssue> {
+        self.issues.iter().filter(|i| i.kind.is_error())
+    }
+
+    /// The warning findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &VerifyIssue> {
+        self.issues.iter().filter(|i| !i.kind.is_error())
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for issue in &self.issues {
+            writeln!(f, "{issue}")?;
+        }
+        for (i, s) in self.strata.iter().enumerate() {
+            let tag = if s.recursive { " (recursive)" } else { "" };
+            writeln!(
+                f,
+                "stratum {i}{tag}: {} rule(s) deriving {}",
+                s.rules.len(),
+                s.relations.join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn rule_label(rule: &Rule, index: usize) -> String {
+    if rule.label.is_empty() {
+        format!("rule #{index}")
+    } else {
+        rule.label.clone()
+    }
+}
+
+impl Engine {
+    /// Verifies the registered rule program. See the [module docs](self).
+    ///
+    /// Pure inspection: the engine is not modified, and evaluation state
+    /// (facts already derived) only feeds the dead-rule analysis.
+    #[must_use]
+    pub fn verify(&self) -> VerifyReport {
+        let mut errors: Vec<VerifyIssue> = Vec::new();
+        let mut warnings: Vec<VerifyIssue> = Vec::new();
+        let rules = self.rules();
+
+        // --- per-rule safety and schema checks --------------------------
+        for (ri, rule) in rules.iter().enumerate() {
+            let label = rule_label(rule, ri);
+            let mut bound = vec![false; rule.nvars];
+            for atom in &rule.body {
+                let expected = self.relation_arity(atom.rel);
+                if atom.terms.len() != expected {
+                    errors.push(VerifyIssue {
+                        kind: VerifyIssueKind::ArityMismatch,
+                        rule: Some(label.clone()),
+                        message: format!(
+                            "body atom over {} has {} terms, relation arity is {expected}",
+                            self.relation_name(atom.rel),
+                            atom.terms.len()
+                        ),
+                    });
+                }
+                for t in &atom.terms {
+                    if let Slot::Var(v) = t {
+                        if let Some(b) = bound.get_mut(*v) {
+                            *b = true;
+                        }
+                    }
+                }
+            }
+            for binding in &rule.bindings {
+                if binding.functor.index() >= self.functor_count() {
+                    errors.push(VerifyIssue {
+                        kind: VerifyIssueKind::BadBinding,
+                        rule: Some(label.clone()),
+                        message: format!(
+                            "binding names unregistered functor #{}",
+                            binding.functor.index()
+                        ),
+                    });
+                }
+                for arg in &binding.args {
+                    if let Slot::Var(v) = arg {
+                        if !bound.get(*v).copied().unwrap_or(false) {
+                            errors.push(VerifyIssue {
+                                kind: VerifyIssueKind::BadBinding,
+                                rule: Some(label.clone()),
+                                message: format!(
+                                    "functor argument slot v{v} is not bound by the body \
+                                     or an earlier binding"
+                                ),
+                            });
+                        }
+                    }
+                }
+                if let Some(b) = bound.get_mut(binding.out) {
+                    *b = true;
+                }
+            }
+            for head in &rule.heads {
+                let expected = self.relation_arity(head.rel);
+                if head.terms.len() != expected {
+                    errors.push(VerifyIssue {
+                        kind: VerifyIssueKind::ArityMismatch,
+                        rule: Some(label.clone()),
+                        message: format!(
+                            "head atom over {} has {} terms, relation arity is {expected}",
+                            self.relation_name(head.rel),
+                            head.terms.len()
+                        ),
+                    });
+                }
+                for t in &head.terms {
+                    if let Slot::Var(v) = t {
+                        if !bound.get(*v).copied().unwrap_or(false) {
+                            errors.push(VerifyIssue {
+                                kind: VerifyIssueKind::UnboundHeadVar,
+                                rule: Some(label.clone()),
+                                message: format!(
+                                    "head variable slot v{v} of {} is not bound by any \
+                                     body atom or functor output",
+                                    self.relation_name(head.rel)
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- dead rules -------------------------------------------------
+        // A relation is "live" if it holds facts or a live rule derives it;
+        // a rule is live if every body relation is live. Fixpoint.
+        let n = self.relation_count();
+        let mut live_rel: Vec<bool> = (0..n)
+            .map(|r| !self.relations_ref()[r].is_empty())
+            .collect();
+        let mut live_rule = vec![false; rules.len()];
+        loop {
+            let mut changed = false;
+            for (ri, rule) in rules.iter().enumerate() {
+                if live_rule[ri] {
+                    continue;
+                }
+                if rule.body.iter().all(|a| live_rel[a.rel.index()]) {
+                    live_rule[ri] = true;
+                    changed = true;
+                    for h in &rule.heads {
+                        live_rel[h.rel.index()] = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (ri, rule) in rules.iter().enumerate() {
+            if !live_rule[ri] {
+                let starved: Vec<&str> = rule
+                    .body
+                    .iter()
+                    .filter(|a| !live_rel[a.rel.index()])
+                    .map(|a| self.relation_name(a.rel))
+                    .collect();
+                warnings.push(VerifyIssue {
+                    kind: VerifyIssueKind::DeadRule,
+                    rule: Some(rule_label(rule, ri)),
+                    message: format!(
+                        "rule can never fire: relation(s) {} are empty and underivable",
+                        starved.join(", ")
+                    ),
+                });
+            }
+        }
+
+        // --- unused relations -------------------------------------------
+        let mut referenced = vec![false; n];
+        for rule in rules {
+            for a in rule.body.iter().chain(rule.heads.iter()) {
+                referenced[a.rel.index()] = true;
+            }
+        }
+        for (r, &is_referenced) in referenced.iter().enumerate() {
+            if !is_referenced && self.relations_ref()[r].is_empty() {
+                warnings.push(VerifyIssue {
+                    kind: VerifyIssueKind::UnusedRelation,
+                    rule: None,
+                    message: format!(
+                        "relation {} is declared but never used by any rule or fact",
+                        self.relations_ref()[r].name()
+                    ),
+                });
+            }
+        }
+
+        // --- stratification report --------------------------------------
+        let strata = crate::stratify::schedule(rules, n);
+        let mut report_strata = Vec::with_capacity(strata.len());
+        for stratum in &strata {
+            let mut rel_names: Vec<String> = Vec::new();
+            let mut heads_here = vec![false; n];
+            for &ri in stratum {
+                for h in &rules[ri].heads {
+                    if !heads_here[h.rel.index()] {
+                        heads_here[h.rel.index()] = true;
+                        rel_names.push(self.relation_name(h.rel).to_owned());
+                    }
+                }
+            }
+            let recursive = stratum
+                .iter()
+                .any(|&ri| rules[ri].body.iter().any(|a| heads_here[a.rel.index()]));
+            report_strata.push(StratumInfo {
+                rules: stratum
+                    .iter()
+                    .map(|&ri| rule_label(&rules[ri], ri))
+                    .collect(),
+                relations: rel_names,
+                recursive,
+            });
+        }
+
+        let mut issues = errors;
+        issues.extend(warnings);
+        VerifyReport {
+            issues,
+            strata: report_strata,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Atom, Rule, Term};
+
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    #[test]
+    fn clean_program_verifies_without_issues() {
+        let mut e = Engine::new();
+        let edge = e.relation("edge", 2);
+        let path = e.relation("path", 2);
+        e.fact(edge, &[0, 1]);
+        e.rule()
+            .label("path-base")
+            .head(path, &[v("x"), v("y")])
+            .atom(edge, &[v("x"), v("y")])
+            .build()
+            .unwrap();
+        e.rule()
+            .label("path-step")
+            .head(path, &[v("x"), v("z")])
+            .atom(edge, &[v("x"), v("y")])
+            .atom(path, &[v("y"), v("z")])
+            .build()
+            .unwrap();
+        let report = e.verify();
+        assert!(report.issues.is_empty(), "{report}");
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn strata_report_flags_the_recursive_core() {
+        let mut e = Engine::new();
+        let edge = e.relation("edge", 2);
+        let path = e.relation("path", 2);
+        let summary = e.relation("summary", 1);
+        e.fact(edge, &[0, 1]);
+        e.rule()
+            .head(path, &[v("x"), v("y")])
+            .atom(edge, &[v("x"), v("y")])
+            .build()
+            .unwrap();
+        e.rule()
+            .head(path, &[v("x"), v("z")])
+            .atom(edge, &[v("x"), v("y")])
+            .atom(path, &[v("y"), v("z")])
+            .build()
+            .unwrap();
+        e.rule()
+            .head(summary, &[v("x")])
+            .atom(path, &[v("x"), v("x")])
+            .build()
+            .unwrap();
+        let report = e.verify();
+        assert_eq!(report.strata.len(), 2);
+        assert!(report.strata[0].recursive);
+        assert!(report.strata[0].relations.contains(&"path".to_owned()));
+        assert!(!report.strata[1].recursive);
+        assert_eq!(report.strata[1].relations, vec!["summary".to_owned()]);
+    }
+
+    #[test]
+    fn dead_rule_is_reported() {
+        let mut e = Engine::new();
+        let never = e.relation("never", 1); // no facts, no producer
+        let out = e.relation("out", 1);
+        e.rule()
+            .label("starved")
+            .head(out, &[v("x")])
+            .atom(never, &[v("x")])
+            .build()
+            .unwrap();
+        let report = e.verify();
+        assert!(!report.has_errors());
+        let dead: Vec<_> = report
+            .warnings()
+            .filter(|i| i.kind == VerifyIssueKind::DeadRule)
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].rule.as_deref(), Some("starved"));
+        assert!(dead[0].message.contains("never"));
+        let _ = never;
+    }
+
+    #[test]
+    fn transitively_live_rules_are_not_dead() {
+        // a -> b -> c: all rules live because `a` has a fact.
+        let mut e = Engine::new();
+        let a = e.relation("a", 1);
+        let b = e.relation("b", 1);
+        let c = e.relation("c", 1);
+        e.fact(a, &[1]);
+        e.rule()
+            .head(b, &[v("x")])
+            .atom(a, &[v("x")])
+            .build()
+            .unwrap();
+        e.rule()
+            .head(c, &[v("x")])
+            .atom(b, &[v("x")])
+            .build()
+            .unwrap();
+        let report = e.verify();
+        assert!(report
+            .issues
+            .iter()
+            .all(|i| i.kind != VerifyIssueKind::DeadRule));
+    }
+
+    #[test]
+    fn unused_relation_is_reported() {
+        let mut e = Engine::new();
+        let _orphan = e.relation("orphan", 1);
+        let a = e.relation("a", 1);
+        let b = e.relation("b", 1);
+        e.fact(a, &[1]);
+        e.rule()
+            .head(b, &[v("x")])
+            .atom(a, &[v("x")])
+            .build()
+            .unwrap();
+        let report = e.verify();
+        let unused: Vec<_> = report
+            .warnings()
+            .filter(|i| i.kind == VerifyIssueKind::UnusedRelation)
+            .collect();
+        assert_eq!(unused.len(), 1);
+        assert!(unused[0].message.contains("orphan"));
+    }
+
+    #[test]
+    fn corrupt_rule_safety_violations_are_errors() {
+        // Bypass RuleBuilder and register a deliberately broken resolved
+        // rule: head variable slot 1 is never bound, and the head arity is
+        // wrong. verify() is the engine's last line of defense.
+        let mut e = Engine::new();
+        let a = e.relation("a", 1);
+        let b = e.relation("b", 2);
+        e.fact(a, &[1]);
+        e.register_rule(Rule {
+            heads: vec![Atom {
+                rel: b,
+                terms: vec![crate::rule::Slot::Var(0), crate::rule::Slot::Var(1)],
+            }],
+            body: vec![Atom {
+                rel: a,
+                terms: vec![crate::rule::Slot::Var(0)],
+            }],
+            bindings: vec![],
+            nvars: 2,
+            label: "broken".to_owned(),
+        });
+        let report = e.verify();
+        assert!(report.has_errors());
+        assert!(report
+            .errors()
+            .any(|i| i.kind == VerifyIssueKind::UnboundHeadVar));
+    }
+
+    #[test]
+    fn arity_mismatch_in_resolved_rule_is_an_error() {
+        let mut e = Engine::new();
+        let a = e.relation("a", 2);
+        let b = e.relation("b", 1);
+        e.register_rule(Rule {
+            heads: vec![Atom {
+                rel: b,
+                terms: vec![crate::rule::Slot::Var(0)],
+            }],
+            body: vec![Atom {
+                rel: a,
+                terms: vec![crate::rule::Slot::Var(0)], // arity is 2
+            }],
+            bindings: vec![],
+            nvars: 1,
+            label: String::new(),
+        });
+        let report = e.verify();
+        assert!(report
+            .errors()
+            .any(|i| i.kind == VerifyIssueKind::ArityMismatch));
+        // Unlabeled rules are identified positionally.
+        assert_eq!(
+            report.errors().next().unwrap().rule.as_deref(),
+            Some("rule #0")
+        );
+    }
+
+    #[test]
+    fn report_display_mentions_strata_and_issues() {
+        let mut e = Engine::new();
+        let a = e.relation("a", 1);
+        let b = e.relation("b", 1);
+        e.rule()
+            .label("only")
+            .head(b, &[v("x")])
+            .atom(a, &[v("x")])
+            .build()
+            .unwrap();
+        let text = e.verify().to_string();
+        assert!(text.contains("stratum 0"));
+        assert!(text.contains("warning"));
+    }
+}

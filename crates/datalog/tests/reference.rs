@@ -1,16 +1,24 @@
-//! Property-based reference checks: the semi-naive engine must compute the
+//! Randomized reference checks: the semi-naive engine must compute the
 //! same results as brute-force implementations written directly in the
 //! test (Warshall closure for transitive closure, nested loops for joins,
-//! bounded iteration for functor saturation).
+//! bounded iteration for functor saturation). Deterministic seeds keep the
+//! suite reproducible without an external property-testing framework.
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
-
 use pta_datalog::{Engine, Term};
+use pta_ir::rng::Rng;
 
 fn v(n: &str) -> Term {
     Term::var(n)
+}
+
+/// A random set of up to `max_pairs` pairs over `0..domain`.
+fn random_pairs(rng: &mut Rng, domain: u32, max_pairs: usize) -> BTreeSet<(u32, u32)> {
+    let count = rng.gen_range(0..max_pairs + 1);
+    (0..count)
+        .map(|_| (rng.gen_range(0..domain), rng.gen_range(0..domain)))
+        .collect()
 }
 
 /// Brute-force reflexionless transitive closure.
@@ -64,21 +72,25 @@ fn engine_closure(edges: &BTreeSet<(u32, u32)>) -> BTreeSet<(u32, u32)> {
     e.rows(path).map(|r| (r.get(0), r.get(1))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn transitive_closure_matches_warshall(
-        edges in proptest::collection::btree_set((0u32..12, 0u32..12), 0..40)
-    ) {
-        prop_assert_eq!(engine_closure(&edges), warshall(12, &edges));
+#[test]
+fn transitive_closure_matches_warshall() {
+    let mut rng = Rng::seed_from_u64(0xc105);
+    for _ in 0..48 {
+        let edges = random_pairs(&mut rng, 12, 40);
+        assert_eq!(
+            engine_closure(&edges),
+            warshall(12, &edges),
+            "edges: {edges:?}"
+        );
     }
+}
 
-    #[test]
-    fn binary_join_matches_nested_loops(
-        r in proptest::collection::btree_set((0u32..8, 0u32..8), 0..24),
-        s in proptest::collection::btree_set((0u32..8, 0u32..8), 0..24),
-    ) {
+#[test]
+fn binary_join_matches_nested_loops() {
+    let mut rng = Rng::seed_from_u64(0x101);
+    for _ in 0..48 {
+        let r = random_pairs(&mut rng, 8, 24);
+        let s = random_pairs(&mut rng, 8, 24);
         let mut e = Engine::new();
         let rr = e.relation("r", 2);
         let ss = e.relation("s", 2);
@@ -106,20 +118,25 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "r: {r:?}, s: {s:?}");
     }
+}
 
-    #[test]
-    fn functor_saturation_matches_modular_orbit(
-        start in 0u32..30,
-        modulus in 1u32..30,
-        step in 0u32..30,
-    ) {
+#[test]
+fn functor_saturation_matches_modular_orbit() {
+    let mut rng = Rng::seed_from_u64(0xf0);
+    for _ in 0..48 {
+        let start = rng.gen_range(0..30u32);
+        let modulus = rng.gen_range(1..30u32);
+        let step = rng.gen_range(0..30u32);
         // reach(y) <- reach(x), y = (x + step) % modulus: the orbit of
         // `start` under an affine map, computed directly.
         let mut e = Engine::new();
         let reach = e.relation("reach", 1);
-        let f = e.functor("affine", Box::new(move |args: &[u32]| (args[0] + step) % modulus));
+        let f = e.functor(
+            "affine",
+            Box::new(move |args: &[u32]| (args[0] + step) % modulus),
+        );
         e.fact(reach, &[start % modulus]);
         e.rule()
             .head(reach, &[v("y")])
@@ -134,13 +151,19 @@ proptest! {
         while expected.insert(cur) {
             cur = (cur + step) % modulus;
         }
-        prop_assert_eq!(got, expected);
+        assert_eq!(
+            got, expected,
+            "start {start}, modulus {modulus}, step {step}"
+        );
     }
+}
 
-    #[test]
-    fn multi_head_rules_match_two_single_head_rules(
-        facts in proptest::collection::btree_set(0u32..20, 0..15)
-    ) {
+#[test]
+fn multi_head_rules_match_two_single_head_rules() {
+    let mut rng = Rng::seed_from_u64(0x2b);
+    for _ in 0..48 {
+        let count = rng.gen_range(0..15usize);
+        let facts: BTreeSet<u32> = (0..count).map(|_| rng.gen_range(0..20u32)).collect();
         // One rule with two heads vs two separate rules must agree.
         let run = |multi: bool| -> (BTreeSet<u32>, BTreeSet<u32>) {
             let mut e = Engine::new();
@@ -158,8 +181,16 @@ proptest! {
                     .build()
                     .unwrap();
             } else {
-                e.rule().head(b, &[v("x")]).atom(a, &[v("x")]).build().unwrap();
-                e.rule().head(c, &[v("x")]).atom(a, &[v("x")]).build().unwrap();
+                e.rule()
+                    .head(b, &[v("x")])
+                    .atom(a, &[v("x")])
+                    .build()
+                    .unwrap();
+                e.rule()
+                    .head(c, &[v("x")])
+                    .atom(a, &[v("x")])
+                    .build()
+                    .unwrap();
             }
             e.run();
             (
@@ -167,6 +198,6 @@ proptest! {
                 e.rows(c).map(|r| r.get(0)).collect(),
             )
         };
-        prop_assert_eq!(run(true), run(false));
+        assert_eq!(run(true), run(false), "facts: {facts:?}");
     }
 }

@@ -14,6 +14,7 @@ use crate::ids::{FieldId, HeapId, InvoId, MethodId, SigId, TypeId, VarId};
 use crate::program::{
     FieldInfo, HeapInfo, Instr, InvoInfo, InvoKind, MethodInfo, Program, SigInfo, TypeInfo, VarInfo,
 };
+use crate::srcloc::SrcLoc;
 use crate::validate::{validate, ValidateError};
 
 /// Incremental builder for [`Program`]s.
@@ -155,6 +156,8 @@ impl ProgramBuilder {
             formals: Vec::new(),
             ret: None,
             instrs: Vec::new(),
+            instr_locs: Vec::new(),
+            loc: SrcLoc::UNKNOWN,
             catches: Vec::new(),
         });
         if !is_static {
@@ -316,6 +319,63 @@ impl ProgramBuilder {
             .instrs
             .push(Instr::SCall { target, invo });
         invo
+    }
+
+    // ----- source locations ------------------------------------------------
+
+    /// Records the source location of the method declaration (used by the
+    /// textual frontend so diagnostics can point at `.jir` source).
+    pub fn set_method_loc(&mut self, meth: MethodId, loc: SrcLoc) {
+        self.methods[meth.index()].loc = loc;
+    }
+
+    /// Records the source location of the most recently appended instruction
+    /// of `meth`. Earlier instructions without a recorded location default
+    /// to [`SrcLoc::UNKNOWN`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `meth` has no instructions yet.
+    pub fn set_last_instr_loc(&mut self, meth: MethodId, loc: SrcLoc) {
+        let info = &mut self.methods[meth.index()];
+        assert!(
+            !info.instrs.is_empty(),
+            "set_last_instr_loc on empty method {meth}"
+        );
+        info.instr_locs
+            .resize(info.instrs.len() - 1, SrcLoc::UNKNOWN);
+        info.instr_locs.push(loc);
+    }
+
+    // ----- introspection ---------------------------------------------------
+    //
+    // Read access to the partially built program; used by generators that
+    // post-process their own output (e.g. the workload generator's
+    // dead-allocation sweep) before freezing it.
+
+    /// Number of methods declared so far.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// The instructions appended to `meth` so far.
+    pub fn instrs(&self, meth: MethodId) -> &[Instr] {
+        &self.methods[meth.index()].instrs
+    }
+
+    /// The return variable of `meth`, if one was set.
+    pub fn formal_return(&self, meth: MethodId) -> Option<VarId> {
+        self.methods[meth.index()].ret
+    }
+
+    /// Actual arguments recorded for an invocation site.
+    pub fn actual_args(&self, invo: InvoId) -> &[VarId] {
+        &self.invos[invo.index()].args
+    }
+
+    /// The variable receiving an invocation site's return value, if any.
+    pub fn actual_return(&self, invo: InvoId) -> Option<VarId> {
+        self.invos[invo.index()].ret
     }
 
     // ----- finalization ----------------------------------------------------

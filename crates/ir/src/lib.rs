@@ -50,6 +50,8 @@ pub mod hierarchy;
 pub mod ids;
 pub mod interp;
 pub mod program;
+pub mod rng;
+pub mod srcloc;
 pub mod stats;
 pub mod validate;
 
@@ -58,5 +60,6 @@ pub use hierarchy::Hierarchy;
 pub use ids::{FieldId, HeapId, InvoId, MethodId, SigId, TypeId, VarId};
 pub use interp::{DynamicFacts, InterpConfig, Interpreter};
 pub use program::{Instr, InvoKind, Program};
+pub use srcloc::SrcLoc;
 pub use stats::ProgramStats;
-pub use validate::{validate, ValidateError};
+pub use validate::{validate, FieldAccess, ValidateError};

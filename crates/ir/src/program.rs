@@ -10,6 +10,7 @@
 
 use crate::hierarchy::Hierarchy;
 use crate::ids::{FieldId, HeapId, InvoId, MethodId, SigId, TypeId, VarId};
+use crate::srcloc::SrcLoc;
 
 /// One instruction of the simplified intermediate language (paper §2.1).
 ///
@@ -156,6 +157,12 @@ pub(crate) struct MethodInfo {
     pub formals: Vec<VarId>,
     pub ret: Option<VarId>,
     pub instrs: Vec<Instr>,
+    /// Source location of each instruction, parallel to `instrs`. Entries
+    /// are [`SrcLoc::UNKNOWN`] for programmatically built IR; the vector may
+    /// be shorter than `instrs` (trailing instructions are then unknown).
+    pub instr_locs: Vec<SrcLoc>,
+    /// Source location of the method declaration itself.
+    pub loc: SrcLoc,
     /// Catch clauses `(type, binder)`: exceptions reaching this method
     /// whose dynamic type is a subtype of `type` bind to `binder`. Without
     /// block structure in the IR, clauses are method-scoped and *any*
@@ -383,6 +390,21 @@ impl Program {
     /// The method's catch clauses as `(caught type, binder variable)`.
     pub fn catches(&self, meth: MethodId) -> &[(TypeId, VarId)] {
         &self.methods[meth.index()].catches
+    }
+
+    /// Source location of the method declaration ([`SrcLoc::UNKNOWN`] for
+    /// programmatically built IR).
+    pub fn method_loc(&self, meth: MethodId) -> SrcLoc {
+        self.methods[meth.index()].loc
+    }
+
+    /// Source location of the `idx`-th instruction of `meth`, if recorded.
+    pub fn instr_loc(&self, meth: MethodId, idx: usize) -> SrcLoc {
+        self.methods[meth.index()]
+            .instr_locs
+            .get(idx)
+            .copied()
+            .unwrap_or(SrcLoc::UNKNOWN)
     }
 
     // ----- variables ----------------------------------------------------

@@ -1,0 +1,158 @@
+//! A small, dependency-free, deterministic pseudo-random number generator.
+//!
+//! The workload generator (and several seeded randomized tests) need a
+//! reproducible source of randomness. The toolchain runs fully offline, so
+//! instead of pulling in an external crate this module implements
+//! `splitmix64` (Steele, Lea & Flood, OOPSLA 2014) — a tiny, statistically
+//! solid 64-bit mixer that is more than adequate for driving program
+//! generation. The API intentionally mirrors the subset of `rand::Rng` the
+//! repo uses (`gen_range` over half-open ranges, `gen_bool`), so call sites
+//! read identically.
+
+use std::ops::Range;
+
+/// Deterministic splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams on every platform.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample from a half-open range, e.g. `rng.gen_range(0..n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // 53 bits of mantissa give a uniform double in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Uniform sample below `bound` (Lemire-style rejection keeps the
+    /// distribution exactly uniform).
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range: empty range");
+        // Rejection zone so that the modulo is unbiased.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleRange: Sized {
+    fn sample(rng: &mut Rng, range: Range<Self>) -> Self;
+}
+
+impl SampleRange for usize {
+    #[inline]
+    fn sample(rng: &mut Rng, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range: empty range {range:?}");
+        let span = (range.end - range.start) as u64;
+        range.start + rng.below(span) as usize
+    }
+}
+
+impl SampleRange for u32 {
+    #[inline]
+    fn sample(rng: &mut Rng, range: Range<u32>) -> u32 {
+        assert!(range.start < range.end, "gen_range: empty range {range:?}");
+        let span = u64::from(range.end - range.start);
+        range.start + rng.below(span) as u32
+    }
+}
+
+impl SampleRange for u64 {
+    #[inline]
+    fn sample(rng: &mut Rng, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range: empty range {range:?}");
+        let span = range.end - range.start;
+        range.start + rng.below(span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(0..5u32);
+            assert!(w < 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[r.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "seen: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Rng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "hits: {hits}");
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}

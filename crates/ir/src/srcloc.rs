@@ -1,0 +1,46 @@
+//! Source locations for diagnostics.
+//!
+//! Programs built from `.jir` text carry a line/column per instruction and
+//! per method declaration; programs built programmatically (the workload
+//! generator, tests) simply leave everything at [`SrcLoc::UNKNOWN`]. The
+//! lint subsystem threads these through to its diagnostics so a finding in
+//! a `.jir` file points at real source text.
+
+use std::fmt;
+
+/// A 1-based line/column position in a source file. `line == 0` means the
+/// position is unknown (programmatically built IR).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SrcLoc {
+    /// 1-based source line; 0 when unknown.
+    pub line: u32,
+    /// 1-based source column; 0 when unknown.
+    pub column: u32,
+}
+
+impl SrcLoc {
+    /// The "no location" sentinel used by programmatically built IR.
+    pub const UNKNOWN: SrcLoc = SrcLoc { line: 0, column: 0 };
+
+    /// A known position.
+    #[must_use]
+    pub fn new(line: u32, column: u32) -> SrcLoc {
+        SrcLoc { line, column }
+    }
+
+    /// `true` if this refers to actual source text.
+    #[must_use]
+    pub fn is_known(self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.column)
+        } else {
+            write!(f, "?:?")
+        }
+    }
+}

@@ -7,8 +7,21 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::ids::{MethodId, VarId};
+use crate::ids::{FieldId, InvoId, MethodId, VarId};
 use crate::program::{Instr, InvoKind, Program};
+
+/// The four field-access shapes, used to report kind mismatches precisely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldAccess {
+    /// `to = base.field` where `field` is static.
+    InstanceLoad,
+    /// `base.field = from` where `field` is static.
+    InstanceStore,
+    /// `to = Class.field` where `field` is an instance field.
+    StaticLoad,
+    /// `Class.field = from` where `field` is an instance field.
+    StaticStore,
+}
 
 /// An ill-formedness diagnosis for a program under construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,27 +37,41 @@ pub enum ValidateError {
         var: VarId,
     },
     /// An invocation site passes a different number of arguments than the
-    /// (static) callee declares.
+    /// callee declares (static call) or the signature carries (virtual call).
     ArityMismatch {
         /// The method containing the call.
         method: MethodId,
-        /// Human-readable description of the site.
-        detail: String,
+        /// The offending invocation site.
+        invo: InvoId,
+        /// The statically known callee, for static calls.
+        callee: Option<MethodId>,
+        /// Number of actual arguments at the site.
+        got: usize,
+        /// Number of arguments the callee/signature expects.
+        expected: usize,
     },
-    /// A static call targets an instance method or a virtual call names a
-    /// static-only signature context.
+    /// A call instruction disagrees with its invocation site's recorded
+    /// kind, or a static call targets an instance method.
     BadCallKind {
         /// The method containing the call.
         method: MethodId,
-        /// Human-readable description of the site.
-        detail: String,
+        /// The offending invocation site.
+        invo: InvoId,
+        /// The kind the instruction requires.
+        expected: InvoKind,
+        /// The kind the site was recorded with.
+        found: InvoKind,
+        /// For static calls only: the instance method wrongly targeted.
+        target: Option<MethodId>,
     },
     /// A static-field instruction names an instance field or vice versa.
     BadFieldKind {
         /// The method containing the instruction.
         method: MethodId,
-        /// Human-readable description.
-        detail: String,
+        /// The field accessed with the wrong kind of instruction.
+        field: FieldId,
+        /// Which access shape was used.
+        access: FieldAccess,
     },
     /// An entry point declares formal parameters or a receiver; analysis
     /// roots must be self-contained static methods.
@@ -52,6 +79,13 @@ pub enum ValidateError {
         /// The offending entry point.
         method: MethodId,
     },
+}
+
+fn kind_name(k: InvoKind) -> &'static str {
+    match k {
+        InvoKind::Virtual => "virtual",
+        InvoKind::Static => "static",
+    }
 }
 
 impl fmt::Display for ValidateError {
@@ -64,14 +98,52 @@ impl fmt::Display for ValidateError {
                     "method {method} uses variable {var} declared in another method"
                 )
             }
-            ValidateError::ArityMismatch { method, detail } => {
-                write!(f, "arity mismatch in {method}: {detail}")
-            }
-            ValidateError::BadCallKind { method, detail } => {
-                write!(f, "bad call kind in {method}: {detail}")
-            }
-            ValidateError::BadFieldKind { method, detail } => {
-                write!(f, "bad field kind in {method}: {detail}")
+            ValidateError::ArityMismatch {
+                method,
+                invo,
+                callee,
+                got,
+                expected,
+            } => match callee {
+                Some(c) => write!(
+                    f,
+                    "arity mismatch in {method}: static site {invo} passes {got} args to {c} expecting {expected}"
+                ),
+                None => write!(
+                    f,
+                    "arity mismatch in {method}: virtual site {invo} passes {got} args for signature of arity {expected}"
+                ),
+            },
+            ValidateError::BadCallKind {
+                method,
+                invo,
+                expected,
+                found,
+                target,
+            } => match target {
+                Some(t) => write!(
+                    f,
+                    "bad call kind in {method}: static site {invo} targets instance method {t}"
+                ),
+                None => write!(
+                    f,
+                    "bad call kind in {method}: site {invo} recorded as {} but used as {}",
+                    kind_name(*found),
+                    kind_name(*expected)
+                ),
+            },
+            ValidateError::BadFieldKind {
+                method,
+                field,
+                access,
+            } => {
+                let what = match access {
+                    FieldAccess::InstanceLoad => "instance load of static field",
+                    FieldAccess::InstanceStore => "instance store to static field",
+                    FieldAccess::StaticLoad => "static load of instance field",
+                    FieldAccess::StaticStore => "static store to instance field",
+                };
+                write!(f, "bad field kind in {method}: {what} {field}")
             }
             ValidateError::BadEntryPoint { method } => {
                 write!(
@@ -121,7 +193,8 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
                     if program.field_is_static(field) {
                         return Err(ValidateError::BadFieldKind {
                             method: meth,
-                            detail: format!("instance load of static field {field}"),
+                            field,
+                            access: FieldAccess::InstanceLoad,
                         });
                     }
                 }
@@ -131,7 +204,8 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
                     if program.field_is_static(field) {
                         return Err(ValidateError::BadFieldKind {
                             method: meth,
-                            detail: format!("instance store to static field {field}"),
+                            field,
+                            access: FieldAccess::InstanceStore,
                         });
                     }
                 }
@@ -141,7 +215,8 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
                     if !program.field_is_static(field) {
                         return Err(ValidateError::BadFieldKind {
                             method: meth,
-                            detail: format!("static load of instance field {field}"),
+                            field,
+                            access: FieldAccess::StaticLoad,
                         });
                     }
                 }
@@ -150,7 +225,8 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
                     if !program.field_is_static(field) {
                         return Err(ValidateError::BadFieldKind {
                             method: meth,
-                            detail: format!("static store to instance field {field}"),
+                            field,
+                            access: FieldAccess::StaticStore,
                         });
                     }
                 }
@@ -165,17 +241,19 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
                     if program.invo_kind(invo) != InvoKind::Virtual {
                         return Err(ValidateError::BadCallKind {
                             method: meth,
-                            detail: format!("site {invo} recorded as static but used virtually"),
+                            invo,
+                            expected: InvoKind::Virtual,
+                            found: program.invo_kind(invo),
+                            target: None,
                         });
                     }
                     if program.actual_args(invo).len() != program.sig_arity(sig) {
                         return Err(ValidateError::ArityMismatch {
                             method: meth,
-                            detail: format!(
-                                "virtual site {invo} passes {} args for signature of arity {}",
-                                program.actual_args(invo).len(),
-                                program.sig_arity(sig)
-                            ),
+                            invo,
+                            callee: None,
+                            got: program.actual_args(invo).len(),
+                            expected: program.sig_arity(sig),
                         });
                     }
                 }
@@ -189,27 +267,28 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
                     if program.invo_kind(invo) != InvoKind::Static {
                         return Err(ValidateError::BadCallKind {
                             method: meth,
-                            detail: format!("site {invo} recorded as virtual but used statically"),
+                            invo,
+                            expected: InvoKind::Static,
+                            found: program.invo_kind(invo),
+                            target: None,
                         });
                     }
                     if !program.method_is_static(target) {
                         return Err(ValidateError::BadCallKind {
                             method: meth,
-                            detail: format!(
-                                "static site {invo} targets instance method {}",
-                                program.method_qualified_name(target)
-                            ),
+                            invo,
+                            expected: InvoKind::Static,
+                            found: InvoKind::Static,
+                            target: Some(target),
                         });
                     }
                     if program.actual_args(invo).len() != program.formals(target).len() {
                         return Err(ValidateError::ArityMismatch {
                             method: meth,
-                            detail: format!(
-                                "static site {invo} passes {} args to {} expecting {}",
-                                program.actual_args(invo).len(),
-                                program.method_qualified_name(target),
-                                program.formals(target).len()
-                            ),
+                            invo,
+                            callee: Some(target),
+                            got: program.actual_args(invo).len(),
+                            expected: program.formals(target).len(),
                         });
                     }
                 }

@@ -1,15 +1,30 @@
-//! Property tests for the class hierarchy: the Euler-tour subtype test and
-//! the dispatch tables must agree with naive reference implementations on
-//! random class forests.
+//! Randomized property tests for the class hierarchy: the Euler-tour
+//! subtype test and the dispatch tables must agree with naive reference
+//! implementations on random class forests. Deterministic seeds keep the
+//! suite reproducible without an external property-testing framework.
 
-use proptest::prelude::*;
-
+use pta_ir::rng::Rng;
 use pta_ir::{Program, ProgramBuilder, TypeId};
 
-/// Builds a random single-inheritance forest: class `i`'s parent is a
-/// uniformly random earlier class (or a root). Each class declares method
-/// `m` with probability ~1/2 and a `probe` method per class for dispatch
-/// variety.
+/// Builds a random single-inheritance forest shape: class `i`'s parent is a
+/// uniformly random earlier class (or a root), and each class declares
+/// method `m` with probability ~1/2.
+fn random_forest(rng: &mut Rng) -> (Vec<Option<usize>>, Vec<bool>) {
+    let n = rng.gen_range(2..24usize);
+    let mut parents = Vec::with_capacity(n);
+    let mut declares = Vec::with_capacity(n);
+    for i in 0..n {
+        let parent = if i == 0 || rng.gen_bool(0.2) {
+            None
+        } else {
+            Some(rng.gen_range(0..i))
+        };
+        parents.push(parent);
+        declares.push(rng.gen_bool(0.5));
+    }
+    (parents, declares)
+}
+
 fn build_forest(parents: &[Option<usize>], declares: &[bool]) -> (Program, Vec<TypeId>) {
     let mut b = ProgramBuilder::new();
     let mut types = Vec::new();
@@ -52,44 +67,29 @@ fn naive_lookup(parents: &[Option<usize>], declares: &[bool], mut ty: usize) -> 
     }
 }
 
-fn forest_strategy() -> impl Strategy<Value = (Vec<Option<usize>>, Vec<bool>)> {
-    (2usize..24).prop_flat_map(|n| {
-        let parents: Vec<BoxedStrategy<Option<usize>>> = (0..n)
-            .map(|i| {
-                if i == 0 {
-                    Just(None).boxed()
-                } else {
-                    prop_oneof![
-                        1 => Just(None),
-                        4 => (0..i).prop_map(Some),
-                    ]
-                    .boxed()
-                }
-            })
-            .collect();
-        (parents, proptest::collection::vec(any::<bool>(), n))
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn subtype_matches_parent_chain_walk((parents, declares) in forest_strategy()) {
+#[test]
+fn subtype_matches_parent_chain_walk() {
+    let mut rng = Rng::seed_from_u64(0x5b7);
+    for _ in 0..64 {
+        let (parents, declares) = random_forest(&mut rng);
         let (p, types) = build_forest(&parents, &declares);
         for (i, &ti) in types.iter().enumerate() {
             for (j, &tj) in types.iter().enumerate() {
-                prop_assert_eq!(
+                assert_eq!(
                     p.is_subtype(ti, tj),
                     naive_subtype(&parents, i, j),
-                    "subtype(C{}, C{})", i, j
+                    "subtype(C{i}, C{j}) on {parents:?}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn dispatch_matches_ancestor_walk((parents, declares) in forest_strategy()) {
+#[test]
+fn dispatch_matches_ancestor_walk() {
+    let mut rng = Rng::seed_from_u64(0xd15);
+    for _ in 0..64 {
+        let (parents, declares) = random_forest(&mut rng);
         let (p, types) = build_forest(&parents, &declares);
         // Find the interned signature for "m"/0 by looking at any declared
         // method; if none declares m, every lookup must be None.
@@ -100,42 +100,43 @@ proptest! {
         for (i, &ti) in types.iter().enumerate() {
             let expected = naive_lookup(&parents, &declares, i);
             match sig {
-                None => prop_assert!(expected.is_none()),
+                None => assert!(expected.is_none()),
                 Some(sig) => {
                     let got = p.lookup(ti, sig).map(|m| p.method_declaring(m));
-                    prop_assert_eq!(
+                    assert_eq!(
                         got,
                         expected.map(|e| types[e]),
-                        "lookup on C{}", i
+                        "lookup on C{i} in {parents:?}"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn subtypes_listing_agrees_with_subtype_test((parents, declares) in forest_strategy()) {
+#[test]
+fn subtypes_listing_agrees_with_subtype_test() {
+    let mut rng = Rng::seed_from_u64(0x11f);
+    for _ in 0..64 {
+        let (parents, declares) = random_forest(&mut rng);
         let (p, types) = build_forest(&parents, &declares);
         for &t in &types {
             let listed = p.hierarchy().subtypes(t);
             for &u in &types {
-                prop_assert_eq!(listed.contains(&u), p.is_subtype(u, t));
+                assert_eq!(listed.contains(&u), p.is_subtype(u, t));
             }
         }
     }
 }
 
 mod interp_props {
-    use super::*;
     use pta_ir::{InterpConfig, Interpreter};
     use pta_workload::{generate, WorkloadConfig};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(10))]
-
-        /// The interpreter is deterministic: same program, same facts.
-        #[test]
-        fn interpreter_is_deterministic(seed in 0u64..5_000) {
+    /// The interpreter is deterministic: same program, same facts.
+    #[test]
+    fn interpreter_is_deterministic() {
+        for seed in [0, 17, 481, 1999, 2600, 3001, 3777, 4104, 4650, 4999] {
             let p = generate(&WorkloadConfig::tiny(seed));
             let run = || {
                 let f = Interpreter::new(&p, InterpConfig::default()).run();
@@ -145,24 +146,42 @@ mod interp_props {
                 c.sort();
                 (v, c, f.truncated)
             };
-            prop_assert_eq!(run(), run());
+            assert_eq!(run(), run(), "seed {seed}");
         }
+    }
 
-        /// A run that did not hit its budget is the full execution: any
-        /// larger budget observes exactly the same facts. (With exceptions
-        /// in the language, *truncated* runs are not prefix-comparable — a
-        /// callee cut off before its `throw` lets the caller continue — so
-        /// the guarantee only holds for complete runs; each truncated run
-        /// is still a valid execution covered by the soundness tests.)
-        #[test]
-        fn untruncated_runs_are_budget_independent(seed in 0u64..5_000) {
+    /// A run that did not hit its budget is the full execution: any
+    /// larger budget observes exactly the same facts. (With exceptions
+    /// in the language, *truncated* runs are not prefix-comparable — a
+    /// callee cut off before its `throw` lets the caller continue — so
+    /// the guarantee only holds for complete runs; each truncated run
+    /// is still a valid execution covered by the soundness tests.)
+    #[test]
+    fn untruncated_runs_are_budget_independent() {
+        for seed in 0..10u64 {
             let p = generate(&WorkloadConfig::tiny(seed));
-            let small = Interpreter::new(&p, InterpConfig { max_steps: 2_000, max_depth: 16 }).run();
-            prop_assume!(!small.truncated);
-            let big = Interpreter::new(&p, InterpConfig { max_steps: 100_000, max_depth: 64 }).run();
-            prop_assert_eq!(&small.var_points_to, &big.var_points_to);
-            prop_assert_eq!(&small.call_edges, &big.call_edges);
-            prop_assert_eq!(&small.uncaught, &big.uncaught);
+            let small = Interpreter::new(
+                &p,
+                InterpConfig {
+                    max_steps: 2_000,
+                    max_depth: 16,
+                },
+            )
+            .run();
+            if small.truncated {
+                continue;
+            }
+            let big = Interpreter::new(
+                &p,
+                InterpConfig {
+                    max_steps: 100_000,
+                    max_depth: 64,
+                },
+            )
+            .run();
+            assert_eq!(small.var_points_to, big.var_points_to, "seed {seed}");
+            assert_eq!(small.call_edges, big.call_edges, "seed {seed}");
+            assert_eq!(small.uncaught, big.uncaught, "seed {seed}");
         }
     }
 }

@@ -6,19 +6,11 @@ use std::fmt;
 use pta_ir::ValidateError;
 
 /// A line/column position in the source text (1-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct Location {
-    /// 1-based line.
-    pub line: u32,
-    /// 1-based column.
-    pub column: u32,
-}
-
-impl fmt::Display for Location {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.line, self.column)
-    }
-}
+///
+/// This is the IR crate's [`pta_ir::SrcLoc`]: the frontend records positions
+/// directly into the IR it builds, so downstream diagnostics (the lint
+/// subsystem) can point back at `.jir` source without a separate side table.
+pub use pta_ir::SrcLoc as Location;
 
 /// A lexical, syntactic, or semantic frontend error.
 #[derive(Debug, Clone, PartialEq, Eq)]

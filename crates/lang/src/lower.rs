@@ -186,6 +186,7 @@ impl Lowerer {
         method: &MethodDecl,
     ) -> Result<(), LangError> {
         let (meth, _, _) = self.methods[&(ty, method.name.clone())];
+        self.builder.set_method_loc(meth, method.location);
         let qualified = format!("{}.{}", class.name, method.name);
 
         // Pass 1: names assigned somewhere in the body (flow-insensitive
@@ -256,6 +257,7 @@ impl Lowerer {
         let mut alloc_counter = 0usize;
         let mut invo_counter = 0usize;
         for stmt in &method.body {
+            let emitted_before = self.builder.instrs(meth).len();
             match &stmt.kind {
                 StmtKind::Alloc { to, class: cname } => {
                     let to = vars[to];
@@ -368,6 +370,11 @@ impl Lowerer {
                         None => self.builder.set_return(meth, v),
                     }
                 }
+            }
+            // Statements lower to at most one instruction; tag it with the
+            // statement's source position (a bare `return` emits none).
+            if self.builder.instrs(meth).len() > emitted_before {
+                self.builder.set_last_instr_loc(meth, stmt.location);
             }
         }
         Ok(())

@@ -1,0 +1,27 @@
+//! Lints every DaCapo workload configuration and prints per-code counts.
+//!
+//! Usage: `cargo run -p pta-lint --example lintcheck [scale]`
+//!
+//! All rows should print `{}` — the generator is expected to produce
+//! lint-clean programs (see `crates/lint/tests/dacapo_clean.rs`).
+
+use std::collections::BTreeMap;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.3);
+    for name in pta_workload::DACAPO_NAMES {
+        let program = pta_workload::dacapo_workload(name, scale);
+        let diags = pta_lint::lint_program(&program);
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for d in &diags {
+            *counts.entry(d.code).or_insert(0) += 1;
+        }
+        println!("{name}: {counts:?}");
+        for d in diags.iter().take(4) {
+            println!("   {d}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Adapters from the toolchain's native error types into [`Diagnostic`]s.
+//!
+//! Each layer keeps its own precise error enum (so library users can match
+//! on structure), and this module gives every one of them a stable
+//! diagnostic code and a uniform rendering:
+//!
+//! - [`ValidateError`] → `E001`–`E006` (IR well-formedness),
+//! - [`LangError`] → `E007` (lex/parse, with span) and `E008` (lowering),
+//!   delegating to the `ValidateError` mapping for its `Validate` variant,
+//! - [`VerifyReport`] → `E010`–`E012` / `W010`–`W011` (rule-program
+//!   verification), with the rule label as context.
+
+use pta_datalog::{VerifyIssueKind, VerifyReport};
+use pta_ir::ValidateError;
+use pta_lang::LangError;
+
+use crate::diag::Diagnostic;
+
+/// Maps an IR validation error onto its diagnostic code.
+#[must_use]
+pub fn diagnose_validate_error(err: &ValidateError) -> Diagnostic {
+    let code = match err {
+        ValidateError::NoEntryPoint => "E001",
+        ValidateError::BadEntryPoint { .. } => "E002",
+        ValidateError::ForeignVariable { .. } => "E003",
+        ValidateError::ArityMismatch { .. } => "E004",
+        ValidateError::BadCallKind { .. } => "E005",
+        ValidateError::BadFieldKind { .. } => "E006",
+    };
+    Diagnostic::error(code, err.to_string())
+}
+
+/// Maps a frontend error onto its diagnostic code, carrying the source
+/// span for lexical and syntax errors.
+#[must_use]
+pub fn diagnose_lang_error(err: &LangError) -> Diagnostic {
+    match err {
+        LangError::Lex { location, message } => {
+            Diagnostic::error("E007", format!("lex error: {message}")).with_span(*location)
+        }
+        LangError::Parse { location, message } => {
+            Diagnostic::error("E007", format!("parse error: {message}")).with_span(*location)
+        }
+        LangError::Lower { message } => {
+            Diagnostic::error("E008", format!("lowering error: {message}"))
+        }
+        LangError::Validate(v) => diagnose_validate_error(v),
+    }
+}
+
+/// Flattens a rule-program verification report into diagnostics (the
+/// strata report is informational and not part of the flattening).
+#[must_use]
+pub fn diagnose_verify_report(report: &VerifyReport) -> Vec<Diagnostic> {
+    report
+        .issues
+        .iter()
+        .map(|issue| {
+            let d = match issue.kind {
+                VerifyIssueKind::UnboundHeadVar => Diagnostic::error("E010", &issue.message),
+                VerifyIssueKind::ArityMismatch => Diagnostic::error("E011", &issue.message),
+                VerifyIssueKind::BadBinding => Diagnostic::error("E012", &issue.message),
+                VerifyIssueKind::DeadRule => Diagnostic::warning("W010", &issue.message),
+                VerifyIssueKind::UnusedRelation => Diagnostic::warning("W011", &issue.message),
+            };
+            match &issue.rule {
+                Some(rule) => d.with_context(rule.clone()),
+                None => d,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn lang_errors_map_to_codes_and_spans() {
+        let err = pta_lang::parse_program("class {").unwrap_err();
+        let d = diagnose_lang_error(&err);
+        assert_eq!(d.code, "E007");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.span.is_some(), "syntax errors carry a span");
+    }
+
+    #[test]
+    fn missing_entry_maps_to_e001() {
+        let err = pta_lang::parse_program("class Object {}").unwrap_err();
+        let d = diagnose_lang_error(&err);
+        assert_eq!(d.code, "E001");
+    }
+
+    #[test]
+    fn lowering_errors_map_to_e008() {
+        let src = r"
+            class Object {}
+            class Main : Object { static main() { y = x; } }
+            entry Main.main;
+        ";
+        let err = pta_lang::parse_program(src).unwrap_err();
+        let d = diagnose_lang_error(&err);
+        assert_eq!(d.code, "E008");
+        assert!(d.message.contains("never assigned"));
+    }
+
+    #[test]
+    fn verify_report_flattens_with_rule_context() {
+        let mut e = pta_datalog::Engine::new();
+        let never = e.relation("never", 1);
+        let out = e.relation("out", 1);
+        e.rule()
+            .label("starved")
+            .head(out, &[pta_datalog::Term::var("x")])
+            .atom(never, &[pta_datalog::Term::var("x")])
+            .build()
+            .unwrap();
+        let diags = diagnose_verify_report(&e.verify());
+        assert!(diags.iter().any(|d| d.code == "W010"
+            && d.severity == Severity::Warning
+            && d.context.as_deref() == Some("starved")));
+    }
+}

@@ -1,0 +1,274 @@
+//! The structured diagnostic model and its renderers.
+//!
+//! Every problem the toolchain can report — frontend errors, IR validation
+//! failures, Datalog rule-program verification findings, and IR lint
+//! warnings — is expressed as a [`Diagnostic`]: a stable code, a severity,
+//! a message, and an optional source span / context. One model, two
+//! renderers (human-readable text and line-oriented JSON), so the CLI, the
+//! library API and the test suite all agree on what a finding looks like.
+//!
+//! ## Code index
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | E001 | error | program has no entry point |
+//! | E002 | error | entry point is not a self-contained static method |
+//! | E003 | error | instruction uses a variable of another method |
+//! | E004 | error | call-site arity mismatch |
+//! | E005 | error | call instruction / invocation-site kind mismatch |
+//! | E006 | error | static/instance field accessed with the wrong shape |
+//! | E007 | error | lexical or syntax error in a `.jir` source |
+//! | E008 | error | name-resolution / lowering error |
+//! | E010 | error | Datalog rule: head variable not bound by the body |
+//! | E011 | error | Datalog rule: atom arity does not match the relation |
+//! | E012 | error | Datalog rule: ill-formed functor binding |
+//! | W001 | warning | method unreachable from the entry points (CHA) |
+//! | W002 | warning | local variable used before its first assignment |
+//! | W003 | warning | cast can never succeed (no allocation of the type) |
+//! | W004 | warning | virtual call has zero dispatch targets |
+//! | W005 | warning | field is written but never read |
+//! | W006 | warning | allocation result is never used |
+//! | W010 | warning | Datalog rule can never fire (empty, underivable body) |
+//! | W011 | warning | Datalog relation declared but never used |
+
+use std::fmt;
+
+use pta_ir::SrcLoc;
+
+/// How bad a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The input is ill-formed; no analysis result is meaningful.
+    Error,
+    /// The input is suspicious but analyzable.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One finding, in the shape every layer of the toolchain shares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`E0xx` for errors, `W0xx` for lint warnings).
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable description of this specific finding.
+    pub message: String,
+    /// Source location, when the finding maps to a `.jir` span.
+    pub span: Option<SrcLoc>,
+    /// Enclosing context — usually a qualified method name or a rule label.
+    pub context: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            span: None,
+            context: None,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+            span: None,
+            context: None,
+        }
+    }
+
+    /// Attaches a source span (ignored when `loc` is unknown).
+    #[must_use]
+    pub fn with_span(mut self, loc: SrcLoc) -> Diagnostic {
+        if loc.is_known() {
+            self.span = Some(loc);
+        }
+        self
+    }
+
+    /// Attaches a context label (method name, rule label, …).
+    #[must_use]
+    pub fn with_context(mut self, context: impl Into<String>) -> Diagnostic {
+        self.context = Some(context.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        match (&self.span, &self.context) {
+            (Some(s), Some(c)) => write!(f, " (at {s}, in {c})"),
+            (Some(s), None) => write!(f, " (at {s})"),
+            (None, Some(c)) => write!(f, " (in {c})"),
+            (None, None) => Ok(()),
+        }
+    }
+}
+
+/// Human-readable description of a diagnostic code, for `--explain`-style
+/// help and the README index. Returns `None` for unknown codes.
+#[must_use]
+pub fn code_description(code: &str) -> Option<&'static str> {
+    Some(match code {
+        "E001" => "program has no entry point",
+        "E002" => "entry point is not a self-contained static method",
+        "E003" => "instruction uses a variable belonging to another method",
+        "E004" => "call site passes the wrong number of arguments",
+        "E005" => "call instruction disagrees with its invocation site's kind",
+        "E006" => "static/instance field accessed with the wrong instruction shape",
+        "E007" => "lexical or syntax error in a .jir source file",
+        "E008" => "name-resolution or lowering error in a .jir source file",
+        "E010" => "Datalog rule: head variable not bound by any body atom or functor output",
+        "E011" => "Datalog rule: atom term count does not match the relation arity",
+        "E012" => "Datalog rule: functor binding is ill-formed",
+        "W001" => "method is unreachable from the entry points (CHA call graph)",
+        "W002" => "local variable is used before its first assignment",
+        "W003" => "cast can never succeed: no allocation in the program has the target type",
+        "W004" => "virtual call has zero dispatch targets in the class hierarchy",
+        "W005" => "field is written but never read",
+        "W006" => "allocated object is never used",
+        "W010" => "Datalog rule can never fire: a body relation is empty and underivable",
+        "W011" => "Datalog relation is declared but never used by any rule or fact",
+        _ => return None,
+    })
+}
+
+/// All diagnostic codes, in index order (for documentation generators).
+pub const ALL_CODES: &[&str] = &[
+    "E001", "E002", "E003", "E004", "E005", "E006", "E007", "E008", "E010", "E011", "E012", "W001",
+    "W002", "W003", "W004", "W005", "W006", "W010", "W011",
+];
+
+/// Renders diagnostics as human-readable text, one per line, followed by a
+/// summary line. The empty set renders as a single "no issues" line.
+#[must_use]
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return "no issues found\n".to_owned();
+    }
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    out.push_str(&format!("{errors} error(s), {warnings} warning(s)\n"));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a JSON array (one object per line). Spans render
+/// as `"line"`/`"column"` numbers; absent spans and contexts as `null`.
+#[must_use]
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut body = Vec::with_capacity(diags.len());
+    for d in diags {
+        let (line, column) = match d.span {
+            Some(s) => (s.line.to_string(), s.column.to_string()),
+            None => ("null".to_owned(), "null".to_owned()),
+        };
+        let context = match &d.context {
+            Some(c) => format!("\"{}\"", json_escape(c)),
+            None => "null".to_owned(),
+        };
+        body.push(format!(
+            "  {{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\
+             \"line\":{line},\"column\":{column},\"context\":{context}}}",
+            d.code,
+            d.severity,
+            json_escape(&d.message),
+        ));
+    }
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_span_and_context() {
+        let d = Diagnostic::warning("W001", "method is unreachable")
+            .with_span(SrcLoc::new(12, 5))
+            .with_context("Main.helper");
+        assert_eq!(
+            d.to_string(),
+            "warning[W001]: method is unreachable (at 12:5, in Main.helper)"
+        );
+    }
+
+    #[test]
+    fn unknown_span_is_dropped() {
+        let d = Diagnostic::error("E001", "no entry point").with_span(SrcLoc::UNKNOWN);
+        assert_eq!(d.span, None);
+        assert_eq!(d.to_string(), "error[E001]: no entry point");
+    }
+
+    #[test]
+    fn text_rendering_counts_severities() {
+        let diags = vec![
+            Diagnostic::error("E001", "a"),
+            Diagnostic::warning("W001", "b"),
+            Diagnostic::warning("W002", "c"),
+        ];
+        let text = render_text(&diags);
+        assert!(text.ends_with("1 error(s), 2 warning(s)\n"));
+        assert!(render_text(&[]).contains("no issues"));
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let diags = vec![
+            Diagnostic::warning("W002", "use of \"x\" before assignment")
+                .with_span(SrcLoc::new(3, 9)),
+        ];
+        let json = render_json(&diags);
+        assert!(json.contains("\"code\":\"W002\""));
+        assert!(json.contains("\"line\":3"));
+        assert!(json.contains("\\\"x\\\""));
+        let empty = render_json(&[]);
+        assert!(empty.starts_with("[\n") && empty.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn every_code_has_a_description() {
+        for code in ALL_CODES {
+            assert!(code_description(code).is_some(), "{code}");
+        }
+        assert!(code_description("E999").is_none());
+    }
+}

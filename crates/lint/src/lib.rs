@@ -1,0 +1,38 @@
+//! # pta-lint — structured diagnostics and static lint passes
+//!
+//! The analysis toolchain has three places where things can be wrong
+//! before any points-to analysis runs:
+//!
+//! 1. a `.jir` source can fail to lex, parse, or lower ([`pta_lang`]);
+//! 2. a lowered [`Program`](pta_ir::Program) can be well-formed yet contain
+//!    code that is provably inert or buggy — unreachable methods, doomed
+//!    casts, write-only fields;
+//! 3. a Datalog rule program handed to the engine can be unsafe or
+//!    partially dead ([`pta_datalog::Engine::verify`]).
+//!
+//! This crate unifies all three under one [`Diagnostic`] model: stable
+//! `E0xx`/`W0xx` codes, a severity, a message, and an optional source span
+//! threaded from the frontend. See [`diag`] for the full code index, and
+//! the `pta lint` CLI subcommand for the operator entry point.
+//!
+//! ```
+//! let diags = pta_lint::lint_source(r"
+//!     class Object {}
+//!     class Main : Object {
+//!         static main() { dead = new Object; }
+//!     }
+//!     entry Main.main;
+//! ");
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].code, "W006"); // allocation never used
+//! ```
+
+pub mod convert;
+pub mod diag;
+pub mod passes;
+pub mod reach;
+
+pub use convert::{diagnose_lang_error, diagnose_validate_error, diagnose_verify_report};
+pub use diag::{code_description, render_json, render_text, Diagnostic, Severity, ALL_CODES};
+pub use passes::{lint_program, lint_source};
+pub use reach::cha_reachable;

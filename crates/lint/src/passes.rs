@@ -1,0 +1,397 @@
+//! The IR lint passes (`W001`–`W006`).
+//!
+//! Each pass is a whole-program scan over the lowered IR. They are
+//! deliberately cheap — linear in the program, plus one CHA reachability
+//! fixpoint shared by [`cha_reachable`] — so `pta lint` stays interactive
+//! even on the scaled DaCapo workloads. The passes report *analysis-grade
+//! certainties*, not heuristics: every warning identifies code that is
+//! provably inert (unreachable, doomed, or unobservable) under any of the
+//! analyses in this repository, because all of them refine the CHA call
+//! graph the passes use as their baseline.
+
+use pta_ir::program::Instr;
+use pta_ir::{FieldId, Program, SrcLoc, VarId};
+
+use crate::diag::Diagnostic;
+use crate::reach::cha_reachable;
+
+/// Runs every lint pass over `program`, returning findings ordered by
+/// code, then by program position.
+#[must_use]
+pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    unreachable_methods(program, &mut diags);
+    use_before_assignment(program, &mut diags);
+    doomed_casts(program, &mut diags);
+    untargeted_virtual_calls(program, &mut diags);
+    write_only_fields(program, &mut diags);
+    dead_allocations(program, &mut diags);
+    diags
+}
+
+/// Parses and lints a `.jir` source: frontend errors come back as a single
+/// `E0xx` diagnostic, a well-formed program as its (possibly empty) lint
+/// findings.
+#[must_use]
+pub fn lint_source(source: &str) -> Vec<Diagnostic> {
+    match pta_lang::parse_program(source) {
+        Ok(program) => lint_program(&program),
+        Err(err) => vec![crate::convert::diagnose_lang_error(&err)],
+    }
+}
+
+/// `W001`: methods no CHA path from any entry point can reach.
+fn unreachable_methods(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let reachable = cha_reachable(program);
+    for meth in program.methods() {
+        if !reachable[meth.index()] {
+            diags.push(
+                Diagnostic::warning(
+                    "W001",
+                    format!(
+                        "method {} is unreachable from the entry points",
+                        program.method_qualified_name(meth)
+                    ),
+                )
+                .with_span(program.method_loc(meth))
+                .with_context(program.method_qualified_name(meth)),
+            );
+        }
+    }
+}
+
+/// The variables an instruction reads, in operand order.
+fn instr_uses(program: &Program, instr: &Instr, out: &mut Vec<VarId>) {
+    out.clear();
+    match instr {
+        Instr::Alloc { .. } | Instr::SLoad { .. } => {}
+        Instr::Move { from, .. } | Instr::Cast { from, .. } | Instr::SStore { from, .. } => {
+            out.push(*from);
+        }
+        Instr::Load { base, .. } => out.push(*base),
+        Instr::Store { base, from, .. } => {
+            out.push(*base);
+            out.push(*from);
+        }
+        Instr::Throw { var } => out.push(*var),
+        Instr::VCall { base, invo, .. } => {
+            out.push(*base);
+            out.extend_from_slice(program.actual_args(*invo));
+        }
+        Instr::SCall { invo, .. } => out.extend_from_slice(program.actual_args(*invo)),
+    }
+}
+
+/// The variable an instruction defines, if any.
+fn instr_def(program: &Program, instr: &Instr) -> Option<VarId> {
+    match instr {
+        Instr::Alloc { var, .. } => Some(*var),
+        Instr::Move { to, .. }
+        | Instr::Cast { to, .. }
+        | Instr::Load { to, .. }
+        | Instr::SLoad { to, .. } => Some(*to),
+        Instr::VCall { invo, .. } | Instr::SCall { invo, .. } => program.actual_return(*invo),
+        Instr::Store { .. } | Instr::SStore { .. } | Instr::Throw { .. } => None,
+    }
+}
+
+/// `W002`: a local's first use precedes its first assignment.
+///
+/// Method bodies are straight-line in this IR, so "before" is instruction
+/// order. `this`, formals and catch-clause binders are assigned on entry.
+/// (The frontend already rejects locals that are *never* assigned; this
+/// pass catches the ordering bug the flow-insensitive lowering admits.)
+fn use_before_assignment(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let mut uses = Vec::new();
+    for meth in program.methods() {
+        let mut assigned = vec![false; program.var_count()];
+        if let Some(this) = program.this_var(meth) {
+            assigned[this.index()] = true;
+        }
+        for &f in program.formals(meth) {
+            assigned[f.index()] = true;
+        }
+        for &(_, var) in program.catches(meth) {
+            assigned[var.index()] = true;
+        }
+        let mut reported = vec![false; program.var_count()];
+        for (idx, instr) in program.instrs(meth).iter().enumerate() {
+            instr_uses(program, instr, &mut uses);
+            for &var in &uses {
+                if !assigned[var.index()] && !reported[var.index()] {
+                    reported[var.index()] = true;
+                    diags.push(
+                        Diagnostic::warning(
+                            "W002",
+                            format!(
+                                "variable {} is used before it is assigned",
+                                program.var_name(var)
+                            ),
+                        )
+                        .with_span(program.instr_loc(meth, idx))
+                        .with_context(program.method_qualified_name(meth)),
+                    );
+                }
+            }
+            if let Some(def) = instr_def(program, instr) {
+                assigned[def.index()] = true;
+            }
+        }
+    }
+}
+
+/// `W003`: casts no execution can satisfy, because the whole program
+/// allocates no object whose type is a subtype of the cast target.
+fn doomed_casts(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let mut allocated = vec![false; program.type_count()];
+    for heap in program.heaps() {
+        allocated[program.heap_type(heap).index()] = true;
+    }
+    for meth in program.methods() {
+        for (idx, instr) in program.instrs(meth).iter().enumerate() {
+            if let Instr::Cast { ty, .. } = instr {
+                let satisfiable = program
+                    .types()
+                    .any(|t| allocated[t.index()] && program.is_subtype(t, *ty));
+                if !satisfiable {
+                    diags.push(
+                        Diagnostic::warning(
+                            "W003",
+                            format!(
+                                "cast to {} can never succeed: the program allocates no \
+                                 object of that type or a subtype",
+                                program.type_name(*ty)
+                            ),
+                        )
+                        .with_span(program.instr_loc(meth, idx))
+                        .with_context(program.method_qualified_name(meth)),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `W004`: virtual calls whose signature dispatches to nothing anywhere in
+/// the hierarchy — guaranteed no-ops under every analysis.
+fn untargeted_virtual_calls(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let mut sig_has_target = vec![false; program.sig_count()];
+    for meth in program.methods() {
+        if !program.method_is_static(meth) {
+            sig_has_target[program.method_sig(meth).index()] = true;
+        }
+    }
+    for meth in program.methods() {
+        for (idx, instr) in program.instrs(meth).iter().enumerate() {
+            if let Instr::VCall { sig, invo, .. } = instr {
+                if !sig_has_target[sig.index()] {
+                    diags.push(
+                        Diagnostic::warning(
+                            "W004",
+                            format!(
+                                "virtual call {} has no dispatch target for signature {}",
+                                program.invo_label(*invo),
+                                program.sig_name(*sig)
+                            ),
+                        )
+                        .with_span(program.instr_loc(meth, idx))
+                        .with_context(program.method_qualified_name(meth)),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `W005`: fields some instruction writes but no instruction reads.
+fn write_only_fields(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let nf = program.field_count();
+    let mut written: Vec<Option<(SrcLoc, String)>> = vec![None; nf];
+    let mut read = vec![false; nf];
+    for meth in program.methods() {
+        for (idx, instr) in program.instrs(meth).iter().enumerate() {
+            match instr {
+                Instr::Store { field, .. } | Instr::SStore { field, .. }
+                    if written[field.index()].is_none() =>
+                {
+                    written[field.index()] = Some((
+                        program.instr_loc(meth, idx),
+                        program.method_qualified_name(meth),
+                    ));
+                }
+                Instr::Load { field, .. } | Instr::SLoad { field, .. } => {
+                    read[field.index()] = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    for f in 0..nf {
+        if let Some((loc, in_method)) = &written[f] {
+            if !read[f] {
+                let field = FieldId::from_index(f);
+                diags.push(
+                    Diagnostic::warning(
+                        "W005",
+                        format!(
+                            "field {}.{} is written but never read",
+                            program.type_name(program.field_owner(field)),
+                            program.field_name(field)
+                        ),
+                    )
+                    .with_span(*loc)
+                    .with_context(in_method.clone()),
+                );
+            }
+        }
+    }
+}
+
+/// `W006`: allocations whose result variable the method never reads (and
+/// does not return) — the object is unobservable.
+fn dead_allocations(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let mut uses = Vec::new();
+    for meth in program.methods() {
+        let mut var_read = vec![false; program.var_count()];
+        if let Some(ret) = program.formal_return(meth) {
+            var_read[ret.index()] = true;
+        }
+        for instr in program.instrs(meth) {
+            instr_uses(program, instr, &mut uses);
+            for &var in &uses {
+                var_read[var.index()] = true;
+            }
+        }
+        for (idx, instr) in program.instrs(meth).iter().enumerate() {
+            if let Instr::Alloc { var, heap } = instr {
+                if !var_read[var.index()] {
+                    diags.push(
+                        Diagnostic::warning(
+                            "W006",
+                            format!(
+                                "allocation {} is assigned to {} which is never used",
+                                program.heap_label(*heap),
+                                program.var_name(*var)
+                            ),
+                        )
+                        .with_span(program.instr_loc(meth, idx))
+                        .with_context(program.method_qualified_name(meth)),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        lint_source(src).iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let src = r"
+            class Object {}
+            class Main : Object {
+                static main() {
+                    x = new Object;
+                    y = x;
+                    return y;
+                }
+            }
+            entry Main.main;
+        ";
+        assert!(codes(src).is_empty(), "{:?}", lint_source(src));
+    }
+
+    #[test]
+    fn syntax_error_becomes_a_single_e007() {
+        assert_eq!(codes("class {"), vec!["E007"]);
+    }
+
+    #[test]
+    fn each_pass_fires_on_its_seeded_defect() {
+        // One program, one seeded defect per pass.
+        let src = r"
+            class Object {}
+            class Phantom : Object {}
+            class Unrelated : Object {
+                field sink;
+                method ping() { return this; }
+            }
+            class Main : Object {
+                static helper() { h = new Object; return h; }
+                static main() {
+                    x = new Object;
+                    u = (Phantom) x;
+                    dead = new Object;
+                    s = new Unrelated;
+                    s.sink = x;
+                    r = s.ping();
+                }
+            }
+            entry Main.main;
+        ";
+        let diags = lint_source(src);
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"W001"), "helper unreachable: {diags:?}");
+        assert!(codes.contains(&"W003"), "cast to Phantom doomed: {diags:?}");
+        assert!(codes.contains(&"W005"), "sink write-only: {diags:?}");
+        assert!(codes.contains(&"W006"), "dead alloc: {diags:?}");
+    }
+
+    #[test]
+    fn w002_flags_use_before_assignment_order() {
+        // `y = x;` before `x = new Object;`: flow-sensitively broken even
+        // though every local is assigned somewhere.
+        let src = r"
+            class Object {}
+            class Main : Object {
+                static main() {
+                    y = x;
+                    x = new Object;
+                    z = y;
+                    return z;
+                }
+            }
+            entry Main.main;
+        ";
+        let diags = lint_source(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "W002");
+        assert!(diags[0].message.contains('x'));
+        assert!(diags[0].span.is_some());
+    }
+
+    #[test]
+    fn w004_flags_calls_to_signatures_nobody_implements() {
+        // `Callee.frob` exists only as a *static* method, so the virtual
+        // signature `frob/0` has no dispatch entry anywhere.
+        let src = r"
+            class Object {}
+            class Callee : Object {
+                static frob() { o = new Object; return o; }
+                method id() { return this; }
+            }
+            class Main : Object {
+                static main() {
+                    c = new Callee;
+                    d = c.id();
+                    e = c.frob();
+                    return e;
+                }
+            }
+            entry Main.main;
+        ";
+        let diags = lint_source(src);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "W004" && d.message.contains("frob")),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! A cheap CHA-style reachability prepass.
+//!
+//! Class Hierarchy Analysis resolves every virtual call to *all* methods
+//! the signature can dispatch to anywhere in the hierarchy — the coarsest
+//! sound call graph, computable without any points-to information. The
+//! lint passes use it as the "could this ever run?" baseline: anything CHA
+//! cannot reach from the entry points is dead for every analysis in this
+//! repository, since all of them compute subsets of the CHA call graph.
+
+use pta_ir::program::Instr;
+use pta_ir::{MethodId, Program, SigId};
+
+/// Methods reachable from the entry points under CHA, as a dense
+/// `MethodId`-indexed bitmap.
+#[must_use]
+pub fn cha_reachable(program: &Program) -> Vec<bool> {
+    // A virtual call dispatches through its signature: collect, per
+    // signature, every instance method any type dispatches to. Walking
+    // `lookup` over all (type, sig) pairs folds subtype inheritance in.
+    let mut sig_targets: Vec<Vec<MethodId>> = vec![Vec::new(); program.sig_count()];
+    for (s, targets) in sig_targets.iter_mut().enumerate() {
+        let sig = SigId::from_index(s);
+        for ty in program.types() {
+            if let Some(m) = program.lookup(ty, sig) {
+                if !targets.contains(&m) {
+                    targets.push(m);
+                }
+            }
+        }
+    }
+
+    let mut reachable = vec![false; program.method_count()];
+    let mut worklist: Vec<MethodId> = Vec::new();
+    for &entry in program.entry_points() {
+        if !reachable[entry.index()] {
+            reachable[entry.index()] = true;
+            worklist.push(entry);
+        }
+    }
+    while let Some(meth) = worklist.pop() {
+        for instr in program.instrs(meth) {
+            match instr {
+                Instr::SCall { target, .. } if !reachable[target.index()] => {
+                    reachable[target.index()] = true;
+                    worklist.push(*target);
+                }
+                Instr::VCall { sig, .. } => {
+                    for &m in &sig_targets[sig.index()] {
+                        if !reachable[m.index()] {
+                            reachable[m.index()] = true;
+                            worklist.push(m);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    reachable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cha_reaches_virtual_targets_and_skips_orphans() {
+        let program = pta_lang::parse_program(
+            r"
+            class Object {}
+            class A : Object {
+                method run() { x = new Object; return x; }
+            }
+            class B : A {
+                method run() { y = new Object; return y; }
+            }
+            class Main : Object {
+                static main() {
+                    a = new A;
+                    r = a.run();
+                }
+                static orphan() { z = new Object; }
+            }
+            entry Main.main;
+        ",
+        )
+        .unwrap();
+        let reach = cha_reachable(&program);
+        let by_name = |n: &str| {
+            program
+                .methods()
+                .find(|&m| program.method_qualified_name(m) == n)
+                .unwrap()
+        };
+        assert!(reach[by_name("Main.main").index()]);
+        // CHA is receiver-type-blind: both overrides of run() count.
+        assert!(reach[by_name("A.run").index()]);
+        assert!(reach[by_name("B.run").index()]);
+        assert!(!reach[by_name("Main.orphan").index()]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Every DaCapo workload configuration must generate lint-clean programs:
+//! the generator's warmup pass and dead-allocation sink exist precisely so
+//! that no seeded program ships unreachable methods, write-only fields, or
+//! dead allocations.
+
+use pta_lint::lint_program;
+use pta_workload::{dacapo_workload, DACAPO_NAMES};
+
+#[test]
+fn all_dacapo_workloads_are_lint_clean() {
+    for name in DACAPO_NAMES {
+        let program = dacapo_workload(name, 0.3);
+        let diags = lint_program(&program);
+        assert!(
+            diags.is_empty(),
+            "{name} should be lint-clean, got {} diagnostic(s):\n{}",
+            diags.len(),
+            pta_lint::render_text(&diags)
+        );
+    }
+}
+
+#[test]
+fn scaled_up_workload_stays_clean() {
+    // The op mix shifts with scale; cleanliness must not be an accident of
+    // the small configs.
+    let program = dacapo_workload("xalan", 1.0);
+    let diags = lint_program(&program);
+    assert!(
+        diags.is_empty(),
+        "xalan@1.0 should be lint-clean:\n{}",
+        pta_lint::render_text(&diags)
+    );
+}

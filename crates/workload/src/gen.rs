@@ -23,10 +23,9 @@
 //! (mirroring javac output), while casts are intentionally optimistic
 //! (deserialization-style) so the may-fail-casts client has work to do.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pta_ir::rng::Rng;
 
-use pta_ir::{FieldId, MethodId, Program, ProgramBuilder, TypeId, VarId};
+use pta_ir::{FieldId, Instr, MethodId, Program, ProgramBuilder, TypeId, VarId};
 
 use crate::config::WorkloadConfig;
 use crate::prelude::{build_array_list, build_pair, ArrayListClasses, PairClasses};
@@ -86,7 +85,7 @@ struct ServiceInfo {
 
 struct Gen<'c> {
     cfg: &'c WorkloadConfig,
-    rng: SmallRng,
+    rng: Rng,
     b: ProgramBuilder,
     object: TypeId,
     /// Per hierarchy: base type followed by subclass types.
@@ -103,6 +102,9 @@ struct Gen<'c> {
     registry: Vec<pta_ir::FieldId>,
     /// Error hierarchy: `[base, sub0, sub1]` used by throw/catch traffic.
     errors: Vec<TypeId>,
+    /// `Warmup.exercise()`: deterministic driver over every library entry
+    /// point, called once from main.
+    warmup: Option<MethodId>,
 }
 
 impl<'c> Gen<'c> {
@@ -111,7 +113,7 @@ impl<'c> Gen<'c> {
         let object = b.class("Object", None);
         Gen {
             cfg,
-            rng: SmallRng::seed_from_u64(cfg.seed),
+            rng: Rng::seed_from_u64(cfg.seed),
             b,
             object,
             hier_subs: Vec::new(),
@@ -124,6 +126,7 @@ impl<'c> Gen<'c> {
             pairs: None,
             registry: Vec::new(),
             errors: Vec::new(),
+            warmup: None,
         }
     }
 
@@ -150,7 +153,9 @@ impl<'c> Gen<'c> {
         self.build_utils();
         self.build_services();
         self.build_glue();
+        self.build_warmup();
         self.build_main();
+        self.sink_dead_allocs();
         self.b
             .finish()
             .expect("generated workload must be well-formed")
@@ -452,6 +457,184 @@ impl<'c> Gen<'c> {
         }
     }
 
+    /// `Warmup.exercise()`: a deterministic pass over every library entry
+    /// point — utils, tasks, the list/pair protocols, one receiver per
+    /// dispatch family, and every registry cell. Real programs have such a
+    /// startup path (class initializers, framework bootstrap); here it also
+    /// guarantees the random op mix leaves no method CHA-unreachable and no
+    /// registry cell write-only, whatever the seed.
+    fn build_warmup(&mut self) {
+        let class = self.b.class("Warmup", Some(self.object));
+        let wu = self.b.method(class, "exercise", &[], true);
+        let mut n = 0usize;
+        let mut fresh = |b: &mut ProgramBuilder| {
+            n += 1;
+            b.var(wu, &format!("w{n}"))
+        };
+
+        // A payload everything below is fed.
+        let pay = fresh(&mut self.b);
+        self.b.alloc(wu, pay, self.object, "Warmup/payload");
+
+        // One receiver per dispatch family: a single virtual site per
+        // signature reaches every override under CHA.
+        if let Some(subs) = self.hier_subs.first() {
+            let hv = fresh(&mut self.b);
+            self.b.alloc(wu, hv, subs[0], "Warmup/hier");
+            let r = fresh(&mut self.b);
+            self.b
+                .vcall(wu, hv, "process", &[pay], Some(r), "Warmup/process");
+            let r = fresh(&mut self.b);
+            self.b.vcall(wu, hv, "fresh", &[], Some(r), "Warmup/fresh");
+        }
+        let con = self.containers.first().copied().map(|ty| {
+            let cv = fresh(&mut self.b);
+            self.b.alloc(wu, cv, ty, "Warmup/con");
+            self.b.vcall(wu, cv, "set", &[pay], None, "Warmup/set");
+            let r = fresh(&mut self.b);
+            self.b.vcall(wu, cv, "get", &[], Some(r), "Warmup/get");
+            cv
+        });
+
+        // Every static utility head (chains pull in their inner links).
+        for (k, u) in self.utils.clone().into_iter().enumerate() {
+            let label = format!("Warmup/util{k}");
+            match u.kind {
+                UtilKind::Fill => {
+                    if let Some(cv) = con {
+                        self.b.scall(wu, u.meth, &[cv, pay], None, &label);
+                    }
+                }
+                UtilKind::Id | UtilKind::Wrap(_) | UtilKind::Chain => {
+                    let r = fresh(&mut self.b);
+                    self.b.scall(wu, u.meth, &[pay], Some(r), &label);
+                }
+            }
+        }
+
+        // The full list protocol, including the static helper layer.
+        if let Some(lst) = self.lists {
+            let l1 = fresh(&mut self.b);
+            self.b.alloc(wu, l1, lst.list, "Warmup/list");
+            self.b.vcall(wu, l1, "add", &[pay], None, "Warmup/add");
+            let r = fresh(&mut self.b);
+            self.b.vcall(wu, l1, "get", &[], Some(r), "Warmup/lget");
+            let it = fresh(&mut self.b);
+            self.b
+                .vcall(wu, l1, "iterator", &[], Some(it), "Warmup/iterator");
+            let r = fresh(&mut self.b);
+            self.b.vcall(wu, it, "next", &[], Some(r), "Warmup/next");
+            self.b.vcall(wu, l1, "drop", &[], None, "Warmup/drop");
+            let l2 = fresh(&mut self.b);
+            self.b
+                .scall(wu, lst.singleton, &[pay], Some(l2), "Warmup/singleton");
+            self.b.scall(wu, lst.copy, &[l1, l2], None, "Warmup/copy");
+            let r = fresh(&mut self.b);
+            self.b.scall(wu, lst.head, &[l1], Some(r), "Warmup/head");
+        }
+        if let Some(pr) = self.pairs {
+            let p = fresh(&mut self.b);
+            self.b.scall(wu, pr.of, &[pay, pay], Some(p), "Warmup/of");
+            let r = fresh(&mut self.b);
+            self.b
+                .vcall(wu, p, "getFirst", &[], Some(r), "Warmup/first");
+            let r = fresh(&mut self.b);
+            self.b
+                .vcall(wu, p, "getSecond", &[], Some(r), "Warmup/second");
+        }
+
+        // One service, fully exercised: init through the shared setup site,
+        // self-linked, run, and each step signature.
+        if let Some(info) = self.services.first().cloned() {
+            let sv = fresh(&mut self.b);
+            self.b.alloc(wu, sv, info.ty, "Warmup/service");
+            if let Some(setup) = self.setup {
+                self.b.scall(wu, setup, &[sv], None, "Warmup/setup");
+            }
+            self.b.vcall(wu, sv, "link", &[sv], None, "Warmup/link");
+            let r = fresh(&mut self.b);
+            self.b.vcall(wu, sv, "run", &[pay], Some(r), "Warmup/run");
+            for j in 0..info.steps.len() {
+                let r = fresh(&mut self.b);
+                self.b.vcall(
+                    wu,
+                    sv,
+                    &format!("step{j}"),
+                    &[pay],
+                    Some(r),
+                    &format!("Warmup/step{j}"),
+                );
+            }
+        }
+
+        // Every task, and a read+write of every registry cell.
+        for (t, task) in self.tasks.clone().into_iter().enumerate() {
+            let r = fresh(&mut self.b);
+            self.b
+                .scall(wu, task, &[pay], Some(r), &format!("Warmup/task{t}"));
+        }
+        for cell in self.registry.clone() {
+            self.b.sstore(wu, cell, pay);
+            let r = fresh(&mut self.b);
+            self.b.sload(wu, r, cell);
+        }
+
+        self.warmup = Some(wu);
+    }
+
+    /// Post-pass: any allocation whose variable is never read again in its
+    /// method gets published into a registry cell — the generated code's
+    /// equivalent of handing an object to a global. Keeps every allocation
+    /// observable (no dead stores of fresh objects) without changing the
+    /// shape of the random op mix.
+    fn sink_dead_allocs(&mut self) {
+        if self.registry.is_empty() {
+            return;
+        }
+        let mut next_cell = 0usize;
+        for m in 0..self.b.method_count() {
+            let meth = MethodId::from_index(m);
+            let instrs = self.b.instrs(meth).to_vec();
+            let mut read: Vec<VarId> = Vec::new();
+            if let Some(r) = self.b.formal_return(meth) {
+                read.push(r);
+            }
+            for i in &instrs {
+                match *i {
+                    Instr::Alloc { .. } => {}
+                    Instr::Move { from, .. } => read.push(from),
+                    Instr::Cast { from, .. } => read.push(from),
+                    Instr::Load { base, .. } => read.push(base),
+                    Instr::Store { base, from, .. } => {
+                        read.push(base);
+                        read.push(from);
+                    }
+                    Instr::SLoad { .. } => {}
+                    Instr::SStore { from, .. } => read.push(from),
+                    Instr::Throw { var } => read.push(var),
+                    Instr::VCall { base, invo, .. } => {
+                        read.push(base);
+                        read.extend_from_slice(self.b.actual_args(invo));
+                    }
+                    Instr::SCall { invo, .. } => {
+                        read.extend_from_slice(self.b.actual_args(invo));
+                    }
+                }
+            }
+            let mut sunk: Vec<VarId> = Vec::new();
+            for i in &instrs {
+                if let Instr::Alloc { var, .. } = *i {
+                    if !read.contains(&var) && !sunk.contains(&var) {
+                        let cell = self.registry[next_cell % self.registry.len()];
+                        next_cell += 1;
+                        self.b.sstore(meth, cell, var);
+                        sunk.push(var);
+                    }
+                }
+            }
+        }
+    }
+
     /// Generates one instance-method body of `ops` random operations for
     /// service `index`. `allow_steps` gates `this.step(v)` and
     /// next-service calls so step bodies do not immediately recurse.
@@ -467,6 +650,15 @@ impl<'c> Gen<'c> {
             let cv = self.b.var(meth, "own");
             self.b.load(meth, cv, this, info.con_field);
             pool.push((cv, VKind::Container(info.con)));
+        }
+
+        // run() always inspects its delegate up front, even when no op
+        // below ends up calling through it — the field is part of the
+        // service protocol, not dead weight.
+        if allow_steps {
+            let nv = self.b.var(meth, "peer");
+            self.b.load(meth, nv, this, info.next_field);
+            pool.push((nv, VKind::Other));
         }
 
         let mut site = 0usize;
@@ -1049,6 +1241,11 @@ impl<'c> Gen<'c> {
     fn build_main(&mut self) {
         let main_class = self.b.class("Main", Some(self.object));
         let main = self.b.method(main_class, "main", &[], true);
+
+        // Bootstrap: the deterministic library warmup runs first.
+        if let Some(wu) = self.warmup {
+            self.b.scall(main, wu, &[], None, "main/warmup");
+        }
 
         // Payload allocations.
         let mut payloads: Vec<VarId> = Vec::new();

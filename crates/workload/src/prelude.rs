@@ -53,12 +53,15 @@ pub struct PairClasses {
 /// Layout (in `.jir` notation):
 ///
 /// ```text
-/// class Entry { field entry_val; field entry_rest; method fill(v, r) ... }
+/// class Entry { field entry_val; field entry_rest;
+///               method fill(v, r) ...; method rest() ... }
 /// class List {
 ///     field list_head;
 ///     method add(x)     { e = new Entry; h = this.list_head;
 ///                         e.fill(x, h); this.list_head = e; }
 ///     method get()      { h = this.list_head; r = h.value(); return r; }
+///     method drop()     { h = this.list_head; r = h.rest();
+///                         this.list_head = r; }
 ///     method iterator() { it = new Iter; it.bind(this); return it; }
 /// }
 /// class Iter {
@@ -91,6 +94,13 @@ pub fn build_array_list(b: &mut ProgramBuilder, object: TypeId) -> ArrayListClas
     b.load(value, out, this, entry_val);
     b.set_return(value, out);
 
+    // Entry.rest(): the chain successor (list traversal).
+    let rest = b.method(entry, "rest", &[], false);
+    let this = b.this(rest).unwrap();
+    let out = b.var(rest, "out");
+    b.load(rest, out, this, entry_rest);
+    b.set_return(rest, out);
+
     let list = b.class("List", Some(object));
     let list_head = b.field(list, "list_head");
 
@@ -113,6 +123,16 @@ pub fn build_array_list(b: &mut ProgramBuilder, object: TypeId) -> ArrayListClas
     b.load(get, h, this, list_head);
     b.vcall(get, h, "value", &[], Some(out), "List.get/value");
     b.set_return(get, out);
+
+    // List.drop(): advance the head past one entry (pop-front). This is
+    // where `entry_rest` is consumed, completing the traversal protocol.
+    let drop = b.method(list, "drop", &[], false);
+    let this = b.this(drop).unwrap();
+    let h = b.var(drop, "h");
+    let r = b.var(drop, "r");
+    b.load(drop, h, this, list_head);
+    b.vcall(drop, h, "rest", &[], Some(r), "List.drop/rest");
+    b.store(drop, this, list_head, r);
 
     let iter = b.class("Iter", Some(object));
     let iter_list = b.field(iter, "iter_list");

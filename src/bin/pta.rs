@@ -17,6 +17,16 @@
 //! pta workload NAME [--scale S] [--print]
 //!                                        generate a synthetic DaCapo
 //!                                        workload; --print emits it as .jir
+//! pta lint FILE.jir [options]            check a .jir program without
+//!                                        running any analysis
+//!     --format text|json   output format (default text)
+//!     --deny-warnings      exit non-zero on warnings, not just errors
+//!     --explain CODE       describe a diagnostic code (e.g. W003) and exit
+//!
+//! `pta lint` exit codes: 0 = clean (warnings allowed unless
+//! --deny-warnings), 1 = diagnostics reported, 2 = usage or I/O error.
+//! The diagnostic code index lives in the README and in
+//! `pta_lint::code_description`.
 //! ```
 
 use std::process::ExitCode;
@@ -40,8 +50,9 @@ fn main() -> ExitCode {
         }
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("workload") => cmd_workload(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         _ => {
-            eprintln!("usage: pta <list|analyze|workload> ...  (see --help in the README)");
+            eprintln!("usage: pta <list|analyze|workload|lint> ...  (see --help in the README)");
             ExitCode::FAILURE
         }
     }
@@ -309,6 +320,86 @@ fn explain_var(program: &Program, result: &PointsToResult, name: &str) {
     }
     if !found {
         println!("   (no variable named {name})");
+    }
+}
+
+const LINT_USAGE: &str =
+    "usage: pta lint FILE.jir [--format text|json] [--deny-warnings] | pta lint --explain CODE";
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut path: Option<&String> = None;
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("text") => json = false,
+                    Some("json") => json = true,
+                    _ => {
+                        eprintln!("error: --format needs `text` or `json`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--explain" => {
+                i += 1;
+                let Some(code) = args.get(i) else {
+                    eprintln!("error: --explain needs a diagnostic code (e.g. W003)");
+                    return ExitCode::from(2);
+                };
+                return match pta_lint::code_description(code) {
+                    Some(desc) => {
+                        println!("{code}: {desc}");
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!("error: unknown diagnostic code {code}; known codes:");
+                        for c in pta_lint::ALL_CODES {
+                            eprintln!("  {c}: {}", pta_lint::code_description(c).unwrap());
+                        }
+                        ExitCode::from(2)
+                    }
+                };
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag}\n{LINT_USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => path = Some(&args[i]),
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("{LINT_USAGE}");
+        return ExitCode::from(2);
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = pta_lint::lint_source(&source);
+    if json {
+        print!("{}", pta_lint::render_json(&diags));
+    } else {
+        print!("{}", pta_lint::render_text(&diags));
+    }
+    let has_errors = diags
+        .iter()
+        .any(|d| d.severity == pta_lint::Severity::Error);
+    let has_warnings = diags
+        .iter()
+        .any(|d| d.severity == pta_lint::Severity::Warning);
+    if has_errors || (deny_warnings && has_warnings) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -6,8 +6,6 @@
 //! the observed `(var, allocation-site)` bindings, call edges, reachable
 //! methods and failed casts are checked against all fourteen analyses.
 
-use proptest::prelude::*;
-
 use hybrid_pta::core::{analyze, Analysis};
 use hybrid_pta::ir::{DynamicFacts, InterpConfig, Interpreter, Program};
 use hybrid_pta::workload::{generate, WorkloadConfig};
@@ -52,27 +50,33 @@ fn assert_sound(program: &Program, facts: &DynamicFacts, analysis: Analysis) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Every analysis over-approximates concrete execution on random tiny
-    /// workloads.
-    #[test]
-    fn analyses_overapproximate_execution(seed in 0u64..10_000) {
+/// Every analysis over-approximates concrete execution on random tiny
+/// workloads.
+#[test]
+fn analyses_overapproximate_execution() {
+    for seed in [
+        1u64, 212, 909, 1766, 2693, 3505, 4988, 6123, 7070, 8442, 9104, 9901,
+    ] {
         let program = generate(&WorkloadConfig::tiny(seed));
         let facts = dynamic_facts(&program);
-        prop_assume!(!facts.var_points_to.is_empty());
+        if facts.var_points_to.is_empty() {
+            continue;
+        }
         for analysis in Analysis::ALL {
             assert_sound(&program, &facts, analysis);
         }
     }
+}
 
-    /// The most precise analyses stay sound on bigger programs.
-    #[test]
-    fn precise_analyses_sound_on_small_workloads(seed in 0u64..1_000) {
+/// The most precise analyses stay sound on bigger programs.
+#[test]
+fn precise_analyses_sound_on_small_workloads() {
+    for seed in [5u64, 333, 414, 787, 998] {
         let program = generate(&WorkloadConfig::small(seed));
         let facts = dynamic_facts(&program);
-        prop_assume!(!facts.var_points_to.is_empty());
+        if facts.var_points_to.is_empty() {
+            continue;
+        }
         for analysis in [Analysis::TwoObjH, Analysis::UTwoObjH, Analysis::STwoObjH] {
             assert_sound(&program, &facts, analysis);
         }
