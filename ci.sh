@@ -16,4 +16,18 @@ cargo build --release
 echo "==> tier-1: cargo test"
 cargo test -q
 
+# Non-gating smoke-perf: run the table1 matrix on the two smallest
+# workloads, dump JSON, and re-parse it with the harness's own checker
+# (12 analyses x 2 workloads = 24 cells). Failures warn but never block —
+# this catches harness bit-rot, not performance regressions.
+echo "==> smoke-perf (non-gating)"
+if ./target/release/table1 --workloads luindex,lusearch --reps 1 \
+      --json /tmp/bench.json >/dev/null 2>&1 \
+   && ./target/release/table1 --check /tmp/bench.json --expect-cells 24; then
+  echo "    smoke-perf OK"
+else
+  echo "    WARNING: smoke-perf failed (non-gating); re-run manually:"
+  echo "    ./target/release/table1 --workloads luindex,lusearch --reps 1 --json /tmp/bench.json"
+fi
+
 echo "==> CI green"

@@ -3,6 +3,10 @@
 //!
 //! Run a single group with e.g.
 //! `cargo bench -p pta-bench --bench analyses -- 2obj`.
+//!
+//! `PTA_BENCH_WORKLOAD` picks the benchmark (default `antlr`) and
+//! `PTA_SCALE` the scale factor (default `1.0`), so the same harness can
+//! time the solver on e.g. `chart` at scale 24 when chasing a hot path.
 
 use std::hint::black_box;
 
@@ -11,7 +15,12 @@ use pta_core::{analyze, Analysis};
 use pta_workload::dacapo_workload;
 
 fn bench_group(bench: &mut Bench, group_name: &str, analyses: &[Analysis]) {
-    let program = dacapo_workload("antlr", 1.0);
+    let workload = std::env::var("PTA_BENCH_WORKLOAD").unwrap_or_else(|_| "antlr".to_owned());
+    let scale: f64 = std::env::var("PTA_SCALE")
+        .ok()
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("bad PTA_SCALE: {s:?}")))
+        .unwrap_or(1.0);
+    let program = dacapo_workload(&workload, scale);
     bench.sample_size(20);
     for &analysis in analyses {
         bench.measure(&format!("{group_name}/{}", analysis.name()), || {

@@ -2,14 +2,27 @@
 //! hybrid slowdowns, the 1call+H tradeoff) from a full matrix run and
 //! reports paper-vs-measured for each.
 //!
-//! Usage: `cargo run --release -p pta-bench --bin summary`
-//! Environment: PTA_SCALE, PTA_WORKLOADS, PTA_ANALYSES, PTA_REPS, PTA_JSON.
+//! Usage: `cargo run --release -p pta-bench --bin summary -- [flags]`
+//! Flags: `--scale S --workloads A,B --analyses A,B --reps N --jobs N
+//! --json PATH` (`PTA_*` environment variables are the fallback for each).
+
+use std::process::ExitCode;
 
 use pta_bench::{maybe_dump_json, render_summary, run_matrix, MatrixOptions};
 
-fn main() {
-    let opts = MatrixOptions::from_env();
+fn main() -> ExitCode {
+    let mut opts = MatrixOptions::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = opts.apply_cli_args(&args) {
+        eprintln!("error: {e}");
+        eprintln!(
+            "usage: summary [--scale S] [--workloads A,B] [--analyses A,B] \
+             [--reps N] [--jobs N] [--json PATH]"
+        );
+        return ExitCode::FAILURE;
+    }
     let rows = run_matrix(&opts);
     print!("{}", render_summary(&rows));
-    maybe_dump_json(&rows);
+    maybe_dump_json(&opts, &rows);
+    ExitCode::SUCCESS
 }

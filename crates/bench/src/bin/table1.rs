@@ -1,13 +1,82 @@
 //! Regenerates the paper's Table 1 (§4.2) over the synthetic DaCapo suite.
 //!
-//! Usage: `cargo run --release -p pta-bench --bin table1`
-//! Environment: PTA_SCALE, PTA_WORKLOADS, PTA_ANALYSES, PTA_REPS, PTA_JSON.
+//! Usage: `cargo run --release -p pta-bench --bin table1 -- [flags]`
+//! Flags: `--scale S --workloads A,B --analyses A,B --reps N --jobs N
+//! --json PATH` (see the crate docs; `PTA_*` environment variables are the
+//! fallback for each).
+//!
+//! Check mode: `table1 --check FILE [--expect-cells N]` parses a previous
+//! `--json` dump with the crate's own JSON reader, validates every row, and
+//! exits without running anything — the CI smoke-perf step uses this to
+//! assert a fresh dump is well-formed and complete.
 
-use pta_bench::{maybe_dump_json, render_table1, run_matrix, MatrixOptions};
+use std::process::ExitCode;
 
-fn main() {
-    let opts = MatrixOptions::from_env();
+use pta_bench::{json, maybe_dump_json, render_table1, run_matrix, MatrixOptions};
+
+fn check(path: &str, expect_cells: Option<usize>) -> ExitCode {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match json::parse(&source) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cells = match json::validate_rows(&doc) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(expected) = expect_cells {
+        if cells != expected {
+            eprintln!("error: {path}: {cells} cells, expected {expected}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("{path}: {cells} cells OK");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("usage: table1 --check FILE [--expect-cells N]");
+            return ExitCode::FAILURE;
+        };
+        let expect = match args.iter().position(|a| a == "--expect-cells") {
+            Some(j) => match args.get(j + 1).and_then(|n| n.parse().ok()) {
+                Some(n) => Some(n),
+                None => {
+                    eprintln!("error: --expect-cells needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        return check(path, expect);
+    }
+
+    let mut opts = MatrixOptions::from_env();
+    if let Err(e) = opts.apply_cli_args(&args) {
+        eprintln!("error: {e}");
+        eprintln!(
+            "usage: table1 [--scale S] [--workloads A,B] [--analyses A,B] \
+             [--reps N] [--jobs N] [--json PATH] | table1 --check FILE [--expect-cells N]"
+        );
+        return ExitCode::FAILURE;
+    }
     let rows = run_matrix(&opts);
     print!("{}", render_table1(&rows));
-    maybe_dump_json(&rows);
+    maybe_dump_json(&opts, &rows);
+    ExitCode::SUCCESS
 }

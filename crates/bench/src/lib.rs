@@ -8,27 +8,40 @@
 //! | Figure 3 (time vs may-fail casts scatter) | `figure3` | per-benchmark CSV series + ASCII scatter |
 //! | §1/§4 summary statistics (speedups, slowdowns) | `summary` | the aggregate claims, paper vs. measured |
 //!
-//! All binaries accept environment variables:
+//! All binaries accept environment variables and equivalent command-line
+//! flags (flags win when both are given):
 //!
-//! - `PTA_SCALE` — workload scale factor (default `1.0`; the full DaCapo
-//!   suite at scale 1 runs the complete matrix in well under a minute);
-//! - `PTA_WORKLOADS` — comma-separated subset of benchmark names;
-//! - `PTA_ANALYSES` — comma-separated subset of analysis names
-//!   (e.g. `1obj,S-2obj+H`);
-//! - `PTA_JSON` — if set, a path to dump the raw [`ExperimentRow`]s as JSON
-//!   (used to fill EXPERIMENTS.md).
+//! - `PTA_SCALE` / `--scale S` — workload scale factor (default `1.0`; the
+//!   full DaCapo suite at scale 1 runs the complete matrix in well under a
+//!   minute);
+//! - `PTA_WORKLOADS` / `--workloads A,B` — comma-separated subset of
+//!   benchmark names;
+//! - `PTA_ANALYSES` / `--analyses A,B` — comma-separated subset of analysis
+//!   names (e.g. `1obj,S-2obj+H`);
+//! - `PTA_REPS` / `--reps N` — repetitions per cell (median reported);
+//! - `PTA_JOBS` / `--jobs N` — worker threads for the matrix (`1` =
+//!   sequential, `0` = one per core, default). Cells are farmed out to
+//!   workers; row order in every output is deterministic regardless of
+//!   completion order. Use `--jobs 1` for timing-grade runs — parallel
+//!   cells contend for cores and per-cell times become pessimistic;
+//! - `PTA_JSON` / `--json PATH` — dump the raw [`ExperimentRow`]s (wall
+//!   time, precision metrics, and solver counters) as JSON, the format
+//!   checked in as `BENCH_baseline.json` and consumed by `table1 --check`.
 //!
 //! Micro-benchmarks (`cargo bench`, plain `main`-style harnesses) cover
 //! per-analysis solver time (`analyses`), the design-choice ablations
 //! called out in DESIGN.md (`ablation`), and solver-internals (`solver`).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use pta_clients::{precision_metrics, ExperimentMetrics};
-use pta_core::{analyze, Analysis};
+use pta_core::{analyze, Analysis, SolverStats};
 use pta_ir::{Program, ProgramStats};
 use pta_workload::{dacapo_workload, DACAPO_NAMES};
 
+pub mod json;
 pub mod render;
 pub mod timing;
 
@@ -68,10 +81,19 @@ pub struct ExperimentRow {
     pub heap_contexts: usize,
     /// Exception sites that may escape `main` uncaught.
     pub uncaught_exception_sites: usize,
+    /// The solver's internal counters for the timed run (rule firings,
+    /// dedup traffic, worklist shape).
+    pub stats: SolverStats,
 }
 
 impl ExperimentRow {
-    fn new(workload: &str, analysis: Analysis, m: &ExperimentMetrics, time_secs: f64) -> Self {
+    fn new(
+        workload: &str,
+        analysis: Analysis,
+        m: &ExperimentMetrics,
+        time_secs: f64,
+        stats: SolverStats,
+    ) -> Self {
         ExperimentRow {
             workload: workload.to_owned(),
             analysis: analysis.name().to_owned(),
@@ -87,6 +109,7 @@ impl ExperimentRow {
             contexts: m.contexts,
             heap_contexts: m.heap_contexts,
             uncaught_exception_sites: m.uncaught_exception_sites,
+            stats,
         }
     }
 }
@@ -127,7 +150,7 @@ impl ExperimentRow {
              \"avg_objs_per_var\":{},\"call_graph_edges\":{},\"poly_v_calls\":{},\
              \"reachable_v_calls\":{},\"may_fail_casts\":{},\"reachable_casts\":{},\
              \"time_secs\":{},\"sensitive_var_points_to\":{},\"contexts\":{},\
-             \"heap_contexts\":{},\"uncaught_exception_sites\":{}}}",
+             \"heap_contexts\":{},\"uncaught_exception_sites\":{},\"stats\":{}}}",
             json_escape(&self.workload),
             json_escape(&self.analysis),
             self.reachable_methods,
@@ -142,6 +165,7 @@ impl ExperimentRow {
             self.contexts,
             self.heap_contexts,
             self.uncaught_exception_sites,
+            self.stats.to_json(),
         )
     }
 }
@@ -166,6 +190,10 @@ pub struct MatrixOptions {
     /// Repetitions per cell; the median time is reported (the paper uses
     /// medians of three runs).
     pub repetitions: usize,
+    /// Worker threads for the matrix: `1` = sequential, `0` = one per core.
+    pub jobs: usize,
+    /// Where to dump the rows as JSON after the run, if anywhere.
+    pub json_out: Option<String>,
 }
 
 impl Default for MatrixOptions {
@@ -175,13 +203,16 @@ impl Default for MatrixOptions {
             workloads: DACAPO_NAMES.iter().map(|s| s.to_string()).collect(),
             analyses: Analysis::TABLE1.to_vec(),
             repetitions: 3,
+            jobs: 0,
+            json_out: None,
         }
     }
 }
 
 impl MatrixOptions {
-    /// Reads `PTA_SCALE`, `PTA_WORKLOADS`, `PTA_ANALYSES` and `PTA_REPS`
-    /// from the environment, falling back to defaults.
+    /// Reads `PTA_SCALE`, `PTA_WORKLOADS`, `PTA_ANALYSES`, `PTA_REPS`,
+    /// `PTA_JOBS` and `PTA_JSON` from the environment, falling back to
+    /// defaults.
     ///
     /// # Panics
     ///
@@ -204,7 +235,75 @@ impl MatrixOptions {
         if let Ok(s) = std::env::var("PTA_REPS") {
             opts.repetitions = s.parse().unwrap_or_else(|_| panic!("bad PTA_REPS: {s:?}"));
         }
+        if let Ok(s) = std::env::var("PTA_JOBS") {
+            opts.jobs = s.parse().unwrap_or_else(|_| panic!("bad PTA_JOBS: {s:?}"));
+        }
+        if let Ok(s) = std::env::var("PTA_JSON") {
+            opts.json_out = Some(s);
+        }
         opts
+    }
+
+    /// Applies command-line flags on top of the current options. Flags
+    /// mirror the environment variables (`--scale`, `--workloads`,
+    /// `--analyses`, `--reps`, `--jobs`, `--json`) and take precedence.
+    /// Unknown flags are an error so typos fail loudly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the offending flag or value.
+    pub fn apply_cli_args(&mut self, args: &[String]) -> Result<(), String> {
+        let mut i = 0;
+        let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    let v = value(&mut i, "--scale")?;
+                    self.scale = v.parse().map_err(|_| format!("bad --scale: {v:?}"))?;
+                }
+                "--workloads" => {
+                    let v = value(&mut i, "--workloads")?;
+                    self.workloads = v.split(',').map(|w| w.trim().to_owned()).collect();
+                }
+                "--analyses" => {
+                    let v = value(&mut i, "--analyses")?;
+                    self.analyses = v
+                        .split(',')
+                        .map(|a| a.trim().parse().map_err(|e| format!("{e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "--reps" => {
+                    let v = value(&mut i, "--reps")?;
+                    self.repetitions = v.parse().map_err(|_| format!("bad --reps: {v:?}"))?;
+                }
+                "--jobs" => {
+                    let v = value(&mut i, "--jobs")?;
+                    self.jobs = v.parse().map_err(|_| format!("bad --jobs: {v:?}"))?;
+                }
+                "--json" => {
+                    self.json_out = Some(value(&mut i, "--json")?);
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// The number of worker threads the matrix will actually use: `jobs`,
+    /// with `0` resolved to the core count.
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.jobs
+        }
     }
 }
 
@@ -226,43 +325,106 @@ pub fn run_cell(
     }
     times.sort_by(f64::total_cmp);
     let median = times[times.len() / 2];
-    let metrics = precision_metrics(program, &result.expect("at least one repetition"));
-    ExperimentRow::new(workload, analysis, &metrics, median)
+    let result = result.expect("at least one repetition");
+    let stats = *result.solver_stats();
+    let metrics = precision_metrics(program, &result);
+    ExperimentRow::new(workload, analysis, &metrics, median, stats)
+}
+
+fn log_cell(row: &ExperimentRow) {
+    eprintln!(
+        "[pta-bench]   {:>10} {:>10}  {:>8.3}s  vpt {:>10}  casts {}/{}",
+        row.workload,
+        row.analysis,
+        row.time_secs,
+        row.sensitive_var_points_to,
+        row.may_fail_casts,
+        row.reachable_casts
+    );
 }
 
 /// Runs the full matrix described by `opts`, printing progress to stderr.
+///
+/// With `jobs > 1` (or `jobs == 0` on a multi-core box), `(workload,
+/// analysis)` cells are farmed out to worker threads pulling from a shared
+/// queue. Workloads are generated once up front and shared read-only; each
+/// cell is still timed with `run_cell`, and the returned rows are in
+/// workload-major, analysis-minor order regardless of which worker finished
+/// first — identical to the sequential order, so `table1`, `figure3` and
+/// `summary` render the same layout either way.
 pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
-    let mut rows = Vec::new();
-    for name in &opts.workloads {
-        let program = dacapo_workload(name, opts.scale);
-        let stats = ProgramStats::of(&program);
-        eprintln!("[pta-bench] {name}: {stats}");
-        for &analysis in &opts.analyses {
-            let row = run_cell(name, &program, analysis, opts.repetitions);
-            eprintln!(
-                "[pta-bench]   {:>10}  {:>8.3}s  vpt {:>10}  casts {}/{}",
-                row.analysis,
-                row.time_secs,
-                row.sensitive_var_points_to,
-                row.may_fail_casts,
-                row.reachable_casts
-            );
-            rows.push(row);
+    let cells: Vec<(usize, usize)> = (0..opts.workloads.len())
+        .flat_map(|w| (0..opts.analyses.len()).map(move |a| (w, a)))
+        .collect();
+    let jobs = opts.effective_jobs().min(cells.len()).max(1);
+    if jobs == 1 {
+        let mut rows = Vec::with_capacity(cells.len());
+        for name in &opts.workloads {
+            let program = dacapo_workload(name, opts.scale);
+            eprintln!("[pta-bench] {name}: {}", ProgramStats::of(&program));
+            for &analysis in &opts.analyses {
+                let row = run_cell(name, &program, analysis, opts.repetitions);
+                log_cell(&row);
+                rows.push(row);
+            }
         }
+        return rows;
     }
-    rows
+
+    let programs: Vec<Program> = opts
+        .workloads
+        .iter()
+        .map(|name| {
+            let program = dacapo_workload(name, opts.scale);
+            eprintln!("[pta-bench] {name}: {}", ProgramStats::of(&program));
+            program
+        })
+        .collect();
+    eprintln!("[pta-bench] {} cells on {jobs} workers", cells.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ExperimentRow>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(w, a)) = cells.get(i) else { break };
+                let row = run_cell(
+                    &opts.workloads[w],
+                    &programs[w],
+                    opts.analyses[a],
+                    opts.repetitions,
+                );
+                log_cell(&row);
+                *slots[i].lock().expect("no panics while holding the slot") = Some(row);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker panics propagate out of the scope")
+                .expect("every cell index was claimed and filled")
+        })
+        .collect()
 }
 
-/// Writes rows as pretty JSON to the path named by `PTA_JSON`, if set.
+/// Writes rows as pretty JSON to `path`.
 ///
 /// # Panics
 ///
 /// Panics if the file cannot be written (operator-facing tool).
-pub fn maybe_dump_json(rows: &[ExperimentRow]) {
-    if let Ok(path) = std::env::var("PTA_JSON") {
-        let json = rows_to_json(rows);
-        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("[pta-bench] wrote {path}");
+pub fn write_json(rows: &[ExperimentRow], path: &str) {
+    let json = rows_to_json(rows);
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("[pta-bench] wrote {path}");
+}
+
+/// Writes rows as pretty JSON to `opts.json_out`, if set (the `--json`
+/// flag or the `PTA_JSON` environment variable).
+pub fn maybe_dump_json(opts: &MatrixOptions, rows: &[ExperimentRow]) {
+    if let Some(path) = &opts.json_out {
+        write_json(rows, path);
     }
 }
 
@@ -290,12 +452,82 @@ mod tests {
             workloads: vec!["antlr".into()],
             analyses: vec![Analysis::Insens, Analysis::STwoObjH],
             repetitions: 1,
+            jobs: 1,
+            json_out: None,
         };
         let rows = run_matrix(&opts);
         assert_eq!(rows.len(), 2);
         // Context-sensitivity is more precise than insens on every metric.
         assert!(rows[1].may_fail_casts <= rows[0].may_fail_casts);
         assert!(rows[1].call_graph_edges <= rows[0].call_graph_edges);
+        // Counters are always on: the timed run fired real rules.
+        assert!(rows[0].stats.vpt_inserted > 0);
+        assert!(rows[1].stats.fire_vcall_dispatch > 0);
+    }
+
+    #[test]
+    fn parallel_matrix_matches_sequential_order_and_results() {
+        let mut opts = MatrixOptions {
+            scale: 0.15,
+            workloads: vec!["luindex".into(), "lusearch".into()],
+            analyses: vec![Analysis::Insens, Analysis::OneObj, Analysis::STwoObjH],
+            repetitions: 1,
+            jobs: 1,
+            json_out: None,
+        };
+        let sequential = run_matrix(&opts);
+        opts.jobs = 4;
+        let parallel = run_matrix(&opts);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.workload, p.workload);
+            assert_eq!(s.analysis, p.analysis);
+            // The analysis is deterministic, so everything but wall time
+            // must agree bit-for-bit across drivers.
+            assert_eq!(s.sensitive_var_points_to, p.sensitive_var_points_to);
+            assert_eq!(s.call_graph_edges, p.call_graph_edges);
+            assert_eq!(s.may_fail_casts, p.may_fail_casts);
+            assert_eq!(s.stats, p.stats);
+        }
+    }
+
+    #[test]
+    fn cli_args_override_options() {
+        let mut opts = MatrixOptions::default();
+        let args: Vec<String> = [
+            "--scale",
+            "0.5",
+            "--workloads",
+            "antlr, chart",
+            "--analyses",
+            "insens,S-2obj+H",
+            "--reps",
+            "5",
+            "--jobs",
+            "2",
+            "--json",
+            "/tmp/out.json",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        opts.apply_cli_args(&args).unwrap();
+        assert_eq!(opts.scale, 0.5);
+        assert_eq!(opts.workloads, vec!["antlr", "chart"]);
+        assert_eq!(opts.analyses, vec![Analysis::Insens, Analysis::STwoObjH]);
+        assert_eq!(opts.repetitions, 5);
+        assert_eq!(opts.jobs, 2);
+        assert_eq!(opts.json_out.as_deref(), Some("/tmp/out.json"));
+        assert_eq!(opts.effective_jobs(), 2);
+
+        assert!(opts
+            .apply_cli_args(&["--bogus".to_string()])
+            .unwrap_err()
+            .contains("--bogus"));
+        assert!(opts
+            .apply_cli_args(&["--scale".to_string()])
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]
@@ -304,6 +536,7 @@ mod tests {
         let row = run_cell("luindex", &program, Analysis::OneCall, 1);
         let json = row.to_json();
         assert!(json.contains("\"analysis\":\"1call\""));
+        assert!(json.contains("\"stats\":{\"vpt_inserted\":"));
         assert!(json.starts_with('{') && json.ends_with('}'));
         let arr = rows_to_json(std::slice::from_ref(&row));
         assert!(arr.starts_with('[') && arr.trim_end().ends_with(']'));

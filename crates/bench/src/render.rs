@@ -367,6 +367,7 @@ mod tests {
             contexts: 10,
             heap_contexts: 5,
             uncaught_exception_sites: 0,
+            stats: pta_core::SolverStats::default(),
         }
     }
 
@@ -448,6 +449,7 @@ mod edge_case_tests {
             contexts: 1,
             heap_contexts: 1,
             uncaught_exception_sites: 0,
+            stats: pta_core::SolverStats::default(),
         }
     }
 

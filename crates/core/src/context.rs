@@ -17,7 +17,6 @@
 
 use std::fmt;
 
-use pta_ir::hash::FxHashMap;
 use pta_ir::{HeapId, InvoId, Program, TypeId};
 
 const TAG_SHIFT: u32 = 30;
@@ -204,91 +203,250 @@ impl HCtxId {
     }
 }
 
+/// A key that can live in a [`DenseMap`]: hashable to a pre-mixed 64-bit
+/// value. The hash must be fully mixed (high entropy in the low bits)
+/// because the table uses it directly for linear probing.
+pub(crate) trait InternKey: Copy + Eq {
+    /// A well-mixed 64-bit hash of the key.
+    fn ikey_hash(self) -> u64;
+}
+
+#[inline]
+fn mix64(x: u64) -> u64 {
+    // splitmix64 finalizer — the same mixer the repo's seeded RNG uses.
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl InternKey for (u32, u32) {
+    #[inline]
+    fn ikey_hash(self) -> u64 {
+        mix64(u64::from(self.0) << 32 | u64::from(self.1))
+    }
+}
+
+impl InternKey for Ctx {
+    #[inline]
+    fn ikey_hash(self) -> u64 {
+        mix64(mix64(u64::from(self[0].0) << 32 | u64::from(self[1].0)) ^ u64::from(self[2].0))
+    }
+}
+
+impl InternKey for HeapCtx {
+    #[inline]
+    fn ikey_hash(self) -> u64 {
+        mix64(u64::from(self[0].0) << 32 | u64::from(self[1].0))
+    }
+}
+
+/// An open-addressing interner: maps keys to dense `u32` IDs in insertion
+/// order. Replaces the previous `FxHashMap<K, Id>` + `Vec<K>` pair — one
+/// flat probe array, no per-entry overhead, and capacity pre-sizing from
+/// program statistics so the hot interning path almost never rehashes.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseMap<K: InternKey> {
+    /// Keys in insertion (= ID) order.
+    keys: Vec<K>,
+    /// Probe table: `id + 1`, or 0 for an empty slot. Power-of-two sized.
+    slots: Vec<u32>,
+}
+
+impl<K: InternKey> Default for DenseMap<K> {
+    fn default() -> DenseMap<K> {
+        DenseMap::with_capacity(0)
+    }
+}
+
+impl<K: InternKey> DenseMap<K> {
+    /// Creates a map pre-sized for about `cap` keys.
+    pub(crate) fn with_capacity(cap: usize) -> DenseMap<K> {
+        let slots = (cap.max(8) * 2).next_power_of_two();
+        DenseMap {
+            keys: Vec::with_capacity(cap),
+            slots: vec![0; slots],
+        }
+    }
+
+    /// Number of interned keys.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The key behind an ID.
+    #[inline]
+    pub(crate) fn resolve(&self, id: u32) -> K {
+        self.keys[id as usize]
+    }
+
+    /// All interned keys, in ID order.
+    #[inline]
+    pub(crate) fn keys(&self) -> &[K] {
+        &self.keys
+    }
+
+    /// Looks up `key` without inserting.
+    #[inline]
+    pub(crate) fn get(&self, key: K) -> Option<u32> {
+        let mask = self.slots.len() - 1;
+        let mut i = key.ikey_hash() as usize & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == 0 {
+                return None;
+            }
+            let id = slot - 1;
+            if self.keys[id as usize] == key {
+                return Some(id);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Interns `key`, returning its dense ID (existing or freshly
+    /// assigned).
+    pub(crate) fn intern(&mut self, key: K) -> u32 {
+        // Keep the load factor under 3/4.
+        if (self.keys.len() + 1) * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = key.ikey_hash() as usize & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == 0 {
+                let id = self.keys.len() as u32;
+                self.keys.push(key);
+                self.slots[i] = id + 1;
+                return id;
+            }
+            let id = slot - 1;
+            if self.keys[id as usize] == key {
+                return id;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_len = (self.slots.len() * 2).max(16);
+        let mut slots = vec![0u32; new_len];
+        let mask = new_len - 1;
+        for (id, key) in self.keys.iter().enumerate() {
+            let mut i = key.ikey_hash() as usize & mask;
+            while slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            slots[i] = id as u32 + 1;
+        }
+        self.slots = slots;
+    }
+}
+
 /// Interner for calling contexts.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CtxInterner {
-    vals: Vec<Ctx>,
-    map: FxHashMap<Ctx, CtxId>,
+    map: DenseMap<Ctx>,
+}
+
+impl Default for CtxInterner {
+    fn default() -> CtxInterner {
+        CtxInterner::new()
+    }
 }
 
 impl CtxInterner {
     /// Creates an interner with [`CtxId::INITIAL`] pre-interned.
     pub fn new() -> CtxInterner {
-        let mut i = CtxInterner::default();
+        CtxInterner::with_capacity(0)
+    }
+
+    /// Creates an interner pre-sized for about `cap` contexts, with
+    /// [`CtxId::INITIAL`] pre-interned.
+    pub fn with_capacity(cap: usize) -> CtxInterner {
+        let mut i = CtxInterner {
+            map: DenseMap::with_capacity(cap),
+        };
         let id = i.intern(CTX_EMPTY);
         debug_assert_eq!(id, CtxId::INITIAL);
         i
     }
 
     /// Interns `ctx`, returning its dense ID.
+    #[inline]
     pub fn intern(&mut self, ctx: Ctx) -> CtxId {
-        if let Some(&id) = self.map.get(&ctx) {
-            return id;
-        }
-        let id = CtxId(self.vals.len() as u32);
-        self.vals.push(ctx);
-        self.map.insert(ctx, id);
-        id
+        CtxId(self.map.intern(ctx))
     }
 
     /// The context tuple behind an ID.
     #[inline]
     pub fn resolve(&self, id: CtxId) -> Ctx {
-        self.vals[id.0 as usize]
+        self.map.resolve(id.0)
     }
 
     /// Number of distinct contexts created.
     pub fn len(&self) -> usize {
-        self.vals.len()
+        self.map.len()
     }
 
     /// `true` if only the initial context exists... never, after `new`.
     pub fn is_empty(&self) -> bool {
-        self.vals.is_empty()
+        self.map.len() == 0
     }
 }
 
 /// Interner for heap contexts.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct HCtxInterner {
-    vals: Vec<HeapCtx>,
-    map: FxHashMap<HeapCtx, HCtxId>,
+    map: DenseMap<HeapCtx>,
+}
+
+impl Default for HCtxInterner {
+    fn default() -> HCtxInterner {
+        HCtxInterner::new()
+    }
 }
 
 impl HCtxInterner {
     /// Creates an interner with [`HCtxId::EMPTY`] pre-interned.
     pub fn new() -> HCtxInterner {
-        let mut i = HCtxInterner::default();
+        HCtxInterner::with_capacity(0)
+    }
+
+    /// Creates an interner pre-sized for about `cap` heap contexts, with
+    /// [`HCtxId::EMPTY`] pre-interned.
+    pub fn with_capacity(cap: usize) -> HCtxInterner {
+        let mut i = HCtxInterner {
+            map: DenseMap::with_capacity(cap),
+        };
         let id = i.intern(HCTX_EMPTY);
         debug_assert_eq!(id, HCtxId::EMPTY);
         i
     }
 
     /// Interns a heap context, returning its dense ID.
+    #[inline]
     pub fn intern(&mut self, hctx: HeapCtx) -> HCtxId {
-        if let Some(&id) = self.map.get(&hctx) {
-            return id;
-        }
-        let id = HCtxId(self.vals.len() as u32);
-        self.vals.push(hctx);
-        self.map.insert(hctx, id);
-        id
+        HCtxId(self.map.intern(hctx))
     }
 
     /// The heap context behind an ID.
     #[inline]
     pub fn resolve(&self, id: HCtxId) -> HeapCtx {
-        self.vals[id.0 as usize]
+        self.map.resolve(id.0)
     }
 
     /// Number of distinct heap contexts created.
     pub fn len(&self) -> usize {
-        self.vals.len()
+        self.map.len()
     }
 
     /// `true` if nothing has been interned.
     pub fn is_empty(&self) -> bool {
-        self.vals.is_empty()
+        self.map.len() == 0
     }
 }
 

@@ -153,6 +153,9 @@ where
         uncaught,
         ctx_interner,
         hctx_interner,
+        // The generic engine reports its own EvalStats; the dense solver's
+        // counters stay zero for this back end.
+        stats: crate::results::SolverStats::default(),
     };
     (result, stats)
 }

@@ -60,6 +60,7 @@
 pub mod context;
 pub mod datalog_impl;
 pub mod policy;
+pub mod pts;
 pub mod results;
 pub mod solver;
 
@@ -68,5 +69,6 @@ pub use context::{
     HCTX_EMPTY,
 };
 pub use policy::{Analysis, ContextPolicy, ParseAnalysisError};
-pub use results::{CtxVarPointsTo, Derivation, PointsToResult};
+pub use pts::PtsSet;
+pub use results::{CtxVarPointsTo, Derivation, PointsToResult, SolverStats};
 pub use solver::{analyze, analyze_with_config, SolverConfig};

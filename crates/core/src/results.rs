@@ -71,6 +71,130 @@ pub enum Derivation {
 /// `(baseHeap, baseHeapCtx, field, valueHeap, valueHeapCtx)`.
 type FldProvKey = (HeapId, HCtxId, FieldId, HeapId, HCtxId);
 
+/// Cheap, always-on solver counters: rule firings per Figure 2 rule,
+/// insertion/deduplication traffic, worklist shape, and interner sizes.
+///
+/// Every counter is a plain `u64` increment on the solver hot path (no
+/// branching on a "stats enabled" flag), so the numbers are available for
+/// every run: `pta analyze --stats` prints them and `pta-bench --json`
+/// writes them into each experiment row. Firing counters count *attempted*
+/// derivations (the tuple may already exist); `vpt_inserted` /
+/// `vpt_dup` split those attempts into new tuples and dedup hits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// `VarPointsTo` tuples actually inserted (equals the final
+    /// context-sensitive tuple count).
+    pub vpt_inserted: u64,
+    /// `VarPointsTo` derivation attempts that hit an existing tuple.
+    pub vpt_dup: u64,
+    /// Alloc-rule firings (`VarPointsTo <- Reachable, Alloc`).
+    pub fire_alloc: u64,
+    /// Move/Cast firings (`VarPointsTo <- Move, VarPointsTo`).
+    pub fire_assign: u64,
+    /// Inter-procedural firings (`VarPointsTo <- InterProcAssign, VarPointsTo`).
+    pub fire_interproc: u64,
+    /// Load firings (`VarPointsTo <- Load, VarPointsTo, FldPointsTo`).
+    pub fire_load: u64,
+    /// Store firings (`FldPointsTo <- Store, VarPointsTo, VarPointsTo`).
+    pub fire_store: u64,
+    /// Static-load firings (`VarPointsTo <- Reachable, SLoad, StaticFld`).
+    pub fire_static_load: u64,
+    /// Static-store firings (`StaticFldPointsTo <- SStore, VarPointsTo`).
+    pub fire_static_store: u64,
+    /// Receiver (`this`) bindings at virtual call sites.
+    pub fire_this_binding: u64,
+    /// Virtual-dispatch attempts (one per new receiver object per site).
+    pub fire_vcall_dispatch: u64,
+    /// Exception tuples bound by catch clauses.
+    pub fire_caught: u64,
+    /// `ThrowPointsTo` tuples (exceptions escaping a method+context).
+    pub throw_tuples: u64,
+    /// `FldPointsTo` tuples actually inserted.
+    pub fld_inserted: u64,
+    /// Context-sensitive call-graph edges added.
+    pub call_edges: u64,
+    /// `InterProcAssign` edges installed.
+    pub ipa_edges: u64,
+    /// `(key, delta)` batches drained from the worklist.
+    pub batches: u64,
+    /// Maximum depth the key worklist reached.
+    pub peak_worklist: u64,
+    /// Distinct calling contexts interned.
+    pub contexts: u64,
+    /// Distinct heap contexts interned.
+    pub heap_contexts: u64,
+    /// Distinct `(heap, heap-context)` objects interned.
+    pub objects: u64,
+}
+
+impl SolverStats {
+    /// Fraction of `VarPointsTo` derivation attempts that hit an existing
+    /// tuple (0.0 when nothing was attempted).
+    #[must_use]
+    pub fn dedup_hit_rate(&self) -> f64 {
+        let attempts = self.vpt_inserted + self.vpt_dup;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.vpt_dup as f64 / attempts as f64
+        }
+    }
+
+    /// `(name, value)` view over every counter, in a stable order — the
+    /// single source of truth for both the text and JSON renderings.
+    #[must_use]
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("vpt_inserted", self.vpt_inserted),
+            ("vpt_dup", self.vpt_dup),
+            ("fire_alloc", self.fire_alloc),
+            ("fire_assign", self.fire_assign),
+            ("fire_interproc", self.fire_interproc),
+            ("fire_load", self.fire_load),
+            ("fire_store", self.fire_store),
+            ("fire_static_load", self.fire_static_load),
+            ("fire_static_store", self.fire_static_store),
+            ("fire_this_binding", self.fire_this_binding),
+            ("fire_vcall_dispatch", self.fire_vcall_dispatch),
+            ("fire_caught", self.fire_caught),
+            ("throw_tuples", self.throw_tuples),
+            ("fld_inserted", self.fld_inserted),
+            ("call_edges", self.call_edges),
+            ("ipa_edges", self.ipa_edges),
+            ("batches", self.batches),
+            ("peak_worklist", self.peak_worklist),
+            ("contexts", self.contexts),
+            ("heap_contexts", self.heap_contexts),
+            ("objects", self.objects),
+        ]
+    }
+
+    /// Serializes the counters as a single-line JSON object (the repo is
+    /// offline; hand-rolled rather than serde-derived). The dedup hit rate
+    /// is included as a derived field.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (name, value) in self.fields() {
+            out.push_str(&format!("\"{name}\":{value},"));
+        }
+        out.push_str(&format!(
+            "\"dedup_hit_rate\":{:.6}}}",
+            self.dedup_hit_rate()
+        ));
+        out
+    }
+}
+
+impl std::fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (name, value) in self.fields() {
+            writeln!(f, "  {name:<20} {value}")?;
+        }
+        write!(f, "  {:<20} {:.3}", "dedup_hit_rate", self.dedup_hit_rate())
+    }
+}
+
 /// The result of running a points-to analysis over a program.
 #[derive(Debug)]
 pub struct PointsToResult {
@@ -90,6 +214,7 @@ pub struct PointsToResult {
     pub(crate) uncaught: Vec<HeapId>,
     pub(crate) ctx_interner: CtxInterner,
     pub(crate) hctx_interner: HCtxInterner,
+    pub(crate) stats: SolverStats,
 }
 
 impl PointsToResult {
@@ -158,6 +283,13 @@ impl PointsToResult {
     /// Number of distinct heap contexts created.
     pub fn heap_context_count(&self) -> usize {
         self.hctx_count
+    }
+
+    /// The solver's always-on performance counters (rule firings, dedup
+    /// traffic, worklist shape). All-zero for the Datalog back end, which
+    /// reports its own evaluation statistics instead.
+    pub fn solver_stats(&self) -> &SolverStats {
+        &self.stats
     }
 
     /// The retained context-sensitive tuples, if the solver was configured

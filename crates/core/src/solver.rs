@@ -10,25 +10,51 @@
 //! | `InterProcAssign <- CallGraph, FormalArg, ActualArg` | `Solver::add_call_edge` installs parameter edges |
 //! | `InterProcAssign <- CallGraph, FormalReturn, ActualReturn` | `Solver::add_call_edge` installs the return edge |
 //! | `VarPointsTo <- Reachable, Alloc` (+ `Record`) | `Solver::process_reachable` |
-//! | `VarPointsTo <- Move, VarPointsTo` | assignment edges in `Solver::process_vpt` (casts are filtered moves) |
-//! | `VarPointsTo <- InterProcAssign, VarPointsTo` | inter-procedural edges in `Solver::process_vpt` |
-//! | `VarPointsTo <- Load, VarPointsTo, FldPointsTo` | load witnesses in `Solver::process_vpt` / `Solver::insert_fld` |
-//! | `FldPointsTo <- Store, VarPointsTo, VarPointsTo` | store handling in `Solver::process_vpt` |
-//! | virtual-call rule (+ `Merge`) | `Solver::process_vpt` receiver dispatch |
+//! | `VarPointsTo <- Move, VarPointsTo` | assignment edges in `Solver::process_key` (casts are filtered moves) |
+//! | `VarPointsTo <- InterProcAssign, VarPointsTo` | inter-procedural edges in `Solver::process_key` |
+//! | `VarPointsTo <- Load, VarPointsTo, FldPointsTo` | load witnesses in `Solver::process_key` / `Solver::insert_fld_batch` |
+//! | `FldPointsTo <- Store, VarPointsTo, VarPointsTo` | store handling in `Solver::process_key` |
+//! | virtual-call rule (+ `Merge`) | `Solver::process_key` receiver dispatch |
 //! | static-call rule (+ `MergeStatic`) | `Solver::process_reachable` |
 //!
-//! The worklist carries `VarPointsTo` deltas and `(method, context)`
-//! reachability events; every rule fires exactly once per new tuple, which
-//! is precisely semi-naive evaluation with the rule set unrolled.
+//! ## Hot-path representation
+//!
+//! Facts are stored *dense*, not hashed:
+//!
+//! - every `(heap, heap-context)` pair is interned once to a dense **object
+//!   ID** (with its dynamic type cached), so a points-to element is a
+//!   single `u32`;
+//! - every `(variable, context)` pair is interned to a dense **key ID**
+//!   whose [`PtsSet`] holds its objects — the inner "is this tuple new?"
+//!   check is a key-local binary search or bit test instead of a global
+//!   5-tuple hash probe, and iterating a variable's points-to set is a
+//!   linear scan;
+//! - the static input relations live in CSR-style per-variable tables
+//!   ([`VarTable`]), one flat allocation per relation.
+//!
+//! ## Batched semi-naive evaluation
+//!
+//! The worklist carries *keys with pending deltas*, not individual tuples:
+//! `process_key` drains a key's whole delta batch and fires each of
+//! Figure 2's joins once per `(edge, batch)` instead of once per tuple, so
+//! per-join overhead (index lookup, target-set location) is amortized over
+//! the batch. Inserts are idempotent and every new tuple eventually gets
+//! its own delta processing, which is precisely semi-naive evaluation with
+//! the rule set unrolled.
+//!
+//! Always-on [`SolverStats`] counters record rule firings, dedup traffic
+//! and worklist shape; they are plain `u64` increments and are surfaced
+//! through [`PointsToResult::solver_stats`].
 
 use std::collections::VecDeque;
 
 use pta_ir::hash::{FxHashMap, FxHashSet};
-use pta_ir::{FieldId, HeapId, Instr, InvoId, MethodId, Program, SigId, TypeId, VarId};
+use pta_ir::{FieldId, HeapId, Instr, InvoId, MethodId, Program, SigId, SizeHints, TypeId, VarId};
 
-use crate::context::{CtxId, CtxInterner, HCtxId, HCtxInterner};
+use crate::context::{CtxId, CtxInterner, DenseMap, HCtxId, HCtxInterner};
 use crate::policy::ContextPolicy;
-use crate::results::{CtxVarPointsTo, Derivation, PointsToResult};
+use crate::pts::PtsSet;
+use crate::results::{CtxVarPointsTo, Derivation, PointsToResult, SolverStats};
 
 /// Solver configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -76,109 +102,174 @@ pub fn analyze_with_config<P: ContextPolicy>(
     Solver::new(program, policy, config).solve()
 }
 
+/// Builds one CSR-style `variable -> [items]` table from unsorted
+/// `(var, item)` pairs: a flat, sorted, deduplicated item array plus
+/// per-variable segment offsets. Replaces the previous `Vec<Vec<T>>` (one
+/// heap allocation and one unconditional sort per variable, even for the
+/// empty/singleton common case) with a single pre-sized allocation and one
+/// global sort, which orders every per-var segment as a side effect. Tables
+/// whose collection pass already visits instructions in variable order
+/// arrive sorted and skip the sort outright.
+fn build_csr<T: Copy + Ord>(n_vars: usize, mut pairs: Vec<(u32, T)>) -> (Vec<u32>, Vec<T>) {
+    if !pairs.is_sorted() {
+        pairs.sort_unstable();
+    }
+    pairs.dedup();
+    let mut starts = vec![0u32; n_vars + 1];
+    for &(v, _) in &pairs {
+        starts[v as usize + 1] += 1;
+    }
+    for i in 0..n_vars {
+        starts[i + 1] += starts[i];
+    }
+    (starts, pairs.into_iter().map(|(_, item)| item).collect())
+}
+
+/// Row layout of [`StaticIndex::rows`]: segment starts of the six item
+/// tables, plus the thrown flag in the last slot.
+const ROW_ASSIGN: usize = 0;
+const ROW_LOAD_ON: usize = 1;
+const ROW_STORE_ON: usize = 2;
+const ROW_STORE_OF: usize = 3;
+const ROW_SSTORE_OF: usize = 4;
+const ROW_VCALL_ON: usize = 5;
+const ROW_THROWN: usize = 6;
+
 /// Precomputed, context-independent instruction indices keyed by variable.
 /// These are the static input relations of Figure 1, organized by the
 /// variable each rule joins on.
+///
+/// All six per-variable segment-offset arrays are interleaved into one
+/// `rows` array so that `process_key` touches one or two cache lines per
+/// variable instead of twelve scattered ones: `rows[v][t]..rows[v + 1][t]`
+/// is variable `v`'s segment in item table `t`.
 struct StaticIndex {
+    rows: Vec<[u32; 7]>,
     /// `from -> [(to, cast filter)]` for `Move` and `Cast`.
-    assigns: Vec<Vec<(VarId, Option<TypeId>)>>,
+    assigns: Vec<(VarId, Option<TypeId>)>,
     /// `base -> [(to, field)]` for `Load`.
-    loads_on: Vec<Vec<(VarId, FieldId)>>,
+    loads_on: Vec<(VarId, FieldId)>,
     /// `base -> [(field, from)]` for `Store`.
-    stores_on: Vec<Vec<(FieldId, VarId)>>,
+    stores_on: Vec<(FieldId, VarId)>,
     /// `from -> [(base, field)]` for `Store`.
-    stores_of: Vec<Vec<(VarId, FieldId)>>,
+    stores_of: Vec<(VarId, FieldId)>,
     /// `from -> [field]` for `SStore` (static-field writes).
-    sstores_of: Vec<Vec<FieldId>>,
+    sstores_of: Vec<FieldId>,
     /// `base -> [(sig, invo)]` for `VCall`.
-    vcalls_on: Vec<Vec<(SigId, InvoId)>>,
-    /// `var -> thrown somewhere in its method`.
-    thrown: Vec<bool>,
+    vcalls_on: Vec<(SigId, InvoId)>,
 }
 
 impl StaticIndex {
     fn build(program: &Program) -> StaticIndex {
         let n = program.var_count();
-        let mut idx = StaticIndex {
-            assigns: vec![Vec::new(); n],
-            loads_on: vec![Vec::new(); n],
-            stores_on: vec![Vec::new(); n],
-            stores_of: vec![Vec::new(); n],
-            sstores_of: vec![Vec::new(); n],
-            vcalls_on: vec![Vec::new(); n],
-            thrown: vec![false; n],
-        };
+        let instrs = program.instr_count();
+        // Pre-size the pair collections from the total instruction count;
+        // each instruction contributes at most two pairs (stores).
+        let mut assigns = Vec::with_capacity(instrs / 4);
+        let mut loads_on = Vec::with_capacity(instrs / 4);
+        let mut stores_on = Vec::with_capacity(instrs / 8);
+        let mut stores_of = Vec::with_capacity(instrs / 8);
+        let mut sstores_of = Vec::with_capacity(instrs / 16);
+        let mut vcalls_on = Vec::with_capacity(instrs / 4);
+        let mut thrown = vec![false; n];
         for m in program.methods() {
             for instr in program.instrs(m) {
                 match *instr {
-                    Instr::Move { to, from } => idx.assigns[from.index()].push((to, None)),
-                    Instr::Cast { to, from, ty } => idx.assigns[from.index()].push((to, Some(ty))),
-                    Instr::Load { to, base, field } => idx.loads_on[base.index()].push((to, field)),
+                    Instr::Move { to, from } => assigns.push((from.raw(), (to, None))),
+                    Instr::Cast { to, from, ty } => assigns.push((from.raw(), (to, Some(ty)))),
+                    Instr::Load { to, base, field } => loads_on.push((base.raw(), (to, field))),
                     Instr::Store { base, field, from } => {
-                        idx.stores_on[base.index()].push((field, from));
-                        idx.stores_of[from.index()].push((base, field));
+                        stores_on.push((base.raw(), (field, from)));
+                        stores_of.push((from.raw(), (base, field)));
                     }
-                    Instr::VCall { base, sig, invo } => {
-                        idx.vcalls_on[base.index()].push((sig, invo))
-                    }
-                    Instr::SStore { field, from } => idx.sstores_of[from.index()].push(field),
-                    Instr::Throw { var } => idx.thrown[var.index()] = true,
+                    Instr::VCall { base, sig, invo } => vcalls_on.push((base.raw(), (sig, invo))),
+                    Instr::SStore { field, from } => sstores_of.push((from.raw(), field)),
+                    Instr::Throw { var } => thrown[var.index()] = true,
                     // SLoad fires on reachability, handled by the solver.
                     Instr::Alloc { .. } | Instr::SCall { .. } | Instr::SLoad { .. } => {}
                 }
             }
         }
-        // Deduplicate (a method may contain textually repeated instructions).
-        fn dedup<T: Ord>(lists: &mut [Vec<T>]) {
-            for list in lists {
-                list.sort_unstable();
-                list.dedup();
-            }
+        let (s_assign, assigns) = build_csr(n, assigns);
+        let (s_load, loads_on) = build_csr(n, loads_on);
+        let (s_store_on, stores_on) = build_csr(n, stores_on);
+        let (s_store_of, stores_of) = build_csr(n, stores_of);
+        let (s_sstore, sstores_of) = build_csr(n, sstores_of);
+        let (s_vcall, vcalls_on) = build_csr(n, vcalls_on);
+        let mut rows = vec![[0u32; 7]; n + 1];
+        for (v, row) in rows.iter_mut().enumerate() {
+            *row = [
+                s_assign[v],
+                s_load[v],
+                s_store_on[v],
+                s_store_of[v],
+                s_sstore[v],
+                s_vcall[v],
+                u32::from(v < n && thrown[v]),
+            ];
         }
-        dedup(&mut idx.assigns);
-        dedup(&mut idx.loads_on);
-        dedup(&mut idx.stores_on);
-        dedup(&mut idx.stores_of);
-        dedup(&mut idx.sstores_of);
-        dedup(&mut idx.vcalls_on);
-        idx
-    }
-}
-
-type Vpt = (u32, u32, u32, u32); // (var, ctx, heap, hctx)
-
-/// A pending load destination: `(to, ctx, baseVar)`.
-type LoadWitness = (u32, u32, u32);
-
-/// Converts a raw tuple to the public form.
-fn to_tuple((var, ctx, heap, hctx): Vpt) -> CtxVarPointsTo {
-    CtxVarPointsTo {
-        var: VarId::from_raw(var),
-        ctx: CtxId::from_raw(ctx),
-        heap: HeapId::from_raw(heap),
-        hctx: HCtxId::from_raw(hctx),
+        StaticIndex {
+            rows,
+            assigns,
+            loads_on,
+            stores_on,
+            stores_of,
+            sstores_of,
+            vcalls_on,
+        }
     }
 }
 
 /// How a `VarPointsTo` tuple was first derived (recorded only under
 /// `SolverConfig::track_provenance`). Mirrors `results::Derivation` with
-/// raw IDs.
+/// dense solver IDs; the pointed-to object is implicit (it is the tuple's
+/// own object).
 #[derive(Debug, Clone, Copy)]
 enum Reason {
     /// The allocation rule.
     Alloc,
-    /// A `Move`/`Cast` from a source tuple.
-    Assign(Vpt),
-    /// An `InterProcAssign` edge from a source tuple.
-    InterProc(Vpt),
-    /// A `Load` through a base tuple's field.
-    Load { base: Vpt, field: u32 },
+    /// A `Move`/`Cast`; the source holds the same object under `src_key`.
+    Assign { src_key: u32 },
+    /// An `InterProcAssign` edge; same object under `src_key`.
+    InterProc { src_key: u32 },
+    /// A `Load` through `base_obj`'s `field`, reached via `base_key`.
+    Load {
+        base_key: u32,
+        base_obj: u32,
+        field: u32,
+    },
     /// The receiver (`this`) binding at a virtual call site.
     ThisBinding { invo: u32 },
     /// A static-field load.
     StaticLoad { field: u32 },
     /// Bound by a catch clause.
     Caught,
+}
+
+/// Per-(var, ctx) points-to state: the full set plus the pending delta.
+#[derive(Default)]
+struct VarEntry {
+    set: PtsSet,
+    /// Objects inserted since this key was last processed.
+    delta: Vec<u32>,
+    /// `true` while the key sits in the dirty queue.
+    queued: bool,
+}
+
+/// Per-(base object, field) state: the field's points-to set plus the load
+/// destinations waiting for new facts (`(to_key, base_key)`; the base key
+/// is kept for provenance).
+#[derive(Default)]
+struct FldEntry {
+    set: PtsSet,
+    witnesses: Vec<(u32, u32)>,
+}
+
+/// Per static field: the global cell plus pending load destinations.
+#[derive(Default)]
+struct StaticEntry {
+    set: PtsSet,
+    witnesses: Vec<u32>,
 }
 
 struct Solver<'a, P: ContextPolicy> {
@@ -189,90 +280,106 @@ struct Solver<'a, P: ContextPolicy> {
     ctxs: CtxInterner,
     hctxs: HCtxInterner,
 
-    /// All `VarPointsTo(var, ctx, heap, hctx)` tuples.
-    vpt_set: FxHashSet<Vpt>,
-    /// `(var, ctx) -> [(heap, hctx)]` — the join index for loads, stores and
-    /// inter-procedural propagation.
-    pts: FxHashMap<(u32, u32), Vec<(u32, u32)>>,
-    /// All `FldPointsTo(baseH, baseHCtx, fld, heap, hctx)` tuples.
-    fld_set: FxHashSet<(u32, u32, u32, u32, u32)>,
-    /// `(baseH, baseHCtx, fld) -> [(heap, hctx)]`.
-    fld_pts: FxHashMap<(u32, u32, u32), Vec<(u32, u32)>>,
-    /// `(baseH, baseHCtx, fld) -> [(to, ctx, baseVar)]` — load destinations
-    /// waiting for new field facts (the base variable is kept for
-    /// provenance).
-    load_witness: FxHashMap<(u32, u32, u32), Vec<LoadWitness>>,
-    /// `InterProcAssign`: `(from, fromCtx) -> [(to, toCtx)]`.
-    ipa: FxHashMap<(u32, u32), Vec<(u32, u32)>>,
-    ipa_set: FxHashSet<(u32, u32, u32, u32)>,
-    /// `CallGraph(invo, callerCtx, meth, calleeCtx)`.
-    call_graph: FxHashSet<(u32, u32, u32, u32)>,
+    /// `(heap, hctx) -> object ID`.
+    objs: DenseMap<(u32, u32)>,
+    /// Object ID -> raw dynamic type (cached `heap_type`).
+    obj_type: Vec<u32>,
+    /// `(var, ctx) -> key ID`.
+    vkeys: DenseMap<(u32, u32)>,
+    /// Key ID -> points-to state.
+    entries: Vec<VarEntry>,
+    /// Key ID -> `InterProcAssign` successor keys. Deduplication scans the
+    /// list directly: per-key fan-out is small (one entry per distinct
+    /// callee binding of the variable), so a linear probe beats a global
+    /// edge hash set.
+    ipa_out: Vec<Vec<u32>>,
+    /// `(base object, field) -> field entry ID`.
+    fkeys: DenseMap<(u32, u32)>,
+    fentries: Vec<FldEntry>,
+    /// Static-field cells, indexed by raw field ID.
+    statics: Vec<StaticEntry>,
+
+    /// `CallGraph(invo, callerCtx, meth, calleeCtx)`, factored through a
+    /// dense `(invo, callerCtx)` site interner: per site the distinct
+    /// `(callee, calleeCtx)` targets are a short list (virtual sites are
+    /// overwhelmingly monomorphic), so edge dedup is a linear scan instead
+    /// of a 4-tuple hash probe.
+    cg_sites: DenseMap<(u32, u32)>,
+    cg_targets: Vec<Vec<(u32, u32)>>,
+    ctx_cg_edges: u64,
     /// Context-insensitive call-graph projection.
     cg_insens: FxHashSet<(InvoId, MethodId)>,
-    /// `Reachable(meth, ctx)`.
-    reachable: FxHashSet<(u32, u32)>,
+    /// `Reachable(meth, ctx)`, as a dense interner (IDs unused; newness is
+    /// detected by length growth).
+    reachable: DenseMap<(u32, u32)>,
 
-    vpt_queue: VecDeque<Vpt>,
+    /// Keys with non-empty deltas, FIFO.
+    dirty: VecDeque<u32>,
     reach_queue: VecDeque<(u32, u32)>,
 
-    /// First derivation of each tuple (provenance mode only).
-    provenance: FxHashMap<Vpt, Reason>,
-    /// For each `FldPointsTo` tuple, the value tuple that was stored
-    /// (provenance mode only).
-    fld_provenance: FxHashMap<(u32, u32, u32, u32, u32), Vpt>,
-
-    /// `StaticFldPointsTo(fld, heap, hctx)` — static fields are global,
-    /// context-insensitive cells (paper §2.1).
-    static_fld_set: FxHashSet<(u32, u32, u32)>,
-    /// `fld -> [(heap, hctx)]`.
-    static_fld: FxHashMap<u32, Vec<(u32, u32)>>,
-    /// `fld -> [(to, ctx)]` — static-load destinations.
-    static_witness: FxHashMap<u32, Vec<(u32, u32)>>,
-    /// For each static-field tuple, the stored value tuple (provenance).
-    static_fld_provenance: FxHashMap<(u32, u32, u32), Vpt>,
-
-    /// `ThrowPointsTo(meth, ctx, heap, hctx)` — exceptions escaping a
+    /// `ThrowPointsTo(meth, ctx) -> objects` — exceptions escaping a
     /// method under a context.
-    throw_set: FxHashSet<(u32, u32, u32, u32)>,
-    /// `(meth, ctx) -> [(heap, hctx)]`.
-    throw_pts: FxHashMap<(u32, u32), Vec<(u32, u32)>>,
+    throw_pts: FxHashMap<(u32, u32), PtsSet>,
     /// `(callee, calleeCtx) -> [(callerMeth, callerCtx)]` — who to notify
     /// when an exception escapes the callee.
     throw_listeners: FxHashMap<(u32, u32), Vec<(u32, u32)>>,
     throw_listener_set: FxHashSet<(u32, u32, u32, u32)>,
+
+    /// First derivation of each `(key, object)` tuple (provenance mode).
+    provenance: FxHashMap<(u32, u32), Reason>,
+    /// `(field entry, value object) -> source key` of the store that first
+    /// populated it (provenance mode).
+    fld_provenance: FxHashMap<(u32, u32), u32>,
+    /// `(static field, value object) -> source key` (provenance mode).
+    static_fld_provenance: FxHashMap<(u32, u32), u32>,
+
+    /// Scratch buffers (taken/restored around batch joins so the hot path
+    /// never allocates). `buf` serves the `process_key` joins, `buf2` the
+    /// field-insert paths nested inside them, `ipa_buf` edge installation.
+    buf: Vec<u32>,
+    buf2: Vec<u32>,
+    ipa_buf: Vec<u32>,
+
+    stats: SolverStats,
 }
 
 impl<'a, P: ContextPolicy> Solver<'a, P> {
     fn new(program: &'a Program, policy: &'a P, config: SolverConfig) -> Solver<'a, P> {
+        let hints = SizeHints::of_program(program);
         Solver {
             program,
             policy,
             config,
             index: StaticIndex::build(program),
-            ctxs: CtxInterner::new(),
-            hctxs: HCtxInterner::new(),
-            vpt_set: FxHashSet::default(),
-            pts: FxHashMap::default(),
-            fld_set: FxHashSet::default(),
-            fld_pts: FxHashMap::default(),
-            load_witness: FxHashMap::default(),
-            ipa: FxHashMap::default(),
-            ipa_set: FxHashSet::default(),
-            call_graph: FxHashSet::default(),
+            ctxs: CtxInterner::with_capacity(hints.contexts),
+            hctxs: HCtxInterner::with_capacity(hints.heap_contexts),
+            objs: DenseMap::with_capacity(hints.objects),
+            obj_type: Vec::with_capacity(hints.objects),
+            vkeys: DenseMap::with_capacity(hints.var_ctx_keys),
+            entries: Vec::with_capacity(hints.var_ctx_keys),
+            ipa_out: Vec::with_capacity(hints.var_ctx_keys),
+            fkeys: DenseMap::with_capacity(hints.objects),
+            fentries: Vec::new(),
+            statics: (0..program.field_count())
+                .map(|_| StaticEntry::default())
+                .collect(),
+            cg_sites: DenseMap::with_capacity(hints.contexts),
+            cg_targets: Vec::with_capacity(hints.contexts),
+            ctx_cg_edges: 0,
             cg_insens: FxHashSet::default(),
-            reachable: FxHashSet::default(),
-            vpt_queue: VecDeque::new(),
+            reachable: DenseMap::with_capacity(hints.contexts),
+            dirty: VecDeque::new(),
             reach_queue: VecDeque::new(),
-            provenance: FxHashMap::default(),
-            fld_provenance: FxHashMap::default(),
-            static_fld_set: FxHashSet::default(),
-            static_fld: FxHashMap::default(),
-            static_witness: FxHashMap::default(),
-            static_fld_provenance: FxHashMap::default(),
-            throw_set: FxHashSet::default(),
             throw_pts: FxHashMap::default(),
             throw_listeners: FxHashMap::default(),
             throw_listener_set: FxHashSet::default(),
+            provenance: FxHashMap::default(),
+            fld_provenance: FxHashMap::default(),
+            static_fld_provenance: FxHashMap::default(),
+            buf: Vec::new(),
+            buf2: Vec::new(),
+            ipa_buf: Vec::new(),
+            stats: SolverStats::default(),
         }
     }
 
@@ -288,8 +395,8 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                 self.process_reachable(m, ctx);
                 continue;
             }
-            if let Some(t) = self.vpt_queue.pop_front() {
-                self.process_vpt(t);
+            if let Some(key) = self.dirty.pop_front() {
+                self.process_key(key);
                 continue;
             }
             break;
@@ -297,70 +404,145 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         self.into_result()
     }
 
+    // ----- dense ID management ---------------------------------------------
+
+    /// Interns a `(heap, hctx)` pair, caching its dynamic type.
+    fn obj_id(&mut self, heap: u32, hctx: u32) -> u32 {
+        let id = self.objs.intern((heap, hctx));
+        if id as usize == self.obj_type.len() {
+            self.obj_type
+                .push(self.program.heap_type(HeapId::from_raw(heap)).raw());
+        }
+        id
+    }
+
+    /// Interns a `(var, ctx)` pair, materializing its entry.
+    fn key_id(&mut self, var: u32, ctx: u32) -> u32 {
+        let id = self.vkeys.intern((var, ctx));
+        if id as usize == self.entries.len() {
+            self.entries.push(VarEntry::default());
+            self.ipa_out.push(Vec::new());
+        }
+        id
+    }
+
+    /// Interns a `(base object, field)` pair, materializing its entry.
+    fn fld_id(&mut self, base_obj: u32, field: u32) -> u32 {
+        let id = self.fkeys.intern((base_obj, field));
+        if id as usize == self.fentries.len() {
+            self.fentries.push(FldEntry::default());
+        }
+        id
+    }
+
     // ----- tuple insertion -------------------------------------------------
 
-    /// Inserts a `VarPointsTo` tuple; enqueues it if new.
-    fn insert_vpt(&mut self, var: u32, ctx: u32, heap: u32, hctx: u32, reason: Reason) {
-        let t = (var, ctx, heap, hctx);
-        if self.vpt_set.insert(t) {
-            self.pts.entry((var, ctx)).or_default().push((heap, hctx));
-            self.vpt_queue.push_back(t);
-            if self.config.track_provenance {
-                self.provenance.insert(t, reason);
+    /// Inserts a batch of objects into `key`'s points-to set; new objects
+    /// join the key's delta and the key is (re)queued. `reason` applies to
+    /// every object in the batch (batch joins are object-invariant).
+    fn insert_batch(&mut self, key: u32, objs: &[u32], reason: Reason) {
+        if objs.is_empty() {
+            return;
+        }
+        let entry = &mut self.entries[key as usize];
+        for &obj in objs {
+            if entry.set.insert(obj) {
+                entry.delta.push(obj);
+                self.stats.vpt_inserted += 1;
+                if self.config.track_provenance {
+                    self.provenance.insert((key, obj), reason);
+                }
+            } else {
+                self.stats.vpt_dup += 1;
             }
+        }
+        if !entry.queued && !entry.delta.is_empty() {
+            entry.queued = true;
+            self.dirty.push_back(key);
+            self.stats.peak_worklist = self.stats.peak_worklist.max(self.dirty.len() as u64);
         }
     }
 
-    /// Inserts a `FldPointsTo` tuple; wakes pending load witnesses if new.
-    /// `value` is the tuple that was stored (for provenance).
-    fn insert_fld(&mut self, bh: u32, bhc: u32, fld: u32, heap: u32, hctx: u32, value: Vpt) {
-        if self.fld_set.insert((bh, bhc, fld, heap, hctx)) {
-            self.fld_pts
-                .entry((bh, bhc, fld))
-                .or_default()
-                .push((heap, hctx));
-            if self.config.track_provenance {
-                self.fld_provenance
-                    .insert((bh, bhc, fld, heap, hctx), value);
-            }
-            if let Some(witnesses) = self.load_witness.get(&(bh, bhc, fld)) {
-                let witnesses = witnesses.clone();
-                for (to, ctx, base_var) in witnesses {
-                    self.insert_vpt(
-                        to,
-                        ctx,
-                        heap,
-                        hctx,
-                        Reason::Load {
-                            base: (base_var, ctx, bh, bhc),
-                            field: fld,
-                        },
-                    );
+    /// Inserts a batch of values into `(base_obj, field)`; fresh values
+    /// wake every pending load witness. `src_key` is the store source (for
+    /// provenance).
+    fn insert_fld_batch(&mut self, base_obj: u32, field: u32, vals: &[u32], src_key: u32) {
+        if vals.is_empty() {
+            return;
+        }
+        self.stats.fire_store += vals.len() as u64;
+        let fe = self.fld_id(base_obj, field);
+        let mut fresh = std::mem::take(&mut self.buf2);
+        fresh.clear();
+        {
+            let entry = &mut self.fentries[fe as usize];
+            for &v in vals {
+                if entry.set.insert(v) {
+                    fresh.push(v);
                 }
             }
         }
+        if !fresh.is_empty() {
+            self.stats.fld_inserted += fresh.len() as u64;
+            if self.config.track_provenance {
+                for &v in &fresh {
+                    self.fld_provenance.insert((fe, v), src_key);
+                }
+            }
+            for wi in 0..self.fentries[fe as usize].witnesses.len() {
+                let (to_key, base_key) = self.fentries[fe as usize].witnesses[wi];
+                self.stats.fire_load += fresh.len() as u64;
+                self.insert_batch(
+                    to_key,
+                    &fresh,
+                    Reason::Load {
+                        base_key,
+                        base_obj,
+                        field,
+                    },
+                );
+            }
+        }
+        self.buf2 = fresh;
     }
 
-    /// Inserts a `StaticFldPointsTo` tuple; wakes pending static-load
-    /// witnesses if new. `value` is the stored tuple (for provenance).
-    fn insert_static_fld(&mut self, fld: u32, heap: u32, hctx: u32, value: Vpt) {
-        if self.static_fld_set.insert((fld, heap, hctx)) {
-            self.static_fld.entry(fld).or_default().push((heap, hctx));
-            if self.config.track_provenance {
-                self.static_fld_provenance.insert((fld, heap, hctx), value);
-            }
-            if let Some(witnesses) = self.static_witness.get(&fld) {
-                let witnesses = witnesses.clone();
-                for (to, ctx) in witnesses {
-                    self.insert_vpt(to, ctx, heap, hctx, Reason::StaticLoad { field: fld });
+    /// Inserts a batch of values into static field `field`; fresh values
+    /// wake every pending static-load witness.
+    fn insert_static_batch(&mut self, field: u32, vals: &[u32], src_key: u32) {
+        if vals.is_empty() {
+            return;
+        }
+        self.stats.fire_static_store += vals.len() as u64;
+        let mut fresh = std::mem::take(&mut self.buf2);
+        fresh.clear();
+        {
+            let entry = &mut self.statics[field as usize];
+            for &v in vals {
+                if entry.set.insert(v) {
+                    fresh.push(v);
                 }
             }
         }
+        if !fresh.is_empty() {
+            if self.config.track_provenance {
+                for &v in &fresh {
+                    self.static_fld_provenance.insert((field, v), src_key);
+                }
+            }
+            for wi in 0..self.statics[field as usize].witnesses.len() {
+                let to_key = self.statics[field as usize].witnesses[wi];
+                self.stats.fire_static_load += fresh.len() as u64;
+                self.insert_batch(to_key, &fresh, Reason::StaticLoad { field });
+            }
+        }
+        self.buf2 = fresh;
     }
 
     /// Marks `(meth, ctx)` reachable; enqueues its body processing if new.
     fn mark_reachable(&mut self, meth: u32, ctx: u32) {
-        if self.reachable.insert((meth, ctx)) {
+        let before = self.reachable.len();
+        self.reachable.intern((meth, ctx));
+        if self.reachable.len() > before {
             self.reach_queue.push_back((meth, ctx));
         }
     }
@@ -369,12 +551,17 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
     /// `InterProcAssign` edges (first two rules of Figure 2) and marks the
     /// callee reachable.
     fn add_call_edge(&mut self, invo: InvoId, caller_ctx: u32, callee: MethodId, callee_ctx: u32) {
-        if !self
-            .call_graph
-            .insert((invo.raw(), caller_ctx, callee.raw(), callee_ctx))
-        {
+        let site = self.cg_sites.intern((invo.raw(), caller_ctx));
+        if site as usize == self.cg_targets.len() {
+            self.cg_targets.push(Vec::new());
+        }
+        let targets = &mut self.cg_targets[site as usize];
+        if targets.contains(&(callee.raw(), callee_ctx)) {
             return;
         }
+        targets.push((callee.raw(), callee_ctx));
+        self.ctx_cg_edges += 1;
+        self.stats.call_edges += 1;
         self.cg_insens.insert((invo, callee));
         self.mark_reachable(callee.raw(), callee_ctx);
         let formals = self.program.formals(callee);
@@ -400,38 +587,37 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                 .or_default()
                 .push((caller_meth, caller_ctx));
             if let Some(existing) = self.throw_pts.get(&(callee.raw(), callee_ctx)) {
-                let existing = existing.clone();
-                for (h, hc) in existing {
-                    self.handle_incoming_exception(caller_meth, caller_ctx, h, hc);
+                let mut objs = Vec::with_capacity(existing.len());
+                existing.extend_into(&mut objs);
+                for obj in objs {
+                    self.handle_incoming_exception(caller_meth, caller_ctx, obj);
                 }
             }
         }
     }
 
-    /// An exception `(heap, hctx)` has arrived at `(meth, ctx)` — from the
+    /// An exception object has arrived at `(meth, ctx)` — from the
     /// method's own `throw` or from a callee. Any matching catch clause
     /// binds it; if none matches it escapes to `ThrowPointsTo` and
     /// propagates to registered callers.
-    fn handle_incoming_exception(&mut self, meth: u32, ctx: u32, heap: u32, hctx: u32) {
+    fn handle_incoming_exception(&mut self, meth: u32, ctx: u32, obj: u32) {
         let meth_id = MethodId::from_raw(meth);
-        let heap_ty = self.program.heap_type(HeapId::from_raw(heap));
+        let heap_ty = TypeId::from_raw(self.obj_type[obj as usize]);
         let mut caught = false;
-        for i in 0..self.program.catches(meth_id).len() {
-            let (ty, binder) = self.program.catches(meth_id)[i];
+        for &(ty, binder) in self.program.catches(meth_id) {
             if self.program.is_subtype(heap_ty, ty) {
-                self.insert_vpt(binder.raw(), ctx, heap, hctx, Reason::Caught);
+                let bkey = self.key_id(binder.raw(), ctx);
+                self.stats.fire_caught += 1;
+                self.insert_batch(bkey, &[obj], Reason::Caught);
                 caught = true;
             }
         }
-        if !caught && self.throw_set.insert((meth, ctx, heap, hctx)) {
-            self.throw_pts
-                .entry((meth, ctx))
-                .or_default()
-                .push((heap, hctx));
+        if !caught && self.throw_pts.entry((meth, ctx)).or_default().insert(obj) {
+            self.stats.throw_tuples += 1;
             if let Some(listeners) = self.throw_listeners.get(&(meth, ctx)) {
                 let listeners = listeners.clone();
                 for (caller, caller_ctx) in listeners {
-                    self.handle_incoming_exception(caller, caller_ctx, heap, hctx);
+                    self.handle_incoming_exception(caller, caller_ctx, obj);
                 }
             }
         }
@@ -440,24 +626,22 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
     /// Installs an `InterProcAssign` edge and propagates existing facts
     /// across it.
     fn add_ipa_edge(&mut self, from: u32, from_ctx: u32, to: u32, to_ctx: u32) {
-        if !self.ipa_set.insert((from, from_ctx, to, to_ctx)) {
+        let from_key = self.key_id(from, from_ctx);
+        let to_key = self.key_id(to, to_ctx);
+        if self.ipa_out[from_key as usize].contains(&to_key) {
             return;
         }
-        self.ipa
-            .entry((from, from_ctx))
-            .or_default()
-            .push((to, to_ctx));
-        if let Some(existing) = self.pts.get(&(from, from_ctx)) {
-            let existing = existing.clone();
-            for (heap, hctx) in existing {
-                self.insert_vpt(
-                    to,
-                    to_ctx,
-                    heap,
-                    hctx,
-                    Reason::InterProc((from, from_ctx, heap, hctx)),
-                );
-            }
+        self.stats.ipa_edges += 1;
+        self.ipa_out[from_key as usize].push(to_key);
+        if !self.entries[from_key as usize].set.is_empty() {
+            let mut existing = std::mem::take(&mut self.ipa_buf);
+            existing.clear();
+            self.entries[from_key as usize]
+                .set
+                .extend_into(&mut existing);
+            self.stats.fire_interproc += existing.len() as u64;
+            self.insert_batch(to_key, &existing, Reason::InterProc { src_key: from_key });
+            self.ipa_buf = existing;
         }
     }
 
@@ -472,9 +656,12 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             match *instr {
                 Instr::Alloc { var, heap } => {
                     // VarPointsTo(var, ctx, heap, Record(heap, ctx)).
+                    self.stats.fire_alloc += 1;
                     let elem = self.policy.record(heap, ctx_val, self.program);
                     let hctx = self.hctxs.intern(elem);
-                    self.insert_vpt(var.raw(), ctx, heap.raw(), hctx.raw(), Reason::Alloc);
+                    let obj = self.obj_id(heap.raw(), hctx.raw());
+                    let vkey = self.key_id(var.raw(), ctx);
+                    self.insert_batch(vkey, &[obj], Reason::Alloc);
                 }
                 Instr::SCall { target, invo } => {
                     // CallGraph(invo, ctx, target, MergeStatic(invo, ctx)).
@@ -485,22 +672,20 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                 Instr::SLoad { to, field } => {
                     // Static loads fire once the enclosing (method, ctx) is
                     // reachable: register a witness and pull current facts.
-                    let fld = field.raw();
-                    self.static_witness
-                        .entry(fld)
-                        .or_default()
-                        .push((to.raw(), ctx));
-                    if let Some(vals) = self.static_fld.get(&fld) {
-                        let vals = vals.clone();
-                        for (h, hc) in vals {
-                            self.insert_vpt(
-                                to.raw(),
-                                ctx,
-                                h,
-                                hc,
-                                Reason::StaticLoad { field: fld },
-                            );
-                        }
+                    let to_key = self.key_id(to.raw(), ctx);
+                    let fld = field.raw() as usize;
+                    self.statics[fld].witnesses.push(to_key);
+                    if !self.statics[fld].set.is_empty() {
+                        let mut existing = std::mem::take(&mut self.buf);
+                        existing.clear();
+                        self.statics[fld].set.extend_into(&mut existing);
+                        self.stats.fire_static_load += existing.len() as u64;
+                        self.insert_batch(
+                            to_key,
+                            &existing,
+                            Reason::StaticLoad { field: field.raw() },
+                        );
+                        self.buf = existing;
                     }
                 }
                 _ => {}
@@ -508,126 +693,166 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         }
     }
 
-    /// Fires every rule that joins on a new `VarPointsTo` tuple.
-    fn process_vpt(&mut self, (var, ctx, heap, hctx): Vpt) {
-        let heap_id = HeapId::from_raw(heap);
-        let heap_ty = self.program.heap_type(heap_id);
+    /// Drains a key's pending delta and fires every rule that joins on it,
+    /// once per `(edge, batch)`.
+    fn process_key(&mut self, key: u32) {
+        let (var, ctx) = self.vkeys.resolve(key);
+        let delta = std::mem::take(&mut self.entries[key as usize].delta);
+        self.entries[key as usize].queued = false;
+        self.stats.batches += 1;
+        let v = var as usize;
+        let row = self.index.rows[v];
+        let next = self.index.rows[v + 1];
 
-        // Move / Cast: VarPointsTo(to, ctx, heap, hctx) <- Move(to, var).
+        // Move / Cast: VarPointsTo(to, ctx, obj) <- Move(to, var).
         // Casts filter by subtyping (Doop's AssignCast).
-        for i in 0..self.index.assigns[var as usize].len() {
-            let (to, filter) = self.index.assigns[var as usize][i];
-            let pass = match filter {
-                None => true,
-                Some(ty) => self.program.is_subtype(heap_ty, ty),
-            };
-            if pass {
-                self.insert_vpt(
-                    to.raw(),
-                    ctx,
-                    heap,
-                    hctx,
-                    Reason::Assign((var, ctx, heap, hctx)),
-                );
+        for i in row[ROW_ASSIGN] as usize..next[ROW_ASSIGN] as usize {
+            let (to, filter) = self.index.assigns[i];
+            let to_key = self.key_id(to.raw(), ctx);
+            match filter {
+                None => {
+                    self.stats.fire_assign += delta.len() as u64;
+                    self.insert_batch(to_key, &delta, Reason::Assign { src_key: key });
+                }
+                Some(ty) => {
+                    let mut buf = std::mem::take(&mut self.buf);
+                    buf.clear();
+                    for &obj in &delta {
+                        if self
+                            .program
+                            .is_subtype(TypeId::from_raw(self.obj_type[obj as usize]), ty)
+                        {
+                            buf.push(obj);
+                        }
+                    }
+                    self.stats.fire_assign += buf.len() as u64;
+                    self.insert_batch(to_key, &buf, Reason::Assign { src_key: key });
+                    self.buf = buf;
+                }
             }
         }
 
         // InterProcAssign propagation.
-        if let Some(targets) = self.ipa.get(&(var, ctx)) {
-            let targets = targets.clone();
-            for (to, to_ctx) in targets {
-                self.insert_vpt(
-                    to,
-                    to_ctx,
-                    heap,
-                    hctx,
-                    Reason::InterProc((var, ctx, heap, hctx)),
-                );
-            }
+        for i in 0..self.ipa_out[key as usize].len() {
+            let to_key = self.ipa_out[key as usize][i];
+            self.stats.fire_interproc += delta.len() as u64;
+            self.insert_batch(to_key, &delta, Reason::InterProc { src_key: key });
         }
 
-        // Loads where `var` is the base: register a witness and pull
-        // existing field facts.
-        for i in 0..self.index.loads_on[var as usize].len() {
-            let (to, field) = self.index.loads_on[var as usize][i];
-            let key = (heap, hctx, field.raw());
-            self.load_witness
-                .entry(key)
-                .or_default()
-                .push((to.raw(), ctx, var));
-            if let Some(vals) = self.fld_pts.get(&key) {
-                let vals = vals.clone();
-                for (h2, hc2) in vals {
-                    self.insert_vpt(
-                        to.raw(),
-                        ctx,
-                        h2,
-                        hc2,
+        // Loads where `var` is the base: register a witness per new base
+        // object and pull existing field facts.
+        for i in row[ROW_LOAD_ON] as usize..next[ROW_LOAD_ON] as usize {
+            let (to, field) = self.index.loads_on[i];
+            let to_key = self.key_id(to.raw(), ctx);
+            for &base_obj in &delta {
+                let fe = self.fld_id(base_obj, field.raw());
+                self.fentries[fe as usize].witnesses.push((to_key, key));
+                if !self.fentries[fe as usize].set.is_empty() {
+                    let mut buf = std::mem::take(&mut self.buf);
+                    buf.clear();
+                    self.fentries[fe as usize].set.extend_into(&mut buf);
+                    self.stats.fire_load += buf.len() as u64;
+                    self.insert_batch(
+                        to_key,
+                        &buf,
                         Reason::Load {
-                            base: (var, ctx, heap, hctx),
+                            base_key: key,
+                            base_obj,
                             field: field.raw(),
                         },
                     );
+                    self.buf = buf;
                 }
             }
         }
 
-        // Stores where `var` is the base: FldPointsTo(heap, hctx, fld, *pts(from, ctx)).
-        for i in 0..self.index.stores_on[var as usize].len() {
-            let (field, from) = self.index.stores_on[var as usize][i];
-            if let Some(vals) = self.pts.get(&(from.raw(), ctx)) {
-                let vals = vals.clone();
-                for (h2, hc2) in vals {
-                    self.insert_fld(heap, hctx, field.raw(), h2, hc2, (from.raw(), ctx, h2, hc2));
-                }
+        // Stores where `var` is the base:
+        // FldPointsTo(baseObj, fld, *pts(from, ctx)).
+        for i in row[ROW_STORE_ON] as usize..next[ROW_STORE_ON] as usize {
+            let (field, from) = self.index.stores_on[i];
+            let Some(from_key) = self.vkeys.get((from.raw(), ctx)) else {
+                continue;
+            };
+            if self.entries[from_key as usize].set.is_empty() {
+                continue;
             }
+            let mut buf = std::mem::take(&mut self.buf);
+            buf.clear();
+            self.entries[from_key as usize].set.extend_into(&mut buf);
+            for &base_obj in &delta {
+                self.insert_fld_batch(base_obj, field.raw(), &buf, from_key);
+            }
+            self.buf = buf;
         }
 
-        // Stores where `var` is the source: FldPointsTo(*pts(base, ctx), fld, heap, hctx).
-        for i in 0..self.index.stores_of[var as usize].len() {
-            let (base, field) = self.index.stores_of[var as usize][i];
-            if let Some(bases) = self.pts.get(&(base.raw(), ctx)) {
-                let bases = bases.clone();
-                for (bh, bhc) in bases {
-                    self.insert_fld(bh, bhc, field.raw(), heap, hctx, (var, ctx, heap, hctx));
-                }
+        // Stores where `var` is the source:
+        // FldPointsTo(*pts(base, ctx), fld, delta).
+        for i in row[ROW_STORE_OF] as usize..next[ROW_STORE_OF] as usize {
+            let (base, field) = self.index.stores_of[i];
+            let Some(base_key) = self.vkeys.get((base.raw(), ctx)) else {
+                continue;
+            };
+            if self.entries[base_key as usize].set.is_empty() {
+                continue;
             }
+            let mut bases = std::mem::take(&mut self.buf);
+            bases.clear();
+            self.entries[base_key as usize].set.extend_into(&mut bases);
+            for &base_obj in &bases {
+                self.insert_fld_batch(base_obj, field.raw(), &delta, key);
+            }
+            self.buf = bases;
         }
 
         // Throws of `var`: the exception arrives at the enclosing method.
-        if self.index.thrown[var as usize] {
+        if row[ROW_THROWN] != 0 {
             let meth = self.program.var_method(VarId::from_raw(var)).raw();
-            self.handle_incoming_exception(meth, ctx, heap, hctx);
+            for &obj in &delta {
+                self.handle_incoming_exception(meth, ctx, obj);
+            }
         }
 
         // Static-field stores where `var` is the source.
-        for i in 0..self.index.sstores_of[var as usize].len() {
-            let field = self.index.sstores_of[var as usize][i];
-            self.insert_static_fld(field.raw(), heap, hctx, (var, ctx, heap, hctx));
+        for i in row[ROW_SSTORE_OF] as usize..next[ROW_SSTORE_OF] as usize {
+            let field = self.index.sstores_of[i];
+            self.insert_static_batch(field.raw(), &delta, key);
         }
 
         // Virtual calls where `var` is the receiver: dispatch, Merge, and
         // derive CallGraph + this-points-to + Reachable.
-        for i in 0..self.index.vcalls_on[var as usize].len() {
-            let (sig, invo) = self.index.vcalls_on[var as usize][i];
-            if let Some(callee) = self.program.lookup(heap_ty, sig) {
-                let ctx_val = self.ctxs.resolve(CtxId::from_raw(ctx));
-                let hctx_val = self.hctxs.resolve(HCtxId::from_raw(hctx));
-                let callee_ctx_val =
-                    self.policy
-                        .merge(heap_id, hctx_val, invo, ctx_val, self.program);
-                let callee_ctx = self.ctxs.intern(callee_ctx_val);
-                self.add_call_edge(invo, ctx, callee, callee_ctx.raw());
-                if let Some(this) = self.program.this_var(callee) {
-                    // VarPointsTo(this, calleeCtx, heap, hctx) — per
-                    // receiver tuple, even when the call-graph edge existed.
-                    self.insert_vpt(
-                        this.raw(),
-                        callee_ctx.raw(),
-                        heap,
-                        hctx,
-                        Reason::ThisBinding { invo: invo.raw() },
-                    );
+        let vcall_rng = row[ROW_VCALL_ON] as usize..next[ROW_VCALL_ON] as usize;
+        if !vcall_rng.is_empty() {
+            let ctx_val = self.ctxs.resolve(CtxId::from_raw(ctx));
+            for i in vcall_rng {
+                let (sig, invo) = self.index.vcalls_on[i];
+                for &obj in &delta {
+                    self.stats.fire_vcall_dispatch += 1;
+                    let heap_ty = TypeId::from_raw(self.obj_type[obj as usize]);
+                    if let Some(callee) = self.program.lookup(heap_ty, sig) {
+                        let (heap, hctx) = self.objs.resolve(obj);
+                        let hctx_val = self.hctxs.resolve(HCtxId::from_raw(hctx));
+                        let callee_ctx_val = self.policy.merge(
+                            HeapId::from_raw(heap),
+                            hctx_val,
+                            invo,
+                            ctx_val,
+                            self.program,
+                        );
+                        let callee_ctx = self.ctxs.intern(callee_ctx_val);
+                        self.add_call_edge(invo, ctx, callee, callee_ctx.raw());
+                        if let Some(this) = self.program.this_var(callee) {
+                            // VarPointsTo(this, calleeCtx, obj) — per
+                            // receiver object, even when the call-graph
+                            // edge existed.
+                            let tkey = self.key_id(this.raw(), callee_ctx.raw());
+                            self.stats.fire_this_binding += 1;
+                            self.insert_batch(
+                                tkey,
+                                &[obj],
+                                Reason::ThisBinding { invo: invo.raw() },
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -635,21 +860,67 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
 
     // ----- result construction ----------------------------------------------
 
-    fn into_result(self) -> PointsToResult {
-        let mut var_points_to: FxHashMap<VarId, Vec<HeapId>> = FxHashMap::default();
-        {
-            let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
-            for &(var, _ctx, heap, _hctx) in &self.vpt_set {
-                if seen.insert((var, heap)) {
-                    var_points_to
-                        .entry(VarId::from_raw(var))
-                        .or_default()
-                        .push(HeapId::from_raw(heap));
+    fn into_result(mut self) -> PointsToResult {
+        self.stats.contexts = self.ctxs.len() as u64;
+        self.stats.heap_contexts = self.hctxs.len() as u64;
+        self.stats.objects = self.objs.len() as u64;
+
+        // Resolves a dense (key, object) pair to the public tuple form.
+        let tuple =
+            |vkeys: &DenseMap<(u32, u32)>, objs: &DenseMap<(u32, u32)>, key: u32, obj: u32| {
+                let (var, ctx) = vkeys.resolve(key);
+                let (heap, hctx) = objs.resolve(obj);
+                CtxVarPointsTo {
+                    var: VarId::from_raw(var),
+                    ctx: CtxId::from_raw(ctx),
+                    heap: HeapId::from_raw(heap),
+                    hctx: HCtxId::from_raw(hctx),
                 }
+            };
+
+        // Context-insensitive projection via counting sort over variables:
+        // scatter every tuple's heap into one flat per-var-segmented array,
+        // then sort/dedup each segment — no per-tuple hashing.
+        let mut ctx_vpt_count = 0u64;
+        let n_vars = self.program.var_count();
+        let mut starts = vec![0u32; n_vars + 1];
+        for (key, entry) in self.entries.iter().enumerate() {
+            ctx_vpt_count += entry.set.len() as u64;
+            let (var, _ctx) = self.vkeys.resolve(key as u32);
+            starts[var as usize + 1] += entry.set.len() as u32;
+        }
+        for i in 0..n_vars {
+            starts[i + 1] += starts[i];
+        }
+        let mut flat = vec![0u32; ctx_vpt_count as usize];
+        let mut cursor = starts.clone();
+        for (key, entry) in self.entries.iter().enumerate() {
+            if entry.set.is_empty() {
+                continue;
+            }
+            let (var, _ctx) = self.vkeys.resolve(key as u32);
+            let c = &mut cursor[var as usize];
+            for obj in entry.set.iter() {
+                flat[*c as usize] = self.objs.resolve(obj).0;
+                *c += 1;
             }
         }
-        for v in var_points_to.values_mut() {
-            v.sort_unstable();
+        let mut var_points_to: FxHashMap<VarId, Vec<HeapId>> = FxHashMap::default();
+        for var in 0..n_vars {
+            let seg = &mut flat[starts[var] as usize..starts[var + 1] as usize];
+            if seg.is_empty() {
+                continue;
+            }
+            seg.sort_unstable();
+            let mut heaps: Vec<HeapId> = Vec::with_capacity(seg.len());
+            let mut last = u32::MAX;
+            for &h in seg.iter() {
+                if h != last {
+                    heaps.push(HeapId::from_raw(h));
+                    last = h;
+                }
+            }
+            var_points_to.insert(VarId::from_raw(var as u32), heaps);
         }
 
         let mut call_targets: FxHashMap<InvoId, Vec<MethodId>> = FxHashMap::default();
@@ -662,22 +933,18 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         }
 
         let mut reachable: FxHashSet<MethodId> = FxHashSet::default();
-        for &(m, _ctx) in &self.reachable {
+        for &(m, _ctx) in self.reachable.keys() {
             reachable.insert(MethodId::from_raw(m));
         }
 
         let tuples = if self.config.keep_tuples {
-            Some(
-                self.vpt_set
-                    .iter()
-                    .map(|&(var, ctx, heap, hctx)| CtxVarPointsTo {
-                        var: VarId::from_raw(var),
-                        ctx: CtxId::from_raw(ctx),
-                        heap: HeapId::from_raw(heap),
-                        hctx: HCtxId::from_raw(hctx),
-                    })
-                    .collect(),
-            )
+            let mut out = Vec::with_capacity(ctx_vpt_count as usize);
+            for (key, entry) in self.entries.iter().enumerate() {
+                for obj in entry.set.iter() {
+                    out.push(tuple(&self.vkeys, &self.objs, key as u32, obj));
+                }
+            }
+            Some(out)
         } else {
             None
         };
@@ -685,18 +952,22 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         let provenance = if self.config.track_provenance {
             Some(
                 self.provenance
-                    .into_iter()
-                    .map(|(t, r)| {
+                    .iter()
+                    .map(|(&(key, obj), &r)| {
                         let d = match r {
                             Reason::Alloc => Derivation::Alloc,
-                            Reason::Assign(src) => Derivation::Assign {
-                                from: to_tuple(src),
+                            Reason::Assign { src_key } => Derivation::Assign {
+                                from: tuple(&self.vkeys, &self.objs, src_key, obj),
                             },
-                            Reason::InterProc(src) => Derivation::InterProc {
-                                from: to_tuple(src),
+                            Reason::InterProc { src_key } => Derivation::InterProc {
+                                from: tuple(&self.vkeys, &self.objs, src_key, obj),
                             },
-                            Reason::Load { base, field } => Derivation::Load {
-                                base: to_tuple(base),
+                            Reason::Load {
+                                base_key,
+                                base_obj,
+                                field,
+                            } => Derivation::Load {
+                                base: tuple(&self.vkeys, &self.objs, base_key, base_obj),
                                 field: FieldId::from_raw(field),
                             },
                             Reason::ThisBinding { invo } => Derivation::ThisBinding {
@@ -707,13 +978,14 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                             },
                             Reason::Caught => Derivation::Caught,
                         };
-                        (to_tuple(t), d)
+                        (tuple(&self.vkeys, &self.objs, key, obj), d)
                     })
                     .collect(),
             )
         } else {
             None
         };
+
         let mut uncaught: Vec<HeapId> = {
             let entries: FxHashSet<u32> = self
                 .program
@@ -722,27 +994,34 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                 .map(|m| m.raw())
                 .collect();
             let mut set: FxHashSet<HeapId> = FxHashSet::default();
-            for &(m, _ctx, h, _hc) in &self.throw_set {
+            for (&(m, _ctx), escaping) in &self.throw_pts {
                 if entries.contains(&m) {
-                    set.insert(HeapId::from_raw(h));
+                    for obj in escaping.iter() {
+                        set.insert(HeapId::from_raw(self.objs.resolve(obj).0));
+                    }
                 }
             }
             set.into_iter().collect()
         };
         uncaught.sort_unstable();
 
-        let static_fld_provenance = if self.config.track_provenance {
+        let fld_provenance = if self.config.track_provenance {
             Some(
-                self.static_fld_provenance
-                    .into_iter()
-                    .map(|((fld, h, hc), v)| {
+                self.fld_provenance
+                    .iter()
+                    .map(|(&(fe, val_obj), &src_key)| {
+                        let (base_obj, field) = self.fkeys.resolve(fe);
+                        let (bh, bhc) = self.objs.resolve(base_obj);
+                        let (h, hc) = self.objs.resolve(val_obj);
                         (
                             (
-                                FieldId::from_raw(fld),
+                                HeapId::from_raw(bh),
+                                HCtxId::from_raw(bhc),
+                                FieldId::from_raw(field),
                                 HeapId::from_raw(h),
                                 HCtxId::from_raw(hc),
                             ),
-                            to_tuple(v),
+                            tuple(&self.vkeys, &self.objs, src_key, val_obj),
                         )
                     })
                     .collect(),
@@ -750,20 +1029,19 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         } else {
             None
         };
-        let fld_provenance = if self.config.track_provenance {
+        let static_fld_provenance = if self.config.track_provenance {
             Some(
-                self.fld_provenance
-                    .into_iter()
-                    .map(|((bh, bhc, fld, h, hc), v)| {
+                self.static_fld_provenance
+                    .iter()
+                    .map(|(&(fld, val_obj), &src_key)| {
+                        let (h, hc) = self.objs.resolve(val_obj);
                         (
                             (
-                                HeapId::from_raw(bh),
-                                HCtxId::from_raw(bhc),
                                 FieldId::from_raw(fld),
                                 HeapId::from_raw(h),
                                 HCtxId::from_raw(hc),
                             ),
-                            to_tuple(v),
+                            tuple(&self.vkeys, &self.objs, src_key, val_obj),
                         )
                     })
                     .collect(),
@@ -777,8 +1055,8 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             call_graph_edges: self.cg_insens.len(),
             call_targets,
             reachable,
-            ctx_vpt_count: self.vpt_set.len() as u64,
-            ctx_call_graph_edges: self.call_graph.len() as u64,
+            ctx_vpt_count,
+            ctx_call_graph_edges: self.ctx_cg_edges,
             ctx_reachable_count: self.reachable.len() as u64,
             ctx_count: self.ctxs.len(),
             hctx_count: self.hctxs.len(),
@@ -789,6 +1067,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             uncaught,
             ctx_interner: self.ctxs,
             hctx_interner: self.hctxs,
+            stats: self.stats,
         }
     }
 }

@@ -237,6 +237,13 @@ impl Program {
         self.vars.len()
     }
 
+    /// Total instruction count across all method bodies. Used by solvers to
+    /// pre-size worklists, indices and interners before the first tuple is
+    /// derived.
+    pub fn instr_count(&self) -> usize {
+        self.methods.iter().map(|m| m.instrs.len()).sum()
+    }
+
     /// Number of allocation sites (`|H|`).
     pub fn heap_count(&self) -> usize {
         self.heaps.len()

@@ -13,6 +13,11 @@
 //!     --exceptions         print exception sites that may escape main
 //!     --hot                print the context/tuple distribution and the
 //!                          methods dominating analysis cost
+//!     --stats              print the solver's internal counters (rule
+//!                          firings, dedup traffic, worklist shape)
+//!     --format text|json   output format (default text); json emits one
+//!                          object per analysis with any --metrics under
+//!                          "metrics" and any --stats under "stats"
 //!     --datalog            evaluate on the Datalog back end instead
 //! pta workload NAME [--scale S] [--print]
 //!                                        generate a synthetic DaCapo
@@ -108,11 +113,24 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let mut devirt = false;
     let mut exceptions = false;
     let mut datalog = false;
+    let mut stats = false;
+    let mut json = false;
     let mut points_to: Vec<String> = Vec::new();
     let mut explain: Vec<String> = Vec::new();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("text") => json = false,
+                    Some("json") => json = true,
+                    _ => {
+                        eprintln!("error: --format needs `text` or `json`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--analysis" => {
                 i += 1;
                 match args.get(i).map(|s| s.parse::<Analysis>()) {
@@ -144,6 +162,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 }
             }
             "--metrics" => metrics = true,
+            "--stats" => stats = true,
             "--hot" => hot = true,
             "--casts" => casts = true,
             "--devirt" => devirt = true,
@@ -159,7 +178,28 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     if analyses.is_empty() {
         analyses.push(Analysis::STwoObjH);
     }
+    if json {
+        // The flags below produce free-form text walks (derivations, cast
+        // listings, …) with no JSON rendering; refuse rather than silently
+        // drop them from the output.
+        for (flag, used) in [
+            ("--points-to", !points_to.is_empty()),
+            ("--explain", !explain.is_empty()),
+            ("--hot", hot),
+            ("--casts", casts),
+            ("--devirt", devirt),
+            ("--exceptions", exceptions),
+        ] {
+            if used {
+                eprintln!("error: {flag} has no JSON rendering; drop it or use --format text");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
+    // Keep each (analysis, result) alive until the end so JSON reports can
+    // borrow them and print as one array.
+    let mut runs: Vec<(Analysis, f64, PointsToResult)> = Vec::new();
     for analysis in analyses {
         let start = std::time::Instant::now();
         let result: PointsToResult = if datalog {
@@ -181,6 +221,10 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             )
         };
         let elapsed = start.elapsed();
+        if json {
+            runs.push((analysis, elapsed.as_secs_f64(), result));
+            continue;
+        }
         println!(
             "== {analysis} ({}; {elapsed:.2?}): {} reachable methods, {} call-graph edges",
             if datalog {
@@ -204,6 +248,10 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 m.contexts,
                 m.heap_contexts,
             );
+        }
+        if stats {
+            println!("   solver counters:");
+            println!("{}", result.solver_stats());
         }
         for name in &points_to {
             print_points_to(&program, &result, name);
@@ -266,6 +314,27 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 );
             }
         }
+    }
+    if json {
+        let metric_sets: Vec<Option<pta_clients::ExperimentMetrics>> = runs
+            .iter()
+            .map(|(_, _, result)| metrics.then(|| precision_metrics(&program, result)))
+            .collect();
+        let reports: Vec<hybrid_pta::report::AnalysisReport<'_>> = runs
+            .iter()
+            .zip(&metric_sets)
+            .map(
+                |((analysis, time_secs, result), m)| hybrid_pta::report::AnalysisReport {
+                    analysis: analysis.name(),
+                    backend: if datalog { "datalog" } else { "specialized" },
+                    time_secs: *time_secs,
+                    result,
+                    metrics: m.as_ref(),
+                    include_stats: stats,
+                },
+            )
+            .collect();
+        println!("{}", hybrid_pta::report::reports_to_json(&reports));
     }
     ExitCode::SUCCESS
 }

@@ -1,5 +1,7 @@
 //! Facade crate — re-exports the full hybrid points-to analysis stack.
 //! See README.md for the architecture overview.
+pub mod report;
+
 pub use pta_clients as clients;
 pub use pta_core as core;
 pub use pta_datalog as datalog;

@@ -1,0 +1,98 @@
+//! Machine-readable reports for `pta analyze`.
+//!
+//! `pta analyze --format json` emits one JSON object per analysis run (an
+//! array when several `--analysis` flags are given) so scripts can consume
+//! results without scraping the human-oriented text output. The solver's
+//! always-on counters ride along under the `"stats"` key when `--stats` is
+//! passed. Hand-rolled JSON: the toolchain runs fully offline, so there is
+//! no serde; the shape is locked down by `tests/cli_report.rs`.
+
+use pta_clients::ExperimentMetrics;
+use pta_core::PointsToResult;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Everything one `pta analyze` run wants to report. `time_secs` is passed
+/// in (not measured here) so tests can pin it and compare golden output.
+pub struct AnalysisReport<'a> {
+    /// Paper-style analysis name (e.g. `S-2obj+H`).
+    pub analysis: &'a str,
+    /// `"specialized"` or `"datalog"`.
+    pub backend: &'a str,
+    /// Wall-clock solve time.
+    pub time_secs: f64,
+    /// The solved result.
+    pub result: &'a PointsToResult,
+    /// Table 1 metric set, when `--metrics` was passed.
+    pub metrics: Option<&'a ExperimentMetrics>,
+    /// Include the solver counters under `"stats"` (`--stats`).
+    pub include_stats: bool,
+}
+
+impl AnalysisReport<'_> {
+    /// Renders the report as a single JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"analysis\":\"{}\",\"backend\":\"{}\",\"time_secs\":{},\
+             \"reachable_methods\":{},\"call_graph_edges\":{}",
+            esc(self.analysis),
+            esc(self.backend),
+            if self.time_secs.is_finite() {
+                format!("{}", self.time_secs)
+            } else {
+                "null".to_owned()
+            },
+            self.result.reachable_method_count(),
+            self.result.call_graph_edge_count(),
+        );
+        if let Some(m) = self.metrics {
+            out.push_str(&format!(
+                ",\"metrics\":{{\"avg_objs_per_var\":{},\"poly_v_calls\":{},\
+                 \"reachable_v_calls\":{},\"may_fail_casts\":{},\"reachable_casts\":{},\
+                 \"sensitive_var_points_to\":{},\"contexts\":{},\"heap_contexts\":{},\
+                 \"uncaught_exception_sites\":{}}}",
+                m.avg_var_points_to,
+                m.poly_virtual_calls,
+                m.reachable_virtual_calls,
+                m.may_fail_casts,
+                m.reachable_casts,
+                m.ctx_var_points_to,
+                m.contexts,
+                m.heap_contexts,
+                m.uncaught_exception_sites,
+            ));
+        }
+        if self.include_stats {
+            out.push_str(&format!(
+                ",\"stats\":{}",
+                self.result.solver_stats().to_json()
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders several per-analysis reports as a JSON array (the `--format
+/// json` top level, even for a single analysis — a stable shape is easier
+/// to consume than object-or-array).
+#[must_use]
+pub fn reports_to_json(reports: &[AnalysisReport<'_>]) -> String {
+    let body: Vec<String> = reports.iter().map(AnalysisReport::to_json).collect();
+    format!("[{}]", body.join(","))
+}

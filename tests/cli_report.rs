@@ -1,0 +1,110 @@
+//! Golden tests for the `pta analyze --format json` report shape
+//! (`hybrid_pta::report`). The JSON is hand-rolled, so these tests pin the
+//! exact bytes for a deterministic fixture — any emitter change must be a
+//! deliberate golden update here.
+
+use hybrid_pta::clients::precision_metrics;
+use hybrid_pta::core::{analyze, Analysis};
+use hybrid_pta::lang::parse_program;
+use hybrid_pta::report::{reports_to_json, AnalysisReport};
+
+const MOTIVATING: &str = include_str!("../examples/programs/motivating.jir");
+
+#[test]
+fn minimal_report_golden() {
+    let program = parse_program(MOTIVATING).unwrap();
+    let result = analyze(&program, &Analysis::Insens);
+    let report = AnalysisReport {
+        analysis: Analysis::Insens.name(),
+        backend: "specialized",
+        time_secs: 0.25,
+        result: &result,
+        metrics: None,
+        include_stats: false,
+    };
+    assert_eq!(
+        report.to_json(),
+        "{\"analysis\":\"insens\",\"backend\":\"specialized\",\"time_secs\":0.25,\
+         \"reachable_methods\":2,\"call_graph_edges\":2}"
+    );
+}
+
+#[test]
+fn stats_ride_under_the_stats_key() {
+    let program = parse_program(MOTIVATING).unwrap();
+    let result = analyze(&program, &Analysis::STwoObjH);
+    let report = AnalysisReport {
+        analysis: Analysis::STwoObjH.name(),
+        backend: "specialized",
+        time_secs: 0.5,
+        result: &result,
+        metrics: None,
+        include_stats: true,
+    };
+    let json = report.to_json();
+    // The counters appear as a nested object under "stats", mirroring the
+    // live values, ending with the derived dedup rate.
+    let stats = result.solver_stats();
+    assert!(json.contains(&format!(
+        "\"stats\":{{\"vpt_inserted\":{},\"vpt_dup\":{},",
+        stats.vpt_inserted, stats.vpt_dup
+    )));
+    assert!(json.contains("\"dedup_hit_rate\":"));
+    assert!(json.ends_with("}}"));
+}
+
+#[test]
+fn metrics_and_array_shape_golden() {
+    let program = parse_program(MOTIVATING).unwrap();
+    let result = analyze(&program, &Analysis::OneObj);
+    let metrics = precision_metrics(&program, &result);
+    let reports = [AnalysisReport {
+        analysis: Analysis::OneObj.name(),
+        backend: "specialized",
+        time_secs: 0.125,
+        result: &result,
+        metrics: Some(&metrics),
+        include_stats: false,
+    }];
+    let json = reports_to_json(&reports);
+    assert_eq!(
+        json,
+        format!(
+            "[{{\"analysis\":\"1obj\",\"backend\":\"specialized\",\"time_secs\":0.125,\
+             \"reachable_methods\":{},\"call_graph_edges\":{},\
+             \"metrics\":{{\"avg_objs_per_var\":{},\"poly_v_calls\":{},\
+             \"reachable_v_calls\":{},\"may_fail_casts\":{},\"reachable_casts\":{},\
+             \"sensitive_var_points_to\":{},\"contexts\":{},\"heap_contexts\":{},\
+             \"uncaught_exception_sites\":{}}}}}]",
+            result.reachable_method_count(),
+            result.call_graph_edge_count(),
+            metrics.avg_var_points_to,
+            metrics.poly_virtual_calls,
+            metrics.reachable_virtual_calls,
+            metrics.may_fail_casts,
+            metrics.reachable_casts,
+            metrics.ctx_var_points_to,
+            metrics.contexts,
+            metrics.heap_contexts,
+            metrics.uncaught_exception_sites,
+        )
+    );
+}
+
+#[test]
+fn json_string_escaping() {
+    // Analysis names never need escaping today, but the emitter must not
+    // corrupt a future name or backend label containing specials.
+    let program = parse_program(MOTIVATING).unwrap();
+    let result = analyze(&program, &Analysis::Insens);
+    let report = AnalysisReport {
+        analysis: "a\"b\\c",
+        backend: "x\ny",
+        time_secs: 0.0,
+        result: &result,
+        metrics: None,
+        include_stats: false,
+    };
+    let json = report.to_json();
+    assert!(json.starts_with("{\"analysis\":\"a\\\"b\\\\c\",\"backend\":\"x\\ny\","));
+}

@@ -50,6 +50,41 @@ fn assert_identical(program: &Program, analysis: Analysis, label: &str) {
         slow.ctx_call_graph_edge_count(),
         "{label}/{analysis}: context-sensitive edge count"
     );
+    assert_eq!(
+        fast.uncaught_exceptions(),
+        slow.uncaught_exceptions(),
+        "{label}/{analysis}: uncaught-exception sites (ThrowPointsTo projection)"
+    );
+}
+
+/// One analysis across every DaCapo configuration — the per-policy guard
+/// that keeps the dense solver honest against the literal rule set after
+/// representation changes in its hot paths.
+fn assert_identical_on_all_dacapo(analysis: Analysis) {
+    for name in hybrid_pta::workload::DACAPO_NAMES {
+        let program = hybrid_pta::workload::dacapo_workload(name, 0.15);
+        assert_identical(&program, analysis, name);
+    }
+}
+
+#[test]
+fn insens_agrees_on_every_dacapo_config() {
+    assert_identical_on_all_dacapo(Analysis::Insens);
+}
+
+#[test]
+fn one_call_agrees_on_every_dacapo_config() {
+    assert_identical_on_all_dacapo(Analysis::OneCall);
+}
+
+#[test]
+fn selective_b_one_obj_agrees_on_every_dacapo_config() {
+    assert_identical_on_all_dacapo(Analysis::SBOneObj);
+}
+
+#[test]
+fn selective_two_obj_h_agrees_on_every_dacapo_config() {
+    assert_identical_on_all_dacapo(Analysis::STwoObjH);
 }
 
 #[test]
