@@ -16,13 +16,29 @@ cargo build --release
 echo "==> tier-1: cargo test"
 cargo test -q
 
+# Gating: the fault-injection / governance suite (all four Termination
+# variants, budget determinism, mid-run demotion soundness).
+echo "==> tier-1: governance + fault-injection suite"
+cargo test -q -p pta-core --test governance
+
+# Gating: starved-budget smoke. A deliberately exhausted step budget
+# under --degrade must still exit 0 and report its demotions (W007).
+echo "==> tier-1: starved-budget smoke (--max-steps 1000 --degrade)"
+./target/release/pta workload luindex --scale 0.3 --print > /tmp/ci-starved.jir
+./target/release/pta analyze /tmp/ci-starved.jir --analysis 2obj+H \
+  --max-steps 1000 --degrade > /tmp/ci-starved.out
+grep -q 'W007' /tmp/ci-starved.out
+grep -q 'degraded:' /tmp/ci-starved.out
+echo "    starved smoke OK: degraded run completed with demotions reported"
+
 # Non-gating smoke-perf: run the table1 matrix on the two smallest
 # workloads, dump JSON, and re-parse it with the harness's own checker
 # (12 analyses x 2 workloads = 24 cells). Failures warn but never block —
 # this catches harness bit-rot, not performance regressions.
 echo "==> smoke-perf (non-gating)"
-if ./target/release/table1 --workloads luindex,lusearch --reps 1 \
-      --json /tmp/bench.json >/dev/null 2>&1 \
+if cargo build --release -q -p pta-bench \
+   && ./target/release/table1 --workloads luindex,lusearch --reps 1 \
+      --cell-timeout 300 --json /tmp/bench.json >/dev/null 2>&1 \
    && ./target/release/table1 --check /tmp/bench.json --expect-cells 24; then
   echo "    smoke-perf OK"
 else

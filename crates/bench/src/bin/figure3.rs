@@ -19,7 +19,7 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         eprintln!(
             "usage: figure3 [--scale S] [--workloads A,B] [--analyses A,B] \
-             [--reps N] [--jobs N] [--json PATH]"
+             [--reps N] [--jobs N] [--cell-timeout SECS] [--json PATH]"
         );
         return ExitCode::FAILURE;
     }

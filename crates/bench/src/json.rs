@@ -282,6 +282,10 @@ impl Parser<'_> {
 }
 
 /// Fields every [`crate::ExperimentRow`] JSON object must carry.
+///
+/// `status` is deliberately absent: it is validated separately because
+/// dumps from before the per-cell timeout existed (`BENCH_baseline.json`
+/// among them) omit it, and a missing status means `"ok"`.
 const ROW_FIELDS: &[&str] = &[
     "workload",
     "analysis",
@@ -300,19 +304,41 @@ const ROW_FIELDS: &[&str] = &[
     "stats",
 ];
 
+/// What [`validate_rows`] found in a well-formed dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowsSummary {
+    /// Total number of rows (cells) in the dump.
+    pub cells: usize,
+    /// Rows tagged `"status":"timeout"` — cells whose solve exceeded the
+    /// per-cell deadline even after the retry. Their metrics are the
+    /// salvaged partial result, not a real measurement.
+    pub timeouts: usize,
+}
+
 /// Validates a parsed `--json` dump: a non-empty array of rows, each with
 /// the full field set, a non-negative wall time, and a `stats` object with
-/// numeric counters. Returns the number of rows (cells).
+/// numeric counters. Timed-out rows (`"status":"timeout"`) are tolerated
+/// and counted; a missing `status` (legacy dump) means `"ok"`.
 ///
 /// # Errors
 ///
 /// Returns a message naming the first offending row and field.
-pub fn validate_rows(doc: &Value) -> Result<usize, String> {
+pub fn validate_rows(doc: &Value) -> Result<RowsSummary, String> {
     let rows = doc.as_array().ok_or("top level is not an array")?;
     if rows.is_empty() {
         return Err("no rows".to_owned());
     }
+    let mut timeouts = 0;
     for (i, row) in rows.iter().enumerate() {
+        match row.get("status").map(Value::as_str) {
+            None | Some(Some("ok")) => {}
+            Some(Some("timeout")) => timeouts += 1,
+            Some(s) => {
+                return Err(format!(
+                    "row {i}: field \"status\" is malformed: {s:?} (expected \"ok\" or \"timeout\")"
+                ))
+            }
+        }
         for &field in ROW_FIELDS {
             let v = row
                 .get(field)
@@ -337,7 +363,10 @@ pub fn validate_rows(doc: &Value) -> Result<usize, String> {
             }
         }
     }
-    Ok(rows.len())
+    Ok(RowsSummary {
+        cells: rows.len(),
+        timeouts,
+    })
 }
 
 #[cfg(test)]
@@ -374,7 +403,13 @@ mod tests {
         let program = pta_workload::dacapo_workload("luindex", 0.15);
         let row = crate::run_cell("luindex", &program, pta_core::Analysis::OneObj, 1);
         let doc = parse(&crate::rows_to_json(std::slice::from_ref(&row))).unwrap();
-        assert_eq!(validate_rows(&doc), Ok(1));
+        assert_eq!(
+            validate_rows(&doc),
+            Ok(RowsSummary {
+                cells: 1,
+                timeouts: 0
+            })
+        );
         let parsed = &doc.as_array().unwrap()[0];
         assert_eq!(parsed.get("workload").unwrap().as_str(), Some("luindex"));
         assert_eq!(
@@ -398,5 +433,46 @@ mod tests {
             validate_rows(&parse("[]").unwrap()),
             Err("no rows".to_owned())
         );
+    }
+
+    #[test]
+    fn timeout_rows_validate_and_are_counted() {
+        let program = pta_workload::dacapo_workload("luindex", 0.15);
+        let ok = crate::run_cell("luindex", &program, pta_core::Analysis::OneObj, 1);
+        let timed_out = crate::run_cell_governed(
+            "luindex",
+            &program,
+            pta_core::Analysis::STwoObjH,
+            1,
+            Some(1e-6),
+            None,
+        );
+        assert_eq!(timed_out.status, crate::CellStatus::Timeout);
+        let doc = parse(&crate::rows_to_json(&[ok.clone(), timed_out])).unwrap();
+        assert_eq!(
+            validate_rows(&doc),
+            Ok(RowsSummary {
+                cells: 2,
+                timeouts: 1
+            })
+        );
+
+        // Legacy dumps (BENCH_baseline.json) predate the status field;
+        // a missing status reads as "ok".
+        let legacy =
+            crate::rows_to_json(std::slice::from_ref(&ok)).replace("\"status\":\"ok\",", "");
+        assert_eq!(
+            validate_rows(&parse(&legacy).unwrap()),
+            Ok(RowsSummary {
+                cells: 1,
+                timeouts: 0
+            })
+        );
+
+        // Anything else in the status slot is malformed.
+        let bogus = crate::rows_to_json(std::slice::from_ref(&ok))
+            .replace("\"status\":\"ok\"", "\"status\":\"maybe\"");
+        let err = validate_rows(&parse(&bogus).unwrap()).unwrap_err();
+        assert!(err.contains("status"), "{err}");
     }
 }

@@ -24,6 +24,15 @@
 //!   workers; row order in every output is deterministic regardless of
 //!   completion order. Use `--jobs 1` for timing-grade runs — parallel
 //!   cells contend for cores and per-cell times become pessimistic;
+//! - `PTA_CELL_TIMEOUT` / `--cell-timeout SECS` — per-cell wall-clock
+//!   deadline. A cell whose solve trips the deadline is retried once
+//!   (transient contention on a loaded box is the common cause); if the
+//!   retry trips too, the cell's row is emitted with `"status":"timeout"`
+//!   and carries whatever the partial solve salvaged. With a timeout set,
+//!   all cells also share one SIGINT-linked [`pta_core::CancelToken`], so
+//!   ctrl-c drains the matrix cooperatively instead of killing it: every
+//!   unfinished cell comes back as a timeout row and the outputs still
+//!   render;
 //! - `PTA_JSON` / `--json PATH` — dump the raw [`ExperimentRow`]s (wall
 //!   time, precision metrics, and solver counters) as JSON, the format
 //!   checked in as `BENCH_baseline.json` and consumed by `table1 --check`.
@@ -34,10 +43,12 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pta_clients::{precision_metrics, ExperimentMetrics};
-use pta_core::{analyze, Analysis, SolverStats};
+use pta_core::{
+    analyze, analyze_with_config, Analysis, Budget, CancelToken, SolverConfig, SolverStats,
+};
 use pta_ir::{Program, ProgramStats};
 use pta_workload::{dacapo_workload, DACAPO_NAMES};
 
@@ -50,6 +61,29 @@ pub use render::{render_figure3_csv, render_figure3_scatter, render_summary, ren
 // Re-export for binaries.
 pub use pta_workload::dacapo_config as workload_config;
 
+/// How a matrix cell ended: completed, or timed out (even after the one
+/// retry) and the row carries the partial solve's salvaged numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CellStatus {
+    /// The solve reached its fixpoint; the row is a real measurement.
+    #[default]
+    Ok,
+    /// The per-cell deadline (or a shared cancellation) tripped twice;
+    /// every metric in the row under-approximates the true fixpoint.
+    Timeout,
+}
+
+impl CellStatus {
+    /// Stable machine-readable name, used verbatim in JSON rows.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Timeout => "timeout",
+        }
+    }
+}
+
 /// One `(workload, analysis)` measurement: every Table 1 cell group.
 #[derive(Debug, Clone)]
 pub struct ExperimentRow {
@@ -57,6 +91,8 @@ pub struct ExperimentRow {
     pub workload: String,
     /// Analysis name (Table 1 column).
     pub analysis: String,
+    /// Whether the cell completed or timed out.
+    pub status: CellStatus,
     /// Reachable methods ("over ~N meths").
     pub reachable_methods: usize,
     /// "avg objs per var".
@@ -90,6 +126,7 @@ impl ExperimentRow {
     fn new(
         workload: &str,
         analysis: Analysis,
+        status: CellStatus,
         m: &ExperimentMetrics,
         time_secs: f64,
         stats: SolverStats,
@@ -97,6 +134,7 @@ impl ExperimentRow {
         ExperimentRow {
             workload: workload.to_owned(),
             analysis: analysis.name().to_owned(),
+            status,
             reachable_methods: m.reachable_methods,
             avg_objs_per_var: m.avg_var_points_to,
             call_graph_edges: m.call_graph_edges,
@@ -146,13 +184,15 @@ impl ExperimentRow {
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"workload\":\"{}\",\"analysis\":\"{}\",\"reachable_methods\":{},\
+            "{{\"workload\":\"{}\",\"analysis\":\"{}\",\"status\":\"{}\",\
+             \"reachable_methods\":{},\
              \"avg_objs_per_var\":{},\"call_graph_edges\":{},\"poly_v_calls\":{},\
              \"reachable_v_calls\":{},\"may_fail_casts\":{},\"reachable_casts\":{},\
              \"time_secs\":{},\"sensitive_var_points_to\":{},\"contexts\":{},\
              \"heap_contexts\":{},\"uncaught_exception_sites\":{},\"stats\":{}}}",
             json_escape(&self.workload),
             json_escape(&self.analysis),
+            self.status.as_str(),
             self.reachable_methods,
             json_f64(self.avg_objs_per_var),
             self.call_graph_edges,
@@ -192,6 +232,9 @@ pub struct MatrixOptions {
     pub repetitions: usize,
     /// Worker threads for the matrix: `1` = sequential, `0` = one per core.
     pub jobs: usize,
+    /// Per-cell wall-clock deadline in seconds, if any. A tripped cell is
+    /// retried once; a second trip yields a `"status":"timeout"` row.
+    pub cell_timeout: Option<f64>,
     /// Where to dump the rows as JSON after the run, if anywhere.
     pub json_out: Option<String>,
 }
@@ -204,6 +247,7 @@ impl Default for MatrixOptions {
             analyses: Analysis::TABLE1.to_vec(),
             repetitions: 3,
             jobs: 0,
+            cell_timeout: None,
             json_out: None,
         }
     }
@@ -211,8 +255,8 @@ impl Default for MatrixOptions {
 
 impl MatrixOptions {
     /// Reads `PTA_SCALE`, `PTA_WORKLOADS`, `PTA_ANALYSES`, `PTA_REPS`,
-    /// `PTA_JOBS` and `PTA_JSON` from the environment, falling back to
-    /// defaults.
+    /// `PTA_JOBS`, `PTA_CELL_TIMEOUT` and `PTA_JSON` from the
+    /// environment, falling back to defaults.
     ///
     /// # Panics
     ///
@@ -238,6 +282,11 @@ impl MatrixOptions {
         if let Ok(s) = std::env::var("PTA_JOBS") {
             opts.jobs = s.parse().unwrap_or_else(|_| panic!("bad PTA_JOBS: {s:?}"));
         }
+        if let Ok(s) = std::env::var("PTA_CELL_TIMEOUT") {
+            opts.cell_timeout = Some(
+                parse_cell_timeout(&s).unwrap_or_else(|| panic!("bad PTA_CELL_TIMEOUT: {s:?}")),
+            );
+        }
         if let Ok(s) = std::env::var("PTA_JSON") {
             opts.json_out = Some(s);
         }
@@ -246,8 +295,8 @@ impl MatrixOptions {
 
     /// Applies command-line flags on top of the current options. Flags
     /// mirror the environment variables (`--scale`, `--workloads`,
-    /// `--analyses`, `--reps`, `--jobs`, `--json`) and take precedence.
-    /// Unknown flags are an error so typos fail loudly.
+    /// `--analyses`, `--reps`, `--jobs`, `--cell-timeout`, `--json`) and
+    /// take precedence. Unknown flags are an error so typos fail loudly.
     ///
     /// # Errors
     ///
@@ -285,6 +334,12 @@ impl MatrixOptions {
                     let v = value(&mut i, "--jobs")?;
                     self.jobs = v.parse().map_err(|_| format!("bad --jobs: {v:?}"))?;
                 }
+                "--cell-timeout" => {
+                    let v = value(&mut i, "--cell-timeout")?;
+                    self.cell_timeout = Some(parse_cell_timeout(&v).ok_or_else(|| {
+                        format!("bad --cell-timeout: {v:?} (expected seconds > 0)")
+                    })?);
+                }
                 "--json" => {
                     self.json_out = Some(value(&mut i, "--json")?);
                 }
@@ -307,6 +362,14 @@ impl MatrixOptions {
     }
 }
 
+/// Parses a cell timeout: positive, finite seconds.
+fn parse_cell_timeout(s: &str) -> Option<f64> {
+    s.trim()
+        .parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite() && *v > 0.0)
+}
+
 /// Runs one `(program, analysis)` cell, timing the solver only (workload
 /// generation and metric computation excluded), median of `reps` runs.
 pub fn run_cell(
@@ -315,31 +378,88 @@ pub fn run_cell(
     analysis: Analysis,
     reps: usize,
 ) -> ExperimentRow {
+    run_cell_governed(workload, program, analysis, reps, None, None)
+}
+
+/// [`run_cell`] with an optional per-repetition wall-clock deadline and an
+/// optional shared cancellation token (the matrix driver links one to
+/// SIGINT when a timeout is configured).
+///
+/// A repetition whose solve comes back partial is retried once — on a
+/// loaded box the first trip is often transient scheduling noise. If the
+/// retry is partial too, the cell stops burning repetitions and its row is
+/// tagged [`CellStatus::Timeout`], carrying the metrics of the salvaged
+/// partial result (every count under-approximates the true fixpoint).
+pub fn run_cell_governed(
+    workload: &str,
+    program: &Program,
+    analysis: Analysis,
+    reps: usize,
+    cell_timeout: Option<f64>,
+    cancel: Option<&CancelToken>,
+) -> ExperimentRow {
+    let governed = cell_timeout.is_some() || cancel.is_some();
+    let solve = || {
+        let start = Instant::now();
+        let result = if governed {
+            let mut budget = Budget::unlimited();
+            if let Some(secs) = cell_timeout {
+                budget = budget.with_deadline(Duration::from_secs_f64(secs));
+            }
+            analyze_with_config(
+                program,
+                &analysis,
+                SolverConfig {
+                    budget,
+                    cancel: cancel.cloned(),
+                    ..SolverConfig::default()
+                },
+            )
+        } else {
+            analyze(program, &analysis)
+        };
+        (start.elapsed().as_secs_f64(), result)
+    };
     let mut times = Vec::with_capacity(reps.max(1));
     let mut result = None;
+    let mut status = CellStatus::Ok;
+    let mut retried = false;
     for _ in 0..reps.max(1) {
-        let start = Instant::now();
-        let r = analyze(program, &analysis);
-        times.push(start.elapsed().as_secs_f64());
+        let (mut secs, mut r) = solve();
+        if !r.termination().is_complete() && !retried {
+            retried = true;
+            (secs, r) = solve();
+        }
+        let timed_out = !r.termination().is_complete();
+        times.push(secs);
         result = Some(r);
+        if timed_out {
+            status = CellStatus::Timeout;
+            break;
+        }
     }
     times.sort_by(f64::total_cmp);
     let median = times[times.len() / 2];
     let result = result.expect("at least one repetition");
     let stats = *result.solver_stats();
     let metrics = precision_metrics(program, &result);
-    ExperimentRow::new(workload, analysis, &metrics, median, stats)
+    ExperimentRow::new(workload, analysis, status, &metrics, median, stats)
 }
 
 fn log_cell(row: &ExperimentRow) {
     eprintln!(
-        "[pta-bench]   {:>10} {:>10}  {:>8.3}s  vpt {:>10}  casts {}/{}",
+        "[pta-bench]   {:>10} {:>10}  {:>8.3}s  vpt {:>10}  casts {}/{}{}",
         row.workload,
         row.analysis,
         row.time_secs,
         row.sensitive_var_points_to,
         row.may_fail_casts,
-        row.reachable_casts
+        row.reachable_casts,
+        if row.status == CellStatus::Timeout {
+            "  TIMEOUT (partial)"
+        } else {
+            ""
+        }
     );
 }
 
@@ -356,6 +476,13 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
     let cells: Vec<(usize, usize)> = (0..opts.workloads.len())
         .flat_map(|w| (0..opts.analyses.len()).map(move |a| (w, a)))
         .collect();
+    // One SIGINT-linked token shared by every cell: with a per-cell
+    // deadline configured, ctrl-c drains the matrix into timeout rows
+    // instead of killing the process mid-dump.
+    let cancel = opts
+        .cell_timeout
+        .is_some()
+        .then(CancelToken::linked_to_sigint);
     let jobs = opts.effective_jobs().min(cells.len()).max(1);
     if jobs == 1 {
         let mut rows = Vec::with_capacity(cells.len());
@@ -363,7 +490,14 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
             let program = dacapo_workload(name, opts.scale);
             eprintln!("[pta-bench] {name}: {}", ProgramStats::of(&program));
             for &analysis in &opts.analyses {
-                let row = run_cell(name, &program, analysis, opts.repetitions);
+                let row = run_cell_governed(
+                    name,
+                    &program,
+                    analysis,
+                    opts.repetitions,
+                    opts.cell_timeout,
+                    cancel.as_ref(),
+                );
                 log_cell(&row);
                 rows.push(row);
             }
@@ -388,11 +522,13 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(w, a)) = cells.get(i) else { break };
-                let row = run_cell(
+                let row = run_cell_governed(
                     &opts.workloads[w],
                     &programs[w],
                     opts.analyses[a],
                     opts.repetitions,
+                    opts.cell_timeout,
+                    cancel.as_ref(),
                 );
                 log_cell(&row);
                 *slots[i].lock().expect("no panics while holding the slot") = Some(row);
@@ -453,6 +589,7 @@ mod tests {
             analyses: vec![Analysis::Insens, Analysis::STwoObjH],
             repetitions: 1,
             jobs: 1,
+            cell_timeout: None,
             json_out: None,
         };
         let rows = run_matrix(&opts);
@@ -473,6 +610,7 @@ mod tests {
             analyses: vec![Analysis::Insens, Analysis::OneObj, Analysis::STwoObjH],
             repetitions: 1,
             jobs: 1,
+            cell_timeout: None,
             json_out: None,
         };
         let sequential = run_matrix(&opts);
@@ -505,6 +643,8 @@ mod tests {
             "5",
             "--jobs",
             "2",
+            "--cell-timeout",
+            "2.5",
             "--json",
             "/tmp/out.json",
         ]
@@ -517,6 +657,7 @@ mod tests {
         assert_eq!(opts.analyses, vec![Analysis::Insens, Analysis::STwoObjH]);
         assert_eq!(opts.repetitions, 5);
         assert_eq!(opts.jobs, 2);
+        assert_eq!(opts.cell_timeout, Some(2.5));
         assert_eq!(opts.json_out.as_deref(), Some("/tmp/out.json"));
         assert_eq!(opts.effective_jobs(), 2);
 
@@ -528,6 +669,50 @@ mod tests {
             .apply_cli_args(&["--scale".to_string()])
             .unwrap_err()
             .contains("needs a value"));
+        assert!(opts
+            .apply_cli_args(&["--cell-timeout".to_string(), "-1".to_string()])
+            .unwrap_err()
+            .contains("--cell-timeout"));
+    }
+
+    #[test]
+    fn timed_out_cells_are_tagged_and_salvage_the_partial_run() {
+        let program = dacapo_workload("hsqldb", 0.3);
+        // A microsecond deadline trips on the meter's first clock read, on
+        // both the initial attempt and the retry.
+        let row = run_cell_governed("hsqldb", &program, Analysis::TwoObjH, 3, Some(1e-6), None);
+        assert_eq!(row.status, CellStatus::Timeout);
+        assert!(row.to_json().contains("\"status\":\"timeout\""));
+        // The timeout short-circuits the remaining repetitions, and the
+        // salvaged partial numbers under-approximate a complete run.
+        let complete = run_cell("hsqldb", &program, Analysis::TwoObjH, 1);
+        assert_eq!(complete.status, CellStatus::Ok);
+        assert!(row.reachable_methods <= complete.reachable_methods);
+        assert!(row.sensitive_var_points_to <= complete.sensitive_var_points_to);
+    }
+
+    #[test]
+    fn a_shared_cancellation_turns_cells_into_timeout_rows() {
+        let token = CancelToken::new();
+        token.cancel();
+        let program = dacapo_workload("antlr", 0.15);
+        let row = run_cell_governed("antlr", &program, Analysis::STwoObjH, 2, None, Some(&token));
+        assert_eq!(row.status, CellStatus::Timeout);
+    }
+
+    #[test]
+    fn a_roomy_cell_timeout_changes_nothing() {
+        let program = dacapo_workload("luindex", 0.15);
+        let governed =
+            run_cell_governed("luindex", &program, Analysis::OneObj, 1, Some(600.0), None);
+        let plain = run_cell("luindex", &program, Analysis::OneObj, 1);
+        assert_eq!(governed.status, CellStatus::Ok);
+        assert_eq!(
+            governed.sensitive_var_points_to,
+            plain.sensitive_var_points_to
+        );
+        assert_eq!(governed.may_fail_casts, plain.may_fail_casts);
+        assert_eq!(governed.stats, plain.stats);
     }
 
     #[test]
@@ -536,6 +721,7 @@ mod tests {
         let row = run_cell("luindex", &program, Analysis::OneCall, 1);
         let json = row.to_json();
         assert!(json.contains("\"analysis\":\"1call\""));
+        assert!(json.contains("\"status\":\"ok\""));
         assert!(json.contains("\"stats\":{\"vpt_inserted\":"));
         assert!(json.starts_with('{') && json.ends_with('}'));
         let arr = rows_to_json(std::slice::from_ref(&row));

@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::ExperimentRow;
+use crate::{CellStatus, ExperimentRow};
 
 fn by_workload(rows: &[ExperimentRow]) -> BTreeMap<&str, Vec<&ExperimentRow>> {
     let mut map: BTreeMap<&str, Vec<&ExperimentRow>> = BTreeMap::new();
@@ -73,10 +73,13 @@ pub fn render_table1(rows: &[ExperimentRow]) -> String {
             &["2obj+H", "U-2obj+H", "S-2obj+H"],
             &["2type+H", "U-2type+H", "S-2type+H"],
         ];
+        // Timed-out cells report the deadline, not a measurement, so they
+        // never win the best-time star.
         let best_time_of_group = |names: &[&str]| -> Option<f64> {
             names
                 .iter()
                 .filter_map(|n| find(&wrows, n))
+                .filter(|r| r.status == CellStatus::Ok)
                 .map(|r| r.time_secs)
                 .min_by(f64::total_cmp)
         };
@@ -85,14 +88,15 @@ pub fn render_table1(rows: &[ExperimentRow]) -> String {
             let Some(row) = find(&wrows, analysis) else {
                 continue;
             };
-            let star = groups
-                .iter()
-                .find(|g| g.contains(&analysis))
-                .and_then(|g| best_time_of_group(g))
-                .is_some_and(|best| (row.time_secs - best).abs() < 1e-12);
+            let star = row.status == CellStatus::Ok
+                && groups
+                    .iter()
+                    .find(|g| g.contains(&analysis))
+                    .and_then(|g| best_time_of_group(g))
+                    .is_some_and(|best| (row.time_secs - best).abs() < 1e-12);
             let _ = writeln!(
                 out,
-                "{:>11} | {:>12.2} {:>8} {:>12} {:>14} | {:>11.3}{} {:>16}",
+                "{:>11} | {:>12.2} {:>8} {:>12} {:>14} | {:>11.3}{} {:>16}{}",
                 row.analysis,
                 row.avg_objs_per_var,
                 row.call_graph_edges,
@@ -101,6 +105,11 @@ pub fn render_table1(rows: &[ExperimentRow]) -> String {
                 row.time_secs,
                 if star { "*" } else { " " },
                 row.sensitive_var_points_to,
+                if row.status == CellStatus::Timeout {
+                    "  TIMEOUT (partial)"
+                } else {
+                    ""
+                },
             );
             let is_last_present_of_group = groups.iter().any(|g| {
                 g.contains(&analysis) && g.iter().rfind(|n| analyses.contains(n)) == Some(&analysis)
@@ -355,6 +364,7 @@ mod tests {
         ExperimentRow {
             workload: workload.into(),
             analysis: analysis.into(),
+            status: CellStatus::Ok,
             reachable_methods: 100,
             avg_objs_per_var: 2.0,
             call_graph_edges: 500,
@@ -437,6 +447,7 @@ mod edge_case_tests {
         ExperimentRow {
             workload: "w".into(),
             analysis: analysis.into(),
+            status: crate::CellStatus::Ok,
             reachable_methods: 1,
             avg_objs_per_var: 1.0,
             call_graph_edges: 1,

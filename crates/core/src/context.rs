@@ -287,6 +287,14 @@ impl<K: InternKey> DenseMap<K> {
         &self.keys
     }
 
+    /// Bytes held by the key store and probe table (capacity, not
+    /// length: what the allocator actually handed out). This is the
+    /// interned-key component of the solver's budget memory estimate.
+    #[inline]
+    pub(crate) fn mem_bytes(&self) -> u64 {
+        (self.keys.capacity() * std::mem::size_of::<K>() + self.slots.capacity() * 4) as u64
+    }
+
     /// Looks up `key` without inserting.
     #[inline]
     pub(crate) fn get(&self, key: K) -> Option<u32> {
@@ -392,6 +400,11 @@ impl CtxInterner {
         self.map.len()
     }
 
+    /// Bytes held by the interner's tables (budget memory accounting).
+    pub fn mem_bytes(&self) -> u64 {
+        self.map.mem_bytes()
+    }
+
     /// `true` if only the initial context exists... never, after `new`.
     pub fn is_empty(&self) -> bool {
         self.map.len() == 0
@@ -442,6 +455,11 @@ impl HCtxInterner {
     /// Number of distinct heap contexts created.
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Bytes held by the interner's tables (budget memory accounting).
+    pub fn mem_bytes(&self) -> u64 {
+        self.map.mem_bytes()
     }
 
     /// `true` if nothing has been interned.

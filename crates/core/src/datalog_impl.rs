@@ -26,6 +26,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use pta_datalog::{Engine, EngineStats, RelId, Term, VerifyReport};
+use pta_govern::{Budget, CancelToken};
 use pta_ir::hash::{FxHashMap, FxHashSet};
 use pta_ir::{HeapId, Instr, InvoId, MethodId, Program, TypeId, VarId};
 
@@ -55,6 +56,27 @@ pub fn analyze_datalog_with_stats<P>(program: &Program, policy: &P) -> (PointsTo
 where
     P: ContextPolicy + Clone + 'static,
 {
+    analyze_datalog_governed(program, policy, &Budget::unlimited(), None)
+}
+
+/// Like [`analyze_datalog_with_stats`], under a [`Budget`] checked once
+/// per engine round, with optional cooperative cancellation.
+///
+/// On exhaustion the result is tagged with the tripped
+/// [`pta_govern::Termination`] and holds the sound fixpoint prefix the
+/// engine had derived (every projection is a subset of the complete
+/// run's). This back end does not degrade — graceful degradation is a
+/// solver-side strategy — so `PointsToResult::demoted_sites` is always
+/// empty here.
+pub fn analyze_datalog_governed<P>(
+    program: &Program,
+    policy: &P,
+    budget: &Budget,
+    cancel: Option<&CancelToken>,
+) -> (PointsToResult, EngineStats)
+where
+    P: ContextPolicy + Clone + 'static,
+{
     let Fig2Engine {
         mut e,
         vpt,
@@ -76,7 +98,7 @@ where
         !report.has_errors(),
         "datalog rule program failed verification:\n{report}"
     );
-    let stats = e.run();
+    let stats = e.run_governed(budget, cancel);
 
     let mut var_points_to: FxHashMap<VarId, Vec<HeapId>> = FxHashMap::default();
     {
@@ -156,6 +178,9 @@ where
         // The generic engine reports its own EvalStats; the dense solver's
         // counters stay zero for this back end.
         stats: crate::results::SolverStats::default(),
+        termination: stats.termination,
+        // This back end never degrades contexts mid-run.
+        demoted: Vec::new(),
     };
     (result, stats)
 }

@@ -1,0 +1,137 @@
+//! Deterministic fault injection for the resource-governance paths.
+//!
+//! Budget exhaustion is rare by construction — a healthy run never trips
+//! its deadline, step limit or memory cap — so the recovery code
+//! (partial-result construction, graceful degradation, termination
+//! tagging) would normally go untested. A [`FaultPlan`] plants
+//! deterministic trigger points in the solver loop so the test suite can
+//! drive every exhaustion path on purpose:
+//!
+//! * **forced trips** — at a planned step count, the solver behaves
+//!   exactly as if the corresponding budget limit had tripped
+//!   ([`Termination::DeadlineExceeded`] / [`Termination::StepLimit`] /
+//!   [`Termination::MemoryCap`]), exercising the same return-partial /
+//!   degrade decision as a real trip;
+//! * **injected stalls** — a planned per-step sleep that makes a small
+//!   wall-clock deadline trip *for real*, exercising the
+//!   [`BudgetMeter`](pta_govern::BudgetMeter)'s strided clock path.
+//!
+//! Plans are either spelled out explicitly ([`FaultPlan::trip_at`],
+//! [`FaultPlan::stall`]) or derived from a seed ([`FaultPlan::from_seed`])
+//! via the repo's deterministic [`pta_ir::rng::Rng`], so a failing seed
+//! reproduces bit-identically.
+//!
+//! The hooks are compiled unconditionally but are **runtime-gated**: the
+//! solver consults them only when `SolverConfig::fault` is `Some`, so
+//! production runs pay one `Option` test per step and nothing else. (A
+//! `cfg(test)` gate would hide the hooks from integration tests, which
+//! link the library built *without* `cfg(test)`; a cargo feature would be
+//! invisible to plain `cargo test`.)
+
+use pta_govern::Termination;
+use pta_ir::rng::Rng;
+
+/// A deterministic schedule of injected faults for one solver run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Step at which to force a trip, and the termination to force.
+    pub trip: Option<(u64, Termination)>,
+    /// `(period, micros)`: sleep `micros` every `period` steps.
+    pub stall: Option<(u64, u64)>,
+}
+
+impl FaultPlan {
+    /// A plan that forces `termination` once the solver reaches `step`.
+    ///
+    /// `Termination::Complete` is not a fault; forcing it yields an empty
+    /// plan.
+    #[must_use]
+    pub fn trip_at(step: u64, termination: Termination) -> FaultPlan {
+        FaultPlan {
+            trip: (!termination.is_complete()).then_some((step, termination)),
+            stall: None,
+        }
+    }
+
+    /// A plan that sleeps `micros` microseconds every `period` steps
+    /// (used to make small real deadlines trip reliably).
+    #[must_use]
+    pub fn stall(period: u64, micros: u64) -> FaultPlan {
+        FaultPlan {
+            trip: None,
+            stall: Some((period.max(1), micros)),
+        }
+    }
+
+    /// Derives a plan from a seed: a forced trip of a seed-chosen kind at
+    /// a seed-chosen early step, plus a mild stall. Equal seeds yield
+    /// equal plans on every platform.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut rng = Rng::seed_from_u64(seed);
+        let termination = match rng.gen_range(0u32..3) {
+            0 => Termination::DeadlineExceeded,
+            1 => Termination::StepLimit,
+            _ => Termination::MemoryCap,
+        };
+        let step = rng.gen_range(1u64..512);
+        FaultPlan {
+            trip: Some((step, termination)),
+            stall: rng.gen_bool(0.5).then(|| (rng.gen_range(1u64..64), 50)),
+        }
+    }
+
+    /// The termination to force at `step`, if the plan says so. Forced
+    /// trips fire at every step ≥ the planned one so the solver's
+    /// degrade-then-continue path keeps being re-tripped, exactly like a
+    /// real exhausted limit.
+    #[must_use]
+    pub fn forced_trip(&self, step: u64) -> Option<Termination> {
+        match self.trip {
+            Some((at, t)) if step >= at => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Applies the planned stall (if any) for `step`.
+    pub fn apply_stall(&self, step: u64) {
+        if let Some((period, micros)) = self.stall {
+            if step.is_multiple_of(period) {
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_trips_fire_at_and_after_the_planned_step() {
+        let plan = FaultPlan::trip_at(10, Termination::MemoryCap);
+        assert_eq!(plan.forced_trip(9), None);
+        assert_eq!(plan.forced_trip(10), Some(Termination::MemoryCap));
+        assert_eq!(plan.forced_trip(11), Some(Termination::MemoryCap));
+    }
+
+    #[test]
+    fn complete_is_not_a_fault() {
+        assert_eq!(
+            FaultPlan::trip_at(1, Termination::Complete),
+            FaultPlan::default()
+        );
+        assert_eq!(FaultPlan::default().forced_trip(u64::MAX), None);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_always_trip() {
+        for seed in 0..64 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a, b);
+            let (step, t) = a.trip.expect("seeded plans always plant a trip");
+            assert!(step >= 1 && !t.is_complete());
+        }
+    }
+}

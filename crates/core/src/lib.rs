@@ -59,6 +59,7 @@
 
 pub mod context;
 pub mod datalog_impl;
+pub mod fault;
 pub mod policy;
 pub mod pts;
 pub mod results;
@@ -68,7 +69,11 @@ pub use context::{
     ctx1, ctx2, ctx3, hctx1, hctx2, Ctx, CtxElem, CtxElemKind, CtxId, HCtxId, HeapCtx, CTX_EMPTY,
     HCTX_EMPTY,
 };
+pub use fault::FaultPlan;
 pub use policy::{Analysis, ContextPolicy, ParseAnalysisError};
 pub use pts::PtsSet;
-pub use results::{CtxVarPointsTo, Derivation, PointsToResult, SolverStats};
+// Governance vocabulary, re-exported so downstream users configure
+// budgets without naming pta-govern directly.
+pub use pta_govern::{Budget, BudgetMeter, CancelToken, Termination};
+pub use results::{CtxVarPointsTo, DemotedSite, Derivation, PointsToResult, SolverStats};
 pub use solver::{analyze, analyze_with_config, SolverConfig};

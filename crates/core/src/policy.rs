@@ -24,7 +24,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-use pta_ir::{HeapId, InvoId, Program};
+use pta_ir::{HeapId, InvoId, MethodId, Program};
 
 use crate::context::{
     ctx1, ctx2, ctx3, hctx1, hctx2, Ctx, CtxElem, HeapCtx, CTX_EMPTY, HCTX_EMPTY,
@@ -60,6 +60,22 @@ pub trait ContextPolicy {
     /// This constructor is the paper's new degree of freedom: selective
     /// hybrids differ from their base analyses *only* here.
     fn merge_static(&self, invo: InvoId, ctx: Ctx, program: &Program) -> Ctx;
+
+    /// `DEMOTE(meth) = ctx` — the fallback context graceful degradation
+    /// analyzes `meth` under once its context fan-out crosses the budget
+    /// watermark (`SolverConfig::degrade`). Every later call edge into a
+    /// demoted method reuses this single context instead of minting fresh
+    /// ones via [`ContextPolicy::merge`] / [`ContextPolicy::merge_static`].
+    ///
+    /// The default — the empty (context-insensitive) context — is sound
+    /// for every policy: demotion only *merges* contexts, a monotone
+    /// over-approximation that can add spurious flows but never lose real
+    /// ones. Overrides must preserve that property (return a context that
+    /// does not depend on the call that reached the method) and must be
+    /// deterministic, like the other constructors.
+    fn demote(&self, _meth: MethodId, _program: &Program) -> Ctx {
+        CTX_EMPTY
+    }
 }
 
 /// The analyses defined and evaluated in the paper (plus the `2call+H`

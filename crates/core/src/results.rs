@@ -11,10 +11,23 @@
 //! (see `SolverConfig::keep_tuples`) for clients that inspect per-context
 //! facts, such as the `quickstart` example.
 
+use pta_govern::Termination;
 use pta_ir::hash::{FxHashMap, FxHashSet};
 use pta_ir::{FieldId, HeapId, InvoId, MethodId, Program, VarId};
 
 use crate::context::{Ctx, CtxId, CtxInterner, HCtxId, HCtxInterner, HeapCtx};
+
+/// One method demoted to its policy's context-insensitive fallback by
+/// graceful degradation (`SolverConfig::degrade`): its context fan-out
+/// crossed the budget watermark, so every later call edge into it reuses
+/// the demoted context instead of minting fresh ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemotedSite {
+    /// The demoted method.
+    pub method: MethodId,
+    /// The context fan-out the method had reached when it was demoted.
+    pub fanout: u32,
+}
 
 /// One retained context-sensitive points-to tuple.
 #[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
@@ -125,6 +138,12 @@ pub struct SolverStats {
     pub heap_contexts: u64,
     /// Distinct `(heap, heap-context)` objects interned.
     pub objects: u64,
+    /// Fixpoint steps executed (worklist pops; the unit `--max-steps`
+    /// budgets are measured in).
+    pub steps: u64,
+    /// Methods demoted to the context-insensitive fallback by graceful
+    /// degradation.
+    pub demoted_methods: u64,
 }
 
 impl SolverStats {
@@ -166,6 +185,8 @@ impl SolverStats {
             ("contexts", self.contexts),
             ("heap_contexts", self.heap_contexts),
             ("objects", self.objects),
+            ("steps", self.steps),
+            ("demoted_methods", self.demoted_methods),
         ]
     }
 
@@ -215,6 +236,8 @@ pub struct PointsToResult {
     pub(crate) ctx_interner: CtxInterner,
     pub(crate) hctx_interner: HCtxInterner,
     pub(crate) stats: SolverStats,
+    pub(crate) termination: Termination,
+    pub(crate) demoted: Vec<DemotedSite>,
 }
 
 impl PointsToResult {
@@ -290,6 +313,23 @@ impl PointsToResult {
     /// reports its own evaluation statistics instead.
     pub fn solver_stats(&self) -> &SolverStats {
         &self.stats
+    }
+
+    /// How the run ended. [`Termination::Complete`] means the result is
+    /// the full fixpoint (possibly coarsened by graceful degradation —
+    /// see [`PointsToResult::demoted_sites`]); any other variant tags a
+    /// *partial* result, a sound prefix of the fixpoint whose facts are
+    /// all valid derivations but whose sets may still be missing members.
+    pub fn termination(&self) -> Termination {
+        self.termination
+    }
+
+    /// The methods graceful degradation demoted to the
+    /// context-insensitive fallback, sorted by method ID. Empty when the
+    /// run never degraded (or for the Datalog back end, which does not
+    /// degrade).
+    pub fn demoted_sites(&self) -> &[DemotedSite] {
+        &self.demoted
     }
 
     /// The retained context-sensitive tuples, if the solver was configured

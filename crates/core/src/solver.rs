@@ -48,16 +48,18 @@
 
 use std::collections::VecDeque;
 
+use pta_govern::{Budget, BudgetMeter, CancelToken, Termination};
 use pta_ir::hash::{FxHashMap, FxHashSet};
 use pta_ir::{FieldId, HeapId, Instr, InvoId, MethodId, Program, SigId, SizeHints, TypeId, VarId};
 
 use crate::context::{CtxId, CtxInterner, DenseMap, HCtxId, HCtxInterner};
+use crate::fault::FaultPlan;
 use crate::policy::ContextPolicy;
 use crate::pts::PtsSet;
-use crate::results::{CtxVarPointsTo, Derivation, PointsToResult, SolverStats};
+use crate::results::{CtxVarPointsTo, DemotedSite, Derivation, PointsToResult, SolverStats};
 
 /// Solver configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SolverConfig {
     /// Retain the full context-sensitive tuple set in the result (memory
     /// proportional to the sensitive var-points-to metric). Off by default.
@@ -66,7 +68,29 @@ pub struct SolverConfig {
     /// reconstruct why a variable points to an object. Off by default
     /// (costs one map entry per tuple).
     pub track_provenance: bool,
+    /// Resource limits checked cooperatively once per fixpoint step.
+    /// Unlimited by default (the governance checks are skipped entirely).
+    pub budget: Budget,
+    /// On budget exhaustion, demote high-fan-out methods to the policy's
+    /// context-insensitive fallback and keep going (coarser but complete
+    /// and sound) instead of returning a partial result. Off by default.
+    pub degrade: bool,
+    /// Cooperative cancellation (ctrl-c, bench cell deadlines). A
+    /// cancelled run returns a partial result tagged
+    /// [`Termination::DeadlineExceeded`]; cancellation is never degraded
+    /// away.
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault injection for testing the exhaustion paths
+    /// (see [`crate::fault`]). `None` in production.
+    pub fault: Option<FaultPlan>,
 }
+
+/// Sentinel in `Solver::demote_ctx` for a method that is not demoted.
+const NOT_DEMOTED: u32 = u32::MAX;
+
+/// Degradation watermark used when `SolverConfig::degrade` is set but the
+/// budget does not name one.
+const DEFAULT_WATERMARK: u32 = 16;
 
 /// Runs `policy` over `program` with default configuration.
 ///
@@ -341,12 +365,44 @@ struct Solver<'a, P: ContextPolicy> {
     ipa_buf: Vec<u32>,
 
     stats: SolverStats,
+
+    // ----- resource governance ---------------------------------------------
+    /// Running budget checker (strided wall-clock reads).
+    meter: BudgetMeter,
+    /// `true` when any budget limit, cancel token or fault plan is set;
+    /// ungoverned runs skip every per-step governance check.
+    governed: bool,
+    /// Fixpoint steps executed (worklist pops).
+    steps: u64,
+    /// Current degradation watermark (halved after each degrade round).
+    watermark: u32,
+    /// Whether the one-time 10% deadline grace window has been spent.
+    grace_used: bool,
+    /// Per-method count of distinct reachable contexts.
+    method_fanout: Vec<u32>,
+    /// Per-method demoted context ID, or [`NOT_DEMOTED`].
+    demote_ctx: Vec<u32>,
+    /// Demotion log, in demotion order (sorted for the result).
+    demoted_sites: Vec<DemotedSite>,
 }
 
 impl<'a, P: ContextPolicy> Solver<'a, P> {
     fn new(program: &'a Program, policy: &'a P, config: SolverConfig) -> Solver<'a, P> {
         let hints = SizeHints::of_program(program);
+        let meter = BudgetMeter::new(&config.budget);
+        let governed =
+            !config.budget.is_unlimited() || config.cancel.is_some() || config.fault.is_some();
+        let watermark = config.budget.watermark.unwrap_or(DEFAULT_WATERMARK).max(1);
+        let n_methods = program.method_count();
         Solver {
+            meter,
+            governed,
+            steps: 0,
+            watermark,
+            grace_used: false,
+            method_fanout: vec![0; n_methods],
+            demote_ctx: vec![NOT_DEMOTED; n_methods],
+            demoted_sites: Vec::new(),
             program,
             policy,
             config,
@@ -388,20 +444,178 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         for &entry in self.program.entry_points() {
             self.mark_reachable(entry.raw(), CtxId::INITIAL.raw());
         }
-        // Drain both worklists to fixpoint. Reachability events are
-        // processed eagerly because they seed allocations and static calls.
+        let termination = self.run_loop();
+        self.into_result(termination)
+    }
+
+    /// Drains both worklists to fixpoint, or until the budget trips.
+    /// Reachability events are processed eagerly because they seed
+    /// allocations and static calls.
+    fn run_loop(&mut self) -> Termination {
         loop {
             if let Some((m, ctx)) = self.reach_queue.pop_front() {
                 self.process_reachable(m, ctx);
-                continue;
-            }
-            if let Some(key) = self.dirty.pop_front() {
+            } else if let Some(key) = self.dirty.pop_front() {
                 self.process_key(key);
+            } else {
+                return Termination::Complete;
+            }
+            self.steps += 1;
+            if !self.governed {
                 continue;
             }
-            break;
+            // Fault injection first: a forced trip takes the same
+            // degrade-or-stop path as a real one.
+            if let Some(plan) = self.config.fault {
+                plan.apply_stall(self.steps);
+                if let Some(t) = plan.forced_trip(self.steps) {
+                    match self.handle_trip(t) {
+                        Some(t) => return t,
+                        None => continue,
+                    }
+                }
+            }
+            let mem = self.mem_estimate();
+            if let Some(t) = self
+                .meter
+                .check(self.steps, mem, self.config.cancel.as_ref())
+            {
+                if let Some(t) = self.handle_trip(t) {
+                    return t;
+                }
+            }
         }
-        self.into_result()
+    }
+
+    /// A budget limit tripped. Returns `Some(t)` to stop with a partial
+    /// result, `None` to continue after graceful degradation.
+    fn handle_trip(&mut self, t: Termination) -> Option<Termination> {
+        let cancelled = self
+            .config
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled);
+        // Cancellation is an order, not a resource problem: never
+        // degraded away.
+        if cancelled || !self.config.degrade {
+            return Some(t);
+        }
+        if self.try_degrade(t) {
+            None
+        } else {
+            Some(t)
+        }
+    }
+
+    /// One graceful-degradation round: demote every method whose context
+    /// fan-out reached the watermark (lowering the watermark until
+    /// victims exist, floor 1), then grant headroom on the tripped limit
+    /// so the now-coarser run can finish. Returns `false` when no more
+    /// headroom may be granted (deadline grace already spent).
+    fn try_degrade(&mut self, t: Termination) -> bool {
+        match t {
+            Termination::Complete => return true,
+            Termination::DeadlineExceeded => {
+                // One grace window of 10% of the original deadline keeps
+                // the "never exceeds the deadline by >10%" contract; a
+                // second deadline trip means degradation was too slow.
+                if self.grace_used {
+                    return false;
+                }
+                self.grace_used = true;
+                if let Some(d) = self.config.budget.deadline {
+                    self.meter.extend_deadline(d / 10);
+                }
+            }
+            Termination::StepLimit => {
+                self.meter
+                    .extend_steps(self.config.budget.max_steps.unwrap_or(1024).max(1));
+            }
+            Termination::MemoryCap => {
+                // Demotion cannot shrink what is already interned, so
+                // grant half the original cap per round; the watermark
+                // halving below guarantees the rounds bottom out in a
+                // finite context-insensitive fixpoint.
+                let cap = self.config.budget.max_memory_bytes.unwrap_or(0);
+                self.meter.extend_memory((cap / 2).max(1 << 20));
+            }
+        }
+        loop {
+            let w = self.watermark;
+            let mut any = false;
+            for m in 0..self.method_fanout.len() {
+                if self.demote_ctx[m] == NOT_DEMOTED && self.method_fanout[m] >= w {
+                    self.demote_method(m as u32);
+                    any = true;
+                }
+            }
+            self.watermark = (w / 2).max(1);
+            if any || w == 1 {
+                break;
+            }
+        }
+        true
+    }
+
+    /// Demotes `meth`: every future call edge into it reuses the
+    /// policy's fallback context, and the method is re-queued under that
+    /// context so its allocations and static calls are seeded coarsely.
+    /// Existing fine-context facts stay — demotion only merges contexts
+    /// (a monotone over-approximation), it never retracts derivations.
+    ///
+    /// Soundness hinges on the bridge edges installed below. Demotion
+    /// re-records the method's allocation sites under the demoted
+    /// context, so a site can yield twin abstract objects — a
+    /// fine-context one wired into pre-demotion call edges and a
+    /// demoted-context one receiving post-demotion field stores. Left
+    /// apart, each twin sees only half the flows and facts are lost.
+    /// Bridging every existing fine-context key of the method into its
+    /// demoted key makes the coarse pipeline subsume the fine ones:
+    /// pre-existing inter-procedural edges keep feeding fine keys, the
+    /// bridges forward those facts coarsely, and all *new* external
+    /// inflows are already intercepted into the demoted context.
+    fn demote_method(&mut self, meth: u32) {
+        debug_assert_eq!(self.demote_ctx[meth as usize], NOT_DEMOTED);
+        let meth_id = MethodId::from_raw(meth);
+        let ctx_val = self.policy.demote(meth_id, self.program);
+        let dctx = self.ctxs.intern(ctx_val).raw();
+        self.demote_ctx[meth as usize] = dctx;
+        self.demoted_sites.push(DemotedSite {
+            method: meth_id,
+            fanout: self.method_fanout[meth as usize],
+        });
+        self.mark_reachable(meth, dctx);
+        // One linear scan over the interned keys per demotion; a method
+        // is demoted at most once, so this stays O(methods × keys) even
+        // under full degradation. The scan bound is taken before the
+        // loop on purpose: the bridge targets it interns are (var, dctx)
+        // keys, which need no bridging themselves. Bridges run BOTH ways
+        // — demotion declares the method's contexts one equivalence
+        // class. Fine→coarse feeds the demoted pipeline; coarse→fine
+        // keeps pre-demotion call edges live (their return edges read
+        // fine keys, which would otherwise go stale while new facts
+        // accrue only under the demoted context).
+        for k in 0..self.vkeys.len() as u32 {
+            let (var, c) = self.vkeys.resolve(k);
+            if c != dctx && self.program.var_method(VarId::from_raw(var)) == meth_id {
+                self.add_ipa_edge(var, c, var, dctx);
+                self.add_ipa_edge(var, dctx, var, c);
+            }
+        }
+    }
+
+    /// Coarse bytes held by the dense stores the budget memory cap
+    /// governs: interned keys (objects, var keys, field keys, call
+    /// sites, reachability pairs, contexts) plus the points-to tuples.
+    fn mem_estimate(&self) -> u64 {
+        self.objs.mem_bytes()
+            + self.vkeys.mem_bytes()
+            + self.fkeys.mem_bytes()
+            + self.cg_sites.mem_bytes()
+            + self.reachable.mem_bytes()
+            + self.ctxs.mem_bytes()
+            + self.hctxs.mem_bytes()
+            + (self.stats.vpt_inserted + self.stats.fld_inserted) * 4
     }
 
     // ----- dense ID management ---------------------------------------------
@@ -417,11 +631,28 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
     }
 
     /// Interns a `(var, ctx)` pair, materializing its entry.
+    ///
+    /// A key minted under a fine context for an already-demoted method is
+    /// bridged into the method's demoted key on the spot (see
+    /// [`Solver::demote_method`]): fine keys can keep appearing after
+    /// demotion — a queued reachability event firing its allocations, a
+    /// return edge landing at a fine caller context — and every one of
+    /// them must forward into the coarse pipeline or its facts split off.
     fn key_id(&mut self, var: u32, ctx: u32) -> u32 {
         let id = self.vkeys.intern((var, ctx));
         if id as usize == self.entries.len() {
             self.entries.push(VarEntry::default());
             self.ipa_out.push(Vec::new());
+            if self.config.degrade {
+                let m = self.program.var_method(VarId::from_raw(var)).index();
+                let d = self.demote_ctx[m];
+                if d != NOT_DEMOTED && ctx != d {
+                    // Recursion bottoms out immediately: the bridge target
+                    // is the (var, d) key itself.
+                    self.add_ipa_edge(var, ctx, var, d);
+                    self.add_ipa_edge(var, d, var, ctx);
+                }
+            }
         }
         id
     }
@@ -539,18 +770,41 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
     }
 
     /// Marks `(meth, ctx)` reachable; enqueues its body processing if new.
+    /// New pairs grow the method's context fan-out; in degrade mode a
+    /// method crossing the watermark is demoted proactively, before any
+    /// budget limit trips.
     fn mark_reachable(&mut self, meth: u32, ctx: u32) {
         let before = self.reachable.len();
         self.reachable.intern((meth, ctx));
         if self.reachable.len() > before {
             self.reach_queue.push_back((meth, ctx));
+            self.method_fanout[meth as usize] += 1;
+            if self.config.degrade
+                && self.demote_ctx[meth as usize] == NOT_DEMOTED
+                && self.method_fanout[meth as usize] >= self.watermark
+            {
+                self.demote_method(meth);
+            }
         }
     }
 
     /// Installs a call-graph edge with its parameter/return
     /// `InterProcAssign` edges (first two rules of Figure 2) and marks the
     /// callee reachable.
-    fn add_call_edge(&mut self, invo: InvoId, caller_ctx: u32, callee: MethodId, callee_ctx: u32) {
+    fn add_call_edge(
+        &mut self,
+        invo: InvoId,
+        caller_ctx: u32,
+        callee: MethodId,
+        mut callee_ctx: u32,
+    ) {
+        // Demoted callees take their fallback context regardless of what
+        // the policy's constructors produced (the single interception
+        // point through which every call edge flows).
+        let demoted = self.demote_ctx[callee.index()];
+        if demoted != NOT_DEMOTED {
+            callee_ctx = demoted;
+        }
         let site = self.cg_sites.intern((invo.raw(), caller_ctx));
         if site as usize == self.cg_targets.len() {
             self.cg_targets.push(Vec::new());
@@ -665,9 +919,16 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                 }
                 Instr::SCall { target, invo } => {
                     // CallGraph(invo, ctx, target, MergeStatic(invo, ctx)).
-                    let callee_ctx_val = self.policy.merge_static(invo, ctx_val, self.program);
-                    let callee_ctx = self.ctxs.intern(callee_ctx_val);
-                    self.add_call_edge(invo, ctx, target, callee_ctx.raw());
+                    // Demoted targets skip the constructor so no unused
+                    // context is interned on their behalf.
+                    let callee_ctx = match self.demote_ctx[target.index()] {
+                        NOT_DEMOTED => {
+                            let v = self.policy.merge_static(invo, ctx_val, self.program);
+                            self.ctxs.intern(v).raw()
+                        }
+                        demoted => demoted,
+                    };
+                    self.add_call_edge(invo, ctx, target, callee_ctx);
                 }
                 Instr::SLoad { to, field } => {
                     // Static loads fire once the enclosing (method, ctx) is
@@ -831,20 +1092,27 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                     if let Some(callee) = self.program.lookup(heap_ty, sig) {
                         let (heap, hctx) = self.objs.resolve(obj);
                         let hctx_val = self.hctxs.resolve(HCtxId::from_raw(hctx));
-                        let callee_ctx_val = self.policy.merge(
-                            HeapId::from_raw(heap),
-                            hctx_val,
-                            invo,
-                            ctx_val,
-                            self.program,
-                        );
-                        let callee_ctx = self.ctxs.intern(callee_ctx_val);
-                        self.add_call_edge(invo, ctx, callee, callee_ctx.raw());
+                        // Demoted callees skip Merge so no unused context
+                        // is interned on their behalf.
+                        let callee_ctx = match self.demote_ctx[callee.index()] {
+                            NOT_DEMOTED => {
+                                let v = self.policy.merge(
+                                    HeapId::from_raw(heap),
+                                    hctx_val,
+                                    invo,
+                                    ctx_val,
+                                    self.program,
+                                );
+                                self.ctxs.intern(v).raw()
+                            }
+                            demoted => demoted,
+                        };
+                        self.add_call_edge(invo, ctx, callee, callee_ctx);
                         if let Some(this) = self.program.this_var(callee) {
                             // VarPointsTo(this, calleeCtx, obj) — per
                             // receiver object, even when the call-graph
                             // edge existed.
-                            let tkey = self.key_id(this.raw(), callee_ctx.raw());
+                            let tkey = self.key_id(this.raw(), callee_ctx);
                             self.stats.fire_this_binding += 1;
                             self.insert_batch(
                                 tkey,
@@ -860,10 +1128,13 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
 
     // ----- result construction ----------------------------------------------
 
-    fn into_result(mut self) -> PointsToResult {
+    fn into_result(mut self, termination: Termination) -> PointsToResult {
         self.stats.contexts = self.ctxs.len() as u64;
         self.stats.heap_contexts = self.hctxs.len() as u64;
         self.stats.objects = self.objs.len() as u64;
+        self.stats.steps = self.steps;
+        self.stats.demoted_methods = self.demoted_sites.len() as u64;
+        self.demoted_sites.sort_unstable_by_key(|d| d.method);
 
         // Resolves a dense (key, object) pair to the public tuple form.
         let tuple =
@@ -1068,6 +1339,8 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             ctx_interner: self.ctxs,
             hctx_interner: self.hctxs,
             stats: self.stats,
+            termination,
+            demoted: self.demoted_sites,
         }
     }
 }

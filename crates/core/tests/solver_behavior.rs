@@ -418,6 +418,7 @@ fn provenance_does_not_change_results() {
         SolverConfig {
             track_provenance: true,
             keep_tuples: true,
+            ..SolverConfig::default()
         },
     );
     assert_eq!(

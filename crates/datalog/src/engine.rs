@@ -11,6 +11,8 @@
 
 use std::fmt;
 
+use pta_govern::{Budget, BudgetMeter, CancelToken, Termination};
+
 use crate::hash::FxHashMap;
 use crate::relation::Relation;
 use crate::rule::{Rule, RuleBuilder, Slot};
@@ -62,6 +64,11 @@ pub struct EngineStats {
     pub strata: usize,
     /// Total rows derived (including initial facts).
     pub total_rows: usize,
+    /// How the run ended: `Complete` for a full fixpoint, any other
+    /// variant when [`Engine::run_governed`] stopped early on budget
+    /// exhaustion or cancellation (relations then hold a sound prefix of
+    /// the fixpoint).
+    pub termination: Termination,
 }
 
 /// A Datalog engine: relations, rules, functors and the fixpoint driver.
@@ -181,19 +188,52 @@ impl Engine {
 
     /// Runs all rules to fixpoint, stratum by stratum.
     pub fn run(&mut self) -> EngineStats {
+        self.run_governed(&Budget::unlimited(), None)
+    }
+
+    /// Like [`Engine::run`], but checks `budget` and `cancel`
+    /// cooperatively once per fixpoint round (the engine's natural
+    /// iteration granularity; `Budget::max_steps` counts rounds here).
+    ///
+    /// On exhaustion the engine stops between rounds and returns with
+    /// [`EngineStats::termination`] set to the tripped limit. The
+    /// relations then hold every row derived so far — a sound *prefix* of
+    /// the fixpoint (each row is a valid derivation; sets may be
+    /// incomplete). A later `run`/`run_governed` call resumes and
+    /// finishes the fixpoint, as rows are never retracted.
+    pub fn run_governed(&mut self, budget: &Budget, cancel: Option<&CancelToken>) -> EngineStats {
+        let mut meter = BudgetMeter::new(budget);
+        let governed = !budget.is_unlimited() || cancel.is_some();
+        // Per-relation row footprint for the budget memory estimate.
+        let row_bytes: Vec<u64> = self
+            .relations
+            .iter()
+            .map(|r| (r.arity() * 4 + 8) as u64)
+            .collect();
         let strata = crate::stratify::schedule(&self.rules, self.relations.len());
         let mut stats = EngineStats {
             strata: strata.len(),
             ..EngineStats::default()
         };
         let n = self.relations.len();
-        for stratum in &strata {
+        'outer: for stratum in &strata {
             // At stratum entry every existing row is "new" for this
             // stratum's rules.
             let mut prev_end = vec![0usize; n];
             loop {
                 stats.rounds += 1;
                 let full_end: Vec<usize> = self.relations.iter().map(Relation::len).collect();
+                if governed {
+                    let mem: u64 = full_end
+                        .iter()
+                        .zip(&row_bytes)
+                        .map(|(&len, &bytes)| len as u64 * bytes)
+                        .sum();
+                    if let Some(t) = meter.check(stats.rounds as u64, mem, cancel) {
+                        stats.termination = t;
+                        break 'outer;
+                    }
+                }
                 let mut derived: Vec<(RelId, Row)> = Vec::new();
                 {
                     let relations = &mut self.relations;
@@ -613,6 +653,53 @@ mod tests {
         let _ = e.relation("edge", 2);
         let dbg = format!("{e:?}");
         assert!(dbg.contains("edge"));
+    }
+
+    #[test]
+    fn governed_run_stops_early_and_resumes_to_the_same_fixpoint() {
+        let mut e = Engine::new();
+        let edge = e.relation("edge", 2);
+        let path = e.relation("path", 2);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
+            e.fact(edge, &[a, b]);
+        }
+        e.rule()
+            .head(path, &[v("x"), v("y")])
+            .atom(edge, &[v("x"), v("y")])
+            .build()
+            .unwrap();
+        e.rule()
+            .head(path, &[v("x"), v("z")])
+            .atom(edge, &[v("x"), v("y")])
+            .atom(path, &[v("y"), v("z")])
+            .build()
+            .unwrap();
+        let partial = e.run_governed(&Budget::unlimited().with_max_steps(2), None);
+        assert_eq!(partial.termination, Termination::StepLimit);
+        let rows_so_far = e.len(path);
+        assert!(rows_so_far < 10, "two rounds cannot close a 5-chain");
+        // Rows are never retracted: re-running resumes and completes.
+        let full = e.run();
+        assert_eq!(full.termination, Termination::Complete);
+        assert_eq!(e.len(path), 10);
+    }
+
+    #[test]
+    fn cancelled_run_reports_deadline_exceeded() {
+        let mut e = Engine::new();
+        let edge = e.relation("edge", 2);
+        let path = e.relation("path", 2);
+        e.fact(edge, &[0, 1]);
+        e.rule()
+            .head(path, &[v("x"), v("y")])
+            .atom(edge, &[v("x"), v("y")])
+            .build()
+            .unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let stats = e.run_governed(&Budget::unlimited(), Some(&token));
+        assert_eq!(stats.termination, Termination::DeadlineExceeded);
+        assert_eq!(e.len(path), 0, "cancelled before the first round derived");
     }
 
     #[test]

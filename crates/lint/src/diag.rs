@@ -28,8 +28,14 @@
 //! | W004 | warning | virtual call has zero dispatch targets |
 //! | W005 | warning | field is written but never read |
 //! | W006 | warning | allocation result is never used |
+//! | W007 | warning | method demoted to context-insensitive by graceful degradation |
 //! | W010 | warning | Datalog rule can never fire (empty, underivable body) |
 //! | W011 | warning | Datalog relation declared but never used |
+//!
+//! `W007` is an *analysis-time* diagnostic: `pta analyze --degrade` emits
+//! one per demoted method. It is never produced by the static lint passes
+//! (a program is not wrong for being expensive), so lint-clean inputs stay
+//! lint-clean.
 
 use std::fmt;
 
@@ -142,6 +148,10 @@ pub fn code_description(code: &str) -> Option<&'static str> {
         "W004" => "virtual call has zero dispatch targets in the class hierarchy",
         "W005" => "field is written but never read",
         "W006" => "allocated object is never used",
+        "W007" => {
+            "method was demoted to the context-insensitive constructor mid-run: its context \
+             fan-out crossed the --degrade watermark (emitted by `pta analyze`, not `pta lint`)"
+        }
         "W010" => "Datalog rule can never fire: a body relation is empty and underivable",
         "W011" => "Datalog relation is declared but never used by any rule or fact",
         _ => return None,
@@ -151,7 +161,7 @@ pub fn code_description(code: &str) -> Option<&'static str> {
 /// All diagnostic codes, in index order (for documentation generators).
 pub const ALL_CODES: &[&str] = &[
     "E001", "E002", "E003", "E004", "E005", "E006", "E007", "E008", "E010", "E011", "E012", "W001",
-    "W002", "W003", "W004", "W005", "W006", "W010", "W011",
+    "W002", "W003", "W004", "W005", "W006", "W007", "W010", "W011",
 ];
 
 /// Renders diagnostics as human-readable text, one per line, followed by a

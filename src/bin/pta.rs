@@ -19,6 +19,17 @@
 //!                          object per analysis with any --metrics under
 //!                          "metrics" and any --stats under "stats"
 //!     --datalog            evaluate on the Datalog back end instead
+//!     --timeout SECS       wall-clock budget (float); on expiry the run
+//!                          stops cooperatively with a tagged partial result
+//!     --max-steps N        fixpoint-step budget (engine rounds on --datalog)
+//!     --max-memory BYTES   interned-key/tuple memory budget (K/M/G suffixes)
+//!     --watermark N        per-method context fan-out watermark used by
+//!                          --degrade (default 16)
+//!     --degrade            on budget exhaustion, demote high-fan-out
+//!                          methods to the context-insensitive constructor
+//!                          and keep going instead of stopping (specialized
+//!                          solver only); each demoted method is reported
+//!                          as a W007 diagnostic
 //! pta workload NAME [--scale S] [--print]
 //!                                        generate a synthetic DaCapo
 //!                                        workload; --print emits it as .jir
@@ -28,20 +39,37 @@
 //!     --deny-warnings      exit non-zero on warnings, not just errors
 //!     --explain CODE       describe a diagnostic code (e.g. W003) and exit
 //!
-//! `pta lint` exit codes: 0 = clean (warnings allowed unless
-//! --deny-warnings), 1 = diagnostics reported, 2 = usage or I/O error.
+//! Exit codes (all subcommands; table also in the README):
+//!   0  success — analysis ran to completion (including degraded-complete
+//!      runs under --degrade), lint found nothing to report
+//!   1  lint diagnostics reported (errors, or warnings under
+//!      --deny-warnings)
+//!   2  usage, I/O or parse error (bad flag, unreadable file, invalid .jir)
+//!   3  partial analysis result — a budget tripped (or SIGINT landed) and
+//!      the run stopped early with a sound under-approximation, tagged via
+//!      "termination"
+//!
 //! The diagnostic code index lives in the README and in
 //! `pta_lint::code_description`.
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use pta_clients::{context_stats, may_fail_casts, poly_virtual_calls, precision_metrics};
-use pta_core::datalog_impl::analyze_datalog;
-use pta_core::{analyze, analyze_with_config, Analysis, PointsToResult, SolverConfig};
+use pta_core::datalog_impl::analyze_datalog_governed;
+use pta_core::{
+    analyze, analyze_with_config, Analysis, Budget, CancelToken, PointsToResult, SolverConfig,
+};
+use pta_govern::parse_byte_size;
 use pta_ir::Program;
 use pta_lang::{parse_program, print_program};
 use pta_workload::{dacapo_workload, DACAPO_NAMES};
+
+/// Exit code for usage, I/O and parse errors (see the module docs).
+const EXIT_USAGE: u8 = 2;
+/// Exit code for a budget-tripped (or cancelled) partial result.
+const EXIT_PARTIAL: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,7 +86,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args[1..]),
         _ => {
             eprintln!("usage: pta <list|analyze|workload|lint> ...  (see --help in the README)");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }
@@ -88,21 +116,21 @@ fn describe(a: Analysis) -> &'static str {
 
 fn cmd_analyze(args: &[String]) -> ExitCode {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: pta analyze FILE.jir [--analysis NAME] [--metrics] [--points-to VAR] [--casts] [--devirt] [--datalog]");
-        return ExitCode::FAILURE;
+        eprintln!("usage: pta analyze FILE.jir [--analysis NAME] [--metrics] [--points-to VAR] [--casts] [--devirt] [--datalog] [--timeout SECS] [--max-steps N] [--max-memory BYTES] [--degrade]");
+        return ExitCode::from(EXIT_USAGE);
     };
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let program = match parse_program(&source) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error in {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
 
@@ -117,6 +145,8 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut points_to: Vec<String> = Vec::new();
     let mut explain: Vec<String> = Vec::new();
+    let mut budget = Budget::unlimited();
+    let mut degrade = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -127,7 +157,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                     Some("json") => json = true,
                     _ => {
                         eprintln!("error: --format needs `text` or `json`");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(EXIT_USAGE);
                     }
                 }
             }
@@ -137,7 +167,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                     Some(Ok(a)) => analyses.push(a),
                     _ => {
                         eprintln!("error: --analysis needs a known name (try `pta list`)");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(EXIT_USAGE);
                     }
                 }
             }
@@ -147,7 +177,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                     Some(v) => points_to.push(v.clone()),
                     None => {
                         eprintln!("error: --points-to needs a variable name");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(EXIT_USAGE);
                     }
                 }
             }
@@ -157,10 +187,57 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                     Some(v) => explain.push(v.clone()),
                     None => {
                         eprintln!("error: --explain needs a variable name");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(EXIT_USAGE);
                     }
                 }
             }
+            "--timeout" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(secs) if secs > 0.0 && secs.is_finite() => {
+                        budget = budget.with_deadline(Duration::from_secs_f64(secs));
+                    }
+                    _ => {
+                        eprintln!("error: --timeout needs a positive number of seconds");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--max-steps" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => budget = budget.with_max_steps(n),
+                    _ => {
+                        eprintln!("error: --max-steps needs a positive integer");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--max-memory" => {
+                i += 1;
+                match args.get(i).map(|s| parse_byte_size(s)) {
+                    Some(Ok(bytes)) if bytes > 0 => budget = budget.with_max_memory(bytes),
+                    Some(Err(e)) => {
+                        eprintln!("error: --max-memory: {e}");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                    _ => {
+                        eprintln!("error: --max-memory needs a byte size (e.g. 64M)");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--watermark" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
+                    Some(n) if n > 0 => budget = budget.with_watermark(n),
+                    _ => {
+                        eprintln!("error: --watermark needs a positive integer");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--degrade" => degrade = true,
             "--metrics" => metrics = true,
             "--stats" => stats = true,
             "--hot" => hot = true,
@@ -170,7 +247,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             "--datalog" => datalog = true,
             other => {
                 eprintln!("error: unknown flag {other}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_USAGE);
             }
         }
         i += 1;
@@ -178,6 +255,18 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     if analyses.is_empty() {
         analyses.push(Analysis::STwoObjH);
     }
+    if degrade && datalog {
+        eprintln!(
+            "error: --degrade requires the specialized solver (drop --datalog); \
+             the Datalog back end stops with a partial result instead"
+        );
+        return ExitCode::from(EXIT_USAGE);
+    }
+    // Governed runs get cooperative ctrl-c: SIGINT flips the token and the
+    // solver stops at the next batch boundary with a tagged partial result.
+    // Ungoverned runs keep the zero-overhead path (and default SIGINT).
+    let governed = !budget.is_unlimited() || degrade;
+    let cancel = governed.then(CancelToken::linked_to_sigint);
     if json {
         // The flags below produce free-form text walks (derivations, cast
         // listings, …) with no JSON rendering; refuse rather than silently
@@ -192,7 +281,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         ] {
             if used {
                 eprintln!("error: {flag} has no JSON rendering; drop it or use --format text");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_USAGE);
             }
         }
     }
@@ -200,15 +289,16 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     // Keep each (analysis, result) alive until the end so JSON reports can
     // borrow them and print as one array.
     let mut runs: Vec<(Analysis, f64, PointsToResult)> = Vec::new();
+    let mut any_partial = false;
     for analysis in analyses {
         let start = std::time::Instant::now();
         let result: PointsToResult = if datalog {
             if !explain.is_empty() {
                 eprintln!("error: --explain requires the specialized solver (drop --datalog)");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_USAGE);
             }
-            analyze_datalog(&program, &analysis)
-        } else if explain.is_empty() && !hot {
+            analyze_datalog_governed(&program, &analysis, &budget, cancel.as_ref()).0
+        } else if !governed && explain.is_empty() && !hot {
             analyze(&program, &analysis)
         } else {
             analyze_with_config(
@@ -217,10 +307,15 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 SolverConfig {
                     track_provenance: !explain.is_empty(),
                     keep_tuples: hot,
+                    budget: budget.clone(),
+                    degrade,
+                    cancel: cancel.clone(),
+                    fault: None,
                 },
             )
         };
         let elapsed = start.elapsed();
+        any_partial |= !result.termination().is_complete();
         if json {
             runs.push((analysis, elapsed.as_secs_f64(), result));
             continue;
@@ -235,6 +330,31 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             result.reachable_method_count(),
             result.call_graph_edge_count(),
         );
+        if !result.termination().is_complete() {
+            println!(
+                "   PARTIAL RESULT: budget exhausted ({}); points-to sets are a sound prefix of the fixpoint",
+                result.termination()
+            );
+        }
+        if !result.demoted_sites().is_empty() {
+            println!(
+                "   degraded: {} method(s) demoted to context-insensitive:",
+                result.demoted_sites().len()
+            );
+            for d in result.demoted_sites() {
+                // Demotions surface as structured W007 diagnostics so text
+                // consumers can grep them like any other toolchain finding.
+                let diag = pta_lint::Diagnostic::warning(
+                    "W007",
+                    format!(
+                        "demoted to context-insensitive: context fan-out {} crossed the watermark",
+                        d.fanout
+                    ),
+                )
+                .with_context(program.method_qualified_name(d.method));
+                println!("     {diag}");
+            }
+        }
         if metrics {
             let m = precision_metrics(&program, &result);
             println!(
@@ -320,23 +440,39 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             .iter()
             .map(|(_, _, result)| metrics.then(|| precision_metrics(&program, result)))
             .collect();
+        let demoted_sets: Vec<Vec<(String, u32)>> = runs
+            .iter()
+            .map(|(_, _, result)| {
+                result
+                    .demoted_sites()
+                    .iter()
+                    .map(|d| (program.method_qualified_name(d.method), d.fanout))
+                    .collect()
+            })
+            .collect();
         let reports: Vec<hybrid_pta::report::AnalysisReport<'_>> = runs
             .iter()
             .zip(&metric_sets)
-            .map(
-                |((analysis, time_secs, result), m)| hybrid_pta::report::AnalysisReport {
+            .zip(&demoted_sets)
+            .map(|(((analysis, time_secs, result), m), demoted)| {
+                hybrid_pta::report::AnalysisReport {
                     analysis: analysis.name(),
                     backend: if datalog { "datalog" } else { "specialized" },
                     time_secs: *time_secs,
                     result,
                     metrics: m.as_ref(),
                     include_stats: stats,
-                },
-            )
+                    demoted,
+                }
+            })
             .collect();
         println!("{}", hybrid_pta::report::reports_to_json(&reports));
     }
-    ExitCode::SUCCESS
+    if any_partial {
+        ExitCode::from(EXIT_PARTIAL)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn print_points_to(program: &Program, result: &PointsToResult, name: &str) {
@@ -475,11 +611,11 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 fn cmd_workload(args: &[String]) -> ExitCode {
     let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
         eprintln!("usage: pta workload NAME [--scale S] [--print]; names: {DACAPO_NAMES:?}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
     if !DACAPO_NAMES.contains(&name.as_str()) {
         eprintln!("error: unknown workload {name}; names: {DACAPO_NAMES:?}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     }
     let mut scale = 1.0f64;
     let mut print = false;
@@ -492,14 +628,14 @@ fn cmd_workload(args: &[String]) -> ExitCode {
                     Some(s) => s,
                     None => {
                         eprintln!("error: --scale needs a number");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(EXIT_USAGE);
                     }
                 };
             }
             "--print" => print = true,
             other => {
                 eprintln!("error: unknown flag {other}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_USAGE);
             }
         }
         i += 1;

@@ -4,7 +4,10 @@
 //! array when several `--analysis` flags are given) so scripts can consume
 //! results without scraping the human-oriented text output. The solver's
 //! always-on counters ride along under the `"stats"` key when `--stats` is
-//! passed. Hand-rolled JSON: the toolchain runs fully offline, so there is
+//! passed. Every report carries the run's `"termination"` status
+//! (`complete`, `deadline_exceeded`, `step_limit`, `memory_cap`); runs that
+//! gracefully degraded also list the demoted methods under
+//! `"demoted_sites"`. Hand-rolled JSON: the toolchain runs fully offline, so there is
 //! no serde; the shape is locked down by `tests/cli_report.rs`.
 
 use pta_clients::ExperimentMetrics;
@@ -41,6 +44,10 @@ pub struct AnalysisReport<'a> {
     pub metrics: Option<&'a ExperimentMetrics>,
     /// Include the solver counters under `"stats"` (`--stats`).
     pub include_stats: bool,
+    /// Methods demoted to the context-insensitive constructor by graceful
+    /// degradation, as `(qualified name, context fan-out at demotion)`.
+    /// Empty for runs that never degraded.
+    pub demoted: &'a [(String, u32)],
 }
 
 impl AnalysisReport<'_> {
@@ -49,7 +56,7 @@ impl AnalysisReport<'_> {
     pub fn to_json(&self) -> String {
         let mut out = format!(
             "{{\"analysis\":\"{}\",\"backend\":\"{}\",\"time_secs\":{},\
-             \"reachable_methods\":{},\"call_graph_edges\":{}",
+             \"reachable_methods\":{},\"call_graph_edges\":{},\"termination\":\"{}\"",
             esc(self.analysis),
             esc(self.backend),
             if self.time_secs.is_finite() {
@@ -59,7 +66,18 @@ impl AnalysisReport<'_> {
             },
             self.result.reachable_method_count(),
             self.result.call_graph_edge_count(),
+            self.result.termination().as_str(),
         );
+        if !self.demoted.is_empty() {
+            let sites: Vec<String> = self
+                .demoted
+                .iter()
+                .map(|(name, fanout)| {
+                    format!("{{\"method\":\"{}\",\"fanout\":{fanout}}}", esc(name))
+                })
+                .collect();
+            out.push_str(&format!(",\"demoted_sites\":[{}]", sites.join(",")));
+        }
         if let Some(m) = self.metrics {
             out.push_str(&format!(
                 ",\"metrics\":{{\"avg_objs_per_var\":{},\"poly_v_calls\":{},\

@@ -21,11 +21,35 @@ fn minimal_report_golden() {
         result: &result,
         metrics: None,
         include_stats: false,
+        demoted: &[],
     };
     assert_eq!(
         report.to_json(),
         "{\"analysis\":\"insens\",\"backend\":\"specialized\",\"time_secs\":0.25,\
-         \"reachable_methods\":2,\"call_graph_edges\":2}"
+         \"reachable_methods\":2,\"call_graph_edges\":2,\"termination\":\"complete\"}"
+    );
+}
+
+#[test]
+fn demoted_sites_golden() {
+    let program = parse_program(MOTIVATING).unwrap();
+    let result = analyze(&program, &Analysis::Insens);
+    let demoted = vec![("C.run".to_owned(), 21u32), ("D.go".to_owned(), 17u32)];
+    let report = AnalysisReport {
+        analysis: Analysis::Insens.name(),
+        backend: "specialized",
+        time_secs: 0.25,
+        result: &result,
+        metrics: None,
+        include_stats: false,
+        demoted: &demoted,
+    };
+    assert_eq!(
+        report.to_json(),
+        "{\"analysis\":\"insens\",\"backend\":\"specialized\",\"time_secs\":0.25,\
+         \"reachable_methods\":2,\"call_graph_edges\":2,\"termination\":\"complete\",\
+         \"demoted_sites\":[{\"method\":\"C.run\",\"fanout\":21},\
+         {\"method\":\"D.go\",\"fanout\":17}]}"
     );
 }
 
@@ -40,6 +64,7 @@ fn stats_ride_under_the_stats_key() {
         result: &result,
         metrics: None,
         include_stats: true,
+        demoted: &[],
     };
     let json = report.to_json();
     // The counters appear as a nested object under "stats", mirroring the
@@ -65,13 +90,14 @@ fn metrics_and_array_shape_golden() {
         result: &result,
         metrics: Some(&metrics),
         include_stats: false,
+        demoted: &[],
     }];
     let json = reports_to_json(&reports);
     assert_eq!(
         json,
         format!(
             "[{{\"analysis\":\"1obj\",\"backend\":\"specialized\",\"time_secs\":0.125,\
-             \"reachable_methods\":{},\"call_graph_edges\":{},\
+             \"reachable_methods\":{},\"call_graph_edges\":{},\"termination\":\"complete\",\
              \"metrics\":{{\"avg_objs_per_var\":{},\"poly_v_calls\":{},\
              \"reachable_v_calls\":{},\"may_fail_casts\":{},\"reachable_casts\":{},\
              \"sensitive_var_points_to\":{},\"contexts\":{},\"heap_contexts\":{},\
@@ -104,6 +130,7 @@ fn json_string_escaping() {
         result: &result,
         metrics: None,
         include_stats: false,
+        demoted: &[],
     };
     let json = report.to_json();
     assert!(json.starts_with("{\"analysis\":\"a\\\"b\\\\c\",\"backend\":\"x\\ny\","));

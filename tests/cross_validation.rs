@@ -7,8 +7,10 @@
 //! generic semi-naive join engine) agree on points-to sets, call graphs,
 //! reachability, and context-sensitive tuple counts.
 
-use hybrid_pta::core::datalog_impl::analyze_datalog;
-use hybrid_pta::core::{analyze, Analysis};
+use hybrid_pta::core::datalog_impl::{analyze_datalog, analyze_datalog_governed};
+use hybrid_pta::core::{
+    analyze, analyze_with_config, Analysis, Budget, PointsToResult, SolverConfig, Termination,
+};
 use hybrid_pta::ir::Program;
 use hybrid_pta::workload::{generate, WorkloadConfig};
 
@@ -113,6 +115,111 @@ fn key_analyses_agree_on_a_small_workload() {
         Analysis::STwoTypeH,
     ] {
         assert_identical(&program, analysis, "small-99");
+    }
+}
+
+/// `partial` (from either back end) must be a sound prefix of `complete`.
+fn assert_partial_subset(
+    program: &Program,
+    partial: &PointsToResult,
+    complete: &PointsToResult,
+    label: &str,
+) {
+    assert!(
+        !partial.termination().is_complete(),
+        "{label}: the starved run unexpectedly completed; tighten the budget"
+    );
+    for var in program.vars() {
+        for h in partial.points_to(var) {
+            assert!(
+                complete.points_to(var).contains(h),
+                "{label}: partial fact {}::{} -> {} is not in the complete run",
+                program.method_qualified_name(program.var_method(var)),
+                program.var_name(var),
+                program.heap_label(*h)
+            );
+        }
+    }
+    for invo in program.invos() {
+        for m in partial.call_targets(invo) {
+            assert!(
+                complete.call_targets(invo).contains(m),
+                "{label}: partial call edge {invo:?} -> {} is not in the complete run",
+                program.method_qualified_name(*m)
+            );
+        }
+    }
+    assert!(partial.reachable_method_count() <= complete.reachable_method_count());
+}
+
+/// The resource-governance guard, companion to the identical-results
+/// checks above: when either back end is starved into a partial result,
+/// that partial must be a subset of the other back end's complete run on
+/// every DaCapo configuration. (Both-complete ⇒ bit-identical is what the
+/// `*_agrees_on_every_dacapo_config` tests already pin.)
+#[test]
+fn starved_partials_are_subsets_of_complete_runs_on_every_dacapo_config() {
+    for name in hybrid_pta::workload::DACAPO_NAMES {
+        let program = hybrid_pta::workload::dacapo_workload(name, 0.15);
+        let complete_fast = analyze(&program, &Analysis::STwoObjH);
+        let complete_slow = analyze_datalog(&program, &Analysis::STwoObjH);
+
+        // Specialized solver starved by a step budget, checked against the
+        // Datalog back end's complete fixpoint.
+        let partial_fast = analyze_with_config(
+            &program,
+            &Analysis::STwoObjH,
+            SolverConfig {
+                budget: Budget::unlimited().with_max_steps(150),
+                ..SolverConfig::default()
+            },
+        );
+        assert_eq!(partial_fast.termination(), Termination::StepLimit);
+        assert_partial_subset(&program, &partial_fast, &complete_slow, name);
+
+        // Datalog engine starved by a round budget, checked against the
+        // specialized solver's complete fixpoint.
+        let (partial_slow, _) = analyze_datalog_governed(
+            &program,
+            &Analysis::STwoObjH,
+            &Budget::unlimited().with_max_steps(2),
+            None,
+        );
+        assert_eq!(partial_slow.termination(), Termination::StepLimit);
+        assert_partial_subset(&program, &partial_slow, &complete_fast, name);
+    }
+}
+
+/// A degraded-complete specialized run must over-approximate the Datalog
+/// back end's precise fixpoint: demotion merges contexts, it never drops
+/// facts the literal rule set derives.
+#[test]
+fn degraded_runs_over_approximate_the_datalog_fixpoint() {
+    for name in ["antlr", "luindex", "xalan"] {
+        let program = hybrid_pta::workload::dacapo_workload(name, 0.15);
+        let precise = analyze_datalog(&program, &Analysis::STwoObjH);
+        let coarse = analyze_with_config(
+            &program,
+            &Analysis::STwoObjH,
+            SolverConfig {
+                budget: Budget::unlimited().with_max_steps(400),
+                degrade: true,
+                ..SolverConfig::default()
+            },
+        );
+        assert_eq!(coarse.termination(), Termination::Complete, "{name}");
+        for var in program.vars() {
+            for h in precise.points_to(var) {
+                assert!(
+                    coarse.points_to(var).contains(h),
+                    "{name}: degraded run lost {}::{} -> {}",
+                    program.method_qualified_name(program.var_method(var)),
+                    program.var_name(var),
+                    program.heap_label(*h)
+                );
+            }
+        }
+        assert!(coarse.reachable_method_count() >= precise.reachable_method_count());
     }
 }
 
