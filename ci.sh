@@ -31,6 +31,23 @@ grep -q 'W007' /tmp/ci-starved.out
 grep -q 'degraded:' /tmp/ci-starved.out
 echo "    starved smoke OK: degraded run completed with demotions reported"
 
+# Gating: parallel cross-validation. The sharded solver must produce
+# byte-identical JSON reports at --threads 4 and --threads 1 (wall-clock
+# and the reported worker count are the only legitimate diffs, so both
+# are stripped before comparing). The in-process equivalence suite
+# (every policy x every DaCapo config) gates alongside it.
+echo "==> tier-1: parallel equivalence (--threads 4 vs --threads 1)"
+cargo test -q -p pta-core --test session_equivalence
+./target/release/pta workload luindex --scale 0.3 --print > /tmp/ci-par.jir
+./target/release/pta analyze /tmp/ci-par.jir --analysis 2obj+H --threads 1 \
+  --format json | sed -E 's/"time_secs":[0-9.eE+-]+/"time_secs":0/; s/"threads":[0-9]+/"threads":0/' \
+  > /tmp/ci-par-t1.json
+./target/release/pta analyze /tmp/ci-par.jir --analysis 2obj+H --threads 4 \
+  --format json | sed -E 's/"time_secs":[0-9.eE+-]+/"time_secs":0/; s/"threads":[0-9]+/"threads":0/' \
+  > /tmp/ci-par-t4.json
+cmp /tmp/ci-par-t1.json /tmp/ci-par-t4.json
+echo "    parallel equivalence OK: --threads 4 JSON is byte-identical to --threads 1"
+
 # Non-gating smoke-perf: run the table1 matrix on the two smallest
 # workloads, dump JSON, and re-parse it with the harness's own checker
 # (12 analyses x 2 workloads = 24 cells). Failures warn but never block —
@@ -44,6 +61,21 @@ if cargo build --release -q -p pta-bench \
 else
   echo "    WARNING: smoke-perf failed (non-gating); re-run manually:"
   echo "    ./target/release/table1 --workloads luindex,lusearch --reps 1 --json /tmp/bench.json"
+fi
+
+# Non-gating parallel speedup row: one 2obj+H cell at --threads 1 vs 4,
+# validated with the same checker. Correctness (identical results across
+# thread counts) gates above; wall-clock never does — speedup depends on
+# the host's core count (a single-core runner legitimately shows <1x).
+echo "==> parallel speedup row (non-gating)"
+if ./target/release/table1 --workloads chart --analyses 2obj+H --scale 6 \
+     --reps 1 --threads 1,4 --cell-timeout 300 --json /tmp/bench-par.json \
+     >/dev/null 2>&1 \
+   && ./target/release/table1 --check /tmp/bench-par.json --expect-cells 2; then
+  echo "    parallel speedup row OK (see /tmp/bench-par.json; nproc=$(nproc))"
+else
+  echo "    WARNING: parallel speedup row failed (non-gating); re-run manually:"
+  echo "    ./target/release/table1 --workloads chart --analyses 2obj+H --scale 6 --threads 1,4 --json /tmp/bench-par.json"
 fi
 
 echo "==> CI green"

@@ -14,14 +14,18 @@
 use std::hint::black_box;
 
 use pta_bench::timing::Bench;
-use pta_core::{analyze, Analysis};
+use pta_core::{Analysis, AnalysisSession};
 use pta_workload::dacapo_workload;
 
 fn ablation(bench: &mut Bench, group: &str, workload: &str, analyses: &[Analysis]) {
     let program = dacapo_workload(workload, 1.0);
     for &analysis in analyses {
         bench.measure(&format!("{group}/{}", analysis.name()), || {
-            black_box(analyze(black_box(&program), &analysis))
+            black_box(
+                AnalysisSession::new(black_box(&program))
+                    .policy(analysis)
+                    .run(),
+            )
         });
     }
 }
@@ -67,7 +71,11 @@ fn main() {
     for scale in [1u32, 2, 4] {
         let program = dacapo_workload("antlr", f64::from(scale));
         bench.measure(&format!("ablation-scaling/{scale}x"), || {
-            black_box(analyze(black_box(&program), &Analysis::STwoObjH))
+            black_box(
+                AnalysisSession::new(black_box(&program))
+                    .policy(Analysis::STwoObjH)
+                    .run(),
+            )
         });
     }
 }

@@ -11,7 +11,7 @@
 use std::hint::black_box;
 
 use pta_bench::timing::Bench;
-use pta_core::{analyze, Analysis};
+use pta_core::{Analysis, AnalysisSession};
 use pta_workload::dacapo_workload;
 
 fn bench_group(bench: &mut Bench, group_name: &str, analyses: &[Analysis]) {
@@ -24,7 +24,11 @@ fn bench_group(bench: &mut Bench, group_name: &str, analyses: &[Analysis]) {
     bench.sample_size(20);
     for &analysis in analyses {
         bench.measure(&format!("{group_name}/{}", analysis.name()), || {
-            black_box(analyze(black_box(&program), &analysis))
+            black_box(
+                AnalysisSession::new(black_box(&program))
+                    .policy(analysis)
+                    .run(),
+            )
         });
     }
 }

@@ -5,8 +5,7 @@
 use std::hint::black_box;
 
 use pta_bench::timing::Bench;
-use pta_core::datalog_impl::analyze_datalog;
-use pta_core::{analyze, Analysis};
+use pta_core::{Analysis, AnalysisSession, Backend};
 use pta_workload::{generate, WorkloadConfig};
 
 fn main() {
@@ -16,16 +15,34 @@ fn main() {
     let program = generate(&WorkloadConfig::tiny(42));
     bench.sample_size(10);
     bench.measure("solver-vs-datalog/specialized/1obj", || {
-        black_box(analyze(black_box(&program), &Analysis::OneObj))
+        black_box(
+            AnalysisSession::new(black_box(&program))
+                .policy(Analysis::OneObj)
+                .run(),
+        )
     });
     bench.measure("solver-vs-datalog/datalog/1obj", || {
-        black_box(analyze_datalog(black_box(&program), &Analysis::OneObj))
+        black_box(
+            AnalysisSession::new(black_box(&program))
+                .policy(Analysis::OneObj)
+                .backend(Backend::Datalog)
+                .run(),
+        )
     });
     bench.measure("solver-vs-datalog/specialized/S-2obj+H", || {
-        black_box(analyze(black_box(&program), &Analysis::STwoObjH))
+        black_box(
+            AnalysisSession::new(black_box(&program))
+                .policy(Analysis::STwoObjH)
+                .run(),
+        )
     });
     bench.measure("solver-vs-datalog/datalog/S-2obj+H", || {
-        black_box(analyze_datalog(black_box(&program), &Analysis::STwoObjH))
+        black_box(
+            AnalysisSession::new(black_box(&program))
+                .policy(Analysis::STwoObjH)
+                .backend(Backend::Datalog)
+                .run(),
+        )
     });
     bench.sample_size(20);
     for (name, cfg) in [

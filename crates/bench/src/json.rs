@@ -283,9 +283,11 @@ impl Parser<'_> {
 
 /// Fields every [`crate::ExperimentRow`] JSON object must carry.
 ///
-/// `status` is deliberately absent: it is validated separately because
-/// dumps from before the per-cell timeout existed (`BENCH_baseline.json`
-/// among them) omit it, and a missing status means `"ok"`.
+/// `status`, `schema_version` and `threads` are deliberately absent:
+/// they are validated separately because dumps from before those fields
+/// existed (`BENCH_baseline.json` among them) omit them. A missing
+/// status means `"ok"`, a missing version means v1, a missing thread
+/// count means `1`.
 const ROW_FIELDS: &[&str] = &[
     "workload",
     "analysis",
@@ -320,6 +322,11 @@ pub struct RowsSummary {
 /// numeric counters. Timed-out rows (`"status":"timeout"`) are tolerated
 /// and counted; a missing `status` (legacy dump) means `"ok"`.
 ///
+/// Both schema versions are accepted: v1 dumps (no `schema_version`, no
+/// `threads` — `BENCH_baseline.json` era) and v2 dumps (both fields on
+/// every row). A version this reader does not know is an error, so a
+/// future incompatible format fails loudly instead of half-validating.
+///
 /// # Errors
 ///
 /// Returns a message naming the first offending row and field.
@@ -330,6 +337,21 @@ pub fn validate_rows(doc: &Value) -> Result<RowsSummary, String> {
     }
     let mut timeouts = 0;
     for (i, row) in rows.iter().enumerate() {
+        match row.get("schema_version").map(Value::as_number) {
+            None => {} // v1: predates row versioning
+            Some(Some(v)) if v == 1.0 || v == f64::from(crate::SCHEMA_VERSION) => {}
+            Some(v) => {
+                return Err(format!(
+                    "row {i}: unsupported schema_version {v:?} (this reader knows 1 and {})",
+                    crate::SCHEMA_VERSION
+                ))
+            }
+        }
+        match row.get("threads").map(Value::as_number) {
+            None => {} // v1 rows are implicitly single-threaded
+            Some(Some(n)) if n >= 0.0 && n.fract() == 0.0 => {}
+            Some(n) => return Err(format!("row {i}: field \"threads\" is malformed: {n:?}")),
+        }
         match row.get("status").map(Value::as_str) {
             None | Some(Some("ok")) => {}
             Some(Some("timeout")) => timeouts += 1,
@@ -444,6 +466,7 @@ mod tests {
             &program,
             pta_core::Analysis::STwoObjH,
             1,
+            1,
             Some(1e-6),
             None,
         );
@@ -474,5 +497,34 @@ mod tests {
             .replace("\"status\":\"ok\"", "\"status\":\"maybe\"");
         let err = validate_rows(&parse(&bogus).unwrap()).unwrap_err();
         assert!(err.contains("status"), "{err}");
+    }
+
+    #[test]
+    fn both_schema_versions_validate_but_unknown_ones_fail() {
+        let program = pta_workload::dacapo_workload("luindex", 0.15);
+        let row = crate::run_cell("luindex", &program, pta_core::Analysis::OneObj, 1);
+        let current = crate::rows_to_json(std::slice::from_ref(&row));
+        assert!(current.contains(&format!("\"schema_version\":{}", crate::SCHEMA_VERSION)));
+        assert!(current.contains("\"threads\":1"));
+        assert!(validate_rows(&parse(&current).unwrap()).is_ok());
+
+        // A v1 dump (BENCH_baseline.json era): no schema_version, no
+        // threads, no status.
+        let v1 = current
+            .replace(
+                &format!("\"schema_version\":{},", crate::SCHEMA_VERSION),
+                "",
+            )
+            .replace("\"threads\":1,", "")
+            .replace("\"status\":\"ok\",", "");
+        assert!(validate_rows(&parse(&v1).unwrap()).is_ok());
+
+        // A future version must fail loudly.
+        let v99 = current.replace(
+            &format!("\"schema_version\":{}", crate::SCHEMA_VERSION),
+            "\"schema_version\":99",
+        );
+        let err = validate_rows(&parse(&v99).unwrap()).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
     }
 }

@@ -18,6 +18,11 @@
 //!   benchmark names;
 //! - `PTA_ANALYSES` / `--analyses A,B` — comma-separated subset of analysis
 //!   names (e.g. `1obj,S-2obj+H`);
+//! - `PTA_THREADS` / `--threads N,M` — comma-separated dense-solver worker
+//!   counts; every `(workload, analysis)` cell is solved once per count and
+//!   emits one row per count (`1` = sequential, `0` = one per core, default
+//!   `1`). Results are identical across counts, so extra counts measure
+//!   parallel speedup — the format used by `BENCH_parallel.json`;
 //! - `PTA_REPS` / `--reps N` — repetitions per cell (median reported);
 //! - `PTA_JOBS` / `--jobs N` — worker threads for the matrix (`1` =
 //!   sequential, `0` = one per core, default). Cells are farmed out to
@@ -46,9 +51,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use pta_clients::{precision_metrics, ExperimentMetrics};
-use pta_core::{
-    analyze, analyze_with_config, Analysis, Budget, CancelToken, SolverConfig, SolverStats,
-};
+use pta_core::{Analysis, AnalysisSession, Budget, CancelToken, SolverStats};
 use pta_ir::{Program, ProgramStats};
 use pta_workload::{dacapo_workload, DACAPO_NAMES};
 
@@ -60,6 +63,13 @@ pub use render::{render_figure3_csv, render_figure3_scatter, render_summary, ren
 
 // Re-export for binaries.
 pub use pta_workload::dacapo_config as workload_config;
+
+/// Version of the JSON row format emitted by [`ExperimentRow::to_json`].
+///
+/// History: v1 (unversioned) dumps predate the `schema_version` and
+/// `threads` fields; v2 added both. `table1 --check` accepts either —
+/// see [`json::validate_rows`].
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// How a matrix cell ended: completed, or timed out (even after the one
 /// retry) and the row carries the partial solve's salvaged numbers.
@@ -93,6 +103,10 @@ pub struct ExperimentRow {
     pub analysis: String,
     /// Whether the cell completed or timed out.
     pub status: CellStatus,
+    /// Dense-solver worker count the cell was solved with (`1` =
+    /// sequential; results are identical for every value, only
+    /// `time_secs` changes).
+    pub threads: usize,
     /// Reachable methods ("over ~N meths").
     pub reachable_methods: usize,
     /// "avg objs per var".
@@ -127,6 +141,7 @@ impl ExperimentRow {
         workload: &str,
         analysis: Analysis,
         status: CellStatus,
+        threads: usize,
         m: &ExperimentMetrics,
         time_secs: f64,
         stats: SolverStats,
@@ -135,6 +150,7 @@ impl ExperimentRow {
             workload: workload.to_owned(),
             analysis: analysis.name().to_owned(),
             status,
+            threads,
             reachable_methods: m.reachable_methods,
             avg_objs_per_var: m.avg_var_points_to,
             call_graph_edges: m.call_graph_edges,
@@ -184,15 +200,17 @@ impl ExperimentRow {
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"workload\":\"{}\",\"analysis\":\"{}\",\"status\":\"{}\",\
-             \"reachable_methods\":{},\
+            "{{\"schema_version\":{},\"workload\":\"{}\",\"analysis\":\"{}\",\
+             \"status\":\"{}\",\"threads\":{},\"reachable_methods\":{},\
              \"avg_objs_per_var\":{},\"call_graph_edges\":{},\"poly_v_calls\":{},\
              \"reachable_v_calls\":{},\"may_fail_casts\":{},\"reachable_casts\":{},\
              \"time_secs\":{},\"sensitive_var_points_to\":{},\"contexts\":{},\
              \"heap_contexts\":{},\"uncaught_exception_sites\":{},\"stats\":{}}}",
+            SCHEMA_VERSION,
             json_escape(&self.workload),
             json_escape(&self.analysis),
             self.status.as_str(),
+            self.threads,
             self.reachable_methods,
             json_f64(self.avg_objs_per_var),
             self.call_graph_edges,
@@ -227,6 +245,12 @@ pub struct MatrixOptions {
     pub workloads: Vec<String>,
     /// Analyses to run (Table 1 column order).
     pub analyses: Vec<Analysis>,
+    /// Dense-solver worker counts to run each `(workload, analysis)` cell
+    /// at (`PTA_THREADS` / `--threads`, comma-separated; default `[1]`).
+    /// Each count gets its own row; results are identical across counts,
+    /// so extra counts only add timing columns (the parallel-speedup
+    /// experiment runs `1,4`).
+    pub threads: Vec<usize>,
     /// Repetitions per cell; the median time is reported (the paper uses
     /// medians of three runs).
     pub repetitions: usize,
@@ -245,6 +269,7 @@ impl Default for MatrixOptions {
             scale: 1.0,
             workloads: DACAPO_NAMES.iter().map(|s| s.to_string()).collect(),
             analyses: Analysis::TABLE1.to_vec(),
+            threads: vec![1],
             repetitions: 3,
             jobs: 0,
             cell_timeout: None,
@@ -275,6 +300,10 @@ impl MatrixOptions {
                 .split(',')
                 .map(|a| a.trim().parse().unwrap_or_else(|e| panic!("{e}")))
                 .collect();
+        }
+        if let Ok(s) = std::env::var("PTA_THREADS") {
+            opts.threads =
+                parse_thread_list(&s).unwrap_or_else(|| panic!("bad PTA_THREADS: {s:?}"));
         }
         if let Ok(s) = std::env::var("PTA_REPS") {
             opts.repetitions = s.parse().unwrap_or_else(|_| panic!("bad PTA_REPS: {s:?}"));
@@ -326,6 +355,11 @@ impl MatrixOptions {
                         .map(|a| a.trim().parse().map_err(|e| format!("{e}")))
                         .collect::<Result<_, _>>()?;
                 }
+                "--threads" => {
+                    let v = value(&mut i, "--threads")?;
+                    self.threads = parse_thread_list(&v)
+                        .ok_or_else(|| format!("bad --threads: {v:?} (expected e.g. 1,4)"))?;
+                }
                 "--reps" => {
                     let v = value(&mut i, "--reps")?;
                     self.repetitions = v.parse().map_err(|_| format!("bad --reps: {v:?}"))?;
@@ -370,6 +404,16 @@ fn parse_cell_timeout(s: &str) -> Option<f64> {
         .filter(|v| v.is_finite() && *v > 0.0)
 }
 
+/// Parses a comma-separated worker-count list (`"1,4"`). `0` is allowed
+/// (one worker per core); an empty list is not.
+fn parse_thread_list(s: &str) -> Option<Vec<usize>> {
+    let counts: Option<Vec<usize>> = s
+        .split(',')
+        .map(|t| t.trim().parse::<usize>().ok())
+        .collect();
+    counts.filter(|c| !c.is_empty())
+}
+
 /// Runs one `(program, analysis)` cell, timing the solver only (workload
 /// generation and metric computation excluded), median of `reps` runs.
 pub fn run_cell(
@@ -378,7 +422,7 @@ pub fn run_cell(
     analysis: Analysis,
     reps: usize,
 ) -> ExperimentRow {
-    run_cell_governed(workload, program, analysis, reps, None, None)
+    run_cell_governed(workload, program, analysis, 1, reps, None, None)
 }
 
 /// [`run_cell`] with an optional per-repetition wall-clock deadline and an
@@ -394,30 +438,25 @@ pub fn run_cell_governed(
     workload: &str,
     program: &Program,
     analysis: Analysis,
+    threads: usize,
     reps: usize,
     cell_timeout: Option<f64>,
     cancel: Option<&CancelToken>,
 ) -> ExperimentRow {
-    let governed = cell_timeout.is_some() || cancel.is_some();
     let solve = || {
         let start = Instant::now();
-        let result = if governed {
-            let mut budget = Budget::unlimited();
-            if let Some(secs) = cell_timeout {
-                budget = budget.with_deadline(Duration::from_secs_f64(secs));
-            }
-            analyze_with_config(
-                program,
-                &analysis,
-                SolverConfig {
-                    budget,
-                    cancel: cancel.cloned(),
-                    ..SolverConfig::default()
-                },
-            )
-        } else {
-            analyze(program, &analysis)
-        };
+        let mut budget = Budget::unlimited();
+        if let Some(secs) = cell_timeout {
+            budget = budget.with_deadline(Duration::from_secs_f64(secs));
+        }
+        let mut session = AnalysisSession::new(program)
+            .policy(analysis)
+            .threads(threads)
+            .budget(budget);
+        if let Some(token) = cancel {
+            session = session.cancel(token.clone());
+        }
+        let result = session.run();
         (start.elapsed().as_secs_f64(), result)
     };
     let mut times = Vec::with_capacity(reps.max(1));
@@ -443,14 +482,15 @@ pub fn run_cell_governed(
     let result = result.expect("at least one repetition");
     let stats = *result.solver_stats();
     let metrics = precision_metrics(program, &result);
-    ExperimentRow::new(workload, analysis, status, &metrics, median, stats)
+    ExperimentRow::new(workload, analysis, status, threads, &metrics, median, stats)
 }
 
 fn log_cell(row: &ExperimentRow) {
     eprintln!(
-        "[pta-bench]   {:>10} {:>10}  {:>8.3}s  vpt {:>10}  casts {}/{}{}",
+        "[pta-bench]   {:>10} {:>10} x{}  {:>8.3}s  vpt {:>10}  casts {}/{}{}",
         row.workload,
         row.analysis,
+        row.threads,
         row.time_secs,
         row.sensitive_var_points_to,
         row.may_fail_casts,
@@ -473,8 +513,16 @@ fn log_cell(row: &ExperimentRow) {
 /// first — identical to the sequential order, so `table1`, `figure3` and
 /// `summary` render the same layout either way.
 pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
-    let cells: Vec<(usize, usize)> = (0..opts.workloads.len())
-        .flat_map(|w| (0..opts.analyses.len()).map(move |a| (w, a)))
+    let threads = if opts.threads.is_empty() {
+        vec![1]
+    } else {
+        opts.threads.clone()
+    };
+    let cells: Vec<(usize, usize, usize)> = (0..opts.workloads.len())
+        .flat_map(|w| {
+            let threads = &threads;
+            (0..opts.analyses.len()).flat_map(move |a| (0..threads.len()).map(move |t| (w, a, t)))
+        })
         .collect();
     // One SIGINT-linked token shared by every cell: with a per-cell
     // deadline configured, ctrl-c drains the matrix into timeout rows
@@ -490,16 +538,19 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
             let program = dacapo_workload(name, opts.scale);
             eprintln!("[pta-bench] {name}: {}", ProgramStats::of(&program));
             for &analysis in &opts.analyses {
-                let row = run_cell_governed(
-                    name,
-                    &program,
-                    analysis,
-                    opts.repetitions,
-                    opts.cell_timeout,
-                    cancel.as_ref(),
-                );
-                log_cell(&row);
-                rows.push(row);
+                for &t in &threads {
+                    let row = run_cell_governed(
+                        name,
+                        &program,
+                        analysis,
+                        t,
+                        opts.repetitions,
+                        opts.cell_timeout,
+                        cancel.as_ref(),
+                    );
+                    log_cell(&row);
+                    rows.push(row);
+                }
             }
         }
         return rows;
@@ -521,11 +572,14 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
         for _ in 0..jobs {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(w, a)) = cells.get(i) else { break };
+                let Some(&(w, a, t)) = cells.get(i) else {
+                    break;
+                };
                 let row = run_cell_governed(
                     &opts.workloads[w],
                     &programs[w],
                     opts.analyses[a],
+                    threads[t],
                     opts.repetitions,
                     opts.cell_timeout,
                     cancel.as_ref(),
@@ -587,6 +641,7 @@ mod tests {
             scale: 0.15,
             workloads: vec!["antlr".into()],
             analyses: vec![Analysis::Insens, Analysis::STwoObjH],
+            threads: vec![1],
             repetitions: 1,
             jobs: 1,
             cell_timeout: None,
@@ -608,6 +663,7 @@ mod tests {
             scale: 0.15,
             workloads: vec!["luindex".into(), "lusearch".into()],
             analyses: vec![Analysis::Insens, Analysis::OneObj, Analysis::STwoObjH],
+            threads: vec![1],
             repetitions: 1,
             jobs: 1,
             cell_timeout: None,
@@ -630,6 +686,32 @@ mod tests {
     }
 
     #[test]
+    fn thread_counts_fan_out_into_rows_with_identical_results() {
+        let opts = MatrixOptions {
+            scale: 0.15,
+            workloads: vec!["antlr".into()],
+            analyses: vec![Analysis::STwoObjH],
+            threads: vec![1, 2],
+            repetitions: 1,
+            jobs: 1,
+            cell_timeout: None,
+            json_out: None,
+        };
+        let rows = run_matrix(&opts);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].threads, 1);
+        assert_eq!(rows[1].threads, 2);
+        // Only the clock may differ between the two rows.
+        assert_eq!(
+            rows[0].sensitive_var_points_to,
+            rows[1].sensitive_var_points_to
+        );
+        assert_eq!(rows[0].may_fail_casts, rows[1].may_fail_casts);
+        assert_eq!(rows[0].contexts, rows[1].contexts);
+        assert_eq!(rows[0].call_graph_edges, rows[1].call_graph_edges);
+    }
+
+    #[test]
     fn cli_args_override_options() {
         let mut opts = MatrixOptions::default();
         let args: Vec<String> = [
@@ -639,6 +721,8 @@ mod tests {
             "antlr, chart",
             "--analyses",
             "insens,S-2obj+H",
+            "--threads",
+            "1, 4",
             "--reps",
             "5",
             "--jobs",
@@ -655,6 +739,7 @@ mod tests {
         assert_eq!(opts.scale, 0.5);
         assert_eq!(opts.workloads, vec!["antlr", "chart"]);
         assert_eq!(opts.analyses, vec![Analysis::Insens, Analysis::STwoObjH]);
+        assert_eq!(opts.threads, vec![1, 4]);
         assert_eq!(opts.repetitions, 5);
         assert_eq!(opts.jobs, 2);
         assert_eq!(opts.cell_timeout, Some(2.5));
@@ -680,7 +765,15 @@ mod tests {
         let program = dacapo_workload("hsqldb", 0.3);
         // A microsecond deadline trips on the meter's first clock read, on
         // both the initial attempt and the retry.
-        let row = run_cell_governed("hsqldb", &program, Analysis::TwoObjH, 3, Some(1e-6), None);
+        let row = run_cell_governed(
+            "hsqldb",
+            &program,
+            Analysis::TwoObjH,
+            1,
+            3,
+            Some(1e-6),
+            None,
+        );
         assert_eq!(row.status, CellStatus::Timeout);
         assert!(row.to_json().contains("\"status\":\"timeout\""));
         // The timeout short-circuits the remaining repetitions, and the
@@ -696,15 +789,30 @@ mod tests {
         let token = CancelToken::new();
         token.cancel();
         let program = dacapo_workload("antlr", 0.15);
-        let row = run_cell_governed("antlr", &program, Analysis::STwoObjH, 2, None, Some(&token));
+        let row = run_cell_governed(
+            "antlr",
+            &program,
+            Analysis::STwoObjH,
+            1,
+            2,
+            None,
+            Some(&token),
+        );
         assert_eq!(row.status, CellStatus::Timeout);
     }
 
     #[test]
     fn a_roomy_cell_timeout_changes_nothing() {
         let program = dacapo_workload("luindex", 0.15);
-        let governed =
-            run_cell_governed("luindex", &program, Analysis::OneObj, 1, Some(600.0), None);
+        let governed = run_cell_governed(
+            "luindex",
+            &program,
+            Analysis::OneObj,
+            1,
+            1,
+            Some(600.0),
+            None,
+        );
         let plain = run_cell("luindex", &program, Analysis::OneObj, 1);
         assert_eq!(governed.status, CellStatus::Ok);
         assert_eq!(

@@ -63,7 +63,7 @@ pub fn may_fail_casts(program: &Program, result: &PointsToResult) -> (Vec<CastSi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pta_core::{analyze, Analysis};
+    use pta_core::{Analysis, AnalysisSession};
     use pta_lang::parse_program;
 
     /// A deserialization-style program: payloads of two types stored in a
@@ -97,7 +97,7 @@ mod tests {
     #[test]
     fn insensitive_analysis_cannot_prove_the_casts() {
         let p = parse_program(SOURCE).unwrap();
-        let r = analyze(&p, &Analysis::Insens);
+        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
         let (failing, total) = may_fail_casts(&p, &r);
         assert_eq!(total, 2);
         // Both boxes are conflated: each cast sees both A and B.
@@ -108,7 +108,7 @@ mod tests {
     #[test]
     fn object_sensitive_analysis_proves_the_casts() {
         let p = parse_program(SOURCE).unwrap();
-        let r = analyze(&p, &Analysis::OneObj);
+        let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
         let (failing, total) = may_fail_casts(&p, &r);
         assert_eq!(total, 2);
         assert!(
@@ -131,7 +131,7 @@ mod tests {
         "#,
         )
         .unwrap();
-        let r = analyze(&p, &Analysis::Insens);
+        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
         let (failing, total) = may_fail_casts(&p, &r);
         assert_eq!(total, 0);
         assert!(failing.is_empty());
@@ -150,7 +150,7 @@ mod tests {
         "#,
         )
         .unwrap();
-        let r = analyze(&p, &Analysis::Insens);
+        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
         let (failing, total) = may_fail_casts(&p, &r);
         assert_eq!(total, 1);
         assert!(failing.is_empty());

@@ -74,7 +74,7 @@ pub fn mono_virtual_calls(program: &Program, result: &PointsToResult) -> Vec<Cal
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pta_core::{analyze, Analysis};
+    use pta_core::{Analysis, AnalysisSession};
     use pta_lang::parse_program;
 
     /// Polymorphic hierarchy where precision determines devirtualization:
@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn insens_sees_polymorphic_handlers() {
         let p = parse_program(SOURCE).unwrap();
-        let r = analyze(&p, &Analysis::Insens);
+        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
         let (poly, total) = poly_virtual_calls(&p, &r);
         // set/get on conflated boxes stay monomorphic (one Box class), but
         // the two handle() calls each see {Fast, Slow}.
@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn one_obj_devirtualizes_the_handlers() {
         let p = parse_program(SOURCE).unwrap();
-        let r = analyze(&p, &Analysis::OneObj);
+        let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
         let (poly, total) = poly_virtual_calls(&p, &r);
         assert_eq!(total, 6);
         assert!(poly.is_empty(), "1obj separates the boxes: {poly:?}");
@@ -144,7 +144,7 @@ mod tests {
         "#,
         )
         .unwrap();
-        let r = analyze(&p, &Analysis::Insens);
+        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
         let (poly, total) = poly_virtual_calls(&p, &r);
         assert_eq!(total, 0);
         assert!(poly.is_empty());

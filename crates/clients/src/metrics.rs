@@ -66,7 +66,7 @@ pub fn precision_metrics(program: &Program, result: &PointsToResult) -> Experime
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pta_core::{analyze, Analysis};
+    use pta_core::{Analysis, AnalysisSession};
     use pta_lang::parse_program;
 
     const SOURCE: &str = r#"
@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn metrics_are_internally_consistent() {
         let p = parse_program(SOURCE).unwrap();
-        let r = analyze(&p, &Analysis::Insens);
+        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
         let m = precision_metrics(&p, &r);
         assert_eq!(m.reachable_methods, 4); // main, pick, A.m, B.m
         assert_eq!(m.reachable_virtual_calls, 1);
@@ -108,8 +108,12 @@ mod tests {
     #[test]
     fn more_context_means_no_worse_precision_metrics() {
         let p = parse_program(SOURCE).unwrap();
-        let insens = precision_metrics(&p, &analyze(&p, &Analysis::Insens));
-        let obj = precision_metrics(&p, &analyze(&p, &Analysis::SAOneObj));
+        let insens =
+            precision_metrics(&p, &AnalysisSession::new(&p).policy(Analysis::Insens).run());
+        let obj = precision_metrics(
+            &p,
+            &AnalysisSession::new(&p).policy(Analysis::SAOneObj).run(),
+        );
         assert!(obj.may_fail_casts <= insens.may_fail_casts);
         assert!(obj.poly_virtual_calls <= insens.poly_virtual_calls);
         assert!(obj.call_graph_edges <= insens.call_graph_edges);

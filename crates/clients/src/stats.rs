@@ -78,26 +78,22 @@ pub fn context_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pta_core::{analyze, analyze_with_config, Analysis, SolverConfig};
+    use pta_core::{Analysis, AnalysisSession};
     use pta_workload::{generate, WorkloadConfig};
 
     fn with_tuples(analysis: Analysis) -> (pta_ir::Program, PointsToResult) {
         let p = generate(&WorkloadConfig::tiny(5));
-        let r = analyze_with_config(
-            &p,
-            &analysis,
-            SolverConfig {
-                keep_tuples: true,
-                ..SolverConfig::default()
-            },
-        );
+        let r = AnalysisSession::new(&p)
+            .policy(analysis)
+            .keep_tuples(true)
+            .run();
         (p, r)
     }
 
     #[test]
     fn requires_retained_tuples() {
         let p = generate(&WorkloadConfig::tiny(5));
-        let r = analyze(&p, &Analysis::OneObj);
+        let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
         assert!(context_stats(&p, &r, 5).is_none());
     }
 

@@ -40,26 +40,53 @@ fn v(name: &str) -> Term {
 
 /// Runs `policy` over `program` on the Datalog back end.
 ///
-/// Produces the same [`PointsToResult`] as [`crate::analyze`] (without
+/// Produces the same [`PointsToResult`] as the dense back end (without
 /// retained tuples). Prefer the specialized solver for large programs; this
 /// back end is the executable specification.
+#[deprecated(
+    since = "0.5.0",
+    note = "use AnalysisSession::new(program).policy(p).backend(Backend::Datalog).run()"
+)]
 pub fn analyze_datalog<P>(program: &Program, policy: &P) -> PointsToResult
 where
     P: ContextPolicy + Clone + 'static,
 {
-    analyze_datalog_with_stats(program, policy).0
+    run_datalog(program, policy, &Budget::unlimited(), None).0
 }
 
 /// Like [`analyze_datalog`], also returning engine statistics (fixpoint
 /// rounds, strata, total rows).
+#[deprecated(
+    since = "0.5.0",
+    note = "use AnalysisSession::new(program).policy(p).run_datalog_with_stats()"
+)]
 pub fn analyze_datalog_with_stats<P>(program: &Program, policy: &P) -> (PointsToResult, EngineStats)
 where
     P: ContextPolicy + Clone + 'static,
 {
-    analyze_datalog_governed(program, policy, &Budget::unlimited(), None)
+    run_datalog(program, policy, &Budget::unlimited(), None)
 }
 
 /// Like [`analyze_datalog_with_stats`], under a [`Budget`] checked once
+/// per engine round, with optional cooperative cancellation.
+#[deprecated(
+    since = "0.5.0",
+    note = "use AnalysisSession::new(program).policy(p).budget(b).run_datalog_with_stats()"
+)]
+pub fn analyze_datalog_governed<P>(
+    program: &Program,
+    policy: &P,
+    budget: &Budget,
+    cancel: Option<&CancelToken>,
+) -> (PointsToResult, EngineStats)
+where
+    P: ContextPolicy + Clone + 'static,
+{
+    run_datalog(program, policy, budget, cancel)
+}
+
+/// The Datalog back end behind [`crate::AnalysisSession`] (and the legacy
+/// entry points above): evaluates Figure 2 under a [`Budget`] checked once
 /// per engine round, with optional cooperative cancellation.
 ///
 /// On exhaustion the result is tagged with the tripped
@@ -68,7 +95,7 @@ where
 /// run's). This back end does not degrade — graceful degradation is a
 /// solver-side strategy — so `PointsToResult::demoted_sites` is always
 /// empty here.
-pub fn analyze_datalog_governed<P>(
+pub(crate) fn run_datalog<P>(
     program: &Program,
     policy: &P,
     budget: &Budget,
@@ -178,6 +205,7 @@ where
         // The generic engine reports its own EvalStats; the dense solver's
         // counters stay zero for this back end.
         stats: crate::results::SolverStats::default(),
+        shard_stats: Vec::new(),
         termination: stats.termination,
         // This back end never degrades contexts mid-run.
         demoted: Vec::new(),
@@ -658,7 +686,7 @@ fn clone_hctx_interner(src: &HCtxInterner) -> HCtxInterner {
 mod tests {
     use super::*;
     use crate::policy::Analysis;
-    use crate::solver::analyze;
+    use crate::session::{AnalysisSession, Backend};
     use pta_ir::ProgramBuilder;
 
     /// Box container program: two boxes, two payloads, store/load.
@@ -696,8 +724,10 @@ mod tests {
     fn datalog_matches_solver_on_box_program() {
         let (p, [r1, r2]) = box_program();
         for analysis in [Analysis::Insens, Analysis::OneObj, Analysis::STwoObjH] {
-            let fast = analyze(&p, &analysis);
-            let (slow, _) = analyze_datalog_with_stats(&p, &analysis);
+            let fast = AnalysisSession::new(&p).policy(analysis).run();
+            let (slow, _) = AnalysisSession::new(&p)
+                .policy(analysis)
+                .run_datalog_with_stats();
             for var in p.vars() {
                 assert_eq!(
                     fast.points_to(var),
@@ -713,10 +743,13 @@ mod tests {
             assert_eq!(fast.reachable_method_count(), slow.reachable_method_count());
         }
         // And the object-sensitive analysis is actually precise here.
-        let obj = analyze_datalog(&p, &Analysis::OneObj);
+        let obj = AnalysisSession::new(&p)
+            .policy(Analysis::OneObj)
+            .backend(Backend::Datalog)
+            .run();
         assert_eq!(obj.points_to(r1).len(), 1);
         assert_eq!(obj.points_to(r2).len(), 1);
-        let insens = analyze_datalog(&p, &Analysis::Insens);
+        let insens = AnalysisSession::new(&p).backend(Backend::Datalog).run();
         assert_eq!(insens.points_to(r1).len(), 2);
     }
 }

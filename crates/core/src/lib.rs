@@ -14,20 +14,22 @@
 //!   `S-2type+H` (§3.2) — the paper's contribution;
 //! - the `2call+H` deep-call-site ablation.
 //!
-//! Two interchangeable evaluation back ends are provided:
+//! Two interchangeable evaluation back ends are provided, both reached
+//! through the [`AnalysisSession`] builder:
 //!
-//! - [`analyze`] / [`solver`] — a specialized semi-naive worklist solver,
-//!   the analogue of Doop's compiled LogicBlox program. This is the fast
-//!   path used by benchmarks.
-//! - [`datalog_impl`] — the paper's Figure 2 rules encoded *literally* on
-//!   the generic [`pta_datalog`] engine, with the context constructors
-//!   registered as functors. The two back ends are cross-validated to
-//!   produce identical results on every workload.
+//! - [`Backend::Dense`] / [`solver`] — a specialized semi-naive worklist
+//!   solver, the analogue of Doop's compiled LogicBlox program. This is
+//!   the fast path used by benchmarks, and the only back end with a
+//!   parallel execution mode ([`parallel`]; `.threads(n)`).
+//! - [`Backend::Datalog`] / [`datalog_impl`] — the paper's Figure 2 rules
+//!   encoded *literally* on the generic [`pta_datalog`] engine, with the
+//!   context constructors registered as functors. The two back ends are
+//!   cross-validated to produce identical results on every workload.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use pta_core::{analyze, Analysis};
+//! use pta_core::{Analysis, AnalysisSession};
 //! use pta_ir::ProgramBuilder;
 //!
 //! // new C; two call sites of a static identity method.
@@ -49,8 +51,8 @@
 //!
 //! // 1obj merges the two static calls; the selective hybrid SA-1obj
 //! // distinguishes them by call site — the paper's core observation.
-//! let merged = analyze(&program, &Analysis::OneObj);
-//! let hybrid = analyze(&program, &Analysis::SAOneObj);
+//! let merged = AnalysisSession::new(&program).policy(Analysis::OneObj).run();
+//! let hybrid = AnalysisSession::new(&program).policy(Analysis::SAOneObj).run();
 //! assert_eq!(merged.points_to(r1).len(), 2);
 //! assert_eq!(hybrid.points_to(r1).len(), 1);
 //! # let _ = r2;
@@ -60,9 +62,11 @@
 pub mod context;
 pub mod datalog_impl;
 pub mod fault;
+pub mod parallel;
 pub mod policy;
 pub mod pts;
 pub mod results;
+pub mod session;
 pub mod solver;
 
 pub use context::{
@@ -76,4 +80,7 @@ pub use pts::PtsSet;
 // budgets without naming pta-govern directly.
 pub use pta_govern::{Budget, BudgetMeter, CancelToken, Termination};
 pub use results::{CtxVarPointsTo, DemotedSite, Derivation, PointsToResult, SolverStats};
-pub use solver::{analyze, analyze_with_config, SolverConfig};
+pub use session::{AnalysisSession, Backend};
+pub use solver::SolverConfig;
+#[allow(deprecated)] // legacy entry points stay importable during migration
+pub use solver::{analyze, analyze_with_config};

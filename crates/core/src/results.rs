@@ -144,6 +144,12 @@ pub struct SolverStats {
     /// Methods demoted to the context-insensitive fallback by graceful
     /// degradation.
     pub demoted_methods: u64,
+    /// Bulk-synchronous rounds executed by the parallel solver (0 for
+    /// sequential runs).
+    pub par_rounds: u64,
+    /// Cross-shard messages sent by the parallel solver (0 for
+    /// sequential runs).
+    pub par_msgs: u64,
 }
 
 impl SolverStats {
@@ -187,7 +193,41 @@ impl SolverStats {
             ("objects", self.objects),
             ("steps", self.steps),
             ("demoted_methods", self.demoted_methods),
+            ("par_rounds", self.par_rounds),
+            ("par_msgs", self.par_msgs),
         ]
+    }
+
+    /// Accumulates another shard's counters into `self`: sums everywhere
+    /// except `peak_worklist`, which takes the maximum (queue depths on
+    /// different shards overlap in time and cannot be added).
+    pub(crate) fn absorb(&mut self, other: &SolverStats) {
+        let peak = self.peak_worklist.max(other.peak_worklist);
+        for (mine, theirs) in [
+            (&mut self.vpt_inserted, other.vpt_inserted),
+            (&mut self.vpt_dup, other.vpt_dup),
+            (&mut self.fire_alloc, other.fire_alloc),
+            (&mut self.fire_assign, other.fire_assign),
+            (&mut self.fire_interproc, other.fire_interproc),
+            (&mut self.fire_load, other.fire_load),
+            (&mut self.fire_store, other.fire_store),
+            (&mut self.fire_static_load, other.fire_static_load),
+            (&mut self.fire_static_store, other.fire_static_store),
+            (&mut self.fire_this_binding, other.fire_this_binding),
+            (&mut self.fire_vcall_dispatch, other.fire_vcall_dispatch),
+            (&mut self.fire_caught, other.fire_caught),
+            (&mut self.throw_tuples, other.throw_tuples),
+            (&mut self.fld_inserted, other.fld_inserted),
+            (&mut self.call_edges, other.call_edges),
+            (&mut self.ipa_edges, other.ipa_edges),
+            (&mut self.batches, other.batches),
+            (&mut self.steps, other.steps),
+            (&mut self.demoted_methods, other.demoted_methods),
+            (&mut self.par_msgs, other.par_msgs),
+        ] {
+            *mine += theirs;
+        }
+        self.peak_worklist = peak;
     }
 
     /// Serializes the counters as a single-line JSON object (the repo is
@@ -236,6 +276,9 @@ pub struct PointsToResult {
     pub(crate) ctx_interner: CtxInterner,
     pub(crate) hctx_interner: HCtxInterner,
     pub(crate) stats: SolverStats,
+    /// Per-shard counters when the parallel solver ran (empty for
+    /// sequential and Datalog runs); `stats` holds their aggregate.
+    pub(crate) shard_stats: Vec<SolverStats>,
     pub(crate) termination: Termination,
     pub(crate) demoted: Vec<DemotedSite>,
 }
@@ -313,6 +356,14 @@ impl PointsToResult {
     /// reports its own evaluation statistics instead.
     pub fn solver_stats(&self) -> &SolverStats {
         &self.stats
+    }
+
+    /// Per-shard solver counters from a parallel run
+    /// (`AnalysisSession::threads` > 1), in shard order. Empty for
+    /// sequential and Datalog runs; [`PointsToResult::solver_stats`] is
+    /// always the aggregate view.
+    pub fn shard_stats(&self) -> &[SolverStats] {
+        &self.shard_stats
     }
 
     /// How the run ended. [`Termination::Complete`] means the result is

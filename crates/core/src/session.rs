@@ -1,0 +1,241 @@
+//! The unified entry point: one builder for every way to run an analysis.
+//!
+//! Historically the crate grew five entry functions — `analyze`,
+//! `analyze_with_config`, `analyze_datalog`, `analyze_datalog_with_stats`,
+//! `analyze_datalog_governed` — one per (back end × configuration) corner.
+//! [`AnalysisSession`] collapses them into a single builder:
+//!
+//! ```
+//! use pta_core::{Analysis, AnalysisSession, Backend};
+//! use pta_ir::ProgramBuilder;
+//!
+//! let mut b = ProgramBuilder::new();
+//! let object = b.class("Object", None);
+//! let c = b.class("C", Some(object));
+//! let main = b.method(c, "main", &[], true);
+//! let v = b.var(main, "v");
+//! b.alloc(main, v, c, "new C");
+//! b.entry_point(main);
+//! let program = b.finish()?;
+//!
+//! let result = AnalysisSession::new(&program)
+//!     .policy(Analysis::STwoObjH)
+//!     .backend(Backend::Dense)
+//!     .threads(4)
+//!     .run();
+//! assert_eq!(result.points_to(v).len(), 1);
+//! # Ok::<(), pta_ir::ValidateError>(())
+//! ```
+//!
+//! The legacy functions survive as `#[deprecated]` shims over this builder.
+//!
+//! ## Back-end and thread dispatch
+//!
+//! `threads(1)` (the default) runs the sequential dense solver;
+//! `threads(n)` for `n > 1` runs the sharded parallel solver of
+//! [`crate::parallel`], which produces the same result; `threads(0)` asks
+//! the OS for the available parallelism. The Datalog back end is a
+//! single-threaded reference implementation and ignores the thread count.
+//!
+//! Configurations only the sequential solver supports — provenance
+//! tracking, retained tuple sets, and fault injection — fall back to one
+//! thread silently: they are observability/testing features where the
+//! result, not wall-clock, is the point.
+
+use pta_datalog::EngineStats;
+use pta_govern::{Budget, CancelToken};
+use pta_ir::Program;
+
+use crate::datalog_impl;
+use crate::fault::FaultPlan;
+use crate::parallel::solve_parallel;
+use crate::policy::{Analysis, ContextPolicy};
+use crate::results::PointsToResult;
+use crate::solver::{solve_sequential, SolverConfig};
+
+/// Which evaluation engine a session runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The specialized dense worklist solver ([`crate::solver`]) — the
+    /// fast path, and the only back end with parallel execution, graceful
+    /// degradation, provenance, and fault injection.
+    #[default]
+    Dense,
+    /// The literal Figure 2 rule set on the generic Datalog engine
+    /// ([`crate::datalog_impl`]) — the executable specification, used for
+    /// cross-validation.
+    Datalog,
+}
+
+/// A configured analysis run: program, policy, back end, thread count,
+/// and resource governance, assembled fluently and executed with
+/// [`AnalysisSession::run`].
+#[derive(Debug)]
+pub struct AnalysisSession<'a, P: ContextPolicy = Analysis> {
+    program: &'a Program,
+    policy: P,
+    backend: Backend,
+    threads: usize,
+    config: SolverConfig,
+}
+
+impl<'a> AnalysisSession<'a, Analysis> {
+    /// Starts a session over `program` with the default configuration:
+    /// context-insensitive policy, dense back end, one thread, no budget.
+    pub fn new(program: &'a Program) -> AnalysisSession<'a, Analysis> {
+        AnalysisSession {
+            program,
+            policy: Analysis::Insens,
+            backend: Backend::Dense,
+            threads: 1,
+            config: SolverConfig::default(),
+        }
+    }
+}
+
+impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
+    /// Selects the context policy (any [`Analysis`] variant or a custom
+    /// [`ContextPolicy`] implementation).
+    pub fn policy<Q: ContextPolicy>(self, policy: Q) -> AnalysisSession<'a, Q> {
+        AnalysisSession {
+            program: self.program,
+            policy,
+            backend: self.backend,
+            threads: self.threads,
+            config: self.config,
+        }
+    }
+
+    /// Selects the evaluation back end (default [`Backend::Dense`]).
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the dense solver's worker count (default 1 = sequential).
+    /// `0` uses the machine's available parallelism. The Datalog back end
+    /// ignores this.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Attaches a resource [`Budget`] (checked cooperatively; see
+    /// `SolverConfig::budget`).
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Enables graceful degradation on budget exhaustion (dense back end
+    /// only; see `SolverConfig::degrade`).
+    #[must_use]
+    pub fn degrade(mut self, degrade: bool) -> Self {
+        self.config.degrade = degrade;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    #[must_use]
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.config.cancel = Some(cancel);
+        self
+    }
+
+    /// Retains the full context-sensitive tuple set in the result
+    /// (sequential dense runs only; forces one thread).
+    #[must_use]
+    pub fn keep_tuples(mut self, keep: bool) -> Self {
+        self.config.keep_tuples = keep;
+        self
+    }
+
+    /// Records one derivation per tuple for `PointsToResult::explain`
+    /// (sequential dense runs only; forces one thread).
+    #[must_use]
+    pub fn track_provenance(mut self, track: bool) -> Self {
+        self.config.track_provenance = track;
+        self
+    }
+
+    /// Installs a deterministic fault plan for exhaustion-path testing
+    /// (sequential dense runs only; forces one thread).
+    #[must_use]
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.config.fault = Some(fault);
+        self
+    }
+
+    /// Replaces the whole [`SolverConfig`] at once (for callers that
+    /// already assemble one).
+    #[must_use]
+    pub fn config(mut self, config: SolverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The effective dense worker count after resolving `0` = auto and
+    /// the sequential-only feature fallbacks. The Datalog back end always
+    /// runs single-threaded regardless of this value. Public so reporting
+    /// layers can label a run with the worker count it actually used.
+    pub fn effective_threads(&self) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.threads
+        };
+        if self.config.keep_tuples || self.config.track_provenance || self.config.fault.is_some() {
+            1
+        } else {
+            requested
+        }
+    }
+
+    /// Runs the session. `Clone + 'static` is required because the
+    /// Datalog back end registers the policy's context constructors as
+    /// boxed engine functors; every policy in the crate is a copyable
+    /// value, so the bound is free in practice.
+    pub fn run(self) -> PointsToResult
+    where
+        P: Clone + 'static,
+    {
+        match self.backend {
+            Backend::Dense => {
+                let threads = self.effective_threads();
+                if threads > 1 {
+                    solve_parallel(self.program, &self.policy, self.config, threads)
+                } else {
+                    solve_sequential(self.program, &self.policy, self.config)
+                }
+            }
+            Backend::Datalog => {
+                datalog_impl::run_datalog(
+                    self.program,
+                    &self.policy,
+                    &self.config.budget,
+                    self.config.cancel.as_ref(),
+                )
+                .0
+            }
+        }
+    }
+
+    /// Runs on the Datalog back end and also returns the engine's
+    /// evaluation statistics (fixpoint rounds, strata, total rows) — the
+    /// one output shape the dense back end cannot produce. Ignores the
+    /// configured [`Backend`].
+    pub fn run_datalog_with_stats(self) -> (PointsToResult, EngineStats)
+    where
+        P: Clone + 'static,
+    {
+        datalog_impl::run_datalog(
+            self.program,
+            &self.policy,
+            &self.config.budget,
+            self.config.cancel.as_ref(),
+        )
+    }
+}

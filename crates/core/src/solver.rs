@@ -86,39 +86,44 @@ pub struct SolverConfig {
 }
 
 /// Sentinel in `Solver::demote_ctx` for a method that is not demoted.
-const NOT_DEMOTED: u32 = u32::MAX;
+pub(crate) const NOT_DEMOTED: u32 = u32::MAX;
 
 /// Degradation watermark used when `SolverConfig::degrade` is set but the
 /// budget does not name one.
-const DEFAULT_WATERMARK: u32 = 16;
+pub(crate) const DEFAULT_WATERMARK: u32 = 16;
 
 /// Runs `policy` over `program` with default configuration.
-///
-/// This is the main entry point of the crate:
-///
-/// ```
-/// use pta_core::{analyze, Analysis};
-/// use pta_ir::ProgramBuilder;
-///
-/// let mut b = ProgramBuilder::new();
-/// let object = b.class("Object", None);
-/// let c = b.class("C", Some(object));
-/// let main = b.method(c, "main", &[], true);
-/// let v = b.var(main, "v");
-/// b.alloc(main, v, c, "new C");
-/// b.entry_point(main);
-/// let program = b.finish()?;
-///
-/// let result = analyze(&program, &Analysis::STwoObjH);
-/// assert_eq!(result.points_to(v).len(), 1);
-/// # Ok::<(), pta_ir::ValidateError>(())
-/// ```
-pub fn analyze<P: ContextPolicy>(program: &Program, policy: &P) -> PointsToResult {
-    analyze_with_config(program, policy, SolverConfig::default())
+#[deprecated(
+    since = "0.5.0",
+    note = "use AnalysisSession::new(program).policy(p).run()"
+)]
+pub fn analyze<P>(program: &Program, policy: &P) -> PointsToResult
+where
+    P: ContextPolicy + Clone + 'static,
+{
+    crate::session::AnalysisSession::new(program)
+        .policy(policy.clone())
+        .run()
 }
 
 /// Runs `policy` over `program` with explicit configuration.
-pub fn analyze_with_config<P: ContextPolicy>(
+#[deprecated(
+    since = "0.5.0",
+    note = "use AnalysisSession::new(program).policy(p).config(c).run()"
+)]
+pub fn analyze_with_config<P>(program: &Program, policy: &P, config: SolverConfig) -> PointsToResult
+where
+    P: ContextPolicy + Clone + 'static,
+{
+    crate::session::AnalysisSession::new(program)
+        .policy(policy.clone())
+        .config(config)
+        .run()
+}
+
+/// The sequential dense back end behind [`crate::AnalysisSession`] (and the
+/// legacy entry points above).
+pub(crate) fn solve_sequential<P: ContextPolicy>(
     program: &Program,
     policy: &P,
     config: SolverConfig,
@@ -151,13 +156,13 @@ fn build_csr<T: Copy + Ord>(n_vars: usize, mut pairs: Vec<(u32, T)>) -> (Vec<u32
 
 /// Row layout of [`StaticIndex::rows`]: segment starts of the six item
 /// tables, plus the thrown flag in the last slot.
-const ROW_ASSIGN: usize = 0;
-const ROW_LOAD_ON: usize = 1;
-const ROW_STORE_ON: usize = 2;
-const ROW_STORE_OF: usize = 3;
-const ROW_SSTORE_OF: usize = 4;
-const ROW_VCALL_ON: usize = 5;
-const ROW_THROWN: usize = 6;
+pub(crate) const ROW_ASSIGN: usize = 0;
+pub(crate) const ROW_LOAD_ON: usize = 1;
+pub(crate) const ROW_STORE_ON: usize = 2;
+pub(crate) const ROW_STORE_OF: usize = 3;
+pub(crate) const ROW_SSTORE_OF: usize = 4;
+pub(crate) const ROW_VCALL_ON: usize = 5;
+pub(crate) const ROW_THROWN: usize = 6;
 
 /// Precomputed, context-independent instruction indices keyed by variable.
 /// These are the static input relations of Figure 1, organized by the
@@ -167,24 +172,24 @@ const ROW_THROWN: usize = 6;
 /// `rows` array so that `process_key` touches one or two cache lines per
 /// variable instead of twelve scattered ones: `rows[v][t]..rows[v + 1][t]`
 /// is variable `v`'s segment in item table `t`.
-struct StaticIndex {
-    rows: Vec<[u32; 7]>,
+pub(crate) struct StaticIndex {
+    pub(crate) rows: Vec<[u32; 7]>,
     /// `from -> [(to, cast filter)]` for `Move` and `Cast`.
-    assigns: Vec<(VarId, Option<TypeId>)>,
+    pub(crate) assigns: Vec<(VarId, Option<TypeId>)>,
     /// `base -> [(to, field)]` for `Load`.
-    loads_on: Vec<(VarId, FieldId)>,
+    pub(crate) loads_on: Vec<(VarId, FieldId)>,
     /// `base -> [(field, from)]` for `Store`.
-    stores_on: Vec<(FieldId, VarId)>,
+    pub(crate) stores_on: Vec<(FieldId, VarId)>,
     /// `from -> [(base, field)]` for `Store`.
-    stores_of: Vec<(VarId, FieldId)>,
+    pub(crate) stores_of: Vec<(VarId, FieldId)>,
     /// `from -> [field]` for `SStore` (static-field writes).
-    sstores_of: Vec<FieldId>,
+    pub(crate) sstores_of: Vec<FieldId>,
     /// `base -> [(sig, invo)]` for `VCall`.
-    vcalls_on: Vec<(SigId, InvoId)>,
+    pub(crate) vcalls_on: Vec<(SigId, InvoId)>,
 }
 
 impl StaticIndex {
-    fn build(program: &Program) -> StaticIndex {
+    pub(crate) fn build(program: &Program) -> StaticIndex {
         let n = program.var_count();
         let instrs = program.instr_count();
         // Pre-size the pair collections from the total instruction count;
@@ -1339,6 +1344,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             ctx_interner: self.ctxs,
             hctx_interner: self.hctxs,
             stats: self.stats,
+            shard_stats: Vec::new(),
             termination,
             demoted: self.demoted_sites,
         }

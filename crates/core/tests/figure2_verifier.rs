@@ -3,7 +3,7 @@
 //! stratum is the mutually-recursive points-to core.
 
 use pta_core::datalog_impl::verify_figure2;
-use pta_core::Analysis;
+use pta_core::{Analysis, AnalysisSession, Backend};
 use pta_ir::ProgramBuilder;
 
 /// A small but feature-complete program: virtual + static calls, field and
@@ -118,6 +118,9 @@ fn verification_runs_before_every_datalog_evaluation() {
     // analyze_datalog() asserts on the verifier internally; a clean run on
     // a full-feature program is evidence the gate passes in production.
     let program = full_feature_program();
-    let result = pta_core::datalog_impl::analyze_datalog(&program, &Analysis::Insens);
+    let result = AnalysisSession::new(&program)
+        .policy(Analysis::Insens)
+        .backend(Backend::Datalog)
+        .run();
     assert!(result.ctx_var_points_to_count() > 0);
 }

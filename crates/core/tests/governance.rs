@@ -10,8 +10,8 @@
 use std::time::{Duration, Instant};
 
 use pta_core::{
-    analyze, analyze_with_config, Analysis, Budget, CancelToken, FaultPlan, PointsToResult,
-    SolverConfig, Termination,
+    Analysis, AnalysisSession, Budget, CancelToken, FaultPlan, PointsToResult, SolverConfig,
+    Termination,
 };
 use pta_ir::Program;
 use pta_workload::{dacapo_workload, generate, WorkloadConfig};
@@ -104,16 +104,15 @@ fn assert_superset(program: &Program, coarse: &PointsToResult, precise: &PointsT
 #[test]
 fn forced_step_limit_yields_tagged_sound_partial() {
     let p = dacapo_workload("luindex", 0.3);
-    let complete = analyze(&p, &Analysis::TwoObjH);
-    let partial = analyze_with_config(
-        &p,
-        &Analysis::TwoObjH,
-        governed(
+    let complete = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
+    let partial = AnalysisSession::new(&p)
+        .policy(Analysis::TwoObjH)
+        .config(governed(
             Budget::unlimited(),
             false,
             Some(FaultPlan::trip_at(200, Termination::StepLimit)),
-        ),
-    );
+        ))
+        .run();
     assert_eq!(partial.termination(), Termination::StepLimit);
     assert!(partial.demoted_sites().is_empty());
     assert_subset(&p, &partial, &complete);
@@ -122,16 +121,15 @@ fn forced_step_limit_yields_tagged_sound_partial() {
 #[test]
 fn forced_memory_cap_yields_tagged_sound_partial() {
     let p = dacapo_workload("luindex", 0.3);
-    let complete = analyze(&p, &Analysis::TwoObjH);
-    let partial = analyze_with_config(
-        &p,
-        &Analysis::TwoObjH,
-        governed(
+    let complete = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
+    let partial = AnalysisSession::new(&p)
+        .policy(Analysis::TwoObjH)
+        .config(governed(
             Budget::unlimited(),
             false,
             Some(FaultPlan::trip_at(150, Termination::MemoryCap)),
-        ),
-    );
+        ))
+        .run();
     assert_eq!(partial.termination(), Termination::MemoryCap);
     assert_subset(&p, &partial, &complete);
 }
@@ -139,16 +137,15 @@ fn forced_memory_cap_yields_tagged_sound_partial() {
 #[test]
 fn forced_deadline_yields_tagged_sound_partial() {
     let p = dacapo_workload("luindex", 0.3);
-    let complete = analyze(&p, &Analysis::TwoObjH);
-    let partial = analyze_with_config(
-        &p,
-        &Analysis::TwoObjH,
-        governed(
+    let complete = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
+    let partial = AnalysisSession::new(&p)
+        .policy(Analysis::TwoObjH)
+        .config(governed(
             Budget::unlimited(),
             false,
             Some(FaultPlan::trip_at(100, Termination::DeadlineExceeded)),
-        ),
-    );
+        ))
+        .run();
     assert_eq!(partial.termination(), Termination::DeadlineExceeded);
     assert_subset(&p, &partial, &complete);
 }
@@ -162,15 +159,14 @@ fn real_deadline_trips_via_injected_stall_within_overshoot_bound() {
     let p = dacapo_workload("luindex", 0.4);
     let deadline = Duration::from_millis(150);
     let start = Instant::now();
-    let partial = analyze_with_config(
-        &p,
-        &Analysis::TwoObjH,
-        governed(
+    let partial = AnalysisSession::new(&p)
+        .policy(Analysis::TwoObjH)
+        .config(governed(
             Budget::unlimited().with_deadline(deadline),
             false,
             Some(FaultPlan::stall(1, 200)),
-        ),
-    );
+        ))
+        .run();
     let elapsed = start.elapsed();
     assert_eq!(partial.termination(), Termination::DeadlineExceeded);
     assert!(
@@ -182,12 +178,15 @@ fn real_deadline_trips_via_injected_stall_within_overshoot_bound() {
 #[test]
 fn degrade_turns_step_limit_into_degraded_complete() {
     let p = dacapo_workload("luindex", 0.3);
-    let precise = analyze(&p, &Analysis::TwoObjH);
-    let coarse = analyze_with_config(
-        &p,
-        &Analysis::TwoObjH,
-        governed(Budget::unlimited().with_max_steps(1000), true, None),
-    );
+    let precise = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
+    let coarse = AnalysisSession::new(&p)
+        .policy(Analysis::TwoObjH)
+        .config(governed(
+            Budget::unlimited().with_max_steps(1000),
+            true,
+            None,
+        ))
+        .run();
     assert_eq!(coarse.termination(), Termination::Complete);
     assert!(
         !coarse.demoted_sites().is_empty(),
@@ -203,12 +202,15 @@ fn degrade_turns_step_limit_into_degraded_complete() {
 #[test]
 fn degrade_turns_memory_cap_into_degraded_complete() {
     let p = dacapo_workload("luindex", 0.3);
-    let precise = analyze(&p, &Analysis::TwoObjH);
-    let coarse = analyze_with_config(
-        &p,
-        &Analysis::TwoObjH,
-        governed(Budget::unlimited().with_max_memory(32 * 1024), true, None),
-    );
+    let precise = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
+    let coarse = AnalysisSession::new(&p)
+        .policy(Analysis::TwoObjH)
+        .config(governed(
+            Budget::unlimited().with_max_memory(32 * 1024),
+            true,
+            None,
+        ))
+        .run();
     assert_eq!(coarse.termination(), Termination::Complete);
     assert!(!coarse.demoted_sites().is_empty());
     assert_superset(&p, &coarse, &precise);
@@ -223,15 +225,14 @@ fn degrade_gives_a_deadline_one_grace_window_then_goes_partial() {
     let p = dacapo_workload("luindex", 0.4);
     let deadline = Duration::from_millis(100);
     let start = Instant::now();
-    let r = analyze_with_config(
-        &p,
-        &Analysis::TwoObjH,
-        governed(
+    let r = AnalysisSession::new(&p)
+        .policy(Analysis::TwoObjH)
+        .config(governed(
             Budget::unlimited().with_deadline(deadline),
             true,
             Some(FaultPlan::stall(1, 200)),
-        ),
-    );
+        ))
+        .run();
     let elapsed = start.elapsed();
     // With a 200µs stall every step the grace window cannot finish either.
     assert_eq!(r.termination(), Termination::DeadlineExceeded);
@@ -250,15 +251,11 @@ fn cancellation_is_never_degraded_away() {
     let p = dacapo_workload("luindex", 0.3);
     let cancel = CancelToken::new();
     cancel.cancel();
-    let r = analyze_with_config(
-        &p,
-        &Analysis::TwoObjH,
-        SolverConfig {
-            degrade: true,
-            cancel: Some(cancel),
-            ..SolverConfig::default()
-        },
-    );
+    let r = AnalysisSession::new(&p)
+        .policy(Analysis::TwoObjH)
+        .degrade(true)
+        .cancel(cancel)
+        .run();
     // External cancellation reports as DeadlineExceeded (the budget
     // vocabulary's "out of time") and must stop the run even with
     // --degrade: the user asked for a stop, not a coarser answer.
@@ -271,20 +268,18 @@ fn seeded_fault_plans_hit_every_termination_variant() {
     let p = dacapo_workload("luindex", 0.3);
     // The workload must be big enough that every seeded trip step (< 512)
     // lands mid-run.
-    let full = analyze_with_config(
-        &p,
-        &Analysis::TwoObjH,
-        governed(Budget::unlimited(), false, None),
-    );
+    let full = AnalysisSession::new(&p)
+        .policy(Analysis::TwoObjH)
+        .config(governed(Budget::unlimited(), false, None))
+        .run();
     assert!(full.solver_stats().steps > 512, "workload too small");
     let mut seen = [false; 3];
     for seed in 0..12 {
         let plan = FaultPlan::from_seed(seed);
-        let r = analyze_with_config(
-            &p,
-            &Analysis::TwoObjH,
-            governed(Budget::unlimited(), false, Some(plan)),
-        );
+        let r = AnalysisSession::new(&p)
+            .policy(Analysis::TwoObjH)
+            .config(governed(Budget::unlimited(), false, Some(plan)))
+            .run();
         let t = r.termination();
         assert!(!t.is_complete(), "seed {seed}: forced trip did not fire");
         assert_eq!(Some(t), plan.trip.map(|(_, t)| t));
@@ -316,8 +311,14 @@ fn governed_runs_are_bit_identical_across_repeats_and_threads() {
         let p = generate(&WorkloadConfig::tiny(seed));
         for &max_steps in &budgets {
             let cfg = || governed(Budget::unlimited().with_max_steps(max_steps), true, None);
-            let a = analyze_with_config(&p, &Analysis::STwoObjH, cfg());
-            let b = analyze_with_config(&p, &Analysis::STwoObjH, cfg());
+            let a = AnalysisSession::new(&p)
+                .policy(Analysis::STwoObjH)
+                .config(cfg())
+                .run();
+            let b = AnalysisSession::new(&p)
+                .policy(Analysis::STwoObjH)
+                .config(cfg())
+                .run();
             let fp = fingerprint(&p, &a);
             assert_eq!(fp, fingerprint(&p, &b), "seed {seed} budget {max_steps}");
             expected.push((seed, max_steps, fp));
@@ -330,11 +331,14 @@ fn governed_runs_are_bit_identical_across_repeats_and_threads() {
             scope.spawn(move || {
                 for (seed, max_steps, fp) in expected {
                     let p = generate(&WorkloadConfig::tiny(*seed));
-                    let r = analyze_with_config(
-                        &p,
-                        &Analysis::STwoObjH,
-                        governed(Budget::unlimited().with_max_steps(*max_steps), true, None),
-                    );
+                    let r = AnalysisSession::new(&p)
+                        .policy(Analysis::STwoObjH)
+                        .config(governed(
+                            Budget::unlimited().with_max_steps(*max_steps),
+                            true,
+                            None,
+                        ))
+                        .run();
                     assert_eq!(
                         &fingerprint(&p, &r),
                         fp,
@@ -352,18 +356,17 @@ fn untripped_budgets_do_not_change_results() {
     // watermark demotes high-fan-out methods proactively, budget or not)
     // must be invisible: same fixpoint as the ungoverned fast path.
     let p = dacapo_workload("antlr", 0.15);
-    let plain = analyze(&p, &Analysis::STwoObjH);
-    let roomy = analyze_with_config(
-        &p,
-        &Analysis::STwoObjH,
-        governed(
+    let plain = AnalysisSession::new(&p).policy(Analysis::STwoObjH).run();
+    let roomy = AnalysisSession::new(&p)
+        .policy(Analysis::STwoObjH)
+        .config(governed(
             Budget::unlimited()
                 .with_max_steps(u64::MAX / 2)
                 .with_max_memory(u64::MAX / 2),
             false,
             None,
-        ),
-    );
+        ))
+        .run();
     assert_eq!(roomy.termination(), Termination::Complete);
     assert!(roomy.demoted_sites().is_empty());
     assert_subset(&p, &roomy, &plain);

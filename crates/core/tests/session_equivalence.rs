@@ -1,0 +1,310 @@
+//! Session-API property tests: `AnalysisSession` must be a drop-in
+//! replacement for all five legacy entry points, and the sharded parallel
+//! solver must be indistinguishable from the sequential one.
+//!
+//! Two families of assertions:
+//!
+//! 1. **Thread-count invariance** — for every policy on every DaCapo
+//!    config, `threads(4)` (and odd shard counts) produce a result whose
+//!    semantic fingerprint (points-to sets, call graph, reachability,
+//!    context-sensitive tuple counts, interned-key counts, uncaught
+//!    exceptions) is identical to the sequential run. Internal effort
+//!    counters (`steps`, message traffic) are *not* part of the
+//!    fingerprint: they describe the schedule, not the fixpoint.
+//! 2. **Legacy equivalence** — each deprecated function and its builder
+//!    spelling produce identical fingerprints, so downstream callers can
+//!    migrate mechanically.
+//!
+//! Governance composition (starved parallel runs stop with a sound
+//! prefix, degraded runs stay complete) is covered at the end.
+
+#![allow(deprecated)] // deliberately exercises the legacy entry points
+
+use pta_core::datalog_impl::{
+    analyze_datalog, analyze_datalog_governed, analyze_datalog_with_stats,
+};
+use pta_core::{
+    analyze, analyze_with_config, Analysis, AnalysisSession, Backend, Budget, PointsToResult,
+    SolverConfig,
+};
+use pta_ir::Program;
+use pta_workload::{dacapo_workload, DACAPO_NAMES};
+
+/// Semantic fingerprint of a result: everything the analysis *means*,
+/// nothing about how hard the solver worked to get there.
+fn fingerprint(program: &Program, r: &PointsToResult) -> String {
+    let mut out = String::new();
+    for var in program.vars() {
+        if !r.points_to(var).is_empty() {
+            out.push_str(&format!("v{:?}={:?};", var, r.points_to(var)));
+        }
+    }
+    for invo in program.invos() {
+        if !r.call_targets(invo).is_empty() {
+            out.push_str(&format!("c{:?}={:?};", invo, r.call_targets(invo)));
+        }
+    }
+    let s = r.solver_stats();
+    out.push_str(&format!(
+        "reach={};edges={};ctx_vpt={};ctx_edges={};uncaught={:?};\
+         ctxs={};hctxs={};objs={};term={}",
+        r.reachable_method_count(),
+        r.call_graph_edge_count(),
+        r.ctx_var_points_to_count(),
+        r.ctx_call_graph_edge_count(),
+        r.uncaught_exceptions(),
+        s.contexts,
+        s.heap_contexts,
+        s.objects,
+        r.termination(),
+    ));
+    out
+}
+
+fn assert_threads_agree(program: &Program, analysis: Analysis, threads: usize, label: &str) {
+    let seq = AnalysisSession::new(program).policy(analysis).run();
+    let par = AnalysisSession::new(program)
+        .policy(analysis)
+        .threads(threads)
+        .run();
+    assert_eq!(
+        fingerprint(program, &seq),
+        fingerprint(program, &par),
+        "{label}/{analysis}: threads({threads}) diverged from sequential"
+    );
+    // A parallel run reports one stats block per shard whose absorbed
+    // totals are what the merged stats advertise. (`threads(0)` on a
+    // single-core host legitimately resolves to a sequential run, which
+    // has no shards.)
+    if threads > 1 {
+        assert!(
+            !par.shard_stats().is_empty() && par.shard_stats().len() <= threads,
+            "{label}/{analysis}: expected 1..={threads} shard stats, got {}",
+            par.shard_stats().len()
+        );
+    }
+    if !par.shard_stats().is_empty() {
+        let shard_vpt: u64 = par.shard_stats().iter().map(|s| s.vpt_inserted).sum();
+        assert_eq!(
+            shard_vpt,
+            par.solver_stats().vpt_inserted,
+            "{label}/{analysis}: shard stats do not sum to the merged totals"
+        );
+    }
+}
+
+/// Every policy × every DaCapo config: 4 workers match sequential.
+#[test]
+fn four_threads_match_sequential_for_every_policy_on_every_config() {
+    for name in DACAPO_NAMES {
+        let program = dacapo_workload(name, 0.15);
+        for analysis in Analysis::ALL {
+            assert_threads_agree(&program, analysis, 4, name);
+        }
+    }
+}
+
+/// Shard counts that do not divide the key space evenly (including more
+/// shards than the clamp will grant) behave identically too.
+#[test]
+fn odd_thread_counts_match_sequential() {
+    let program = dacapo_workload("chart", 0.3);
+    for analysis in [Analysis::Insens, Analysis::STwoObjH, Analysis::TwoCallH] {
+        for threads in [2, 3, 7, 64] {
+            assert_threads_agree(&program, analysis, threads, "chart");
+        }
+    }
+}
+
+/// `threads(0)` resolves to the machine's available parallelism and still
+/// matches sequential.
+#[test]
+fn auto_thread_count_matches_sequential() {
+    let program = dacapo_workload("luindex", 0.3);
+    assert_threads_agree(&program, Analysis::STwoObjH, 0, "luindex");
+}
+
+/// The five deprecated entry points and their builder spellings agree on
+/// every policy (dense pair on every config; the slower Datalog pairs on
+/// one config per policy).
+#[test]
+fn builder_matches_legacy_dense_entry_points() {
+    for name in DACAPO_NAMES {
+        let program = dacapo_workload(name, 0.15);
+        for analysis in Analysis::ALL {
+            let legacy = analyze(&program, &analysis);
+            let session = AnalysisSession::new(&program).policy(analysis).run();
+            assert_eq!(
+                fingerprint(&program, &legacy),
+                fingerprint(&program, &session),
+                "{name}/{analysis}: session diverged from analyze()"
+            );
+        }
+    }
+}
+
+#[test]
+fn builder_matches_legacy_config_entry_point() {
+    let program = dacapo_workload("bloat", 0.3);
+    let config = SolverConfig {
+        keep_tuples: true,
+        ..SolverConfig::default()
+    };
+    let legacy = analyze_with_config(&program, &Analysis::SAOneObj, config.clone());
+    let session = AnalysisSession::new(&program)
+        .policy(Analysis::SAOneObj)
+        .config(config)
+        .run();
+    assert_eq!(
+        fingerprint(&program, &legacy),
+        fingerprint(&program, &session),
+        "session diverged from analyze_with_config()"
+    );
+}
+
+#[test]
+fn builder_matches_legacy_datalog_entry_points() {
+    for analysis in Analysis::ALL {
+        let program = dacapo_workload("luindex", 0.1);
+        let legacy = analyze_datalog(&program, &analysis);
+        let session = AnalysisSession::new(&program)
+            .policy(analysis)
+            .backend(Backend::Datalog)
+            .run();
+        assert_eq!(
+            fingerprint(&program, &legacy),
+            fingerprint(&program, &session),
+            "{analysis}: session diverged from analyze_datalog()"
+        );
+    }
+    // The stats-returning and governed spellings, on one representative.
+    let program = dacapo_workload("luindex", 0.2);
+    let (legacy, legacy_stats) = analyze_datalog_with_stats(&program, &Analysis::UOneObj);
+    let (gov, _) =
+        analyze_datalog_governed(&program, &Analysis::UOneObj, &Budget::unlimited(), None);
+    let (session, session_stats) = AnalysisSession::new(&program)
+        .policy(Analysis::UOneObj)
+        .run_datalog_with_stats();
+    assert_eq!(
+        fingerprint(&program, &legacy),
+        fingerprint(&program, &session)
+    );
+    assert_eq!(fingerprint(&program, &legacy), fingerprint(&program, &gov));
+    assert_eq!(legacy_stats.rounds, session_stats.rounds);
+    assert_eq!(legacy_stats.total_rows, session_stats.total_rows);
+}
+
+/// Sequential-only observability features silently fall back to one
+/// worker instead of panicking or losing the data.
+#[test]
+fn provenance_and_tuples_force_sequential() {
+    let program = dacapo_workload("antlr", 0.2);
+    let r = AnalysisSession::new(&program)
+        .policy(Analysis::OneObj)
+        .threads(8)
+        .track_provenance(true)
+        .run();
+    // Provenance is only recorded by the sequential path; a populated
+    // explanation proves the fallback happened.
+    let var = program
+        .vars()
+        .find(|&v| !r.points_to(v).is_empty())
+        .expect("some variable points somewhere");
+    let heap = r.points_to(var)[0];
+    assert!(
+        r.explain(&program, var, heap).is_some(),
+        "provenance lost: threads(8) did not fall back to sequential"
+    );
+}
+
+/// `partial` must be a sound prefix of `complete`: every fact it derived
+/// is a fact of the full fixpoint.
+fn assert_subset(program: &Program, partial: &PointsToResult, complete: &PointsToResult) {
+    for var in program.vars() {
+        for h in partial.points_to(var) {
+            assert!(
+                complete.points_to(var).contains(h),
+                "partial derived {h:?} for {} not in complete run",
+                program.var_name(var)
+            );
+        }
+    }
+    for invo in program.invos() {
+        for m in partial.call_targets(invo) {
+            assert!(
+                complete.call_targets(invo).contains(m),
+                "partial call edge at {invo:?} not in complete run"
+            );
+        }
+    }
+}
+
+/// A starved parallel run stops early with a tagged, sound partial
+/// result — same contract as the sequential solver.
+#[test]
+fn starved_parallel_run_is_a_sound_prefix() {
+    let program = dacapo_workload("chart", 0.4);
+    let complete = AnalysisSession::new(&program)
+        .policy(Analysis::STwoObjH)
+        .run();
+    for threads in [2, 4] {
+        let partial = AnalysisSession::new(&program)
+            .policy(Analysis::STwoObjH)
+            .threads(threads)
+            .budget(Budget::unlimited().with_max_steps(400))
+            .run();
+        assert!(
+            !partial.termination().is_complete(),
+            "threads({threads}): 400 steps should starve this workload"
+        );
+        assert_subset(&program, &partial, &complete);
+    }
+}
+
+/// A starved parallel run with `--degrade` demotes hot methods and runs
+/// to (degraded) completion instead of stopping.
+#[test]
+fn degraded_parallel_run_completes() {
+    let program = dacapo_workload("chart", 0.4);
+    let insens = AnalysisSession::new(&program)
+        .policy(Analysis::Insens)
+        .run();
+    let degraded = AnalysisSession::new(&program)
+        .policy(Analysis::STwoObjH)
+        .threads(4)
+        .budget(Budget::unlimited().with_max_steps(400).with_watermark(4))
+        .degrade(true)
+        .run();
+    assert!(
+        degraded.termination().is_complete(),
+        "degrade must trade precision for completion"
+    );
+    assert!(
+        !degraded.demoted_sites().is_empty(),
+        "a starved degraded run must demote something"
+    );
+    // Degradation must stay sound: everything the context-insensitive
+    // baseline would *not* derive cannot appear, i.e. the degraded run is
+    // a refinement of insens — so insens over-approximates it.
+    assert_subset(&program, &degraded, &insens);
+}
+
+/// Cooperative cancellation drains in-flight messages and returns a
+/// sound prefix instead of deadlocking the barrier protocol.
+#[test]
+fn cancelled_parallel_run_stops_soundly() {
+    use pta_core::CancelToken;
+    let program = dacapo_workload("chart", 0.4);
+    let complete = AnalysisSession::new(&program)
+        .policy(Analysis::STwoObjH)
+        .run();
+    let token = CancelToken::new();
+    token.cancel();
+    let partial = AnalysisSession::new(&program)
+        .policy(Analysis::STwoObjH)
+        .threads(4)
+        .cancel(token)
+        .run();
+    assert!(!partial.termination().is_complete());
+    assert_subset(&program, &partial, &complete);
+}

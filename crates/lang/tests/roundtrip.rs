@@ -3,7 +3,7 @@
 //! and round-tripped programs must coincide (up to entity renumbering,
 //! compared via size-signatures of points-to sets and call graphs).
 
-use pta_core::{analyze, Analysis};
+use pta_core::{Analysis, AnalysisSession};
 use pta_ir::{Program, ProgramStats};
 use pta_lang::{parse_program, print_program};
 use pta_workload::{generate, WorkloadConfig};
@@ -12,7 +12,7 @@ use pta_workload::{generate, WorkloadConfig};
 /// of per-variable points-to sizes, the edge count, and reachable-method
 /// count. Equal programs (up to renaming) must produce equal signatures.
 fn signature(program: &Program, analysis: Analysis) -> (Vec<usize>, usize, usize, u64) {
-    let r = analyze(program, &analysis);
+    let r = AnalysisSession::new(program).policy(analysis).run();
     let mut sizes: Vec<usize> = program
         .vars()
         .map(|v| r.points_to(v).len())

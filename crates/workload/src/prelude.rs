@@ -235,7 +235,7 @@ pub fn build_pair(b: &mut ProgramBuilder, object: TypeId) -> PairClasses {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pta_core::{analyze, Analysis};
+    use pta_core::{Analysis, AnalysisSession};
     use pta_ir::ProgramBuilder;
 
     /// Two lists, two payload types: only heap-context analyses keep the
@@ -264,10 +264,10 @@ mod tests {
         b.entry_point(main);
         let p = b.finish().unwrap();
 
-        let coarse = analyze(&p, &Analysis::OneObj);
+        let coarse = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
         assert_eq!(coarse.points_to(g1).len(), 2, "1obj conflates the entries");
 
-        let fine = analyze(&p, &Analysis::TwoObjH);
+        let fine = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
         assert_eq!(fine.points_to(g1), &[h_red], "2obj+H separates the lists");
         assert_eq!(fine.points_to(g2), &[h_blue]);
     }
@@ -293,7 +293,7 @@ mod tests {
         b.entry_point(main);
         let p = b.finish().unwrap();
         for analysis in [Analysis::Insens, Analysis::TwoObjH, Analysis::SThreeObj2H] {
-            let r = analyze(&p, &analysis);
+            let r = AnalysisSession::new(&p).policy(analysis).run();
             assert_eq!(r.points_to(got), &[hx], "{analysis}");
         }
     }
@@ -317,7 +317,7 @@ mod tests {
         b.vcall(main, p_var, "getSecond", &[], Some(s), "second");
         b.entry_point(main);
         let p = b.finish().unwrap();
-        let r = analyze(&p, &Analysis::Insens);
+        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
         assert_eq!(r.points_to(f), &[ha]);
         assert_eq!(r.points_to(s), &[hb]);
     }

@@ -11,7 +11,7 @@
 //! Run with: `cargo run --example cast_checker`
 
 use pta_clients::may_fail_casts;
-use pta_core::{analyze, Analysis};
+use pta_core::{Analysis, AnalysisSession};
 use pta_lang::parse_program;
 
 const SOURCE: &str = r#"
@@ -87,7 +87,7 @@ fn main() {
         Analysis::STwoObjH,
         Analysis::UTwoObjH,
     ] {
-        let result = analyze(&program, &analysis);
+        let result = AnalysisSession::new(&program).policy(analysis).run();
         let (failing, total) = may_fail_casts(&program, &result);
         println!(
             "=== {analysis}: {} of {total} casts may fail",

@@ -11,8 +11,7 @@
 
 use std::time::Instant;
 
-use pta_core::datalog_impl::analyze_datalog_with_stats;
-use pta_core::{analyze, Analysis};
+use pta_core::{Analysis, AnalysisSession};
 use pta_workload::{generate, WorkloadConfig};
 
 fn main() {
@@ -36,11 +35,13 @@ fn main() {
         Analysis::STwoObjH,
     ] {
         let t0 = Instant::now();
-        let fast = analyze(&program, &analysis);
+        let fast = AnalysisSession::new(&program).policy(analysis).run();
         let fast_time = t0.elapsed();
 
         let t1 = Instant::now();
-        let (slow, stats) = analyze_datalog_with_stats(&program, &analysis);
+        let (slow, stats) = AnalysisSession::new(&program)
+            .policy(analysis)
+            .run_datalog_with_stats();
         let slow_time = t1.elapsed();
 
         // Cross-validate everything observable.

@@ -23,7 +23,9 @@
 //! Run with: `cargo run --release --example custom_policy [workload]`
 
 use pta_clients::precision_metrics;
-use pta_core::{analyze, ctx3, hctx1, Analysis, ContextPolicy, Ctx, CtxElem, CtxElemKind, HeapCtx};
+use pta_core::{
+    ctx3, hctx1, Analysis, AnalysisSession, ContextPolicy, Ctx, CtxElem, CtxElemKind, HeapCtx,
+};
 use pta_ir::{HeapId, InvoId, Program};
 use pta_workload::dacapo_workload;
 
@@ -92,9 +94,9 @@ impl ContextPolicy for CallSiteTailTwoObj {
     }
 }
 
-fn report<P: ContextPolicy>(program: &Program, policy: &P) {
+fn report<P: ContextPolicy + Clone + 'static>(program: &Program, policy: &P) {
     let start = std::time::Instant::now();
-    let result = analyze(program, policy);
+    let result = AnalysisSession::new(program).policy(policy.clone()).run();
     let elapsed = start.elapsed().as_secs_f64();
     let m = precision_metrics(program, &result);
     println!(

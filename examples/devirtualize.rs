@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example devirtualize [workload] [scale]`
 
 use pta_clients::{mono_virtual_calls, poly_virtual_calls};
-use pta_core::{analyze, Analysis};
+use pta_core::{Analysis, AnalysisSession};
 use pta_workload::dacapo_workload;
 
 fn main() {
@@ -39,7 +39,7 @@ fn main() {
         Analysis::TwoObjH,
         Analysis::STwoObjH,
     ] {
-        let result = analyze(&program, &analysis);
+        let result = AnalysisSession::new(&program).policy(analysis).run();
         let mono = mono_virtual_calls(&program, &result);
         let (poly, reachable) = poly_virtual_calls(&program, &result);
         println!(
@@ -55,7 +55,7 @@ fn main() {
     }
 
     let (best_analysis, _) = best.expect("at least one analysis ran");
-    let result = analyze(&program, &best_analysis);
+    let result = AnalysisSession::new(&program).policy(best_analysis).run();
     let mono = mono_virtual_calls(&program, &result);
     println!("\nSample devirtualization opportunities found by {best_analysis}:");
     for site in mono.iter().take(8) {

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example exception_report [workload]`
 
-use pta_core::{analyze, Analysis};
+use pta_core::{Analysis, AnalysisSession};
 use pta_lang::parse_program;
 use pta_workload::dacapo_workload;
 
@@ -57,7 +57,7 @@ fn main() {
     let p = parse_program(DEMO).expect("demo parses");
     println!("demo: two channels, one armed with a Timeout, one with a Corrupt\n");
     for analysis in [Analysis::Insens, Analysis::SBOneObj, Analysis::STwoObjH] {
-        let r = analyze(&p, &analysis);
+        let r = AnalysisSession::new(&p).policy(analysis).run();
         let sites: Vec<&str> = r
             .uncaught_exceptions()
             .iter()
@@ -91,7 +91,7 @@ fn main() {
         Analysis::TwoObjH,
         Analysis::STwoObjH,
     ] {
-        let r = analyze(&program, &analysis);
+        let r = AnalysisSession::new(&program).policy(analysis).run();
         println!(
             "  {analysis:>10}: {:>3} uncaught exception sites",
             r.uncaught_exceptions().len()

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use pta_core::{analyze_with_config, Analysis, SolverConfig};
+use pta_core::{Analysis, AnalysisSession};
 use pta_lang::parse_program;
 
 const SOURCE: &str = r#"
@@ -69,14 +69,10 @@ fn main() {
         .collect();
 
     for analysis in [Analysis::Insens, Analysis::OneObj, Analysis::SAOneObj] {
-        let result = analyze_with_config(
-            &program,
-            &analysis,
-            SolverConfig {
-                keep_tuples: true,
-                ..SolverConfig::default()
-            },
-        );
+        let result = AnalysisSession::new(&program)
+            .policy(analysis)
+            .keep_tuples(true)
+            .run();
         println!("=== {analysis} ===");
         for &var in &interesting {
             let meth = program.method_qualified_name(program.var_method(var));

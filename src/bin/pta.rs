@@ -19,6 +19,9 @@
 //!                          object per analysis with any --metrics under
 //!                          "metrics" and any --stats under "stats"
 //!     --datalog            evaluate on the Datalog back end instead
+//!     --threads N          dense-solver worker count (default 1 =
+//!                          sequential; 0 = all available cores); results
+//!                          are identical for every N
 //!     --timeout SECS       wall-clock budget (float); on expiry the run
 //!                          stops cooperatively with a tagged partial result
 //!     --max-steps N        fixpoint-step budget (engine rounds on --datalog)
@@ -57,10 +60,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use pta_clients::{context_stats, may_fail_casts, poly_virtual_calls, precision_metrics};
-use pta_core::datalog_impl::analyze_datalog_governed;
-use pta_core::{
-    analyze, analyze_with_config, Analysis, Budget, CancelToken, PointsToResult, SolverConfig,
-};
+use pta_core::{Analysis, AnalysisSession, Backend, Budget, CancelToken, PointsToResult};
 use pta_govern::parse_byte_size;
 use pta_ir::Program;
 use pta_lang::{parse_program, print_program};
@@ -147,6 +147,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let mut explain: Vec<String> = Vec::new();
     let mut budget = Budget::unlimited();
     let mut degrade = false;
+    let mut threads: usize = 1;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -237,6 +238,16 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => threads = n,
+                    None => {
+                        eprintln!("error: --threads needs a worker count (0 = auto)");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
             "--degrade" => degrade = true,
             "--metrics" => metrics = true,
             "--stats" => stats = true,
@@ -288,36 +299,39 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
 
     // Keep each (analysis, result) alive until the end so JSON reports can
     // borrow them and print as one array.
-    let mut runs: Vec<(Analysis, f64, PointsToResult)> = Vec::new();
+    let mut runs: Vec<(Analysis, usize, f64, PointsToResult)> = Vec::new();
     let mut any_partial = false;
+    if datalog && !explain.is_empty() {
+        eprintln!("error: --explain requires the specialized solver (drop --datalog)");
+        return ExitCode::from(EXIT_USAGE);
+    }
     for analysis in analyses {
         let start = std::time::Instant::now();
-        let result: PointsToResult = if datalog {
-            if !explain.is_empty() {
-                eprintln!("error: --explain requires the specialized solver (drop --datalog)");
-                return ExitCode::from(EXIT_USAGE);
-            }
-            analyze_datalog_governed(&program, &analysis, &budget, cancel.as_ref()).0
-        } else if !governed && explain.is_empty() && !hot {
-            analyze(&program, &analysis)
+        let mut session = AnalysisSession::new(&program)
+            .policy(analysis)
+            .backend(if datalog {
+                Backend::Datalog
+            } else {
+                Backend::Dense
+            })
+            .threads(threads)
+            .budget(budget.clone())
+            .degrade(degrade)
+            .keep_tuples(hot)
+            .track_provenance(!explain.is_empty());
+        if let Some(token) = &cancel {
+            session = session.cancel(token.clone());
+        }
+        let solved_threads = if datalog {
+            1
         } else {
-            analyze_with_config(
-                &program,
-                &analysis,
-                SolverConfig {
-                    track_provenance: !explain.is_empty(),
-                    keep_tuples: hot,
-                    budget: budget.clone(),
-                    degrade,
-                    cancel: cancel.clone(),
-                    fault: None,
-                },
-            )
+            session.effective_threads()
         };
+        let result: PointsToResult = session.run();
         let elapsed = start.elapsed();
         any_partial |= !result.termination().is_complete();
         if json {
-            runs.push((analysis, elapsed.as_secs_f64(), result));
+            runs.push((analysis, solved_threads, elapsed.as_secs_f64(), result));
             continue;
         }
         println!(
@@ -438,11 +452,11 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     if json {
         let metric_sets: Vec<Option<pta_clients::ExperimentMetrics>> = runs
             .iter()
-            .map(|(_, _, result)| metrics.then(|| precision_metrics(&program, result)))
+            .map(|(_, _, _, result)| metrics.then(|| precision_metrics(&program, result)))
             .collect();
         let demoted_sets: Vec<Vec<(String, u32)>> = runs
             .iter()
-            .map(|(_, _, result)| {
+            .map(|(_, _, _, result)| {
                 result
                     .demoted_sites()
                     .iter()
@@ -454,10 +468,11 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             .iter()
             .zip(&metric_sets)
             .zip(&demoted_sets)
-            .map(|(((analysis, time_secs, result), m), demoted)| {
+            .map(|(((analysis, threads, time_secs, result), m), demoted)| {
                 hybrid_pta::report::AnalysisReport {
                     analysis: analysis.name(),
                     backend: if datalog { "datalog" } else { "specialized" },
+                    threads: *threads,
                     time_secs: *time_secs,
                     result,
                     metrics: m.as_ref(),

@@ -4,6 +4,9 @@ pub mod report;
 
 pub use pta_clients as clients;
 pub use pta_core as core;
+// The one-stop entry point, hoisted to the facade root so downstream
+// code can write `pta::AnalysisSession` / `hybrid_pta::AnalysisSession`.
+pub use pta_core::{Analysis, AnalysisSession, Backend};
 pub use pta_datalog as datalog;
 pub use pta_ir as ir;
 pub use pta_lang as lang;

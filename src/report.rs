@@ -7,11 +7,21 @@
 //! passed. Every report carries the run's `"termination"` status
 //! (`complete`, `deadline_exceeded`, `step_limit`, `memory_cap`); runs that
 //! gracefully degraded also list the demoted methods under
-//! `"demoted_sites"`. Hand-rolled JSON: the toolchain runs fully offline, so there is
-//! no serde; the shape is locked down by `tests/cli_report.rs`.
+//! `"demoted_sites"`. Every object opens with a `"schema_version"` field
+//! ([`SCHEMA_VERSION`]) so consumers can detect format changes; v1 payloads
+//! (before the version, `threads` and `shard_stats` fields existed) carry
+//! no version field at all. Hand-rolled JSON: the toolchain runs fully
+//! offline, so there is no serde; the shape is locked down by
+//! `tests/cli_report.rs`.
 
 use pta_clients::ExperimentMetrics;
 use pta_core::PointsToResult;
+
+/// Version of the per-run JSON object emitted by [`AnalysisReport::to_json`].
+///
+/// History: v1 (unversioned) predates `schema_version`, `threads` and
+/// `shard_stats`; v2 added all three.
+pub const SCHEMA_VERSION: u32 = 2;
 
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -38,6 +48,9 @@ pub struct AnalysisReport<'a> {
     pub backend: &'a str,
     /// Wall-clock solve time.
     pub time_secs: f64,
+    /// Dense-solver worker count the run was configured with (`1` =
+    /// sequential; the Datalog back end always reports `1`).
+    pub threads: usize,
     /// The solved result.
     pub result: &'a PointsToResult,
     /// Table 1 metric set, when `--metrics` was passed.
@@ -55,10 +68,13 @@ impl AnalysisReport<'_> {
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = format!(
-            "{{\"analysis\":\"{}\",\"backend\":\"{}\",\"time_secs\":{},\
+            "{{\"schema_version\":{},\"analysis\":\"{}\",\"backend\":\"{}\",\
+             \"threads\":{},\"time_secs\":{},\
              \"reachable_methods\":{},\"call_graph_edges\":{},\"termination\":\"{}\"",
+            SCHEMA_VERSION,
             esc(self.analysis),
             esc(self.backend),
+            self.threads,
             if self.time_secs.is_finite() {
                 format!("{}", self.time_secs)
             } else {
@@ -100,6 +116,17 @@ impl AnalysisReport<'_> {
                 ",\"stats\":{}",
                 self.result.solver_stats().to_json()
             ));
+            // Parallel runs also expose the per-shard breakdown, in shard
+            // order, so imbalance is visible without rerunning.
+            if !self.result.shard_stats().is_empty() {
+                let shards: Vec<String> = self
+                    .result
+                    .shard_stats()
+                    .iter()
+                    .map(pta_core::SolverStats::to_json)
+                    .collect();
+                out.push_str(&format!(",\"shard_stats\":[{}]", shards.join(",")));
+            }
         }
         out.push('}');
         out

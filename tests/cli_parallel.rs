@@ -1,0 +1,132 @@
+//! CLI-level contract of `pta analyze --threads`: the JSON report is
+//! byte-identical across worker counts (modulo wall-clock and the worker
+//! count itself), and governance composes with parallel execution — a
+//! starved parallel run exits `3` with a tagged partial result, exactly
+//! like a starved sequential run.
+//!
+//! These tests spawn the real binary, so they cover the full
+//! flag-parsing → `AnalysisSession` → report pipeline end to end.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn pta() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pta"))
+}
+
+/// Generates the CI workload fixture (luindex at scale 0.3) into a temp
+/// file and returns its path. Deterministic: the generator is seeded.
+fn workload_file(tag: &str) -> PathBuf {
+    let out = pta()
+        .args(["workload", "luindex", "--scale", "0.3", "--print"])
+        .output()
+        .expect("spawn pta workload");
+    assert!(out.status.success(), "workload generation failed");
+    let path =
+        std::env::temp_dir().join(format!("pta-cli-parallel-{}-{tag}.jir", std::process::id()));
+    std::fs::write(&path, &out.stdout).expect("write workload fixture");
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    pta().args(args).output().expect("spawn pta analyze")
+}
+
+/// Blanks the value of `key` (a `"name":` prefix) everywhere in a JSON
+/// string — for fields that legitimately differ between runs.
+fn scrub(json: &str, key: &str) -> String {
+    let mut out = String::new();
+    let mut rest = json;
+    while let Some(i) = rest.find(key) {
+        let vstart = i + key.len();
+        let vend = vstart
+            + rest[vstart..]
+                .find([',', '}'])
+                .expect("JSON value terminator");
+        out.push_str(&rest[..vstart]);
+        out.push('_');
+        rest = &rest[vend..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn json_report_is_byte_identical_across_thread_counts() {
+    let file = workload_file("identical");
+    let f = file.to_str().unwrap();
+    let base = &["analyze", f, "--analysis", "2obj+H", "--format", "json"];
+    let one = run(&[base as &[&str], &["--threads", "1"]].concat());
+    let four = run(&[base as &[&str], &["--threads", "4"]].concat());
+    assert!(one.status.success(), "threads=1 run failed");
+    assert!(four.status.success(), "threads=4 run failed");
+
+    let one_json = String::from_utf8(one.stdout).unwrap();
+    let four_json = String::from_utf8(four.stdout).unwrap();
+    // The worker count is reported faithfully before scrubbing…
+    assert!(one_json.contains("\"threads\":1,"), "{one_json}");
+    assert!(four_json.contains("\"threads\":4,"), "{four_json}");
+    // …and everything except wall-clock and the count itself is
+    // byte-identical: same points-to sets, call graph, termination.
+    let scrubbed = |j: &str| scrub(&scrub(j, "\"time_secs\":"), "\"threads\":");
+    assert_eq!(
+        scrubbed(&one_json),
+        scrubbed(&four_json),
+        "parallel JSON report differs from sequential"
+    );
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn starved_parallel_run_exits_partial() {
+    let file = workload_file("starved");
+    let f = file.to_str().unwrap();
+    let out = run(&[
+        "analyze",
+        f,
+        "--analysis",
+        "2obj+H",
+        "--threads",
+        "4",
+        "--max-steps",
+        "1000",
+    ]);
+    // Exit 3: a budget tripped and the result is a tagged sound prefix.
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "expected the partial-result exit code"
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("PARTIAL RESULT: budget exhausted"),
+        "partial banner missing: {text}"
+    );
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn degraded_parallel_run_completes_with_demotions() {
+    let file = workload_file("degraded");
+    let f = file.to_str().unwrap();
+    let out = run(&[
+        "analyze",
+        f,
+        "--analysis",
+        "2obj+H",
+        "--threads",
+        "4",
+        "--max-steps",
+        "1000",
+        "--degrade",
+    ]);
+    // Degradation trades precision for completion: exit 0, W007 per site.
+    assert_eq!(out.status.code(), Some(0), "degraded run must complete");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("degraded:"),
+        "demotion report missing: {text}"
+    );
+    assert!(text.contains("W007"), "W007 diagnostics missing: {text}");
+    let _ = std::fs::remove_file(file);
+}

@@ -1,22 +1,25 @@
 //! Golden tests for the `pta analyze --format json` report shape
 //! (`hybrid_pta::report`). The JSON is hand-rolled, so these tests pin the
 //! exact bytes for a deterministic fixture — any emitter change must be a
-//! deliberate golden update here.
+//! deliberate golden update here (and a `SCHEMA_VERSION` bump when the
+//! change is not purely additive).
 
 use hybrid_pta::clients::precision_metrics;
-use hybrid_pta::core::{analyze, Analysis};
+use hybrid_pta::core::Analysis;
 use hybrid_pta::lang::parse_program;
-use hybrid_pta::report::{reports_to_json, AnalysisReport};
+use hybrid_pta::report::{reports_to_json, AnalysisReport, SCHEMA_VERSION};
+use hybrid_pta::AnalysisSession;
 
 const MOTIVATING: &str = include_str!("../examples/programs/motivating.jir");
 
 #[test]
 fn minimal_report_golden() {
     let program = parse_program(MOTIVATING).unwrap();
-    let result = analyze(&program, &Analysis::Insens);
+    let result = AnalysisSession::new(&program).run();
     let report = AnalysisReport {
         analysis: Analysis::Insens.name(),
         backend: "specialized",
+        threads: 1,
         time_secs: 0.25,
         result: &result,
         metrics: None,
@@ -25,19 +28,23 @@ fn minimal_report_golden() {
     };
     assert_eq!(
         report.to_json(),
-        "{\"analysis\":\"insens\",\"backend\":\"specialized\",\"time_secs\":0.25,\
+        "{\"schema_version\":2,\"analysis\":\"insens\",\"backend\":\"specialized\",\
+         \"threads\":1,\"time_secs\":0.25,\
          \"reachable_methods\":2,\"call_graph_edges\":2,\"termination\":\"complete\"}"
     );
+    // The golden bytes above pin the constant too.
+    assert_eq!(SCHEMA_VERSION, 2);
 }
 
 #[test]
 fn demoted_sites_golden() {
     let program = parse_program(MOTIVATING).unwrap();
-    let result = analyze(&program, &Analysis::Insens);
+    let result = AnalysisSession::new(&program).run();
     let demoted = vec![("C.run".to_owned(), 21u32), ("D.go".to_owned(), 17u32)];
     let report = AnalysisReport {
         analysis: Analysis::Insens.name(),
         backend: "specialized",
+        threads: 1,
         time_secs: 0.25,
         result: &result,
         metrics: None,
@@ -46,7 +53,8 @@ fn demoted_sites_golden() {
     };
     assert_eq!(
         report.to_json(),
-        "{\"analysis\":\"insens\",\"backend\":\"specialized\",\"time_secs\":0.25,\
+        "{\"schema_version\":2,\"analysis\":\"insens\",\"backend\":\"specialized\",\
+         \"threads\":1,\"time_secs\":0.25,\
          \"reachable_methods\":2,\"call_graph_edges\":2,\"termination\":\"complete\",\
          \"demoted_sites\":[{\"method\":\"C.run\",\"fanout\":21},\
          {\"method\":\"D.go\",\"fanout\":17}]}"
@@ -56,10 +64,13 @@ fn demoted_sites_golden() {
 #[test]
 fn stats_ride_under_the_stats_key() {
     let program = parse_program(MOTIVATING).unwrap();
-    let result = analyze(&program, &Analysis::STwoObjH);
+    let result = AnalysisSession::new(&program)
+        .policy(Analysis::STwoObjH)
+        .run();
     let report = AnalysisReport {
         analysis: Analysis::STwoObjH.name(),
         backend: "specialized",
+        threads: 1,
         time_secs: 0.5,
         result: &result,
         metrics: None,
@@ -76,16 +87,63 @@ fn stats_ride_under_the_stats_key() {
     )));
     assert!(json.contains("\"dedup_hit_rate\":"));
     assert!(json.ends_with("}}"));
+    // A sequential run has no shard breakdown.
+    assert!(!json.contains("\"shard_stats\""));
+}
+
+#[test]
+fn parallel_runs_expose_shard_stats() {
+    let program = parse_program(MOTIVATING).unwrap();
+    let result = AnalysisSession::new(&program)
+        .policy(Analysis::STwoObjH)
+        .threads(2)
+        .run();
+    let report = AnalysisReport {
+        analysis: Analysis::STwoObjH.name(),
+        backend: "specialized",
+        threads: 2,
+        time_secs: 0.5,
+        result: &result,
+        metrics: None,
+        include_stats: true,
+        demoted: &[],
+    };
+    let json = report.to_json();
+    assert!(json.contains("\"threads\":2,"));
+    assert!(
+        json.contains(",\"shard_stats\":[{"),
+        "parallel --stats must carry the per-shard breakdown: {json}"
+    );
+    // One object per shard, each a full SolverStats rendering.
+    assert_eq!(
+        json.matches("\"vpt_inserted\":").count(),
+        1 + result.shard_stats().len()
+    );
+    // Without --stats the shard breakdown stays out of the payload.
+    let lean = AnalysisReport {
+        analysis: Analysis::STwoObjH.name(),
+        backend: "specialized",
+        threads: 2,
+        time_secs: 0.5,
+        result: &result,
+        metrics: None,
+        include_stats: false,
+        demoted: &[],
+    };
+    assert!(!lean.to_json().contains("\"shard_stats\""));
 }
 
 #[test]
 fn metrics_and_array_shape_golden() {
     let program = parse_program(MOTIVATING).unwrap();
-    let result = analyze(&program, &Analysis::OneObj);
+    let result = AnalysisSession::new(&program)
+        .policy(Analysis::OneObj)
+        .run();
     let metrics = precision_metrics(&program, &result);
     let reports = [AnalysisReport {
         analysis: Analysis::OneObj.name(),
         backend: "specialized",
+        threads: 1,
         time_secs: 0.125,
         result: &result,
         metrics: Some(&metrics),
@@ -96,7 +154,8 @@ fn metrics_and_array_shape_golden() {
     assert_eq!(
         json,
         format!(
-            "[{{\"analysis\":\"1obj\",\"backend\":\"specialized\",\"time_secs\":0.125,\
+            "[{{\"schema_version\":2,\"analysis\":\"1obj\",\"backend\":\"specialized\",\
+             \"threads\":1,\"time_secs\":0.125,\
              \"reachable_methods\":{},\"call_graph_edges\":{},\"termination\":\"complete\",\
              \"metrics\":{{\"avg_objs_per_var\":{},\"poly_v_calls\":{},\
              \"reachable_v_calls\":{},\"may_fail_casts\":{},\"reachable_casts\":{},\
@@ -122,10 +181,11 @@ fn json_string_escaping() {
     // Analysis names never need escaping today, but the emitter must not
     // corrupt a future name or backend label containing specials.
     let program = parse_program(MOTIVATING).unwrap();
-    let result = analyze(&program, &Analysis::Insens);
+    let result = AnalysisSession::new(&program).run();
     let report = AnalysisReport {
         analysis: "a\"b\\c",
         backend: "x\ny",
+        threads: 1,
         time_secs: 0.0,
         result: &result,
         metrics: None,
@@ -133,5 +193,6 @@ fn json_string_escaping() {
         demoted: &[],
     };
     let json = report.to_json();
-    assert!(json.starts_with("{\"analysis\":\"a\\\"b\\\\c\",\"backend\":\"x\\ny\","));
+    assert!(json
+        .starts_with("{\"schema_version\":2,\"analysis\":\"a\\\"b\\\\c\",\"backend\":\"x\\ny\","));
 }

@@ -7,16 +7,17 @@
 //! generic semi-naive join engine) agree on points-to sets, call graphs,
 //! reachability, and context-sensitive tuple counts.
 
-use hybrid_pta::core::datalog_impl::{analyze_datalog, analyze_datalog_governed};
-use hybrid_pta::core::{
-    analyze, analyze_with_config, Analysis, Budget, PointsToResult, SolverConfig, Termination,
-};
+use hybrid_pta::core::{Analysis, Budget, PointsToResult, Termination};
 use hybrid_pta::ir::Program;
 use hybrid_pta::workload::{generate, WorkloadConfig};
+use hybrid_pta::{AnalysisSession, Backend};
 
 fn assert_identical(program: &Program, analysis: Analysis, label: &str) {
-    let fast = analyze(program, &analysis);
-    let slow = analyze_datalog(program, &analysis);
+    let fast = AnalysisSession::new(program).policy(analysis).run();
+    let slow = AnalysisSession::new(program)
+        .policy(analysis)
+        .backend(Backend::Datalog)
+        .run();
     for var in program.vars() {
         assert_eq!(
             fast.points_to(var),
@@ -161,30 +162,29 @@ fn assert_partial_subset(
 fn starved_partials_are_subsets_of_complete_runs_on_every_dacapo_config() {
     for name in hybrid_pta::workload::DACAPO_NAMES {
         let program = hybrid_pta::workload::dacapo_workload(name, 0.15);
-        let complete_fast = analyze(&program, &Analysis::STwoObjH);
-        let complete_slow = analyze_datalog(&program, &Analysis::STwoObjH);
+        let complete_fast = AnalysisSession::new(&program)
+            .policy(Analysis::STwoObjH)
+            .run();
+        let complete_slow = AnalysisSession::new(&program)
+            .policy(Analysis::STwoObjH)
+            .backend(Backend::Datalog)
+            .run();
 
         // Specialized solver starved by a step budget, checked against the
         // Datalog back end's complete fixpoint.
-        let partial_fast = analyze_with_config(
-            &program,
-            &Analysis::STwoObjH,
-            SolverConfig {
-                budget: Budget::unlimited().with_max_steps(150),
-                ..SolverConfig::default()
-            },
-        );
+        let partial_fast = AnalysisSession::new(&program)
+            .policy(Analysis::STwoObjH)
+            .budget(Budget::unlimited().with_max_steps(150))
+            .run();
         assert_eq!(partial_fast.termination(), Termination::StepLimit);
         assert_partial_subset(&program, &partial_fast, &complete_slow, name);
 
         // Datalog engine starved by a round budget, checked against the
         // specialized solver's complete fixpoint.
-        let (partial_slow, _) = analyze_datalog_governed(
-            &program,
-            &Analysis::STwoObjH,
-            &Budget::unlimited().with_max_steps(2),
-            None,
-        );
+        let (partial_slow, _) = AnalysisSession::new(&program)
+            .policy(Analysis::STwoObjH)
+            .budget(Budget::unlimited().with_max_steps(2))
+            .run_datalog_with_stats();
         assert_eq!(partial_slow.termination(), Termination::StepLimit);
         assert_partial_subset(&program, &partial_slow, &complete_fast, name);
     }
@@ -197,16 +197,15 @@ fn starved_partials_are_subsets_of_complete_runs_on_every_dacapo_config() {
 fn degraded_runs_over_approximate_the_datalog_fixpoint() {
     for name in ["antlr", "luindex", "xalan"] {
         let program = hybrid_pta::workload::dacapo_workload(name, 0.15);
-        let precise = analyze_datalog(&program, &Analysis::STwoObjH);
-        let coarse = analyze_with_config(
-            &program,
-            &Analysis::STwoObjH,
-            SolverConfig {
-                budget: Budget::unlimited().with_max_steps(400),
-                degrade: true,
-                ..SolverConfig::default()
-            },
-        );
+        let precise = AnalysisSession::new(&program)
+            .policy(Analysis::STwoObjH)
+            .backend(Backend::Datalog)
+            .run();
+        let coarse = AnalysisSession::new(&program)
+            .policy(Analysis::STwoObjH)
+            .budget(Budget::unlimited().with_max_steps(400))
+            .degrade(true)
+            .run();
         assert_eq!(coarse.termination(), Termination::Complete, "{name}");
         for var in program.vars() {
             for h in precise.points_to(var) {

@@ -4,10 +4,9 @@
 //! policy, on both evaluation back ends, and in agreement with concrete
 //! execution.
 
-use hybrid_pta::core::datalog_impl::analyze_datalog;
-use hybrid_pta::core::{analyze, Analysis};
 use hybrid_pta::ir::{InterpConfig, Interpreter, Program, VarId};
 use hybrid_pta::lang::parse_program;
+use hybrid_pta::{Analysis, AnalysisSession, Backend};
 
 const SOURCE: &str = r#"
     class Object {}
@@ -62,7 +61,7 @@ fn var(program: &Program, meth: &str, name: &str) -> VarId {
 fn thrown_objects_bind_to_matching_clauses_and_escape_otherwise() {
     let p = parse_program(SOURCE).unwrap();
     for analysis in Analysis::ALL {
-        let r = analyze(&p, &analysis);
+        let r = AnalysisSession::new(&p).policy(analysis).run();
         // The ParseErr thrown inside parse() unwinds to drive()'s clause.
         let pe = var(&p, "Driver.drive", "pe");
         assert_eq!(
@@ -90,8 +89,11 @@ fn thrown_objects_bind_to_matching_clauses_and_escape_otherwise() {
 fn both_back_ends_agree_on_exception_flows() {
     let p = parse_program(SOURCE).unwrap();
     for analysis in [Analysis::Insens, Analysis::OneObj, Analysis::STwoObjH] {
-        let fast = analyze(&p, &analysis);
-        let slow = analyze_datalog(&p, &analysis);
+        let fast = AnalysisSession::new(&p).policy(analysis).run();
+        let slow = AnalysisSession::new(&p)
+            .policy(analysis)
+            .backend(Backend::Datalog)
+            .run();
         for v in p.vars() {
             assert_eq!(fast.points_to(v), slow.points_to(v), "{analysis} at {v:?}");
         }
@@ -118,7 +120,7 @@ fn interpreter_agrees_on_catch_bindings_and_uncaught() {
     assert_eq!(facts.uncaught.len(), 1);
     // Every dynamic fact is covered by every analysis.
     for analysis in Analysis::ALL {
-        let r = analyze(&p, &analysis);
+        let r = AnalysisSession::new(&p).policy(analysis).run();
         for &(v, site) in &facts.var_points_to {
             assert!(r.points_to(v).contains(&site), "{analysis}");
         }
@@ -165,12 +167,12 @@ fn exception_precision_tracks_context() {
     let p = parse_program(src).unwrap();
 
     // Insens: both run() results see both errors.
-    let coarse = analyze(&p, &Analysis::Insens);
+    let coarse = AnalysisSession::new(&p).policy(Analysis::Insens).run();
     assert_eq!(coarse.points_to(var(&p, "Main.main", "r1")).len(), 2);
 
     // SB-1obj: run's context carries the call site, boom's context the
     // thrower object — each result sees only its own error.
-    let fine = analyze(&p, &Analysis::SBOneObj);
+    let fine = AnalysisSession::new(&p).policy(Analysis::SBOneObj).run();
     assert_eq!(fine.points_to(var(&p, "Main.main", "r1")).len(), 1);
     assert_eq!(fine.points_to(var(&p, "Main.main", "r2")).len(), 1);
 }

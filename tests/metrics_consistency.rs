@@ -2,15 +2,20 @@
 //! analyses and a spread of workloads.
 
 use hybrid_pta::clients::precision_metrics;
-use hybrid_pta::core::{analyze, Analysis};
 use hybrid_pta::workload::{dacapo_workload, generate, WorkloadConfig, DACAPO_NAMES};
+use hybrid_pta::{Analysis, AnalysisSession};
 
 #[test]
 fn metrics_invariants_hold_for_all_analyses() {
     let program = generate(&WorkloadConfig::small(7));
-    let insens = precision_metrics(&program, &analyze(&program, &Analysis::Insens));
+    let insens = precision_metrics(
+        &program,
+        &AnalysisSession::new(&program)
+            .policy(Analysis::Insens)
+            .run(),
+    );
     for analysis in Analysis::ALL {
-        let result = analyze(&program, &analysis);
+        let result = AnalysisSession::new(&program).policy(analysis).run();
         let m = precision_metrics(&program, &result);
 
         assert!(m.may_fail_casts <= m.reachable_casts, "{analysis}");
@@ -52,7 +57,12 @@ fn metrics_invariants_hold_for_all_analyses() {
 #[test]
 fn insens_has_exactly_one_context() {
     let program = generate(&WorkloadConfig::tiny(1));
-    let m = precision_metrics(&program, &analyze(&program, &Analysis::Insens));
+    let m = precision_metrics(
+        &program,
+        &AnalysisSession::new(&program)
+            .policy(Analysis::Insens)
+            .run(),
+    );
     assert_eq!(m.contexts, 1);
     assert_eq!(m.heap_contexts, 1);
 }
@@ -68,7 +78,10 @@ fn heap_context_counts_track_analysis_family() {
         Analysis::SAOneObj,
         Analysis::SBOneObj,
     ] {
-        let m = precision_metrics(&program, &analyze(&program, &analysis));
+        let m = precision_metrics(
+            &program,
+            &AnalysisSession::new(&program).policy(analysis).run(),
+        );
         assert_eq!(m.heap_contexts, 1, "{analysis} has no heap context");
     }
     // Context-sensitive-heap analyses create more than one heap context.
@@ -78,7 +91,10 @@ fn heap_context_counts_track_analysis_family() {
         Analysis::STwoObjH,
         Analysis::TwoTypeH,
     ] {
-        let m = precision_metrics(&program, &analyze(&program, &analysis));
+        let m = precision_metrics(
+            &program,
+            &AnalysisSession::new(&program).policy(analysis).run(),
+        );
         assert!(
             m.heap_contexts > 1,
             "{analysis} should create heap contexts"
@@ -92,9 +108,17 @@ fn reference_counts_are_stable_across_analyses() {
     // they "change little per-analysis": totals may only shrink as
     // precision grows (fewer reachable methods).
     let program = dacapo_workload("luindex", 0.3);
-    let insens = precision_metrics(&program, &analyze(&program, &Analysis::Insens));
+    let insens = precision_metrics(
+        &program,
+        &AnalysisSession::new(&program)
+            .policy(Analysis::Insens)
+            .run(),
+    );
     for analysis in [Analysis::OneObj, Analysis::STwoObjH] {
-        let m = precision_metrics(&program, &analyze(&program, &analysis));
+        let m = precision_metrics(
+            &program,
+            &AnalysisSession::new(&program).policy(analysis).run(),
+        );
         assert!(m.reachable_casts <= insens.reachable_casts);
         assert!(m.reachable_virtual_calls <= insens.reachable_virtual_calls);
         // And they stay in the same ballpark (within 25%).
@@ -106,7 +130,12 @@ fn reference_counts_are_stable_across_analyses() {
 fn every_dacapo_workload_analyzes_cleanly_at_miniature_scale() {
     for name in DACAPO_NAMES {
         let program = dacapo_workload(name, 0.1);
-        let m = precision_metrics(&program, &analyze(&program, &Analysis::STwoObjH));
+        let m = precision_metrics(
+            &program,
+            &AnalysisSession::new(&program)
+                .policy(Analysis::STwoObjH)
+                .run(),
+        );
         assert!(m.reachable_methods > 5, "{name}");
         assert!(m.ctx_var_points_to > 0, "{name}");
     }
@@ -119,9 +148,17 @@ fn every_dacapo_workload_analyzes_cleanly_at_miniature_scale() {
 #[ignore = "multi-second soak test; run with --ignored"]
 fn soak_scale_8_full_analysis_set() {
     let program = dacapo_workload("antlr", 8.0);
-    let insens = precision_metrics(&program, &analyze(&program, &Analysis::Insens));
+    let insens = precision_metrics(
+        &program,
+        &AnalysisSession::new(&program)
+            .policy(Analysis::Insens)
+            .run(),
+    );
     for analysis in Analysis::ALL {
-        let m = precision_metrics(&program, &analyze(&program, &analysis));
+        let m = precision_metrics(
+            &program,
+            &AnalysisSession::new(&program).policy(analysis).run(),
+        );
         assert!(m.may_fail_casts <= insens.may_fail_casts, "{analysis}");
         assert!(m.ctx_var_points_to > 0, "{analysis}");
     }
@@ -139,9 +176,24 @@ fn soak_scale_8_full_analysis_set() {
 fn one_obj_h_is_dominated_by_two_type_h() {
     for name in ["antlr", "jython", "xalan"] {
         let program = dacapo_workload(name, 1.0);
-        let one_obj = precision_metrics(&program, &analyze(&program, &Analysis::OneObj));
-        let one_obj_h = precision_metrics(&program, &analyze(&program, &Analysis::OneObjH));
-        let two_type = precision_metrics(&program, &analyze(&program, &Analysis::TwoTypeH));
+        let one_obj = precision_metrics(
+            &program,
+            &AnalysisSession::new(&program)
+                .policy(Analysis::OneObj)
+                .run(),
+        );
+        let one_obj_h = precision_metrics(
+            &program,
+            &AnalysisSession::new(&program)
+                .policy(Analysis::OneObjH)
+                .run(),
+        );
+        let two_type = precision_metrics(
+            &program,
+            &AnalysisSession::new(&program)
+                .policy(Analysis::TwoTypeH)
+                .run(),
+        );
 
         // "much less precise" than 2type+H:
         assert!(

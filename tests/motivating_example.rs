@@ -6,9 +6,9 @@
 //! attractive), and a §3.2-style static chain distinguishing S-2obj+H from
 //! both its base and the uniform hybrid.
 
-use hybrid_pta::core::{analyze, Analysis};
 use hybrid_pta::ir::{HeapId, Program, VarId};
 use hybrid_pta::lang::parse_program;
+use hybrid_pta::{Analysis, AnalysisSession};
 
 /// Finds the unique variable with `name` inside the method whose qualified
 /// name is `meth`.
@@ -54,7 +54,7 @@ const SECTION1: &str = r#"
 #[test]
 fn section1_one_obj_separates_the_receivers() {
     let p = parse_program(SECTION1).unwrap();
-    let r = analyze(&p, &Analysis::OneObj);
+    let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
     let r1 = var(&p, "Client.main", "r1");
     let r2 = var(&p, "Client.main", "r2");
     assert_eq!(heaps_of(&p, &r, r1), vec!["Client.main/new Object#2"]);
@@ -69,7 +69,7 @@ fn section1_one_obj_separates_the_receivers() {
 #[test]
 fn section1_one_call_also_separates_these_sites() {
     let p = parse_program(SECTION1).unwrap();
-    let r = analyze(&p, &Analysis::OneCall);
+    let r = AnalysisSession::new(&p).policy(Analysis::OneCall).run();
     assert_eq!(r.points_to(var(&p, "Client.main", "r1")).len(), 1);
     assert_eq!(r.points_to(var(&p, "Client.main", "r2")).len(), 1);
 }
@@ -78,7 +78,7 @@ fn section1_one_call_also_separates_these_sites() {
 #[test]
 fn section1_insens_conflates() {
     let p = parse_program(SECTION1).unwrap();
-    let r = analyze(&p, &Analysis::Insens);
+    let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
     assert_eq!(r.points_to(var(&p, "Client.main", "r1")).len(), 2);
     assert_eq!(r.points_to(var(&p, "Client.main", "r2")).len(), 2);
 }
@@ -105,7 +105,7 @@ const SECTION22: &str = r#"
 #[test]
 fn section22_one_obj_conflates_static_calls() {
     let p = parse_program(SECTION22).unwrap();
-    let r = analyze(&p, &Analysis::OneObj);
+    let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
     assert_eq!(r.points_to(var(&p, "Main.main", "ra")).len(), 2);
     assert_eq!(r.points_to(var(&p, "Main.main", "rb")).len(), 2);
 }
@@ -116,7 +116,7 @@ fn section22_one_obj_conflates_static_calls() {
 fn section22_selective_hybrids_distinguish_static_calls() {
     let p = parse_program(SECTION22).unwrap();
     for analysis in [Analysis::SAOneObj, Analysis::SBOneObj, Analysis::UOneObj] {
-        let r = analyze(&p, &analysis);
+        let r = AnalysisSession::new(&p).policy(analysis).run();
         assert_eq!(
             r.points_to(var(&p, "Main.main", "ra")).len(),
             1,
@@ -160,7 +160,7 @@ const SECTION32_CHAIN: &str = r#"
 fn section32_static_chain_separates_only_under_selective_hybrid() {
     let p = parse_program(SECTION32_CHAIN).unwrap();
 
-    let s = analyze(&p, &Analysis::STwoObjH);
+    let s = AnalysisSession::new(&p).policy(Analysis::STwoObjH).run();
     assert_eq!(
         s.points_to(var(&p, "Driver.go", "ra")).len(),
         1,
@@ -168,14 +168,14 @@ fn section32_static_chain_separates_only_under_selective_hybrid() {
     );
     assert_eq!(s.points_to(var(&p, "Driver.go", "rb")).len(), 1);
 
-    let u = analyze(&p, &Analysis::UTwoObjH);
+    let u = AnalysisSession::new(&p).policy(Analysis::UTwoObjH).run();
     assert_eq!(
         u.points_to(var(&p, "Driver.go", "ra")).len(),
         2,
         "U-2obj+H's single invocation slot is overwritten at the inner call"
     );
 
-    let base = analyze(&p, &Analysis::TwoObjH);
+    let base = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
     assert_eq!(
         base.points_to(var(&p, "Driver.go", "ra")).len(),
         2,
@@ -184,7 +184,7 @@ fn section32_static_chain_separates_only_under_selective_hybrid() {
 
     // And 2call+H also separates (two call-site slots), matching §3.2's
     // remark that deeper call-site context handles nested static calls.
-    let cc = analyze(&p, &Analysis::TwoCallH);
+    let cc = AnalysisSession::new(&p).policy(Analysis::TwoCallH).run();
     assert_eq!(cc.points_to(var(&p, "Driver.go", "ra")).len(), 1);
 }
 
@@ -231,7 +231,7 @@ fn paired_virtual_calls_separate_only_with_call_site_in_merge() {
         ),
         (Analysis::OneCall, 1, "call-site context"),
     ] {
-        let r = analyze(&p, &analysis);
+        let r = AnalysisSession::new(&p).policy(analysis).run();
         assert_eq!(
             r.points_to(var(&p, "Main.main", "ra")).len(),
             expected,

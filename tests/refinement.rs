@@ -12,9 +12,10 @@
 //! "A refines B" is checked as: for every variable, A's points-to set is a
 //! subset of B's; and A's call graph is a subgraph of B's.
 
-use hybrid_pta::core::{analyze, Analysis, PointsToResult};
+use hybrid_pta::core::PointsToResult;
 use hybrid_pta::ir::Program;
 use hybrid_pta::workload::{dacapo_workload, generate, WorkloadConfig};
+use hybrid_pta::{Analysis, AnalysisSession};
 
 fn assert_refines(program: &Program, fine: &PointsToResult, coarse: &PointsToResult, label: &str) {
     for var in program.vars() {
@@ -64,8 +65,8 @@ fn guaranteed_refinements_hold_on_tiny_workloads() {
     for seed in 0..6 {
         let program = generate(&WorkloadConfig::tiny(seed));
         for (fine, coarse) in GUARANTEED {
-            let f = analyze(&program, &fine);
-            let c = analyze(&program, &coarse);
+            let f = AnalysisSession::new(&program).policy(fine).run();
+            let c = AnalysisSession::new(&program).policy(coarse).run();
             assert_refines(
                 &program,
                 &f,
@@ -81,8 +82,8 @@ fn guaranteed_refinements_hold_on_dacapo_miniatures() {
     for name in ["antlr", "bloat", "xalan"] {
         let program = dacapo_workload(name, 0.2);
         for (fine, coarse) in GUARANTEED {
-            let f = analyze(&program, &fine);
-            let c = analyze(&program, &coarse);
+            let f = AnalysisSession::new(&program).policy(fine).run();
+            let c = AnalysisSession::new(&program).policy(coarse).run();
             assert_refines(&program, &f, &c, &format!("{name}: {fine} vs {coarse}"));
         }
     }
@@ -92,9 +93,11 @@ fn guaranteed_refinements_hold_on_dacapo_miniatures() {
 fn every_analysis_refines_insens() {
     for seed in [1u64, 5] {
         let program = generate(&WorkloadConfig::tiny(seed));
-        let insens = analyze(&program, &Analysis::Insens);
+        let insens = AnalysisSession::new(&program)
+            .policy(Analysis::Insens)
+            .run();
         for analysis in Analysis::ALL {
-            let r = analyze(&program, &analysis);
+            let r = AnalysisSession::new(&program).policy(analysis).run();
             assert_refines(
                 &program,
                 &r,
@@ -115,8 +118,12 @@ fn sa_1obj_is_incomparable_but_useful() {
     let mut sa_better_somewhere = false;
     for name in ["antlr", "chart", "jython", "pmd"] {
         let program = dacapo_workload(name, 0.3);
-        let sa = analyze(&program, &Analysis::SAOneObj);
-        let base = analyze(&program, &Analysis::OneObj);
+        let sa = AnalysisSession::new(&program)
+            .policy(Analysis::SAOneObj)
+            .run();
+        let base = AnalysisSession::new(&program)
+            .policy(Analysis::OneObj)
+            .run();
         let (sa_fail, _) = hybrid_pta::clients::may_fail_casts(&program, &sa);
         let (base_fail, _) = hybrid_pta::clients::may_fail_casts(&program, &base);
         if sa_fail.len() < base_fail.len() {

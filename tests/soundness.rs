@@ -6,9 +6,9 @@
 //! the observed `(var, allocation-site)` bindings, call edges, reachable
 //! methods and failed casts are checked against all fourteen analyses.
 
-use hybrid_pta::core::{analyze, Analysis};
 use hybrid_pta::ir::{DynamicFacts, InterpConfig, Interpreter, Program};
 use hybrid_pta::workload::{generate, WorkloadConfig};
+use hybrid_pta::{Analysis, AnalysisSession};
 
 fn dynamic_facts(program: &Program) -> DynamicFacts {
     Interpreter::new(
@@ -22,7 +22,7 @@ fn dynamic_facts(program: &Program) -> DynamicFacts {
 }
 
 fn assert_sound(program: &Program, facts: &DynamicFacts, analysis: Analysis) {
-    let result = analyze(program, &analysis);
+    let result = AnalysisSession::new(program).policy(analysis).run();
     for &(var, site) in &facts.var_points_to {
         assert!(
             result.points_to(var).contains(&site),
@@ -94,7 +94,7 @@ fn dynamically_failing_casts_are_flagged() {
             continue;
         }
         for analysis in [Analysis::Insens, Analysis::OneObj, Analysis::STwoObjH] {
-            let result = analyze(&program, &analysis);
+            let result = AnalysisSession::new(&program).policy(analysis).run();
             let (failing, _) = hybrid_pta::clients::may_fail_casts(&program, &result);
             for &(meth, idx) in &facts.failed_casts {
                 assert!(
