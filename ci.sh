@@ -48,6 +48,25 @@ cargo test -q -p pta-core --test session_equivalence
 cmp /tmp/ci-par-t1.json /tmp/ci-par-t4.json
 echo "    parallel equivalence OK: --threads 4 JSON is byte-identical to --threads 1"
 
+# Gating: observability smoke. A traced parallel run on a DaCapo config
+# must produce a Chrome trace-event timeline carrying the session solve
+# span and per-shard BSP spans (full JSON validation of trace files
+# lives in tests/observability.rs, which gates via `cargo test` above),
+# and `pta explain` must print a derivation chain on the motivating
+# example.
+echo "==> tier-1: observability smoke (--trace + pta explain)"
+./target/release/pta workload luindex --scale 0.3 --print > /tmp/ci-obs.jir
+./target/release/pta analyze /tmp/ci-obs.jir --analysis S-2obj+H --threads 4 \
+  --trace /tmp/ci-obs.trace.json > /dev/null
+grep -q '"traceEvents"' /tmp/ci-obs.trace.json
+grep -q '"name":"solve"' /tmp/ci-obs.trace.json
+grep -q '"name":"drain"' /tmp/ci-obs.trace.json
+grep -q 'shard-0' /tmp/ci-obs.trace.json
+./target/release/pta explain examples/programs/motivating.jir r1 'Object#' \
+  > /tmp/ci-obs-explain.out
+grep -q 'allocation site' /tmp/ci-obs-explain.out
+echo "    observability smoke OK: trace has session/shard spans; explain printed a chain"
+
 # Non-gating smoke-perf: run the table1 matrix on the two smallest
 # workloads, dump JSON, and re-parse it with the harness's own checker
 # (12 analyses x 2 workloads = 24 cells). Failures warn but never block —
@@ -76,6 +95,22 @@ if ./target/release/table1 --workloads chart --analyses 2obj+H --scale 6 \
 else
   echo "    WARNING: parallel speedup row failed (non-gating); re-run manually:"
   echo "    ./target/release/table1 --workloads chart --analyses 2obj+H --scale 6 --threads 1,4 --json /tmp/bench-par.json"
+fi
+
+# Non-gating rule-profile drift check: re-run the profiled config behind
+# BENCH_profile.json and diff per-rule fire counts with profdiff. The
+# solver is deterministic, so drift means rule behaviour changed — a
+# loud signal to regenerate the baseline deliberately, not a failure.
+echo "==> rule-profile drift (non-gating)"
+if ./target/release/table1 --workloads luindex,lusearch \
+     --analyses insens,1obj,S-2obj+H --reps 1 --jobs 1 --profile \
+     --json /tmp/bench-profile.json >/dev/null 2>&1 \
+   && ./target/release/profdiff BENCH_profile.json /tmp/bench-profile.json; then
+  echo "    rule-profile drift OK: fire counts match the checked-in baseline"
+else
+  echo "    WARNING: rule profiles drifted from BENCH_profile.json (non-gating)."
+  echo "    If the change is intended, regenerate the baseline:"
+  echo "    ./target/release/table1 --workloads luindex,lusearch --analyses insens,1obj,S-2obj+H --reps 1 --jobs 1 --profile --json BENCH_profile.json"
 fi
 
 echo "==> CI green"

@@ -2,13 +2,14 @@
 //!
 //! Usage: `cargo run --release -p pta-bench --bin table1 -- [flags]`
 //! Flags: `--scale S --workloads A,B --analyses A,B --reps N --jobs N
-//! --cell-timeout SECS --json PATH` (see the crate docs; `PTA_*`
-//! environment variables are the fallback for each).
+//! --cell-timeout SECS --json PATH --trace-dir DIR --profile` (see the
+//! crate docs; `PTA_*` environment variables are the fallback for each).
 //!
 //! Check mode: `table1 --check FILE [--expect-cells N]` parses a previous
 //! `--json` dump with the crate's own JSON reader, validates every row, and
 //! exits without running anything — the CI smoke-perf step uses this to
-//! assert a fresh dump is well-formed and complete.
+//! assert a fresh dump is well-formed and complete. Rows with `--profile`
+//! embeds validate too and are counted in the summary line.
 
 use std::process::ExitCode;
 
@@ -43,15 +44,22 @@ fn check(path: &str, expect_cells: Option<usize>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let mut notes = Vec::new();
     if summary.timeouts > 0 {
         // Timed-out cells are tolerated — the dump is well-formed and
         // complete — but loudly reported: their metrics are partial.
-        println!(
-            "{path}: {cells} cells OK ({} timed out; those rows carry partial results)",
+        notes.push(format!(
+            "{} timed out; those rows carry partial results",
             summary.timeouts
-        );
-    } else {
+        ));
+    }
+    if summary.profiled > 0 {
+        notes.push(format!("{} carry profile embeds", summary.profiled));
+    }
+    if notes.is_empty() {
         println!("{path}: {cells} cells OK");
+    } else {
+        println!("{path}: {cells} cells OK ({})", notes.join("; "));
     }
     ExitCode::SUCCESS
 }
@@ -82,6 +90,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: table1 [--scale S] [--workloads A,B] [--analyses A,B] \
              [--reps N] [--jobs N] [--cell-timeout SECS] [--json PATH] \
+             [--trace-dir DIR] [--profile] \
              | table1 --check FILE [--expect-cells N]"
         );
         return ExitCode::FAILURE;

@@ -315,12 +315,19 @@ pub struct RowsSummary {
     /// per-cell deadline even after the retry. Their metrics are the
     /// salvaged partial result, not a real measurement.
     pub timeouts: usize,
+    /// Rows carrying a `"profile"` embed (cells run with `--profile`).
+    /// Profiled solves are forced sequential, so their times are not
+    /// comparable to unprofiled rows.
+    pub profiled: usize,
 }
 
 /// Validates a parsed `--json` dump: a non-empty array of rows, each with
 /// the full field set, a non-negative wall time, and a `stats` object with
 /// numeric counters. Timed-out rows (`"status":"timeout"`) are tolerated
-/// and counted; a missing `status` (legacy dump) means `"ok"`.
+/// and counted; a missing `status` (legacy dump) means `"ok"`. Rows
+/// carrying a `"profile"` embed (`--profile` dumps, `BENCH_profile.json`)
+/// are tolerated and counted too; when present the embed must hold a
+/// `"rules"` array whose entries have a name and numeric counters.
 ///
 /// Both schema versions are accepted: v1 dumps (no `schema_version`, no
 /// `threads` — `BENCH_baseline.json` era) and v2 dumps (both fields on
@@ -336,6 +343,7 @@ pub fn validate_rows(doc: &Value) -> Result<RowsSummary, String> {
         return Err("no rows".to_owned());
     }
     let mut timeouts = 0;
+    let mut profiled = 0;
     for (i, row) in rows.iter().enumerate() {
         match row.get("schema_version").map(Value::as_number) {
             None => {} // v1: predates row versioning
@@ -384,11 +392,42 @@ pub fn validate_rows(doc: &Value) -> Result<RowsSummary, String> {
                 return Err(format!("row {i}: stats counter {name:?} is malformed"));
             }
         }
+        if let Some(profile) = row.get("profile") {
+            validate_profile(profile).map_err(|e| format!("row {i}: {e}"))?;
+            profiled += 1;
+        }
     }
     Ok(RowsSummary {
         cells: rows.len(),
         timeouts,
+        profiled,
     })
+}
+
+/// Validates one row's `"profile"` embed: an object whose `"rules"` array
+/// holds `{name, fires, derived, ns}` entries with non-negative integer
+/// counters (the shape `profdiff` consumes).
+fn validate_profile(profile: &Value) -> Result<(), String> {
+    let rules = profile
+        .get("rules")
+        .ok_or("profile embed has no \"rules\" array")?
+        .as_array()
+        .ok_or("profile \"rules\" is not an array")?;
+    for (j, rule) in rules.iter().enumerate() {
+        if rule.get("name").and_then(Value::as_str).is_none() {
+            return Err(format!("profile rule {j} has no name"));
+        }
+        for key in ["fires", "derived", "ns"] {
+            let ok = rule
+                .get(key)
+                .and_then(Value::as_number)
+                .is_some_and(|n| n >= 0.0 && n.fract() == 0.0);
+            if !ok {
+                return Err(format!("profile rule {j}: counter {key:?} is malformed"));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -429,7 +468,8 @@ mod tests {
             validate_rows(&doc),
             Ok(RowsSummary {
                 cells: 1,
-                timeouts: 0
+                timeouts: 0,
+                profiled: 0
             })
         );
         let parsed = &doc.as_array().unwrap()[0];
@@ -476,7 +516,8 @@ mod tests {
             validate_rows(&doc),
             Ok(RowsSummary {
                 cells: 2,
-                timeouts: 1
+                timeouts: 1,
+                profiled: 0
             })
         );
 
@@ -488,7 +529,8 @@ mod tests {
             validate_rows(&parse(&legacy).unwrap()),
             Ok(RowsSummary {
                 cells: 1,
-                timeouts: 0
+                timeouts: 0,
+                profiled: 0
             })
         );
 
@@ -497,6 +539,37 @@ mod tests {
             .replace("\"status\":\"ok\"", "\"status\":\"maybe\"");
         let err = validate_rows(&parse(&bogus).unwrap()).unwrap_err();
         assert!(err.contains("status"), "{err}");
+    }
+
+    #[test]
+    fn profiled_rows_validate_and_are_counted() {
+        let program = pta_workload::dacapo_workload("luindex", 0.15);
+        let plain = crate::run_cell("luindex", &program, pta_core::Analysis::OneObj, 1);
+        let profiled = crate::run_cell_observed(
+            "luindex",
+            &program,
+            pta_core::Analysis::OneObj,
+            1,
+            1,
+            None,
+            None,
+            &pta_obs::Trace::disabled(),
+            true,
+        );
+        let dump = crate::rows_to_json(&[plain, profiled]);
+        assert_eq!(
+            validate_rows(&parse(&dump).unwrap()),
+            Ok(RowsSummary {
+                cells: 2,
+                timeouts: 0,
+                profiled: 1
+            })
+        );
+
+        // A mangled rule counter inside the embed fails loudly.
+        let broken = dump.replacen("\"fires\":", "\"fires\":-", 1);
+        let err = validate_rows(&parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("fires"), "{err}");
     }
 
     #[test]

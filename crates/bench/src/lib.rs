@@ -40,7 +40,17 @@
 //!   render;
 //! - `PTA_JSON` / `--json PATH` — dump the raw [`ExperimentRow`]s (wall
 //!   time, precision metrics, and solver counters) as JSON, the format
-//!   checked in as `BENCH_baseline.json` and consumed by `table1 --check`.
+//!   checked in as `BENCH_baseline.json` and consumed by `table1 --check`;
+//! - `PTA_TRACE_DIR` / `--trace-dir DIR` — record a Chrome trace-event
+//!   JSON file per cell into `DIR` (created if missing), named
+//!   `{workload}-{analysis}-t{threads}.trace.json`. Every repetition of
+//!   the cell lands on the same timeline. Tracing skews wall times, so
+//!   traced dumps are diagnostics, not measurements;
+//! - `PTA_PROFILE` / `--profile` — collect a per-rule evaluation profile
+//!   per cell and embed it in the JSON row under `"profile"` (the format
+//!   checked in as `BENCH_profile.json` and diffed by `profdiff`).
+//!   Profiling forces the solve sequential, so profiled rows ignore
+//!   multi-thread counts for timing purposes.
 //!
 //! Micro-benchmarks (`cargo bench`, plain `main`-style harnesses) cover
 //! per-analysis solver time (`analyses`), the design-choice ablations
@@ -134,9 +144,14 @@ pub struct ExperimentRow {
     /// The solver's internal counters for the timed run (rule firings,
     /// dedup traffic, worklist shape).
     pub stats: SolverStats,
+    /// Per-rule evaluation profile of the final repetition, when the cell
+    /// ran with profiling on (`--profile`). Optional in the JSON row, so
+    /// the schema stays at v2.
+    pub profile: Option<pta_obs::Profile>,
 }
 
 impl ExperimentRow {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         workload: &str,
         analysis: Analysis,
@@ -145,6 +160,7 @@ impl ExperimentRow {
         m: &ExperimentMetrics,
         time_secs: f64,
         stats: SolverStats,
+        profile: Option<pta_obs::Profile>,
     ) -> Self {
         ExperimentRow {
             workload: workload.to_owned(),
@@ -164,6 +180,7 @@ impl ExperimentRow {
             heap_contexts: m.heap_contexts,
             uncaught_exception_sites: m.uncaught_exception_sites,
             stats,
+            profile,
         }
     }
 }
@@ -197,15 +214,17 @@ fn json_f64(x: f64) -> String {
 impl ExperimentRow {
     /// Serializes the row as a single-line JSON object. The toolchain runs
     /// fully offline, so this is hand-rolled rather than serde-derived.
+    /// Profiled cells append an optional `"profile"` object — an addition
+    /// consumers treat as optional, so the schema stays at v2.
     #[must_use]
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             "{{\"schema_version\":{},\"workload\":\"{}\",\"analysis\":\"{}\",\
              \"status\":\"{}\",\"threads\":{},\"reachable_methods\":{},\
              \"avg_objs_per_var\":{},\"call_graph_edges\":{},\"poly_v_calls\":{},\
              \"reachable_v_calls\":{},\"may_fail_casts\":{},\"reachable_casts\":{},\
              \"time_secs\":{},\"sensitive_var_points_to\":{},\"contexts\":{},\
-             \"heap_contexts\":{},\"uncaught_exception_sites\":{},\"stats\":{}}}",
+             \"heap_contexts\":{},\"uncaught_exception_sites\":{},\"stats\":{}",
             SCHEMA_VERSION,
             json_escape(&self.workload),
             json_escape(&self.analysis),
@@ -224,7 +243,12 @@ impl ExperimentRow {
             self.heap_contexts,
             self.uncaught_exception_sites,
             self.stats.to_json(),
-        )
+        );
+        if let Some(p) = &self.profile {
+            out.push_str(&format!(",\"profile\":{}", p.to_json()));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -261,6 +285,14 @@ pub struct MatrixOptions {
     pub cell_timeout: Option<f64>,
     /// Where to dump the rows as JSON after the run, if anywhere.
     pub json_out: Option<String>,
+    /// Directory receiving one Chrome trace-event JSON file per cell
+    /// (`--trace-dir`; created if missing). `None` disables tracing, which
+    /// keeps the solver's recording paths true no-ops.
+    pub trace_dir: Option<String>,
+    /// Collect a per-rule profile per cell and embed it in the JSON rows
+    /// (`--profile`). Forces each solve sequential, so profiled dumps are
+    /// for rule-cost analysis, not speedup measurements.
+    pub profile: bool,
 }
 
 impl Default for MatrixOptions {
@@ -274,14 +306,16 @@ impl Default for MatrixOptions {
             jobs: 0,
             cell_timeout: None,
             json_out: None,
+            trace_dir: None,
+            profile: false,
         }
     }
 }
 
 impl MatrixOptions {
     /// Reads `PTA_SCALE`, `PTA_WORKLOADS`, `PTA_ANALYSES`, `PTA_REPS`,
-    /// `PTA_JOBS`, `PTA_CELL_TIMEOUT` and `PTA_JSON` from the
-    /// environment, falling back to defaults.
+    /// `PTA_JOBS`, `PTA_CELL_TIMEOUT`, `PTA_JSON`, `PTA_TRACE_DIR` and
+    /// `PTA_PROFILE` from the environment, falling back to defaults.
     ///
     /// # Panics
     ///
@@ -319,13 +353,24 @@ impl MatrixOptions {
         if let Ok(s) = std::env::var("PTA_JSON") {
             opts.json_out = Some(s);
         }
+        if let Ok(s) = std::env::var("PTA_TRACE_DIR") {
+            opts.trace_dir = Some(s);
+        }
+        if let Ok(s) = std::env::var("PTA_PROFILE") {
+            opts.profile = match s.as_str() {
+                "1" | "true" | "yes" => true,
+                "0" | "false" | "no" | "" => false,
+                _ => panic!("bad PTA_PROFILE: {s:?} (expected 1 or 0)"),
+            };
+        }
         opts
     }
 
     /// Applies command-line flags on top of the current options. Flags
     /// mirror the environment variables (`--scale`, `--workloads`,
-    /// `--analyses`, `--reps`, `--jobs`, `--cell-timeout`, `--json`) and
-    /// take precedence. Unknown flags are an error so typos fail loudly.
+    /// `--analyses`, `--reps`, `--jobs`, `--cell-timeout`, `--json`,
+    /// `--trace-dir`, `--profile`) and take precedence. Unknown flags are
+    /// an error so typos fail loudly.
     ///
     /// # Errors
     ///
@@ -376,6 +421,12 @@ impl MatrixOptions {
                 }
                 "--json" => {
                     self.json_out = Some(value(&mut i, "--json")?);
+                }
+                "--trace-dir" => {
+                    self.trace_dir = Some(value(&mut i, "--trace-dir")?);
+                }
+                "--profile" => {
+                    self.profile = true;
                 }
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -443,6 +494,35 @@ pub fn run_cell_governed(
     cell_timeout: Option<f64>,
     cancel: Option<&CancelToken>,
 ) -> ExperimentRow {
+    run_cell_observed(
+        workload,
+        program,
+        analysis,
+        threads,
+        reps,
+        cell_timeout,
+        cancel,
+        &pta_obs::Trace::disabled(),
+        false,
+    )
+}
+
+/// [`run_cell_governed`] with observability attached: every repetition
+/// records into `trace` (a disabled trace keeps this a no-op), and with
+/// `profile` on the row embeds the final repetition's per-rule profile.
+/// Both instruments skew wall times, so observed rows are diagnostics.
+#[allow(clippy::too_many_arguments)] // mirrors run_cell_governed + the two instruments
+pub fn run_cell_observed(
+    workload: &str,
+    program: &Program,
+    analysis: Analysis,
+    threads: usize,
+    reps: usize,
+    cell_timeout: Option<f64>,
+    cancel: Option<&CancelToken>,
+    trace: &pta_obs::Trace,
+    profile: bool,
+) -> ExperimentRow {
     let solve = || {
         let start = Instant::now();
         let mut budget = Budget::unlimited();
@@ -452,7 +532,9 @@ pub fn run_cell_governed(
         let mut session = AnalysisSession::new(program)
             .policy(analysis)
             .threads(threads)
-            .budget(budget);
+            .budget(budget)
+            .trace(trace.clone())
+            .profile(profile);
         if let Some(token) = cancel {
             session = session.cancel(token.clone());
         }
@@ -481,8 +563,61 @@ pub fn run_cell_governed(
     let median = times[times.len() / 2];
     let result = result.expect("at least one repetition");
     let stats = *result.solver_stats();
+    let row_profile = result.profile().cloned();
     let metrics = precision_metrics(program, &result);
-    ExperimentRow::new(workload, analysis, status, threads, &metrics, median, stats)
+    ExperimentRow::new(
+        workload,
+        analysis,
+        status,
+        threads,
+        &metrics,
+        median,
+        stats,
+        row_profile,
+    )
+}
+
+/// One matrix cell with the options' observability applied: with a trace
+/// directory configured, the cell runs under a fresh recorder and its
+/// timeline is written to `{dir}/{workload}-{analysis}-t{threads}.trace.json`.
+///
+/// # Panics
+///
+/// Panics if the trace file cannot be written (operator-facing tool).
+fn run_matrix_cell(
+    opts: &MatrixOptions,
+    workload: &str,
+    program: &Program,
+    analysis: Analysis,
+    threads: usize,
+    cancel: Option<&CancelToken>,
+) -> ExperimentRow {
+    let trace = if opts.trace_dir.is_some() {
+        pta_obs::Trace::enabled()
+    } else {
+        pta_obs::Trace::disabled()
+    };
+    let row = run_cell_observed(
+        workload,
+        program,
+        analysis,
+        threads,
+        opts.repetitions,
+        opts.cell_timeout,
+        cancel,
+        &trace,
+        opts.profile,
+    );
+    if let Some(dir) = &opts.trace_dir {
+        let path = format!(
+            "{dir}/{}-{}-t{threads}.trace.json",
+            workload,
+            analysis.name()
+        );
+        std::fs::write(&path, trace.to_chrome_json())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    }
+    row
 }
 
 fn log_cell(row: &ExperimentRow) {
@@ -531,6 +666,9 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
         .cell_timeout
         .is_some()
         .then(CancelToken::linked_to_sigint);
+    if let Some(dir) = &opts.trace_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
+    }
     let jobs = opts.effective_jobs().min(cells.len()).max(1);
     if jobs == 1 {
         let mut rows = Vec::with_capacity(cells.len());
@@ -539,15 +677,7 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
             eprintln!("[pta-bench] {name}: {}", ProgramStats::of(&program));
             for &analysis in &opts.analyses {
                 for &t in &threads {
-                    let row = run_cell_governed(
-                        name,
-                        &program,
-                        analysis,
-                        t,
-                        opts.repetitions,
-                        opts.cell_timeout,
-                        cancel.as_ref(),
-                    );
+                    let row = run_matrix_cell(opts, name, &program, analysis, t, cancel.as_ref());
                     log_cell(&row);
                     rows.push(row);
                 }
@@ -575,13 +705,12 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
                 let Some(&(w, a, t)) = cells.get(i) else {
                     break;
                 };
-                let row = run_cell_governed(
+                let row = run_matrix_cell(
+                    opts,
                     &opts.workloads[w],
                     &programs[w],
                     opts.analyses[a],
                     threads[t],
-                    opts.repetitions,
-                    opts.cell_timeout,
                     cancel.as_ref(),
                 );
                 log_cell(&row);
@@ -646,6 +775,8 @@ mod tests {
             jobs: 1,
             cell_timeout: None,
             json_out: None,
+            trace_dir: None,
+            profile: false,
         };
         let rows = run_matrix(&opts);
         assert_eq!(rows.len(), 2);
@@ -668,6 +799,8 @@ mod tests {
             jobs: 1,
             cell_timeout: None,
             json_out: None,
+            trace_dir: None,
+            profile: false,
         };
         let sequential = run_matrix(&opts);
         opts.jobs = 4;
@@ -696,6 +829,8 @@ mod tests {
             jobs: 1,
             cell_timeout: None,
             json_out: None,
+            trace_dir: None,
+            profile: false,
         };
         let rows = run_matrix(&opts);
         assert_eq!(rows.len(), 2);
@@ -731,6 +866,9 @@ mod tests {
             "2.5",
             "--json",
             "/tmp/out.json",
+            "--trace-dir",
+            "/tmp/traces",
+            "--profile",
         ]
         .iter()
         .map(ToString::to_string)
@@ -744,6 +882,8 @@ mod tests {
         assert_eq!(opts.jobs, 2);
         assert_eq!(opts.cell_timeout, Some(2.5));
         assert_eq!(opts.json_out.as_deref(), Some("/tmp/out.json"));
+        assert_eq!(opts.trace_dir.as_deref(), Some("/tmp/traces"));
+        assert!(opts.profile);
         assert_eq!(opts.effective_jobs(), 2);
 
         assert!(opts
@@ -834,6 +974,64 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         let arr = rows_to_json(std::slice::from_ref(&row));
         assert!(arr.starts_with('[') && arr.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn profiled_cells_embed_the_rule_table() {
+        let program = dacapo_workload("luindex", 0.15);
+        let row = run_cell_observed(
+            "luindex",
+            &program,
+            Analysis::OneObj,
+            1,
+            1,
+            None,
+            None,
+            &pta_obs::Trace::disabled(),
+            true,
+        );
+        let p = row
+            .profile
+            .as_ref()
+            .expect("profiled cell carries a profile");
+        assert!(p.rules.iter().any(|r| r.name == "alloc" && r.fires > 0));
+        let json = row.to_json();
+        assert!(json.contains(",\"profile\":{\"rules\":[{\"name\":\"alloc\","));
+        assert!(json.ends_with("}}"));
+        // An unprofiled cell stays lean.
+        let plain = run_cell("luindex", &program, Analysis::OneObj, 1);
+        assert!(plain.profile.is_none());
+        assert!(!plain.to_json().contains("\"profile\""));
+    }
+
+    #[test]
+    fn trace_dir_writes_one_timeline_per_cell() {
+        let dir = std::env::temp_dir().join(format!("pta-bench-traces-{}", std::process::id()));
+        let opts = MatrixOptions {
+            scale: 0.15,
+            workloads: vec!["luindex".into()],
+            analyses: vec![Analysis::OneObj],
+            threads: vec![1, 2],
+            repetitions: 1,
+            jobs: 1,
+            cell_timeout: None,
+            json_out: None,
+            trace_dir: Some(dir.to_string_lossy().into_owned()),
+            profile: false,
+        };
+        let rows = run_matrix(&opts);
+        assert_eq!(rows.len(), 2);
+        for t in [1, 2] {
+            let path = dir.join(format!("luindex-1obj-t{t}.trace.json"));
+            let source = std::fs::read_to_string(&path).expect("trace file written");
+            let doc = json::parse(&source).expect("trace file is valid JSON");
+            let events = doc
+                .get("traceEvents")
+                .and_then(json::Value::as_array)
+                .expect("trace carries a traceEvents array");
+            assert!(!events.is_empty(), "timeline for t{t} has events");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

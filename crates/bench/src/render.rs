@@ -379,6 +379,7 @@ mod tests {
             heap_contexts: 5,
             uncaught_exception_sites: 0,
             stats: pta_core::SolverStats::default(),
+            profile: None,
         }
     }
 
@@ -463,6 +464,7 @@ mod edge_case_tests {
             heap_contexts: 1,
             uncaught_exception_sites: 0,
             stats: pta_core::SolverStats::default(),
+            profile: None,
         }
     }
 

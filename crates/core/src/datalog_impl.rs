@@ -104,6 +104,25 @@ pub(crate) fn run_datalog<P>(
 where
     P: ContextPolicy + Clone + 'static,
 {
+    run_datalog_opt(program, policy, budget, cancel, false)
+}
+
+/// [`run_datalog`] with an opt-in per-rule evaluation profile: when
+/// `profile` is set the engine runs through
+/// [`pta_datalog::Engine::run_profiled`] and the result carries a
+/// [`pta_obs::Profile`] whose rule rows are the Figure 2 rule labels
+/// (`alloc`, `move`, `vcall`, …) rather than the dense solver's fixed
+/// rule slots.
+pub(crate) fn run_datalog_opt<P>(
+    program: &Program,
+    policy: &P,
+    budget: &Budget,
+    cancel: Option<&CancelToken>,
+    profile: bool,
+) -> (PointsToResult, EngineStats)
+where
+    P: ContextPolicy + Clone + 'static,
+{
     let Fig2Engine {
         mut e,
         vpt,
@@ -125,7 +144,12 @@ where
         !report.has_errors(),
         "datalog rule program failed verification:\n{report}"
     );
-    let stats = e.run_governed(budget, cancel);
+    let (stats, rule_prof) = if profile {
+        let (stats, prof) = e.run_profiled(budget, cancel);
+        (stats, Some(prof))
+    } else {
+        (e.run_governed(budget, cancel), None)
+    };
 
     let mut var_points_to: FxHashMap<VarId, Vec<HeapId>> = FxHashMap::default();
     {
@@ -185,6 +209,42 @@ where
     };
     uncaught.sort_unstable();
 
+    let profile_box = rule_prof.map(|prof| {
+        let rules = prof
+            .into_iter()
+            .map(|r| pta_obs::RuleStat {
+                name: r.label,
+                fires: r.fires,
+                derived: r.derived,
+                ns: r.ns,
+            })
+            .collect();
+        let mut sizes: Vec<(usize, VarId)> = var_points_to
+            .iter()
+            .map(|(&v, heaps)| (heaps.len(), v))
+            .collect();
+        sizes.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let hot_vars = sizes
+            .into_iter()
+            .take(10)
+            .map(|(len, v)| pta_obs::HotVar {
+                name: format!(
+                    "{}::{}",
+                    program.method_qualified_name(program.var_method(v)),
+                    program.var_name(v)
+                ),
+                size: len as u64,
+            })
+            .collect();
+        Box::new(pta_obs::Profile {
+            rules,
+            hot_vars,
+            // `PtsSet` stage promotions are a dense-solver concept; the
+            // generic engine's relations have no staged representation.
+            set_promotions: 0,
+        })
+    });
+
     let result = PointsToResult {
         var_points_to,
         call_graph_edges: cg_insens.len(),
@@ -209,6 +269,7 @@ where
         termination: stats.termination,
         // This back end never degrades contexts mid-run.
         demoted: Vec::new(),
+        profile: profile_box,
     };
     (result, stats)
 }

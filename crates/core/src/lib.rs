@@ -79,6 +79,9 @@ pub use pts::PtsSet;
 // Governance vocabulary, re-exported so downstream users configure
 // budgets without naming pta-govern directly.
 pub use pta_govern::{Budget, BudgetMeter, CancelToken, Termination};
+// Observability vocabulary, likewise: sessions are traced/profiled
+// without naming pta-obs directly.
+pub use pta_obs::{Profile, Trace};
 pub use results::{CtxVarPointsTo, DemotedSite, Derivation, PointsToResult, SolverStats};
 pub use session::{AnalysisSession, Backend};
 pub use solver::SolverConfig;

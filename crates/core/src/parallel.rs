@@ -234,6 +234,8 @@ pub(crate) fn solve_parallel<P: ContextPolicy>(
         config.fault.is_none() && !config.keep_tuples && !config.track_provenance,
         "session routes fault/tuples/provenance configs to the sequential solver"
     );
+    let mut ts = config.trace.scope(0);
+    let t_solve = ts.now_ns();
     let index = StaticIndex::build(program);
     let gov = Gov::new(&config, n);
     let governed = !config.budget.is_unlimited() || config.cancel.is_some();
@@ -265,6 +267,10 @@ pub(crate) fn solve_parallel<P: ContextPolicy>(
                         id as u32, n as u32, program, policy, config, index, var_owner,
                     );
                     let termination = shard.run(gov, coord, mailboxes, governed);
+                    // Flush trace events while still on the worker thread;
+                    // the shard itself is merged (and dropped) on the main
+                    // thread later.
+                    shard.ts.flush();
                     (shard, termination)
                 })
             })
@@ -277,12 +283,33 @@ pub(crate) fn solve_parallel<P: ContextPolicy>(
 
     let termination = shards[0].1;
     let rounds = shards[0].0.rounds;
-    merge_results(
+    let t_merge = ts.now_ns();
+    let result = merge_results(
         program,
         shards.drain(..).map(|(s, _)| s).collect(),
         termination,
         rounds,
-    )
+    );
+    if ts.is_enabled() {
+        let t_end = ts.now_ns();
+        ts.complete(
+            "merge",
+            "parallel",
+            t_merge,
+            t_end - t_merge,
+            &[("shards", n as u64), ("rounds", rounds)],
+        );
+        // The same top-level span the sequential solver emits, so trace
+        // consumers always find one "solve" regardless of thread count.
+        ts.complete(
+            "solve",
+            "solver",
+            t_solve,
+            t_end - t_solve,
+            &[("shards", n as u64), ("rounds", rounds)],
+        );
+    }
+    result
 }
 
 /// One worker's slice of the solver state. Mirrors `solver::Solver` field
@@ -346,6 +373,10 @@ struct Shard<'a, P: ContextPolicy> {
     /// Outboxes, one per destination shard.
     out: Vec<Vec<Msg>>,
     rounds: u64,
+
+    /// Per-shard trace recorder (tid = shard ID + 1; tid 0 is the main
+    /// thread). A disabled trace makes every call here a no-op.
+    ts: pta_obs::TraceScope,
 }
 
 /// Per-(var, ctx) points-to state (see `solver::VarEntry`).
@@ -384,6 +415,7 @@ impl<'a, P: ContextPolicy> Shard<'a, P> {
         let per = |x: usize| x / n as usize + 8;
         let watermark = config.budget.watermark.unwrap_or(DEFAULT_WATERMARK).max(1);
         let n_methods = program.method_count();
+        let ts = config.trace.scope_named(id + 1, &format!("shard-{id}"));
         Shard {
             id,
             n,
@@ -428,6 +460,7 @@ impl<'a, P: ContextPolicy> Shard<'a, P> {
             demoted_sites: Vec::new(),
             out: (0..n).map(|_| Vec::new()).collect(),
             rounds: 0,
+            ts,
         }
     }
 
@@ -466,8 +499,20 @@ impl<'a, P: ContextPolicy> Shard<'a, P> {
         let mut grace_used = false;
         loop {
             let parity = (self.rounds % 2) as usize;
+            let t_busy = self.ts.now_ns();
             self.drain(gov, governed);
             let deposited = self.deposit(mailboxes);
+            let t_sync = self.ts.now_ns();
+            if self.ts.is_enabled() {
+                // Busy half of the round: local fixpoint + outbox publish.
+                self.ts.complete(
+                    "drain",
+                    "shard",
+                    t_busy,
+                    t_sync - t_busy,
+                    &[("round", self.rounds), ("deposited", deposited)],
+                );
+            }
             coord.msgs[parity].fetch_add(deposited, Ordering::SeqCst);
             if !self.dirty.is_empty() || !self.reach_queue.is_empty() {
                 coord.pending[parity].fetch_add(1, Ordering::SeqCst);
@@ -484,6 +529,19 @@ impl<'a, P: ContextPolicy> Shard<'a, P> {
             }
             coord.barrier.wait();
             self.rounds += 1;
+            if self.ts.is_enabled() {
+                // Idle half: parked at the two round barriers while the
+                // leader decides. Attributing it separately from "drain"
+                // makes load imbalance visible as long "sync" spans.
+                let t_end = self.ts.now_ns();
+                self.ts.complete(
+                    "sync",
+                    "shard",
+                    t_sync,
+                    t_end - t_sync,
+                    &[("round", self.rounds - 1)],
+                );
+            }
             match coord.decision.load(Ordering::SeqCst) {
                 DECIDE_CONTINUE => self.collect(mailboxes),
                 DECIDE_COMPLETE => return Termination::Complete,
@@ -1599,6 +1657,7 @@ fn merge_results<P: ContextPolicy>(
         shard_stats,
         termination,
         demoted,
+        profile: None,
     }
 }
 

@@ -281,6 +281,10 @@ pub struct PointsToResult {
     pub(crate) shard_stats: Vec<SolverStats>,
     pub(crate) termination: Termination,
     pub(crate) demoted: Vec<DemotedSite>,
+    /// Per-rule evaluation profile, populated when the run was traced or
+    /// profiled (`SolverConfig::profile` / an enabled `SolverConfig::trace`);
+    /// boxed so the common unprofiled result stays lean.
+    pub(crate) profile: Option<Box<pta_obs::Profile>>,
 }
 
 impl PointsToResult {
@@ -373,6 +377,13 @@ impl PointsToResult {
     /// all valid derivations but whose sets may still be missing members.
     pub fn termination(&self) -> Termination {
         self.termination
+    }
+
+    /// The per-rule evaluation profile (fire counts, derived-tuple counts,
+    /// cumulative nanoseconds) plus hottest variables by final set size.
+    /// `None` unless the run was profiled or traced.
+    pub fn profile(&self) -> Option<&pta_obs::Profile> {
+        self.profile.as_deref()
     }
 
     /// The methods graceful degradation demoted to the

@@ -169,6 +169,28 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
         self
     }
 
+    /// Attaches a [`pta_obs::Trace`] recorder: when enabled, the dense
+    /// solver emits span/counter events (session phases, per-rule timing
+    /// ladder, per-shard BSP rounds) suitable for Chrome trace-event JSON
+    /// export. A disabled trace (the default) is a true no-op on the hot
+    /// path. Tracing does *not* force a thread count — parallel runs
+    /// produce per-shard timelines.
+    #[must_use]
+    pub fn trace(mut self, trace: pta_obs::Trace) -> Self {
+        self.config.trace = trace;
+        self
+    }
+
+    /// Collects a per-rule evaluation profile (fire counts, derived
+    /// tuples, cumulative nanoseconds) plus hottest-variable ranking into
+    /// `PointsToResult::profile` (sequential dense runs only; forces one
+    /// thread so per-rule clocks are not interleaved across workers).
+    #[must_use]
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.config.profile = profile;
+        self
+    }
+
     /// Replaces the whole [`SolverConfig`] at once (for callers that
     /// already assemble one).
     #[must_use]
@@ -187,7 +209,11 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
         } else {
             self.threads
         };
-        if self.config.keep_tuples || self.config.track_provenance || self.config.fault.is_some() {
+        if self.config.keep_tuples
+            || self.config.track_provenance
+            || self.config.fault.is_some()
+            || self.config.profile
+        {
             1
         } else {
             requested
@@ -212,11 +238,12 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
                 }
             }
             Backend::Datalog => {
-                datalog_impl::run_datalog(
+                datalog_impl::run_datalog_opt(
                     self.program,
                     &self.policy,
                     &self.config.budget,
                     self.config.cancel.as_ref(),
+                    self.config.profile,
                 )
                 .0
             }
@@ -231,11 +258,12 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
     where
         P: Clone + 'static,
     {
-        datalog_impl::run_datalog(
+        datalog_impl::run_datalog_opt(
             self.program,
             &self.policy,
             &self.config.budget,
             self.config.cancel.as_ref(),
+            self.config.profile,
         )
     }
 }

@@ -83,6 +83,70 @@ pub struct SolverConfig {
     /// Deterministic fault injection for testing the exhaustion paths
     /// (see [`crate::fault`]). `None` in production.
     pub fault: Option<FaultPlan>,
+    /// Span/event recorder (see [`pta_obs::Trace`]). Disabled by default —
+    /// a disabled handle is a compiled-in no-op on every hot path.
+    pub trace: pta_obs::Trace,
+    /// Collect a rule-level [`pta_obs::Profile`] (per-rule fires, derived
+    /// tuples, cumulative ns; hottest variables) into the result. Off by
+    /// default; enabling it adds two clock reads per rule batch.
+    pub profile: bool,
+}
+
+/// Stable rule order for solver profiles and per-rule trace spans: the
+/// paper's nine Figure 2 rule groups plus the exception extension.
+pub(crate) const RULE_NAMES: [&str; 10] = [
+    "alloc",
+    "move",
+    "interproc",
+    "load",
+    "store",
+    "sload",
+    "sstore",
+    "vcall",
+    "scall",
+    "exception",
+];
+pub(crate) const R_ALLOC: usize = 0;
+pub(crate) const R_MOVE: usize = 1;
+pub(crate) const R_INTERPROC: usize = 2;
+pub(crate) const R_LOAD: usize = 3;
+pub(crate) const R_STORE: usize = 4;
+pub(crate) const R_SLOAD: usize = 5;
+pub(crate) const R_SSTORE: usize = 6;
+pub(crate) const R_VCALL: usize = 7;
+pub(crate) const R_SCALL: usize = 8;
+pub(crate) const R_EXC: usize = 9;
+
+/// Per-rule profile accumulators (fixed arrays, allocated once behind the
+/// `profile`/`trace` opt-in — `None` keeps the hot loop allocation-free
+/// and clock-free).
+#[derive(Default)]
+pub(crate) struct RuleProf {
+    pub(crate) fires: [u64; RULE_NAMES.len()],
+    pub(crate) derived: [u64; RULE_NAMES.len()],
+    pub(crate) ns: [u64; RULE_NAMES.len()],
+    pub(crate) set_promotions: u64,
+}
+
+impl RuleProf {
+    /// Converts the accumulators into the shared profile type, attaching
+    /// the hottest variables (computed by the caller).
+    pub(crate) fn into_profile(self, hot_vars: Vec<pta_obs::HotVar>) -> pta_obs::Profile {
+        pta_obs::Profile {
+            rules: RULE_NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, &name)| pta_obs::RuleStat {
+                    name: name.to_owned(),
+                    fires: self.fires[i],
+                    derived: self.derived[i],
+                    ns: self.ns[i],
+                })
+                .collect(),
+            hot_vars,
+            set_promotions: self.set_promotions,
+        }
+    }
 }
 
 /// Sentinel in `Solver::demote_ctx` for a method that is not demoted.
@@ -371,6 +435,13 @@ struct Solver<'a, P: ContextPolicy> {
 
     stats: SolverStats,
 
+    /// Per-rule profile accumulators; `None` unless profiling or tracing
+    /// was requested (the hot loop then skips all clock reads).
+    prof: Option<Box<RuleProf>>,
+    /// Recorder scope for this solve (tid derived from the shard id, 0
+    /// for sequential runs). A no-op when the trace is disabled.
+    ts: pta_obs::TraceScope,
+
     // ----- resource governance ---------------------------------------------
     /// Running budget checker (strided wall-clock reads).
     meter: BudgetMeter,
@@ -399,7 +470,11 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             !config.budget.is_unlimited() || config.cancel.is_some() || config.fault.is_some();
         let watermark = config.budget.watermark.unwrap_or(DEFAULT_WATERMARK).max(1);
         let n_methods = program.method_count();
+        let prof = (config.profile || config.trace.is_enabled()).then(Box::<RuleProf>::default);
+        let ts = config.trace.scope(0);
         Solver {
+            prof,
+            ts,
             meter,
             governed,
             steps: 0,
@@ -445,12 +520,109 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
     }
 
     fn solve(mut self) -> PointsToResult {
+        let t0 = self.ts.now_ns();
         // Entry points are reachable under the initial context.
         for &entry in self.program.entry_points() {
             self.mark_reachable(entry.raw(), CtxId::INITIAL.raw());
         }
         let termination = self.run_loop();
+        if self.ts.is_enabled() {
+            self.ts.complete(
+                "solve",
+                "solver",
+                t0,
+                self.ts.now_ns().saturating_sub(t0),
+                &[
+                    ("steps", self.steps),
+                    ("peak_worklist", self.stats.peak_worklist),
+                    ("flushes", self.stats.batches),
+                ],
+            );
+            self.emit_rule_spans(t0);
+        }
         self.into_result(termination)
+    }
+
+    /// Renders the cumulative per-rule cost as a ladder of complete spans
+    /// (stacked end-to-end from the solve start so trace viewers show one
+    /// non-overlapping bar per rule; the *widths* are the real cumulative
+    /// nanoseconds, the offsets are synthetic).
+    fn emit_rule_spans(&mut self, base_ns: u64) {
+        let Some(prof) = self.prof.as_deref() else {
+            return;
+        };
+        let mut at = base_ns;
+        for (i, &name) in RULE_NAMES.iter().enumerate() {
+            if prof.fires[i] == 0 && prof.ns[i] == 0 {
+                continue;
+            }
+            self.ts.complete(
+                name,
+                "rule",
+                at,
+                prof.ns[i],
+                &[("fires", prof.fires[i]), ("derived", prof.derived[i])],
+            );
+            at += prof.ns[i];
+        }
+        if prof.set_promotions > 0 {
+            self.ts.instant(
+                "set_promotions",
+                "solver",
+                &[("count", prof.set_promotions)],
+            );
+        }
+    }
+
+    /// Starts a rule timer — a clock read only when profiling is on.
+    #[inline]
+    fn tick(&self) -> Option<std::time::Instant> {
+        if self.prof.is_some() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Stops a [`Solver::tick`] timer, attributing the elapsed time to
+    /// `rule`.
+    #[inline]
+    fn tock(&mut self, rule: usize, t: Option<std::time::Instant>) {
+        if let (Some(p), Some(t)) = (self.prof.as_deref_mut(), t) {
+            p.ns[rule] += t.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Counts `n` firings of `rule` (profiling only).
+    #[inline]
+    fn prof_fire(&mut self, rule: usize, n: u64) {
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.fires[rule] += n;
+        }
+    }
+
+    /// Counts `n` newly derived tuples for `rule` (profiling only).
+    #[inline]
+    fn prof_derive(&mut self, rule: usize, n: u64) {
+        if n > 0 {
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.derived[rule] += n;
+            }
+        }
+    }
+
+    /// Maps a provenance reason to its rule slot (for derived counts).
+    #[inline]
+    fn rule_of(reason: Reason) -> usize {
+        match reason {
+            Reason::Alloc => R_ALLOC,
+            Reason::Assign { .. } => R_MOVE,
+            Reason::InterProc { .. } => R_INTERPROC,
+            Reason::Load { .. } => R_LOAD,
+            Reason::ThisBinding { .. } => R_VCALL,
+            Reason::StaticLoad { .. } => R_SLOAD,
+            Reason::Caught => R_EXC,
+        }
     }
 
     /// Drains both worklists to fixpoint, or until the budget trips.
@@ -466,6 +638,12 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                 return Termination::Complete;
             }
             self.steps += 1;
+            // Sampled queue-depth counter (every 4096 pops); disabled
+            // traces skip this with a single branch.
+            if self.ts.is_enabled() && self.steps & 0xFFF == 0 {
+                let depth = self.dirty.len() as u64;
+                self.ts.counter("worklist_depth", "solver", depth);
+            }
             if !self.governed {
                 continue;
             }
@@ -680,11 +858,15 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         if objs.is_empty() {
             return;
         }
+        let profiling = self.prof.is_some();
         let entry = &mut self.entries[key as usize];
+        let was_bitmap = profiling && entry.set.is_bitmap();
+        let mut newly = 0u64;
         for &obj in objs {
             if entry.set.insert(obj) {
                 entry.delta.push(obj);
                 self.stats.vpt_inserted += 1;
+                newly += 1;
                 if self.config.track_provenance {
                     self.provenance.insert((key, obj), reason);
                 }
@@ -692,6 +874,13 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                 self.stats.vpt_dup += 1;
             }
         }
+        if profiling {
+            let promoted = !was_bitmap && entry.set.is_bitmap();
+            let p = self.prof.as_deref_mut().expect("profiling implies prof");
+            p.derived[Self::rule_of(reason)] += newly;
+            p.set_promotions += u64::from(promoted);
+        }
+        let entry = &mut self.entries[key as usize];
         if !entry.queued && !entry.delta.is_empty() {
             entry.queued = true;
             self.dirty.push_back(key);
@@ -707,6 +896,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             return;
         }
         self.stats.fire_store += vals.len() as u64;
+        self.prof_fire(R_STORE, vals.len() as u64);
         let fe = self.fld_id(base_obj, field);
         let mut fresh = std::mem::take(&mut self.buf2);
         fresh.clear();
@@ -720,6 +910,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         }
         if !fresh.is_empty() {
             self.stats.fld_inserted += fresh.len() as u64;
+            self.prof_derive(R_STORE, fresh.len() as u64);
             if self.config.track_provenance {
                 for &v in &fresh {
                     self.fld_provenance.insert((fe, v), src_key);
@@ -728,6 +919,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             for wi in 0..self.fentries[fe as usize].witnesses.len() {
                 let (to_key, base_key) = self.fentries[fe as usize].witnesses[wi];
                 self.stats.fire_load += fresh.len() as u64;
+                self.prof_fire(R_LOAD, fresh.len() as u64);
                 self.insert_batch(
                     to_key,
                     &fresh,
@@ -749,6 +941,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             return;
         }
         self.stats.fire_static_store += vals.len() as u64;
+        self.prof_fire(R_SSTORE, vals.len() as u64);
         let mut fresh = std::mem::take(&mut self.buf2);
         fresh.clear();
         {
@@ -760,6 +953,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             }
         }
         if !fresh.is_empty() {
+            self.prof_derive(R_SSTORE, fresh.len() as u64);
             if self.config.track_provenance {
                 for &v in &fresh {
                     self.static_fld_provenance.insert((field, v), src_key);
@@ -768,6 +962,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             for wi in 0..self.statics[field as usize].witnesses.len() {
                 let to_key = self.statics[field as usize].witnesses[wi];
                 self.stats.fire_static_load += fresh.len() as u64;
+                self.prof_fire(R_SLOAD, fresh.len() as u64);
                 self.insert_batch(to_key, &fresh, Reason::StaticLoad { field });
             }
         }
@@ -867,12 +1062,14 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             if self.program.is_subtype(heap_ty, ty) {
                 let bkey = self.key_id(binder.raw(), ctx);
                 self.stats.fire_caught += 1;
+                self.prof_fire(R_EXC, 1);
                 self.insert_batch(bkey, &[obj], Reason::Caught);
                 caught = true;
             }
         }
         if !caught && self.throw_pts.entry((meth, ctx)).or_default().insert(obj) {
             self.stats.throw_tuples += 1;
+            self.prof_derive(R_EXC, 1);
             if let Some(listeners) = self.throw_listeners.get(&(meth, ctx)) {
                 let listeners = listeners.clone();
                 for (caller, caller_ctx) in listeners {
@@ -899,6 +1096,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                 .set
                 .extend_into(&mut existing);
             self.stats.fire_interproc += existing.len() as u64;
+            self.prof_fire(R_INTERPROC, existing.len() as u64);
             self.insert_batch(to_key, &existing, Reason::InterProc { src_key: from_key });
             self.ipa_buf = existing;
         }
@@ -915,17 +1113,22 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             match *instr {
                 Instr::Alloc { var, heap } => {
                     // VarPointsTo(var, ctx, heap, Record(heap, ctx)).
+                    let t = self.tick();
                     self.stats.fire_alloc += 1;
+                    self.prof_fire(R_ALLOC, 1);
                     let elem = self.policy.record(heap, ctx_val, self.program);
                     let hctx = self.hctxs.intern(elem);
                     let obj = self.obj_id(heap.raw(), hctx.raw());
                     let vkey = self.key_id(var.raw(), ctx);
                     self.insert_batch(vkey, &[obj], Reason::Alloc);
+                    self.tock(R_ALLOC, t);
                 }
                 Instr::SCall { target, invo } => {
                     // CallGraph(invo, ctx, target, MergeStatic(invo, ctx)).
                     // Demoted targets skip the constructor so no unused
                     // context is interned on their behalf.
+                    let t = self.tick();
+                    self.prof_fire(R_SCALL, 1);
                     let callee_ctx = match self.demote_ctx[target.index()] {
                         NOT_DEMOTED => {
                             let v = self.policy.merge_static(invo, ctx_val, self.program);
@@ -934,10 +1137,12 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                         demoted => demoted,
                     };
                     self.add_call_edge(invo, ctx, target, callee_ctx);
+                    self.tock(R_SCALL, t);
                 }
                 Instr::SLoad { to, field } => {
                     // Static loads fire once the enclosing (method, ctx) is
                     // reachable: register a witness and pull current facts.
+                    let t = self.tick();
                     let to_key = self.key_id(to.raw(), ctx);
                     let fld = field.raw() as usize;
                     self.statics[fld].witnesses.push(to_key);
@@ -946,6 +1151,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                         existing.clear();
                         self.statics[fld].set.extend_into(&mut existing);
                         self.stats.fire_static_load += existing.len() as u64;
+                        self.prof_fire(R_SLOAD, existing.len() as u64);
                         self.insert_batch(
                             to_key,
                             &existing,
@@ -953,6 +1159,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                         );
                         self.buf = existing;
                     }
+                    self.tock(R_SLOAD, t);
                 }
                 _ => {}
             }
@@ -972,12 +1179,14 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
 
         // Move / Cast: VarPointsTo(to, ctx, obj) <- Move(to, var).
         // Casts filter by subtyping (Doop's AssignCast).
+        let t = self.tick();
         for i in row[ROW_ASSIGN] as usize..next[ROW_ASSIGN] as usize {
             let (to, filter) = self.index.assigns[i];
             let to_key = self.key_id(to.raw(), ctx);
             match filter {
                 None => {
                     self.stats.fire_assign += delta.len() as u64;
+                    self.prof_fire(R_MOVE, delta.len() as u64);
                     self.insert_batch(to_key, &delta, Reason::Assign { src_key: key });
                 }
                 Some(ty) => {
@@ -992,21 +1201,27 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                         }
                     }
                     self.stats.fire_assign += buf.len() as u64;
+                    self.prof_fire(R_MOVE, buf.len() as u64);
                     self.insert_batch(to_key, &buf, Reason::Assign { src_key: key });
                     self.buf = buf;
                 }
             }
         }
+        self.tock(R_MOVE, t);
 
         // InterProcAssign propagation.
+        let t = self.tick();
         for i in 0..self.ipa_out[key as usize].len() {
             let to_key = self.ipa_out[key as usize][i];
             self.stats.fire_interproc += delta.len() as u64;
+            self.prof_fire(R_INTERPROC, delta.len() as u64);
             self.insert_batch(to_key, &delta, Reason::InterProc { src_key: key });
         }
+        self.tock(R_INTERPROC, t);
 
         // Loads where `var` is the base: register a witness per new base
         // object and pull existing field facts.
+        let t = self.tick();
         for i in row[ROW_LOAD_ON] as usize..next[ROW_LOAD_ON] as usize {
             let (to, field) = self.index.loads_on[i];
             let to_key = self.key_id(to.raw(), ctx);
@@ -1018,6 +1233,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                     buf.clear();
                     self.fentries[fe as usize].set.extend_into(&mut buf);
                     self.stats.fire_load += buf.len() as u64;
+                    self.prof_fire(R_LOAD, buf.len() as u64);
                     self.insert_batch(
                         to_key,
                         &buf,
@@ -1031,9 +1247,11 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                 }
             }
         }
+        self.tock(R_LOAD, t);
 
         // Stores where `var` is the base:
         // FldPointsTo(baseObj, fld, *pts(from, ctx)).
+        let t = self.tick();
         for i in row[ROW_STORE_ON] as usize..next[ROW_STORE_ON] as usize {
             let (field, from) = self.index.stores_on[i];
             let Some(from_key) = self.vkeys.get((from.raw(), ctx)) else {
@@ -1069,30 +1287,38 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             }
             self.buf = bases;
         }
+        self.tock(R_STORE, t);
 
         // Throws of `var`: the exception arrives at the enclosing method.
         if row[ROW_THROWN] != 0 {
+            let t = self.tick();
             let meth = self.program.var_method(VarId::from_raw(var)).raw();
             for &obj in &delta {
+                self.prof_fire(R_EXC, 1);
                 self.handle_incoming_exception(meth, ctx, obj);
             }
+            self.tock(R_EXC, t);
         }
 
         // Static-field stores where `var` is the source.
+        let t = self.tick();
         for i in row[ROW_SSTORE_OF] as usize..next[ROW_SSTORE_OF] as usize {
             let field = self.index.sstores_of[i];
             self.insert_static_batch(field.raw(), &delta, key);
         }
+        self.tock(R_SSTORE, t);
 
         // Virtual calls where `var` is the receiver: dispatch, Merge, and
         // derive CallGraph + this-points-to + Reachable.
         let vcall_rng = row[ROW_VCALL_ON] as usize..next[ROW_VCALL_ON] as usize;
         if !vcall_rng.is_empty() {
+            let t = self.tick();
             let ctx_val = self.ctxs.resolve(CtxId::from_raw(ctx));
             for i in vcall_rng {
                 let (sig, invo) = self.index.vcalls_on[i];
                 for &obj in &delta {
                     self.stats.fire_vcall_dispatch += 1;
+                    self.prof_fire(R_VCALL, 1);
                     let heap_ty = TypeId::from_raw(self.obj_type[obj as usize]);
                     if let Some(callee) = self.program.lookup(heap_ty, sig) {
                         let (heap, hctx) = self.objs.resolve(obj);
@@ -1128,6 +1354,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                     }
                 }
             }
+            self.tock(R_VCALL, t);
         }
     }
 
@@ -1198,6 +1425,31 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             }
             var_points_to.insert(VarId::from_raw(var as u32), heaps);
         }
+
+        // Rule-level profile plus the hottest variables by final
+        // context-projected set size (top 10, deterministic tie-break on
+        // the variable id).
+        let profile = self.prof.take().map(|p| {
+            let mut sizes: Vec<(usize, VarId)> = var_points_to
+                .iter()
+                .map(|(&v, heaps)| (heaps.len(), v))
+                .collect();
+            sizes.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let hot = sizes
+                .into_iter()
+                .take(10)
+                .map(|(len, v)| pta_obs::HotVar {
+                    name: format!(
+                        "{}::{}",
+                        self.program
+                            .method_qualified_name(self.program.var_method(v)),
+                        self.program.var_name(v)
+                    ),
+                    size: len as u64,
+                })
+                .collect();
+            Box::new(p.into_profile(hot))
+        });
 
         let mut call_targets: FxHashMap<InvoId, Vec<MethodId>> = FxHashMap::default();
         for &(invo, meth) in &self.cg_insens {
@@ -1347,6 +1599,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             shard_stats: Vec::new(),
             termination,
             demoted: self.demoted_sites,
+            profile,
         }
     }
 }

@@ -71,6 +71,24 @@ pub struct EngineStats {
     pub termination: Termination,
 }
 
+/// Per-rule evaluation totals collected by [`Engine::run_profiled`], in
+/// rule registration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleProfile {
+    /// The rule's diagnostic label (`rule #N` when unlabeled).
+    pub label: String,
+    /// Semi-naive evaluation passes run (one per non-empty delta window
+    /// per round; a rule with a k-atom body can fire up to k times per
+    /// round).
+    pub fires: u64,
+    /// Head rows derived by this rule that were *new* (deduplicated rows
+    /// re-derived by an earlier rule in the same round count toward that
+    /// earlier rule).
+    pub derived: u64,
+    /// Cumulative wall-clock nanoseconds spent evaluating the rule.
+    pub ns: u64,
+}
+
 /// A Datalog engine: relations, rules, functors and the fixpoint driver.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
@@ -202,6 +220,48 @@ impl Engine {
     /// incomplete). A later `run`/`run_governed` call resumes and
     /// finishes the fixpoint, as rows are never retracted.
     pub fn run_governed(&mut self, budget: &Budget, cancel: Option<&CancelToken>) -> EngineStats {
+        self.run_inner(budget, cancel, None)
+    }
+
+    /// Like [`Engine::run_governed`], but also collects a per-rule
+    /// evaluation profile: how many semi-naive evaluation passes each rule
+    /// ran, how many of its derived head rows were new, and its cumulative
+    /// evaluation time. Rules are identified by their diagnostic label
+    /// (`rule #N` when unlabeled), in registration order.
+    ///
+    /// Profiling adds a clock read per (rule, round) — negligible next to
+    /// rule evaluation — and row-attribution bookkeeping at insert time;
+    /// un-profiled runs through [`Engine::run_governed`] pay neither.
+    pub fn run_profiled(
+        &mut self,
+        budget: &Budget,
+        cancel: Option<&CancelToken>,
+    ) -> (EngineStats, Vec<RuleProfile>) {
+        let mut prof: Vec<RuleProfile> = self
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| RuleProfile {
+                label: if r.label.is_empty() {
+                    format!("rule #{i}")
+                } else {
+                    r.label.clone()
+                },
+                fires: 0,
+                derived: 0,
+                ns: 0,
+            })
+            .collect();
+        let stats = self.run_inner(budget, cancel, Some(&mut prof));
+        (stats, prof)
+    }
+
+    fn run_inner(
+        &mut self,
+        budget: &Budget,
+        cancel: Option<&CancelToken>,
+        mut prof: Option<&mut Vec<RuleProfile>>,
+    ) -> EngineStats {
         let mut meter = BudgetMeter::new(budget);
         let governed = !budget.is_unlimited() || cancel.is_some();
         // Per-relation row footprint for the budget memory estimate.
@@ -235,6 +295,10 @@ impl Engine {
                     }
                 }
                 let mut derived: Vec<(RelId, Row)> = Vec::new();
+                // When profiling: `(rule index, end offset into derived)`
+                // per evaluated rule, so fresh insertions below can be
+                // attributed back to the rule that derived them.
+                let mut segments: Vec<(usize, usize)> = Vec::new();
                 {
                     let relations = &mut self.relations;
                     let functors = &mut self.functors;
@@ -247,18 +311,40 @@ impl Engine {
                     };
                     for &ri in stratum {
                         let rule = &rules[ri];
+                        let t0 = prof.is_some().then(std::time::Instant::now);
+                        let mut evals = 0u64;
                         for k in 0..rule.body.len() {
                             let rel = rule.body[k].rel.index();
                             if prev_end[rel] < full_end[rel] {
                                 ctx.eval_rule(rule, k, &mut derived);
+                                evals += 1;
                             }
+                        }
+                        if let (Some(t0), Some(p)) = (t0, prof.as_deref_mut()) {
+                            p[ri].fires += evals;
+                            p[ri].ns += t0.elapsed().as_nanos() as u64;
+                            segments.push((ri, derived.len()));
                         }
                     }
                 }
                 let mut changed = false;
-                for (rel, row) in derived {
-                    if self.relations[rel.index()].insert(row) {
-                        changed = true;
+                let mut seg = segments.into_iter();
+                let mut cur = seg.next();
+                for (i, (rel, row)) in derived.into_iter().enumerate() {
+                    let fresh = self.relations[rel.index()].insert(row);
+                    changed |= fresh;
+                    if let Some(p) = prof.as_deref_mut() {
+                        while let Some((_, end)) = cur {
+                            if i < end {
+                                break;
+                            }
+                            cur = seg.next();
+                        }
+                        if fresh {
+                            if let Some((ri, _)) = cur {
+                                p[ri].derived += 1;
+                            }
+                        }
                     }
                 }
                 prev_end = full_end;

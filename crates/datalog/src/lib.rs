@@ -61,7 +61,7 @@ pub mod stratify;
 pub mod tuple;
 pub mod verify;
 
-pub use engine::{Engine, EngineStats, FunctorId, RelId};
+pub use engine::{Engine, EngineStats, FunctorId, RelId, RuleProfile};
 pub use rule::{RuleBuildError, RuleBuilder, Term};
 pub use tuple::{Row, MAX_ARITY};
 pub use verify::{StratumInfo, VerifyIssue, VerifyIssueKind, VerifyReport};

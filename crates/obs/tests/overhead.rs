@@ -1,0 +1,77 @@
+//! Overhead guard: a *disabled* recorder must be a true no-op on the hot
+//! path — zero heap allocations, no clock reads observable as time cost.
+//!
+//! The test installs a counting global allocator and drives every
+//! recording method through a disabled [`pta_obs::Trace`]; the allocation
+//! counter must not move. (The enabled path is exercised too, as a
+//! sanity check that the counter actually counts.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_recorder_allocates_nothing() {
+    let trace = pta_obs::Trace::disabled();
+    let mut scope = trace.scope(0);
+    // Warm anything lazy before measuring.
+    scope.complete("warmup", "test", 0, 0, &[]);
+
+    let before = allocs();
+    for i in 0..10_000u64 {
+        let t0 = scope.now_ns();
+        scope.complete("span", "hot", t0, 17, &[("i", i)]);
+        scope.instant("tick", "hot", &[("i", i)]);
+        scope.counter("depth", "hot", i);
+        assert_eq!(trace.now_ns(), 0);
+    }
+    scope.flush();
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled recorder must not allocate on the hot path"
+    );
+    assert!(trace.events().is_empty());
+}
+
+#[test]
+fn enabled_recorder_is_observed_by_the_counter() {
+    // Sanity: the same loop with an enabled trace *does* allocate, proving
+    // the counter is live and the zero above is meaningful.
+    let trace = pta_obs::Trace::enabled();
+    let before = allocs();
+    {
+        let mut scope = trace.scope(1);
+        for i in 0..16u64 {
+            scope.counter("depth", "hot", i);
+        }
+    }
+    let after = allocs();
+    assert!(after > before, "enabled recorder should allocate events");
+    assert_eq!(trace.events().len(), 16);
+}

@@ -33,6 +33,19 @@
 //!                          and keep going instead of stopping (specialized
 //!                          solver only); each demoted method is reported
 //!                          as a W007 diagnostic
+//!     --trace FILE         record a Chrome trace-event timeline (session
+//!                          phases, per-rule spans, per-shard BSP rounds)
+//!                          and write it to FILE; load in Perfetto or
+//!                          chrome://tracing
+//!     --profile            collect and print the per-rule evaluation
+//!                          profile (fires, derived tuples, cumulative ms)
+//!                          and the hottest variables by set size; rides
+//!                          under "profile" with --format json
+//! pta explain FILE.jir VAR OBJ [--analysis NAME]
+//!                                        run one analysis with provenance
+//!                                        tracking and print the derivation
+//!                                        chain for why VAR may point to the
+//!                                        allocation site labeled OBJ
 //! pta workload NAME [--scale S] [--print]
 //!                                        generate a synthetic DaCapo
 //!                                        workload; --print emits it as .jir
@@ -60,7 +73,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use pta_clients::{context_stats, may_fail_casts, poly_virtual_calls, precision_metrics};
-use pta_core::{Analysis, AnalysisSession, Backend, Budget, CancelToken, PointsToResult};
+use pta_core::{Analysis, AnalysisSession, Backend, Budget, CancelToken, PointsToResult, Trace};
 use pta_govern::parse_byte_size;
 use pta_ir::Program;
 use pta_lang::{parse_program, print_program};
@@ -82,10 +95,13 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("workload") => cmd_workload(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         _ => {
-            eprintln!("usage: pta <list|analyze|workload|lint> ...  (see --help in the README)");
+            eprintln!(
+                "usage: pta <list|analyze|explain|workload|lint> ...  (see --help in the README)"
+            );
             ExitCode::from(EXIT_USAGE)
         }
     }
@@ -116,22 +132,8 @@ fn describe(a: Analysis) -> &'static str {
 
 fn cmd_analyze(args: &[String]) -> ExitCode {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: pta analyze FILE.jir [--analysis NAME] [--metrics] [--points-to VAR] [--casts] [--devirt] [--datalog] [--timeout SECS] [--max-steps N] [--max-memory BYTES] [--degrade]");
+        eprintln!("usage: pta analyze FILE.jir [--analysis NAME] [--metrics] [--points-to VAR] [--casts] [--devirt] [--datalog] [--timeout SECS] [--max-steps N] [--max-memory BYTES] [--degrade] [--trace FILE] [--profile]");
         return ExitCode::from(EXIT_USAGE);
-    };
-    let source = match std::fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            return ExitCode::from(EXIT_USAGE);
-        }
-    };
-    let program = match parse_program(&source) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error in {path}: {e}");
-            return ExitCode::from(EXIT_USAGE);
-        }
     };
 
     let mut analyses: Vec<Analysis> = Vec::new();
@@ -148,6 +150,8 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let mut budget = Budget::unlimited();
     let mut degrade = false;
     let mut threads: usize = 1;
+    let mut trace_path: Option<String> = None;
+    let mut profile = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -248,6 +252,17 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => trace_path = Some(p.clone()),
+                    None => {
+                        eprintln!("error: --trace needs an output file path");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--profile" => profile = true,
             "--degrade" => degrade = true,
             "--metrics" => metrics = true,
             "--stats" => stats = true,
@@ -272,6 +287,40 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
              the Datalog back end stops with a partial result instead"
         );
         return ExitCode::from(EXIT_USAGE);
+    }
+    // The trace recorder exists before the file is read so session setup
+    // (parse, IR construction) lands on the timeline too. A disabled
+    // trace (no --trace flag) makes every recording call a no-op.
+    let trace = if trace_path.is_some() {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
+    };
+    let mut ts = trace.scope_named(0, "main");
+    let t_parse = ts.now_ns();
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let program = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error in {path}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if ts.is_enabled() {
+        let t_end = ts.now_ns();
+        ts.complete(
+            "parse",
+            "session",
+            t_parse,
+            t_end - t_parse,
+            &[("bytes", source.len() as u64)],
+        );
     }
     // Governed runs get cooperative ctrl-c: SIGINT flips the token and the
     // solver stops at the next batch boundary with a tagged partial result.
@@ -318,7 +367,9 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             .budget(budget.clone())
             .degrade(degrade)
             .keep_tuples(hot)
-            .track_provenance(!explain.is_empty());
+            .track_provenance(!explain.is_empty())
+            .trace(trace.clone())
+            .profile(profile);
         if let Some(token) = &cancel {
             session = session.cancel(token.clone());
         }
@@ -327,8 +378,19 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         } else {
             session.effective_threads()
         };
+        let t_run = ts.now_ns();
         let result: PointsToResult = session.run();
         let elapsed = start.elapsed();
+        if ts.is_enabled() {
+            let t_end = ts.now_ns();
+            ts.complete(
+                &format!("analysis {analysis}"),
+                "session",
+                t_run,
+                t_end - t_run,
+                &[("threads", solved_threads as u64)],
+            );
+        }
         any_partial |= !result.termination().is_complete();
         if json {
             runs.push((analysis, solved_threads, elapsed.as_secs_f64(), result));
@@ -386,6 +448,12 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         if stats {
             println!("   solver counters:");
             println!("{}", result.solver_stats());
+        }
+        if profile {
+            match result.profile() {
+                Some(p) => print!("{}", p.render_text(10)),
+                None => println!("   (no profile recorded)"),
+            }
         }
         for name in &points_to {
             print_points_to(&program, &result, name);
@@ -477,11 +545,19 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                     result,
                     metrics: m.as_ref(),
                     include_stats: stats,
+                    include_profile: profile,
                     demoted,
                 }
             })
             .collect();
         println!("{}", hybrid_pta::report::reports_to_json(&reports));
+    }
+    if let Some(tp) = &trace_path {
+        ts.flush();
+        if let Err(e) = std::fs::write(tp, trace.to_chrome_json()) {
+            eprintln!("error: cannot write trace {tp}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
     }
     if any_partial {
         ExitCode::from(EXIT_PARTIAL)
@@ -540,6 +616,124 @@ fn explain_var(program: &Program, result: &PointsToResult, name: &str) {
     }
     if !found {
         println!("   (no variable named {name})");
+    }
+}
+
+const EXPLAIN_USAGE: &str = "usage: pta explain FILE.jir VAR OBJ [--analysis NAME]\n\
+     VAR  variable name, optionally method-qualified (r1 or Client.main::r1)\n\
+     OBJ  allocation-site label, exact or substring (Client.main/new Object#2)";
+
+/// `pta explain FILE VAR OBJ`: runs one analysis with provenance tracking
+/// and prints the recorded derivation chain for every `(VAR, OBJ)` pair
+/// that matches — why may VAR point to OBJ, traced back to the allocation.
+///
+/// Exit codes follow the module table: 0 when at least one chain printed,
+/// 1 when the fact does not hold (or nothing matched), 2 on usage errors.
+fn cmd_explain(args: &[String]) -> ExitCode {
+    let mut pos: Vec<&String> = Vec::new();
+    let mut analysis = Analysis::STwoObjH;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--analysis" => {
+                i += 1;
+                match args.get(i).map(|s| s.parse::<Analysis>()) {
+                    Some(Ok(a)) => analysis = a,
+                    _ => {
+                        eprintln!("error: --analysis needs a known name (try `pta list`)");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag}\n{EXPLAIN_USAGE}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+            _ => pos.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [path, var_name, obj_label] = pos.as_slice() else {
+        eprintln!("{EXPLAIN_USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let program = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error in {path}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+
+    // VAR matches by bare name or by the `Method::var` qualified form;
+    // OBJ matches its allocation-site label exactly, falling back to
+    // substring so `Object#2` finds `Client.main/new Object#2`.
+    let vars: Vec<_> = program
+        .vars()
+        .filter(|&v| {
+            let bare = program.var_name(v);
+            bare == var_name.as_str()
+                || format!(
+                    "{}::{bare}",
+                    program.method_qualified_name(program.var_method(v))
+                ) == var_name.as_str()
+        })
+        .collect();
+    if vars.is_empty() {
+        eprintln!("error: no variable named {var_name}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let mut heaps: Vec<_> = program
+        .heaps()
+        .filter(|&h| program.heap_label(h) == obj_label.as_str())
+        .collect();
+    if heaps.is_empty() {
+        heaps = program
+            .heaps()
+            .filter(|&h| program.heap_label(h).contains(obj_label.as_str()))
+            .collect();
+    }
+    if heaps.is_empty() {
+        eprintln!("error: no allocation site labeled {obj_label}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+
+    let result = AnalysisSession::new(&program)
+        .policy(analysis)
+        .track_provenance(true)
+        .run();
+    let mut printed = false;
+    for &var in &vars {
+        for &heap in &heaps {
+            let Some(lines) = result.explain(&program, var, heap) else {
+                continue;
+            };
+            printed = true;
+            println!(
+                "why {}::{} -> {} under {analysis}:",
+                program.method_qualified_name(program.var_method(var)),
+                program.var_name(var),
+                program.heap_label(heap),
+            );
+            for line in lines {
+                println!("  {line}");
+            }
+        }
+    }
+    if printed {
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{var_name} does not point to {obj_label} under {analysis} (no derivation exists)"
+        );
+        ExitCode::from(1)
     }
 }
 

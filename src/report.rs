@@ -4,7 +4,9 @@
 //! array when several `--analysis` flags are given) so scripts can consume
 //! results without scraping the human-oriented text output. The solver's
 //! always-on counters ride along under the `"stats"` key when `--stats` is
-//! passed. Every report carries the run's `"termination"` status
+//! passed (with a `"governance"` outcome object — budget consumed,
+//! demotions applied — nested after any `"shard_stats"`), and the per-rule
+//! evaluation profile under `"profile"` when `--profile` is. Every report carries the run's `"termination"` status
 //! (`complete`, `deadline_exceeded`, `step_limit`, `memory_cap`); runs that
 //! gracefully degraded also list the demoted methods under
 //! `"demoted_sites"`. Every object opens with a `"schema_version"` field
@@ -57,6 +59,9 @@ pub struct AnalysisReport<'a> {
     pub metrics: Option<&'a ExperimentMetrics>,
     /// Include the solver counters under `"stats"` (`--stats`).
     pub include_stats: bool,
+    /// Include the per-rule evaluation profile under `"profile"`
+    /// (`--profile`); silently absent when the result carries none.
+    pub include_profile: bool,
     /// Methods demoted to the context-insensitive constructor by graceful
     /// degradation, as `(qualified name, context fan-out at demotion)`.
     /// Empty for runs that never degraded.
@@ -126,6 +131,20 @@ impl AnalysisReport<'_> {
                     .map(pta_core::SolverStats::to_json)
                     .collect();
                 out.push_str(&format!(",\"shard_stats\":[{}]", shards.join(",")));
+            }
+            // Governance outcome: how much of the budget the run consumed
+            // and whether graceful degradation fired. Still schema v2 —
+            // consumers treat unknown keys inside the stats block as
+            // optional.
+            out.push_str(&format!(
+                ",\"governance\":{{\"steps_consumed\":{},\"demotions_applied\":{}}}",
+                self.result.solver_stats().steps,
+                self.result.solver_stats().demoted_methods,
+            ));
+        }
+        if self.include_profile {
+            if let Some(p) = self.result.profile() {
+                out.push_str(&format!(",\"profile\":{}", p.to_json()));
             }
         }
         out.push('}');

@@ -24,6 +24,7 @@ fn minimal_report_golden() {
         result: &result,
         metrics: None,
         include_stats: false,
+        include_profile: false,
         demoted: &[],
     };
     assert_eq!(
@@ -49,6 +50,7 @@ fn demoted_sites_golden() {
         result: &result,
         metrics: None,
         include_stats: false,
+        include_profile: false,
         demoted: &demoted,
     };
     assert_eq!(
@@ -75,6 +77,7 @@ fn stats_ride_under_the_stats_key() {
         result: &result,
         metrics: None,
         include_stats: true,
+        include_profile: false,
         demoted: &[],
     };
     let json = report.to_json();
@@ -89,6 +92,69 @@ fn stats_ride_under_the_stats_key() {
     assert!(json.ends_with("}}"));
     // A sequential run has no shard breakdown.
     assert!(!json.contains("\"shard_stats\""));
+    // The governance outcome rides with the stats block: budget consumed
+    // (fixpoint steps) and demotions applied. New-in-place keys keep the
+    // schema at v2 because consumers treat them as optional.
+    assert!(json.contains(&format!(
+        "\"governance\":{{\"steps_consumed\":{},\"demotions_applied\":0}}",
+        stats.steps
+    )));
+    // Without --stats the governance object stays out too.
+    let lean = AnalysisReport {
+        analysis: Analysis::STwoObjH.name(),
+        backend: "specialized",
+        threads: 1,
+        time_secs: 0.5,
+        result: &result,
+        metrics: None,
+        include_stats: false,
+        include_profile: false,
+        demoted: &[],
+    };
+    assert!(!lean.to_json().contains("\"governance\""));
+}
+
+#[test]
+fn profile_rides_under_the_profile_key() {
+    let program = parse_program(MOTIVATING).unwrap();
+    let result = AnalysisSession::new(&program)
+        .policy(Analysis::STwoObjH)
+        .profile(true)
+        .run();
+    let report = AnalysisReport {
+        analysis: Analysis::STwoObjH.name(),
+        backend: "specialized",
+        threads: 1,
+        time_secs: 0.5,
+        result: &result,
+        metrics: None,
+        include_stats: false,
+        include_profile: true,
+        demoted: &[],
+    };
+    let json = report.to_json();
+    assert!(
+        json.contains(",\"profile\":{\"rules\":[{\"name\":\"alloc\","),
+        "profiled run must embed the rule table: {json}"
+    );
+    assert!(json.contains("\"hot_vars\":[{\"name\":\""));
+    assert!(json.contains("\"set_promotions\":"));
+    // An unprofiled result stays lean even when the embed is requested.
+    let unprofiled = AnalysisSession::new(&program)
+        .policy(Analysis::STwoObjH)
+        .run();
+    let lean = AnalysisReport {
+        analysis: Analysis::STwoObjH.name(),
+        backend: "specialized",
+        threads: 1,
+        time_secs: 0.5,
+        result: &unprofiled,
+        metrics: None,
+        include_stats: false,
+        include_profile: true,
+        demoted: &[],
+    };
+    assert!(!lean.to_json().contains("\"profile\""));
 }
 
 #[test]
@@ -106,6 +172,7 @@ fn parallel_runs_expose_shard_stats() {
         result: &result,
         metrics: None,
         include_stats: true,
+        include_profile: false,
         demoted: &[],
     };
     let json = report.to_json();
@@ -128,6 +195,7 @@ fn parallel_runs_expose_shard_stats() {
         result: &result,
         metrics: None,
         include_stats: false,
+        include_profile: false,
         demoted: &[],
     };
     assert!(!lean.to_json().contains("\"shard_stats\""));
@@ -148,6 +216,7 @@ fn metrics_and_array_shape_golden() {
         result: &result,
         metrics: Some(&metrics),
         include_stats: false,
+        include_profile: false,
         demoted: &[],
     }];
     let json = reports_to_json(&reports);
@@ -190,6 +259,7 @@ fn json_string_escaping() {
         result: &result,
         metrics: None,
         include_stats: false,
+        include_profile: false,
         demoted: &[],
     };
     let json = report.to_json();

@@ -1,0 +1,234 @@
+//! End-to-end observability tests: Chrome trace-event output shape,
+//! run-to-run determinism of the recorded timeline, and the provenance
+//! `explain` chain on the paper's §1 motivating example.
+//!
+//! The trace JSON is validated with the bench harness's independent JSON
+//! reader (`pta_bench::json`), the same round-trip trick `table1 --check`
+//! uses to catch a malformed emitter.
+
+use hybrid_pta::core::{PointsToResult, Trace};
+use hybrid_pta::ir::{HeapId, Program, VarId};
+use hybrid_pta::lang::parse_program;
+use hybrid_pta::{Analysis, AnalysisSession};
+use pta_bench::json::{self, Value};
+
+/// The §1 motivating example: two call sites of `C.foo` whose receivers
+/// point to distinct `C` allocations.
+const SECTION1: &str = r#"
+    class Object {}
+    class C : Object {
+        method foo(o) { kept = o; return kept; }
+    }
+    class Client : Object {
+        static main() {
+            c1 = new C;
+            c2 = new C;
+            obj1 = new Object;
+            obj2 = new Object;
+            r1 = c1.foo(obj1);
+            r2 = c2.foo(obj2);
+        }
+    }
+    entry Client.main;
+"#;
+
+fn var(program: &Program, meth: &str, name: &str) -> VarId {
+    program
+        .vars()
+        .find(|&v| {
+            program.var_name(v) == name
+                && program.method_qualified_name(program.var_method(v)) == meth
+        })
+        .unwrap_or_else(|| panic!("no var {meth}::{name}"))
+}
+
+fn heap(program: &Program, label: &str) -> HeapId {
+    program
+        .heaps()
+        .find(|&h| program.heap_label(h) == label)
+        .unwrap_or_else(|| panic!("no heap labeled {label}"))
+}
+
+fn traced_run(program: &Program, threads: usize) -> (PointsToResult, Trace) {
+    let trace = Trace::enabled();
+    let result = AnalysisSession::new(program)
+        .policy(Analysis::STwoObjH)
+        .threads(threads)
+        .trace(trace.clone())
+        .run();
+    (result, trace)
+}
+
+/// Every event in a trace file must carry the Chrome trace-event
+/// essentials, and the phases must be ones the format defines.
+fn validate_timeline(doc: &Value) -> &[Value] {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("trace carries a traceEvents array");
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("event {i} has no ph"));
+        assert!(
+            matches!(ph, "X" | "i" | "C" | "M"),
+            "event {i}: unknown phase {ph:?}"
+        );
+        assert!(ev.get("name").and_then(Value::as_str).is_some());
+        assert!(ev.get("ts").and_then(Value::as_number).is_some());
+        assert!(ev.get("pid").and_then(Value::as_number).is_some());
+        assert!(ev.get("tid").and_then(Value::as_number).is_some());
+        if ph == "X" {
+            let dur = ev.get("dur").and_then(Value::as_number);
+            assert!(dur.is_some_and(|d| d >= 0.0), "event {i}: X without dur");
+        }
+    }
+    events
+}
+
+#[test]
+fn traced_run_emits_a_valid_chrome_timeline() {
+    let program = parse_program(SECTION1).unwrap();
+    let (_, trace) = traced_run(&program, 1);
+    let rendered = trace.to_chrome_json();
+    let doc = json::parse(&rendered).expect("trace output is valid JSON");
+    let events = validate_timeline(&doc);
+    assert!(!events.is_empty());
+
+    let named = |name: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some(name))
+            .count()
+    };
+    // The solve itself is one complete span carrying its step count...
+    assert_eq!(named("solve"), 1);
+    let solve = events
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some("solve"))
+        .unwrap();
+    assert!(solve
+        .get("args")
+        .and_then(|a| a.get("steps"))
+        .and_then(Value::as_number)
+        .is_some_and(|s| s > 0.0));
+    // ...and the per-rule cost ladder rides in the "rule" category, with
+    // the motivating example exercising at least alloc, move and vcall.
+    for rule in ["alloc", "move", "vcall"] {
+        assert!(named(rule) >= 1, "missing rule span {rule:?}");
+    }
+}
+
+#[test]
+fn parallel_traces_carry_per_shard_timelines() {
+    let program = parse_program(SECTION1).unwrap();
+    // The parallel solver clamps the shard count to the method count;
+    // SECTION1 has two methods, so ask for exactly two shards.
+    let (_, trace) = traced_run(&program, 2);
+    let rendered = trace.to_chrome_json();
+    let doc = json::parse(&rendered).expect("trace output is valid JSON");
+    let events = validate_timeline(&doc);
+    // Each shard names its track, and the BSP rounds appear as
+    // busy ("drain") / idle ("sync") span pairs plus one final merge.
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+        })
+        .collect();
+    for shard in ["shard-0", "shard-1"] {
+        assert!(names.contains(&shard), "missing thread name {shard:?}");
+    }
+    let cat_count = |name: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some(name))
+            .count()
+    };
+    assert!(cat_count("drain") > 0);
+    assert_eq!(cat_count("drain"), cat_count("sync"));
+    assert_eq!(cat_count("merge"), 1);
+    // The top-level solve span exists regardless of thread count.
+    assert_eq!(cat_count("solve"), 1);
+}
+
+/// Two runs of the same deterministic workload must record the same
+/// events (timestamps and durations excluded): the timeline's *shape* is
+/// a function of the analysis, not the scheduler.
+#[test]
+fn sequential_traces_are_deterministic_across_runs() {
+    let program = parse_program(SECTION1).unwrap();
+    let (_, first) = traced_run(&program, 1);
+    let (_, second) = traced_run(&program, 1);
+    let counts = first.event_counts();
+    assert!(!counts.is_empty());
+    assert_eq!(counts, second.event_counts());
+}
+
+#[test]
+fn explain_walks_the_motivating_derivation() {
+    let program = parse_program(SECTION1).unwrap();
+    let result = AnalysisSession::new(&program)
+        .policy(Analysis::STwoObjH)
+        .track_provenance(true)
+        .run();
+    let r1 = var(&program, "Client.main", "r1");
+    let obj1 = heap(&program, "Client.main/new Object#2");
+    let chain = result
+        .explain(&program, r1, obj1)
+        .expect("S-2obj+H derives r1 -> obj1 with provenance on");
+    // The chain walks from the returned value back to the allocation:
+    // r1 <- foo's return (kept) <- parameter o <- obj1's allocation site.
+    assert!(chain.len() >= 3, "chain too short: {chain:#?}");
+    assert!(chain[0].contains("r1"), "{chain:#?}");
+    assert!(
+        chain.last().unwrap().contains("allocation site"),
+        "{chain:#?}"
+    );
+    assert!(chain.last().unwrap().contains("new Object#2"), "{chain:#?}");
+    // Precision sanity: the hybrid keeps the two call sites apart, so r1
+    // must NOT be explainable to obj2's allocation.
+    let obj2 = heap(&program, "Client.main/new Object#3");
+    assert!(result.explain(&program, r1, obj2).is_none());
+
+    // Without provenance tracking the same query declines loudly
+    // (None), never a wrong chain.
+    let untracked = AnalysisSession::new(&program)
+        .policy(Analysis::STwoObjH)
+        .run();
+    assert!(untracked.explain(&program, r1, obj1).is_none());
+}
+
+/// Profiling and tracing agree on rule activity: a rule that fired in the
+/// profile has a span in the trace and vice versa.
+#[test]
+fn profile_and_trace_agree_on_rule_activity() {
+    let program = parse_program(SECTION1).unwrap();
+    let trace = Trace::enabled();
+    let result = AnalysisSession::new(&program)
+        .policy(Analysis::STwoObjH)
+        .trace(trace.clone())
+        .profile(true)
+        .run();
+    let profile = result.profile().expect("profiled run records a profile");
+    let doc = json::parse(&trace.to_chrome_json()).unwrap();
+    let events = validate_timeline(&doc);
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("cat").and_then(Value::as_str) == Some("rule"))
+        .filter_map(|e| e.get("name").and_then(Value::as_str))
+        .collect();
+    // A rule span is emitted whenever the rule did any observable work
+    // (fired, or accumulated clock time on a fruitless activation).
+    for rule in &profile.rules {
+        assert_eq!(
+            rule.fires > 0 || rule.ns > 0,
+            span_names.contains(&rule.name.as_str()),
+            "trace and profile disagree on rule {:?}",
+            rule.name
+        );
+    }
+}
