@@ -97,20 +97,44 @@ else
   echo "    ./target/release/table1 --workloads chart --analyses 2obj+H --scale 6 --threads 1,4 --json /tmp/bench-par.json"
 fi
 
-# Non-gating rule-profile drift check: re-run the profiled config behind
+# Gating rule-profile drift check: re-run the profiled config behind
 # BENCH_profile.json and diff per-rule fire counts with profdiff. The
-# solver is deterministic, so drift means rule behaviour changed — a
-# loud signal to regenerate the baseline deliberately, not a failure.
-echo "==> rule-profile drift (non-gating)"
-if ./target/release/table1 --workloads luindex,lusearch \
-     --analyses insens,1obj,S-2obj+H --reps 1 --jobs 1 --profile \
-     --json /tmp/bench-profile.json >/dev/null 2>&1 \
-   && ./target/release/profdiff BENCH_profile.json /tmp/bench-profile.json; then
-  echo "    rule-profile drift OK: fire counts match the checked-in baseline"
+# solver is deterministic, so the 5% tolerance only absorbs deliberate
+# small rule-mix shifts; real drift fails the build. When a change to
+# rule behaviour is *intended*, refresh the baseline in the same commit:
+#   ./target/release/table1 --workloads luindex,lusearch \
+#     --analyses insens,1obj,S-2obj+H --reps 1 --jobs 1 --profile \
+#     --json BENCH_profile.json
+# then re-run ./ci.sh and review the BENCH_profile.json diff alongside
+# the code change (see DESIGN.md §11 for the profile format).
+echo "==> rule-profile drift gate (profdiff --tolerance 5)"
+./target/release/table1 --workloads luindex,lusearch \
+  --analyses insens,1obj,S-2obj+H --reps 1 --jobs 1 --profile \
+  --json /tmp/bench-profile.json >/dev/null
+if ./target/release/profdiff BENCH_profile.json /tmp/bench-profile.json --tolerance 5; then
+  echo "    rule-profile gate OK: fire counts within 5% of the checked-in baseline"
 else
-  echo "    WARNING: rule profiles drifted from BENCH_profile.json (non-gating)."
-  echo "    If the change is intended, regenerate the baseline:"
+  echo "    ERROR: rule profiles drifted from BENCH_profile.json."
+  echo "    If the change is intended, regenerate the baseline and commit it:"
   echo "    ./target/release/table1 --workloads luindex,lusearch --analyses insens,1obj,S-2obj+H --reps 1 --jobs 1 --profile --json BENCH_profile.json"
+  exit 1
 fi
+
+# Gating: `pta check` client-suite smoke on the motivating example. The
+# spec marks Client.main a source and C.foo's argument a sink; exactly
+# the two conflation-visible findings must appear (W020 x2), the JSON
+# must be byte-stable, and the Datalog client back end must agree with
+# the direct fixpoints byte-for-byte.
+echo "==> tier-1: pta check smoke (motivating example, direct vs datalog)"
+./target/release/pta check examples/programs/motivating.jir \
+  --spec examples/specs/motivating.spec --format json \
+  --client-backend direct > /tmp/ci-check-direct.json
+./target/release/pta check examples/programs/motivating.jir \
+  --spec examples/specs/motivating.spec --format json \
+  --client-backend datalog > /tmp/ci-check-datalog.json
+cmp /tmp/ci-check-direct.json /tmp/ci-check-datalog.json
+test "$(grep -o '"code":"W020"' /tmp/ci-check-direct.json | wc -l)" -eq 2
+test "$(grep -o '"code":"' /tmp/ci-check-direct.json | wc -l)" -eq 2  # and nothing else
+echo "    pta check smoke OK: 2 taint findings, client back ends byte-identical"
 
 echo "==> CI green"

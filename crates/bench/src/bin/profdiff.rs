@@ -14,8 +14,11 @@
 //! Timing (`ns`) is never compared — it is machine noise by design.
 //!
 //! Exit codes: `0` all matched rules agree, `1` drift detected (or no
-//! comparable rows), `2` usage or input errors. CI runs this non-gating:
-//! drift is a loud signal, not a build failure.
+//! comparable rows), `2` usage or input errors. CI gates on this
+//! (`ci.sh` runs it with `--tolerance 5`): drift fails the build, and an
+//! *intended* behaviour change must regenerate `BENCH_profile.json` in
+//! the same commit (the refresh command is printed by `ci.sh` and
+//! documented in the README).
 
 use std::process::ExitCode;
 

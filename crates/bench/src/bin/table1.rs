@@ -90,7 +90,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: table1 [--scale S] [--workloads A,B] [--analyses A,B] \
              [--reps N] [--jobs N] [--cell-timeout SECS] [--json PATH] \
-             [--trace-dir DIR] [--profile] \
+             [--trace-dir DIR] [--profile] [--taint-groups N] \
              | table1 --check FILE [--expect-cells N]"
         );
         return ExitCode::FAILURE;

@@ -396,12 +396,30 @@ pub fn validate_rows(doc: &Value) -> Result<RowsSummary, String> {
             validate_profile(profile).map_err(|e| format!("row {i}: {e}"))?;
             profiled += 1;
         }
+        if let Some(clients) = row.get("clients") {
+            validate_clients(clients).map_err(|e| format!("row {i}: {e}"))?;
+        }
     }
     Ok(RowsSummary {
         cells: rows.len(),
         timeouts,
         profiled,
     })
+}
+
+/// Validates one row's `"clients"` embed (cells run with `--taint-groups`):
+/// an object with one non-negative integer finding count per client.
+fn validate_clients(clients: &Value) -> Result<(), String> {
+    for key in ["taint", "escape", "nullness"] {
+        let ok = clients
+            .get(key)
+            .and_then(Value::as_number)
+            .is_some_and(|n| n >= 0.0 && n.fract() == 0.0);
+        if !ok {
+            return Err(format!("clients embed: counter {key:?} is malformed"));
+        }
+    }
+    Ok(())
 }
 
 /// Validates one row's `"profile"` embed: an object whose `"rules"` array
@@ -555,6 +573,7 @@ mod tests {
             None,
             &pta_obs::Trace::disabled(),
             true,
+            None,
         );
         let dump = crate::rows_to_json(&[plain, profiled]);
         assert_eq!(

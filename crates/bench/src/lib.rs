@@ -50,7 +50,14 @@
 //!   per cell and embed it in the JSON row under `"profile"` (the format
 //!   checked in as `BENCH_profile.json` and diffed by `profdiff`).
 //!   Profiling forces the solve sequential, so profiled rows ignore
-//!   multi-thread counts for timing purposes.
+//!   multi-thread counts for timing purposes;
+//! - `PTA_TAINT_GROUPS` / `--taint-groups N` — inject `N` taint fixture
+//!   groups into every generated workload and run the `pta check` client
+//!   suite (taint, escape, nullness) against each cell's final result,
+//!   embedding the finding counts in the JSON row under `"clients"`.
+//!   The clients run after the clock stops, like the precision metrics,
+//!   so timings stay comparable; `0` (the default) leaves the workloads
+//!   byte-identical to earlier schema revisions.
 //!
 //! Micro-benchmarks (`cargo bench`, plain `main`-style harnesses) cover
 //! per-analysis solver time (`analyses`), the design-choice ablations
@@ -60,10 +67,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use pta_clients::{precision_metrics, ExperimentMetrics};
+use pta_clients::{
+    client_metrics, precision_metrics, run_check, CheckSpec, ClientBackend, ClientMetrics,
+    ExperimentMetrics,
+};
 use pta_core::{Analysis, AnalysisSession, Budget, CancelToken, SolverStats};
 use pta_ir::{Program, ProgramStats};
-use pta_workload::{dacapo_workload, DACAPO_NAMES};
+use pta_workload::{DACAPO_NAMES, TAINT_SPEC};
 
 pub mod json;
 pub mod render;
@@ -148,6 +158,10 @@ pub struct ExperimentRow {
     /// ran with profiling on (`--profile`). Optional in the JSON row, so
     /// the schema stays at v2.
     pub profile: Option<pta_obs::Profile>,
+    /// `pta check` client finding counts (taint / escape / nullness),
+    /// when the cell ran with taint fixtures injected (`--taint-groups`).
+    /// Like `profile`, optional in the JSON row — the schema stays at v2.
+    pub clients: Option<ClientMetrics>,
 }
 
 impl ExperimentRow {
@@ -161,6 +175,7 @@ impl ExperimentRow {
         time_secs: f64,
         stats: SolverStats,
         profile: Option<pta_obs::Profile>,
+        clients: Option<ClientMetrics>,
     ) -> Self {
         ExperimentRow {
             workload: workload.to_owned(),
@@ -181,6 +196,7 @@ impl ExperimentRow {
             uncaught_exception_sites: m.uncaught_exception_sites,
             stats,
             profile,
+            clients,
         }
     }
 }
@@ -247,6 +263,12 @@ impl ExperimentRow {
         if let Some(p) = &self.profile {
             out.push_str(&format!(",\"profile\":{}", p.to_json()));
         }
+        if let Some(c) = &self.clients {
+            out.push_str(&format!(
+                ",\"clients\":{{\"taint\":{},\"escape\":{},\"nullness\":{}}}",
+                c.taint_findings, c.escape_findings, c.nullness_findings
+            ));
+        }
         out.push('}');
         out
     }
@@ -293,6 +315,13 @@ pub struct MatrixOptions {
     /// (`--profile`). Forces each solve sequential, so profiled dumps are
     /// for rule-cost analysis, not speedup measurements.
     pub profile: bool,
+    /// Taint-fixture groups injected into every workload
+    /// (`--taint-groups`; see `pta_workload::WorkloadConfig::taint_groups`).
+    /// With a non-zero count, each cell also runs the `pta check` client
+    /// suite against [`pta_workload::TAINT_SPEC`] (untimed, after the
+    /// measured solves) and embeds the finding counts under `"clients"`.
+    /// `0` (the default) leaves workloads and JSON rows unchanged.
+    pub taint_groups: usize,
 }
 
 impl Default for MatrixOptions {
@@ -308,14 +337,16 @@ impl Default for MatrixOptions {
             json_out: None,
             trace_dir: None,
             profile: false,
+            taint_groups: 0,
         }
     }
 }
 
 impl MatrixOptions {
     /// Reads `PTA_SCALE`, `PTA_WORKLOADS`, `PTA_ANALYSES`, `PTA_REPS`,
-    /// `PTA_JOBS`, `PTA_CELL_TIMEOUT`, `PTA_JSON`, `PTA_TRACE_DIR` and
-    /// `PTA_PROFILE` from the environment, falling back to defaults.
+    /// `PTA_JOBS`, `PTA_CELL_TIMEOUT`, `PTA_JSON`, `PTA_TRACE_DIR`,
+    /// `PTA_PROFILE` and `PTA_TAINT_GROUPS` from the environment, falling
+    /// back to defaults.
     ///
     /// # Panics
     ///
@@ -356,6 +387,11 @@ impl MatrixOptions {
         if let Ok(s) = std::env::var("PTA_TRACE_DIR") {
             opts.trace_dir = Some(s);
         }
+        if let Ok(s) = std::env::var("PTA_TAINT_GROUPS") {
+            opts.taint_groups = s
+                .parse()
+                .unwrap_or_else(|_| panic!("bad PTA_TAINT_GROUPS: {s:?}"));
+        }
         if let Ok(s) = std::env::var("PTA_PROFILE") {
             opts.profile = match s.as_str() {
                 "1" | "true" | "yes" => true,
@@ -369,7 +405,7 @@ impl MatrixOptions {
     /// Applies command-line flags on top of the current options. Flags
     /// mirror the environment variables (`--scale`, `--workloads`,
     /// `--analyses`, `--reps`, `--jobs`, `--cell-timeout`, `--json`,
-    /// `--trace-dir`, `--profile`) and take precedence. Unknown flags are
+    /// `--trace-dir`, `--profile`, `--taint-groups`) and take precedence. Unknown flags are
     /// an error so typos fail loudly.
     ///
     /// # Errors
@@ -428,11 +464,30 @@ impl MatrixOptions {
                 "--profile" => {
                     self.profile = true;
                 }
+                "--taint-groups" => {
+                    let v = value(&mut i, "--taint-groups")?;
+                    self.taint_groups = v
+                        .parse()
+                        .map_err(|_| format!("bad --taint-groups: {v:?}"))?;
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
             i += 1;
         }
         Ok(())
+    }
+
+    /// Generates one named workload at the options' scale, with the
+    /// options' taint fixtures injected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a known DaCapo workload.
+    #[must_use]
+    pub fn generate_workload(&self, name: &str) -> Program {
+        let mut cfg = pta_workload::dacapo_config(name, self.scale);
+        cfg.taint_groups = self.taint_groups;
+        pta_workload::generate(&cfg)
     }
 
     /// The number of worker threads the matrix will actually use: `jobs`,
@@ -504,6 +559,7 @@ pub fn run_cell_governed(
         cancel,
         &pta_obs::Trace::disabled(),
         false,
+        None,
     )
 }
 
@@ -511,7 +567,12 @@ pub fn run_cell_governed(
 /// records into `trace` (a disabled trace keeps this a no-op), and with
 /// `profile` on the row embeds the final repetition's per-rule profile.
 /// Both instruments skew wall times, so observed rows are diagnostics.
-#[allow(clippy::too_many_arguments)] // mirrors run_cell_governed + the two instruments
+///
+/// With `check_spec` set, the `pta check` client suite (taint, escape,
+/// nullness) runs against the final repetition's result — after the
+/// clock stops, like the precision metrics — and its finding counts land
+/// in the row's `clients` column.
+#[allow(clippy::too_many_arguments)] // mirrors run_cell_governed + the instruments
 pub fn run_cell_observed(
     workload: &str,
     program: &Program,
@@ -522,6 +583,7 @@ pub fn run_cell_observed(
     cancel: Option<&CancelToken>,
     trace: &pta_obs::Trace,
     profile: bool,
+    check_spec: Option<&CheckSpec>,
 ) -> ExperimentRow {
     let solve = || {
         let start = Instant::now();
@@ -565,6 +627,8 @@ pub fn run_cell_observed(
     let stats = *result.solver_stats();
     let row_profile = result.profile().cloned();
     let metrics = precision_metrics(program, &result);
+    let clients = check_spec
+        .map(|spec| client_metrics(&run_check(program, &result, spec, ClientBackend::Direct)));
     ExperimentRow::new(
         workload,
         analysis,
@@ -574,6 +638,7 @@ pub fn run_cell_observed(
         median,
         stats,
         row_profile,
+        clients,
     )
 }
 
@@ -597,6 +662,8 @@ fn run_matrix_cell(
     } else {
         pta_obs::Trace::disabled()
     };
+    let check_spec = (opts.taint_groups > 0)
+        .then(|| CheckSpec::parse(TAINT_SPEC).expect("TAINT_SPEC is well-formed"));
     let row = run_cell_observed(
         workload,
         program,
@@ -607,6 +674,7 @@ fn run_matrix_cell(
         cancel,
         &trace,
         opts.profile,
+        check_spec.as_ref(),
     );
     if let Some(dir) = &opts.trace_dir {
         let path = format!(
@@ -673,7 +741,7 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
     if jobs == 1 {
         let mut rows = Vec::with_capacity(cells.len());
         for name in &opts.workloads {
-            let program = dacapo_workload(name, opts.scale);
+            let program = opts.generate_workload(name);
             eprintln!("[pta-bench] {name}: {}", ProgramStats::of(&program));
             for &analysis in &opts.analyses {
                 for &t in &threads {
@@ -690,7 +758,7 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
         .workloads
         .iter()
         .map(|name| {
-            let program = dacapo_workload(name, opts.scale);
+            let program = opts.generate_workload(name);
             eprintln!("[pta-bench] {name}: {}", ProgramStats::of(&program));
             program
         })
@@ -750,6 +818,7 @@ pub fn maybe_dump_json(opts: &MatrixOptions, rows: &[ExperimentRow]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pta_workload::dacapo_workload;
 
     #[test]
     fn run_cell_produces_consistent_row() {
@@ -765,6 +834,54 @@ mod tests {
     }
 
     #[test]
+    fn taint_groups_populate_client_columns() {
+        let opts = MatrixOptions {
+            scale: 0.1,
+            workloads: vec!["luindex".into()],
+            analyses: vec![Analysis::OneObj, Analysis::SAOneObj],
+            threads: vec![1],
+            repetitions: 1,
+            jobs: 1,
+            cell_timeout: None,
+            json_out: None,
+            trace_dir: None,
+            profile: false,
+            taint_groups: 2,
+        };
+        let rows = run_matrix(&opts);
+        let pure = rows[0].clients.expect("clients column populated");
+        let hybrid = rows[1].clients.expect("clients column populated");
+        // The injected fixtures make the hybrid's advantage visible on
+        // every client: SA-1obj reports no more findings than 1obj.
+        assert!(
+            hybrid.taint_findings < pure.taint_findings,
+            "{hybrid:?} vs {pure:?}"
+        );
+        assert!(
+            hybrid.escape_findings < pure.escape_findings,
+            "{hybrid:?} vs {pure:?}"
+        );
+        assert!(
+            hybrid.nullness_findings < pure.nullness_findings,
+            "{hybrid:?} vs {pure:?}"
+        );
+        // The column round-trips through the JSON dump and its validator.
+        let dump = rows_to_json(&rows);
+        let doc = json::parse(&dump).unwrap();
+        json::validate_rows(&doc).unwrap();
+        assert!(dump.contains("\"clients\""), "{dump}");
+        // Without fixtures the column stays absent.
+        let plain = run_cell(
+            "luindex",
+            &dacapo_workload("luindex", 0.1),
+            Analysis::OneObj,
+            1,
+        );
+        assert!(plain.clients.is_none());
+        assert!(!plain.to_json().contains("clients"));
+    }
+
+    #[test]
     fn matrix_runs_a_small_subset() {
         let opts = MatrixOptions {
             scale: 0.15,
@@ -777,6 +894,7 @@ mod tests {
             json_out: None,
             trace_dir: None,
             profile: false,
+            taint_groups: 0,
         };
         let rows = run_matrix(&opts);
         assert_eq!(rows.len(), 2);
@@ -801,6 +919,7 @@ mod tests {
             json_out: None,
             trace_dir: None,
             profile: false,
+            taint_groups: 0,
         };
         let sequential = run_matrix(&opts);
         opts.jobs = 4;
@@ -831,6 +950,7 @@ mod tests {
             json_out: None,
             trace_dir: None,
             profile: false,
+            taint_groups: 0,
         };
         let rows = run_matrix(&opts);
         assert_eq!(rows.len(), 2);
@@ -869,6 +989,8 @@ mod tests {
             "--trace-dir",
             "/tmp/traces",
             "--profile",
+            "--taint-groups",
+            "2",
         ]
         .iter()
         .map(ToString::to_string)
@@ -884,6 +1006,7 @@ mod tests {
         assert_eq!(opts.json_out.as_deref(), Some("/tmp/out.json"));
         assert_eq!(opts.trace_dir.as_deref(), Some("/tmp/traces"));
         assert!(opts.profile);
+        assert_eq!(opts.taint_groups, 2);
         assert_eq!(opts.effective_jobs(), 2);
 
         assert!(opts
@@ -989,6 +1112,7 @@ mod tests {
             None,
             &pta_obs::Trace::disabled(),
             true,
+            None,
         );
         let p = row
             .profile
@@ -1018,6 +1142,7 @@ mod tests {
             json_out: None,
             trace_dir: Some(dir.to_string_lossy().into_owned()),
             profile: false,
+            taint_groups: 0,
         };
         let rows = run_matrix(&opts);
         assert_eq!(rows.len(), 2);

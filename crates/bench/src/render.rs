@@ -380,6 +380,7 @@ mod tests {
             uncaught_exception_sites: 0,
             stats: pta_core::SolverStats::default(),
             profile: None,
+            clients: None,
         }
     }
 
@@ -465,6 +466,7 @@ mod edge_case_tests {
             uncaught_exception_sites: 0,
             stats: pta_core::SolverStats::default(),
             profile: None,
+            clients: None,
         }
     }
 

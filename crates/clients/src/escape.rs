@@ -1,0 +1,129 @@
+//! Escape / thread-locality client (`W021`).
+//!
+//! An allocation site *escapes* its allocating thread when another
+//! thread could observe it. In this IR the only cross-thread channels
+//! are static fields (global cells any thread can read) and uncaught
+//! exceptions (which unwind past the entry point to the runtime), so:
+//!
+//! - `Escapes(h)` if some static field may point to `h`;
+//! - `Escapes(h)` if `h` may escape the entry points as an uncaught
+//!   exception;
+//! - `Escapes(h')` if `Escapes(h)` and some field of `h` may point to
+//!   `h'` — everything reachable from an escaping object escapes with it.
+//!
+//! Every allocation *not* reported is provably thread-local (safe to
+//! stack-allocate, lock-elide, …). The set is monotone in analysis
+//! precision: a context-insensitive run inflates the field view and so
+//! reports spuriously escaping sites, which is what the bench harness
+//! counts across the policy matrix.
+
+use pta_core::PointsToResult;
+use pta_ir::{HeapId, Program};
+
+/// One escape alarm: an allocation site that may be observed outside
+/// its allocating thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EscapeFinding {
+    /// The escaping allocation site.
+    pub heap: HeapId,
+}
+
+/// Computes every escape finding, sorted by heap.
+pub fn escape_findings(program: &Program, result: &PointsToResult) -> Vec<EscapeFinding> {
+    let n = program.heap_count();
+    let mut escapes = vec![false; n];
+    for (_field, heaps) in result.static_points_to_iter() {
+        for &h in heaps {
+            escapes[h.index()] = true;
+        }
+    }
+    for &h in result.uncaught_exceptions() {
+        escapes[h.index()] = true;
+    }
+    // Close over the field graph: contents of escaping objects escape.
+    loop {
+        let mut changed = false;
+        for ((base, _field), contents) in result.field_points_to_iter() {
+            if !escapes[base.index()] {
+                continue;
+            }
+            for &h in contents {
+                if !escapes[h.index()] {
+                    escapes[h.index()] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    program
+        .heaps()
+        .filter(|h| escapes[h.index()])
+        .map(|heap| EscapeFinding { heap })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta_core::{Analysis, AnalysisSession};
+    use pta_lang::parse_program;
+
+    const SOURCE: &str = r#"
+        class Object {}
+        class Node : Object { field next; }
+        class Global : Object { static field cell; }
+        class Main : Object {
+            static main() {
+                local = new Node;
+                pub = new Node;
+                inner = new Object;
+                pub.next = inner;
+                Global.cell = pub;
+            }
+        }
+        entry Main.main;
+    "#;
+
+    #[test]
+    fn static_reachability_escapes_locals_stay() {
+        let p = parse_program(SOURCE).unwrap();
+        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+        let findings = escape_findings(&p, &r);
+        let labels: Vec<&str> = findings.iter().map(|f| p.heap_label(f.heap)).collect();
+        // `pub` escapes through the static cell; `inner` escapes through
+        // pub.next; `local` is thread-local.
+        assert_eq!(findings.len(), 2, "{labels:?}");
+        assert!(
+            labels.iter().any(|l| l.contains("new Node#1")),
+            "{labels:?}"
+        );
+        assert!(
+            labels.iter().any(|l| l.contains("new Object")),
+            "{labels:?}"
+        );
+    }
+
+    const THROWING: &str = r#"
+        class Object {}
+        class Err : Object {}
+        class Main : Object {
+            static main() {
+                e = new Err;
+                throw e;
+            }
+        }
+        entry Main.main;
+    "#;
+
+    #[test]
+    fn uncaught_exceptions_escape() {
+        let p = parse_program(THROWING).unwrap();
+        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+        let findings = escape_findings(&p, &r);
+        assert_eq!(findings.len(), 1);
+        assert!(p.heap_label(findings[0].heap).contains("new Err"));
+    }
+}

@@ -20,16 +20,35 @@
 //! The devirtualization and cast-check clients are also usable directly —
 //! see the `devirtualize` and `cast_checker` examples at the repository
 //! root.
+//!
+//! **`pta check`** (the lint-style client suite) lives in [`spec`],
+//! [`taint`], [`escape`], [`nullness`], [`rules`] and [`check`]: three
+//! context-sensitive safety clients driven by a source/sink spec, each
+//! implemented twice (direct Rust fixpoint + Datalog rules) and
+//! cross-validated finding-for-finding, with results rendered through the
+//! `pta-lint` diagnostic model (`W020`–`W023`, `E020`/`E021`).
 
 pub mod casts;
+pub mod check;
 pub mod devirt;
+pub mod escape;
 pub mod metrics;
+pub mod nullness;
+pub mod rules;
+pub mod spec;
 pub mod stats;
+pub mod taint;
 
 pub use casts::{may_fail_casts, CastSite};
+pub use check::{client_metrics, run_check, CheckReport, ClientBackend, ClientMetrics};
 pub use devirt::{mono_virtual_calls, poly_virtual_calls, CallSiteTargets};
+pub use escape::{escape_findings, EscapeFinding};
 pub use metrics::{precision_metrics, ExperimentMetrics};
+pub use nullness::{nullness_findings, NullnessFinding};
+pub use rules::{datalog_check, DatalogCheck};
+pub use spec::{CheckSpec, MethodPattern, SinkSpec};
 pub use stats::{context_stats, ContextStats};
+pub use taint::{taint_findings, TaintFinding};
 
 // Re-exported so client code only needs this crate.
 pub use pta_core::PointsToResult;

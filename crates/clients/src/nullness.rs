@@ -1,0 +1,232 @@
+//! Nullness-at-dereference client (`W022`).
+//!
+//! The IR has no literal `null`, but null-ness still arises: a field
+//! read from a cell *no write ever reaches* yields null at runtime (the
+//! interpreter models exactly this). A variable is *maybe-null* when:
+//!
+//! - it loads from an instance-field cell `(h, f)` the analysis saw no
+//!   store into (`h` in the base's points-to set, the context-insensitive
+//!   `(h, f)` view empty), or from an unwritten static field;
+//! - a maybe-null value flows into it through a move, a cast, a call
+//!   binding (actual → formal, callee return → call-site return), or
+//!   through a field cell / static field a maybe-null value was stored
+//!   into.
+//!
+//! A finding is a *dereference site* — virtual-call receiver, field
+//! load/store base, or throw operand — whose variable is maybe-null.
+//! Receiver-null virtual calls are not propagated into the callee's
+//! `this` (the call would fault, not pass null), so the alarm stays at
+//! the faulting site. Only reachable methods are inspected. More
+//! precise points-to shrinks `pts(base)`, so spurious unwritten-cell
+//! seeds — and with them the findings — shrink monotonically.
+
+use pta_core::PointsToResult;
+use pta_ir::hash::FxHashSet;
+use pta_ir::{FieldId, HeapId, Instr, MethodId, Program, VarId};
+
+/// One nullness alarm: a dereference whose base may be null.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NullnessFinding {
+    /// The method containing the dereference.
+    pub method: MethodId,
+    /// Index of the dereferencing instruction in the method body.
+    pub instr: usize,
+    /// The maybe-null variable being dereferenced.
+    pub var: VarId,
+}
+
+/// Every dereference site of a reachable method, in program order:
+/// `(method, instruction index, dereferenced variable)`.
+pub(crate) fn deref_sites(
+    program: &Program,
+    result: &PointsToResult,
+) -> Vec<(MethodId, usize, VarId)> {
+    let mut sites = Vec::new();
+    for m in program.methods() {
+        if !result.is_reachable(m) {
+            continue;
+        }
+        for (idx, instr) in program.instrs(m).iter().enumerate() {
+            let var = match *instr {
+                Instr::VCall { base, .. } => base,
+                Instr::Load { base, .. } => base,
+                Instr::Store { base, .. } => base,
+                Instr::Throw { var } => var,
+                _ => continue,
+            };
+            sites.push((m, idx, var));
+        }
+    }
+    sites
+}
+
+/// The maybe-null fixpoint, indexed by `VarId`.
+pub(crate) fn maybe_null_vars(program: &Program, result: &PointsToResult) -> Vec<bool> {
+    let mut maybe_null = vec![false; program.var_count()];
+    let mut null_field: FxHashSet<(HeapId, FieldId)> = FxHashSet::default();
+    let mut null_static = vec![false; program.field_count()];
+    let reachable: Vec<MethodId> = program
+        .methods()
+        .filter(|&m| result.is_reachable(m))
+        .collect();
+    loop {
+        let mut changed = false;
+        let mark = |v: VarId, maybe_null: &mut Vec<bool>| {
+            if !maybe_null[v.index()] {
+                maybe_null[v.index()] = true;
+                true
+            } else {
+                false
+            }
+        };
+        for &m in &reachable {
+            for instr in program.instrs(m) {
+                match *instr {
+                    Instr::Load { to, base, field } => {
+                        let from_unwritten = result
+                            .points_to(base)
+                            .iter()
+                            .any(|&h| result.field_points_to(h, field).is_empty());
+                        let from_null_store = result
+                            .points_to(base)
+                            .iter()
+                            .any(|&h| null_field.contains(&(h, field)));
+                        if (from_unwritten || from_null_store) && mark(to, &mut maybe_null) {
+                            changed = true;
+                        }
+                    }
+                    Instr::SLoad { to, field } => {
+                        if (result.static_points_to(field).is_empty() || null_static[field.index()])
+                            && mark(to, &mut maybe_null)
+                        {
+                            changed = true;
+                        }
+                    }
+                    Instr::Store { base, field, from } => {
+                        if maybe_null[from.index()] {
+                            for &h in result.points_to(base) {
+                                if null_field.insert((h, field)) {
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                    Instr::SStore { field, from } => {
+                        if maybe_null[from.index()] && !null_static[field.index()] {
+                            null_static[field.index()] = true;
+                            changed = true;
+                        }
+                    }
+                    Instr::Move { to, from } | Instr::Cast { to, from, .. } => {
+                        if maybe_null[from.index()] && mark(to, &mut maybe_null) {
+                            changed = true;
+                        }
+                    }
+                    Instr::VCall { invo, .. } | Instr::SCall { invo, .. } => {
+                        let args = program.actual_args(invo);
+                        for &target in result.call_targets(invo) {
+                            let formals = program.formals(target);
+                            for (k, &a) in args.iter().enumerate() {
+                                if maybe_null[a.index()]
+                                    && k < formals.len()
+                                    && mark(formals[k], &mut maybe_null)
+                                {
+                                    changed = true;
+                                }
+                            }
+                            if let (Some(rv), Some(tv)) =
+                                (program.formal_return(target), program.actual_return(invo))
+                            {
+                                if maybe_null[rv.index()] && mark(tv, &mut maybe_null) {
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                    Instr::Alloc { .. } | Instr::Throw { .. } => {}
+                }
+            }
+        }
+        if !changed {
+            return maybe_null;
+        }
+    }
+}
+
+/// Computes every nullness finding, sorted by `(method, instr)`.
+pub fn nullness_findings(program: &Program, result: &PointsToResult) -> Vec<NullnessFinding> {
+    let maybe_null = maybe_null_vars(program, result);
+    deref_sites(program, result)
+        .into_iter()
+        .filter(|&(_, _, var)| maybe_null[var.index()])
+        .map(|(method, instr, var)| NullnessFinding { method, instr, var })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta_core::{Analysis, AnalysisSession};
+    use pta_lang::parse_program;
+
+    const SOURCE: &str = r#"
+        class Object {}
+        class Payload : Object { method touch() { return this; } }
+        class Holder : Object { field val; }
+        class Main : Object {
+            static main() {
+                ok = new Holder;
+                fill = new Payload;
+                ok.val = fill;
+                x = ok.val;
+                x.touch();
+                empty = new Holder;
+                y = empty.val;
+                y.touch();
+            }
+        }
+        entry Main.main;
+    "#;
+
+    #[test]
+    fn unwritten_cell_load_flags_its_deref() {
+        let p = parse_program(SOURCE).unwrap();
+        let r = AnalysisSession::new(&p).policy(Analysis::SAOneObj).run();
+        let findings = nullness_findings(&p, &r);
+        // Only `y` loads from the unwritten (empty, val) cell; `x`'s cell
+        // was written.
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(p.var_name(findings[0].var), "y");
+    }
+
+    const FLOWS: &str = r#"
+        class Object {}
+        class Payload : Object { method touch() { return this; } }
+        class Holder : Object { field val; }
+        class Relay : Object { static pass(v) { return v; } }
+        class Main : Object {
+            static main() {
+                empty = new Holder;
+                y = empty.val;
+                z = Relay.pass(y);
+                z.touch();
+                box = new Holder;
+                box.val = z;
+                w = box.val;
+                w.touch();
+            }
+        }
+        entry Main.main;
+    "#;
+
+    #[test]
+    fn nullness_flows_through_calls_and_field_cells() {
+        let p = parse_program(FLOWS).unwrap();
+        let r = AnalysisSession::new(&p).policy(Analysis::SAOneObj).run();
+        let findings = nullness_findings(&p, &r);
+        let vars: Vec<&str> = findings.iter().map(|f| p.var_name(f.var)).collect();
+        // z: null through the call; w: null through the (box, val) cell.
+        assert!(vars.contains(&"z"), "{vars:?}");
+        assert!(vars.contains(&"w"), "{vars:?}");
+    }
+}

@@ -1,0 +1,398 @@
+//! The client analyses as Datalog rules — the cross-validation twin of
+//! [`taint`](crate::taint), [`escape`](crate::escape) and
+//! [`nullness`](crate::nullness).
+//!
+//! The direct Rust fixpoints are hand-specialized; this module encodes
+//! the *same* derivations as rules on a fresh [`pta_datalog::Engine`]
+//! whose input relations are the context-insensitive projections of a
+//! [`PointsToResult`] (`VarPointsTo`, `FldPointsTo`, `StaticPointsTo`,
+//! `CallTarget`, …) plus program syntax facts. `pta check` can evaluate
+//! both and [`check`](crate::check) asserts them finding-for-finding
+//! identical, the same discipline the core analysis applies to its two
+//! back ends.
+//!
+//! The rule language has no negation; the two "unwritten cell" seeds are
+//! complements of extensional relations, precomputed with
+//! [`pta_datalog::Engine::complement`] before evaluation (mirroring the
+//! `NoCatches`-style complement facts of the Figure 2 encoding).
+
+use pta_core::PointsToResult;
+use pta_datalog::{Engine, Term};
+use pta_ir::{HeapId, Instr, InvoId, MethodId, Program, VarId};
+
+use crate::escape::EscapeFinding;
+use crate::nullness::{deref_sites, NullnessFinding};
+use crate::spec::CheckSpec;
+use crate::taint::TaintFinding;
+
+/// The three finding sets as derived by the rule encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatalogCheck {
+    /// Taint findings, sorted.
+    pub taint: Vec<TaintFinding>,
+    /// Escape findings, sorted.
+    pub escape: Vec<EscapeFinding>,
+    /// Nullness findings, sorted.
+    pub nullness: Vec<NullnessFinding>,
+}
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+/// Evaluates the client rule program over `result`'s projections.
+pub fn datalog_check(program: &Program, result: &PointsToResult, spec: &CheckSpec) -> DatalogCheck {
+    let mut e = Engine::new();
+
+    // ----- input relations: result projections -------------------------
+    let var_pts = e.relation("VarPointsTo", 2); // (var, heap)
+    let fld_pts = e.relation("FldPointsTo", 3); // (base heap, field, heap)
+    let static_pts = e.relation("StaticPointsTo", 2); // (field, heap)
+    let call_target = e.relation("CallTarget", 2); // (invo, method)
+    let uncaught = e.relation("UncaughtEx", 1); // (heap)
+
+    // ----- input relations: program syntax + spec ----------------------
+    let all_heap = e.relation("AllHeap", 1);
+    let source_heap = e.relation("SourceHeap", 1); // source-method allocs, unsanitized
+    let sanitized_heap = e.relation("SanitizedHeap", 1);
+    let not_sanitized = e.relation("NotSanitizedHeap", 1);
+    let sink_arg = e.relation("SinkMethodArg", 2); // (method, arg index)
+    let sink_all = e.relation("SinkMethodAllArgs", 1); // (method)
+    let arg_at = e.relation("ActualArg", 3); // (invo, index, var)
+    let formal_at = e.relation("FormalParam", 3); // (method, index, var)
+    let ret_of = e.relation("FormalReturn", 2); // (method, var)
+    let ret_to = e.relation("ActualReturn", 2); // (invo, var)
+    let flow_edge = e.relation("FlowEdge", 2); // (from, to): moves + casts
+    let load_instr = e.relation("LoadInstr", 3); // (to, base, field)
+    let sload_instr = e.relation("SLoadInstr", 2); // (to, field)
+    let store_instr = e.relation("StoreInstr", 3); // (base, field, from)
+    let sstore_instr = e.relation("SStoreInstr", 2); // (field, from)
+    let loaded_cell = e.relation("LoadedCell", 2); // (heap, field)
+    let written_cell = e.relation("WrittenCell", 2);
+    let unwritten_cell = e.relation("UnwrittenCell", 2);
+    let loaded_static = e.relation("LoadedStatic", 1); // (field)
+    let written_static = e.relation("WrittenStatic", 1);
+    let unwritten_static = e.relation("UnwrittenStatic", 1);
+    let deref_site = e.relation("DerefSite", 2); // (site, var)
+
+    // ----- derived relations -------------------------------------------
+    let tainted = e.relation("TaintedHeap", 1);
+    let taint_finding = e.relation("TaintFinding", 2); // (invo, heap)
+    let escapes = e.relation("Escapes", 1);
+    let maybe_null = e.relation("MaybeNull", 1);
+    let null_field = e.relation("NullField", 2); // (heap, field)
+    let null_static = e.relation("NullStatic", 1); // (field)
+    let null_deref = e.relation("NullDeref", 2); // (site, var)
+
+    // ----- facts -------------------------------------------------------
+    for var in program.vars() {
+        for &h in result.points_to(var) {
+            e.fact(var_pts, &[var.raw(), h.raw()]);
+        }
+    }
+    for ((base, field), contents) in result.field_points_to_iter() {
+        e.fact(written_cell, &[base.raw(), field.raw()]);
+        for &h in contents {
+            e.fact(fld_pts, &[base.raw(), field.raw(), h.raw()]);
+        }
+    }
+    for (field, contents) in result.static_points_to_iter() {
+        e.fact(written_static, &[field.raw()]);
+        for &h in contents {
+            e.fact(static_pts, &[field.raw(), h.raw()]);
+        }
+    }
+    for invo in program.invos() {
+        for &m in result.call_targets(invo) {
+            e.fact(call_target, &[invo.raw(), m.raw()]);
+        }
+        for (k, &a) in program.actual_args(invo).iter().enumerate() {
+            e.fact(arg_at, &[invo.raw(), k as u32, a.raw()]);
+        }
+        if let Some(t) = program.actual_return(invo) {
+            e.fact(ret_to, &[invo.raw(), t.raw()]);
+        }
+    }
+    for &h in result.uncaught_exceptions() {
+        e.fact(uncaught, &[h.raw()]);
+    }
+    for h in program.heaps() {
+        e.fact(all_heap, &[h.raw()]);
+        let owner = program.heap_method(h);
+        if spec.is_sanitizer(program, owner) {
+            e.fact(sanitized_heap, &[h.raw()]);
+        } else if spec.is_source(program, owner) {
+            e.fact(source_heap, &[h.raw()]);
+        }
+    }
+    e.complement(all_heap, sanitized_heap, not_sanitized);
+    for m in program.methods() {
+        for sink in spec.sinks_for(program, m) {
+            match sink.arg {
+                Some(k) => {
+                    e.fact(sink_arg, &[m.raw(), k as u32]);
+                }
+                None => {
+                    e.fact(sink_all, &[m.raw()]);
+                }
+            }
+        }
+        if !result.is_reachable(m) {
+            continue;
+        }
+        for (k, &p) in program.formals(m).iter().enumerate() {
+            e.fact(formal_at, &[m.raw(), k as u32, p.raw()]);
+        }
+        if let Some(rv) = program.formal_return(m) {
+            e.fact(ret_of, &[m.raw(), rv.raw()]);
+        }
+        for instr in program.instrs(m) {
+            match *instr {
+                Instr::Move { to, from } | Instr::Cast { to, from, .. } => {
+                    e.fact(flow_edge, &[from.raw(), to.raw()]);
+                }
+                Instr::Load { to, base, field } => {
+                    e.fact(load_instr, &[to.raw(), base.raw(), field.raw()]);
+                    for &h in result.points_to(base) {
+                        e.fact(loaded_cell, &[h.raw(), field.raw()]);
+                    }
+                }
+                Instr::SLoad { to, field } => {
+                    e.fact(sload_instr, &[to.raw(), field.raw()]);
+                    e.fact(loaded_static, &[field.raw()]);
+                }
+                Instr::Store { base, field, from } => {
+                    e.fact(store_instr, &[base.raw(), field.raw(), from.raw()]);
+                }
+                Instr::SStore { field, from } => {
+                    e.fact(sstore_instr, &[field.raw(), from.raw()]);
+                }
+                _ => {}
+            }
+        }
+    }
+    e.complement(loaded_cell, written_cell, unwritten_cell);
+    e.complement(loaded_static, written_static, unwritten_static);
+    let sites = deref_sites(program, result);
+    for (s, &(_, _, var)) in sites.iter().enumerate() {
+        e.fact(deref_site, &[s as u32, var.raw()]);
+    }
+
+    // ----- taint rules -------------------------------------------------
+    e.rule()
+        .label("taint-source")
+        .head(tainted, &[v("h")])
+        .atom(source_heap, &[v("h")])
+        .build()
+        .unwrap();
+    e.rule()
+        .label("taint-container")
+        .head(tainted, &[v("h")])
+        .atom(fld_pts, &[v("h"), v("f"), v("h2")])
+        .atom(tainted, &[v("h2")])
+        .atom(not_sanitized, &[v("h")])
+        .build()
+        .unwrap();
+    e.rule()
+        .label("taint-sink-arg")
+        .head(taint_finding, &[v("i"), v("h")])
+        .atom(call_target, &[v("i"), v("m")])
+        .atom(sink_arg, &[v("m"), v("k")])
+        .atom(arg_at, &[v("i"), v("k"), v("a")])
+        .atom(var_pts, &[v("a"), v("h")])
+        .atom(tainted, &[v("h")])
+        .build()
+        .unwrap();
+    e.rule()
+        .label("taint-sink-all")
+        .head(taint_finding, &[v("i"), v("h")])
+        .atom(call_target, &[v("i"), v("m")])
+        .atom(sink_all, &[v("m")])
+        .atom(arg_at, &[v("i"), v("k"), v("a")])
+        .atom(var_pts, &[v("a"), v("h")])
+        .atom(tainted, &[v("h")])
+        .build()
+        .unwrap();
+
+    // ----- escape rules ------------------------------------------------
+    e.rule()
+        .label("escape-static")
+        .head(escapes, &[v("h")])
+        .atom(static_pts, &[v("f"), v("h")])
+        .build()
+        .unwrap();
+    e.rule()
+        .label("escape-uncaught")
+        .head(escapes, &[v("h")])
+        .atom(uncaught, &[v("h")])
+        .build()
+        .unwrap();
+    e.rule()
+        .label("escape-contents")
+        .head(escapes, &[v("h2")])
+        .atom(escapes, &[v("h")])
+        .atom(fld_pts, &[v("h"), v("f"), v("h2")])
+        .build()
+        .unwrap();
+
+    // ----- nullness rules ----------------------------------------------
+    e.rule()
+        .label("null-unwritten-load")
+        .head(maybe_null, &[v("to")])
+        .atom(load_instr, &[v("to"), v("b"), v("f")])
+        .atom(var_pts, &[v("b"), v("h")])
+        .atom(unwritten_cell, &[v("h"), v("f")])
+        .build()
+        .unwrap();
+    e.rule()
+        .label("null-unwritten-sload")
+        .head(maybe_null, &[v("to")])
+        .atom(sload_instr, &[v("to"), v("f")])
+        .atom(unwritten_static, &[v("f")])
+        .build()
+        .unwrap();
+    e.rule()
+        .label("null-flow")
+        .head(maybe_null, &[v("to")])
+        .atom(flow_edge, &[v("from"), v("to")])
+        .atom(maybe_null, &[v("from")])
+        .build()
+        .unwrap();
+    e.rule()
+        .label("null-arg")
+        .head(maybe_null, &[v("p")])
+        .atom(call_target, &[v("i"), v("m")])
+        .atom(arg_at, &[v("i"), v("k"), v("a")])
+        .atom(formal_at, &[v("m"), v("k"), v("p")])
+        .atom(maybe_null, &[v("a")])
+        .build()
+        .unwrap();
+    e.rule()
+        .label("null-return")
+        .head(maybe_null, &[v("t")])
+        .atom(call_target, &[v("i"), v("m")])
+        .atom(ret_of, &[v("m"), v("rv")])
+        .atom(ret_to, &[v("i"), v("t")])
+        .atom(maybe_null, &[v("rv")])
+        .build()
+        .unwrap();
+    e.rule()
+        .label("null-field-store")
+        .head(null_field, &[v("h"), v("f")])
+        .atom(store_instr, &[v("b"), v("f"), v("from")])
+        .atom(var_pts, &[v("b"), v("h")])
+        .atom(maybe_null, &[v("from")])
+        .build()
+        .unwrap();
+    e.rule()
+        .label("null-field-load")
+        .head(maybe_null, &[v("to")])
+        .atom(load_instr, &[v("to"), v("b"), v("f")])
+        .atom(var_pts, &[v("b"), v("h")])
+        .atom(null_field, &[v("h"), v("f")])
+        .build()
+        .unwrap();
+    e.rule()
+        .label("null-static-store")
+        .head(null_static, &[v("f")])
+        .atom(sstore_instr, &[v("f"), v("from")])
+        .atom(maybe_null, &[v("from")])
+        .build()
+        .unwrap();
+    e.rule()
+        .label("null-static-load")
+        .head(maybe_null, &[v("to")])
+        .atom(sload_instr, &[v("to"), v("f")])
+        .atom(null_static, &[v("f")])
+        .build()
+        .unwrap();
+    e.rule()
+        .label("null-deref")
+        .head(null_deref, &[v("s"), v("x")])
+        .atom(deref_site, &[v("s"), v("x")])
+        .atom(maybe_null, &[v("x")])
+        .build()
+        .unwrap();
+
+    let report = e.verify();
+    assert!(
+        !report.has_errors(),
+        "client rule program failed verification: {report}"
+    );
+    e.run();
+
+    // ----- extraction --------------------------------------------------
+    let mut taint: Vec<TaintFinding> = e
+        .rows(taint_finding)
+        .map(|row| TaintFinding {
+            invo: InvoId::from_raw(row.get(0)),
+            heap: HeapId::from_raw(row.get(1)),
+        })
+        .collect();
+    taint.sort_unstable();
+    let mut escape: Vec<EscapeFinding> = e
+        .rows(escapes)
+        .map(|row| EscapeFinding {
+            heap: HeapId::from_raw(row.get(0)),
+        })
+        .collect();
+    escape.sort_unstable();
+    let mut nullness: Vec<NullnessFinding> = e
+        .rows(null_deref)
+        .map(|row| {
+            let (method, instr, var) = sites[row.get(0) as usize];
+            debug_assert_eq!(var, VarId::from_raw(row.get(1)));
+            let _: MethodId = method;
+            NullnessFinding { method, instr, var }
+        })
+        .collect();
+    nullness.sort_unstable();
+    DatalogCheck {
+        taint,
+        escape,
+        nullness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{escape_findings, nullness_findings, taint_findings};
+    use pta_core::{Analysis, AnalysisSession};
+    use pta_workload::dacapo_workload;
+
+    /// The rule encoding and the direct fixpoints agree on a nontrivial
+    /// workload under a precise and an imprecise policy.
+    #[test]
+    fn rules_match_direct_fixpoints() {
+        let mut cfg = pta_workload::WorkloadConfig::tiny(5);
+        cfg.taint_groups = 2;
+        let p = pta_workload::generate(&cfg);
+        let spec = CheckSpec::parse(pta_workload::TAINT_SPEC).unwrap();
+        for analysis in [Analysis::Insens, Analysis::SAOneObj] {
+            let r = AnalysisSession::new(&p).policy(analysis).run();
+            let dl = datalog_check(&p, &r, &spec);
+            assert_eq!(dl.taint, taint_findings(&p, &r, &spec), "{analysis} taint");
+            assert_eq!(dl.escape, escape_findings(&p, &r), "{analysis} escape");
+            assert_eq!(
+                dl.nullness,
+                nullness_findings(&p, &r),
+                "{analysis} nullness"
+            );
+        }
+    }
+
+    /// Same agreement on a DaCapo-shaped program without injection (the
+    /// spec then matches nothing; escape/nullness still have real work).
+    #[test]
+    fn rules_match_on_dacapo_shape() {
+        let p = dacapo_workload("luindex", 0.08);
+        let spec = CheckSpec::parse("sink Nothing.matches 0\n").unwrap();
+        let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
+        let dl = datalog_check(&p, &r, &spec);
+        assert_eq!(dl.taint, taint_findings(&p, &r, &spec));
+        assert_eq!(dl.escape, escape_findings(&p, &r));
+        assert_eq!(dl.nullness, nullness_findings(&p, &r));
+        assert!(!dl.escape.is_empty(), "registry traffic must escape");
+    }
+}

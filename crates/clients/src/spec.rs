@@ -1,0 +1,274 @@
+//! The `pta check` source/sink specification format.
+//!
+//! A spec is a line-oriented text file naming the methods the taint
+//! client treats specially:
+//!
+//! ```text
+//! # taint policy for the demo app
+//! source    TaintSrc*.make     # heaps allocated here are tainted
+//! sanitizer TaintSan*.cleanse  # heaps allocated here launder taint
+//! sink      TaintSink*.sink 0  # arg 0 must never be tainted
+//! ```
+//!
+//! Each directive takes a `Class.method` pattern. Either component may
+//! end in `*`, which prefix-matches (so `Taint*.make` covers every
+//! generated taint-source class, and `*.*` matches everything). A `sink`
+//! line optionally names the argument index to inspect; without one,
+//! every argument of the call is inspected.
+//!
+//! Malformed lines are reported as [`E020`](pta_lint::code_description)
+//! diagnostics carrying the line number; patterns that contain no
+//! wildcard and match no method of the program are reported as `E021`
+//! (a spec that names nothing is almost certainly a typo).
+
+use pta_ir::{MethodId, Program, SrcLoc};
+use pta_lint::Diagnostic;
+
+/// A `Class.method` pattern, each side exact or `*`-prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodPattern {
+    class: String,
+    method: String,
+}
+
+fn part_matches(pattern: &str, name: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => name.starts_with(prefix),
+        None => name == pattern,
+    }
+}
+
+impl MethodPattern {
+    /// Parses `Class.method`; `None` if the shape is wrong.
+    pub fn parse(text: &str) -> Option<MethodPattern> {
+        let (class, method) = text.split_once('.')?;
+        if class.is_empty() || method.is_empty() || method.contains('.') {
+            return None;
+        }
+        Some(MethodPattern {
+            class: class.to_owned(),
+            method: method.to_owned(),
+        })
+    }
+
+    /// `true` if the pattern matches `meth`'s declaring class and name.
+    pub fn matches(&self, program: &Program, meth: MethodId) -> bool {
+        part_matches(
+            &self.class,
+            program.type_name(program.method_declaring(meth)),
+        ) && part_matches(&self.method, program.method_name(meth))
+    }
+
+    /// `true` if either component prefix-matches (ends in `*`).
+    pub fn has_wildcard(&self) -> bool {
+        self.class.ends_with('*') || self.method.ends_with('*')
+    }
+}
+
+impl std::fmt::Display for MethodPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.class, self.method)
+    }
+}
+
+/// One `sink` directive: a method pattern plus the argument to inspect
+/// (`None` = every argument).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkSpec {
+    /// Which callee methods are sinks.
+    pub pattern: MethodPattern,
+    /// The argument index to inspect, or `None` for all.
+    pub arg: Option<usize>,
+}
+
+/// A parsed source/sink/sanitizer specification.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckSpec {
+    /// Methods whose allocations are taint sources.
+    pub sources: Vec<MethodPattern>,
+    /// Call targets whose arguments must not be tainted.
+    pub sinks: Vec<SinkSpec>,
+    /// Methods whose allocations launder taint.
+    pub sanitizers: Vec<MethodPattern>,
+}
+
+impl CheckSpec {
+    /// Parses a spec text. Every malformed line becomes one `E020`
+    /// diagnostic; an empty `Ok` spec is legal (the taint client then
+    /// reports nothing).
+    pub fn parse(text: &str) -> Result<CheckSpec, Vec<Diagnostic>> {
+        let mut spec = CheckSpec::default();
+        let mut errors = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut err = |what: &str| {
+                errors.push(
+                    Diagnostic::error("E020", format!("{what}: `{}`", raw.trim()))
+                        .with_span(SrcLoc::new((idx + 1) as u32, 1)),
+                );
+            };
+            let mut words = line.split_whitespace();
+            let directive = words.next().unwrap_or("");
+            let Some(pattern) = words.next().and_then(MethodPattern::parse) else {
+                err("directive needs a Class.method pattern");
+                continue;
+            };
+            match directive {
+                "source" | "sanitizer" => {
+                    if words.next().is_some() {
+                        err("trailing tokens after the pattern");
+                        continue;
+                    }
+                    if directive == "source" {
+                        spec.sources.push(pattern);
+                    } else {
+                        spec.sanitizers.push(pattern);
+                    }
+                }
+                "sink" => {
+                    let arg = match words.next() {
+                        None => None,
+                        Some(tok) => match tok.parse::<usize>() {
+                            Ok(n) => Some(n),
+                            Err(_) => {
+                                err("sink argument index is not a number");
+                                continue;
+                            }
+                        },
+                    };
+                    if words.next().is_some() {
+                        err("trailing tokens after the argument index");
+                        continue;
+                    }
+                    spec.sinks.push(SinkSpec { pattern, arg });
+                }
+                _ => err("unknown directive (expected source, sink or sanitizer)"),
+            }
+        }
+        if errors.is_empty() {
+            Ok(spec)
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Checks every exact (wildcard-free) pattern against the program;
+    /// one `E021` per pattern that names no method.
+    pub fn validate(&self, program: &Program) -> Vec<Diagnostic> {
+        let all = self
+            .sources
+            .iter()
+            .chain(self.sanitizers.iter())
+            .chain(self.sinks.iter().map(|s| &s.pattern));
+        let mut diags = Vec::new();
+        for pat in all {
+            if pat.has_wildcard() {
+                continue;
+            }
+            if !program.methods().any(|m| pat.matches(program, m)) {
+                diags.push(Diagnostic::error(
+                    "E021",
+                    format!("spec pattern `{pat}` matches no method in the program"),
+                ));
+            }
+        }
+        diags
+    }
+
+    /// `true` if `meth` is a taint source.
+    pub fn is_source(&self, program: &Program, meth: MethodId) -> bool {
+        self.sources.iter().any(|p| p.matches(program, meth))
+    }
+
+    /// `true` if `meth` is a sanitizer.
+    pub fn is_sanitizer(&self, program: &Program, meth: MethodId) -> bool {
+        self.sanitizers.iter().any(|p| p.matches(program, meth))
+    }
+
+    /// The sink directives matching `meth` (usually zero or one).
+    pub fn sinks_for<'s>(
+        &'s self,
+        program: &'s Program,
+        meth: MethodId,
+    ) -> impl Iterator<Item = &'s SinkSpec> + 's {
+        self.sinks
+            .iter()
+            .filter(move |s| s.pattern.matches(program, meth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta_lang::parse_program;
+
+    const SOURCE: &str = r#"
+        class Object {}
+        class Src : Object { static make() { t = new Object; return t; } }
+        class Use : Object { static consume(x) {} }
+        class Main : Object {
+            static main() {
+                a = Src.make();
+                Use.consume(a);
+            }
+        }
+        entry Main.main;
+    "#;
+
+    #[test]
+    fn parses_all_directives_with_comments() {
+        let spec = CheckSpec::parse(
+            "# policy\nsource Src.make\nsink Use.consume 0 # arg\n\nsanitizer San*.cleanse\n",
+        )
+        .unwrap();
+        assert_eq!(spec.sources.len(), 1);
+        assert_eq!(spec.sinks.len(), 1);
+        assert_eq!(spec.sinks[0].arg, Some(0));
+        assert_eq!(spec.sanitizers.len(), 1);
+        assert!(spec.sanitizers[0].has_wildcard());
+    }
+
+    #[test]
+    fn sink_without_index_inspects_all_args() {
+        let spec = CheckSpec::parse("sink Use.consume\n").unwrap();
+        assert_eq!(spec.sinks[0].arg, None);
+    }
+
+    #[test]
+    fn malformed_lines_are_e020_with_line_numbers() {
+        let errs = CheckSpec::parse("source Src.make\nfrobnicate X.y\nsink Use.consume zero\n")
+            .unwrap_err();
+        assert_eq!(errs.len(), 2);
+        assert!(errs.iter().all(|d| d.code == "E020"));
+        assert_eq!(errs[0].span.unwrap().line, 2);
+        assert_eq!(errs[1].span.unwrap().line, 3);
+    }
+
+    #[test]
+    fn wildcards_prefix_match() {
+        let p = parse_program(SOURCE).unwrap();
+        let spec = CheckSpec::parse("source Sr*.mak*\nsink *.consume 0\n").unwrap();
+        let make = p.methods().find(|&m| p.method_name(m) == "make").unwrap();
+        let consume = p
+            .methods()
+            .find(|&m| p.method_name(m) == "consume")
+            .unwrap();
+        assert!(spec.is_source(&p, make));
+        assert!(!spec.is_source(&p, consume));
+        assert_eq!(spec.sinks_for(&p, consume).count(), 1);
+        assert!(spec.validate(&p).is_empty());
+    }
+
+    #[test]
+    fn exact_pattern_matching_nothing_is_e021() {
+        let p = parse_program(SOURCE).unwrap();
+        let spec = CheckSpec::parse("source Src.nosuch\nsink Missing*.anything\n").unwrap();
+        let diags = spec.validate(&p);
+        assert_eq!(diags.len(), 1); // the wildcard pattern is exempt
+        assert_eq!(diags[0].code, "E021");
+        assert!(diags[0].message.contains("Src.nosuch"));
+    }
+}

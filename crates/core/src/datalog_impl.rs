@@ -28,7 +28,7 @@ use std::rc::Rc;
 use pta_datalog::{Engine, EngineStats, RelId, Term, VerifyReport};
 use pta_govern::{Budget, CancelToken};
 use pta_ir::hash::{FxHashMap, FxHashSet};
-use pta_ir::{HeapId, Instr, InvoId, MethodId, Program, TypeId, VarId};
+use pta_ir::{FieldId, HeapId, Instr, InvoId, MethodId, Program, TypeId, VarId};
 
 use crate::context::{CtxId, CtxInterner, HCtxId, HCtxInterner};
 use crate::policy::ContextPolicy;
@@ -38,56 +38,9 @@ fn v(name: &str) -> Term {
     Term::var(name)
 }
 
-/// Runs `policy` over `program` on the Datalog back end.
-///
-/// Produces the same [`PointsToResult`] as the dense back end (without
-/// retained tuples). Prefer the specialized solver for large programs; this
-/// back end is the executable specification.
-#[deprecated(
-    since = "0.5.0",
-    note = "use AnalysisSession::new(program).policy(p).backend(Backend::Datalog).run()"
-)]
-pub fn analyze_datalog<P>(program: &Program, policy: &P) -> PointsToResult
-where
-    P: ContextPolicy + Clone + 'static,
-{
-    run_datalog(program, policy, &Budget::unlimited(), None).0
-}
-
-/// Like [`analyze_datalog`], also returning engine statistics (fixpoint
-/// rounds, strata, total rows).
-#[deprecated(
-    since = "0.5.0",
-    note = "use AnalysisSession::new(program).policy(p).run_datalog_with_stats()"
-)]
-pub fn analyze_datalog_with_stats<P>(program: &Program, policy: &P) -> (PointsToResult, EngineStats)
-where
-    P: ContextPolicy + Clone + 'static,
-{
-    run_datalog(program, policy, &Budget::unlimited(), None)
-}
-
-/// Like [`analyze_datalog_with_stats`], under a [`Budget`] checked once
-/// per engine round, with optional cooperative cancellation.
-#[deprecated(
-    since = "0.5.0",
-    note = "use AnalysisSession::new(program).policy(p).budget(b).run_datalog_with_stats()"
-)]
-pub fn analyze_datalog_governed<P>(
-    program: &Program,
-    policy: &P,
-    budget: &Budget,
-    cancel: Option<&CancelToken>,
-) -> (PointsToResult, EngineStats)
-where
-    P: ContextPolicy + Clone + 'static,
-{
-    run_datalog(program, policy, budget, cancel)
-}
-
-/// The Datalog back end behind [`crate::AnalysisSession`] (and the legacy
-/// entry points above): evaluates Figure 2 under a [`Budget`] checked once
-/// per engine round, with optional cooperative cancellation.
+/// The Datalog back end behind [`crate::AnalysisSession`]: evaluates
+/// Figure 2 under a [`Budget`] checked once per engine round, with
+/// optional cooperative cancellation.
 ///
 /// On exhaustion the result is tagged with the tripped
 /// [`pta_govern::Termination`] and holds the sound fixpoint prefix the
@@ -95,20 +48,9 @@ where
 /// run's). This back end does not degrade — graceful degradation is a
 /// solver-side strategy — so `PointsToResult::demoted_sites` is always
 /// empty here.
-pub(crate) fn run_datalog<P>(
-    program: &Program,
-    policy: &P,
-    budget: &Budget,
-    cancel: Option<&CancelToken>,
-) -> (PointsToResult, EngineStats)
-where
-    P: ContextPolicy + Clone + 'static,
-{
-    run_datalog_opt(program, policy, budget, cancel, false)
-}
-
-/// [`run_datalog`] with an opt-in per-rule evaluation profile: when
-/// `profile` is set the engine runs through
+///
+/// `profile` opts into a per-rule evaluation profile: when set the
+/// engine runs through
 /// [`pta_datalog::Engine::run_profiled`] and the result carries a
 /// [`pta_obs::Profile`] whose rule rows are the Figure 2 rule labels
 /// (`alloc`, `move`, `vcall`, …) rather than the dense solver's fixed
@@ -129,6 +71,8 @@ where
         call_graph,
         reachable,
         throw_pts,
+        fld_pts,
+        static_fld_pts,
         ctxs,
         hctxs,
     } = build_figure2(program, policy);
@@ -209,6 +153,41 @@ where
     };
     uncaught.sort_unstable();
 
+    // Context-insensitive heap-graph projections, matching the dense
+    // solver's field/static views byte for byte.
+    let mut field_points_to: FxHashMap<(HeapId, FieldId), Vec<HeapId>> = FxHashMap::default();
+    {
+        let mut seen: FxHashSet<(u32, u32, u32)> = FxHashSet::default();
+        for row in e.rows(fld_pts) {
+            let (base, fld, heap) = (row.get(0), row.get(2), row.get(3));
+            if seen.insert((base, fld, heap)) {
+                field_points_to
+                    .entry((HeapId::from_raw(base), FieldId::from_raw(fld)))
+                    .or_default()
+                    .push(HeapId::from_raw(heap));
+            }
+        }
+    }
+    for vals in field_points_to.values_mut() {
+        vals.sort_unstable();
+    }
+    let mut static_points_to: FxHashMap<FieldId, Vec<HeapId>> = FxHashMap::default();
+    {
+        let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+        for row in e.rows(static_fld_pts) {
+            let (fld, heap) = (row.get(0), row.get(1));
+            if seen.insert((fld, heap)) {
+                static_points_to
+                    .entry(FieldId::from_raw(fld))
+                    .or_default()
+                    .push(HeapId::from_raw(heap));
+            }
+        }
+    }
+    for vals in static_points_to.values_mut() {
+        vals.sort_unstable();
+    }
+
     let profile_box = rule_prof.map(|prof| {
         let rules = prof
             .into_iter()
@@ -260,6 +239,8 @@ where
         fld_provenance: None,
         static_fld_provenance: None,
         uncaught,
+        field_points_to,
+        static_points_to,
         ctx_interner,
         hctx_interner,
         // The generic engine reports its own EvalStats; the dense solver's
@@ -277,7 +258,7 @@ where
 /// Runs only the pre-flight verifier over the literal Figure 2 rule set as
 /// assembled for `program` — no evaluation. Exposed so tests (and curious
 /// operators) can inspect the safety/strata report for the exact rule
-/// program [`analyze_datalog`] would execute.
+/// program the Datalog back end would execute.
 pub fn verify_figure2<P>(program: &Program, policy: &P) -> VerifyReport
 where
     P: ContextPolicy + Clone + 'static,
@@ -292,6 +273,8 @@ struct Fig2Engine {
     call_graph: RelId,
     reachable: RelId,
     throw_pts: RelId,
+    fld_pts: RelId,
+    static_fld_pts: RelId,
     ctxs: Rc<RefCell<CtxInterner>>,
     hctxs: Rc<RefCell<HCtxInterner>>,
 }
@@ -722,6 +705,8 @@ where
         call_graph,
         reachable,
         throw_pts,
+        fld_pts,
+        static_fld_pts,
         ctxs,
         hctxs,
     }

@@ -85,5 +85,3 @@ pub use pta_obs::{Profile, Trace};
 pub use results::{CtxVarPointsTo, DemotedSite, Derivation, PointsToResult, SolverStats};
 pub use session::{AnalysisSession, Backend};
 pub use solver::SolverConfig;
-#[allow(deprecated)] // legacy entry points stay importable during migration
-pub use solver::{analyze, analyze_with_config};

@@ -59,7 +59,7 @@ use std::time::Instant;
 
 use pta_govern::{CancelToken, Termination};
 use pta_ir::hash::{FxHashMap, FxHashSet};
-use pta_ir::{HeapId, Instr, InvoId, MethodId, Program, SizeHints, TypeId, VarId};
+use pta_ir::{FieldId, HeapId, Instr, InvoId, MethodId, Program, SizeHints, TypeId, VarId};
 
 use crate::context::{Ctx, CtxId, CtxInterner, DenseMap, HCtxId, HCtxInterner, HeapCtx};
 use crate::policy::ContextPolicy;
@@ -1527,6 +1527,8 @@ fn merge_results<P: ContextPolicy>(
     let mut ctx_vpt_count = 0u64;
     let mut ctx_cg_edges = 0u64;
     let mut uncaught_set: FxHashSet<HeapId> = FxHashSet::default();
+    let mut field_points_to: FxHashMap<(HeapId, FieldId), Vec<HeapId>> = FxHashMap::default();
+    let mut static_points_to: FxHashMap<FieldId, Vec<HeapId>> = FxHashMap::default();
     let mut demoted: Vec<DemotedSite> = Vec::new();
     let mut stats = SolverStats::default();
     let mut shard_stats = Vec::with_capacity(shards.len());
@@ -1571,6 +1573,32 @@ fn merge_results<P: ContextPolicy>(
                 for obj in escaping.iter() {
                     uncaught_set.insert(HeapId::from_raw(shard.objs.resolve(obj).0));
                 }
+            }
+        }
+        // Heap-graph projections: field cells and static fields are each
+        // owned by one shard, so the maps concatenate (sorted below).
+        for (fe, entry) in shard.fentries.iter().enumerate() {
+            if entry.set.is_empty() {
+                continue;
+            }
+            let (base_obj, field) = shard.fkeys.resolve(fe as u32);
+            let base = HeapId::from_raw(shard.objs.resolve(base_obj).0);
+            let cell = field_points_to
+                .entry((base, FieldId::from_raw(field)))
+                .or_default();
+            for obj in entry.set.iter() {
+                cell.push(HeapId::from_raw(shard.objs.resolve(obj).0));
+            }
+        }
+        for (fld, entry) in shard.statics.iter().enumerate() {
+            if entry.set.is_empty() {
+                continue;
+            }
+            let cell = static_points_to
+                .entry(FieldId::from_raw(fld as u32))
+                .or_default();
+            for obj in entry.set.iter() {
+                cell.push(HeapId::from_raw(shard.objs.resolve(obj).0));
             }
         }
         demoted.extend_from_slice(&shard.demoted_sites);
@@ -1629,6 +1657,14 @@ fn merge_results<P: ContextPolicy>(
     }
     let mut uncaught: Vec<HeapId> = uncaught_set.into_iter().collect();
     uncaught.sort_unstable();
+    for v in field_points_to.values_mut() {
+        v.sort_unstable();
+        v.dedup();
+    }
+    for v in static_points_to.values_mut() {
+        v.sort_unstable();
+        v.dedup();
+    }
     demoted.sort_unstable_by_key(|d| d.method);
 
     stats.contexts = ctxs.len() as u64;
@@ -1651,6 +1687,8 @@ fn merge_results<P: ContextPolicy>(
         fld_provenance: None,
         static_fld_provenance: None,
         uncaught,
+        field_points_to,
+        static_points_to,
         ctx_interner: ctxs,
         hctx_interner: hctxs,
         stats,

@@ -273,6 +273,12 @@ pub struct PointsToResult {
     pub(crate) fld_provenance: Option<FxHashMap<FldProvKey, CtxVarPointsTo>>,
     pub(crate) static_fld_provenance: Option<FxHashMap<(FieldId, HeapId, HCtxId), CtxVarPointsTo>>,
     pub(crate) uncaught: Vec<HeapId>,
+    /// Context-insensitive instance-field view: `(base heap, field)` →
+    /// sorted heap abstractions stored there under some context.
+    pub(crate) field_points_to: FxHashMap<(HeapId, FieldId), Vec<HeapId>>,
+    /// Context-insensitive static-field view: field → sorted heap
+    /// abstractions stored there.
+    pub(crate) static_points_to: FxHashMap<FieldId, Vec<HeapId>>,
     pub(crate) ctx_interner: CtxInterner,
     pub(crate) hctx_interner: HCtxInterner,
     pub(crate) stats: SolverStats,
@@ -543,6 +549,45 @@ impl PointsToResult {
     /// points uncaught (sorted).
     pub fn uncaught_exceptions(&self) -> &[HeapId] {
         &self.uncaught
+    }
+
+    /// The (context-insensitive) points-to set of instance field `field`
+    /// on objects allocated at `base`, sorted by heap ID. Empty if the
+    /// analysis never stored into that cell.
+    ///
+    /// This is the `FldPointsTo` relation of the paper's Figure 1
+    /// projected down to allocation sites — the heap-graph view client
+    /// analyses (taint reachability, escape) traverse.
+    pub fn field_points_to(&self, base: HeapId, field: FieldId) -> &[HeapId] {
+        self.field_points_to
+            .get(&(base, field))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates every populated `(base heap, field)` cell with its sorted
+    /// points-to set, in unspecified order.
+    pub fn field_points_to_iter(
+        &self,
+    ) -> impl Iterator<Item = ((HeapId, FieldId), &[HeapId])> + '_ {
+        self.field_points_to.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// The (context-insensitive) points-to set of static field `field`,
+    /// sorted by heap ID. Empty if nothing was ever stored there.
+    pub fn static_points_to(&self, field: FieldId) -> &[HeapId] {
+        self.static_points_to
+            .get(&field)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates every populated static field with its sorted points-to
+    /// set, in unspecified order.
+    pub fn static_points_to_iter(&self) -> impl Iterator<Item = (FieldId, &[HeapId])> + '_ {
+        self.static_points_to
+            .iter()
+            .map(|(&k, v)| (k, v.as_slice()))
     }
 
     /// `true` if `a` and `b` may point to a common heap object — the

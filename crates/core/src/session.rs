@@ -1,9 +1,8 @@
 //! The unified entry point: one builder for every way to run an analysis.
 //!
-//! Historically the crate grew five entry functions — `analyze`,
-//! `analyze_with_config`, `analyze_datalog`, `analyze_datalog_with_stats`,
-//! `analyze_datalog_governed` — one per (back end × configuration) corner.
-//! [`AnalysisSession`] collapses them into a single builder:
+//! Historically the crate grew five free entry functions — one per
+//! (back end × configuration) corner. [`AnalysisSession`] collapses
+//! them into a single builder, and the free functions are gone:
 //!
 //! ```
 //! use pta_core::{Analysis, AnalysisSession, Backend};
@@ -27,7 +26,6 @@
 //! # Ok::<(), pta_ir::ValidateError>(())
 //! ```
 //!
-//! The legacy functions survive as `#[deprecated]` shims over this builder.
 //!
 //! ## Back-end and thread dispatch
 //!

@@ -156,37 +156,7 @@ pub(crate) const NOT_DEMOTED: u32 = u32::MAX;
 /// budget does not name one.
 pub(crate) const DEFAULT_WATERMARK: u32 = 16;
 
-/// Runs `policy` over `program` with default configuration.
-#[deprecated(
-    since = "0.5.0",
-    note = "use AnalysisSession::new(program).policy(p).run()"
-)]
-pub fn analyze<P>(program: &Program, policy: &P) -> PointsToResult
-where
-    P: ContextPolicy + Clone + 'static,
-{
-    crate::session::AnalysisSession::new(program)
-        .policy(policy.clone())
-        .run()
-}
-
-/// Runs `policy` over `program` with explicit configuration.
-#[deprecated(
-    since = "0.5.0",
-    note = "use AnalysisSession::new(program).policy(p).config(c).run()"
-)]
-pub fn analyze_with_config<P>(program: &Program, policy: &P, config: SolverConfig) -> PointsToResult
-where
-    P: ContextPolicy + Clone + 'static,
-{
-    crate::session::AnalysisSession::new(program)
-        .policy(policy.clone())
-        .config(config)
-        .run()
-}
-
-/// The sequential dense back end behind [`crate::AnalysisSession`] (and the
-/// legacy entry points above).
+/// The sequential dense back end behind [`crate::AnalysisSession`].
 pub(crate) fn solve_sequential<P: ContextPolicy>(
     program: &Program,
     policy: &P,
@@ -1533,6 +1503,44 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         };
         uncaught.sort_unstable();
 
+        // Context-insensitive heap-graph projections: (base heap, field)
+        // and static-field cells, sorted/deduped so both back ends (and
+        // all thread counts) produce byte-identical views.
+        let mut field_points_to: FxHashMap<(HeapId, FieldId), Vec<HeapId>> = FxHashMap::default();
+        for (fe, entry) in self.fentries.iter().enumerate() {
+            if entry.set.is_empty() {
+                continue;
+            }
+            let (base_obj, field) = self.fkeys.resolve(fe as u32);
+            let base = HeapId::from_raw(self.objs.resolve(base_obj).0);
+            let cell = field_points_to
+                .entry((base, FieldId::from_raw(field)))
+                .or_default();
+            for obj in entry.set.iter() {
+                cell.push(HeapId::from_raw(self.objs.resolve(obj).0));
+            }
+        }
+        for v in field_points_to.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        let mut static_points_to: FxHashMap<FieldId, Vec<HeapId>> = FxHashMap::default();
+        for (fld, entry) in self.statics.iter().enumerate() {
+            if entry.set.is_empty() {
+                continue;
+            }
+            let cell = static_points_to
+                .entry(FieldId::from_raw(fld as u32))
+                .or_default();
+            for obj in entry.set.iter() {
+                cell.push(HeapId::from_raw(self.objs.resolve(obj).0));
+            }
+        }
+        for v in static_points_to.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+
         let fld_provenance = if self.config.track_provenance {
             Some(
                 self.fld_provenance
@@ -1593,6 +1601,8 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             fld_provenance,
             static_fld_provenance,
             uncaught,
+            field_points_to,
+            static_points_to,
             ctx_interner: self.ctxs,
             hctx_interner: self.hctxs,
             stats: self.stats,

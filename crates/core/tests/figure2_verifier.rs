@@ -115,8 +115,8 @@ fn figure2_strata_isolate_the_recursive_core() {
 
 #[test]
 fn verification_runs_before_every_datalog_evaluation() {
-    // analyze_datalog() asserts on the verifier internally; a clean run on
-    // a full-feature program is evidence the gate passes in production.
+    // The Datalog back end asserts on the verifier internally; a clean run
+    // on a full-feature program is evidence the gate passes in production.
     let program = full_feature_program();
     let result = AnalysisSession::new(&program)
         .policy(Analysis::Insens)

@@ -1,6 +1,7 @@
-//! Session-API property tests: `AnalysisSession` must be a drop-in
-//! replacement for all five legacy entry points, and the sharded parallel
-//! solver must be indistinguishable from the sequential one.
+//! Session-API property tests: every configuration corner of
+//! `AnalysisSession` must agree with every other on the analysis
+//! semantics, and the sharded parallel solver must be indistinguishable
+//! from the sequential one.
 //!
 //! Two families of assertions:
 //!
@@ -11,22 +12,16 @@
 //!    exceptions) is identical to the sequential run. Internal effort
 //!    counters (`steps`, message traffic) are *not* part of the
 //!    fingerprint: they describe the schedule, not the fixpoint.
-//! 2. **Legacy equivalence** — each deprecated function and its builder
-//!    spelling produce identical fingerprints, so downstream callers can
-//!    migrate mechanically.
+//! 2. **Builder-spelling equivalence** — configuration spellings that
+//!    promise the same semantics (`config(c)` vs dedicated setters,
+//!    governed vs ungoverned unlimited budgets, `run()` on the Datalog
+//!    back end vs `run_datalog_with_stats()`) produce identical
+//!    fingerprints.
 //!
 //! Governance composition (starved parallel runs stop with a sound
 //! prefix, degraded runs stay complete) is covered at the end.
 
-#![allow(deprecated)] // deliberately exercises the legacy entry points
-
-use pta_core::datalog_impl::{
-    analyze_datalog, analyze_datalog_governed, analyze_datalog_with_stats,
-};
-use pta_core::{
-    analyze, analyze_with_config, Analysis, AnalysisSession, Backend, Budget, PointsToResult,
-    SolverConfig,
-};
+use pta_core::{Analysis, AnalysisSession, Backend, Budget, PointsToResult, SolverConfig};
 use pta_ir::Program;
 use pta_workload::{dacapo_workload, DACAPO_NAMES};
 
@@ -124,74 +119,64 @@ fn auto_thread_count_matches_sequential() {
     assert_threads_agree(&program, Analysis::STwoObjH, 0, "luindex");
 }
 
-/// The five deprecated entry points and their builder spellings agree on
-/// every policy (dense pair on every config; the slower Datalog pairs on
-/// one config per policy).
+/// `config(c)` and the dedicated builder setters are the same knob: an
+/// explicit `SolverConfig` produces the same fingerprint as the
+/// equivalent setter spelling.
 #[test]
-fn builder_matches_legacy_dense_entry_points() {
-    for name in DACAPO_NAMES {
-        let program = dacapo_workload(name, 0.15);
-        for analysis in Analysis::ALL {
-            let legacy = analyze(&program, &analysis);
-            let session = AnalysisSession::new(&program).policy(analysis).run();
-            assert_eq!(
-                fingerprint(&program, &legacy),
-                fingerprint(&program, &session),
-                "{name}/{analysis}: session diverged from analyze()"
-            );
-        }
-    }
-}
-
-#[test]
-fn builder_matches_legacy_config_entry_point() {
+fn explicit_config_matches_builder_setters() {
     let program = dacapo_workload("bloat", 0.3);
     let config = SolverConfig {
         keep_tuples: true,
         ..SolverConfig::default()
     };
-    let legacy = analyze_with_config(&program, &Analysis::SAOneObj, config.clone());
-    let session = AnalysisSession::new(&program)
+    let explicit = AnalysisSession::new(&program)
         .policy(Analysis::SAOneObj)
         .config(config)
         .run();
+    let spelled = AnalysisSession::new(&program)
+        .policy(Analysis::SAOneObj)
+        .keep_tuples(true)
+        .run();
     assert_eq!(
-        fingerprint(&program, &legacy),
-        fingerprint(&program, &session),
-        "session diverged from analyze_with_config()"
+        fingerprint(&program, &explicit),
+        fingerprint(&program, &spelled),
+        "config(c) diverged from the setter spelling"
     );
+    assert!(explicit.context_sensitive_tuples().is_some());
 }
 
+/// On the Datalog back end, `run()` and `run_datalog_with_stats()` (with
+/// and without an explicit unlimited budget) evaluate the same rule set.
 #[test]
-fn builder_matches_legacy_datalog_entry_points() {
+fn datalog_run_spellings_agree() {
     for analysis in Analysis::ALL {
         let program = dacapo_workload("luindex", 0.1);
-        let legacy = analyze_datalog(&program, &analysis);
-        let session = AnalysisSession::new(&program)
+        let plain = AnalysisSession::new(&program)
             .policy(analysis)
             .backend(Backend::Datalog)
             .run();
+        let (with_stats, _) = AnalysisSession::new(&program)
+            .policy(analysis)
+            .run_datalog_with_stats();
         assert_eq!(
-            fingerprint(&program, &legacy),
-            fingerprint(&program, &session),
-            "{analysis}: session diverged from analyze_datalog()"
+            fingerprint(&program, &plain),
+            fingerprint(&program, &with_stats),
+            "{analysis}: run() diverged from run_datalog_with_stats()"
         );
     }
-    // The stats-returning and governed spellings, on one representative.
+    // An explicit unlimited budget is a no-op, and the engine stats are
+    // deterministic across the two spellings.
     let program = dacapo_workload("luindex", 0.2);
-    let (legacy, legacy_stats) = analyze_datalog_with_stats(&program, &Analysis::UOneObj);
-    let (gov, _) =
-        analyze_datalog_governed(&program, &Analysis::UOneObj, &Budget::unlimited(), None);
-    let (session, session_stats) = AnalysisSession::new(&program)
+    let (plain, plain_stats) = AnalysisSession::new(&program)
         .policy(Analysis::UOneObj)
         .run_datalog_with_stats();
-    assert_eq!(
-        fingerprint(&program, &legacy),
-        fingerprint(&program, &session)
-    );
-    assert_eq!(fingerprint(&program, &legacy), fingerprint(&program, &gov));
-    assert_eq!(legacy_stats.rounds, session_stats.rounds);
-    assert_eq!(legacy_stats.total_rows, session_stats.total_rows);
+    let (gov, gov_stats) = AnalysisSession::new(&program)
+        .policy(Analysis::UOneObj)
+        .budget(Budget::unlimited())
+        .run_datalog_with_stats();
+    assert_eq!(fingerprint(&program, &plain), fingerprint(&program, &gov));
+    assert_eq!(plain_stats.rounds, gov_stats.rounds);
+    assert_eq!(plain_stats.total_rows, gov_stats.total_rows);
 }
 
 /// Sequential-only observability features silently fall back to one

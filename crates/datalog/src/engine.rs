@@ -204,6 +204,45 @@ impl Engine {
         self.relations[rel.index()].contains(&Row::new(values))
     }
 
+    /// Populates `into` with every row of `domain` that is absent from
+    /// `minus` — the engine's substitute for stratified negation, which
+    /// the rule language deliberately omits.
+    ///
+    /// This is a *pre-run* helper over extensional facts: it reads the
+    /// relations as they stand when called, so the complement is only
+    /// meaningful for input relations whose contents are fully known
+    /// before evaluation (calling it on an IDB relation mid-derivation
+    /// would bake in a stale snapshot). Returns the number of rows
+    /// inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three relations do not share one arity.
+    pub fn complement(&mut self, domain: RelId, minus: RelId, into: RelId) -> usize {
+        let arity = self.relation_arity(domain);
+        assert_eq!(
+            arity,
+            self.relation_arity(minus),
+            "complement: domain/minus arity mismatch"
+        );
+        assert_eq!(
+            arity,
+            self.relation_arity(into),
+            "complement: domain/into arity mismatch"
+        );
+        let missing: Vec<Row> = self.relations[domain.index()]
+            .rows()
+            .iter()
+            .filter(|row| !self.relations[minus.index()].contains(row))
+            .cloned()
+            .collect();
+        let target = &mut self.relations[into.index()];
+        missing
+            .into_iter()
+            .filter(|row| target.insert(*row))
+            .count()
+    }
+
     /// Runs all rules to fixpoint, stratum by stratum.
     pub fn run(&mut self) -> EngineStats {
         self.run_governed(&Budget::unlimited(), None)
@@ -596,6 +635,36 @@ mod tests {
         assert!(stats.rounds >= 3);
         assert!(e.contains(path, &[0, 4]));
         assert!(!e.contains(path, &[4, 0]));
+    }
+
+    #[test]
+    fn complement_fills_the_gap_between_domain_and_minus() {
+        let mut e = Engine::new();
+        let loaded = e.relation("Loaded", 2);
+        let written = e.relation("Written", 2);
+        let unwritten = e.relation("Unwritten", 2);
+        for row in [[1, 7], [2, 7], [3, 8]] {
+            e.fact(loaded, &row);
+        }
+        e.fact(written, &[2, 7]);
+        e.fact(written, &[9, 9]); // rows outside the domain are ignored
+        let inserted = e.complement(loaded, written, unwritten);
+        assert_eq!(inserted, 2);
+        assert!(e.contains(unwritten, &[1, 7]));
+        assert!(e.contains(unwritten, &[3, 8]));
+        assert!(!e.contains(unwritten, &[2, 7]));
+        // Idempotent: a second call inserts nothing new.
+        assert_eq!(e.complement(loaded, written, unwritten), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn complement_rejects_mismatched_arity() {
+        let mut e = Engine::new();
+        let a = e.relation("a", 2);
+        let b = e.relation("b", 1);
+        let c = e.relation("c", 2);
+        e.complement(a, b, c);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! Safety and schema violations are *errors* (evaluation would be
 //! meaningless); dead rules and unused relations are *warnings* (the
 //! program runs, but part of it is inert). `pta-core` runs the verifier
-//! before every `analyze_datalog` evaluation and refuses to evaluate a
+//! before every Datalog back-end evaluation and refuses to evaluate a
 //! program with errors.
 
 use std::fmt;

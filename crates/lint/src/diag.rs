@@ -22,6 +22,8 @@
 //! | E010 | error | Datalog rule: head variable not bound by the body |
 //! | E011 | error | Datalog rule: atom arity does not match the relation |
 //! | E012 | error | Datalog rule: ill-formed functor binding |
+//! | E020 | error | malformed line in a `pta check` source/sink spec |
+//! | E021 | error | check spec names a method the program does not define |
 //! | W001 | warning | method unreachable from the entry points (CHA) |
 //! | W002 | warning | local variable used before its first assignment |
 //! | W003 | warning | cast can never succeed (no allocation of the type) |
@@ -31,11 +33,17 @@
 //! | W007 | warning | method demoted to context-insensitive by graceful degradation |
 //! | W010 | warning | Datalog rule can never fire (empty, underivable body) |
 //! | W011 | warning | Datalog relation declared but never used |
+//! | W020 | warning | taint: a sink may receive an object tainted by a source |
+//! | W021 | warning | escape: an allocation site may escape its allocating thread |
+//! | W022 | warning | nullness: a dereference base may be null |
+//! | W023 | warning | check findings come from a partial (budget-bounded) result |
 //!
 //! `W007` is an *analysis-time* diagnostic: `pta analyze --degrade` emits
 //! one per demoted method. It is never produced by the static lint passes
 //! (a program is not wrong for being expensive), so lint-clean inputs stay
-//! lint-clean.
+//! lint-clean. The `W02x`/`E02x` block belongs to the `pta check` client
+//! suite (`pta_clients::check`): findings are computed from a points-to
+//! result, so — like `W007` — they never appear in `pta lint` output.
 
 use std::fmt;
 
@@ -142,6 +150,8 @@ pub fn code_description(code: &str) -> Option<&'static str> {
         "E010" => "Datalog rule: head variable not bound by any body atom or functor output",
         "E011" => "Datalog rule: atom term count does not match the relation arity",
         "E012" => "Datalog rule: functor binding is ill-formed",
+        "E020" => "malformed line in a pta check source/sink specification",
+        "E021" => "check specification names a method the program does not define",
         "W001" => "method is unreachable from the entry points (CHA call graph)",
         "W002" => "local variable is used before its first assignment",
         "W003" => "cast can never succeed: no allocation in the program has the target type",
@@ -154,14 +164,28 @@ pub fn code_description(code: &str) -> Option<&'static str> {
         }
         "W010" => "Datalog rule can never fire: a body relation is empty and underivable",
         "W011" => "Datalog relation is declared but never used by any rule or fact",
+        "W020" => {
+            "taint: a sink call site may receive an object allocated in a source method \
+             without passing through a sanitizer"
+        }
+        "W021" => {
+            "escape: an allocation site may escape its allocating thread (reachable from a \
+             static field or an uncaught exception)"
+        }
+        "W022" => "nullness: the base of a dereference may be null at this site",
+        "W023" => {
+            "check findings were computed from a partial result (budget exhausted or \
+             degraded run): absent findings are not proof of absence"
+        }
         _ => return None,
     })
 }
 
 /// All diagnostic codes, in index order (for documentation generators).
 pub const ALL_CODES: &[&str] = &[
-    "E001", "E002", "E003", "E004", "E005", "E006", "E007", "E008", "E010", "E011", "E012", "W001",
-    "W002", "W003", "W004", "W005", "W006", "W007", "W010", "W011",
+    "E001", "E002", "E003", "E004", "E005", "E006", "E007", "E008", "E010", "E011", "E012", "E020",
+    "E021", "W001", "W002", "W003", "W004", "W005", "W006", "W007", "W010", "W011", "W020", "W021",
+    "W022", "W023",
 ];
 
 /// Renders diagnostics as human-readable text, one per line, followed by a

@@ -34,6 +34,16 @@ pub struct WorkloadConfig {
     pub main_calls: usize,
     /// Fraction (0-100) of container reads followed by a downcast.
     pub cast_percent: u32,
+    /// Number of taint-fixture groups injected into `main` for the
+    /// `pta check` client suite (see [`crate::TAINT_SPEC`]). Each group
+    /// routes a tainted and a clean payload through one *shared static
+    /// identity helper* before a sink call, so context policies that merge
+    /// static calls into the caller context (the pure object/type-sensitive
+    /// analyses) conflate the two and raise a false alarm, while the
+    /// hybrids keep them apart. `0` (the default everywhere) injects
+    /// nothing and leaves the generated program byte-identical to
+    /// pre-taint-fixture versions of this crate.
+    pub taint_groups: usize,
 }
 
 impl WorkloadConfig {
@@ -52,6 +62,7 @@ impl WorkloadConfig {
             ops_per_driver: 8,
             main_calls: 6,
             cast_percent: 40,
+            taint_groups: 0,
         }
     }
 
@@ -71,6 +82,7 @@ impl WorkloadConfig {
             ops_per_driver: 16,
             main_calls: 40,
             cast_percent: 40,
+            taint_groups: 0,
         }
     }
 
@@ -91,6 +103,7 @@ impl WorkloadConfig {
             ops_per_driver: self.ops_per_driver,
             main_calls: scale(self.main_calls),
             cast_percent: self.cast_percent,
+            taint_groups: self.taint_groups,
         }
     }
 }

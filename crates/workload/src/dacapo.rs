@@ -42,6 +42,7 @@ pub fn dacapo_config(name: &str, scale: f64) -> WorkloadConfig {
             ops_per_driver: 18,
             main_calls: 70,
             cast_percent: 35,
+            taint_groups: 0,
         },
         // Bytecode optimizer: biggest cast pressure, wide hierarchy.
         "bloat" => WorkloadConfig {
@@ -57,6 +58,7 @@ pub fn dacapo_config(name: &str, scale: f64) -> WorkloadConfig {
             ops_per_driver: 20,
             main_calls: 80,
             cast_percent: 60,
+            taint_groups: 0,
         },
         // Charting: the largest; broad hierarchies (renderers, axes).
         "chart" => WorkloadConfig {
@@ -72,6 +74,7 @@ pub fn dacapo_config(name: &str, scale: f64) -> WorkloadConfig {
             ops_per_driver: 20,
             main_calls: 96,
             cast_percent: 40,
+            taint_groups: 0,
         },
         // IDE core: plugin-style dispatch, moderate size.
         "eclipse" => WorkloadConfig {
@@ -87,6 +90,7 @@ pub fn dacapo_config(name: &str, scale: f64) -> WorkloadConfig {
             ops_per_driver: 18,
             main_calls: 72,
             cast_percent: 35,
+            taint_groups: 0,
         },
         // Database: container- and helper-heavy.
         "hsqldb" => WorkloadConfig {
@@ -102,6 +106,7 @@ pub fn dacapo_config(name: &str, scale: f64) -> WorkloadConfig {
             ops_per_driver: 19,
             main_calls: 76,
             cast_percent: 45,
+            taint_groups: 0,
         },
         // Python interpreter: generated code, extreme static-call density.
         "jython" => WorkloadConfig {
@@ -117,6 +122,7 @@ pub fn dacapo_config(name: &str, scale: f64) -> WorkloadConfig {
             ops_per_driver: 18,
             main_calls: 68,
             cast_percent: 35,
+            taint_groups: 0,
         },
         // Text indexer: the smallest.
         "luindex" => WorkloadConfig {
@@ -132,6 +138,7 @@ pub fn dacapo_config(name: &str, scale: f64) -> WorkloadConfig {
             ops_per_driver: 17,
             main_calls: 56,
             cast_percent: 30,
+            taint_groups: 0,
         },
         // Text search: luindex's sibling, slightly larger.
         "lusearch" => WorkloadConfig {
@@ -147,6 +154,7 @@ pub fn dacapo_config(name: &str, scale: f64) -> WorkloadConfig {
             ops_per_driver: 18,
             main_calls: 60,
             cast_percent: 30,
+            taint_groups: 0,
         },
         // Source analyzer: visitor-style dispatch, moderate casts.
         "pmd" => WorkloadConfig {
@@ -162,6 +170,7 @@ pub fn dacapo_config(name: &str, scale: f64) -> WorkloadConfig {
             ops_per_driver: 18,
             main_calls: 70,
             cast_percent: 45,
+            taint_groups: 0,
         },
         // XSLT processor: deep call chains, big call graph.
         "xalan" => WorkloadConfig {
@@ -177,6 +186,7 @@ pub fn dacapo_config(name: &str, scale: f64) -> WorkloadConfig {
             ops_per_driver: 19,
             main_calls: 78,
             cast_percent: 35,
+            taint_groups: 0,
         },
         other => panic!("unknown DaCapo workload {other:?}; known: {DACAPO_NAMES:?}"),
     };

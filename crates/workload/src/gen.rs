@@ -1309,7 +1309,127 @@ impl<'c> Gen<'c> {
                     .scall(main, t, &[p], Some(r), &format!("main/task#{call}"));
             }
         }
+        self.build_taint_fixture(main);
         self.b.entry_point(main);
+    }
+
+    /// Injects [`WorkloadConfig::taint_groups`] self-contained fixture
+    /// groups for the `pta check` client suite at the end of `main`. Each
+    /// group has its own source/sanitizer/sink/holder classes (matched by
+    /// [`crate::TAINT_SPEC`]) and one shared static identity helper
+    /// `TaintRoute{g}.route` through which tainted *and* clean values
+    /// travel. Policies that merge static calls into the caller context
+    /// (the pure object/type-sensitive analyses) conflate the two routed
+    /// values and raise false taint/escape/nullness alarms that the
+    /// call-site-appending hybrids avoid — the client-level replay of the
+    /// paper's `MergeStatic` argument. Deterministic and RNG-free, so
+    /// `taint_groups: 0` leaves the generated program unchanged.
+    fn build_taint_fixture(&mut self, main: MethodId) {
+        for g in 0..self.cfg.taint_groups {
+            let payload = self.b.class(&format!("TaintPayload{g}"), Some(self.object));
+            let touch = self.b.method(payload, "touch", &[], false);
+            let touch_this = self.b.this(touch).unwrap();
+            self.b.set_return(touch, touch_this);
+
+            let src = self.b.class(&format!("TaintSrc{g}"), Some(self.object));
+            let make = self.b.method(src, "make", &[], true);
+            let fresh = self.b.var(make, "t");
+            self.b
+                .alloc(make, fresh, payload, &format!("TaintSrc{g}.make/new"));
+            self.b.set_return(make, fresh);
+
+            let san = self.b.class(&format!("TaintSan{g}"), Some(self.object));
+            let sbox = self.b.field(san, "sbox");
+            let cleanse = self.b.method(san, "cleanse", &["x"], true);
+            let cleanse_x = self.b.formals(cleanse)[0];
+            let cleanse_b = self.b.var(cleanse, "b");
+            self.b
+                .alloc(cleanse, cleanse_b, san, &format!("TaintSan{g}.cleanse/new"));
+            self.b.store(cleanse, cleanse_b, sbox, cleanse_x);
+            self.b.set_return(cleanse, cleanse_b);
+
+            let crate_cls = self.b.class(&format!("TaintCrate{g}"), Some(self.object));
+            let cbox = self.b.field(crate_cls, "cbox");
+            let sink_cls = self.b.class(&format!("TaintSink{g}"), Some(self.object));
+            let sink = self.b.method(sink_cls, "sink", &["x"], true);
+            let route_cls = self.b.class(&format!("TaintRoute{g}"), Some(self.object));
+            let route = self.b.method(route_cls, "route", &["x"], true);
+            let route_x = self.b.formals(route)[0];
+            self.b.set_return(route, route_x);
+            let holder = self.b.class(&format!("TaintHolder{g}"), Some(self.object));
+            let val = self.b.field(holder, "val");
+            let esc_cls = self.b.class(&format!("TaintEsc{g}"), Some(self.object));
+            let cell = self.b.static_field(esc_cls, "cell");
+
+            // --- taint: tainted t and clean c through the shared route.
+            let t = self.b.var(main, &format!("tg{g}_t"));
+            self.b
+                .scall(main, make, &[], Some(t), &format!("taint{g}/make"));
+            let c = self.b.var(main, &format!("tg{g}_c"));
+            self.b
+                .alloc(main, c, payload, &format!("main/taint{g}/clean"));
+            let r1 = self.b.var(main, &format!("tg{g}_r1"));
+            let r2 = self.b.var(main, &format!("tg{g}_r2"));
+            self.b
+                .scall(main, route, &[t], Some(r1), &format!("taint{g}/route_t"));
+            self.b
+                .scall(main, route, &[c], Some(r2), &format!("taint{g}/route_c"));
+            // True alarm; and a false alarm at route_c iff conflated.
+            self.b
+                .scall(main, sink, &[r1], None, &format!("taint{g}/sink_t"));
+            self.b
+                .scall(main, sink, &[r2], None, &format!("taint{g}/sink_c"));
+            // Container flow: a crate holding the tainted payload (true).
+            let k = self.b.var(main, &format!("tg{g}_k"));
+            self.b
+                .alloc(main, k, crate_cls, &format!("main/taint{g}/crate"));
+            self.b.store(main, k, cbox, t);
+            self.b
+                .scall(main, sink, &[k], None, &format!("taint{g}/sink_crate"));
+            // Sanitized flow: never reported.
+            let sb = self.b.var(main, &format!("tg{g}_sb"));
+            self.b
+                .scall(main, cleanse, &[t], Some(sb), &format!("taint{g}/cleanse"));
+            self.b
+                .scall(main, sink, &[sb], None, &format!("taint{g}/sink_clean"));
+
+            // --- escape: e is published, l stays local (unless conflated).
+            let e = self.b.var(main, &format!("tg{g}_e"));
+            let l = self.b.var(main, &format!("tg{g}_l"));
+            self.b
+                .alloc(main, e, payload, &format!("main/taint{g}/esc"));
+            self.b
+                .alloc(main, l, payload, &format!("main/taint{g}/local"));
+            let r3 = self.b.var(main, &format!("tg{g}_r3"));
+            let r4 = self.b.var(main, &format!("tg{g}_r4"));
+            self.b
+                .scall(main, route, &[e], Some(r3), &format!("taint{g}/route_e"));
+            self.b
+                .scall(main, route, &[l], Some(r4), &format!("taint{g}/route_l"));
+            self.b.sstore(main, cell, r3);
+
+            // --- nullness: hw's cell is written, hu's never is.
+            let hw = self.b.var(main, &format!("tg{g}_hw"));
+            let hu = self.b.var(main, &format!("tg{g}_hu"));
+            self.b
+                .alloc(main, hw, holder, &format!("main/taint{g}/written"));
+            self.b
+                .alloc(main, hu, holder, &format!("main/taint{g}/unwritten"));
+            self.b.store(main, hw, val, c);
+            let r5 = self.b.var(main, &format!("tg{g}_r5"));
+            self.b
+                .scall(main, route, &[hw], Some(r5), &format!("taint{g}/route_hw"));
+            let x = self.b.var(main, &format!("tg{g}_x"));
+            self.b.load(main, x, r5, val);
+            // False alarm iff conflation lets r5 also reach hu.
+            self.b
+                .vcall(main, x, "touch", &[], None, &format!("taint{g}/touch_x"));
+            let y = self.b.var(main, &format!("tg{g}_y"));
+            self.b.load(main, y, hu, val);
+            // True alarm: (hu, val) is never written.
+            self.b
+                .vcall(main, y, "touch", &[], None, &format!("taint{g}/touch_y"));
+        }
     }
 
     // ----- pool helpers -------------------------------------------------------

@@ -46,3 +46,10 @@ pub use config::WorkloadConfig;
 pub use dacapo::{dacapo_config, dacapo_suite, dacapo_workload, DACAPO_NAMES};
 pub use gen::generate;
 pub use prelude::{build_array_list, build_pair, ArrayListClasses, PairClasses};
+
+/// The `pta check` spec matching the classes injected by
+/// [`WorkloadConfig::taint_groups`]: every `TaintSrc{g}.make` is a taint
+/// source, every `TaintSan{g}.cleanse` a sanitizer, and argument 0 of
+/// every `TaintSink{g}.sink` a sink.
+pub const TAINT_SPEC: &str =
+    "source TaintSrc*.make\nsanitizer TaintSan*.cleanse\nsink TaintSink*.sink 0\n";

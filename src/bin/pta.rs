@@ -54,16 +54,39 @@
 //!     --format text|json   output format (default text)
 //!     --deny-warnings      exit non-zero on warnings, not just errors
 //!     --explain CODE       describe a diagnostic code (e.g. W003) and exit
+//! pta check FILE.jir [options]           run the client-analysis suite
+//!                                        (taint W020, escape W021,
+//!                                        nullness W022) over one analysis
+//!     --spec FILE          source/sink/sanitizer spec for the taint client
+//!                          (see DESIGN.md §12; without it taint reports
+//!                          nothing, escape and nullness still run)
+//!     --analysis NAME      points-to policy to run under (default S-2obj+H)
+//!     --format text|json   output format (default text); json emits the
+//!                          findings through the lint diagnostic renderer,
+//!                          byte-identical across back ends and threads
+//!     --client-backend B   direct | datalog | both (default both: evaluate
+//!                          the Rust fixpoints AND the Datalog client rules
+//!                          and assert they agree finding-for-finding)
+//!     --datalog            compute the points-to result on the Datalog
+//!                          back end instead of the specialized solver
+//!     --threads N          dense-solver worker count (identical findings
+//!                          for every N)
+//!     --deny-findings      exit 1 when any finding is reported
+//!     --timeout/--max-steps/--max-memory/--watermark/--degrade
+//!                          as for analyze; a partial result tags every
+//!                          report with W023 and exits 3
 //!
 //! Exit codes (all subcommands; table also in the README):
 //!   0  success — analysis ran to completion (including degraded-complete
-//!      runs under --degrade), lint found nothing to report
+//!      runs under --degrade), lint/check found nothing to report (or
+//!      check found findings without --deny-findings)
 //!   1  lint diagnostics reported (errors, or warnings under
-//!      --deny-warnings)
+//!      --deny-warnings); check spec errors (E020/E021) or findings under
+//!      --deny-findings
 //!   2  usage, I/O or parse error (bad flag, unreadable file, invalid .jir)
 //!   3  partial analysis result — a budget tripped (or SIGINT landed) and
 //!      the run stopped early with a sound under-approximation, tagged via
-//!      "termination"
+//!      "termination" (analyze) or a W023 diagnostic (check)
 //!
 //! The diagnostic code index lives in the README and in
 //! `pta_lint::code_description`.
@@ -72,12 +95,15 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use pta_clients::{context_stats, may_fail_casts, poly_virtual_calls, precision_metrics};
+use pta_clients::{
+    context_stats, may_fail_casts, poly_virtual_calls, precision_metrics, run_check, CheckSpec,
+    ClientBackend,
+};
 use pta_core::{Analysis, AnalysisSession, Backend, Budget, CancelToken, PointsToResult, Trace};
 use pta_govern::parse_byte_size;
 use pta_ir::Program;
 use pta_lang::{parse_program, print_program};
-use pta_workload::{dacapo_workload, DACAPO_NAMES};
+use pta_workload::{dacapo_config, generate, DACAPO_NAMES};
 
 /// Exit code for usage, I/O and parse errors (see the module docs).
 const EXIT_USAGE: u8 = 2;
@@ -98,9 +124,10 @@ fn main() -> ExitCode {
         Some("explain") => cmd_explain(&args[1..]),
         Some("workload") => cmd_workload(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         _ => {
             eprintln!(
-                "usage: pta <list|analyze|explain|workload|lint> ...  (see --help in the README)"
+                "usage: pta <list|analyze|explain|workload|lint|check> ...  (see --help in the README)"
             );
             ExitCode::from(EXIT_USAGE)
         }
@@ -817,9 +844,237 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     }
 }
 
+const CHECK_USAGE: &str = "usage: pta check FILE.jir [--spec FILE] [--analysis NAME] \
+[--format text|json] [--client-backend direct|datalog|both] [--datalog] [--threads N] \
+[--deny-findings] [--timeout SECS] [--max-steps N] [--max-memory BYTES] [--watermark N] \
+[--degrade]";
+
+/// `pta check`: run the taint/escape/nullness client suite over one
+/// points-to result and render the findings as W02x diagnostics. See the
+/// module docs for flags and exit codes.
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("{CHECK_USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let mut spec_path: Option<String> = None;
+    let mut analysis = Analysis::STwoObjH;
+    let mut json = false;
+    let mut client_backend = ClientBackend::CrossValidated;
+    let mut datalog = false;
+    let mut threads: usize = 1;
+    let mut deny_findings = false;
+    let mut budget = Budget::unlimited();
+    let mut degrade = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--spec" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => spec_path = Some(p.clone()),
+                    None => {
+                        eprintln!("error: --spec needs a file path");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--analysis" => {
+                i += 1;
+                match args.get(i).map(|s| s.parse::<Analysis>()) {
+                    Some(Ok(a)) => analysis = a,
+                    _ => {
+                        eprintln!("error: --analysis needs a known name (try `pta list`)");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("text") => json = false,
+                    Some("json") => json = true,
+                    _ => {
+                        eprintln!("error: --format needs `text` or `json`");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--client-backend" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("direct") => client_backend = ClientBackend::Direct,
+                    Some("datalog") => client_backend = ClientBackend::Datalog,
+                    Some("both") => client_backend = ClientBackend::CrossValidated,
+                    _ => {
+                        eprintln!("error: --client-backend needs direct, datalog or both");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => threads = n,
+                    None => {
+                        eprintln!("error: --threads needs a worker count (0 = auto)");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--timeout" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(secs) if secs > 0.0 && secs.is_finite() => {
+                        budget = budget.with_deadline(Duration::from_secs_f64(secs));
+                    }
+                    _ => {
+                        eprintln!("error: --timeout needs a positive number of seconds");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--max-steps" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => budget = budget.with_max_steps(n),
+                    _ => {
+                        eprintln!("error: --max-steps needs a positive integer");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--max-memory" => {
+                i += 1;
+                match args.get(i).map(|s| parse_byte_size(s)) {
+                    Some(Ok(bytes)) if bytes > 0 => budget = budget.with_max_memory(bytes),
+                    _ => {
+                        eprintln!("error: --max-memory needs a byte size (e.g. 64M)");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--watermark" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
+                    Some(n) if n > 0 => budget = budget.with_watermark(n),
+                    _ => {
+                        eprintln!("error: --watermark needs a positive integer");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--deny-findings" => deny_findings = true,
+            "--degrade" => degrade = true,
+            "--datalog" => datalog = true,
+            other => {
+                eprintln!("error: unknown flag {other}\n{CHECK_USAGE}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+        i += 1;
+    }
+    if degrade && datalog {
+        eprintln!(
+            "error: --degrade requires the specialized solver (drop --datalog); \
+             the Datalog back end stops with a partial result instead"
+        );
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let program = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error in {path}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let spec = match &spec_path {
+        None => CheckSpec::default(),
+        Some(sp) => {
+            let text = match std::fs::read_to_string(sp) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read spec {sp}: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            };
+            match CheckSpec::parse(&text) {
+                Ok(s) => s,
+                Err(diags) => {
+                    // Malformed spec lines are E020 diagnostics, rendered
+                    // like lint errors (exit 1, not a usage error: the file
+                    // parsed as a spec, its contents are wrong).
+                    if json {
+                        print!("{}", pta_lint::render_json(&diags));
+                    } else {
+                        print!("{}", pta_lint::render_text(&diags));
+                    }
+                    return ExitCode::from(1);
+                }
+            }
+        }
+    };
+    let spec_errors = spec.validate(&program);
+    if !spec_errors.is_empty() {
+        if json {
+            print!("{}", pta_lint::render_json(&spec_errors));
+        } else {
+            print!("{}", pta_lint::render_text(&spec_errors));
+        }
+        return ExitCode::from(1);
+    }
+
+    let governed = !budget.is_unlimited() || degrade;
+    let cancel = governed.then(CancelToken::linked_to_sigint);
+    let mut session = AnalysisSession::new(&program)
+        .policy(analysis)
+        .backend(if datalog {
+            Backend::Datalog
+        } else {
+            Backend::Dense
+        })
+        .threads(threads)
+        .budget(budget)
+        .degrade(degrade);
+    if let Some(token) = &cancel {
+        session = session.cancel(token.clone());
+    }
+    let result = session.run();
+    let report = run_check(&program, &result, &spec, client_backend);
+    let diags = report.to_diagnostics(&program);
+    if json {
+        print!("{}", pta_lint::render_json(&diags));
+    } else {
+        print!("{}", pta_lint::render_text(&diags));
+        println!(
+            "check: {analysis}: {} taint, {} escape, {} nullness finding(s){}",
+            report.taint.len(),
+            report.escape.len(),
+            report.nullness.len(),
+            if report.partial { " (partial)" } else { "" },
+        );
+    }
+    if report.partial {
+        ExitCode::from(EXIT_PARTIAL)
+    } else if deny_findings && !report.is_clean() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn cmd_workload(args: &[String]) -> ExitCode {
     let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: pta workload NAME [--scale S] [--print]; names: {DACAPO_NAMES:?}");
+        eprintln!(
+            "usage: pta workload NAME [--scale S] [--taint-groups N] [--print]; names: {DACAPO_NAMES:?}"
+        );
         return ExitCode::from(EXIT_USAGE);
     };
     if !DACAPO_NAMES.contains(&name.as_str()) {
@@ -827,6 +1082,7 @@ fn cmd_workload(args: &[String]) -> ExitCode {
         return ExitCode::from(EXIT_USAGE);
     }
     let mut scale = 1.0f64;
+    let mut taint_groups = 0usize;
     let mut print = false;
     let mut i = 1;
     while i < args.len() {
@@ -841,6 +1097,16 @@ fn cmd_workload(args: &[String]) -> ExitCode {
                     }
                 };
             }
+            "--taint-groups" => {
+                i += 1;
+                taint_groups = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("error: --taint-groups needs a count");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                };
+            }
             "--print" => print = true,
             other => {
                 eprintln!("error: unknown flag {other}");
@@ -849,7 +1115,9 @@ fn cmd_workload(args: &[String]) -> ExitCode {
         }
         i += 1;
     }
-    let program = dacapo_workload(name, scale);
+    let mut cfg = dacapo_config(name, scale);
+    cfg.taint_groups = taint_groups;
+    let program = generate(&cfg);
     if print {
         print!("{}", print_program(&program));
     } else {

@@ -215,3 +215,94 @@ fn one_obj_h_is_dominated_by_two_type_h() {
         );
     }
 }
+
+/// `pta check` on a partial (budget-exhausted) result: the report is
+/// tagged partial, the diagnostics lead with `W023`, and the CLI exits
+/// `3` — the same partial-result contract `pta analyze` honors.
+#[test]
+fn client_metrics_on_degraded_runs_are_tagged_partial() {
+    use hybrid_pta::clients::{run_check, CheckSpec, ClientBackend};
+    use hybrid_pta::core::Budget;
+    use hybrid_pta::workload::{dacapo_config, TAINT_SPEC};
+
+    let mut cfg = dacapo_config("luindex", 0.1);
+    cfg.taint_groups = 2;
+    let program = generate(&cfg);
+    let spec = CheckSpec::parse(TAINT_SPEC).unwrap();
+
+    // Starve the solve: the result is a sound prefix, not a fixpoint.
+    let starved = AnalysisSession::new(&program)
+        .policy(Analysis::STwoObjH)
+        .budget(Budget::default().with_max_steps(10))
+        .run();
+    assert!(!starved.termination().is_complete());
+    let report = run_check(&program, &starved, &spec, ClientBackend::CrossValidated);
+    assert!(report.partial, "starved result must tag the report partial");
+    let diags = report.to_diagnostics(&program);
+    assert_eq!(diags[0].code, "W023", "partial tag leads the diagnostics");
+
+    // A complete run of the same cell is not tagged.
+    let complete = AnalysisSession::new(&program)
+        .policy(Analysis::STwoObjH)
+        .run();
+    let report = run_check(&program, &complete, &spec, ClientBackend::CrossValidated);
+    assert!(!report.partial);
+    assert!(report
+        .to_diagnostics(&program)
+        .iter()
+        .all(|d| d.code != "W023"));
+}
+
+/// End-to-end exit-code contract: a budget-starved `pta check` exits `3`
+/// and still renders its (partial) findings with the `W023` tag.
+#[test]
+fn check_cli_exits_3_on_partial_results() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_pta"))
+        .args([
+            "workload",
+            "luindex",
+            "--scale",
+            "0.2",
+            "--taint-groups",
+            "1",
+            "--print",
+        ])
+        .output()
+        .expect("spawn pta workload");
+    assert!(out.status.success());
+    let path = std::env::temp_dir().join(format!("pta-check-partial-{}.jir", std::process::id()));
+    std::fs::write(&path, &out.stdout).unwrap();
+
+    let spec_path = std::env::temp_dir().join(format!("pta-check-spec-{}.txt", std::process::id()));
+    std::fs::write(&spec_path, hybrid_pta::workload::TAINT_SPEC).unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_pta"))
+        .args([
+            "check",
+            path.to_str().unwrap(),
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--max-steps",
+            "10",
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("spawn pta check");
+    assert_eq!(out.status.code(), Some(3), "partial check must exit 3");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"code\":\"W023\""), "{stdout}");
+
+    // The same cell without a budget completes and exits 0 or 1 — never 3.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_pta"))
+        .args([
+            "check",
+            path.to_str().unwrap(),
+            "--spec",
+            spec_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn pta check");
+    assert_ne!(out.status.code(), Some(3));
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&spec_path).ok();
+}
