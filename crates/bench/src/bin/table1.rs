@@ -15,6 +15,11 @@ use std::process::ExitCode;
 
 use pta_bench::{json, maybe_dump_json, render_table1, run_matrix, MatrixOptions};
 
+/// Count heap usage so every row carries `peak_rss_bytes` (see
+/// `pta_govern::memtrack`); delegates to the system allocator.
+#[global_allocator]
+static ALLOC: pta_govern::memtrack::CountingAlloc = pta_govern::memtrack::CountingAlloc;
+
 fn check(path: &str, expect_cells: Option<usize>) -> ExitCode {
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
@@ -53,6 +58,12 @@ fn check(path: &str, expect_cells: Option<usize>) -> ExitCode {
             summary.timeouts
         ));
     }
+    if summary.memory_caps > 0 {
+        notes.push(format!(
+            "{} tripped their memory budget; those rows carry partial results",
+            summary.memory_caps
+        ));
+    }
     if summary.profiled > 0 {
         notes.push(format!("{} carry profile embeds", summary.profiled));
     }
@@ -89,9 +100,9 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         eprintln!(
             "usage: table1 [--scale S] [--workloads A,B] [--analyses A,B] \
-             [--reps N] [--jobs N] [--cell-timeout SECS] [--json PATH] \
-             [--trace-dir DIR] [--profile] [--taint-groups N] \
-             | table1 --check FILE [--expect-cells N]"
+             [--reps N] [--jobs N] [--cell-timeout SECS] [--max-memory BYTES] \
+             [--json PATH] [--trace-dir DIR] [--profile] [--taint-groups N] \
+             [--share on,off] | table1 --check FILE [--expect-cells N]"
         );
         return ExitCode::FAILURE;
     }

@@ -315,6 +315,10 @@ pub struct RowsSummary {
     /// per-cell deadline even after the retry. Their metrics are the
     /// salvaged partial result, not a real measurement.
     pub timeouts: usize,
+    /// Rows tagged `"status":"memory_cap"` — cells whose solve tripped
+    /// the per-cell `--max-memory` budget (a deterministic model trip,
+    /// not host noise). Their metrics are the salvaged partial result.
+    pub memory_caps: usize,
     /// Rows carrying a `"profile"` embed (cells run with `--profile`).
     /// Profiled solves are forced sequential, so their times are not
     /// comparable to unprofiled rows.
@@ -343,6 +347,7 @@ pub fn validate_rows(doc: &Value) -> Result<RowsSummary, String> {
         return Err("no rows".to_owned());
     }
     let mut timeouts = 0;
+    let mut memory_caps = 0;
     let mut profiled = 0;
     for (i, row) in rows.iter().enumerate() {
         match row.get("schema_version").map(Value::as_number) {
@@ -363,9 +368,11 @@ pub fn validate_rows(doc: &Value) -> Result<RowsSummary, String> {
         match row.get("status").map(Value::as_str) {
             None | Some(Some("ok")) => {}
             Some(Some("timeout")) => timeouts += 1,
+            Some(Some("memory_cap")) => memory_caps += 1,
             Some(s) => {
                 return Err(format!(
-                    "row {i}: field \"status\" is malformed: {s:?} (expected \"ok\" or \"timeout\")"
+                    "row {i}: field \"status\" is malformed: {s:?} \
+                     (expected \"ok\", \"timeout\" or \"memory_cap\")"
                 ))
             }
         }
@@ -399,10 +406,25 @@ pub fn validate_rows(doc: &Value) -> Result<RowsSummary, String> {
         if let Some(clients) = row.get("clients") {
             validate_clients(clients).map_err(|e| format!("row {i}: {e}"))?;
         }
+        // Optional memory column (cells measured under the counting
+        // allocator) and sharing marker (`--share off` rows).
+        if let Some(peak) = row.get("peak_rss_bytes") {
+            if peak.as_number().is_none_or(|n| n < 0.0 || n.fract() != 0.0) {
+                return Err(format!("row {i}: field \"peak_rss_bytes\" is malformed"));
+            }
+        }
+        if let Some(ns) = row.get("no_share") {
+            if !matches!(ns, Value::Bool(true)) {
+                return Err(format!(
+                    "row {i}: field \"no_share\" is malformed (only `true` is ever emitted)"
+                ));
+            }
+        }
     }
     Ok(RowsSummary {
         cells: rows.len(),
         timeouts,
+        memory_caps,
         profiled,
     })
 }
@@ -487,6 +509,7 @@ mod tests {
             Ok(RowsSummary {
                 cells: 1,
                 timeouts: 0,
+                memory_caps: 0,
                 profiled: 0
             })
         );
@@ -535,6 +558,7 @@ mod tests {
             Ok(RowsSummary {
                 cells: 2,
                 timeouts: 1,
+                memory_caps: 0,
                 profiled: 0
             })
         );
@@ -548,6 +572,7 @@ mod tests {
             Ok(RowsSummary {
                 cells: 1,
                 timeouts: 0,
+                memory_caps: 0,
                 profiled: 0
             })
         );
@@ -571,9 +596,11 @@ mod tests {
             1,
             None,
             None,
+            None,
             &pta_obs::Trace::disabled(),
             true,
             None,
+            true,
         );
         let dump = crate::rows_to_json(&[plain, profiled]);
         assert_eq!(
@@ -581,6 +608,7 @@ mod tests {
             Ok(RowsSummary {
                 cells: 2,
                 timeouts: 0,
+                memory_caps: 0,
                 profiled: 1
             })
         );

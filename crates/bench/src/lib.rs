@@ -91,8 +91,9 @@ pub use pta_workload::dacapo_config as workload_config;
 /// see [`json::validate_rows`].
 pub const SCHEMA_VERSION: u32 = 2;
 
-/// How a matrix cell ended: completed, or timed out (even after the one
-/// retry) and the row carries the partial solve's salvaged numbers.
+/// How a matrix cell ended: completed, timed out (even after the one
+/// retry), or tripped a `--max-memory` budget; partial rows carry the
+/// salvaged solve's numbers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CellStatus {
     /// The solve reached its fixpoint; the row is a real measurement.
@@ -101,6 +102,11 @@ pub enum CellStatus {
     /// The per-cell deadline (or a shared cancellation) tripped twice;
     /// every metric in the row under-approximates the true fixpoint.
     Timeout,
+    /// The solver's memory estimate crossed the cell's `--max-memory`
+    /// budget. Deterministic (the estimate is a model, not a host
+    /// measurement), so the cell is not retried; every metric
+    /// under-approximates the true fixpoint.
+    MemoryCap,
 }
 
 impl CellStatus {
@@ -110,6 +116,7 @@ impl CellStatus {
         match self {
             CellStatus::Ok => "ok",
             CellStatus::Timeout => "timeout",
+            CellStatus::MemoryCap => "memory_cap",
         }
     }
 }
@@ -162,6 +169,17 @@ pub struct ExperimentRow {
     /// when the cell ran with taint fixtures injected (`--taint-groups`).
     /// Like `profile`, optional in the JSON row — the schema stays at v2.
     pub clients: Option<ClientMetrics>,
+    /// Peak heap bytes over the cell's solves, measured by the binary's
+    /// counting allocator (`pta_govern::memtrack`; the high-water mark is
+    /// reset at cell start). `None` — and absent from the JSON row — in
+    /// processes without the allocator installed, e.g. unit tests. With
+    /// `--jobs > 1` the counter is process-wide, so concurrent cells
+    /// inflate each other; memory experiments run `--jobs 1`.
+    pub peak_rss_bytes: Option<u64>,
+    /// `true` for cells solved with hash-consed set sharing disabled
+    /// (`--share on,off` axis). Emitted as an optional `"no_share":true`
+    /// so default rows are unchanged and the schema stays at v2.
+    pub no_share: bool,
 }
 
 impl ExperimentRow {
@@ -176,6 +194,8 @@ impl ExperimentRow {
         stats: SolverStats,
         profile: Option<pta_obs::Profile>,
         clients: Option<ClientMetrics>,
+        peak_rss_bytes: Option<u64>,
+        no_share: bool,
     ) -> Self {
         ExperimentRow {
             workload: workload.to_owned(),
@@ -197,6 +217,8 @@ impl ExperimentRow {
             stats,
             profile,
             clients,
+            peak_rss_bytes,
+            no_share,
         }
     }
 }
@@ -269,6 +291,12 @@ impl ExperimentRow {
                 c.taint_findings, c.escape_findings, c.nullness_findings
             ));
         }
+        if let Some(peak) = self.peak_rss_bytes {
+            out.push_str(&format!(",\"peak_rss_bytes\":{peak}"));
+        }
+        if self.no_share {
+            out.push_str(",\"no_share\":true");
+        }
         out.push('}');
         out
     }
@@ -305,6 +333,12 @@ pub struct MatrixOptions {
     /// Per-cell wall-clock deadline in seconds, if any. A tripped cell is
     /// retried once; a second trip yields a `"status":"timeout"` row.
     pub cell_timeout: Option<f64>,
+    /// Per-cell memory budget in bytes (`--max-memory` / `PTA_MAX_MEMORY`,
+    /// `pta_govern::parse_byte_size` syntax), enforced against the
+    /// solver's deterministic memory estimate. A tripped cell yields a
+    /// `"status":"memory_cap"` row without a retry — the estimate is a
+    /// model, so the trip reproduces exactly.
+    pub max_memory: Option<u64>,
     /// Where to dump the rows as JSON after the run, if anywhere.
     pub json_out: Option<String>,
     /// Directory receiving one Chrome trace-event JSON file per cell
@@ -322,6 +356,12 @@ pub struct MatrixOptions {
     /// measured solves) and embeds the finding counts under `"clients"`.
     /// `0` (the default) leaves workloads and JSON rows unchanged.
     pub taint_groups: usize,
+    /// Hash-consed set sharing values to run each cell at (`--share
+    /// on,off` / `PTA_SHARE`; default `[true]`). Like `threads`, each
+    /// value gets its own row; results are identical across values, only
+    /// memory (and `time_secs`) differ. `false` rows carry
+    /// `"no_share":true`.
+    pub share: Vec<bool>,
 }
 
 impl Default for MatrixOptions {
@@ -334,10 +374,12 @@ impl Default for MatrixOptions {
             repetitions: 3,
             jobs: 0,
             cell_timeout: None,
+            max_memory: None,
             json_out: None,
             trace_dir: None,
             profile: false,
             taint_groups: 0,
+            share: vec![true],
         }
     }
 }
@@ -381,6 +423,12 @@ impl MatrixOptions {
                 parse_cell_timeout(&s).unwrap_or_else(|| panic!("bad PTA_CELL_TIMEOUT: {s:?}")),
             );
         }
+        if let Ok(s) = std::env::var("PTA_MAX_MEMORY") {
+            opts.max_memory = Some(
+                pta_govern::parse_byte_size(&s)
+                    .unwrap_or_else(|e| panic!("bad PTA_MAX_MEMORY: {e}")),
+            );
+        }
         if let Ok(s) = std::env::var("PTA_JSON") {
             opts.json_out = Some(s);
         }
@@ -398,6 +446,9 @@ impl MatrixOptions {
                 "0" | "false" | "no" | "" => false,
                 _ => panic!("bad PTA_PROFILE: {s:?} (expected 1 or 0)"),
             };
+        }
+        if let Ok(s) = std::env::var("PTA_SHARE") {
+            opts.share = parse_share_list(&s).unwrap_or_else(|| panic!("bad PTA_SHARE: {s:?}"));
         }
         opts
     }
@@ -455,6 +506,13 @@ impl MatrixOptions {
                         format!("bad --cell-timeout: {v:?} (expected seconds > 0)")
                     })?);
                 }
+                "--max-memory" => {
+                    let v = value(&mut i, "--max-memory")?;
+                    self.max_memory = Some(
+                        pta_govern::parse_byte_size(&v)
+                            .map_err(|e| format!("bad --max-memory: {e}"))?,
+                    );
+                }
                 "--json" => {
                     self.json_out = Some(value(&mut i, "--json")?);
                 }
@@ -469,6 +527,11 @@ impl MatrixOptions {
                     self.taint_groups = v
                         .parse()
                         .map_err(|_| format!("bad --taint-groups: {v:?}"))?;
+                }
+                "--share" => {
+                    let v = value(&mut i, "--share")?;
+                    self.share = parse_share_list(&v)
+                        .ok_or_else(|| format!("bad --share: {v:?} (expected e.g. on,off)"))?;
                 }
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -508,6 +571,20 @@ fn parse_cell_timeout(s: &str) -> Option<f64> {
         .parse::<f64>()
         .ok()
         .filter(|v| v.is_finite() && *v > 0.0)
+}
+
+/// Parses a comma-separated sharing-axis list (`"on,off"`; `true`/`1`
+/// and `false`/`0` also accepted). An empty list is not.
+fn parse_share_list(s: &str) -> Option<Vec<bool>> {
+    let values: Option<Vec<bool>> = s
+        .split(',')
+        .map(|t| match t.trim() {
+            "on" | "true" | "1" => Some(true),
+            "off" | "false" | "0" => Some(false),
+            _ => None,
+        })
+        .collect();
+    values.filter(|v| !v.is_empty())
 }
 
 /// Parses a comma-separated worker-count list (`"1,4"`). `0` is allowed
@@ -556,10 +633,12 @@ pub fn run_cell_governed(
         threads,
         reps,
         cell_timeout,
+        None,
         cancel,
         &pta_obs::Trace::disabled(),
         false,
         None,
+        true,
     )
 }
 
@@ -572,6 +651,10 @@ pub fn run_cell_governed(
 /// nullness) runs against the final repetition's result — after the
 /// clock stops, like the precision metrics — and its finding counts land
 /// in the row's `clients` column.
+///
+/// `share` toggles hash-consed set sharing for the cell's solves
+/// (results are identical either way; `false` rows carry
+/// `"no_share":true` so the memory comparison is self-describing).
 #[allow(clippy::too_many_arguments)] // mirrors run_cell_governed + the instruments
 pub fn run_cell_observed(
     workload: &str,
@@ -580,10 +663,12 @@ pub fn run_cell_observed(
     threads: usize,
     reps: usize,
     cell_timeout: Option<f64>,
+    max_memory: Option<u64>,
     cancel: Option<&CancelToken>,
     trace: &pta_obs::Trace,
     profile: bool,
     check_spec: Option<&CheckSpec>,
+    share: bool,
 ) -> ExperimentRow {
     let solve = || {
         let start = Instant::now();
@@ -591,36 +676,54 @@ pub fn run_cell_observed(
         if let Some(secs) = cell_timeout {
             budget = budget.with_deadline(Duration::from_secs_f64(secs));
         }
+        if let Some(bytes) = max_memory {
+            budget = budget.with_max_memory(bytes);
+        }
         let mut session = AnalysisSession::new(program)
             .policy(analysis)
             .threads(threads)
             .budget(budget)
             .trace(trace.clone())
-            .profile(profile);
+            .profile(profile)
+            .share(share);
         if let Some(token) = cancel {
             session = session.cancel(token.clone());
         }
         let result = session.run();
         (start.elapsed().as_secs_f64(), result)
     };
+    pta_govern::memtrack::reset_peak();
     let mut times = Vec::with_capacity(reps.max(1));
     let mut result = None;
     let mut status = CellStatus::Ok;
     let mut retried = false;
     for _ in 0..reps.max(1) {
         let (mut secs, mut r) = solve();
-        if !r.termination().is_complete() && !retried {
+        // A memory-cap trip is deterministic (the estimate is a model,
+        // not wall-clock luck), so retrying it would only repeat the
+        // same partial solve.
+        let memory_capped =
+            |r: &pta_core::PointsToResult| r.termination() == pta_govern::Termination::MemoryCap;
+        if !r.termination().is_complete() && !memory_capped(&r) && !retried {
             retried = true;
             (secs, r) = solve();
         }
-        let timed_out = !r.termination().is_complete();
+        let tripped = !r.termination().is_complete();
+        let capped = memory_capped(&r);
         times.push(secs);
         result = Some(r);
-        if timed_out {
-            status = CellStatus::Timeout;
+        if tripped {
+            status = if capped {
+                CellStatus::MemoryCap
+            } else {
+                CellStatus::Timeout
+            };
             break;
         }
     }
+    // Read the high-water mark before the (allocation-heavy) metric
+    // computation below, so the figure covers exactly the solves.
+    let peak = pta_govern::memtrack::peak_bytes();
     times.sort_by(f64::total_cmp);
     let median = times[times.len() / 2];
     let result = result.expect("at least one repetition");
@@ -639,6 +742,8 @@ pub fn run_cell_observed(
         stats,
         row_profile,
         clients,
+        (peak > 0).then_some(peak),
+        !share,
     )
 }
 
@@ -655,6 +760,7 @@ fn run_matrix_cell(
     program: &Program,
     analysis: Analysis,
     threads: usize,
+    share: bool,
     cancel: Option<&CancelToken>,
 ) -> ExperimentRow {
     let trace = if opts.trace_dir.is_some() {
@@ -671,10 +777,12 @@ fn run_matrix_cell(
         threads,
         opts.repetitions,
         opts.cell_timeout,
+        opts.max_memory,
         cancel,
         &trace,
         opts.profile,
         check_spec.as_ref(),
+        share,
     );
     if let Some(dir) = &opts.trace_dir {
         let path = format!(
@@ -721,10 +829,18 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
     } else {
         opts.threads.clone()
     };
-    let cells: Vec<(usize, usize, usize)> = (0..opts.workloads.len())
+    let share = if opts.share.is_empty() {
+        vec![true]
+    } else {
+        opts.share.clone()
+    };
+    let cells: Vec<(usize, usize, usize, usize)> = (0..opts.workloads.len())
         .flat_map(|w| {
             let threads = &threads;
-            (0..opts.analyses.len()).flat_map(move |a| (0..threads.len()).map(move |t| (w, a, t)))
+            let share = &share;
+            (0..opts.analyses.len()).flat_map(move |a| {
+                (0..threads.len()).flat_map(move |t| (0..share.len()).map(move |s| (w, a, t, s)))
+            })
         })
         .collect();
     // One SIGINT-linked token shared by every cell: with a per-cell
@@ -745,9 +861,12 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
             eprintln!("[pta-bench] {name}: {}", ProgramStats::of(&program));
             for &analysis in &opts.analyses {
                 for &t in &threads {
-                    let row = run_matrix_cell(opts, name, &program, analysis, t, cancel.as_ref());
-                    log_cell(&row);
-                    rows.push(row);
+                    for &s in &share {
+                        let row =
+                            run_matrix_cell(opts, name, &program, analysis, t, s, cancel.as_ref());
+                        log_cell(&row);
+                        rows.push(row);
+                    }
                 }
             }
         }
@@ -770,7 +889,7 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
         for _ in 0..jobs {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(w, a, t)) = cells.get(i) else {
+                let Some(&(w, a, t, s)) = cells.get(i) else {
                     break;
                 };
                 let row = run_matrix_cell(
@@ -779,6 +898,7 @@ pub fn run_matrix(opts: &MatrixOptions) -> Vec<ExperimentRow> {
                     &programs[w],
                     opts.analyses[a],
                     threads[t],
+                    share[s],
                     cancel.as_ref(),
                 );
                 log_cell(&row);
@@ -843,10 +963,12 @@ mod tests {
             repetitions: 1,
             jobs: 1,
             cell_timeout: None,
+            max_memory: None,
             json_out: None,
             trace_dir: None,
             profile: false,
             taint_groups: 2,
+            share: vec![true],
         };
         let rows = run_matrix(&opts);
         let pure = rows[0].clients.expect("clients column populated");
@@ -891,10 +1013,12 @@ mod tests {
             repetitions: 1,
             jobs: 1,
             cell_timeout: None,
+            max_memory: None,
             json_out: None,
             trace_dir: None,
             profile: false,
             taint_groups: 0,
+            share: vec![true],
         };
         let rows = run_matrix(&opts);
         assert_eq!(rows.len(), 2);
@@ -916,10 +1040,12 @@ mod tests {
             repetitions: 1,
             jobs: 1,
             cell_timeout: None,
+            max_memory: None,
             json_out: None,
             trace_dir: None,
             profile: false,
             taint_groups: 0,
+            share: vec![true],
         };
         let sequential = run_matrix(&opts);
         opts.jobs = 4;
@@ -947,10 +1073,12 @@ mod tests {
             repetitions: 1,
             jobs: 1,
             cell_timeout: None,
+            max_memory: None,
             json_out: None,
             trace_dir: None,
             profile: false,
             taint_groups: 0,
+            share: vec![true],
         };
         let rows = run_matrix(&opts);
         assert_eq!(rows.len(), 2);
@@ -1110,9 +1238,11 @@ mod tests {
             1,
             None,
             None,
+            None,
             &pta_obs::Trace::disabled(),
             true,
             None,
+            true,
         );
         let p = row
             .profile
@@ -1139,10 +1269,12 @@ mod tests {
             repetitions: 1,
             jobs: 1,
             cell_timeout: None,
+            max_memory: None,
             json_out: None,
             trace_dir: Some(dir.to_string_lossy().into_owned()),
             profile: false,
             taint_groups: 0,
+            share: vec![true],
         };
         let rows = run_matrix(&opts);
         assert_eq!(rows.len(), 2);

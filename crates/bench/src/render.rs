@@ -105,10 +105,10 @@ pub fn render_table1(rows: &[ExperimentRow]) -> String {
                 row.time_secs,
                 if star { "*" } else { " " },
                 row.sensitive_var_points_to,
-                if row.status == CellStatus::Timeout {
-                    "  TIMEOUT (partial)"
-                } else {
-                    ""
+                match row.status {
+                    CellStatus::Ok => "",
+                    CellStatus::Timeout => "  TIMEOUT (partial)",
+                    CellStatus::MemoryCap => "  MEMORY CAP (partial)",
                 },
             );
             let is_last_present_of_group = groups.iter().any(|g| {
@@ -381,6 +381,8 @@ mod tests {
             stats: pta_core::SolverStats::default(),
             profile: None,
             clients: None,
+            peak_rss_bytes: None,
+            no_share: false,
         }
     }
 
@@ -467,6 +469,8 @@ mod edge_case_tests {
             stats: pta_core::SolverStats::default(),
             profile: None,
             clients: None,
+            peak_rss_bytes: None,
+            no_share: false,
         }
     }
 

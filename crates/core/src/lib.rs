@@ -65,6 +65,7 @@ pub mod fault;
 pub mod parallel;
 pub mod policy;
 pub mod pts;
+pub mod pts_store;
 pub mod results;
 pub mod session;
 pub mod solver;

@@ -64,6 +64,7 @@ use pta_ir::{FieldId, HeapId, Instr, InvoId, MethodId, Program, SizeHints, TypeI
 use crate::context::{Ctx, CtxId, CtxInterner, DenseMap, HCtxId, HCtxInterner, HeapCtx};
 use crate::policy::ContextPolicy;
 use crate::pts::PtsSet;
+use crate::pts_store::PtsStore;
 use crate::results::{DemotedSite, PointsToResult, SolverStats};
 use crate::solver::{
     SolverConfig, StaticIndex, DEFAULT_WATERMARK, NOT_DEMOTED, ROW_ASSIGN, ROW_LOAD_ON,
@@ -357,6 +358,11 @@ struct Shard<'a, P: ContextPolicy> {
     buf2: Vec<u32>,
     ipa_buf: Vec<u32>,
 
+    /// Shard-private intern store for the `Shared` points-to stage — no
+    /// locks, no cross-shard rendezvous; counters are merged in shard-ID
+    /// order so reported stats stay deterministic.
+    store: PtsStore,
+
     stats: SolverStats,
     steps: u64,
     /// Steps not yet published to `Gov::steps`.
@@ -416,6 +422,7 @@ impl<'a, P: ContextPolicy> Shard<'a, P> {
         let watermark = config.budget.watermark.unwrap_or(DEFAULT_WATERMARK).max(1);
         let n_methods = program.method_count();
         let ts = config.trace.scope_named(id + 1, &format!("shard-{id}"));
+        let share = config.share;
         Shard {
             id,
             n,
@@ -450,6 +457,11 @@ impl<'a, P: ContextPolicy> Shard<'a, P> {
             buf: Vec::new(),
             buf2: Vec::new(),
             ipa_buf: Vec::new(),
+            store: if share {
+                PtsStore::new()
+            } else {
+                PtsStore::disabled()
+            },
             stats: SolverStats::default(),
             steps: 0,
             unpublished_steps: 0,
@@ -715,6 +727,7 @@ impl<'a, P: ContextPolicy> Shard<'a, P> {
             + self.ctxs.mem_bytes()
             + self.hctxs.mem_bytes()
             + (self.stats.vpt_inserted + self.stats.fld_inserted) * 4
+            + self.store.heap_bytes()
     }
 
     /// Publishes every outbox into its mailbox cell; returns the number
@@ -961,8 +974,9 @@ impl<'a, P: ContextPolicy> Shard<'a, P> {
             return;
         }
         let entry = &mut self.entries[key as usize];
+        let store = &mut self.store;
         for &obj in objs {
-            if entry.set.insert(obj) {
+            if entry.set.insert_in(store, obj) {
                 entry.delta.push(obj);
                 self.stats.vpt_inserted += 1;
             } else {
@@ -1014,8 +1028,9 @@ impl<'a, P: ContextPolicy> Shard<'a, P> {
         fresh.clear();
         {
             let entry = &mut self.fentries[fe as usize];
+            let store = &mut self.store;
             for &v in vals {
-                if entry.set.insert(v) {
+                if entry.set.insert_in(store, v) {
                     fresh.push(v);
                 }
             }
@@ -1040,8 +1055,9 @@ impl<'a, P: ContextPolicy> Shard<'a, P> {
         fresh.clear();
         {
             let entry = &mut self.statics[field as usize];
+            let store = &mut self.store;
             for &v in vals {
-                if entry.set.insert(v) {
+                if entry.set.insert_in(store, v) {
                     fresh.push(v);
                 }
             }
@@ -1609,6 +1625,9 @@ fn merge_results<P: ContextPolicy>(
         s.heap_contexts = shard.hctxs.len() as u64;
         s.objects = shard.objs.len() as u64;
         s.par_rounds = rounds;
+        s.sets_interned = shard.store.sets_interned();
+        s.sets_shared = shard.store.sets_shared();
+        s.bytes_saved = shard.store.bytes_saved();
         shard_stats.push(s);
         stats.absorb(&s);
     }

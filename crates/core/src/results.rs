@@ -150,6 +150,14 @@ pub struct SolverStats {
     /// Cross-shard messages sent by the parallel solver (0 for
     /// sequential runs).
     pub par_msgs: u64,
+    /// Distinct large-set representations interned by the hash-consing
+    /// store (0 under `--no-share`).
+    pub sets_interned: u64,
+    /// Intern probes that unified with an existing representation — each
+    /// one is a set now sharing storage instead of duplicating it.
+    pub sets_shared: u64,
+    /// Bytes of duplicate set representations avoided by unification.
+    pub bytes_saved: u64,
 }
 
 impl SolverStats {
@@ -195,6 +203,9 @@ impl SolverStats {
             ("demoted_methods", self.demoted_methods),
             ("par_rounds", self.par_rounds),
             ("par_msgs", self.par_msgs),
+            ("sets_interned", self.sets_interned),
+            ("sets_shared", self.sets_shared),
+            ("bytes_saved", self.bytes_saved),
         ]
     }
 
@@ -224,6 +235,9 @@ impl SolverStats {
             (&mut self.steps, other.steps),
             (&mut self.demoted_methods, other.demoted_methods),
             (&mut self.par_msgs, other.par_msgs),
+            (&mut self.sets_interned, other.sets_interned),
+            (&mut self.sets_shared, other.sets_shared),
+            (&mut self.bytes_saved, other.bytes_saved),
         ] {
             *mine += theirs;
         }

@@ -151,6 +151,14 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
         self
     }
 
+    /// Toggles hash-consing of large points-to sets (`--no-share` passes
+    /// `false`). On by default; results are byte-identical either way.
+    #[must_use]
+    pub fn share(mut self, share: bool) -> Self {
+        self.config.share = share;
+        self
+    }
+
     /// Records one derivation per tuple for `PointsToResult::explain`
     /// (sequential dense runs only; forces one thread).
     #[must_use]

@@ -56,10 +56,11 @@ use crate::context::{CtxId, CtxInterner, DenseMap, HCtxId, HCtxInterner};
 use crate::fault::FaultPlan;
 use crate::policy::ContextPolicy;
 use crate::pts::PtsSet;
+use crate::pts_store::PtsStore;
 use crate::results::{CtxVarPointsTo, DemotedSite, Derivation, PointsToResult, SolverStats};
 
 /// Solver configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SolverConfig {
     /// Retain the full context-sensitive tuple set in the result (memory
     /// proportional to the sensitive var-points-to metric). Off by default.
@@ -90,6 +91,27 @@ pub struct SolverConfig {
     /// tuples, cumulative ns; hottest variables) into the result. Off by
     /// default; enabling it adds two clock reads per rule batch.
     pub profile: bool,
+    /// Hash-cons large points-to sets in a solver-owned
+    /// [`crate::pts_store::PtsStore`]. **On by default**; `--no-share`
+    /// turns it off for differential debugging. Results are byte-identical
+    /// either way — only memory (and the `sets_*` stats) change.
+    pub share: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            keep_tuples: false,
+            track_provenance: false,
+            budget: Budget::default(),
+            degrade: false,
+            cancel: None,
+            fault: None,
+            trace: pta_obs::Trace::default(),
+            profile: false,
+            share: true,
+        }
+    }
 }
 
 /// Stable rule order for solver profiles and per-rule trace spans: the
@@ -403,6 +425,10 @@ struct Solver<'a, P: ContextPolicy> {
     buf2: Vec<u32>,
     ipa_buf: Vec<u32>,
 
+    /// Intern store for the `Shared` points-to stage (disabled under
+    /// `--no-share`; insert paths are uniform either way).
+    store: PtsStore,
+
     stats: SolverStats,
 
     /// Per-rule profile accumulators; `None` unless profiling or tracing
@@ -442,6 +468,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         let n_methods = program.method_count();
         let prof = (config.profile || config.trace.is_enabled()).then(Box::<RuleProf>::default);
         let ts = config.trace.scope(0);
+        let share = config.share;
         Solver {
             prof,
             ts,
@@ -485,6 +512,11 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             buf: Vec::new(),
             buf2: Vec::new(),
             ipa_buf: Vec::new(),
+            store: if share {
+                PtsStore::new()
+            } else {
+                PtsStore::disabled()
+            },
             stats: SolverStats::default(),
         }
     }
@@ -769,6 +801,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             + self.ctxs.mem_bytes()
             + self.hctxs.mem_bytes()
             + (self.stats.vpt_inserted + self.stats.fld_inserted) * 4
+            + self.store.heap_bytes()
     }
 
     // ----- dense ID management ---------------------------------------------
@@ -830,10 +863,11 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         }
         let profiling = self.prof.is_some();
         let entry = &mut self.entries[key as usize];
-        let was_bitmap = profiling && entry.set.is_bitmap();
+        let store = &mut self.store;
+        let was_promoted = profiling && entry.set.is_promoted();
         let mut newly = 0u64;
         for &obj in objs {
-            if entry.set.insert(obj) {
+            if entry.set.insert_in(store, obj) {
                 entry.delta.push(obj);
                 self.stats.vpt_inserted += 1;
                 newly += 1;
@@ -845,7 +879,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             }
         }
         if profiling {
-            let promoted = !was_bitmap && entry.set.is_bitmap();
+            let promoted = !was_promoted && entry.set.is_promoted();
             let p = self.prof.as_deref_mut().expect("profiling implies prof");
             p.derived[Self::rule_of(reason)] += newly;
             p.set_promotions += u64::from(promoted);
@@ -872,8 +906,9 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         fresh.clear();
         {
             let entry = &mut self.fentries[fe as usize];
+            let store = &mut self.store;
             for &v in vals {
-                if entry.set.insert(v) {
+                if entry.set.insert_in(store, v) {
                     fresh.push(v);
                 }
             }
@@ -916,8 +951,9 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         fresh.clear();
         {
             let entry = &mut self.statics[field as usize];
+            let store = &mut self.store;
             for &v in vals {
-                if entry.set.insert(v) {
+                if entry.set.insert_in(store, v) {
                     fresh.push(v);
                 }
             }
@@ -1336,6 +1372,9 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         self.stats.objects = self.objs.len() as u64;
         self.stats.steps = self.steps;
         self.stats.demoted_methods = self.demoted_sites.len() as u64;
+        self.stats.sets_interned = self.store.sets_interned();
+        self.stats.sets_shared = self.store.sets_shared();
+        self.stats.bytes_saved = self.store.bytes_saved();
         self.demoted_sites.sort_unstable_by_key(|d| d.method);
 
         // Resolves a dense (key, object) pair to the public tuple form.

@@ -111,6 +111,46 @@ fn odd_thread_counts_match_sequential() {
     }
 }
 
+/// Hash-consed set sharing is a pure representation change: turning it
+/// off (`share(false)`, the CLI's `--no-share`) must not move a single
+/// fact, for any policy, sequential or sharded. The workload scale is
+/// chosen so points-to sets actually cross the promotion threshold — the
+/// final assertion rejects a vacuous pass where the Shared stage never
+/// ran at all.
+#[test]
+fn sharing_toggle_never_changes_results() {
+    let program = dacapo_workload("luindex", 16.0);
+    let mut exercised = false;
+    for analysis in Analysis::ALL {
+        for threads in [1, 4] {
+            let shared = AnalysisSession::new(&program)
+                .policy(analysis)
+                .threads(threads)
+                .run();
+            let unshared = AnalysisSession::new(&program)
+                .policy(analysis)
+                .threads(threads)
+                .share(false)
+                .run();
+            assert_eq!(
+                fingerprint(&program, &shared),
+                fingerprint(&program, &unshared),
+                "{analysis}/threads={threads}: disabling sharing changed the result"
+            );
+            assert_eq!(
+                unshared.solver_stats().sets_shared,
+                0,
+                "{analysis}/threads={threads}: a disabled store must never intern"
+            );
+            exercised |= shared.solver_stats().sets_shared > 0;
+        }
+    }
+    assert!(
+        exercised,
+        "no policy promoted any set to the Shared stage; the guard is vacuous"
+    );
+}
+
 /// `threads(0)` resolves to the machine's available parallelism and still
 /// matches sequential.
 #[test]

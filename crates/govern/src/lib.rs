@@ -25,6 +25,8 @@
 //! keeping the status space at exactly four variants keeps every
 //! downstream `match` total.
 
+pub mod memtrack;
+
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

@@ -1,0 +1,102 @@
+//! Process-wide allocation accounting for peak-memory reporting.
+//!
+//! The bench harness and the CLI report a `peak_rss_bytes` figure per
+//! run. `/proc` polling is racy (a sampler thread misses short spikes)
+//! and `getrusage` RSS is distorted by allocator caching and page
+//! reuse, so instead the binaries install [`CountingAlloc`] — a thin
+//! wrapper over the system allocator that maintains two process-wide
+//! atomics: the bytes currently live and the high-water mark. The
+//! counters cost two relaxed atomic ops per allocation and are exact
+//! for heap usage (stacks and code pages are excluded, which is what a
+//! set-representation experiment wants anyway).
+//!
+//! The driver calls [`reset_peak`] before a cell and [`peak_bytes`]
+//! after it, so per-cell peaks are not inflated by earlier cells'
+//! high-water marks (live carry-over such as the interned program stays
+//! counted, as it should be).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bytes currently allocated through [`CountingAlloc`].
+static CURRENT: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`CURRENT`] since process start / last reset.
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn grow(bytes: u64) {
+    let now = CURRENT.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+}
+
+#[inline]
+fn shrink(bytes: u64) {
+    CURRENT.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+/// A `#[global_allocator]` wrapper over [`System`] that tracks live and
+/// peak heap bytes. Install it in a binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: pta_govern::memtrack::CountingAlloc = CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// updates are lock-free atomics and never allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            grow(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            grow(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        shrink(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            // Model as shrink-then-grow so PEAK sees the larger of the
+            // two sizes, matching what the heap actually held.
+            if new_size >= layout.size() {
+                grow((new_size - layout.size()) as u64);
+            } else {
+                shrink((layout.size() - new_size) as u64);
+            }
+        }
+        p
+    }
+}
+
+/// Bytes currently live. Zero when no [`CountingAlloc`] is installed.
+#[must_use]
+pub fn current_bytes() -> u64 {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// Peak live bytes since process start or the last [`reset_peak`].
+/// Zero when no [`CountingAlloc`] is installed.
+#[must_use]
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Restarts the high-water mark at the current live figure (call
+/// between bench cells so each reports its own peak).
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}

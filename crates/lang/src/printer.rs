@@ -10,12 +10,26 @@
 
 use std::fmt::Write as _;
 
-use pta_ir::hash::FxHashMap;
+use pta_ir::hash::{FxHashMap, FxHashSet};
 use pta_ir::{Instr, MethodId, Program, VarId};
 
 /// Renders `program` as parseable `.jir` source.
+///
+/// Runs in time linear in the program: members are grouped by declaring
+/// class in one pass up front instead of rescanning every field and method
+/// per class (which made printing quadratic and unusable at large workload
+/// scales).
 pub fn print_program(program: &Program) -> String {
     let names = Names::build(program);
+    let mut fields_by_type: Vec<Vec<pta_ir::FieldId>> = vec![Vec::new(); program.type_count()];
+    for fi in 0..program.field_count() {
+        let f = pta_ir::FieldId::from_index(fi);
+        fields_by_type[program.field_owner(f).index()].push(f);
+    }
+    let mut methods_by_type: Vec<Vec<MethodId>> = vec![Vec::new(); program.type_count()];
+    for m in program.methods() {
+        methods_by_type[program.method_declaring(m).index()].push(m);
+    }
     let mut out = String::new();
 
     for ty in program.types() {
@@ -29,21 +43,16 @@ pub fn print_program(program: &Program) -> String {
             }
         }
         // Fields declared by this class.
-        for (fi, fname) in names.fields.iter().enumerate() {
-            let f = pta_ir::FieldId::from_index(fi);
-            if program.field_owner(f) == ty {
-                if program.field_is_static(f) {
-                    let _ = writeln!(out, "    static field {fname};");
-                } else {
-                    let _ = writeln!(out, "    field {fname};");
-                }
+        for &f in &fields_by_type[ty.index()] {
+            let fname = &names.fields[f.index()];
+            if program.field_is_static(f) {
+                let _ = writeln!(out, "    static field {fname};");
+            } else {
+                let _ = writeln!(out, "    field {fname};");
             }
         }
         // Methods declared by this class.
-        for m in program.methods() {
-            if program.method_declaring(m) != ty {
-                continue;
-            }
+        for &m in &methods_by_type[ty.index()] {
             let kw = if program.method_is_static(m) {
                 "static"
             } else {
@@ -226,22 +235,26 @@ impl Names {
         // Variables: per-method unique names; `this` stays `this`. Class
         // names are reserved so a printed local never shadows a class
         // (which would flip static accesses to instance accesses on
-        // re-parse).
+        // re-parse). Vars are grouped by owning method in one pass and the
+        // reserved names live in a single shared set, so naming is
+        // O(vars) instead of O(methods × (vars + types)).
+        let mut reserved: FxHashSet<String> = types.iter().cloned().collect();
+        reserved.insert("this".to_owned());
+        let mut vars_by_method: Vec<Vec<VarId>> = vec![Vec::new(); program.method_count()];
+        for v in program.vars() {
+            vars_by_method[program.var_method(v).index()].push(v);
+        }
         let mut vars = FxHashMap::default();
         for m in program.methods() {
             let mut used: FxHashMap<String, usize> = FxHashMap::default();
-            used.insert("this".to_owned(), 1);
-            for t in &types {
-                used.insert(t.clone(), 1);
-            }
             if let Some(t) = program.this_var(m) {
                 vars.insert((m, t), "this".to_owned());
             }
-            for v in program.vars() {
-                if program.var_method(v) != m || Some(v) == program.this_var(m) {
+            for &v in &vars_by_method[m.index()] {
+                if Some(v) == program.this_var(m) {
                     continue;
                 }
-                let name = unique(&mut used, &sanitize(program.var_name(v)));
+                let name = unique_outside(&reserved, &mut used, &sanitize(program.var_name(v)));
                 vars.insert((m, v), name);
             }
         }
@@ -284,6 +297,31 @@ fn sanitize(name: &str) -> String {
         _ => {}
     }
     out
+}
+
+/// Deduplicates `base` against previously issued names while avoiding the
+/// shared `reserved` set (class names and `this`). Candidates keep bumping
+/// the counter until one is free of both, so a local can never collide with
+/// a class name — not even via a `_N` suffix.
+fn unique_outside(
+    reserved: &FxHashSet<String>,
+    used: &mut FxHashMap<String, usize>,
+    base: &str,
+) -> String {
+    if !reserved.contains(base) && !used.contains_key(base) {
+        used.insert(base.to_owned(), 1);
+        return base.to_owned();
+    }
+    let mut n = used.get(base).copied().unwrap_or(1);
+    loop {
+        n += 1;
+        let candidate = format!("{base}_{n}");
+        if !reserved.contains(&candidate) && !used.contains_key(&candidate) {
+            used.insert(base.to_owned(), n);
+            used.insert(candidate.clone(), 1);
+            return candidate;
+        }
+    }
 }
 
 /// Deduplicates `base` against previously issued names.

@@ -41,6 +41,9 @@
 //!                          profile (fires, derived tuples, cumulative ms)
 //!                          and the hottest variables by set size; rides
 //!                          under "profile" with --format json
+//!     --no-share           disable hash-consing of large points-to sets
+//!                          (differential debugging; results are identical,
+//!                          only memory and the sets_* counters change)
 //! pta explain FILE.jir VAR OBJ [--analysis NAME]
 //!                                        run one analysis with provenance
 //!                                        tracking and print the derivation
@@ -105,6 +108,11 @@ use pta_ir::Program;
 use pta_lang::{parse_program, print_program};
 use pta_workload::{dacapo_config, generate, DACAPO_NAMES};
 
+/// Count heap usage so `--stats` can report `peak_rss_bytes` exactly
+/// (see `pta_govern::memtrack`); delegates to the system allocator.
+#[global_allocator]
+static ALLOC: pta_govern::memtrack::CountingAlloc = pta_govern::memtrack::CountingAlloc;
+
 /// Exit code for usage, I/O and parse errors (see the module docs).
 const EXIT_USAGE: u8 = 2;
 /// Exit code for a budget-tripped (or cancelled) partial result.
@@ -159,7 +167,7 @@ fn describe(a: Analysis) -> &'static str {
 
 fn cmd_analyze(args: &[String]) -> ExitCode {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: pta analyze FILE.jir [--analysis NAME] [--metrics] [--points-to VAR] [--casts] [--devirt] [--datalog] [--timeout SECS] [--max-steps N] [--max-memory BYTES] [--degrade] [--trace FILE] [--profile]");
+        eprintln!("usage: pta analyze FILE.jir [--analysis NAME] [--metrics] [--points-to VAR] [--casts] [--devirt] [--datalog] [--timeout SECS] [--max-steps N] [--max-memory BYTES] [--degrade] [--trace FILE] [--profile] [--no-share]");
         return ExitCode::from(EXIT_USAGE);
     };
 
@@ -179,6 +187,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let mut threads: usize = 1;
     let mut trace_path: Option<String> = None;
     let mut profile = false;
+    let mut share = true;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -290,6 +299,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 }
             }
             "--profile" => profile = true,
+            "--no-share" => share = false,
             "--degrade" => degrade = true,
             "--metrics" => metrics = true,
             "--stats" => stats = true,
@@ -396,7 +406,8 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             .keep_tuples(hot)
             .track_provenance(!explain.is_empty())
             .trace(trace.clone())
-            .profile(profile);
+            .profile(profile)
+            .share(share);
         if let Some(token) = &cancel {
             session = session.cancel(token.clone());
         }
@@ -475,6 +486,11 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         if stats {
             println!("   solver counters:");
             println!("{}", result.solver_stats());
+            println!(
+                "  {:<20} {}",
+                "peak_rss_bytes",
+                pta_govern::memtrack::peak_bytes()
+            );
         }
         if profile {
             match result.profile() {
@@ -574,6 +590,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                     include_stats: stats,
                     include_profile: profile,
                     demoted,
+                    peak_rss_bytes: stats.then(pta_govern::memtrack::peak_bytes),
                 }
             })
             .collect();

@@ -66,6 +66,10 @@ pub struct AnalysisReport<'a> {
     /// degradation, as `(qualified name, context fan-out at demotion)`.
     /// Empty for runs that never degraded.
     pub demoted: &'a [(String, u32)],
+    /// Peak heap bytes measured by the binary's counting allocator
+    /// ([`pta_govern::memtrack`]); `None` outside `--stats` runs so the
+    /// default report stays byte-reproducible across machines.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 impl AnalysisReport<'_> {
@@ -141,6 +145,11 @@ impl AnalysisReport<'_> {
                 self.result.solver_stats().steps,
                 self.result.solver_stats().demoted_methods,
             ));
+            // Host-measured, so confined to --stats runs (still schema
+            // v2: unknown keys are optional for consumers).
+            if let Some(peak) = self.peak_rss_bytes {
+                out.push_str(&format!(",\"peak_rss_bytes\":{peak}"));
+            }
         }
         if self.include_profile {
             if let Some(p) = self.result.profile() {

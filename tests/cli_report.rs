@@ -26,6 +26,7 @@ fn minimal_report_golden() {
         include_stats: false,
         include_profile: false,
         demoted: &[],
+        peak_rss_bytes: None,
     };
     assert_eq!(
         report.to_json(),
@@ -52,6 +53,7 @@ fn demoted_sites_golden() {
         include_stats: false,
         include_profile: false,
         demoted: &demoted,
+        peak_rss_bytes: None,
     };
     assert_eq!(
         report.to_json(),
@@ -79,6 +81,7 @@ fn stats_ride_under_the_stats_key() {
         include_stats: true,
         include_profile: false,
         demoted: &[],
+        peak_rss_bytes: None,
     };
     let json = report.to_json();
     // The counters appear as a nested object under "stats", mirroring the
@@ -110,6 +113,7 @@ fn stats_ride_under_the_stats_key() {
         include_stats: false,
         include_profile: false,
         demoted: &[],
+        peak_rss_bytes: None,
     };
     assert!(!lean.to_json().contains("\"governance\""));
 }
@@ -131,6 +135,7 @@ fn profile_rides_under_the_profile_key() {
         include_stats: false,
         include_profile: true,
         demoted: &[],
+        peak_rss_bytes: None,
     };
     let json = report.to_json();
     assert!(
@@ -153,6 +158,7 @@ fn profile_rides_under_the_profile_key() {
         include_stats: false,
         include_profile: true,
         demoted: &[],
+        peak_rss_bytes: None,
     };
     assert!(!lean.to_json().contains("\"profile\""));
 }
@@ -174,6 +180,7 @@ fn parallel_runs_expose_shard_stats() {
         include_stats: true,
         include_profile: false,
         demoted: &[],
+        peak_rss_bytes: None,
     };
     let json = report.to_json();
     assert!(json.contains("\"threads\":2,"));
@@ -197,6 +204,7 @@ fn parallel_runs_expose_shard_stats() {
         include_stats: false,
         include_profile: false,
         demoted: &[],
+        peak_rss_bytes: None,
     };
     assert!(!lean.to_json().contains("\"shard_stats\""));
 }
@@ -218,6 +226,7 @@ fn metrics_and_array_shape_golden() {
         include_stats: false,
         include_profile: false,
         demoted: &[],
+        peak_rss_bytes: None,
     }];
     let json = reports_to_json(&reports);
     assert_eq!(
@@ -261,6 +270,7 @@ fn json_string_escaping() {
         include_stats: false,
         include_profile: false,
         demoted: &[],
+        peak_rss_bytes: None,
     };
     let json = report.to_json();
     assert!(json
