@@ -677,15 +677,12 @@ impl<'a, P: ContextPolicy> Shard<'a, P> {
             if !governed {
                 continue;
             }
-            self.unpublished_steps += 1;
-            self.until_check -= 1;
-            if self.until_check != 0 {
-                continue;
-            }
-            self.until_check = GOV_STRIDE;
-            if gov.stop.load(Ordering::SeqCst) != TRIP_NONE {
-                return;
-            }
+            // Cancellation is latency-sensitive (a serve request deadline
+            // or ctrl-c wants the worker back *now*), so the token is
+            // consulted on every pop — one `Option` test plus a relaxed
+            // atomic load — rather than on the heavier GOV_STRIDE cadence
+            // of the clock/step/memory checks below. This bounds observed
+            // cancellation latency to a single worklist step per shard.
             if self
                 .config
                 .cancel
@@ -693,6 +690,15 @@ impl<'a, P: ContextPolicy> Shard<'a, P> {
                 .is_some_and(CancelToken::is_cancelled)
             {
                 gov.trip(TRIP_CANCEL);
+                return;
+            }
+            self.unpublished_steps += 1;
+            self.until_check -= 1;
+            if self.until_check != 0 {
+                continue;
+            }
+            self.until_check = GOV_STRIDE;
+            if gov.stop.load(Ordering::SeqCst) != TRIP_NONE {
                 return;
             }
             let total_steps = gov

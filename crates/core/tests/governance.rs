@@ -351,6 +351,41 @@ fn governed_runs_are_bit_identical_across_repeats_and_threads() {
 }
 
 #[test]
+fn parallel_cancellation_latency_is_bounded_per_shard() {
+    // The serve daemon hands each worker a per-request CancelToken and
+    // needs the worker back promptly when a deadline fires. The parallel
+    // drain loop therefore consults the token on *every* worklist pop,
+    // not on the GOV_STRIDE cadence of the clock/step/memory checks: a
+    // shard may complete at most one step after cancellation before it
+    // stops, so a 4-shard solve observes a pre-set token within 4 steps
+    // total — no matter how large the workload is.
+    let p = dacapo_workload("luindex", 0.4);
+    let threads = 4usize;
+    let full = AnalysisSession::new(&p)
+        .policy(Analysis::TwoObjH)
+        .threads(threads)
+        .run();
+    assert!(
+        full.solver_stats().steps > 1_000,
+        "workload too small for the bound to mean anything: {} steps",
+        full.solver_stats().steps
+    );
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let r = AnalysisSession::new(&p)
+        .policy(Analysis::TwoObjH)
+        .threads(threads)
+        .cancel(cancel)
+        .run();
+    assert_eq!(r.termination(), Termination::DeadlineExceeded);
+    assert!(
+        r.solver_stats().steps <= threads as u64,
+        "cancellation latency exceeded one step per shard: {} steps",
+        r.solver_stats().steps
+    );
+}
+
+#[test]
 fn untripped_budgets_do_not_change_results() {
     // Governance with roomy limits (and no --degrade: under --degrade the
     // watermark demotes high-fan-out methods proactively, budget or not)

@@ -139,27 +139,51 @@ impl Budget {
 
 /// Process-wide SIGINT latch; see [`CancelToken::linked_to_sigint`].
 static SIGINT_HIT: AtomicBool = AtomicBool::new(false);
+/// Process-wide SIGTERM latch; see [`CancelToken::linked_to_sigterm`].
+static SIGTERM_HIT: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
-fn install_sigint_handler() {
-    extern "C" fn on_sigint(_signum: i32) {
-        // Only async-signal-safe work here: a single atomic store.
-        SIGINT_HIT.store(true, Ordering::SeqCst);
+fn install_signal_handler(signum: i32, latch: &'static AtomicBool) {
+    // One handler per latch; the latch is selected by signal number so
+    // the handler body stays a single async-signal-safe atomic store.
+    extern "C" fn on_signal(signum: i32) {
+        let latch = if signum == SIGTERM {
+            &SIGTERM_HIT
+        } else {
+            &SIGINT_HIT
+        };
+        latch.store(true, Ordering::SeqCst);
     }
+    let _ = latch;
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
-    const SIGINT: i32 = 2;
     // SAFETY: `signal` is the C standard library's handler installer
     // (std already links libc on unix); the handler performs only an
     // atomic store, which is async-signal-safe.
     unsafe {
-        signal(SIGINT, on_sigint as *const () as usize);
+        signal(signum, on_signal as *const () as usize);
     }
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+#[cfg(unix)]
+fn install_sigint_handler() {
+    install_signal_handler(SIGINT, &SIGINT_HIT);
+}
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    install_signal_handler(SIGTERM, &SIGTERM_HIT);
 }
 
 #[cfg(not(unix))]
 fn install_sigint_handler() {}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
 
 /// Cooperative cancellation flag shared between a driver and the solve
 /// it started. Cloning yields a handle to the *same* flag.
@@ -167,6 +191,7 @@ fn install_sigint_handler() {}
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
     follow_sigint: bool,
+    follow_sigterm: bool,
 }
 
 impl CancelToken {
@@ -186,6 +211,24 @@ impl CancelToken {
         CancelToken {
             flag: Arc::new(AtomicBool::new(false)),
             follow_sigint: true,
+            follow_sigterm: false,
+        }
+    }
+
+    /// A fresh token that also trips when the process receives SIGTERM —
+    /// the shutdown signal a service manager sends a resident daemon.
+    ///
+    /// Installs the (idempotent) SIGTERM handler on unix; elsewhere the
+    /// token behaves exactly like [`CancelToken::new`]. The latch is
+    /// process-wide: every linked token trips together, which is the
+    /// desired semantics for "stop the daemon".
+    #[must_use]
+    pub fn linked_to_sigterm() -> Self {
+        install_sigterm_handler();
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            follow_sigint: false,
+            follow_sigterm: true,
         }
     }
 
@@ -200,6 +243,7 @@ impl CancelToken {
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Relaxed)
             || (self.follow_sigint && SIGINT_HIT.load(Ordering::Relaxed))
+            || (self.follow_sigterm && SIGTERM_HIT.load(Ordering::Relaxed))
     }
 }
 
@@ -403,6 +447,27 @@ mod tests {
         assert_eq!(Termination::MemoryCap.as_str(), "memory_cap");
         assert!(Termination::Complete.is_complete());
         assert!(!Termination::StepLimit.is_complete());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn sigterm_linked_token_trips_on_the_signal() {
+        // Install the handler first, then raise SIGTERM at ourselves;
+        // the handler only latches an atomic, so the test binary
+        // survives and every linked token observes the cancellation.
+        let token = CancelToken::linked_to_sigterm();
+        let unlinked = CancelToken::new();
+        assert!(!token.is_cancelled());
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        // SAFETY: the handler installed by `linked_to_sigterm` replaces
+        // the default terminate disposition with an atomic store.
+        unsafe {
+            raise(SIGTERM);
+        }
+        assert!(token.is_cancelled());
+        assert!(!unlinked.is_cancelled());
     }
 
     #[test]

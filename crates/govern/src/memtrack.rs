@@ -14,8 +14,25 @@
 //! after it, so per-cell peaks are not inflated by earlier cells'
 //! high-water marks (live carry-over such as the interned program stays
 //! counted, as it should be).
+//!
+//! # Per-thread scoped peaks
+//!
+//! The process-wide high-water mark is the right figure for a batch run
+//! but meaningless for one request inside a resident daemon: every
+//! request would report the daemon's lifetime peak. [`ScopedPeak`]
+//! tracks a *thread-local* allocation high-water mark instead — each
+//! thread carries its own live-delta and peak counters (updated with two
+//! `Cell` operations per allocation, no atomics), and a scope measures
+//! the peak growth attributable to the allocations **this thread**
+//! performed while the scope was live. Scopes on different threads never
+//! interfere, which is exactly the attribution a per-request worker
+//! wants. Frees of memory allocated on another thread are accounted to
+//! the freeing thread (the live-delta is signed), which only ever
+//! *lowers* a scope's figure — the reported peak is the high-water mark
+//! of the thread's own net allocation curve.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bytes currently allocated through [`CountingAlloc`].
@@ -23,15 +40,39 @@ static CURRENT: AtomicU64 = AtomicU64::new(0);
 /// High-water mark of [`CURRENT`] since process start / last reset.
 static PEAK: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Net bytes this thread has allocated minus bytes it has freed.
+    /// Signed: a thread that frees buffers allocated elsewhere goes
+    /// negative. `const`-initialized so the allocator never recurses
+    /// through lazy TLS setup.
+    static T_CURRENT: Cell<i64> = const { Cell::new(0) };
+    /// High-water mark of [`T_CURRENT`] since thread start or the last
+    /// [`ScopedPeak::begin`] / [`reset_thread_peak`] on this thread.
+    static T_PEAK: Cell<i64> = const { Cell::new(i64::MIN) };
+}
+
 #[inline]
 fn grow(bytes: u64) {
     let now = CURRENT.fetch_add(bytes, Ordering::Relaxed) + bytes;
     PEAK.fetch_max(now, Ordering::Relaxed);
+    // `try_with`: TLS may already be torn down during thread exit; the
+    // allocator must keep working, so those late allocations simply go
+    // untracked per-thread.
+    let _ = T_CURRENT.try_with(|c| {
+        let now = c.get() + bytes as i64;
+        c.set(now);
+        let _ = T_PEAK.try_with(|p| {
+            if now > p.get() {
+                p.set(now);
+            }
+        });
+    });
 }
 
 #[inline]
 fn shrink(bytes: u64) {
     CURRENT.fetch_sub(bytes, Ordering::Relaxed);
+    let _ = T_CURRENT.try_with(|c| c.set(c.get() - bytes as i64));
 }
 
 /// A `#[global_allocator]` wrapper over [`System`] that tracks live and
@@ -99,4 +140,122 @@ pub fn peak_bytes() -> u64 {
 /// between bench cells so each reports its own peak).
 pub fn reset_peak() {
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Restarts *this thread's* high-water mark at its current net
+/// allocation figure. Prefer [`ScopedPeak`], which pairs the reset with
+/// the measurement.
+pub fn reset_thread_peak() {
+    let _ = T_CURRENT.try_with(|c| {
+        let now = c.get();
+        let _ = T_PEAK.try_with(|p| p.set(now));
+    });
+}
+
+/// This thread's net allocated bytes (allocations minus frees performed
+/// by this thread; negative when it mostly frees other threads' memory).
+/// Zero when no [`CountingAlloc`] is installed.
+#[must_use]
+pub fn thread_current_bytes() -> i64 {
+    T_CURRENT.try_with(Cell::get).unwrap_or(0)
+}
+
+/// A scoped, resettable high-water mark over **this thread's** net
+/// allocations: [`ScopedPeak::begin`] resets the thread-local peak to
+/// the current figure, [`ScopedPeak::peak_bytes`] reports how far above
+/// that baseline the thread's net allocation curve climbed while the
+/// scope was live.
+///
+/// Scopes are per-thread and must not be nested on one thread (`begin`
+/// resets the shared thread-local mark, so an outer scope would lose
+/// sight of a peak that occurred inside an inner one). One scope per
+/// worker-thread request — the `pta serve` usage — is the intended
+/// shape. Concurrent scopes on *different* threads are fully
+/// independent.
+#[derive(Debug)]
+pub struct ScopedPeak {
+    baseline: i64,
+}
+
+impl ScopedPeak {
+    /// Starts a scope: resets this thread's peak to its current net
+    /// allocation figure and remembers it as the baseline.
+    #[must_use]
+    pub fn begin() -> ScopedPeak {
+        reset_thread_peak();
+        ScopedPeak {
+            baseline: thread_current_bytes(),
+        }
+    }
+
+    /// Peak net bytes this thread allocated above the scope baseline so
+    /// far. Monotone while the scope is live; zero when nothing was
+    /// allocated (or no [`CountingAlloc`] is installed).
+    #[must_use]
+    pub fn peak_bytes(&self) -> u64 {
+        let peak = T_PEAK.try_with(Cell::get).unwrap_or(i64::MIN);
+        if peak == i64::MIN {
+            return 0;
+        }
+        (peak - self.baseline).max(0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests exercise the thread-local bookkeeping only; without a
+    // `#[global_allocator] CountingAlloc` in the test binary the numbers
+    // would all be zero, so drive `grow`/`shrink` directly.
+
+    #[test]
+    fn scoped_peak_tracks_growth_and_resets() {
+        let scope = ScopedPeak::begin();
+        assert_eq!(scope.peak_bytes(), 0);
+        grow(1000);
+        grow(500);
+        shrink(1500);
+        assert_eq!(scope.peak_bytes(), 1500);
+        // A later scope starts fresh: the old peak is not carried over.
+        let scope2 = ScopedPeak::begin();
+        assert_eq!(scope2.peak_bytes(), 0);
+        grow(10);
+        shrink(10);
+        assert_eq!(scope2.peak_bytes(), 10);
+    }
+
+    #[test]
+    fn scoped_peak_clamps_net_frees_to_zero() {
+        // Freeing memory allocated elsewhere drives the thread negative;
+        // the scope reports zero, not a wrapped huge number. Pre-grow so
+        // the process-wide counter never underflows its u64.
+        grow(4096);
+        let scope = ScopedPeak::begin();
+        shrink(4096);
+        assert_eq!(scope.peak_bytes(), 0);
+        grow(100);
+        // Still net-negative relative to baseline: peak stays clamped.
+        assert_eq!(scope.peak_bytes(), 0);
+        grow(5000);
+        assert_eq!(scope.peak_bytes(), 5000 + 100 - 4096);
+    }
+
+    #[test]
+    fn scopes_on_different_threads_are_independent() {
+        let scope = ScopedPeak::begin();
+        grow(64);
+        let other = std::thread::spawn(|| {
+            let inner = ScopedPeak::begin();
+            grow(1 << 20);
+            shrink(1 << 20);
+            inner.peak_bytes()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 1 << 20);
+        // The other thread's megabyte spike is invisible here.
+        assert_eq!(scope.peak_bytes(), 64);
+        shrink(64);
+    }
 }

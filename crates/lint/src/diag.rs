@@ -24,6 +24,8 @@
 //! | E012 | error | Datalog rule: ill-formed functor binding |
 //! | E020 | error | malformed line in a `pta check` source/sink spec |
 //! | E021 | error | check spec names a method the program does not define |
+//! | E030 | error | CLI usage error (unknown flag, bad value, bad combination) |
+//! | E031 | error | CLI I/O error (missing or unreadable input file) |
 //! | W001 | warning | method unreachable from the entry points (CHA) |
 //! | W002 | warning | local variable used before its first assignment |
 //! | W003 | warning | cast can never succeed (no allocation of the type) |
@@ -44,6 +46,9 @@
 //! lint-clean. The `W02x`/`E02x` block belongs to the `pta check` client
 //! suite (`pta_clients::check`): findings are computed from a points-to
 //! result, so — like `W007` — they never appear in `pta lint` output.
+//! `E030`/`E031` are *driver* diagnostics: the `pta` binary reports flag
+//! and input-file problems through them (always exit code 2), so even
+//! usage errors are machine-readable.
 
 use std::fmt;
 
@@ -152,6 +157,8 @@ pub fn code_description(code: &str) -> Option<&'static str> {
         "E012" => "Datalog rule: functor binding is ill-formed",
         "E020" => "malformed line in a pta check source/sink specification",
         "E021" => "check specification names a method the program does not define",
+        "E030" => "CLI usage error: unknown flag, bad flag value, or invalid combination",
+        "E031" => "CLI I/O error: an input file is missing or unreadable",
         "W001" => "method is unreachable from the entry points (CHA call graph)",
         "W002" => "local variable is used before its first assignment",
         "W003" => "cast can never succeed: no allocation in the program has the target type",
@@ -184,8 +191,8 @@ pub fn code_description(code: &str) -> Option<&'static str> {
 /// All diagnostic codes, in index order (for documentation generators).
 pub const ALL_CODES: &[&str] = &[
     "E001", "E002", "E003", "E004", "E005", "E006", "E007", "E008", "E010", "E011", "E012", "E020",
-    "E021", "W001", "W002", "W003", "W004", "W005", "W006", "W007", "W010", "W011", "W020", "W021",
-    "W022", "W023",
+    "E021", "E030", "E031", "W001", "W002", "W003", "W004", "W005", "W006", "W007", "W010", "W011",
+    "W020", "W021", "W022", "W023",
 ];
 
 /// Renders diagnostics as human-readable text, one per line, followed by a

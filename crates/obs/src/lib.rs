@@ -154,6 +154,23 @@ impl Trace {
         all
     }
 
+    /// Removes and returns all flushed events, sorted like
+    /// [`Trace::events`]. A resident daemon uses this to bound the
+    /// trace's memory: buffers are periodically drained into the
+    /// daemon's own (capped) aggregate instead of growing inside the
+    /// trace for the life of the process. Scopes still open keep their
+    /// local buffers and are unaffected.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Event> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut bufs = inner.bufs.lock().unwrap();
+        let mut all: Vec<Event> = bufs.drain(..).flatten().collect();
+        all.sort_by_key(|a| (a.ts_ns, a.tid));
+        all
+    }
+
     /// Event counts keyed by `(category, name)`, sorted — timestamps and
     /// durations excluded. Two runs of a deterministic workload must
     /// produce identical count vectors; the determinism tests rely on
@@ -533,6 +550,31 @@ mod tests {
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("\"ph\":\"i\""));
         assert!(json.contains(",\"s\":\"t\","));
+    }
+
+    #[test]
+    fn drain_moves_events_out_and_resets_the_buffers() {
+        let t = Trace::enabled();
+        {
+            let mut s = t.scope(1);
+            s.complete("x", "c", 20, 1, &[]);
+            s.complete("y", "c", 10, 1, &[]);
+        }
+        let drained = t.drain();
+        // Sorted by timestamp, like events().
+        assert_eq!(drained.len(), 2);
+        assert!(drained[0].ts_ns <= drained[1].ts_ns);
+        // Drained means gone: the trace starts empty again (this is what
+        // bounds the daemon's trace memory over an unbounded lifetime).
+        assert!(t.drain().is_empty());
+        assert!(t.events().is_empty());
+        {
+            let mut s = t.scope(2);
+            s.complete("z", "c", 5, 1, &[]);
+        }
+        assert_eq!(t.drain().len(), 1);
+        // And a disabled trace drains nothing.
+        assert!(Trace::disabled().drain().is_empty());
     }
 
     #[test]

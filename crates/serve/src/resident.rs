@@ -1,0 +1,369 @@
+//! The daemon's resident state: programs loaded once, policies solved
+//! once, answers served many times.
+//!
+//! Startup parses (or generates) every configured program, then solves
+//! every configured policy for each program — each solve under the
+//! configured startup budget. A solve that trips its budget does **not**
+//! make the (program, policy) pair unavailable: mirroring the batch
+//! CLI's exit-3 semantics, the daemon instead solves the always-cheap
+//! context-insensitive baseline to completion and answers queries for
+//! the tripped policy from that fallback, tagging every such response
+//! `"partial": true`. Clients get a sound (over-approximate) answer and
+//! an honest label instead of an error.
+//!
+//! Client findings (`op: "findings"`) are also materialized here, once
+//! per entry, so per-request work is pure lookup + filtering and a
+//! request deadline bounds only cheap scans.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+use std::time::Instant;
+
+use pta_clients::{run_check, CheckReport, CheckSpec, ClientBackend};
+use pta_core::{Analysis, AnalysisSession, Budget, PointsToResult, Termination};
+use pta_ir::Program;
+use pta_lang::parse_program;
+use pta_workload::{dacapo_workload, DACAPO_NAMES};
+
+/// Where a resident program comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramSource {
+    /// A `.jir` file on disk; the resident name is the file stem.
+    File(String),
+    /// A generated DaCapo-shaped workload, `name:scale`; the resident
+    /// name is the full spec string (so two scales can coexist).
+    Workload { name: String, scale: String },
+}
+
+impl ProgramSource {
+    /// Parses a `--workload NAME:SCALE` spec.
+    pub fn parse_workload(spec: &str) -> Result<ProgramSource, String> {
+        let (name, scale) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("expected NAME:SCALE, got \"{spec}\""))?;
+        if !DACAPO_NAMES.contains(&name) {
+            return Err(format!(
+                "unknown workload \"{name}\" (want one of {})",
+                DACAPO_NAMES.join(", ")
+            ));
+        }
+        let s: f64 = scale
+            .parse()
+            .map_err(|_| format!("bad workload scale \"{scale}\""))?;
+        if !s.is_finite() || s <= 0.0 || s > 1024.0 {
+            return Err(format!("workload scale {scale} outside (0, 1024]"));
+        }
+        Ok(ProgramSource::Workload {
+            name: name.to_owned(),
+            scale: scale.to_owned(),
+        })
+    }
+
+    /// The resident name queries address this program by.
+    #[must_use]
+    pub fn resident_name(&self) -> String {
+        match self {
+            ProgramSource::File(path) => std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.clone()),
+            ProgramSource::Workload { name, scale } => format!("{name}:{scale}"),
+        }
+    }
+
+    fn load(&self) -> Result<Program, String> {
+        match self {
+            ProgramSource::File(path) => {
+                let source = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                parse_program(&source).map_err(|e| format!("cannot parse {path}: {e}"))
+            }
+            ProgramSource::Workload { name, scale } => {
+                // Both validated in `parse_workload`.
+                Ok(dacapo_workload(name, scale.parse().unwrap()))
+            }
+        }
+    }
+}
+
+/// How the daemon solves at startup.
+#[derive(Debug, Clone)]
+pub struct SolveConfig {
+    /// Solver threads for the startup solves (answers are unaffected:
+    /// the parallel solver is bit-identical to sequential).
+    pub threads: usize,
+    /// Startup budget per (program, policy) solve; a trip engages the
+    /// context-insensitive fallback.
+    pub budget: Budget,
+    /// Hash-consed shared points-to sets (the batch default).
+    pub share: bool,
+}
+
+impl Default for SolveConfig {
+    fn default() -> Self {
+        SolveConfig {
+            threads: 1,
+            budget: Budget::unlimited(),
+            share: true,
+        }
+    }
+}
+
+/// One solved (program, policy) pair.
+pub struct PolicyEntry {
+    pub policy: Analysis,
+    /// The result queries are answered from. When `partial`, this is the
+    /// context-insensitive fallback, not the tripped primary solve.
+    pub result: PointsToResult,
+    /// Client findings over `result`, materialized once.
+    pub report: CheckReport,
+    /// `true` when the primary solve tripped its budget and the
+    /// fallback answers instead.
+    pub partial: bool,
+    /// How the primary solve ended (`Complete` when `!partial`).
+    pub termination: Termination,
+    /// Wall-clock startup solve time (primary + any fallback), ms.
+    pub solve_ms: u64,
+    /// Primary solve step count.
+    pub steps: u64,
+}
+
+impl PolicyEntry {
+    /// The wire value of this entry's `"status"` in health responses.
+    #[must_use]
+    pub fn status(&self) -> &'static str {
+        if self.partial {
+            "partial"
+        } else {
+            "ready"
+        }
+    }
+}
+
+/// A resident program with one entry per configured policy.
+pub struct ResidentProgram {
+    pub name: String,
+    pub program: Program,
+    pub entries: Vec<PolicyEntry>,
+}
+
+/// Everything the daemon holds hot. Built once at startup, then shared
+/// immutably (`Arc`) by every worker; answering never locks.
+pub struct Resident {
+    pub programs: Vec<ResidentProgram>,
+    /// The configured policies, in flag order; `policies[0]` is the
+    /// default for requests that omit `"policy"`.
+    pub policies: Vec<Analysis>,
+}
+
+impl Resident {
+    /// Loads every program and solves every (program, policy) pair.
+    pub fn build(
+        sources: &[ProgramSource],
+        policy_names: &[String],
+        solve: &SolveConfig,
+    ) -> Result<Resident, String> {
+        if sources.is_empty() {
+            return Err("no programs: pass FILE.jir and/or --workload NAME:SCALE".into());
+        }
+        let mut policies = Vec::new();
+        for name in policy_names {
+            let a = Analysis::from_str(name)
+                .map_err(|_| format!("unknown policy \"{name}\" (try `pta list`)"))?;
+            if !policies.contains(&a) {
+                policies.push(a);
+            }
+        }
+        if policies.is_empty() {
+            policies.push(Analysis::Insens);
+        }
+        let mut programs: Vec<ResidentProgram> = Vec::new();
+        for source in sources {
+            let name = source.resident_name();
+            if programs.iter().any(|p| p.name == name) {
+                return Err(format!("duplicate resident program name \"{name}\""));
+            }
+            let program = source.load()?;
+            let mut entries = Vec::new();
+            for &policy in &policies {
+                entries.push(solve_entry(&program, policy, solve));
+            }
+            programs.push(ResidentProgram {
+                name,
+                program,
+                entries,
+            });
+        }
+        Ok(Resident { programs, policies })
+    }
+
+    /// Resolves a request's program reference. `None` means "the only
+    /// resident program" and is an error when several are loaded.
+    pub fn program(&self, name: Option<&str>) -> Result<&ResidentProgram, String> {
+        match name {
+            Some(n) => self.programs.iter().find(|p| p.name == n).ok_or_else(|| {
+                format!(
+                    "no resident program \"{n}\" (have: {})",
+                    self.names().join(", ")
+                )
+            }),
+            None if self.programs.len() == 1 => Ok(&self.programs[0]),
+            None => Err(format!(
+                "\"program\" is required with several resident programs (have: {})",
+                self.names().join(", ")
+            )),
+        }
+    }
+
+    /// Resolves a request's policy reference against the resident set.
+    pub fn entry<'r>(
+        &self,
+        program: &'r ResidentProgram,
+        policy: Option<&str>,
+    ) -> Result<&'r PolicyEntry, String> {
+        let want = match policy {
+            None => self.policies[0],
+            Some(name) => {
+                Analysis::from_str(name).map_err(|_| format!("unknown policy \"{name}\""))?
+            }
+        };
+        program
+            .entries
+            .iter()
+            .find(|e| e.policy == want)
+            .ok_or_else(|| {
+                format!(
+                    "policy \"{}\" is not resident (have: {})",
+                    want.name(),
+                    self.policies
+                        .iter()
+                        .map(|p| p.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+    }
+
+    fn names(&self) -> Vec<&str> {
+        self.programs.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// One line per (program, policy) pair for startup logging.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for p in &self.programs {
+            for e in &p.entries {
+                let _ = writeln!(
+                    out,
+                    "  {} × {}: {} ({} steps, {} ms)",
+                    p.name,
+                    e.policy.name(),
+                    e.status(),
+                    e.steps,
+                    e.solve_ms
+                );
+            }
+        }
+        out
+    }
+}
+
+fn solve_entry(program: &Program, policy: Analysis, solve: &SolveConfig) -> PolicyEntry {
+    let started = Instant::now();
+    let primary = AnalysisSession::new(program)
+        .policy(policy)
+        .threads(solve.threads)
+        .budget(solve.budget.clone())
+        .share(solve.share)
+        .run();
+    let termination = primary.termination();
+    let steps = primary.solver_stats().steps;
+    let (result, partial) = if termination.is_complete() {
+        (primary, false)
+    } else {
+        // Budget tripped: answer from the context-insensitive baseline,
+        // solved to completion (it is the cheapest policy by orders of
+        // magnitude), and tag every response partial — the serve analog
+        // of the batch CLI's exit-3 partial result.
+        let fallback = AnalysisSession::new(program)
+            .policy(Analysis::Insens)
+            .threads(solve.threads)
+            .share(solve.share)
+            .run();
+        (fallback, true)
+    };
+    let report = run_check(
+        program,
+        &result,
+        &CheckSpec::default(),
+        ClientBackend::Direct,
+    );
+    PolicyEntry {
+        policy,
+        result,
+        report,
+        partial,
+        termination,
+        solve_ms: started.elapsed().as_millis() as u64,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sources(spec: &str) -> Vec<ProgramSource> {
+        vec![ProgramSource::parse_workload(spec).unwrap()]
+    }
+
+    #[test]
+    fn builds_ready_entries_and_resolves_references() {
+        let r = Resident::build(
+            &sources("luindex:0.1"),
+            &["insens".into(), "2obj+H".into()],
+            &SolveConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.policies, vec![Analysis::Insens, Analysis::TwoObjH]);
+        let p = r.program(None).unwrap();
+        assert_eq!(p.name, "luindex:0.1");
+        let e = r.entry(p, Some("2obj+H")).unwrap();
+        assert_eq!(e.status(), "ready");
+        assert!(!e.partial);
+        assert!(r.entry(p, Some("3obj+2H")).is_err());
+        assert!(r.program(Some("missing")).is_err());
+    }
+
+    #[test]
+    fn tripped_solves_fall_back_to_insens_and_tag_partial() {
+        let r = Resident::build(
+            &sources("luindex:0.2"),
+            &["2obj+H".into()],
+            &SolveConfig {
+                budget: Budget::unlimited().with_max_steps(50),
+                ..SolveConfig::default()
+            },
+        )
+        .unwrap();
+        let e = &r.programs[0].entries[0];
+        assert!(e.partial);
+        assert_eq!(e.status(), "partial");
+        assert_eq!(e.termination, Termination::StepLimit);
+        // The fallback is a complete insens result, so answers exist.
+        assert!(e.result.termination().is_complete());
+        assert!(e.result.reachable_method_count() > 0);
+    }
+
+    #[test]
+    fn rejects_bad_sources() {
+        assert!(ProgramSource::parse_workload("luindex").is_err());
+        assert!(ProgramSource::parse_workload("nosuch:0.1").is_err());
+        assert!(ProgramSource::parse_workload("luindex:-1").is_err());
+        assert!(ProgramSource::parse_workload("luindex:nan").is_err());
+        let missing = vec![ProgramSource::File("/nonexistent/x.jir".into())];
+        assert!(Resident::build(&missing, &[], &SolveConfig::default()).is_err());
+        assert!(Resident::build(&[], &[], &SolveConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,681 @@
+//! The resident daemon: readers, a bounded admission queue, workers,
+//! and a drain-deadline shutdown path.
+//!
+//! # Request lifecycle
+//!
+//! 1. A **reader** (stdin, or one thread per TCP connection) pulls one
+//!    line. Lines that fail to parse — garbage, truncated JSON,
+//!    oversized — are answered inline with a structured error and never
+//!    touch the queue, so malformed traffic cannot occupy a slot.
+//! 2. Control ops (`health`, `stats`, `shutdown`) are answered inline
+//!    too: they must keep working while the queue is saturated or
+//!    draining, which is exactly when they are most needed.
+//! 3. Query ops go through **admission**: if the daemon is draining the
+//!    reader answers `shutting_down`; if the bounded queue is full it
+//!    answers `overloaded` immediately (load shedding — the daemon
+//!    never buffers without bound). Otherwise the request is queued
+//!    with its admission timestamp and any injected fault decision.
+//! 4. A **worker** pops the job, arms per-request governance (cancel
+//!    token, deadline from admission time, step budget), applies any
+//!    injected fault, evaluates via [`crate::answer`], and writes the
+//!    response line to the connection the request came from.
+//! 5. **Shutdown** (SIGTERM, stdin EOF, or the `shutdown` op) stops
+//!    admission, wakes the workers, and waits for in-flight work up to
+//!    the drain deadline. If the deadline passes, every in-flight
+//!    request's token is cancelled — the bounded-latency guarantee from
+//!    the solver and the answer loops means workers come back promptly,
+//!    their requests answered with `cancelled` errors. Exit code 0 for
+//!    a clean drain, 3 when the drain was forced.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pta_govern::{memtrack, CancelToken};
+use pta_obs::{events_to_chrome_json, Event, Trace};
+
+use crate::answer::{answer, ReqCtx};
+use crate::fault::{garble_line, FaultInjector, FaultKind};
+use crate::protocol::{error_line, parse_request, ErrorCode, Op, Request};
+use crate::resident::{ProgramSource, Resident, SolveConfig};
+
+/// Everything `pta serve` can be configured with.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    pub sources: Vec<ProgramSource>,
+    /// Policy names to solve at startup (`["insens"]` when empty).
+    pub policies: Vec<String>,
+    pub solve: SolveConfig,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Bounded admission queue capacity; beyond it, requests are shed.
+    pub queue_capacity: usize,
+    /// Default per-request deadline (ms from admission); a request's
+    /// own `deadline_ms` overrides it.
+    pub default_deadline_ms: Option<u64>,
+    /// How long shutdown waits for in-flight requests before forcing
+    /// cancellation.
+    pub drain_ms: u64,
+    /// TCP listener port (`Some(0)` = OS-assigned).
+    pub port: Option<u16>,
+    /// Where to write the bound TCP port (for test orchestration).
+    pub port_file: Option<String>,
+    pub faults: Option<FaultInjector>,
+    /// Chrome-trace output path; enables per-request spans.
+    pub trace_path: Option<String>,
+    /// Serve the stdin/stdout channel (EOF initiates shutdown). TCP-only
+    /// deployments turn this off so a closed stdin doesn't stop them.
+    pub use_stdin: bool,
+    /// Requests longer than this are rejected with an `oversized` error.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            sources: Vec::new(),
+            policies: Vec::new(),
+            solve: SolveConfig::default(),
+            workers: 2,
+            queue_capacity: 64,
+            default_deadline_ms: None,
+            drain_ms: 2_000,
+            port: None,
+            port_file: None,
+            faults: None,
+            trace_path: None,
+            use_stdin: true,
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// A connection's write half; one response line per lock acquisition,
+/// so lines from concurrent workers never interleave mid-line.
+type Reply = Arc<Mutex<Box<dyn Write + Send>>>;
+
+struct Job {
+    req: Request,
+    reply: Reply,
+    admitted: Instant,
+    fault: Option<FaultKind>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    draining: bool,
+}
+
+/// State shared by readers, workers, and the drain loop.
+struct Shared {
+    resident: Resident,
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    /// Jobs popped but not yet answered (bumped under the queue lock so
+    /// the drain loop can't observe an empty queue + zero in-flight
+    /// while a job is in hand).
+    in_flight: AtomicUsize,
+    /// One slot per worker: the cancel token of its current request,
+    /// for forced drain.
+    active: Mutex<Vec<Option<CancelToken>>>,
+    shutdown: AtomicBool,
+    served: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+    faulted: AtomicU64,
+    last_request_peak: AtomicU64,
+    max_request_peak: AtomicU64,
+    trace: Trace,
+    /// Drained trace events, capped — the daemon's trace memory bound.
+    trace_events: Mutex<Vec<Event>>,
+}
+
+/// Caps the daemon's retained trace events (oldest dropped first).
+const TRACE_EVENT_CAP: usize = 100_000;
+/// How often workers move trace buffers into the capped aggregate.
+const TRACE_DRAIN_STRIDE: u64 = 64;
+
+impl Shared {
+    fn write_line(reply: &Reply, line: &str) {
+        let mut w = reply.lock().unwrap();
+        // A vanished client is its own problem; the daemon stays up.
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+        let _ = w.flush();
+    }
+
+    fn status(&self) -> &'static str {
+        if self.shutdown.load(Ordering::SeqCst) || self.queue.lock().unwrap().draining {
+            "draining"
+        } else {
+            "ok"
+        }
+    }
+
+    fn health_line(&self, id: u64) -> String {
+        let q = self.queue.lock().unwrap();
+        let depth = q.jobs.len();
+        drop(q);
+        format!(
+            "{{\"id\":{},\"ok\":true,\"op\":\"health\",\"status\":\"{}\",\"queue_depth\":{},\"queue_capacity\":{},\"in_flight\":{}}}",
+            id,
+            self.status(),
+            depth,
+            self.cfg.queue_capacity,
+            self.in_flight.load(Ordering::SeqCst)
+        )
+    }
+
+    fn stats_line(&self, id: u64) -> String {
+        let mut policies = String::new();
+        for p in &self.resident.programs {
+            for e in &p.entries {
+                if !policies.is_empty() {
+                    policies.push(',');
+                }
+                policies.push_str(&format!(
+                    "{{\"program\":\"{}\",\"policy\":\"{}\",\"status\":\"{}\",\"termination\":\"{}\",\"steps\":{},\"solve_ms\":{}}}",
+                    crate::json::escape(&p.name),
+                    e.policy.name(),
+                    e.status(),
+                    e.termination.as_str(),
+                    e.steps,
+                    e.solve_ms
+                ));
+            }
+        }
+        let depth = self.queue.lock().unwrap().jobs.len();
+        format!(
+            "{{\"id\":{},\"ok\":true,\"op\":\"stats\",\"status\":\"{}\",\"queue_depth\":{},\"queue_capacity\":{},\"workers\":{},\"in_flight\":{},\"served\":{},\"shed\":{},\"errors\":{},\"faulted\":{},\"resident_bytes\":{},\"request_peak_bytes\":{{\"last\":{},\"max\":{}}},\"policies\":[{}]}}",
+            id,
+            self.status(),
+            depth,
+            self.cfg.queue_capacity,
+            self.cfg.workers,
+            self.in_flight.load(Ordering::SeqCst),
+            self.served.load(Ordering::SeqCst),
+            self.shed.load(Ordering::SeqCst),
+            self.errors.load(Ordering::SeqCst),
+            self.faulted.load(Ordering::SeqCst),
+            memtrack::current_bytes(),
+            self.last_request_peak.load(Ordering::SeqCst),
+            self.max_request_peak.load(Ordering::SeqCst),
+            policies
+        )
+    }
+
+    /// Handles one raw request line from a reader thread. Parse errors
+    /// and control ops are answered inline; queries go through
+    /// admission. Returns `true` when the line asked for shutdown.
+    fn handle_line(self: &Arc<Shared>, line: &str, reply: &Reply) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return false;
+        }
+        let req = match parse_request(line) {
+            Ok(req) => req,
+            Err((id, code, msg)) => {
+                self.errors.fetch_add(1, Ordering::SeqCst);
+                Shared::write_line(reply, &error_line(id, code, &msg));
+                return false;
+            }
+        };
+        match req.op {
+            Op::Health => {
+                Shared::write_line(reply, &self.health_line(req.id));
+                false
+            }
+            Op::Stats => {
+                Shared::write_line(reply, &self.stats_line(req.id));
+                false
+            }
+            Op::Shutdown => {
+                Shared::write_line(
+                    reply,
+                    &format!(
+                        "{{\"id\":{},\"ok\":true,\"op\":\"shutdown\",\"stopping\":true}}",
+                        req.id
+                    ),
+                );
+                self.shutdown.store(true, Ordering::SeqCst);
+                true
+            }
+            _ => {
+                self.admit(req, reply);
+                false
+            }
+        }
+    }
+
+    /// Bounded admission: shed (`overloaded`) when full, refuse
+    /// (`shutting_down`) when draining, else enqueue.
+    fn admit(self: &Arc<Shared>, req: Request, reply: &Reply) {
+        let fault = self.cfg.faults.as_ref().and_then(|f| f.decide(req.id));
+        let id = req.id;
+        let verdict = {
+            let mut q = self.queue.lock().unwrap();
+            if q.draining || self.shutdown.load(Ordering::SeqCst) {
+                Some(ErrorCode::ShuttingDown)
+            } else if q.jobs.len() >= self.cfg.queue_capacity {
+                Some(ErrorCode::Overloaded)
+            } else {
+                q.jobs.push_back(Job {
+                    req,
+                    reply: Arc::clone(reply),
+                    admitted: Instant::now(),
+                    fault,
+                });
+                None
+            }
+        };
+        match verdict {
+            Some(ErrorCode::Overloaded) => {
+                self.shed.fetch_add(1, Ordering::SeqCst);
+                Shared::write_line(
+                    reply,
+                    &error_line(
+                        id,
+                        ErrorCode::Overloaded,
+                        "admission queue full; retry later",
+                    ),
+                );
+            }
+            Some(code) => {
+                Shared::write_line(reply, &error_line(id, code, "daemon is draining"));
+            }
+            None => self.available.notify_one(),
+        }
+    }
+
+    /// One worker: pop, govern, evaluate, reply — until drained.
+    fn worker_loop(self: &Arc<Shared>, slot: usize) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        // Under the lock: drain can never see "queue
+                        // empty and nothing in flight" while this job is
+                        // in hand.
+                        self.in_flight.fetch_add(1, Ordering::SeqCst);
+                        break job;
+                    }
+                    if q.draining {
+                        return;
+                    }
+                    q = self.available.wait(q).unwrap();
+                }
+            };
+            self.serve_job(slot, job);
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn serve_job(self: &Arc<Shared>, slot: usize, job: Job) {
+        let id = job.req.id;
+        let cancel = CancelToken::new();
+        self.active.lock().unwrap()[slot] = Some(cancel.clone());
+        let deadline_ms = job.req.deadline_ms.or(self.cfg.default_deadline_ms);
+        let deadline = deadline_ms.map(|ms| job.admitted + Duration::from_millis(ms));
+        let mut max_steps = None;
+        if let Some(kind) = job.fault {
+            self.faulted.fetch_add(1, Ordering::SeqCst);
+            match kind {
+                FaultKind::Delay => {
+                    let ms = self.cfg.faults.as_ref().unwrap().delay_ms(id);
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                FaultKind::Cancel => cancel.cancel(),
+                FaultKind::Exhaust => max_steps = Some(0),
+                FaultKind::Garble => {}
+            }
+        }
+        let peak = memtrack::ScopedPeak::begin();
+        let mut ts = self.trace.scope_named(id as u32, &format!("request {id}"));
+        let t0 = ts.now_ns();
+        let mut ctx = ReqCtx::new(cancel, deadline, max_steps);
+        let line = answer(&job.req, &self.resident, &mut ctx);
+        ts.complete(
+            job.req.op.name(),
+            "serve",
+            t0,
+            ts.now_ns() - t0,
+            &[("id", id)],
+        );
+        drop(ts); // flush the request's span before the reply goes out
+        let peak_bytes = peak.peak_bytes();
+        self.last_request_peak.store(peak_bytes, Ordering::SeqCst);
+        self.max_request_peak
+            .fetch_max(peak_bytes, Ordering::SeqCst);
+        self.active.lock().unwrap()[slot] = None;
+        if line.contains("\"ok\":false") {
+            self.errors.fetch_add(1, Ordering::SeqCst);
+        }
+        let out = if job.fault == Some(FaultKind::Garble) {
+            garble_line(id)
+        } else {
+            line
+        };
+        Shared::write_line(&job.reply, &out);
+        let served = self.served.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.trace.is_enabled() && served.is_multiple_of(TRACE_DRAIN_STRIDE) {
+            self.cap_trace();
+        }
+    }
+
+    /// Moves flushed trace buffers into the capped daemon-side
+    /// aggregate — the memory bound that lets `--trace` run for the
+    /// daemon's whole (unbounded) lifetime.
+    fn cap_trace(&self) {
+        let drained = self.trace.drain();
+        let mut held = self.trace_events.lock().unwrap();
+        held.extend(drained);
+        if held.len() > TRACE_EVENT_CAP {
+            let excess = held.len() - TRACE_EVENT_CAP;
+            held.drain(..excess);
+        }
+    }
+}
+
+/// A launched daemon: bound port (when TCP was requested) plus the
+/// blocking [`ServerHandle::wait`] that runs the shutdown protocol.
+pub struct ServerHandle {
+    /// The TCP port actually bound, when `cfg.port` was set.
+    pub port: Option<u16>,
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    sigterm: CancelToken,
+}
+
+/// Builds the resident state and starts readers + workers. Returns
+/// `Err` for configuration problems (bad program, unbindable port).
+pub fn launch(cfg: ServeConfig) -> Result<ServerHandle, String> {
+    let resident = Resident::build(&cfg.sources, &cfg.policies, &cfg.solve)?;
+    let trace = if cfg.trace_path.is_some() {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
+    };
+    let workers = cfg.workers.max(1);
+    let shared = Arc::new(Shared {
+        resident,
+        queue: Mutex::new(QueueState {
+            jobs: VecDeque::new(),
+            draining: false,
+        }),
+        available: Condvar::new(),
+        in_flight: AtomicUsize::new(0),
+        active: Mutex::new(vec![None; workers]),
+        shutdown: AtomicBool::new(false),
+        served: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        faulted: AtomicU64::new(0),
+        last_request_peak: AtomicU64::new(0),
+        max_request_peak: AtomicU64::new(0),
+        trace,
+        trace_events: Mutex::new(Vec::new()),
+        cfg,
+    });
+
+    let mut worker_handles = Vec::new();
+    for slot in 0..workers {
+        let s = Arc::clone(&shared);
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{slot}"))
+                .spawn(move || s.worker_loop(slot))
+                .map_err(|e| format!("cannot spawn worker: {e}"))?,
+        );
+    }
+
+    let mut port = None;
+    if let Some(want) = shared.cfg.port {
+        let listener = TcpListener::bind(("127.0.0.1", want))
+            .map_err(|e| format!("cannot bind 127.0.0.1:{want}: {e}"))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?
+            .port();
+        port = Some(bound);
+        if let Some(path) = &shared.cfg.port_file {
+            std::fs::write(path, format!("{bound}\n"))
+                .map_err(|e| format!("cannot write port file {path}: {e}"))?;
+        }
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot configure listener: {e}"))?;
+        let s = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(&s, &listener))
+            .map_err(|e| format!("cannot spawn acceptor: {e}"))?;
+    }
+
+    if shared.cfg.use_stdin {
+        let s = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-stdin".into())
+            .spawn(move || {
+                let stdout: Reply = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+                read_loop(&s, std::io::stdin().lock(), &stdout);
+                // EOF on the control channel means the operator is done:
+                // initiate a graceful drain.
+                s.shutdown.store(true, Ordering::SeqCst);
+            })
+            .map_err(|e| format!("cannot spawn stdin reader: {e}"))?;
+    }
+
+    Ok(ServerHandle {
+        port,
+        shared,
+        workers: worker_handles,
+        sigterm: CancelToken::linked_to_sigterm(),
+    })
+}
+
+impl ServerHandle {
+    /// Blocks until shutdown is requested (SIGTERM, stdin EOF, or the
+    /// `shutdown` op), runs the drain protocol, writes the trace file,
+    /// and returns the process exit code: 0 for a clean drain, 3 when
+    /// in-flight requests had to be force-cancelled.
+    #[must_use]
+    pub fn wait(self) -> i32 {
+        while !self.shared.shutdown.load(Ordering::SeqCst) && !self.sigterm.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+
+        // Stop admission and wake every parked worker.
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.draining = true;
+        }
+        self.shared.available.notify_all();
+
+        // Drain under the deadline.
+        let drain_deadline = Instant::now() + Duration::from_millis(self.shared.cfg.drain_ms);
+        let mut forced = false;
+        loop {
+            let idle = {
+                let q = self.shared.queue.lock().unwrap();
+                q.jobs.is_empty() && self.shared.in_flight.load(Ordering::SeqCst) == 0
+            };
+            if idle {
+                break;
+            }
+            if Instant::now() >= drain_deadline {
+                // Deadline passed: force-cancel whatever is in flight.
+                // Cancellation latency is bounded (per-pop checks in the
+                // solver, per-tick checks in the evaluator), so workers
+                // come back promptly with `cancelled` answers.
+                forced = true;
+                for token in self.shared.active.lock().unwrap().iter().flatten() {
+                    token.cancel();
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+        if let Some(path) = &self.shared.cfg.trace_path {
+            self.shared.cap_trace();
+            let events = self.shared.trace_events.lock().unwrap();
+            let _ = std::fs::write(path, events_to_chrome_json(&events));
+        }
+        if forced {
+            3
+        } else {
+            0
+        }
+    }
+
+    /// Asks the daemon to shut down (what the `shutdown` op does).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Runs a daemon to completion: launch, serve, drain. The CLI entry.
+pub fn run(cfg: ServeConfig) -> Result<i32, String> {
+    let handle = launch(cfg)?;
+    if let Some(port) = handle.port {
+        eprintln!("pta serve: listening on 127.0.0.1:{port}");
+    }
+    eprintln!("{}", handle.shared.resident.summary().trim_end());
+    Ok(handle.wait())
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let s = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || serve_connection(&s, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let reply: Reply = Arc::new(Mutex::new(Box::new(write_half)));
+    let reader = std::io::BufReader::new(stream);
+    read_loop(shared, reader, &reply);
+}
+
+/// What one bounded line read produced.
+enum LineRead {
+    Line(String),
+    /// The line exceeded the cap; the remainder was discarded up to the
+    /// next newline.
+    Oversized,
+    Eof,
+}
+
+/// Reads one `\n`-terminated line of at most `cap` bytes. Longer lines
+/// are consumed (so the stream stays line-synchronized) but reported as
+/// [`LineRead::Oversized`] without ever buffering more than `cap` bytes
+/// — a hostile client cannot balloon the daemon's memory.
+fn read_line_bounded<R: BufRead>(reader: &mut R, cap: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(a) => a,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(if oversized {
+                LineRead::Oversized
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        let (chunk, found_newline) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => (&available[..pos], true),
+            None => (available, false),
+        };
+        if !oversized {
+            if buf.len() + chunk.len() > cap {
+                oversized = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(chunk);
+            }
+        }
+        let consumed = chunk.len() + usize::from(found_newline);
+        reader.consume(consumed);
+        if found_newline {
+            return Ok(if oversized {
+                LineRead::Oversized
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+    }
+}
+
+/// Drives one input channel until EOF, error, or daemon shutdown.
+fn read_loop<R: BufRead>(shared: &Arc<Shared>, mut reader: R, reply: &Reply) {
+    loop {
+        match read_line_bounded(&mut reader, shared.cfg.max_line_bytes) {
+            Ok(LineRead::Line(line)) => {
+                if shared.handle_line(&line, reply) {
+                    return; // shutdown requested on this channel
+                }
+            }
+            Ok(LineRead::Oversized) => {
+                shared.errors.fetch_add(1, Ordering::SeqCst);
+                Shared::write_line(
+                    reply,
+                    &error_line(
+                        0,
+                        ErrorCode::Oversized,
+                        &format!("request line exceeds {} bytes", shared.cfg.max_line_bytes),
+                    ),
+                );
+            }
+            Ok(LineRead::Eof) | Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_reads_preserve_line_sync() {
+        let input = b"short\n0123456789abcdef\nafter\nlast-no-newline".to_vec();
+        let mut r = std::io::BufReader::with_capacity(4, std::io::Cursor::new(input));
+        let mut next = || read_line_bounded(&mut r, 8).unwrap();
+        assert!(matches!(next(), LineRead::Line(l) if l == "short"));
+        assert!(matches!(next(), LineRead::Oversized));
+        assert!(matches!(next(), LineRead::Line(l) if l == "after"));
+        // The unterminated tail is over the cap too: reported oversized
+        // at EOF, not silently returned as a line.
+        assert!(matches!(next(), LineRead::Oversized));
+        assert!(matches!(next(), LineRead::Eof));
+    }
+}

@@ -57,6 +57,35 @@
 //!     --format text|json   output format (default text)
 //!     --deny-warnings      exit non-zero on warnings, not just errors
 //!     --explain CODE       describe a diagnostic code (e.g. W003) and exit
+//! pta serve [FILE.jir ...] [options]     resident analysis daemon: load the
+//!                                        given programs, solve each --policy
+//!                                        once, then answer line-delimited
+//!                                        JSON queries on stdin/stdout (and
+//!                                        --port) until shutdown (README
+//!                                        "Serving" has the protocol grammar)
+//!     --workload NAME:SCALE load a synthetic workload instead of (or along
+//!                          with) .jir files (repeatable, as are files)
+//!     --policy NAME        policy to solve at startup (repeatable; default
+//!                          insens; queries name one of these)
+//!     --threads N          solver threads for the startup solves
+//!     --workers N          request worker pool size (default 2)
+//!     --queue N            admission queue capacity (default 64); beyond
+//!                          it requests are shed with an `overloaded` error
+//!     --deadline-ms N      default per-request deadline (requests may
+//!                          override with their own "deadline_ms")
+//!     --drain-ms N         shutdown drain deadline (default 2000); if
+//!                          in-flight work outlives it, exit 3 instead of 0
+//!     --solve-timeout SECS / --solve-max-steps N / --solve-max-memory B
+//!                          startup solve budget; a tripped policy answers
+//!                          from the insens fallback with "partial": true
+//!     --port N             also listen on 127.0.0.1:N (0 = OS-assigned)
+//!     --port-file PATH     write the bound port to PATH once listening
+//!     --no-stdin           TCP only; don't serve (or watch EOF on) stdin
+//!     --inject-faults R,K  fault injection: rate R in [0,1] and `+`-joined
+//!                          kinds from delay|cancel|exhaust|garble
+//!     --fault-seed N       injection decision seed (default 0)
+//!     --no-share           disable hash-consed sets in startup solves
+//!     --trace FILE         Chrome trace of the request lifecycle
 //! pta check FILE.jir [options]           run the client-analysis suite
 //!                                        (taint W020, escape W021,
 //!                                        nullness W022) over one analysis
@@ -89,7 +118,9 @@
 //!   2  usage, I/O or parse error (bad flag, unreadable file, invalid .jir)
 //!   3  partial analysis result — a budget tripped (or SIGINT landed) and
 //!      the run stopped early with a sound under-approximation, tagged via
-//!      "termination" (analyze) or a W023 diagnostic (check)
+//!      "termination" (analyze) or a W023 diagnostic (check); for serve,
+//!      shutdown had to force-cancel in-flight requests after the drain
+//!      deadline (clean drains exit 0)
 //!
 //! The diagnostic code index lives in the README and in
 //! `pta_lint::code_description`.
@@ -106,6 +137,7 @@ use pta_core::{Analysis, AnalysisSession, Backend, Budget, CancelToken, PointsTo
 use pta_govern::parse_byte_size;
 use pta_ir::Program;
 use pta_lang::{parse_program, print_program};
+use pta_serve::{FaultInjector, ProgramSource, ServeConfig};
 use pta_workload::{dacapo_config, generate, DACAPO_NAMES};
 
 /// Count heap usage so `--stats` can report `peak_rss_bytes` exactly
@@ -117,6 +149,30 @@ static ALLOC: pta_govern::memtrack::CountingAlloc = pta_govern::memtrack::Counti
 const EXIT_USAGE: u8 = 2;
 /// Exit code for a budget-tripped (or cancelled) partial result.
 const EXIT_PARTIAL: u8 = 3;
+
+/// Report a usage problem (unknown flag, bad flag value, invalid flag
+/// combination) as a structured `E030` diagnostic and return the usage
+/// exit code. Every flag error in the driver funnels through here so even
+/// CLI misuse is machine-parseable (`pta lint --explain E030`).
+fn usage_error(message: impl Into<String>) -> ExitCode {
+    eprintln!("{}", pta_lint::Diagnostic::error("E030", message));
+    ExitCode::from(EXIT_USAGE)
+}
+
+/// Report an I/O problem (unreadable input, unwritable output) as a
+/// structured `E031` diagnostic and return the usage exit code.
+fn io_error(message: impl Into<String>) -> ExitCode {
+    eprintln!("{}", pta_lint::Diagnostic::error("E031", message));
+    ExitCode::from(EXIT_USAGE)
+}
+
+/// Report a `.jir` frontend error through the same E007/E008 diagnostics
+/// `pta lint` emits, tagged with the offending path, and return the usage
+/// exit code.
+fn parse_error(path: &str, err: &pta_lang::LangError) -> ExitCode {
+    eprintln!("{}", pta_lint::diagnose_lang_error(err).with_context(path));
+    ExitCode::from(EXIT_USAGE)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -133,9 +189,10 @@ fn main() -> ExitCode {
         Some("workload") => cmd_workload(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage: pta <list|analyze|explain|workload|lint|check> ...  (see --help in the README)"
+                "usage: pta <list|analyze|explain|workload|lint|check|serve> ...  (see --help in the README)"
             );
             ExitCode::from(EXIT_USAGE)
         }
@@ -197,8 +254,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                     Some("text") => json = false,
                     Some("json") => json = true,
                     _ => {
-                        eprintln!("error: --format needs `text` or `json`");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--format needs `text` or `json`");
                     }
                 }
             }
@@ -207,8 +263,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 match args.get(i).map(|s| s.parse::<Analysis>()) {
                     Some(Ok(a)) => analyses.push(a),
                     _ => {
-                        eprintln!("error: --analysis needs a known name (try `pta list`)");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--analysis needs a known name (try `pta list`)");
                     }
                 }
             }
@@ -217,8 +272,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 match args.get(i) {
                     Some(v) => points_to.push(v.clone()),
                     None => {
-                        eprintln!("error: --points-to needs a variable name");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--points-to needs a variable name");
                     }
                 }
             }
@@ -227,20 +281,20 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 match args.get(i) {
                     Some(v) => explain.push(v.clone()),
                     None => {
-                        eprintln!("error: --explain needs a variable name");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--explain needs a variable name");
                     }
                 }
             }
             "--timeout" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
-                    Some(secs) if secs > 0.0 && secs.is_finite() => {
+                    Some(secs) if secs > 0.0 && secs.is_finite() && secs <= 1e9 => {
                         budget = budget.with_deadline(Duration::from_secs_f64(secs));
                     }
                     _ => {
-                        eprintln!("error: --timeout needs a positive number of seconds");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error(
+                            "--timeout needs a positive number of seconds (at most 1e9)",
+                        );
                     }
                 }
             }
@@ -249,8 +303,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
                     Some(n) if n > 0 => budget = budget.with_max_steps(n),
                     _ => {
-                        eprintln!("error: --max-steps needs a positive integer");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--max-steps needs a positive integer");
                     }
                 }
             }
@@ -259,12 +312,10 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 match args.get(i).map(|s| parse_byte_size(s)) {
                     Some(Ok(bytes)) if bytes > 0 => budget = budget.with_max_memory(bytes),
                     Some(Err(e)) => {
-                        eprintln!("error: --max-memory: {e}");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error(format!("--max-memory: {e}"));
                     }
                     _ => {
-                        eprintln!("error: --max-memory needs a byte size (e.g. 64M)");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--max-memory needs a byte size (e.g. 64M)");
                     }
                 }
             }
@@ -273,8 +324,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
                     Some(n) if n > 0 => budget = budget.with_watermark(n),
                     _ => {
-                        eprintln!("error: --watermark needs a positive integer");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--watermark needs a positive integer");
                     }
                 }
             }
@@ -283,8 +333,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
                     Some(n) => threads = n,
                     None => {
-                        eprintln!("error: --threads needs a worker count (0 = auto)");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--threads needs a worker count (0 = auto)");
                     }
                 }
             }
@@ -293,8 +342,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 match args.get(i) {
                     Some(p) => trace_path = Some(p.clone()),
                     None => {
-                        eprintln!("error: --trace needs an output file path");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--trace needs an output file path");
                     }
                 }
             }
@@ -309,8 +357,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             "--exceptions" => exceptions = true,
             "--datalog" => datalog = true,
             other => {
-                eprintln!("error: unknown flag {other}");
-                return ExitCode::from(EXIT_USAGE);
+                return usage_error(format!("unknown flag {other}"));
             }
         }
         i += 1;
@@ -319,11 +366,10 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         analyses.push(Analysis::STwoObjH);
     }
     if degrade && datalog {
-        eprintln!(
-            "error: --degrade requires the specialized solver (drop --datalog); \
-             the Datalog back end stops with a partial result instead"
+        return usage_error(
+            "--degrade requires the specialized solver (drop --datalog); \
+             the Datalog back end stops with a partial result instead",
         );
-        return ExitCode::from(EXIT_USAGE);
     }
     // The trace recorder exists before the file is read so session setup
     // (parse, IR construction) lands on the timeline too. A disabled
@@ -338,15 +384,13 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            return ExitCode::from(EXIT_USAGE);
+            return io_error(format!("cannot read {path}: {e}"));
         }
     };
     let program = match parse_program(&source) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("error in {path}: {e}");
-            return ExitCode::from(EXIT_USAGE);
+            return parse_error(path, &e);
         }
     };
     if ts.is_enabled() {
@@ -377,8 +421,9 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             ("--exceptions", exceptions),
         ] {
             if used {
-                eprintln!("error: {flag} has no JSON rendering; drop it or use --format text");
-                return ExitCode::from(EXIT_USAGE);
+                return usage_error(format!(
+                    "{flag} has no JSON rendering; drop it or use --format text"
+                ));
             }
         }
     }
@@ -388,8 +433,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let mut runs: Vec<(Analysis, usize, f64, PointsToResult)> = Vec::new();
     let mut any_partial = false;
     if datalog && !explain.is_empty() {
-        eprintln!("error: --explain requires the specialized solver (drop --datalog)");
-        return ExitCode::from(EXIT_USAGE);
+        return usage_error("--explain requires the specialized solver (drop --datalog)");
     }
     for analysis in analyses {
         let start = std::time::Instant::now();
@@ -599,8 +643,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     if let Some(tp) = &trace_path {
         ts.flush();
         if let Err(e) = std::fs::write(tp, trace.to_chrome_json()) {
-            eprintln!("error: cannot write trace {tp}: {e}");
-            return ExitCode::from(EXIT_USAGE);
+            return io_error(format!("cannot write trace {tp}: {e}"));
         }
     }
     if any_partial {
@@ -684,14 +727,14 @@ fn cmd_explain(args: &[String]) -> ExitCode {
                 match args.get(i).map(|s| s.parse::<Analysis>()) {
                     Some(Ok(a)) => analysis = a,
                     _ => {
-                        eprintln!("error: --analysis needs a known name (try `pta list`)");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--analysis needs a known name (try `pta list`)");
                     }
                 }
             }
             flag if flag.starts_with("--") => {
-                eprintln!("error: unknown flag {flag}\n{EXPLAIN_USAGE}");
-                return ExitCode::from(EXIT_USAGE);
+                let exit = usage_error(format!("unknown flag {flag}"));
+                eprintln!("{EXPLAIN_USAGE}");
+                return exit;
             }
             _ => pos.push(&args[i]),
         }
@@ -704,15 +747,13 @@ fn cmd_explain(args: &[String]) -> ExitCode {
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            return ExitCode::from(EXIT_USAGE);
+            return io_error(format!("cannot read {path}: {e}"));
         }
     };
     let program = match parse_program(&source) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("error in {path}: {e}");
-            return ExitCode::from(EXIT_USAGE);
+            return parse_error(path, &e);
         }
     };
 
@@ -731,8 +772,7 @@ fn cmd_explain(args: &[String]) -> ExitCode {
         })
         .collect();
     if vars.is_empty() {
-        eprintln!("error: no variable named {var_name}");
-        return ExitCode::from(EXIT_USAGE);
+        return usage_error(format!("no variable named {var_name}"));
     }
     let mut heaps: Vec<_> = program
         .heaps()
@@ -745,8 +785,7 @@ fn cmd_explain(args: &[String]) -> ExitCode {
             .collect();
     }
     if heaps.is_empty() {
-        eprintln!("error: no allocation site labeled {obj_label}");
-        return ExitCode::from(EXIT_USAGE);
+        return usage_error(format!("no allocation site labeled {obj_label}"));
     }
 
     let result = AnalysisSession::new(&program)
@@ -797,8 +836,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
                     Some("text") => json = false,
                     Some("json") => json = true,
                     _ => {
-                        eprintln!("error: --format needs `text` or `json`");
-                        return ExitCode::from(2);
+                        return usage_error("--format needs `text` or `json`");
                     }
                 }
             }
@@ -806,8 +844,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             "--explain" => {
                 i += 1;
                 let Some(code) = args.get(i) else {
-                    eprintln!("error: --explain needs a diagnostic code (e.g. W003)");
-                    return ExitCode::from(2);
+                    return usage_error("--explain needs a diagnostic code (e.g. W003)");
                 };
                 return match pta_lint::code_description(code) {
                     Some(desc) => {
@@ -815,17 +852,19 @@ fn cmd_lint(args: &[String]) -> ExitCode {
                         ExitCode::SUCCESS
                     }
                     None => {
-                        eprintln!("error: unknown diagnostic code {code}; known codes:");
+                        let exit = usage_error(format!("unknown diagnostic code {code}"));
+                        eprintln!("known codes:");
                         for c in pta_lint::ALL_CODES {
                             eprintln!("  {c}: {}", pta_lint::code_description(c).unwrap());
                         }
-                        ExitCode::from(2)
+                        exit
                     }
                 };
             }
             flag if flag.starts_with("--") => {
-                eprintln!("error: unknown flag {flag}\n{LINT_USAGE}");
-                return ExitCode::from(2);
+                let exit = usage_error(format!("unknown flag {flag}"));
+                eprintln!("{LINT_USAGE}");
+                return exit;
             }
             _ => path = Some(&args[i]),
         }
@@ -838,8 +877,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            return ExitCode::from(2);
+            return io_error(format!("cannot read {path}: {e}"));
         }
     };
     let diags = pta_lint::lint_source(&source);
@@ -891,8 +929,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 match args.get(i) {
                     Some(p) => spec_path = Some(p.clone()),
                     None => {
-                        eprintln!("error: --spec needs a file path");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--spec needs a file path");
                     }
                 }
             }
@@ -901,8 +938,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 match args.get(i).map(|s| s.parse::<Analysis>()) {
                     Some(Ok(a)) => analysis = a,
                     _ => {
-                        eprintln!("error: --analysis needs a known name (try `pta list`)");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--analysis needs a known name (try `pta list`)");
                     }
                 }
             }
@@ -912,8 +948,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
                     Some("text") => json = false,
                     Some("json") => json = true,
                     _ => {
-                        eprintln!("error: --format needs `text` or `json`");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--format needs `text` or `json`");
                     }
                 }
             }
@@ -924,8 +959,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
                     Some("datalog") => client_backend = ClientBackend::Datalog,
                     Some("both") => client_backend = ClientBackend::CrossValidated,
                     _ => {
-                        eprintln!("error: --client-backend needs direct, datalog or both");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--client-backend needs direct, datalog or both");
                     }
                 }
             }
@@ -934,20 +968,20 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
                     Some(n) => threads = n,
                     None => {
-                        eprintln!("error: --threads needs a worker count (0 = auto)");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--threads needs a worker count (0 = auto)");
                     }
                 }
             }
             "--timeout" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
-                    Some(secs) if secs > 0.0 && secs.is_finite() => {
+                    Some(secs) if secs > 0.0 && secs.is_finite() && secs <= 1e9 => {
                         budget = budget.with_deadline(Duration::from_secs_f64(secs));
                     }
                     _ => {
-                        eprintln!("error: --timeout needs a positive number of seconds");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error(
+                            "--timeout needs a positive number of seconds (at most 1e9)",
+                        );
                     }
                 }
             }
@@ -956,8 +990,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
                     Some(n) if n > 0 => budget = budget.with_max_steps(n),
                     _ => {
-                        eprintln!("error: --max-steps needs a positive integer");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--max-steps needs a positive integer");
                     }
                 }
             }
@@ -966,8 +999,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 match args.get(i).map(|s| parse_byte_size(s)) {
                     Some(Ok(bytes)) if bytes > 0 => budget = budget.with_max_memory(bytes),
                     _ => {
-                        eprintln!("error: --max-memory needs a byte size (e.g. 64M)");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--max-memory needs a byte size (e.g. 64M)");
                     }
                 }
             }
@@ -976,8 +1008,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
                     Some(n) if n > 0 => budget = budget.with_watermark(n),
                     _ => {
-                        eprintln!("error: --watermark needs a positive integer");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--watermark needs a positive integer");
                     }
                 }
             }
@@ -985,31 +1016,29 @@ fn cmd_check(args: &[String]) -> ExitCode {
             "--degrade" => degrade = true,
             "--datalog" => datalog = true,
             other => {
-                eprintln!("error: unknown flag {other}\n{CHECK_USAGE}");
-                return ExitCode::from(EXIT_USAGE);
+                let exit = usage_error(format!("unknown flag {other}"));
+                eprintln!("{CHECK_USAGE}");
+                return exit;
             }
         }
         i += 1;
     }
     if degrade && datalog {
-        eprintln!(
-            "error: --degrade requires the specialized solver (drop --datalog); \
-             the Datalog back end stops with a partial result instead"
+        return usage_error(
+            "--degrade requires the specialized solver (drop --datalog); \
+             the Datalog back end stops with a partial result instead",
         );
-        return ExitCode::from(EXIT_USAGE);
     }
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            return ExitCode::from(EXIT_USAGE);
+            return io_error(format!("cannot read {path}: {e}"));
         }
     };
     let program = match parse_program(&source) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("error in {path}: {e}");
-            return ExitCode::from(EXIT_USAGE);
+            return parse_error(path, &e);
         }
     };
     let spec = match &spec_path {
@@ -1018,8 +1047,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
             let text = match std::fs::read_to_string(sp) {
                 Ok(t) => t,
                 Err(e) => {
-                    eprintln!("error: cannot read spec {sp}: {e}");
-                    return ExitCode::from(EXIT_USAGE);
+                    return io_error(format!("cannot read spec {sp}: {e}"));
                 }
             };
             match CheckSpec::parse(&text) {
@@ -1095,8 +1123,7 @@ fn cmd_workload(args: &[String]) -> ExitCode {
         return ExitCode::from(EXIT_USAGE);
     };
     if !DACAPO_NAMES.contains(&name.as_str()) {
-        eprintln!("error: unknown workload {name}; names: {DACAPO_NAMES:?}");
-        return ExitCode::from(EXIT_USAGE);
+        return usage_error(format!("unknown workload {name}; names: {DACAPO_NAMES:?}"));
     }
     let mut scale = 1.0f64;
     let mut taint_groups = 0usize;
@@ -1106,11 +1133,10 @@ fn cmd_workload(args: &[String]) -> ExitCode {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(s) => s,
-                    None => {
-                        eprintln!("error: --scale needs a number");
-                        return ExitCode::from(EXIT_USAGE);
+                scale = match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(s) if s.is_finite() && s > 0.0 && s <= 1024.0 => s,
+                    _ => {
+                        return usage_error("--scale needs a finite number in (0, 1024]");
                     }
                 };
             }
@@ -1119,15 +1145,13 @@ fn cmd_workload(args: &[String]) -> ExitCode {
                 taint_groups = match args.get(i).and_then(|s| s.parse().ok()) {
                     Some(n) => n,
                     None => {
-                        eprintln!("error: --taint-groups needs a count");
-                        return ExitCode::from(EXIT_USAGE);
+                        return usage_error("--taint-groups needs a count");
                     }
                 };
             }
             "--print" => print = true,
             other => {
-                eprintln!("error: unknown flag {other}");
-                return ExitCode::from(EXIT_USAGE);
+                return usage_error(format!("unknown flag {other}"));
             }
         }
         i += 1;
@@ -1141,4 +1165,186 @@ fn cmd_workload(args: &[String]) -> ExitCode {
         println!("{name} @ {scale}: {}", pta_ir::ProgramStats::of(&program));
     }
     ExitCode::SUCCESS
+}
+
+const SERVE_USAGE: &str = "usage: pta serve [FILE.jir ...] [--workload NAME:SCALE] \
+[--policy NAME] [--threads N] [--workers N] [--queue N] [--deadline-ms N] [--drain-ms N] \
+[--solve-timeout SECS] [--solve-max-steps N] [--solve-max-memory BYTES] [--port N] \
+[--port-file PATH] [--no-stdin] [--inject-faults RATE,KINDS] [--fault-seed N] \
+[--no-share] [--trace FILE]";
+
+/// `pta serve`: parse the daemon flags into a [`ServeConfig`] and hand off
+/// to `pta_serve::run`, which owns the request lifecycle. Exit codes: 0 on
+/// a clean drain, 2 on startup/usage errors, 3 when shutdown had to
+/// force-cancel in-flight work.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut cfg = ServeConfig::default();
+    let mut fault_spec: Option<String> = None;
+    let mut fault_seed: u64 = 0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    return usage_error("--workload needs NAME:SCALE (e.g. antlr:0.5)");
+                };
+                match ProgramSource::parse_workload(spec) {
+                    Ok(src) => cfg.sources.push(src),
+                    Err(e) => return usage_error(format!("--workload: {e}")),
+                }
+            }
+            "--policy" => {
+                i += 1;
+                match args.get(i).map(|s| s.parse::<Analysis>()) {
+                    Some(Ok(a)) => cfg.policies.push(a.name().to_string()),
+                    _ => {
+                        return usage_error("--policy needs a known analysis name (try `pta list`)")
+                    }
+                }
+            }
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => cfg.solve.threads = n,
+                    None => return usage_error("--threads needs a worker count (0 = auto)"),
+                }
+            }
+            "--workers" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 && n <= 1024 => cfg.workers = n,
+                    _ => return usage_error("--workers needs a count in [1, 1024]"),
+                }
+            }
+            "--queue" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => cfg.queue_capacity = n,
+                    _ => return usage_error("--queue needs a positive capacity"),
+                }
+            }
+            "--deadline-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) => cfg.default_deadline_ms = Some(n),
+                    None => return usage_error("--deadline-ms needs a millisecond count"),
+                }
+            }
+            "--drain-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) => cfg.drain_ms = n,
+                    None => return usage_error("--drain-ms needs a millisecond count"),
+                }
+            }
+            "--solve-timeout" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(secs) if secs > 0.0 && secs.is_finite() && secs <= 1e9 => {
+                        cfg.solve.budget = cfg
+                            .solve
+                            .budget
+                            .clone()
+                            .with_deadline(Duration::from_secs_f64(secs));
+                    }
+                    _ => {
+                        return usage_error(
+                            "--solve-timeout needs a positive number of seconds (at most 1e9)",
+                        )
+                    }
+                }
+            }
+            "--solve-max-steps" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => {
+                        cfg.solve.budget = cfg.solve.budget.clone().with_max_steps(n);
+                    }
+                    _ => return usage_error("--solve-max-steps needs a positive integer"),
+                }
+            }
+            "--solve-max-memory" => {
+                i += 1;
+                match args.get(i).map(|s| parse_byte_size(s)) {
+                    Some(Ok(bytes)) if bytes > 0 => {
+                        cfg.solve.budget = cfg.solve.budget.clone().with_max_memory(bytes);
+                    }
+                    Some(Err(e)) => return usage_error(format!("--solve-max-memory: {e}")),
+                    _ => return usage_error("--solve-max-memory needs a byte size (e.g. 64M)"),
+                }
+            }
+            "--port" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u16>().ok()) {
+                    Some(n) => cfg.port = Some(n),
+                    None => return usage_error("--port needs a TCP port (0 = OS-assigned)"),
+                }
+            }
+            "--port-file" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => cfg.port_file = Some(p.clone()),
+                    None => return usage_error("--port-file needs an output file path"),
+                }
+            }
+            "--inject-faults" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => fault_spec = Some(s.clone()),
+                    None => {
+                        return usage_error(
+                            "--inject-faults needs RATE,KINDS (e.g. 0.05,delay+cancel)",
+                        )
+                    }
+                }
+            }
+            "--fault-seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) => fault_seed = n,
+                    None => return usage_error("--fault-seed needs an integer seed"),
+                }
+            }
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => cfg.trace_path = Some(p.clone()),
+                    None => return usage_error("--trace needs an output file path"),
+                }
+            }
+            "--no-stdin" => cfg.use_stdin = false,
+            "--no-share" => cfg.solve.share = false,
+            flag if flag.starts_with("--") => {
+                let exit = usage_error(format!("unknown flag {flag}"));
+                eprintln!("{SERVE_USAGE}");
+                return exit;
+            }
+            file => cfg.sources.push(ProgramSource::File(file.to_string())),
+        }
+        i += 1;
+    }
+    if cfg.sources.is_empty() {
+        eprintln!("{SERVE_USAGE}");
+        return usage_error("serve needs at least one program (a FILE.jir or --workload)");
+    }
+    if !cfg.use_stdin && cfg.port.is_none() {
+        return usage_error("--no-stdin needs --port, or the daemon would be unreachable");
+    }
+    if let Some(spec) = &fault_spec {
+        match FaultInjector::parse(spec, fault_seed) {
+            Ok(inj) => cfg.faults = Some(inj),
+            Err(e) => return usage_error(format!("--inject-faults: {e}")),
+        }
+    }
+    match pta_serve::run(cfg) {
+        // Startup errors are pre-flight: unreadable inputs are E031, bad
+        // specs (unknown policy, duplicate program names, parse failures)
+        // are E030. Both exit 2 like every other pre-flight error.
+        Err(msg) if msg.starts_with("cannot read") || msg.starts_with("cannot write") => {
+            io_error(msg)
+        }
+        Err(msg) => usage_error(msg),
+        Ok(code) => ExitCode::from(u8::try_from(code).unwrap_or(EXIT_USAGE)),
+    }
 }
