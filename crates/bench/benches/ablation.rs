@@ -22,9 +22,9 @@ fn ablation(bench: &mut Bench, group: &str, workload: &str, analyses: &[Analysis
     for &analysis in analyses {
         bench.measure(&format!("{group}/{}", analysis.name()), || {
             black_box(
-                AnalysisSession::new(black_box(&program))
+                AnalysisSession::open(black_box(program.clone()))
                     .policy(analysis)
-                    .run(),
+                    .solve(),
             )
         });
     }
@@ -72,9 +72,9 @@ fn main() {
         let program = dacapo_workload("antlr", f64::from(scale));
         bench.measure(&format!("ablation-scaling/{scale}x"), || {
             black_box(
-                AnalysisSession::new(black_box(&program))
+                AnalysisSession::open(black_box(program.clone()))
                     .policy(Analysis::STwoObjH)
-                    .run(),
+                    .solve(),
             )
         });
     }

@@ -25,9 +25,9 @@ fn bench_group(bench: &mut Bench, group_name: &str, analyses: &[Analysis]) {
     for &analysis in analyses {
         bench.measure(&format!("{group_name}/{}", analysis.name()), || {
             black_box(
-                AnalysisSession::new(black_box(&program))
+                AnalysisSession::open(black_box(program.clone()))
                     .policy(analysis)
-                    .run(),
+                    .solve(),
             )
         });
     }

@@ -16,32 +16,32 @@ fn main() {
     bench.sample_size(10);
     bench.measure("solver-vs-datalog/specialized/1obj", || {
         black_box(
-            AnalysisSession::new(black_box(&program))
+            AnalysisSession::open(black_box(program.clone()))
                 .policy(Analysis::OneObj)
-                .run(),
+                .solve(),
         )
     });
     bench.measure("solver-vs-datalog/datalog/1obj", || {
         black_box(
-            AnalysisSession::new(black_box(&program))
+            AnalysisSession::open(black_box(program.clone()))
                 .policy(Analysis::OneObj)
                 .backend(Backend::Datalog)
-                .run(),
+                .solve(),
         )
     });
     bench.measure("solver-vs-datalog/specialized/S-2obj+H", || {
         black_box(
-            AnalysisSession::new(black_box(&program))
+            AnalysisSession::open(black_box(program.clone()))
                 .policy(Analysis::STwoObjH)
-                .run(),
+                .solve(),
         )
     });
     bench.measure("solver-vs-datalog/datalog/S-2obj+H", || {
         black_box(
-            AnalysisSession::new(black_box(&program))
+            AnalysisSession::open(black_box(program.clone()))
                 .policy(Analysis::STwoObjH)
                 .backend(Backend::Datalog)
-                .run(),
+                .solve(),
         )
     });
     bench.sample_size(20);

@@ -679,7 +679,7 @@ pub fn run_cell_observed(
         if let Some(bytes) = max_memory {
             budget = budget.with_max_memory(bytes);
         }
-        let mut session = AnalysisSession::new(program)
+        let mut session = AnalysisSession::open(program.clone())
             .policy(analysis)
             .threads(threads)
             .budget(budget)
@@ -689,7 +689,7 @@ pub fn run_cell_observed(
         if let Some(token) = cancel {
             session = session.cancel(token.clone());
         }
-        let result = session.run();
+        let result = session.solve();
         (start.elapsed().as_secs_f64(), result)
     };
     pta_govern::memtrack::reset_peak();

@@ -97,7 +97,9 @@ mod tests {
     #[test]
     fn insensitive_analysis_cannot_prove_the_casts() {
         let p = parse_program(SOURCE).unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::Insens)
+            .solve();
         let (failing, total) = may_fail_casts(&p, &r);
         assert_eq!(total, 2);
         // Both boxes are conflated: each cast sees both A and B.
@@ -108,7 +110,9 @@ mod tests {
     #[test]
     fn object_sensitive_analysis_proves_the_casts() {
         let p = parse_program(SOURCE).unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::OneObj)
+            .solve();
         let (failing, total) = may_fail_casts(&p, &r);
         assert_eq!(total, 2);
         assert!(
@@ -131,7 +135,9 @@ mod tests {
         "#,
         )
         .unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::Insens)
+            .solve();
         let (failing, total) = may_fail_casts(&p, &r);
         assert_eq!(total, 0);
         assert!(failing.is_empty());
@@ -150,7 +156,9 @@ mod tests {
         "#,
         )
         .unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::Insens)
+            .solve();
         let (failing, total) = may_fail_casts(&p, &r);
         assert_eq!(total, 1);
         assert!(failing.is_empty());

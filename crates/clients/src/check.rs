@@ -236,7 +236,9 @@ mod tests {
     fn cross_validated_report_and_diagnostics() {
         let p = parse_program(SOURCE).unwrap();
         let spec = CheckSpec::parse(SPEC).unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::OneObjH).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::OneObjH)
+            .solve();
         let report = run_check(&p, &r, &spec, ClientBackend::CrossValidated);
         assert!(!report.partial);
         assert_eq!(report.taint.len(), 1);
@@ -254,10 +256,10 @@ mod tests {
     fn partial_result_is_tagged_w023() {
         let p = parse_program(SOURCE).unwrap();
         let spec = CheckSpec::parse(SPEC).unwrap();
-        let r = AnalysisSession::new(&p)
+        let r = AnalysisSession::open(p.clone())
             .policy(Analysis::TwoObjH)
             .budget(Budget::default().with_max_steps(1))
-            .run();
+            .solve();
         assert!(!r.termination().is_complete());
         let report = run_check(&p, &r, &spec, ClientBackend::Direct);
         assert!(report.partial);

@@ -109,7 +109,9 @@ mod tests {
     #[test]
     fn insens_sees_polymorphic_handlers() {
         let p = parse_program(SOURCE).unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::Insens)
+            .solve();
         let (poly, total) = poly_virtual_calls(&p, &r);
         // set/get on conflated boxes stay monomorphic (one Box class), but
         // the two handle() calls each see {Fast, Slow}.
@@ -123,7 +125,9 @@ mod tests {
     #[test]
     fn one_obj_devirtualizes_the_handlers() {
         let p = parse_program(SOURCE).unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::OneObj)
+            .solve();
         let (poly, total) = poly_virtual_calls(&p, &r);
         assert_eq!(total, 6);
         assert!(poly.is_empty(), "1obj separates the boxes: {poly:?}");
@@ -144,7 +148,9 @@ mod tests {
         "#,
         )
         .unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::Insens)
+            .solve();
         let (poly, total) = poly_virtual_calls(&p, &r);
         assert_eq!(total, 0);
         assert!(poly.is_empty());

@@ -90,7 +90,9 @@ mod tests {
     #[test]
     fn static_reachability_escapes_locals_stay() {
         let p = parse_program(SOURCE).unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::Insens)
+            .solve();
         let findings = escape_findings(&p, &r);
         let labels: Vec<&str> = findings.iter().map(|f| p.heap_label(f.heap)).collect();
         // `pub` escapes through the static cell; `inner` escapes through
@@ -121,7 +123,9 @@ mod tests {
     #[test]
     fn uncaught_exceptions_escape() {
         let p = parse_program(THROWING).unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::Insens)
+            .solve();
         let findings = escape_findings(&p, &r);
         assert_eq!(findings.len(), 1);
         assert!(p.heap_label(findings[0].heap).contains("new Err"));

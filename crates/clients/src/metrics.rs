@@ -89,7 +89,9 @@ mod tests {
     #[test]
     fn metrics_are_internally_consistent() {
         let p = parse_program(SOURCE).unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::Insens)
+            .solve();
         let m = precision_metrics(&p, &r);
         assert_eq!(m.reachable_methods, 4); // main, pick, A.m, B.m
         assert_eq!(m.reachable_virtual_calls, 1);
@@ -108,11 +110,17 @@ mod tests {
     #[test]
     fn more_context_means_no_worse_precision_metrics() {
         let p = parse_program(SOURCE).unwrap();
-        let insens =
-            precision_metrics(&p, &AnalysisSession::new(&p).policy(Analysis::Insens).run());
+        let insens = precision_metrics(
+            &p,
+            &AnalysisSession::open(p.clone())
+                .policy(Analysis::Insens)
+                .solve(),
+        );
         let obj = precision_metrics(
             &p,
-            &AnalysisSession::new(&p).policy(Analysis::SAOneObj).run(),
+            &AnalysisSession::open(p.clone())
+                .policy(Analysis::SAOneObj)
+                .solve(),
         );
         assert!(obj.may_fail_casts <= insens.may_fail_casts);
         assert!(obj.poly_virtual_calls <= insens.poly_virtual_calls);

@@ -191,7 +191,9 @@ mod tests {
     #[test]
     fn unwritten_cell_load_flags_its_deref() {
         let p = parse_program(SOURCE).unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::SAOneObj).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::SAOneObj)
+            .solve();
         let findings = nullness_findings(&p, &r);
         // Only `y` loads from the unwritten (empty, val) cell; `x`'s cell
         // was written.
@@ -222,7 +224,9 @@ mod tests {
     #[test]
     fn nullness_flows_through_calls_and_field_cells() {
         let p = parse_program(FLOWS).unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::SAOneObj).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::SAOneObj)
+            .solve();
         let findings = nullness_findings(&p, &r);
         let vars: Vec<&str> = findings.iter().map(|f| p.var_name(f.var)).collect();
         // z: null through the call; w: null through the (box, val) cell.

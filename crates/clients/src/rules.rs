@@ -370,7 +370,7 @@ mod tests {
         let p = pta_workload::generate(&cfg);
         let spec = CheckSpec::parse(pta_workload::TAINT_SPEC).unwrap();
         for analysis in [Analysis::Insens, Analysis::SAOneObj] {
-            let r = AnalysisSession::new(&p).policy(analysis).run();
+            let r = AnalysisSession::open(p.clone()).policy(analysis).solve();
             let dl = datalog_check(&p, &r, &spec);
             assert_eq!(dl.taint, taint_findings(&p, &r, &spec), "{analysis} taint");
             assert_eq!(dl.escape, escape_findings(&p, &r), "{analysis} escape");
@@ -388,7 +388,9 @@ mod tests {
     fn rules_match_on_dacapo_shape() {
         let p = dacapo_workload("luindex", 0.08);
         let spec = CheckSpec::parse("sink Nothing.matches 0\n").unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::OneObj)
+            .solve();
         let dl = datalog_check(&p, &r, &spec);
         assert_eq!(dl.taint, taint_findings(&p, &r, &spec));
         assert_eq!(dl.escape, escape_findings(&p, &r));

@@ -83,17 +83,19 @@ mod tests {
 
     fn with_tuples(analysis: Analysis) -> (pta_ir::Program, PointsToResult) {
         let p = generate(&WorkloadConfig::tiny(5));
-        let r = AnalysisSession::new(&p)
+        let r = AnalysisSession::open(p.clone())
             .policy(analysis)
             .keep_tuples(true)
-            .run();
+            .solve();
         (p, r)
     }
 
     #[test]
     fn requires_retained_tuples() {
         let p = generate(&WorkloadConfig::tiny(5));
-        let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::OneObj)
+            .solve();
         assert!(context_stats(&p, &r, 5).is_none());
     }
 

@@ -136,7 +136,9 @@ mod tests {
     fn direct_field_and_sanitized_flows() {
         let p = parse_program(SOURCE).unwrap();
         let spec = CheckSpec::parse(SPEC).unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::OneCall).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::OneCall)
+            .solve();
         let findings = taint_findings(&p, &r, &spec);
         // sink(t): the tainted payload directly; sink(k): the crate holding
         // it. sink(c) is clean and sink(s) is laundered by the sanitizer.
@@ -152,7 +154,9 @@ mod tests {
     #[test]
     fn empty_spec_reports_nothing() {
         let p = parse_program(SOURCE).unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::Insens)
+            .solve();
         assert!(taint_findings(&p, &r, &CheckSpec::default()).is_empty());
     }
 }

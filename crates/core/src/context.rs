@@ -355,7 +355,7 @@ impl<K: InternKey> DenseMap<K> {
 }
 
 /// Interner for calling contexts.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CtxInterner {
     map: DenseMap<Ctx>,
 }
@@ -418,7 +418,7 @@ impl CtxInterner {
 }
 
 /// Interner for heap contexts.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HCtxInterner {
     map: DenseMap<HeapCtx>,
 }

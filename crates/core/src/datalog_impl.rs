@@ -25,7 +25,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use pta_datalog::{Engine, EngineStats, RelId, Term, VerifyReport};
+use pta_datalog::{Engine, RelId, Term, VerifyReport};
 use pta_govern::{Budget, CancelToken};
 use pta_ir::hash::{FxHashMap, FxHashSet};
 use pta_ir::{FieldId, HeapId, Instr, InvoId, MethodId, Program, TypeId, VarId};
@@ -61,7 +61,7 @@ pub(crate) fn run_datalog_opt<P>(
     budget: &Budget,
     cancel: Option<&CancelToken>,
     profile: bool,
-) -> (PointsToResult, EngineStats)
+) -> PointsToResult
 where
     P: ContextPolicy + Clone + 'static,
 {
@@ -224,7 +224,17 @@ where
         })
     });
 
-    let result = PointsToResult {
+    // The generic engine's evaluation shape (fixpoint rounds, strata,
+    // total rows) folds into the uniform counter block; the dense
+    // solver's own counters stay zero for this back end.
+    let solver_stats = crate::results::SolverStats {
+        engine_rounds: stats.rounds as u64,
+        engine_strata: stats.strata as u64,
+        engine_rows: stats.total_rows as u64,
+        ..crate::results::SolverStats::default()
+    };
+
+    PointsToResult {
         var_points_to,
         call_graph_edges: cg_insens.len(),
         call_targets,
@@ -243,16 +253,13 @@ where
         static_points_to,
         ctx_interner,
         hctx_interner,
-        // The generic engine reports its own EvalStats; the dense solver's
-        // counters stay zero for this back end.
-        stats: crate::results::SolverStats::default(),
+        stats: solver_stats,
         shard_stats: Vec::new(),
         termination: stats.termination,
         // This back end never degrades contexts mid-run.
         demoted: Vec::new(),
         profile: profile_box,
-    };
-    (result, stats)
+    }
 }
 
 /// Runs only the pre-flight verifier over the literal Figure 2 rule set as
@@ -770,10 +777,11 @@ mod tests {
     fn datalog_matches_solver_on_box_program() {
         let (p, [r1, r2]) = box_program();
         for analysis in [Analysis::Insens, Analysis::OneObj, Analysis::STwoObjH] {
-            let fast = AnalysisSession::new(&p).policy(analysis).run();
-            let (slow, _) = AnalysisSession::new(&p)
+            let fast = AnalysisSession::open(p.clone()).policy(analysis).solve();
+            let slow = AnalysisSession::open(p.clone())
                 .policy(analysis)
-                .run_datalog_with_stats();
+                .backend(Backend::Datalog)
+                .solve();
             for var in p.vars() {
                 assert_eq!(
                     fast.points_to(var),
@@ -789,13 +797,13 @@ mod tests {
             assert_eq!(fast.reachable_method_count(), slow.reachable_method_count());
         }
         // And the object-sensitive analysis is actually precise here.
-        let obj = AnalysisSession::new(&p)
+        let obj = AnalysisSession::open(p.clone())
             .policy(Analysis::OneObj)
             .backend(Backend::Datalog)
-            .run();
+            .solve();
         assert_eq!(obj.points_to(r1).len(), 1);
         assert_eq!(obj.points_to(r2).len(), 1);
-        let insens = AnalysisSession::new(&p).backend(Backend::Datalog).run();
+        let insens = AnalysisSession::open(p).backend(Backend::Datalog).solve();
         assert_eq!(insens.points_to(r1).len(), 2);
     }
 }

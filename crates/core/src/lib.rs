@@ -51,8 +51,10 @@
 //!
 //! // 1obj merges the two static calls; the selective hybrid SA-1obj
 //! // distinguishes them by call site — the paper's core observation.
-//! let merged = AnalysisSession::new(&program).policy(Analysis::OneObj).run();
-//! let hybrid = AnalysisSession::new(&program).policy(Analysis::SAOneObj).run();
+//! let merged = AnalysisSession::open(program.clone())
+//!     .policy(Analysis::OneObj)
+//!     .solve();
+//! let hybrid = AnalysisSession::open(program).policy(Analysis::SAOneObj).solve();
 //! assert_eq!(merged.points_to(r1).len(), 2);
 //! assert_eq!(hybrid.points_to(r1).len(), 1);
 //! # let _ = r2;

@@ -291,6 +291,20 @@ impl PtsSet {
         }
     }
 
+    /// Empties the set, returning any store-owned resources: a `Shared`
+    /// base is released back to `store` (evicting it if this set was the
+    /// last holder) and bitmap bytes leave the store's deterministic
+    /// memory model. The retraction path of the incremental solver clears
+    /// whole keys through this — element-wise removal is never needed
+    /// because invalidation is key-granular.
+    pub fn clear_in(&mut self, store: &mut PtsStore) {
+        match std::mem::take(&mut self.repr) {
+            Repr::Bitmap { words, .. } => store.untrack_bitmap_bytes(words.len() as u64 * 8),
+            Repr::Shared { base, .. } => store.release(&base),
+            Repr::Inline { .. } | Repr::Small(_) => {}
+        }
+    }
+
     /// Iterates the elements in ascending order.
     pub fn iter(&self) -> Iter<'_> {
         match &self.repr {
@@ -800,5 +814,59 @@ mod tests {
             set.extend_into(&mut out);
             assert_eq!(out, want, "extend_into disagrees with the model");
         }
+    }
+
+    /// The retraction path of the incremental solver empties whole keys
+    /// through `clear_in`; shared representations must leave the store
+    /// when their last holder is cleared, or every `apply()` with
+    /// retractions would leak superseded representations into the index
+    /// forever.
+    #[test]
+    fn retraction_clear_evicts_last_holder_shared_representations() {
+        let mut store = PtsStore::new();
+        let mut a = PtsSet::new();
+        let mut b = PtsSet::new();
+        for v in 0..SHARE_MIN as u32 {
+            a.insert_in(&mut store, v * 2);
+        }
+        for v in 0..SHARE_MIN as u32 {
+            b.insert_in(&mut store, v * 2);
+        }
+        assert!(a.is_shared() && b.is_shared());
+        let saved = store.bytes_saved();
+        assert!(saved > 0, "copy chain should have produced an intern hit");
+        let live = store.heap_bytes();
+        assert!(live > 0);
+
+        // First clear: the sibling still holds the representation, so it
+        // stays in the store.
+        a.clear_in(&mut store);
+        assert!(a.is_empty());
+        assert_eq!(store.heap_bytes(), live, "rep still live through b");
+
+        // Last clear: the representation leaves the index and the
+        // deterministic memory model.
+        b.clear_in(&mut store);
+        assert!(b.is_empty());
+        assert_eq!(store.heap_bytes(), 0, "last holder cleared: rep leaked");
+
+        // `bytes_saved` is a cumulative event counter — eviction must
+        // never wind it back (monotonicity guard).
+        assert_eq!(store.bytes_saved(), saved);
+
+        // Same contents again: no stale index entry to hit, so this is a
+        // fresh intern, not a share.
+        let hits = store.sets_shared();
+        let mut c = PtsSet::new();
+        for v in 0..SHARE_MIN as u32 {
+            c.insert_in(&mut store, v * 2);
+        }
+        assert!(c.is_shared());
+        assert_eq!(
+            store.sets_shared(),
+            hits,
+            "hit against an evicted representation"
+        );
+        assert!(store.heap_bytes() > 0);
     }
 }

@@ -158,6 +158,13 @@ pub struct SolverStats {
     pub sets_shared: u64,
     /// Bytes of duplicate set representations avoided by unification.
     pub bytes_saved: u64,
+    /// Fixpoint rounds executed by the Datalog engine (0 for dense runs).
+    pub engine_rounds: u64,
+    /// Strata executed by the Datalog engine (0 for dense runs).
+    pub engine_strata: u64,
+    /// Total rows derived by the Datalog engine, including input facts
+    /// (0 for dense runs).
+    pub engine_rows: u64,
 }
 
 impl SolverStats {
@@ -206,6 +213,9 @@ impl SolverStats {
             ("sets_interned", self.sets_interned),
             ("sets_shared", self.sets_shared),
             ("bytes_saved", self.bytes_saved),
+            ("engine_rounds", self.engine_rounds),
+            ("engine_strata", self.engine_strata),
+            ("engine_rows", self.engine_rows),
         ]
     }
 
@@ -238,6 +248,9 @@ impl SolverStats {
             (&mut self.sets_interned, other.sets_interned),
             (&mut self.sets_shared, other.sets_shared),
             (&mut self.bytes_saved, other.bytes_saved),
+            (&mut self.engine_rounds, other.engine_rounds),
+            (&mut self.engine_strata, other.engine_strata),
+            (&mut self.engine_rows, other.engine_rows),
         ] {
             *mine += theirs;
         }

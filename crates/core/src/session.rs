@@ -1,8 +1,9 @@
-//! The unified entry point: one builder for every way to run an analysis.
+//! The unified entry point: one owned, versioned session per program.
 //!
-//! Historically the crate grew five free entry functions — one per
-//! (back end × configuration) corner. [`AnalysisSession`] collapses
-//! them into a single builder, and the free functions are gone:
+//! [`AnalysisSession`] owns its program (behind an [`Arc`], so opening a
+//! session from a shared program is free) and is the single way to run an
+//! analysis — every (back end × configuration) corner dispatches through
+//! [`AnalysisSession::solve`]:
 //!
 //! ```
 //! use pta_core::{Analysis, AnalysisSession, Backend};
@@ -17,15 +18,31 @@
 //! b.entry_point(main);
 //! let program = b.finish()?;
 //!
-//! let result = AnalysisSession::new(&program)
+//! let mut session = AnalysisSession::open(program)
 //!     .policy(Analysis::STwoObjH)
 //!     .backend(Backend::Dense)
-//!     .threads(4)
-//!     .run();
+//!     .threads(4);
+//! let result = session.solve();
 //! assert_eq!(result.points_to(v).len(), 1);
 //! # Ok::<(), pta_ir::ValidateError>(())
 //! ```
 //!
+//! ## Incremental maintenance
+//!
+//! A session is long-lived: after a solve it can absorb a
+//! [`ProgramDelta`] through [`AnalysisSession::apply`], which advances
+//! the owned program to the next [`AnalysisSession::version`] and returns
+//! the updated result. With [`AnalysisSession::incremental`] enabled (and
+//! an eligible configuration — sequential dense back end, no budget, no
+//! degradation, no observability capture), the solver state from the
+//! previous solve is *retained* and the fixpoint is maintained in place
+//! (see [`crate::solver::incremental`]): additive edits resume semi-naive
+//! evaluation, retractions run delete-and-rederive over the invalidation
+//! cone, and anything the maintenance layer cannot handle exactly
+//! (exception-flow retraction, dispatch-changing overrides, excessive
+//! churn) transparently falls back to a from-scratch solve of the new
+//! program. Either way the result is byte-identical to a fresh solve;
+//! [`AnalysisSession::last_apply_was_incremental`] reports which path ran.
 //!
 //! ## Back-end and thread dispatch
 //!
@@ -40,23 +57,43 @@
 //! thread silently: they are observability/testing features where the
 //! result, not wall-clock, is the point.
 
-use pta_datalog::EngineStats;
-use pta_govern::{Budget, CancelToken};
-use pta_ir::Program;
+use std::fmt;
+use std::sync::Arc;
+
+use pta_govern::{Budget, CancelToken, Termination};
+use pta_ir::{DeltaError, Program, ProgramBuilder, ProgramDelta};
 
 use crate::datalog_impl;
 use crate::fault::FaultPlan;
 use crate::parallel::solve_parallel;
 use crate::policy::{Analysis, ContextPolicy};
 use crate::results::PointsToResult;
-use crate::solver::{solve_sequential, SolverConfig};
+use crate::solver::incremental::ApplyOutcome;
+use crate::solver::{solve_sequential, Solver, SolverConfig};
+
+/// A tiny well-formed program parked in the session's (and retained
+/// solver's) program slot while [`AnalysisSession::apply`] edits the real
+/// one in place — recalling those handles is what makes the current
+/// version uniquely owned. Shared process-wide; building it is a one-time
+/// cost.
+fn placeholder_program() -> Arc<Program> {
+    static PLACEHOLDER: std::sync::OnceLock<Arc<Program>> = std::sync::OnceLock::new();
+    Arc::clone(PLACEHOLDER.get_or_init(|| {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let main = b.method(object, "placeholder", &[], true);
+        b.entry_point(main);
+        Arc::new(b.finish().expect("placeholder program is well-formed"))
+    }))
+}
 
 /// Which evaluation engine a session runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
     /// The specialized dense worklist solver ([`crate::solver`]) — the
     /// fast path, and the only back end with parallel execution, graceful
-    /// degradation, provenance, and fault injection.
+    /// degradation, provenance, fault injection, and incremental
+    /// maintenance.
     #[default]
     Dense,
     /// The literal Figure 2 rule set on the generic Datalog engine
@@ -65,42 +102,75 @@ pub enum Backend {
     Datalog,
 }
 
-/// A configured analysis run: program, policy, back end, thread count,
-/// and resource governance, assembled fluently and executed with
-/// [`AnalysisSession::run`].
-#[derive(Debug)]
-pub struct AnalysisSession<'a, P: ContextPolicy = Analysis> {
-    program: &'a Program,
+/// An owned, versioned analysis session: program, policy, back end,
+/// thread count and resource governance, assembled fluently, executed
+/// with [`AnalysisSession::solve`], and kept alive across
+/// [`AnalysisSession::apply`] edits.
+pub struct AnalysisSession<P: ContextPolicy = Analysis> {
+    program: Arc<Program>,
+    version: u64,
     policy: P,
     backend: Backend,
     threads: usize,
     config: SolverConfig,
+    incremental: bool,
+    /// Solver state retained by the last eligible solve, consumed (and
+    /// usually re-retained) by the next `apply`.
+    retained: Option<Solver<P>>,
+    last_apply_was_incremental: bool,
+    last_fallback: Option<&'static str>,
 }
 
-impl<'a> AnalysisSession<'a, Analysis> {
-    /// Starts a session over `program` with the default configuration:
+impl AnalysisSession<Analysis> {
+    /// Opens a session owning `program`, with the default configuration:
     /// context-insensitive policy, dense back end, one thread, no budget.
-    pub fn new(program: &'a Program) -> AnalysisSession<'a, Analysis> {
+    pub fn open(program: Program) -> AnalysisSession<Analysis> {
+        AnalysisSession::from_arc(Arc::new(program))
+    }
+
+    /// Opens a session over an already-shared program (no copy).
+    pub fn from_arc(program: Arc<Program>) -> AnalysisSession<Analysis> {
         AnalysisSession {
             program,
+            version: 1,
             policy: Analysis::Insens,
             backend: Backend::Dense,
             threads: 1,
             config: SolverConfig::default(),
+            incremental: false,
+            retained: None,
+            last_apply_was_incremental: false,
+            last_fallback: None,
         }
+    }
+
+    /// Compatibility shim for the historical borrowing constructor:
+    /// clones `program` into an owned session.
+    #[deprecated(
+        since = "0.9.0",
+        note = "sessions own their program now — use `AnalysisSession::open(program)` \
+                or `AnalysisSession::from_arc(arc)` instead of borrowing"
+    )]
+    pub fn new(program: &Program) -> AnalysisSession<Analysis> {
+        AnalysisSession::from_arc(Arc::new(program.clone()))
     }
 }
 
-impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
+impl<P: ContextPolicy> AnalysisSession<P> {
     /// Selects the context policy (any [`Analysis`] variant or a custom
-    /// [`ContextPolicy`] implementation).
-    pub fn policy<Q: ContextPolicy>(self, policy: Q) -> AnalysisSession<'a, Q> {
+    /// [`ContextPolicy`] implementation). Drops any retained solver state.
+    pub fn policy<Q: ContextPolicy>(self, policy: Q) -> AnalysisSession<Q> {
         AnalysisSession {
             program: self.program,
+            version: self.version,
             policy,
             backend: self.backend,
             threads: self.threads,
             config: self.config,
+            incremental: self.incremental,
+            retained: None,
+            last_apply_was_incremental: false,
+            last_fallback: None,
         }
     }
 
@@ -108,6 +178,7 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
     #[must_use]
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self.retained = None;
         self
     }
 
@@ -117,6 +188,7 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self.retained = None;
         self
     }
 
@@ -125,6 +197,7 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
     #[must_use]
     pub fn budget(mut self, budget: Budget) -> Self {
         self.config.budget = budget;
+        self.retained = None;
         self
     }
 
@@ -133,6 +206,7 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
     #[must_use]
     pub fn degrade(mut self, degrade: bool) -> Self {
         self.config.degrade = degrade;
+        self.retained = None;
         self
     }
 
@@ -140,6 +214,7 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
     #[must_use]
     pub fn cancel(mut self, cancel: CancelToken) -> Self {
         self.config.cancel = Some(cancel);
+        self.retained = None;
         self
     }
 
@@ -148,6 +223,7 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
     #[must_use]
     pub fn keep_tuples(mut self, keep: bool) -> Self {
         self.config.keep_tuples = keep;
+        self.retained = None;
         self
     }
 
@@ -156,6 +232,7 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
     #[must_use]
     pub fn share(mut self, share: bool) -> Self {
         self.config.share = share;
+        self.retained = None;
         self
     }
 
@@ -164,6 +241,7 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
     #[must_use]
     pub fn track_provenance(mut self, track: bool) -> Self {
         self.config.track_provenance = track;
+        self.retained = None;
         self
     }
 
@@ -172,6 +250,7 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
     #[must_use]
     pub fn fault(mut self, fault: FaultPlan) -> Self {
         self.config.fault = Some(fault);
+        self.retained = None;
         self
     }
 
@@ -184,6 +263,7 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
     #[must_use]
     pub fn trace(mut self, trace: pta_obs::Trace) -> Self {
         self.config.trace = trace;
+        self.retained = None;
         self
     }
 
@@ -194,6 +274,7 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
     #[must_use]
     pub fn profile(mut self, profile: bool) -> Self {
         self.config.profile = profile;
+        self.retained = None;
         self
     }
 
@@ -202,7 +283,51 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
     #[must_use]
     pub fn config(mut self, config: SolverConfig) -> Self {
         self.config = config;
+        self.retained = None;
         self
+    }
+
+    /// Opts the session into incremental fixpoint maintenance: eligible
+    /// solves retain their solver state so a later
+    /// [`AnalysisSession::apply`] can maintain the fixpoint in place
+    /// instead of re-solving. Off by default (retention keeps the full
+    /// solver state alive between calls).
+    #[must_use]
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        if !incremental {
+            self.retained = None;
+        }
+        self
+    }
+
+    /// The program this session currently analyzes.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The program version: 1 for the program the session was opened
+    /// with, bumped by every successful [`AnalysisSession::apply`].
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// `true` if the last [`AnalysisSession::apply`] maintained the
+    /// fixpoint incrementally; `false` if it re-solved from scratch (or
+    /// no `apply` has happened yet).
+    pub fn last_apply_was_incremental(&self) -> bool {
+        self.last_apply_was_incremental
+    }
+
+    /// Why the last [`AnalysisSession::apply`] fell back to a full
+    /// re-solve, if it did.
+    pub fn last_fallback(&self) -> Option<&'static str> {
+        self.last_fallback
+    }
+
+    /// `true` while solver state is retained for incremental maintenance.
+    pub fn is_retained(&self) -> bool {
+        self.retained.is_some()
     }
 
     /// The effective dense worker count after resolving `0` = auto and
@@ -226,50 +351,165 @@ impl<'a, P: ContextPolicy> AnalysisSession<'a, P> {
         }
     }
 
-    /// Runs the session. `Clone + 'static` is required because the
-    /// Datalog back end registers the policy's context constructors as
-    /// boxed engine functors; every policy in the crate is a copyable
-    /// value, so the bound is free in practice.
-    pub fn run(self) -> PointsToResult
+    /// An incremental-eligible configuration: the maintenance layer is
+    /// exact only for the sequential dense solver with no resource
+    /// governance or degradation and no per-run capture state.
+    fn retention_eligible(&self) -> bool {
+        self.incremental
+            && self.backend == Backend::Dense
+            && self.effective_threads() == 1
+            && self.config.budget.is_unlimited()
+            && !self.config.degrade
+            && !self.config.keep_tuples
+            && !self.config.track_provenance
+            && !self.config.profile
+            && self.config.fault.is_none()
+    }
+
+    /// Solves the current program version from scratch. With
+    /// [`AnalysisSession::incremental`] enabled and an eligible
+    /// configuration, the solver state is retained for later
+    /// [`AnalysisSession::apply`] calls. `Clone + 'static` is required
+    /// because the Datalog back end registers the policy's context
+    /// constructors as boxed engine functors; every policy in the crate
+    /// is a copyable value, so the bound is free in practice.
+    pub fn solve(&mut self) -> PointsToResult
     where
         P: Clone + 'static,
     {
+        self.retained = None;
         match self.backend {
             Backend::Dense => {
                 let threads = self.effective_threads();
                 if threads > 1 {
-                    solve_parallel(self.program, &self.policy, self.config, threads)
+                    solve_parallel(&self.program, &self.policy, self.config.clone(), threads)
+                } else if self.retention_eligible() {
+                    let mut config = self.config.clone();
+                    config.retain = true;
+                    let mut solver =
+                        Solver::new(Arc::clone(&self.program), self.policy.clone(), config);
+                    let termination = solver.solve_fix();
+                    let keep = termination == Termination::Complete && !solver.has_demotions();
+                    let result = solver.build_result(termination, keep);
+                    if keep {
+                        self.retained = Some(solver);
+                    }
+                    result
                 } else {
-                    solve_sequential(self.program, &self.policy, self.config)
+                    solve_sequential(&self.program, &self.policy, self.config.clone())
                 }
             }
-            Backend::Datalog => {
-                datalog_impl::run_datalog_opt(
-                    self.program,
-                    &self.policy,
-                    &self.config.budget,
-                    self.config.cancel.as_ref(),
-                    self.config.profile,
-                )
-                .0
+            Backend::Datalog => datalog_impl::run_datalog_opt(
+                &self.program,
+                &self.policy,
+                &self.config.budget,
+                self.config.cancel.as_ref(),
+                self.config.profile,
+            ),
+        }
+    }
+
+    /// Applies `delta` to the session's program (validating it against
+    /// the current version) and returns the analysis result for the new
+    /// version. When solver state was retained and the delta is within
+    /// the maintenance layer's exact fragment, the existing fixpoint is
+    /// updated in place; otherwise the new program is solved from
+    /// scratch. The result is byte-identical either way.
+    pub fn apply(&mut self, delta: &ProgramDelta) -> Result<PointsToResult, DeltaError>
+    where
+        P: Clone + 'static,
+    {
+        let new_program = self.advance_program(delta)?;
+        self.last_apply_was_incremental = false;
+        self.last_fallback = None;
+        if let Some(mut solver) = self.retained.take() {
+            match solver.apply_delta(&new_program, delta) {
+                ApplyOutcome::Done(termination) => {
+                    self.program = new_program;
+                    self.version += 1;
+                    let keep = termination == Termination::Complete && !solver.has_demotions();
+                    let result = solver.build_result(termination, keep);
+                    if keep {
+                        self.retained = Some(solver);
+                    }
+                    self.last_apply_was_incremental = true;
+                    return Ok(result);
+                }
+                ApplyOutcome::Fallback(reason) => {
+                    self.last_fallback = Some(reason);
+                }
+            }
+        }
+        self.program = new_program;
+        self.version += 1;
+        Ok(self.solve())
+    }
+
+    /// Produces the next program version from `delta`.
+    ///
+    /// For additive deltas the session first recalls the retained
+    /// solver's program handle; if that leaves this session as the sole
+    /// owner of the current version, the edit mutates the program in
+    /// place — no arena clones. Any caller that kept an `Arc` to the
+    /// current version defeats uniqueness and gets the cloning path, so
+    /// old versions handed out through [`AnalysisSession::program`] are
+    /// never disturbed. Retracting deltas always clone: the maintenance
+    /// layer's cone collection reads the *old* program.
+    ///
+    /// On `Err` the session (program and retained solver) is unchanged.
+    /// On `Ok` the session's program slot holds a placeholder until the
+    /// caller installs the returned version.
+    fn advance_program(&mut self, delta: &ProgramDelta) -> Result<Arc<Program>, DeltaError> {
+        if delta.has_retractions() {
+            return Ok(Arc::new(self.program.apply_delta(delta)?));
+        }
+        if let Some(s) = self.retained.as_mut() {
+            s.set_program(placeholder_program());
+        }
+        let held = std::mem::replace(&mut self.program, placeholder_program());
+        let outcome = match Arc::try_unwrap(held) {
+            // In-place validation runs before the first mutation, so the
+            // program is unchanged whenever it errors.
+            Ok(mut p) => match p.apply_delta_in_place(delta) {
+                Ok(()) => Ok(Arc::new(p)),
+                Err(e) => Err((Arc::new(p), e)),
+            },
+            Err(held) => match held.apply_delta(delta) {
+                Ok(p) => Ok(Arc::new(p)),
+                Err(e) => Err((held, e)),
+            },
+        };
+        match outcome {
+            Ok(next) => Ok(next),
+            Err((old, e)) => {
+                if let Some(s) = self.retained.as_mut() {
+                    s.set_program(Arc::clone(&old));
+                }
+                self.program = old;
+                Err(e)
             }
         }
     }
 
-    /// Runs on the Datalog back end and also returns the engine's
-    /// evaluation statistics (fixpoint rounds, strata, total rows) — the
-    /// one output shape the dense back end cannot produce. Ignores the
-    /// configured [`Backend`].
-    pub fn run_datalog_with_stats(self) -> (PointsToResult, EngineStats)
+    /// Compatibility shim for the historical one-shot entry point.
+    #[deprecated(since = "0.9.0", note = "use `solve()` — sessions are reusable now")]
+    pub fn run(mut self) -> PointsToResult
     where
         P: Clone + 'static,
     {
-        datalog_impl::run_datalog_opt(
-            self.program,
-            &self.policy,
-            &self.config.budget,
-            self.config.cancel.as_ref(),
-            self.config.profile,
-        )
+        self.solve()
+    }
+}
+
+impl<P: ContextPolicy + fmt::Debug> fmt::Debug for AnalysisSession<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnalysisSession")
+            .field("version", &self.version)
+            .field("policy", &self.policy)
+            .field("backend", &self.backend)
+            .field("threads", &self.threads)
+            .field("incremental", &self.incremental)
+            .field("retained", &self.retained.is_some())
+            .finish_non_exhaustive()
     }
 }

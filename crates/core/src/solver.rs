@@ -47,10 +47,14 @@
 //! through [`PointsToResult::solver_stats`].
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use pta_govern::{Budget, BudgetMeter, CancelToken, Termination};
 use pta_ir::hash::{FxHashMap, FxHashSet};
-use pta_ir::{FieldId, HeapId, Instr, InvoId, MethodId, Program, SigId, SizeHints, TypeId, VarId};
+use pta_ir::{
+    FieldId, HeapId, Instr, InvoId, MethodId, Program, ProgramDelta, SigId, SizeHints, TypeId,
+    VarId,
+};
 
 use crate::context::{CtxId, CtxInterner, DenseMap, HCtxId, HCtxInterner};
 use crate::fault::FaultPlan;
@@ -96,6 +100,13 @@ pub struct SolverConfig {
     /// turns it off for differential debugging. Results are byte-identical
     /// either way — only memory (and the `sets_*` stats) change.
     pub share: bool,
+    /// Keep the solver state alive after the fixpoint so a later
+    /// [`ProgramDelta`](pta_ir::ProgramDelta) can be applied incrementally
+    /// (see [`crate::AnalysisSession::apply`]). Off by default: retention
+    /// clones the context interners into the result instead of moving
+    /// them, and maintains derivation-support counts on the
+    /// inter-procedural edge set.
+    pub retain: bool,
 }
 
 impl Default for SolverConfig {
@@ -110,6 +121,7 @@ impl Default for SolverConfig {
             trace: pta_obs::Trace::default(),
             profile: false,
             share: true,
+            retain: false,
         }
     }
 }
@@ -179,13 +191,19 @@ pub(crate) const NOT_DEMOTED: u32 = u32::MAX;
 pub(crate) const DEFAULT_WATERMARK: u32 = 16;
 
 /// The sequential dense back end behind [`crate::AnalysisSession`].
-pub(crate) fn solve_sequential<P: ContextPolicy>(
-    program: &Program,
+pub(crate) fn solve_sequential<P: ContextPolicy + Clone>(
+    program: &Arc<Program>,
     policy: &P,
     config: SolverConfig,
 ) -> PointsToResult {
-    Solver::new(program, policy, config).solve()
+    Solver::new(Arc::clone(program), policy.clone(), config).solve()
 }
+
+/// Incremental fixpoint maintenance (delta application, invalidation-cone
+/// retraction, reseeding) — a child module so it can reach the solver's
+/// private state without widening any visibility.
+#[path = "incremental.rs"]
+pub(crate) mod incremental;
 
 /// Builds one CSR-style `variable -> [items]` table from unsorted
 /// `(var, item)` pairs: a flat, sorted, deduplicated item array plus
@@ -303,6 +321,187 @@ impl StaticIndex {
             vcalls_on,
         }
     }
+
+    /// Extends the index with a purely additive delta's instructions —
+    /// the base-method appends plus the bodies of methods the delta
+    /// declares. Each CSR table is rebuilt by a linear merge of its old
+    /// (already sorted) flat array with the few sorted new pairs, so the
+    /// cost is one pass over the index instead of a re-scan and re-sort
+    /// of every instruction in the program. Retracting deltas must use
+    /// [`StaticIndex::build`] on the new program instead.
+    pub(crate) fn append_additive(&mut self, program: &Program, delta: &ProgramDelta) {
+        let n_new = program.var_count();
+        let n_old = self.rows.len() - 1;
+
+        let mut assigns_new: Vec<(u32, (VarId, Option<TypeId>))> = Vec::new();
+        let mut loads_new: Vec<(u32, (VarId, FieldId))> = Vec::new();
+        let mut stores_on_new: Vec<(u32, (FieldId, VarId))> = Vec::new();
+        let mut stores_of_new: Vec<(u32, (VarId, FieldId))> = Vec::new();
+        let mut sstores_new: Vec<(u32, FieldId)> = Vec::new();
+        let mut vcalls_new: Vec<(u32, (SigId, InvoId))> = Vec::new();
+        let mut thrown_new: FxHashSet<u32> = FxHashSet::default();
+        let new_method_instrs = (delta.base_method_count()..program.method_count())
+            .flat_map(|i| program.instrs(MethodId::from_index(i)).iter().copied());
+        for instr in delta
+            .appended_instrs()
+            .iter()
+            .map(|&(_, i)| i)
+            .chain(new_method_instrs)
+        {
+            match instr {
+                Instr::Move { to, from } => assigns_new.push((from.raw(), (to, None))),
+                Instr::Cast { to, from, ty } => assigns_new.push((from.raw(), (to, Some(ty)))),
+                Instr::Load { to, base, field } => loads_new.push((base.raw(), (to, field))),
+                Instr::Store { base, field, from } => {
+                    stores_on_new.push((base.raw(), (field, from)));
+                    stores_of_new.push((from.raw(), (base, field)));
+                }
+                Instr::VCall { base, sig, invo } => vcalls_new.push((base.raw(), (sig, invo))),
+                Instr::SStore { field, from } => sstores_new.push((from.raw(), field)),
+                Instr::Throw { var } => {
+                    thrown_new.insert(var.raw());
+                }
+                Instr::Alloc { .. } | Instr::SCall { .. } | Instr::SLoad { .. } => {}
+            }
+        }
+
+        // Merges one table's old per-var segments (sorted by construction)
+        // with the sorted new pairs, deduplicating like `build_csr`.
+        // `None` means the table had no new pairs and its old flat array
+        // (and old starts column, extended for new vars) stands as-is.
+        fn merged<T: Copy + Ord>(
+            rows: &[[u32; 7]],
+            t: usize,
+            old: &[T],
+            n_new: usize,
+            mut newp: Vec<(u32, T)>,
+        ) -> Option<(Vec<u32>, Vec<T>)> {
+            if newp.is_empty() {
+                return None;
+            }
+            newp.sort_unstable();
+            newp.dedup();
+            let n_old = rows.len() - 1;
+            let mut starts = vec![0u32; n_new + 1];
+            let mut out: Vec<T> = Vec::with_capacity(old.len() + newp.len());
+            let mut ni = 0;
+            for v in 0..n_new {
+                let seg: &[T] = if v < n_old {
+                    &old[rows[v][t] as usize..rows[v + 1][t] as usize]
+                } else {
+                    &[]
+                };
+                let run_start = ni;
+                while ni < newp.len() && newp[ni].0 == v as u32 {
+                    ni += 1;
+                }
+                let run = &newp[run_start..ni];
+                if run.is_empty() {
+                    out.extend_from_slice(seg);
+                } else {
+                    let (mut a, mut b) = (0, 0);
+                    while a < seg.len() && b < run.len() {
+                        match seg[a].cmp(&run[b].1) {
+                            std::cmp::Ordering::Less => {
+                                out.push(seg[a]);
+                                a += 1;
+                            }
+                            std::cmp::Ordering::Equal => {
+                                out.push(seg[a]);
+                                a += 1;
+                                b += 1;
+                            }
+                            std::cmp::Ordering::Greater => {
+                                out.push(run[b].1);
+                                b += 1;
+                            }
+                        }
+                    }
+                    out.extend_from_slice(&seg[a..]);
+                    out.extend(run[b..].iter().map(|&(_, item)| item));
+                }
+                starts[v + 1] = out.len() as u32;
+            }
+            Some((starts, out))
+        }
+
+        let m_assign = merged(&self.rows, ROW_ASSIGN, &self.assigns, n_new, assigns_new);
+        let m_load = merged(&self.rows, ROW_LOAD_ON, &self.loads_on, n_new, loads_new);
+        let m_store_on = merged(
+            &self.rows,
+            ROW_STORE_ON,
+            &self.stores_on,
+            n_new,
+            stores_on_new,
+        );
+        let m_store_of = merged(
+            &self.rows,
+            ROW_STORE_OF,
+            &self.stores_of,
+            n_new,
+            stores_of_new,
+        );
+        let m_sstore = merged(
+            &self.rows,
+            ROW_SSTORE_OF,
+            &self.sstores_of,
+            n_new,
+            sstores_new,
+        );
+        let m_vcall = merged(&self.rows, ROW_VCALL_ON, &self.vcalls_on, n_new, vcalls_new);
+
+        // Start value for variable `v` in table `t`: the rebuilt starts
+        // column when the table changed, else the old column (new vars
+        // get the old total — their segments are empty).
+        fn col(starts: Option<&[u32]>, old_rows: &[[u32; 7]], t: usize, v: usize) -> u32 {
+            match starts {
+                Some(s) => s[v],
+                None => old_rows[v.min(old_rows.len() - 1)][t],
+            }
+        }
+        let (sa, sl, son, sof, ss, sv) = (
+            m_assign.as_ref().map(|(s, _)| s.as_slice()),
+            m_load.as_ref().map(|(s, _)| s.as_slice()),
+            m_store_on.as_ref().map(|(s, _)| s.as_slice()),
+            m_store_of.as_ref().map(|(s, _)| s.as_slice()),
+            m_sstore.as_ref().map(|(s, _)| s.as_slice()),
+            m_vcall.as_ref().map(|(s, _)| s.as_slice()),
+        );
+        let mut rows = vec![[0u32; 7]; n_new + 1];
+        for (v, row) in rows.iter_mut().enumerate() {
+            let thrown = v < n_new
+                && ((v < n_old && self.rows[v][ROW_THROWN] != 0)
+                    || thrown_new.contains(&(v as u32)));
+            *row = [
+                col(sa, &self.rows, ROW_ASSIGN, v),
+                col(sl, &self.rows, ROW_LOAD_ON, v),
+                col(son, &self.rows, ROW_STORE_ON, v),
+                col(sof, &self.rows, ROW_STORE_OF, v),
+                col(ss, &self.rows, ROW_SSTORE_OF, v),
+                col(sv, &self.rows, ROW_VCALL_ON, v),
+                u32::from(thrown),
+            ];
+        }
+        self.rows = rows;
+        if let Some((_, items)) = m_assign {
+            self.assigns = items;
+        }
+        if let Some((_, items)) = m_load {
+            self.loads_on = items;
+        }
+        if let Some((_, items)) = m_store_on {
+            self.stores_on = items;
+        }
+        if let Some((_, items)) = m_store_of {
+            self.stores_of = items;
+        }
+        if let Some((_, items)) = m_sstore {
+            self.sstores_of = items;
+        }
+        if let Some((_, items)) = m_vcall {
+            self.vcalls_on = items;
+        }
+    }
 }
 
 /// How a `VarPointsTo` tuple was first derived (recorded only under
@@ -357,9 +556,9 @@ struct StaticEntry {
     witnesses: Vec<u32>,
 }
 
-struct Solver<'a, P: ContextPolicy> {
-    program: &'a Program,
-    policy: &'a P,
+pub(crate) struct Solver<P: ContextPolicy> {
+    program: Arc<Program>,
+    policy: P,
     config: SolverConfig,
     index: StaticIndex,
     ctxs: CtxInterner,
@@ -397,6 +596,24 @@ struct Solver<'a, P: ContextPolicy> {
     /// `Reachable(meth, ctx)`, as a dense interner (IDs unused; newness is
     /// detected by length growth).
     reachable: DenseMap<(u32, u32)>,
+    /// Tombstoned reachability-pair IDs. The dense interner is
+    /// append-only, so incremental retraction marks pairs dead instead of
+    /// removing them; [`Solver::mark_reachable`] resurrects a tombstoned
+    /// pair exactly like a fresh one. Always empty outside retained
+    /// sessions.
+    reach_dead: FxHashSet<u32>,
+    /// `(from_key, to_key) -> derivation count` for `InterProcAssign`
+    /// edges — how many call-graph edges installed this edge. Maintained
+    /// only under `config.retain`; retraction decrements and removes the
+    /// edge when its last support disappears (the counting layer of
+    /// incremental maintenance; edge supports are acyclic, unlike
+    /// points-to derivations, so counting is exact here).
+    ipa_support: FxHashMap<(u32, u32), u32>,
+    /// `true` once any exception fact (escape or catch binding) has been
+    /// derived. Retraction under live exception flow falls back to a full
+    /// re-solve: throw propagation is recursive across the call graph and
+    /// its derivations are not tracked at key granularity.
+    exc_seen: bool,
 
     /// Keys with non-empty deltas, FIFO.
     dirty: VecDeque<u32>,
@@ -456,19 +673,48 @@ struct Solver<'a, P: ContextPolicy> {
     demote_ctx: Vec<u32>,
     /// Demotion log, in demotion order (sorted for the result).
     demoted_sites: Vec<DemotedSite>,
+
+    /// Cached context-insensitive projections, carried across retained
+    /// incremental applies so [`Solver::build_result`] only recomputes
+    /// the variables that actually changed. Built on the first retained
+    /// build, patched additively, and dropped on any retracting apply
+    /// (retraction can shrink sets, which the dirty tracking does not
+    /// observe).
+    proj_cache: Option<Box<ProjCache>>,
 }
 
-impl<'a, P: ContextPolicy> Solver<'a, P> {
-    fn new(program: &'a Program, policy: &'a P, config: SolverConfig) -> Solver<'a, P> {
-        let hints = SizeHints::of_program(program);
+/// See [`Solver::proj_cache`].
+struct ProjCache {
+    /// Insens variable points-to as of the last build, re-derived per
+    /// dirty variable.
+    var_points_to: FxHashMap<VarId, Vec<HeapId>>,
+    /// Insens call targets as of the last build, patched from `cg_new`.
+    call_targets: FxHashMap<InvoId, Vec<MethodId>>,
+    /// Reverse index: variable -> its interned `(var, ctx)` key IDs.
+    /// Appended by [`Solver::key_id`] while the cache is live.
+    var_keys: Vec<Vec<u32>>,
+    /// Variables whose context-sensitive sets grew since the last build.
+    dirty_vars: FxHashSet<u32>,
+    /// Insens call-graph edges inserted since the last build.
+    cg_new: Vec<(InvoId, MethodId)>,
+    /// Running context-sensitive tuple count (matches the sum of all
+    /// entry set sizes; valid because additive applies never remove).
+    ctx_vpt: u64,
+}
+
+impl<P: ContextPolicy> Solver<P> {
+    pub(crate) fn new(program: Arc<Program>, policy: P, config: SolverConfig) -> Solver<P> {
+        let hints = SizeHints::of_program(&program);
         let meter = BudgetMeter::new(&config.budget);
         let governed =
             !config.budget.is_unlimited() || config.cancel.is_some() || config.fault.is_some();
         let watermark = config.budget.watermark.unwrap_or(DEFAULT_WATERMARK).max(1);
         let n_methods = program.method_count();
+        let n_fields = program.field_count();
         let prof = (config.profile || config.trace.is_enabled()).then(Box::<RuleProf>::default);
         let ts = config.trace.scope(0);
         let share = config.share;
+        let index = StaticIndex::build(&program);
         Solver {
             prof,
             ts,
@@ -480,10 +726,11 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             method_fanout: vec![0; n_methods],
             demote_ctx: vec![NOT_DEMOTED; n_methods],
             demoted_sites: Vec::new(),
+            proj_cache: None,
             program,
             policy,
             config,
-            index: StaticIndex::build(program),
+            index,
             ctxs: CtxInterner::with_capacity(hints.contexts),
             hctxs: HCtxInterner::with_capacity(hints.heap_contexts),
             objs: DenseMap::with_capacity(hints.objects),
@@ -493,14 +740,15 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             ipa_out: Vec::with_capacity(hints.var_ctx_keys),
             fkeys: DenseMap::with_capacity(hints.objects),
             fentries: Vec::new(),
-            statics: (0..program.field_count())
-                .map(|_| StaticEntry::default())
-                .collect(),
+            statics: (0..n_fields).map(|_| StaticEntry::default()).collect(),
             cg_sites: DenseMap::with_capacity(hints.contexts),
             cg_targets: Vec::with_capacity(hints.contexts),
             ctx_cg_edges: 0,
             cg_insens: FxHashSet::default(),
             reachable: DenseMap::with_capacity(hints.contexts),
+            reach_dead: FxHashSet::default(),
+            ipa_support: FxHashMap::default(),
+            exc_seen: false,
             dirty: VecDeque::new(),
             reach_queue: VecDeque::new(),
             throw_pts: FxHashMap::default(),
@@ -521,11 +769,25 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         }
     }
 
-    fn solve(mut self) -> PointsToResult {
+    pub(crate) fn solve(mut self) -> PointsToResult {
+        let termination = self.solve_fix();
+        self.build_result(termination, false)
+    }
+
+    /// Runs the fixpoint (entry-point seeding plus worklist drain) without
+    /// consuming the solver, so retained sessions can keep the state for
+    /// later incremental applies.
+    pub(crate) fn solve_fix(&mut self) -> Termination {
         let t0 = self.ts.now_ns();
         // Entry points are reachable under the initial context.
-        for &entry in self.program.entry_points() {
-            self.mark_reachable(entry.raw(), CtxId::INITIAL.raw());
+        let entries: Vec<u32> = self
+            .program
+            .entry_points()
+            .iter()
+            .map(|m| m.raw())
+            .collect();
+        for entry in entries {
+            self.mark_reachable(entry, CtxId::INITIAL.raw());
         }
         let termination = self.run_loop();
         if self.ts.is_enabled() {
@@ -542,7 +804,22 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             );
             self.emit_rule_spans(t0);
         }
-        self.into_result(termination)
+        termination
+    }
+
+    /// `true` when graceful degradation demoted at least one method —
+    /// demoted state mixes context granularities, so it is never retained
+    /// for incremental maintenance.
+    pub(crate) fn has_demotions(&self) -> bool {
+        !self.demoted_sites.is_empty()
+    }
+
+    /// Replaces the solver's program handle without touching any derived
+    /// state. The session uses this to recall the handle before an
+    /// in-place program edit (see `AnalysisSession::apply`); the next
+    /// incremental apply installs the edited program via `swap_program`.
+    pub(crate) fn set_program(&mut self, program: Arc<Program>) {
+        self.program = program;
     }
 
     /// Renders the cumulative per-rule cost as a ladder of complete spans
@@ -762,7 +1039,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
     fn demote_method(&mut self, meth: u32) {
         debug_assert_eq!(self.demote_ctx[meth as usize], NOT_DEMOTED);
         let meth_id = MethodId::from_raw(meth);
-        let ctx_val = self.policy.demote(meth_id, self.program);
+        let ctx_val = self.policy.demote(meth_id, &self.program);
         let dctx = self.ctxs.intern(ctx_val).raw();
         self.demote_ctx[meth as usize] = dctx;
         self.demoted_sites.push(DemotedSite {
@@ -829,6 +1106,12 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         if id as usize == self.entries.len() {
             self.entries.push(VarEntry::default());
             self.ipa_out.push(Vec::new());
+            if let Some(cache) = self.proj_cache.as_deref_mut() {
+                if cache.var_keys.len() <= var as usize {
+                    cache.var_keys.resize_with(var as usize + 1, Vec::new);
+                }
+                cache.var_keys[var as usize].push(id);
+            }
             if self.config.degrade {
                 let m = self.program.var_method(VarId::from_raw(var)).index();
                 let d = self.demote_ctx[m];
@@ -883,6 +1166,12 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             let p = self.prof.as_deref_mut().expect("profiling implies prof");
             p.derived[Self::rule_of(reason)] += newly;
             p.set_promotions += u64::from(promoted);
+        }
+        if newly > 0 {
+            if let Some(cache) = self.proj_cache.as_deref_mut() {
+                cache.ctx_vpt += newly;
+                cache.dirty_vars.insert(self.vkeys.resolve(key).0);
+            }
         }
         let entry = &mut self.entries[key as usize];
         if !entry.queued && !entry.delta.is_empty() {
@@ -981,8 +1270,11 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
     /// budget limit trips.
     fn mark_reachable(&mut self, meth: u32, ctx: u32) {
         let before = self.reachable.len();
-        self.reachable.intern((meth, ctx));
-        if self.reachable.len() > before {
+        let id = self.reachable.intern((meth, ctx));
+        // A pair tombstoned by retraction resurrects exactly like a fresh
+        // one: un-tombstone, re-enqueue, and re-count the fan-out.
+        let fresh = self.reachable.len() > before || self.reach_dead.remove(&id);
+        if fresh {
             self.reach_queue.push_back((meth, ctx));
             self.method_fanout[meth as usize] += 1;
             if self.config.degrade
@@ -1022,22 +1314,26 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
         targets.push((callee.raw(), callee_ctx));
         self.ctx_cg_edges += 1;
         self.stats.call_edges += 1;
-        self.cg_insens.insert((invo, callee));
+        if self.cg_insens.insert((invo, callee)) {
+            if let Some(cache) = self.proj_cache.as_deref_mut() {
+                cache.cg_new.push((invo, callee));
+            }
+        }
         self.mark_reachable(callee.raw(), callee_ctx);
-        let formals = self.program.formals(callee);
-        let actuals = self.program.actual_args(invo);
+        let program = Arc::clone(&self.program);
+        let formals = program.formals(callee);
+        let actuals = program.actual_args(invo);
         for (&formal, &actual) in formals.iter().zip(actuals.iter()) {
             self.add_ipa_edge(actual.raw(), caller_ctx, formal.raw(), callee_ctx);
         }
-        if let (Some(fret), Some(aret)) = (
-            self.program.formal_return(callee),
-            self.program.actual_return(invo),
-        ) {
+        if let (Some(fret), Some(aret)) =
+            (program.formal_return(callee), program.actual_return(invo))
+        {
             self.add_ipa_edge(fret.raw(), callee_ctx, aret.raw(), caller_ctx);
         }
 
         // Exceptions escaping the callee propagate to the caller.
-        let caller_meth = self.program.invo_method(invo).raw();
+        let caller_meth = program.invo_method(invo).raw();
         if self
             .throw_listener_set
             .insert((callee.raw(), callee_ctx, caller_meth, caller_ctx))
@@ -1061,11 +1357,13 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
     /// binds it; if none matches it escapes to `ThrowPointsTo` and
     /// propagates to registered callers.
     fn handle_incoming_exception(&mut self, meth: u32, ctx: u32, obj: u32) {
+        self.exc_seen = true;
+        let program = Arc::clone(&self.program);
         let meth_id = MethodId::from_raw(meth);
         let heap_ty = TypeId::from_raw(self.obj_type[obj as usize]);
         let mut caught = false;
-        for &(ty, binder) in self.program.catches(meth_id) {
-            if self.program.is_subtype(heap_ty, ty) {
+        for &(ty, binder) in program.catches(meth_id) {
+            if program.is_subtype(heap_ty, ty) {
                 let bkey = self.key_id(binder.raw(), ctx);
                 self.stats.fire_caught += 1;
                 self.prof_fire(R_EXC, 1);
@@ -1090,6 +1388,12 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
     fn add_ipa_edge(&mut self, from: u32, from_ctx: u32, to: u32, to_ctx: u32) {
         let from_key = self.key_id(from, from_ctx);
         let to_key = self.key_id(to, to_ctx);
+        if self.config.retain {
+            // Count every derivation, including duplicates the dedup scan
+            // below swallows: retraction decrements per removed call edge
+            // and drops the edge only when its support reaches zero.
+            *self.ipa_support.entry((from_key, to_key)).or_insert(0) += 1;
+        }
         if self.ipa_out[from_key as usize].contains(&to_key) {
             return;
         }
@@ -1113,16 +1417,17 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
     /// Fires the allocation and static-call rules for a newly reachable
     /// `(meth, ctx)` pair.
     fn process_reachable(&mut self, meth: u32, ctx: u32) {
+        let program = Arc::clone(&self.program);
         let meth_id = MethodId::from_raw(meth);
         let ctx_val = self.ctxs.resolve(CtxId::from_raw(ctx));
-        for instr in self.program.instrs(meth_id) {
+        for instr in program.instrs(meth_id) {
             match *instr {
                 Instr::Alloc { var, heap } => {
                     // VarPointsTo(var, ctx, heap, Record(heap, ctx)).
                     let t = self.tick();
                     self.stats.fire_alloc += 1;
                     self.prof_fire(R_ALLOC, 1);
-                    let elem = self.policy.record(heap, ctx_val, self.program);
+                    let elem = self.policy.record(heap, ctx_val, &program);
                     let hctx = self.hctxs.intern(elem);
                     let obj = self.obj_id(heap.raw(), hctx.raw());
                     let vkey = self.key_id(var.raw(), ctx);
@@ -1137,7 +1442,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                     self.prof_fire(R_SCALL, 1);
                     let callee_ctx = match self.demote_ctx[target.index()] {
                         NOT_DEMOTED => {
-                            let v = self.policy.merge_static(invo, ctx_val, self.program);
+                            let v = self.policy.merge_static(invo, ctx_val, &program);
                             self.ctxs.intern(v).raw()
                         }
                         demoted => demoted,
@@ -1338,7 +1643,7 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                                     hctx_val,
                                     invo,
                                     ctx_val,
-                                    self.program,
+                                    &self.program,
                                 );
                                 self.ctxs.intern(v).raw()
                             }
@@ -1366,7 +1671,16 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
 
     // ----- result construction ----------------------------------------------
 
-    fn into_result(mut self, termination: Termination) -> PointsToResult {
+    /// Projects the solver state into a [`PointsToResult`]. With
+    /// `retain`, the state survives (interners are cloned into the result
+    /// instead of moved) so the caller can keep the solver for later
+    /// incremental delta application; without it, heavy members are moved
+    /// out and the solver should be dropped.
+    pub(crate) fn build_result(
+        &mut self,
+        termination: Termination,
+        retain: bool,
+    ) -> PointsToResult {
         self.stats.contexts = self.ctxs.len() as u64;
         self.stats.heap_contexts = self.hctxs.len() as u64;
         self.stats.objects = self.objs.len() as u64;
@@ -1390,49 +1704,94 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
                 }
             };
 
-        // Context-insensitive projection via counting sort over variables:
-        // scatter every tuple's heap into one flat per-var-segmented array,
-        // then sort/dedup each segment — no per-tuple hashing.
-        let mut ctx_vpt_count = 0u64;
-        let n_vars = self.program.var_count();
-        let mut starts = vec![0u32; n_vars + 1];
-        for (key, entry) in self.entries.iter().enumerate() {
-            ctx_vpt_count += entry.set.len() as u64;
-            let (var, _ctx) = self.vkeys.resolve(key as u32);
-            starts[var as usize + 1] += entry.set.len() as u32;
-        }
-        for i in 0..n_vars {
-            starts[i + 1] += starts[i];
-        }
-        let mut flat = vec![0u32; ctx_vpt_count as usize];
-        let mut cursor = starts.clone();
-        for (key, entry) in self.entries.iter().enumerate() {
-            if entry.set.is_empty() {
-                continue;
-            }
-            let (var, _ctx) = self.vkeys.resolve(key as u32);
-            let c = &mut cursor[var as usize];
-            for obj in entry.set.iter() {
-                flat[*c as usize] = self.objs.resolve(obj).0;
-                *c += 1;
-            }
-        }
-        let mut var_points_to: FxHashMap<VarId, Vec<HeapId>> = FxHashMap::default();
-        for var in 0..n_vars {
-            let seg = &mut flat[starts[var] as usize..starts[var + 1] as usize];
-            if seg.is_empty() {
-                continue;
-            }
-            seg.sort_unstable();
-            let mut heaps: Vec<HeapId> = Vec::with_capacity(seg.len());
-            let mut last = u32::MAX;
-            for &h in seg.iter() {
-                if h != last {
-                    heaps.push(HeapId::from_raw(h));
-                    last = h;
+        let (mut var_points_to, cached_call_targets, ctx_vpt_count);
+        if let Some(cache) = self.proj_cache.as_deref_mut().filter(|_| retain) {
+            // Incremental build: re-derive only the variables whose sets
+            // grew since the last build, fold the new call edges in, and
+            // clone the patched cache into the result.
+            for var in cache.dirty_vars.drain() {
+                let mut heaps: Vec<HeapId> = Vec::new();
+                if let Some(keys) = cache.var_keys.get(var as usize) {
+                    for &key in keys {
+                        for obj in self.entries[key as usize].set.iter() {
+                            heaps.push(HeapId::from_raw(self.objs.resolve(obj).0));
+                        }
+                    }
+                }
+                heaps.sort_unstable();
+                heaps.dedup();
+                if heaps.is_empty() {
+                    cache.var_points_to.remove(&VarId::from_raw(var));
+                } else {
+                    cache.var_points_to.insert(VarId::from_raw(var), heaps);
                 }
             }
-            var_points_to.insert(VarId::from_raw(var as u32), heaps);
+            let mut touched: Vec<InvoId> = Vec::with_capacity(cache.cg_new.len());
+            for (invo, meth) in cache.cg_new.drain(..) {
+                cache.call_targets.entry(invo).or_default().push(meth);
+                touched.push(invo);
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            for invo in touched {
+                let v = cache
+                    .call_targets
+                    .get_mut(&invo)
+                    .expect("touched invo was just inserted");
+                v.sort_unstable();
+                v.dedup();
+            }
+            var_points_to = cache.var_points_to.clone();
+            cached_call_targets = Some(cache.call_targets.clone());
+            ctx_vpt_count = cache.ctx_vpt;
+        } else {
+            // Context-insensitive projection via counting sort over
+            // variables: scatter every tuple's heap into one flat
+            // per-var-segmented array, then sort/dedup each segment — no
+            // per-tuple hashing.
+            let mut vpt_total = 0u64;
+            let n_vars = self.program.var_count();
+            let mut starts = vec![0u32; n_vars + 1];
+            for (key, entry) in self.entries.iter().enumerate() {
+                vpt_total += entry.set.len() as u64;
+                let (var, _ctx) = self.vkeys.resolve(key as u32);
+                starts[var as usize + 1] += entry.set.len() as u32;
+            }
+            for i in 0..n_vars {
+                starts[i + 1] += starts[i];
+            }
+            let mut flat = vec![0u32; vpt_total as usize];
+            let mut cursor = starts.clone();
+            for (key, entry) in self.entries.iter().enumerate() {
+                if entry.set.is_empty() {
+                    continue;
+                }
+                let (var, _ctx) = self.vkeys.resolve(key as u32);
+                let c = &mut cursor[var as usize];
+                for obj in entry.set.iter() {
+                    flat[*c as usize] = self.objs.resolve(obj).0;
+                    *c += 1;
+                }
+            }
+            var_points_to = FxHashMap::default();
+            for var in 0..n_vars {
+                let seg = &mut flat[starts[var] as usize..starts[var + 1] as usize];
+                if seg.is_empty() {
+                    continue;
+                }
+                seg.sort_unstable();
+                let mut heaps: Vec<HeapId> = Vec::with_capacity(seg.len());
+                let mut last = u32::MAX;
+                for &h in seg.iter() {
+                    if h != last {
+                        heaps.push(HeapId::from_raw(h));
+                        last = h;
+                    }
+                }
+                var_points_to.insert(VarId::from_raw(var as u32), heaps);
+            }
+            cached_call_targets = None;
+            ctx_vpt_count = vpt_total;
         }
 
         // Rule-level profile plus the hottest variables by final
@@ -1460,18 +1819,44 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             Box::new(p.into_profile(hot))
         });
 
-        let mut call_targets: FxHashMap<InvoId, Vec<MethodId>> = FxHashMap::default();
-        for &(invo, meth) in &self.cg_insens {
-            call_targets.entry(invo).or_default().push(meth);
-        }
-        for v in call_targets.values_mut() {
-            v.sort_unstable();
-            v.dedup();
-        }
+        let call_targets = if let Some(ct) = cached_call_targets {
+            ct
+        } else {
+            let mut call_targets: FxHashMap<InvoId, Vec<MethodId>> = FxHashMap::default();
+            for &(invo, meth) in &self.cg_insens {
+                call_targets.entry(invo).or_default().push(meth);
+            }
+            for v in call_targets.values_mut() {
+                v.sort_unstable();
+                v.dedup();
+            }
+            if retain {
+                // First retained build (or first after a retracting
+                // apply): seed the projection cache from the projections
+                // just computed in full.
+                let mut var_keys: Vec<Vec<u32>> = Vec::new();
+                var_keys.resize_with(self.program.var_count(), Vec::new);
+                for key in 0..self.vkeys.len() as u32 {
+                    let (var, _ctx) = self.vkeys.resolve(key);
+                    var_keys[var as usize].push(key);
+                }
+                self.proj_cache = Some(Box::new(ProjCache {
+                    var_points_to: var_points_to.clone(),
+                    call_targets: call_targets.clone(),
+                    var_keys,
+                    dirty_vars: FxHashSet::default(),
+                    cg_new: Vec::new(),
+                    ctx_vpt: ctx_vpt_count,
+                }));
+            }
+            call_targets
+        };
 
         let mut reachable: FxHashSet<MethodId> = FxHashSet::default();
-        for &(m, _ctx) in self.reachable.keys() {
-            reachable.insert(MethodId::from_raw(m));
+        for (id, &(m, _ctx)) in self.reachable.keys().iter().enumerate() {
+            if !self.reach_dead.contains(&(id as u32)) {
+                reachable.insert(MethodId::from_raw(m));
+            }
         }
 
         let tuples = if self.config.keep_tuples {
@@ -1625,6 +2010,20 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             None
         };
 
+        let (ctx_interner, hctx_interner, demoted) = if retain {
+            (
+                self.ctxs.clone(),
+                self.hctxs.clone(),
+                self.demoted_sites.clone(),
+            )
+        } else {
+            (
+                std::mem::replace(&mut self.ctxs, CtxInterner::with_capacity(0)),
+                std::mem::replace(&mut self.hctxs, HCtxInterner::with_capacity(0)),
+                std::mem::take(&mut self.demoted_sites),
+            )
+        };
+
         PointsToResult {
             var_points_to,
             call_graph_edges: self.cg_insens.len(),
@@ -1632,9 +2031,9 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             reachable,
             ctx_vpt_count,
             ctx_call_graph_edges: self.ctx_cg_edges,
-            ctx_reachable_count: self.reachable.len() as u64,
-            ctx_count: self.ctxs.len(),
-            hctx_count: self.hctxs.len(),
+            ctx_reachable_count: (self.reachable.len() - self.reach_dead.len()) as u64,
+            ctx_count: ctx_interner.len(),
+            hctx_count: hctx_interner.len(),
             tuples,
             provenance,
             fld_provenance,
@@ -1642,12 +2041,12 @@ impl<'a, P: ContextPolicy> Solver<'a, P> {
             uncaught,
             field_points_to,
             static_points_to,
-            ctx_interner: self.ctxs,
-            hctx_interner: self.hctxs,
+            ctx_interner,
+            hctx_interner,
             stats: self.stats,
             shard_stats: Vec::new(),
             termination,
-            demoted: self.demoted_sites,
+            demoted,
             profile,
         }
     }

@@ -118,9 +118,9 @@ fn verification_runs_before_every_datalog_evaluation() {
     // The Datalog back end asserts on the verifier internally; a clean run
     // on a full-feature program is evidence the gate passes in production.
     let program = full_feature_program();
-    let result = AnalysisSession::new(&program)
+    let result = AnalysisSession::open(program.clone())
         .policy(Analysis::Insens)
         .backend(Backend::Datalog)
-        .run();
+        .solve();
     assert!(result.ctx_var_points_to_count() > 0);
 }

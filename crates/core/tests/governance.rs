@@ -104,15 +104,17 @@ fn assert_superset(program: &Program, coarse: &PointsToResult, precise: &PointsT
 #[test]
 fn forced_step_limit_yields_tagged_sound_partial() {
     let p = dacapo_workload("luindex", 0.3);
-    let complete = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
-    let partial = AnalysisSession::new(&p)
+    let complete = AnalysisSession::open(p.clone())
+        .policy(Analysis::TwoObjH)
+        .solve();
+    let partial = AnalysisSession::open(p.clone())
         .policy(Analysis::TwoObjH)
         .config(governed(
             Budget::unlimited(),
             false,
             Some(FaultPlan::trip_at(200, Termination::StepLimit)),
         ))
-        .run();
+        .solve();
     assert_eq!(partial.termination(), Termination::StepLimit);
     assert!(partial.demoted_sites().is_empty());
     assert_subset(&p, &partial, &complete);
@@ -121,15 +123,17 @@ fn forced_step_limit_yields_tagged_sound_partial() {
 #[test]
 fn forced_memory_cap_yields_tagged_sound_partial() {
     let p = dacapo_workload("luindex", 0.3);
-    let complete = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
-    let partial = AnalysisSession::new(&p)
+    let complete = AnalysisSession::open(p.clone())
+        .policy(Analysis::TwoObjH)
+        .solve();
+    let partial = AnalysisSession::open(p.clone())
         .policy(Analysis::TwoObjH)
         .config(governed(
             Budget::unlimited(),
             false,
             Some(FaultPlan::trip_at(150, Termination::MemoryCap)),
         ))
-        .run();
+        .solve();
     assert_eq!(partial.termination(), Termination::MemoryCap);
     assert_subset(&p, &partial, &complete);
 }
@@ -137,15 +141,17 @@ fn forced_memory_cap_yields_tagged_sound_partial() {
 #[test]
 fn forced_deadline_yields_tagged_sound_partial() {
     let p = dacapo_workload("luindex", 0.3);
-    let complete = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
-    let partial = AnalysisSession::new(&p)
+    let complete = AnalysisSession::open(p.clone())
+        .policy(Analysis::TwoObjH)
+        .solve();
+    let partial = AnalysisSession::open(p.clone())
         .policy(Analysis::TwoObjH)
         .config(governed(
             Budget::unlimited(),
             false,
             Some(FaultPlan::trip_at(100, Termination::DeadlineExceeded)),
         ))
-        .run();
+        .solve();
     assert_eq!(partial.termination(), Termination::DeadlineExceeded);
     assert_subset(&p, &partial, &complete);
 }
@@ -159,14 +165,14 @@ fn real_deadline_trips_via_injected_stall_within_overshoot_bound() {
     let p = dacapo_workload("luindex", 0.4);
     let deadline = Duration::from_millis(150);
     let start = Instant::now();
-    let partial = AnalysisSession::new(&p)
+    let partial = AnalysisSession::open(p.clone())
         .policy(Analysis::TwoObjH)
         .config(governed(
             Budget::unlimited().with_deadline(deadline),
             false,
             Some(FaultPlan::stall(1, 200)),
         ))
-        .run();
+        .solve();
     let elapsed = start.elapsed();
     assert_eq!(partial.termination(), Termination::DeadlineExceeded);
     assert!(
@@ -178,15 +184,17 @@ fn real_deadline_trips_via_injected_stall_within_overshoot_bound() {
 #[test]
 fn degrade_turns_step_limit_into_degraded_complete() {
     let p = dacapo_workload("luindex", 0.3);
-    let precise = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
-    let coarse = AnalysisSession::new(&p)
+    let precise = AnalysisSession::open(p.clone())
+        .policy(Analysis::TwoObjH)
+        .solve();
+    let coarse = AnalysisSession::open(p.clone())
         .policy(Analysis::TwoObjH)
         .config(governed(
             Budget::unlimited().with_max_steps(1000),
             true,
             None,
         ))
-        .run();
+        .solve();
     assert_eq!(coarse.termination(), Termination::Complete);
     assert!(
         !coarse.demoted_sites().is_empty(),
@@ -202,15 +210,17 @@ fn degrade_turns_step_limit_into_degraded_complete() {
 #[test]
 fn degrade_turns_memory_cap_into_degraded_complete() {
     let p = dacapo_workload("luindex", 0.3);
-    let precise = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
-    let coarse = AnalysisSession::new(&p)
+    let precise = AnalysisSession::open(p.clone())
+        .policy(Analysis::TwoObjH)
+        .solve();
+    let coarse = AnalysisSession::open(p.clone())
         .policy(Analysis::TwoObjH)
         .config(governed(
             Budget::unlimited().with_max_memory(32 * 1024),
             true,
             None,
         ))
-        .run();
+        .solve();
     assert_eq!(coarse.termination(), Termination::Complete);
     assert!(!coarse.demoted_sites().is_empty());
     assert_superset(&p, &coarse, &precise);
@@ -225,14 +235,14 @@ fn degrade_gives_a_deadline_one_grace_window_then_goes_partial() {
     let p = dacapo_workload("luindex", 0.4);
     let deadline = Duration::from_millis(100);
     let start = Instant::now();
-    let r = AnalysisSession::new(&p)
+    let r = AnalysisSession::open(p.clone())
         .policy(Analysis::TwoObjH)
         .config(governed(
             Budget::unlimited().with_deadline(deadline),
             true,
             Some(FaultPlan::stall(1, 200)),
         ))
-        .run();
+        .solve();
     let elapsed = start.elapsed();
     // With a 200µs stall every step the grace window cannot finish either.
     assert_eq!(r.termination(), Termination::DeadlineExceeded);
@@ -251,11 +261,11 @@ fn cancellation_is_never_degraded_away() {
     let p = dacapo_workload("luindex", 0.3);
     let cancel = CancelToken::new();
     cancel.cancel();
-    let r = AnalysisSession::new(&p)
+    let r = AnalysisSession::open(p.clone())
         .policy(Analysis::TwoObjH)
         .degrade(true)
         .cancel(cancel)
-        .run();
+        .solve();
     // External cancellation reports as DeadlineExceeded (the budget
     // vocabulary's "out of time") and must stop the run even with
     // --degrade: the user asked for a stop, not a coarser answer.
@@ -268,18 +278,18 @@ fn seeded_fault_plans_hit_every_termination_variant() {
     let p = dacapo_workload("luindex", 0.3);
     // The workload must be big enough that every seeded trip step (< 512)
     // lands mid-run.
-    let full = AnalysisSession::new(&p)
+    let full = AnalysisSession::open(p.clone())
         .policy(Analysis::TwoObjH)
         .config(governed(Budget::unlimited(), false, None))
-        .run();
+        .solve();
     assert!(full.solver_stats().steps > 512, "workload too small");
     let mut seen = [false; 3];
     for seed in 0..12 {
         let plan = FaultPlan::from_seed(seed);
-        let r = AnalysisSession::new(&p)
+        let r = AnalysisSession::open(p.clone())
             .policy(Analysis::TwoObjH)
             .config(governed(Budget::unlimited(), false, Some(plan)))
-            .run();
+            .solve();
         let t = r.termination();
         assert!(!t.is_complete(), "seed {seed}: forced trip did not fire");
         assert_eq!(Some(t), plan.trip.map(|(_, t)| t));
@@ -311,14 +321,14 @@ fn governed_runs_are_bit_identical_across_repeats_and_threads() {
         let p = generate(&WorkloadConfig::tiny(seed));
         for &max_steps in &budgets {
             let cfg = || governed(Budget::unlimited().with_max_steps(max_steps), true, None);
-            let a = AnalysisSession::new(&p)
+            let a = AnalysisSession::open(p.clone())
                 .policy(Analysis::STwoObjH)
                 .config(cfg())
-                .run();
-            let b = AnalysisSession::new(&p)
+                .solve();
+            let b = AnalysisSession::open(p.clone())
                 .policy(Analysis::STwoObjH)
                 .config(cfg())
-                .run();
+                .solve();
             let fp = fingerprint(&p, &a);
             assert_eq!(fp, fingerprint(&p, &b), "seed {seed} budget {max_steps}");
             expected.push((seed, max_steps, fp));
@@ -331,14 +341,14 @@ fn governed_runs_are_bit_identical_across_repeats_and_threads() {
             scope.spawn(move || {
                 for (seed, max_steps, fp) in expected {
                     let p = generate(&WorkloadConfig::tiny(*seed));
-                    let r = AnalysisSession::new(&p)
+                    let r = AnalysisSession::open(p.clone())
                         .policy(Analysis::STwoObjH)
                         .config(governed(
                             Budget::unlimited().with_max_steps(*max_steps),
                             true,
                             None,
                         ))
-                        .run();
+                        .solve();
                     assert_eq!(
                         &fingerprint(&p, &r),
                         fp,
@@ -361,10 +371,10 @@ fn parallel_cancellation_latency_is_bounded_per_shard() {
     // total — no matter how large the workload is.
     let p = dacapo_workload("luindex", 0.4);
     let threads = 4usize;
-    let full = AnalysisSession::new(&p)
+    let full = AnalysisSession::open(p.clone())
         .policy(Analysis::TwoObjH)
         .threads(threads)
-        .run();
+        .solve();
     assert!(
         full.solver_stats().steps > 1_000,
         "workload too small for the bound to mean anything: {} steps",
@@ -372,11 +382,11 @@ fn parallel_cancellation_latency_is_bounded_per_shard() {
     );
     let cancel = CancelToken::new();
     cancel.cancel();
-    let r = AnalysisSession::new(&p)
+    let r = AnalysisSession::open(p.clone())
         .policy(Analysis::TwoObjH)
         .threads(threads)
         .cancel(cancel)
-        .run();
+        .solve();
     assert_eq!(r.termination(), Termination::DeadlineExceeded);
     assert!(
         r.solver_stats().steps <= threads as u64,
@@ -391,8 +401,10 @@ fn untripped_budgets_do_not_change_results() {
     // watermark demotes high-fan-out methods proactively, budget or not)
     // must be invisible: same fixpoint as the ungoverned fast path.
     let p = dacapo_workload("antlr", 0.15);
-    let plain = AnalysisSession::new(&p).policy(Analysis::STwoObjH).run();
-    let roomy = AnalysisSession::new(&p)
+    let plain = AnalysisSession::open(p.clone())
+        .policy(Analysis::STwoObjH)
+        .solve();
+    let roomy = AnalysisSession::open(p.clone())
         .policy(Analysis::STwoObjH)
         .config(governed(
             Budget::unlimited()
@@ -401,7 +413,7 @@ fn untripped_budgets_do_not_change_results() {
             false,
             None,
         ))
-        .run();
+        .solve();
     assert_eq!(roomy.termination(), Termination::Complete);
     assert!(roomy.demoted_sites().is_empty());
     assert_subset(&p, &roomy, &plain);

@@ -14,9 +14,8 @@
 //!    fingerprint: they describe the schedule, not the fixpoint.
 //! 2. **Builder-spelling equivalence** — configuration spellings that
 //!    promise the same semantics (`config(c)` vs dedicated setters,
-//!    governed vs ungoverned unlimited budgets, `run()` on the Datalog
-//!    back end vs `run_datalog_with_stats()`) produce identical
-//!    fingerprints.
+//!    governed vs ungoverned unlimited budgets on the Datalog back
+//!    end) produce identical fingerprints.
 //!
 //! Governance composition (starved parallel runs stop with a sound
 //! prefix, degraded runs stay complete) is covered at the end.
@@ -57,11 +56,13 @@ fn fingerprint(program: &Program, r: &PointsToResult) -> String {
 }
 
 fn assert_threads_agree(program: &Program, analysis: Analysis, threads: usize, label: &str) {
-    let seq = AnalysisSession::new(program).policy(analysis).run();
-    let par = AnalysisSession::new(program)
+    let seq = AnalysisSession::open(program.clone())
+        .policy(analysis)
+        .solve();
+    let par = AnalysisSession::open(program.clone())
         .policy(analysis)
         .threads(threads)
-        .run();
+        .solve();
     assert_eq!(
         fingerprint(program, &seq),
         fingerprint(program, &par),
@@ -123,15 +124,15 @@ fn sharing_toggle_never_changes_results() {
     let mut exercised = false;
     for analysis in Analysis::ALL {
         for threads in [1, 4] {
-            let shared = AnalysisSession::new(&program)
+            let shared = AnalysisSession::open(program.clone())
                 .policy(analysis)
                 .threads(threads)
-                .run();
-            let unshared = AnalysisSession::new(&program)
+                .solve();
+            let unshared = AnalysisSession::open(program.clone())
                 .policy(analysis)
                 .threads(threads)
                 .share(false)
-                .run();
+                .solve();
             assert_eq!(
                 fingerprint(&program, &shared),
                 fingerprint(&program, &unshared),
@@ -169,14 +170,14 @@ fn explicit_config_matches_builder_setters() {
         keep_tuples: true,
         ..SolverConfig::default()
     };
-    let explicit = AnalysisSession::new(&program)
+    let explicit = AnalysisSession::open(program.clone())
         .policy(Analysis::SAOneObj)
         .config(config)
-        .run();
-    let spelled = AnalysisSession::new(&program)
+        .solve();
+    let spelled = AnalysisSession::open(program.clone())
         .policy(Analysis::SAOneObj)
         .keep_tuples(true)
-        .run();
+        .solve();
     assert_eq!(
         fingerprint(&program, &explicit),
         fingerprint(&program, &spelled),
@@ -185,38 +186,44 @@ fn explicit_config_matches_builder_setters() {
     assert!(explicit.context_sensitive_tuples().is_some());
 }
 
-/// On the Datalog back end, `run()` and `run_datalog_with_stats()` (with
-/// and without an explicit unlimited budget) evaluate the same rule set.
+/// On the Datalog back end, `solve()` surfaces the engine's round and
+/// row counters through `SolverStats`, and an explicit unlimited budget
+/// is a no-op: same fingerprint, same engine effort.
 #[test]
-fn datalog_run_spellings_agree() {
+fn datalog_solve_reports_engine_stats() {
     for analysis in Analysis::ALL {
         let program = dacapo_workload("luindex", 0.1);
-        let plain = AnalysisSession::new(&program)
+        let r = AnalysisSession::open(program.clone())
             .policy(analysis)
             .backend(Backend::Datalog)
-            .run();
-        let (with_stats, _) = AnalysisSession::new(&program)
-            .policy(analysis)
-            .run_datalog_with_stats();
-        assert_eq!(
-            fingerprint(&program, &plain),
-            fingerprint(&program, &with_stats),
-            "{analysis}: run() diverged from run_datalog_with_stats()"
+            .solve();
+        let s = r.solver_stats();
+        assert!(
+            s.engine_rounds > 0 && s.engine_strata > 0 && s.engine_rows > 0,
+            "{analysis}: Datalog solve must fold engine stats into SolverStats"
         );
     }
     // An explicit unlimited budget is a no-op, and the engine stats are
     // deterministic across the two spellings.
     let program = dacapo_workload("luindex", 0.2);
-    let (plain, plain_stats) = AnalysisSession::new(&program)
+    let plain = AnalysisSession::open(program.clone())
         .policy(Analysis::UOneObj)
-        .run_datalog_with_stats();
-    let (gov, gov_stats) = AnalysisSession::new(&program)
+        .backend(Backend::Datalog)
+        .solve();
+    let gov = AnalysisSession::open(program.clone())
         .policy(Analysis::UOneObj)
+        .backend(Backend::Datalog)
         .budget(Budget::unlimited())
-        .run_datalog_with_stats();
+        .solve();
     assert_eq!(fingerprint(&program, &plain), fingerprint(&program, &gov));
-    assert_eq!(plain_stats.rounds, gov_stats.rounds);
-    assert_eq!(plain_stats.total_rows, gov_stats.total_rows);
+    assert_eq!(
+        plain.solver_stats().engine_rounds,
+        gov.solver_stats().engine_rounds
+    );
+    assert_eq!(
+        plain.solver_stats().engine_rows,
+        gov.solver_stats().engine_rows
+    );
 }
 
 /// Sequential-only observability features silently fall back to one
@@ -224,11 +231,11 @@ fn datalog_run_spellings_agree() {
 #[test]
 fn provenance_and_tuples_force_sequential() {
     let program = dacapo_workload("antlr", 0.2);
-    let r = AnalysisSession::new(&program)
+    let r = AnalysisSession::open(program.clone())
         .policy(Analysis::OneObj)
         .threads(8)
         .track_provenance(true)
-        .run();
+        .solve();
     // Provenance is only recorded by the sequential path; a populated
     // explanation proves the fallback happened.
     let var = program
@@ -269,15 +276,15 @@ fn assert_subset(program: &Program, partial: &PointsToResult, complete: &PointsT
 #[test]
 fn starved_parallel_run_is_a_sound_prefix() {
     let program = dacapo_workload("chart", 0.4);
-    let complete = AnalysisSession::new(&program)
+    let complete = AnalysisSession::open(program.clone())
         .policy(Analysis::STwoObjH)
-        .run();
+        .solve();
     for threads in [2, 4] {
-        let partial = AnalysisSession::new(&program)
+        let partial = AnalysisSession::open(program.clone())
             .policy(Analysis::STwoObjH)
             .threads(threads)
             .budget(Budget::unlimited().with_max_steps(400))
-            .run();
+            .solve();
         assert!(
             !partial.termination().is_complete(),
             "threads({threads}): 400 steps should starve this workload"
@@ -291,15 +298,15 @@ fn starved_parallel_run_is_a_sound_prefix() {
 #[test]
 fn degraded_parallel_run_completes() {
     let program = dacapo_workload("chart", 0.4);
-    let insens = AnalysisSession::new(&program)
+    let insens = AnalysisSession::open(program.clone())
         .policy(Analysis::Insens)
-        .run();
-    let degraded = AnalysisSession::new(&program)
+        .solve();
+    let degraded = AnalysisSession::open(program.clone())
         .policy(Analysis::STwoObjH)
         .threads(4)
         .budget(Budget::unlimited().with_max_steps(400).with_watermark(4))
         .degrade(true)
-        .run();
+        .solve();
     assert!(
         degraded.termination().is_complete(),
         "degrade must trade precision for completion"
@@ -320,16 +327,16 @@ fn degraded_parallel_run_completes() {
 fn cancelled_parallel_run_stops_soundly() {
     use pta_core::CancelToken;
     let program = dacapo_workload("chart", 0.4);
-    let complete = AnalysisSession::new(&program)
+    let complete = AnalysisSession::open(program.clone())
         .policy(Analysis::STwoObjH)
-        .run();
+        .solve();
     let token = CancelToken::new();
     token.cancel();
-    let partial = AnalysisSession::new(&program)
+    let partial = AnalysisSession::open(program.clone())
         .policy(Analysis::STwoObjH)
         .threads(4)
         .cancel(token)
-        .run();
+        .solve();
     assert!(!partial.termination().is_complete());
     assert_subset(&program, &partial, &complete);
 }

@@ -61,7 +61,7 @@ fn every_rule_fires_and_flows_compose() {
     };
     let h_c = heaps[1];
     for analysis in Analysis::ALL {
-        let r = AnalysisSession::new(&p).policy(analysis).run();
+        let r = AnalysisSession::open(p.clone()).policy(analysis).solve();
         // Alloc + vcall arg flow: attach's formal sees node C.
         assert_eq!(r.points_to(attach_n), &[h_c], "{analysis}: arg flow");
         // Store + load through the field: follow returns node C.
@@ -88,7 +88,9 @@ fn unreachable_code_is_not_analyzed() {
     b.alloc(main, live, c, "live alloc");
     b.entry_point(main);
     let p = b.finish().unwrap();
-    let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+    let r = AnalysisSession::open(p.clone())
+        .policy(Analysis::Insens)
+        .solve();
     assert!(r.points_to(dv).is_empty());
     assert!(!r.is_reachable(dead));
     assert!(r.is_reachable(main));
@@ -109,7 +111,9 @@ fn cast_filters_incompatible_objects() {
     b.cast(main, a_only, mixed, a);
     b.entry_point(main);
     let p = b.finish().unwrap();
-    let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+    let r = AnalysisSession::open(p.clone())
+        .policy(Analysis::Insens)
+        .solve();
     assert_eq!(r.points_to(mixed).len(), 2);
     assert_eq!(r.points_to(a_only), &[ha], "cast keeps only A objects");
 }
@@ -136,7 +140,9 @@ fn distinct_fields_do_not_leak() {
     b.load(main, r2, base, f2);
     b.entry_point(main);
     let p = b.finish().unwrap();
-    let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+    let r = AnalysisSession::open(p.clone())
+        .policy(Analysis::Insens)
+        .solve();
     assert_eq!(r.points_to(r1), &[h1]);
     assert_eq!(r.points_to(r2), &[h2]);
 }
@@ -167,7 +173,7 @@ fn mutual_recursion_converges() {
     // Terminates for every analysis, including call-site-sensitive ones
     // whose contexts cycle through the recursion.
     for analysis in Analysis::ALL {
-        let r = AnalysisSession::new(&p).policy(analysis).run();
+        let r = AnalysisSession::open(p.clone()).policy(analysis).solve();
         assert_eq!(r.points_to(ex), &[h], "{analysis}");
         // The recursion never returns a value in a finite execution, but
         // the flow-insensitive fixpoint propagates the (vacuous) cycle
@@ -208,7 +214,7 @@ fn virtual_recursion_through_fields_converges() {
         Analysis::TwoObjH,
         Analysis::SThreeObj2H,
     ] {
-        let res = AnalysisSession::new(&p).policy(analysis).run();
+        let res = AnalysisSession::open(p.clone()).policy(analysis).solve();
         assert!(res.is_reachable(walk), "{analysis}");
     }
 }
@@ -216,10 +222,10 @@ fn virtual_recursion_through_fields_converges() {
 #[test]
 fn retained_tuples_are_consistent_with_projections() {
     let (p, vars, _) = full_rule_program();
-    let r = AnalysisSession::new(&p)
+    let r = AnalysisSession::open(p.clone())
         .policy(Analysis::STwoObjH)
         .keep_tuples(true)
-        .run();
+        .solve();
     let tuples = r.context_sensitive_tuples().expect("tuples retained");
     assert_eq!(tuples.len() as u64, r.ctx_var_points_to_count());
     // Projection of tuples equals the insensitive API.
@@ -259,10 +265,10 @@ fn two_obj_heap_context_is_the_allocating_receiver() {
     b.entry_point(main);
     let p = b.finish().unwrap();
 
-    let r = AnalysisSession::new(&p)
+    let r = AnalysisSession::open(p.clone())
         .policy(Analysis::TwoObjH)
         .keep_tuples(true)
-        .run();
+        .solve();
     let tuples = r.context_sensitive_tuples().unwrap();
     let product_tuple = tuples
         .iter()
@@ -290,7 +296,9 @@ fn multiple_entry_points_are_all_roots() {
     b.entry_point(m1);
     b.entry_point(m2);
     let p = b.finish().unwrap();
-    let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
+    let r = AnalysisSession::open(p.clone())
+        .policy(Analysis::OneObj)
+        .solve();
     assert!(!r.points_to(v1).is_empty());
     assert!(!r.points_to(v2).is_empty());
     assert_eq!(r.reachable_method_count(), 2);
@@ -310,7 +318,9 @@ fn dispatch_failure_derives_nothing() {
     b.vcall(main, x, "nonexistent", &[], Some(out), "bad call");
     b.entry_point(main);
     let p = b.finish().unwrap();
-    let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
+    let r = AnalysisSession::open(p.clone())
+        .policy(Analysis::OneObj)
+        .solve();
     assert!(r.points_to(out).is_empty());
     assert_eq!(r.call_graph_edge_count(), 0);
 }
@@ -347,11 +357,15 @@ fn may_alias_tracks_precision() {
     b.entry_point(main);
     let p = b.finish().unwrap();
 
-    let coarse = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+    let coarse = AnalysisSession::open(p.clone())
+        .policy(Analysis::Insens)
+        .solve();
     assert!(coarse.may_alias(r1, r2), "insens conflates the boxes");
     assert!(coarse.may_alias(r1, p1));
 
-    let fine = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
+    let fine = AnalysisSession::open(p.clone())
+        .policy(Analysis::OneObj)
+        .solve();
     assert!(!fine.may_alias(r1, r2), "1obj separates the boxes");
     assert!(fine.may_alias(r1, p1), "r1 really does alias p1");
     assert!(!fine.may_alias(r1, p2));
@@ -366,10 +380,10 @@ fn provenance_chains_reach_the_allocation() {
     let (p, vars, heaps) = full_rule_program();
     let moved = vars[4];
     let h_c = heaps[1];
-    let r = AnalysisSession::new(&p)
+    let r = AnalysisSession::open(p.clone())
         .policy(Analysis::TwoObjH)
         .track_provenance(true)
-        .run();
+        .solve();
     let chain = r
         .explain(&p, moved, h_c)
         .expect("provenance recorded for moved -> node C");
@@ -392,19 +406,23 @@ fn provenance_chains_reach_the_allocation() {
 #[test]
 fn provenance_is_absent_without_the_flag() {
     let (p, vars, heaps) = full_rule_program();
-    let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
+    let r = AnalysisSession::open(p.clone())
+        .policy(Analysis::OneObj)
+        .solve();
     assert!(r.explain(&p, vars[4], heaps[1]).is_none());
 }
 
 #[test]
 fn provenance_does_not_change_results() {
     let p = pta_workload::generate(&pta_workload::WorkloadConfig::tiny(9));
-    let plain = AnalysisSession::new(&p).policy(Analysis::STwoObjH).run();
-    let tracked = AnalysisSession::new(&p)
+    let plain = AnalysisSession::open(p.clone())
+        .policy(Analysis::STwoObjH)
+        .solve();
+    let tracked = AnalysisSession::open(p.clone())
         .policy(Analysis::STwoObjH)
         .track_provenance(true)
         .keep_tuples(true)
-        .run();
+        .solve();
     assert_eq!(
         plain.ctx_var_points_to_count(),
         tracked.ctx_var_points_to_count()
@@ -445,7 +463,7 @@ fn static_fields_are_global_cells() {
     let p = b.finish().unwrap();
 
     for analysis in Analysis::ALL {
-        let r = AnalysisSession::new(&p).policy(analysis).run();
+        let r = AnalysisSession::open(p.clone()).policy(analysis).solve();
         assert_eq!(r.points_to(cv), &[h], "{analysis}: static cell flows");
         assert_eq!(r.points_to(out), &[h], "{analysis}");
     }
@@ -490,7 +508,7 @@ fn static_fields_conflate_across_all_contexts() {
         Analysis::UTwoObjH,
         Analysis::ThreeObj2H,
     ] {
-        let r = AnalysisSession::new(&p).policy(analysis).run();
+        let r = AnalysisSession::open(p.clone()).policy(analysis).solve();
         assert_eq!(
             r.points_to(r1).len(),
             2,
@@ -514,10 +532,10 @@ fn static_field_provenance_chains_through_the_cell() {
     b.sload(main, got, cell);
     b.entry_point(main);
     let p = b.finish().unwrap();
-    let r = AnalysisSession::new(&p)
+    let r = AnalysisSession::open(p.clone())
         .policy(Analysis::OneObj)
         .track_provenance(true)
-        .run();
+        .solve();
     let chain = r.explain(&p, got, h).expect("chain exists");
     let joined = chain.join("\n");
     assert!(joined.contains("static field Reg.cell"), "{joined}");

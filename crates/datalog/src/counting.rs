@@ -1,0 +1,956 @@
+//! Incremental maintenance for Datalog: counting semi-naive with DRed.
+//!
+//! The main [`crate::Engine`] is an additive-only fixpoint evaluator —
+//! retracting a fact requires re-running everything. This module is the
+//! maintenance counterpart the incremental `AnalysisSession` is built
+//! around, realized for the generic rule layer: a [`DeltaEngine`] keeps
+//! every derived relation *exactly* consistent with its EDB under both
+//! insertions and deletions.
+//!
+//! Two classic algorithms, picked per stratum:
+//!
+//! - **Counting** (Gupta–Mumick–Subrahmanian) for non-recursive strata:
+//!   every tuple carries the number of distinct rule instantiations that
+//!   derive it. A deletion decrements the counts of the instantiations it
+//!   participated in; a tuple dies only when its count reaches zero, so
+//!   alternative derivations are never lost and no re-derivation pass is
+//!   needed. Exact only without recursion — a cyclic derivation can keep
+//!   its own count alive.
+//! - **DRed** (delete-and-rederive, Gupta–Mumick) for recursive strata:
+//!   deletions are first *over*-applied (every tuple transitively
+//!   supported by a deleted tuple is suspected and removed), then each
+//!   suspect is re-derived from the surviving facts if any rule
+//!   instantiation still produces it, and re-derivations propagate
+//!   semi-naively.
+//!
+//! The dense solver's incremental layer (`solver::incremental`) is the
+//! same two-phase shape specialized to Figure 2's nine rules — its
+//! "invalidation cone" is DRed's over-deletion, its "re-seed" is the
+//! re-derivation pass. This module keeps the generic form honest with
+//! rule sets the specialized layer cannot express, and serves as the
+//! differential oracle for its edit-stream tests.
+//!
+//! Joins here are deliberately simple (index-free nested loops): the
+//! module optimizes for being *obviously correct* — it is a maintenance
+//! oracle, not a production evaluator. Rules are positive conjunctive
+//! queries (no negation, no functors).
+
+use crate::hash::FxHashMap;
+use crate::stratify::scc;
+
+/// Identifies a relation within a [`DeltaEngine`].
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CRelId(u32);
+
+impl CRelId {
+    /// The relation's dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One term of an atom: a rule variable (join position) or a constant.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum CTerm {
+    /// Variable, identified by a small dense id local to its rule.
+    Var(u32),
+    /// Literal value.
+    Const(u32),
+}
+
+/// One atom: a relation applied to terms.
+#[derive(Debug, Clone)]
+pub struct CAtom {
+    /// The relation.
+    pub rel: CRelId,
+    /// Terms, one per column.
+    pub terms: Vec<CTerm>,
+}
+
+/// A positive Horn rule `head :- body...`.
+#[derive(Debug, Clone)]
+struct CRule {
+    head: CAtom,
+    body: Vec<CAtom>,
+}
+
+/// Per-tuple support bookkeeping.
+#[derive(Debug, Default, Clone, Copy)]
+struct Support {
+    /// Multiplicity as an explicitly asserted (EDB) fact.
+    edb: u32,
+    /// Number of rule instantiations currently deriving the tuple. In
+    /// recursive strata this is still maintained, but correctness there
+    /// rests on DRed, not on the count.
+    derived: u32,
+}
+
+impl Support {
+    #[inline]
+    fn live(self) -> bool {
+        self.edb > 0 || self.derived > 0
+    }
+}
+
+#[derive(Debug, Default)]
+struct RelData {
+    name: String,
+    arity: usize,
+    rows: FxHashMap<Vec<u32>, Support>,
+}
+
+/// Maintenance statistics, cumulative over the engine's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Tuples inserted (became live) across all relations.
+    pub inserted: u64,
+    /// Tuples deleted (became dead) across all relations.
+    pub deleted: u64,
+    /// Tuples over-deleted by DRed and then re-derived.
+    pub rederived: u64,
+    /// Maintenance rounds executed.
+    pub rounds: u64,
+}
+
+/// An incrementally maintained Datalog database. Add relations and rules,
+/// then [`DeltaEngine::seal`]; afterwards [`DeltaEngine::insert`] and
+/// [`DeltaEngine::remove`] keep all derived relations exact.
+#[derive(Default)]
+pub struct DeltaEngine {
+    rels: Vec<RelData>,
+    rules: Vec<CRule>,
+    /// Rule indices per stratum, in topological order.
+    strata: Vec<Vec<usize>>,
+    /// Whether each stratum contains recursion (head feeding a body in
+    /// the same stratum) and therefore needs DRed on deletion.
+    recursive: Vec<bool>,
+    sealed: bool,
+    stats: DeltaStats,
+}
+
+impl DeltaEngine {
+    /// An empty engine.
+    #[must_use]
+    pub fn new() -> DeltaEngine {
+        DeltaEngine::default()
+    }
+
+    /// Registers a relation.
+    pub fn relation(&mut self, name: &str, arity: usize) -> CRelId {
+        assert!(!self.sealed, "relation() after seal()");
+        let id = CRelId(self.rels.len() as u32);
+        self.rels.push(RelData {
+            name: name.to_owned(),
+            arity,
+            rows: FxHashMap::default(),
+        });
+        id
+    }
+
+    /// Registers a rule `head :- body...`. Head variables must be bound
+    /// by the body.
+    pub fn rule(&mut self, head: CAtom, body: Vec<CAtom>) {
+        assert!(!self.sealed, "rule() after seal()");
+        assert!(!body.is_empty(), "facts go through insert(), not rules");
+        assert_eq!(self.rels[head.rel.index()].arity, head.terms.len());
+        for atom in &body {
+            assert_eq!(self.rels[atom.rel.index()].arity, atom.terms.len());
+        }
+        let bound: Vec<u32> = body
+            .iter()
+            .flat_map(|a| a.terms.iter())
+            .filter_map(|t| match t {
+                CTerm::Var(v) => Some(*v),
+                CTerm::Const(_) => None,
+            })
+            .collect();
+        for t in &head.terms {
+            if let CTerm::Var(v) = t {
+                assert!(bound.contains(v), "head variable {v} unbound by body");
+            }
+        }
+        self.rules.push(CRule { head, body });
+    }
+
+    /// Computes strata and freezes the schema. Must be called before the
+    /// first [`DeltaEngine::insert`].
+    pub fn seal(&mut self) {
+        assert!(!self.sealed, "seal() twice");
+        // Relation dependency graph: body -> head, as in `stratify`.
+        let n = self.rels.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for rule in &self.rules {
+            for atom in &rule.body {
+                adj[atom.rel.index()].push(rule.head.rel.index());
+            }
+        }
+        let comp = scc(&adj);
+        // `scc` yields reverse topological component ids: successors have
+        // *smaller* ids, so evaluating components in decreasing id order
+        // visits dependencies first.
+        let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
+        let mut strata: Vec<Vec<usize>> = vec![Vec::new(); n_comp];
+        let mut recursive = vec![false; n_comp];
+        for (ri, rule) in self.rules.iter().enumerate() {
+            let c = comp[rule.head.rel.index()];
+            strata[c].push(ri);
+            if rule.body.iter().any(|a| comp[a.rel.index()] == c) {
+                recursive[c] = true;
+            }
+        }
+        strata.reverse();
+        recursive.reverse();
+        self.strata = strata;
+        self.recursive = recursive;
+        self.sealed = true;
+    }
+
+    /// Number of live rows in `rel`.
+    #[must_use]
+    pub fn len(&self, rel: CRelId) -> usize {
+        self.rels[rel.index()]
+            .rows
+            .values()
+            .filter(|s| s.live())
+            .count()
+    }
+
+    /// Whether `rel` has no live rows.
+    #[must_use]
+    pub fn is_empty(&self, rel: CRelId) -> bool {
+        self.len(rel) == 0
+    }
+
+    /// Whether `rel` currently contains `row`.
+    #[must_use]
+    pub fn contains(&self, rel: CRelId, row: &[u32]) -> bool {
+        self.rels[rel.index()]
+            .rows
+            .get(row)
+            .is_some_and(|s| s.live())
+    }
+
+    /// Live rows of `rel`, in unspecified order.
+    pub fn rows(&self, rel: CRelId) -> impl Iterator<Item = &Vec<u32>> {
+        self.rels[rel.index()]
+            .rows
+            .iter()
+            .filter(|(_, s)| s.live())
+            .map(|(r, _)| r)
+    }
+
+    /// The relation's registered name.
+    #[must_use]
+    pub fn relation_name(&self, rel: CRelId) -> &str {
+        &self.rels[rel.index()].name
+    }
+
+    /// Cumulative maintenance statistics.
+    #[must_use]
+    pub fn stats(&self) -> DeltaStats {
+        self.stats
+    }
+
+    /// Asserts `row` as an EDB fact and propagates all consequences.
+    /// Returns whether the tuple was newly visible.
+    pub fn insert(&mut self, rel: CRelId, row: &[u32]) -> bool {
+        assert!(self.sealed, "insert() before seal()");
+        let support = self.rels[rel.index()].rows.entry(row.to_vec()).or_default();
+        let was_live = support.live();
+        support.edb += 1;
+        if was_live {
+            return false;
+        }
+        self.stats.inserted += 1;
+        self.propagate_insertions(vec![(rel, row.to_vec())]);
+        true
+    }
+
+    /// Retracts one EDB assertion of `row` and propagates all
+    /// consequences. Returns whether the tuple became invisible.
+    pub fn remove(&mut self, rel: CRelId, row: &[u32]) -> bool {
+        assert!(self.sealed, "remove() before seal()");
+        let Some(support) = self.rels[rel.index()].rows.get_mut(row) else {
+            return false;
+        };
+        if support.edb == 0 {
+            return false;
+        }
+        support.edb -= 1;
+        if support.live() {
+            return false;
+        }
+        self.stats.deleted += 1;
+        self.propagate_deletions(vec![(rel, row.to_vec())]);
+        true
+    }
+
+    // ----- evaluation ----------------------------------------------------
+
+    /// All instantiations of `rule` in the current database with body
+    /// atom `pivot` bound to exactly `row` (semi-naive delta restriction;
+    /// remaining atoms range over all live rows, with atoms *before* the
+    /// pivot additionally forbidden from matching `row` itself when they
+    /// name the pivot's relation — the standard inclusion–exclusion that
+    /// counts each instantiation exactly once when a batch of deltas is
+    /// replayed pivot by pivot).
+    fn instantiations_via(
+        &self,
+        rule: &CRule,
+        pivot: usize,
+        row: &[u32],
+        delta: &FxHashMap<(CRelId, Vec<u32>), ()>,
+    ) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut binding: FxHashMap<u32, u32> = FxHashMap::default();
+        if !unify(&rule.body[pivot].terms, row, &mut binding) {
+            return out;
+        }
+        self.join_rest(rule, pivot, 0, &mut binding, delta, &mut out);
+        out
+    }
+
+    /// Recursive nested-loop join over every body atom except `pivot`,
+    /// emitting head rows for complete bindings.
+    fn join_rest(
+        &self,
+        rule: &CRule,
+        pivot: usize,
+        atom_idx: usize,
+        binding: &mut FxHashMap<u32, u32>,
+        delta: &FxHashMap<(CRelId, Vec<u32>), ()>,
+        out: &mut Vec<Vec<u32>>,
+    ) {
+        if atom_idx == rule.body.len() {
+            let head: Vec<u32> = rule
+                .head
+                .terms
+                .iter()
+                .map(|t| match t {
+                    CTerm::Var(v) => binding[v],
+                    CTerm::Const(c) => *c,
+                })
+                .collect();
+            out.push(head);
+            return;
+        }
+        if atom_idx == pivot {
+            self.join_rest(rule, pivot, atom_idx + 1, binding, delta, out);
+            return;
+        }
+        let atom = &rule.body[atom_idx];
+        let rel = &self.rels[atom.rel.index()];
+        for (row, support) in &rel.rows {
+            if !support.live() {
+                continue;
+            }
+            // Atoms before the pivot must not match any row in the
+            // current delta batch for the same relation: those
+            // instantiations are counted when *that* row is the pivot.
+            if atom_idx < pivot && delta.contains_key(&(atom.rel, row.clone())) {
+                continue;
+            }
+            let saved: Vec<(u32, Option<u32>)> = atom
+                .terms
+                .iter()
+                .filter_map(|t| match t {
+                    CTerm::Var(v) => Some((*v, binding.get(v).copied())),
+                    CTerm::Const(_) => None,
+                })
+                .collect();
+            if unify(&atom.terms, row, binding) {
+                self.join_rest(rule, pivot, atom_idx + 1, binding, delta, out);
+            }
+            for (v, old) in saved {
+                match old {
+                    Some(val) => {
+                        binding.insert(v, val);
+                    }
+                    None => {
+                        binding.remove(&v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Semi-naive additive propagation of `seed` tuples through every
+    /// stratum in order.
+    ///
+    /// A tuple stays a delta for every stratum from its first appearance
+    /// onward: a relation derived in one stratum may be *read* by any
+    /// later one, so everything that becomes visible is carried forward
+    /// and re-presented (strata whose rules don't mention it just skip
+    /// it at the pivot check).
+    ///
+    /// Within a round, derived heads are buffered and applied only after
+    /// every pivot has been processed: joins must see the database as of
+    /// the round's start, or a head derived mid-round could join as an
+    /// "other atom" for a later pivot and the same instantiation would
+    /// be counted twice.
+    fn propagate_insertions(&mut self, seed: Vec<(CRelId, Vec<u32>)>) {
+        let mut carried = seed;
+        for s in 0..self.strata.len() {
+            if carried.is_empty() {
+                break;
+            }
+            let mut delta = carried.clone();
+            while !delta.is_empty() {
+                self.stats.rounds += 1;
+                let batch: FxHashMap<(CRelId, Vec<u32>), ()> =
+                    delta.iter().map(|t| (t.clone(), ())).collect();
+                let mut gains: Vec<(CRelId, Vec<u32>)> = Vec::new();
+                let rules = self.strata[s].clone();
+                for &ri in &rules {
+                    let rule = self.rules[ri].clone();
+                    for (rel, row) in &delta {
+                        for pivot in 0..rule.body.len() {
+                            if rule.body[pivot].rel != *rel {
+                                continue;
+                            }
+                            for head in self.instantiations_via(&rule, pivot, row, &batch) {
+                                gains.push((rule.head.rel, head));
+                            }
+                        }
+                    }
+                }
+                let mut next: Vec<(CRelId, Vec<u32>)> = Vec::new();
+                for (rel, head) in gains {
+                    let support = self.rels[rel.index()].rows.entry(head.clone()).or_default();
+                    let was_live = support.live();
+                    support.derived += 1;
+                    if !was_live {
+                        self.stats.inserted += 1;
+                        next.push((rel, head));
+                    }
+                }
+                carried.extend(next.iter().cloned());
+                delta = next;
+            }
+        }
+    }
+
+    /// Deletion propagation: counting within non-recursive strata, DRed
+    /// within recursive ones. `seed` tuples are already invisible.
+    ///
+    /// Mirrors [`DeltaEngine::propagate_insertions`]: every death so far
+    /// is carried forward and presented to each later stratum, since a
+    /// relation that died in one stratum may be read by any later one.
+    fn propagate_deletions(&mut self, seed: Vec<(CRelId, Vec<u32>)>) {
+        let mut carried = seed;
+        for s in 0..self.strata.len() {
+            if carried.is_empty() {
+                break;
+            }
+            let newly_dead = if self.recursive[s] {
+                self.delete_dred(s, carried.clone())
+            } else {
+                self.delete_counting(s, carried.clone())
+            };
+            carried.extend(newly_dead);
+        }
+    }
+
+    /// Counting deletion within non-recursive stratum `s`: decrement the
+    /// counts of every lost instantiation; returns the tuples that died.
+    /// Decrements are buffered per round for the same reason insertions
+    /// buffer theirs: a head dying mid-round would vanish from the joins
+    /// of later pivots in the same round, and the instantiations it
+    /// participated in — which existed before the deletion — would never
+    /// be charged to their heads.
+    fn delete_counting(
+        &mut self,
+        s: usize,
+        mut delta: Vec<(CRelId, Vec<u32>)>,
+    ) -> Vec<(CRelId, Vec<u32>)> {
+        let mut all_dead: Vec<(CRelId, Vec<u32>)> = Vec::new();
+        while !delta.is_empty() {
+            self.stats.rounds += 1;
+            let batch: FxHashMap<(CRelId, Vec<u32>), ()> =
+                delta.iter().map(|t| (t.clone(), ())).collect();
+            let mut losses: Vec<(CRelId, Vec<u32>)> = Vec::new();
+            let rules = self.strata[s].clone();
+            for &ri in &rules {
+                let rule = self.rules[ri].clone();
+                for (rel, row) in &delta {
+                    for pivot in 0..rule.body.len() {
+                        if rule.body[pivot].rel != *rel {
+                            continue;
+                        }
+                        for head in self.instantiations_lost_via(&rule, pivot, row, &batch) {
+                            losses.push((rule.head.rel, head));
+                        }
+                    }
+                }
+            }
+            let mut next: Vec<(CRelId, Vec<u32>)> = Vec::new();
+            for (rel, head) in losses {
+                let support = self.rels[rel.index()]
+                    .rows
+                    .get_mut(&head)
+                    .expect("decrement of underived tuple");
+                debug_assert!(support.derived > 0);
+                support.derived -= 1;
+                if !support.live() {
+                    self.stats.deleted += 1;
+                    next.push((rel, head));
+                }
+            }
+            all_dead.extend(next.iter().cloned());
+            delta = next;
+        }
+        all_dead
+    }
+
+    /// DRed deletion within recursive stratum `s`: over-delete the
+    /// closure of the deleted tuples, then re-derive survivors. Returns
+    /// the tuples that stayed dead (for later strata). Survivors are
+    /// *not* reported — later strata never observed the over-deletion,
+    /// so their counts are already consistent.
+    fn delete_dred(
+        &mut self,
+        s: usize,
+        mut frontier: Vec<(CRelId, Vec<u32>)>,
+    ) -> Vec<(CRelId, Vec<u32>)> {
+        // Phase 1: over-deletion. Any tuple with an instantiation using a
+        // suspect tuple becomes suspect; its derived count resets to zero
+        // (counts are rebuilt during re-derivation). Zeroing is buffered
+        // per round, and the (already invisible) frontier is resurrected
+        // for the joins: the instantiations being chased existed while
+        // every tuple of this round was still live, so the joins must see
+        // the database as of the round's start.
+        frontier.sort();
+        frontier.dedup();
+        let mut zeroed: Vec<(CRelId, Vec<u32>)> = Vec::new();
+        while !frontier.is_empty() {
+            self.stats.rounds += 1;
+            for (rel, r) in &frontier {
+                self.rels[rel.index()].rows.get_mut(r).unwrap().derived += 1;
+            }
+            let mut suspect_heads: Vec<(CRelId, Vec<u32>)> = Vec::new();
+            let rules = self.strata[s].clone();
+            for &ri in &rules {
+                let rule = self.rules[ri].clone();
+                for (rel, row) in &frontier {
+                    for pivot in 0..rule.body.len() {
+                        if rule.body[pivot].rel != *rel {
+                            continue;
+                        }
+                        // Over-deletion ranges over *all* live rows — no
+                        // inclusion–exclusion: one suspect support is
+                        // enough to suspect the head, and zeroing twice
+                        // is harmless.
+                        for head in
+                            self.instantiations_via(&rule, pivot, row, &FxHashMap::default())
+                        {
+                            suspect_heads.push((rule.head.rel, head));
+                        }
+                    }
+                }
+            }
+            for (rel, r) in &frontier {
+                self.rels[rel.index()].rows.get_mut(r).unwrap().derived -= 1;
+            }
+            let mut next: Vec<(CRelId, Vec<u32>)> = Vec::new();
+            for (rel, head) in suspect_heads {
+                let support = self.rels[rel.index()]
+                    .rows
+                    .get_mut(&head)
+                    .expect("suspect head missing");
+                if support.derived > 0 {
+                    support.derived = 0;
+                    zeroed.push((rel, head.clone()));
+                    if support.edb == 0 {
+                        next.push((rel, head));
+                    }
+                }
+            }
+            frontier = next;
+        }
+
+        // Phase 2: re-derivation. Recount every zeroed tuple over the
+        // surviving facts, to fixpoint: a tuple that comes back live can
+        // support another suspect, so counts only grow until stable.
+        zeroed.sort();
+        zeroed.dedup();
+        loop {
+            let mut changed = false;
+            for (rel, row) in &zeroed {
+                let n = self.count_derivations(*rel, row);
+                let support = self.rels[rel.index()].rows.get_mut(row).unwrap();
+                if support.derived != n {
+                    support.derived = n;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut still_dead: Vec<(CRelId, Vec<u32>)> = Vec::new();
+        for (rel, row) in &zeroed {
+            let support = self.rels[rel.index()].rows[row];
+            if support.derived > 0 {
+                self.stats.rederived += 1;
+            }
+            if support.live() {
+                continue;
+            }
+            self.stats.deleted += 1;
+            still_dead.push((*rel, row.clone()));
+        }
+        still_dead
+    }
+
+    /// Counts the rule instantiations currently deriving `row` into
+    /// `rel`, over live tuples only. Pure — the caller owns the count
+    /// bookkeeping.
+    fn count_derivations(&self, rel: CRelId, row: &[u32]) -> u32 {
+        let mut n = 0u32;
+        for rule in &self.rules {
+            if rule.head.rel != rel {
+                continue;
+            }
+            // Pre-bind the head against `row`, then enumerate every body
+            // instantiation (pivot usize::MAX = no delta restriction).
+            let mut binding: FxHashMap<u32, u32> = FxHashMap::default();
+            if !unify(&rule.head.terms, row, &mut binding) {
+                continue;
+            }
+            let mut out = Vec::new();
+            self.join_rest(
+                rule,
+                usize::MAX,
+                0,
+                &mut binding,
+                &FxHashMap::default(),
+                &mut out,
+            );
+            n += out.iter().filter(|h| h[..] == *row).count() as u32;
+        }
+        n
+    }
+
+    /// Lost instantiations for a deletion batch: the inclusion–exclusion
+    /// dual of [`DeltaEngine::instantiations_via`]. Deleted tuples are
+    /// already invisible, so "other atoms" must range over live rows
+    /// *plus the batch itself* for atoms after the pivot (they were live
+    /// when the instantiation existed), and exclude the batch before the
+    /// pivot. Implemented by temporarily resurrecting the batch.
+    fn instantiations_lost_via(
+        &mut self,
+        rule: &CRule,
+        pivot: usize,
+        row: &[u32],
+        batch: &FxHashMap<(CRelId, Vec<u32>), ()>,
+    ) -> Vec<Vec<u32>> {
+        // Resurrect the batch (derived += 1 marks live without touching
+        // EDB counts), join, then undo.
+        for (rel, r) in batch.keys() {
+            self.rels[rel.index()].rows.get_mut(r).unwrap().derived += 1;
+        }
+        let out = self.instantiations_via(rule, pivot, row, batch);
+        for (rel, r) in batch.keys() {
+            self.rels[rel.index()].rows.get_mut(r).unwrap().derived -= 1;
+        }
+        out
+    }
+}
+
+/// Unifies `terms` against `row` under `binding`, extending it. Returns
+/// `false` (with `binding` possibly extended — callers save/restore) on
+/// mismatch.
+fn unify(terms: &[CTerm], row: &[u32], binding: &mut FxHashMap<u32, u32>) -> bool {
+    debug_assert_eq!(terms.len(), row.len());
+    for (t, &v) in terms.iter().zip(row) {
+        match t {
+            CTerm::Const(c) => {
+                if *c != v {
+                    return false;
+                }
+            }
+            CTerm::Var(var) => match binding.get(var) {
+                Some(&bound) => {
+                    if bound != v {
+                        return false;
+                    }
+                }
+                None => {
+                    binding.insert(*var, v);
+                }
+            },
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u32) -> CTerm {
+        CTerm::Var(n)
+    }
+
+    /// edge/2 EDB; path(x,y) :- edge(x,y); path(x,z) :- path(x,y), edge(y,z).
+    fn tc_engine() -> (DeltaEngine, CRelId, CRelId) {
+        let mut e = DeltaEngine::new();
+        let edge = e.relation("edge", 2);
+        let path = e.relation("path", 2);
+        e.rule(
+            CAtom {
+                rel: path,
+                terms: vec![v(0), v(1)],
+            },
+            vec![CAtom {
+                rel: edge,
+                terms: vec![v(0), v(1)],
+            }],
+        );
+        e.rule(
+            CAtom {
+                rel: path,
+                terms: vec![v(0), v(2)],
+            },
+            vec![
+                CAtom {
+                    rel: path,
+                    terms: vec![v(0), v(1)],
+                },
+                CAtom {
+                    rel: edge,
+                    terms: vec![v(1), v(2)],
+                },
+            ],
+        );
+        e.seal();
+        (e, edge, path)
+    }
+
+    /// Reference: from-scratch transitive closure of `edges`.
+    fn tc_reference(edges: &[(u32, u32)]) -> std::collections::BTreeSet<(u32, u32)> {
+        let mut paths: std::collections::BTreeSet<(u32, u32)> = edges.iter().copied().collect();
+        loop {
+            let mut grew = false;
+            let snapshot: Vec<(u32, u32)> = paths.iter().copied().collect();
+            for &(x, y) in &snapshot {
+                for &(a, b) in edges {
+                    if a == y && paths.insert((x, b)) {
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        paths
+    }
+
+    fn path_set(e: &DeltaEngine, path: CRelId) -> std::collections::BTreeSet<(u32, u32)> {
+        e.rows(path).map(|r| (r[0], r[1])).collect()
+    }
+
+    #[test]
+    fn insertion_reaches_the_additive_fixpoint() {
+        let (mut e, edge, path) = tc_engine();
+        for &(a, b) in &[(1, 2), (2, 3), (3, 4)] {
+            e.insert(edge, &[a, b]);
+        }
+        assert_eq!(path_set(&e, path), tc_reference(&[(1, 2), (2, 3), (3, 4)]));
+    }
+
+    #[test]
+    fn deletion_in_a_cycle_retracts_self_supporting_tuples() {
+        // The canonical DRed test: a cycle keeps every path alive through
+        // itself; counting alone would never reclaim it.
+        let (mut e, edge, path) = tc_engine();
+        let edges = [(1, 2), (2, 3), (3, 1), (3, 4)];
+        for &(a, b) in &edges {
+            e.insert(edge, &[a, b]);
+        }
+        assert!(e.contains(path, &[1, 1]), "cycle closes");
+        e.remove(edge, &[3, 1]);
+        let rest = [(1, 2), (2, 3), (3, 4)];
+        assert_eq!(path_set(&e, path), tc_reference(&rest));
+        assert!(!e.contains(path, &[1, 1]), "self-supporting path survived");
+    }
+
+    #[test]
+    fn alternative_derivations_survive_deletion() {
+        // Diamond: 1->2->4 and 1->3->4. Deleting one branch must keep
+        // path(1,4) alive via the other.
+        let (mut e, edge, path) = tc_engine();
+        for &(a, b) in &[(1, 2), (2, 4), (1, 3), (3, 4)] {
+            e.insert(edge, &[a, b]);
+        }
+        e.remove(edge, &[2, 4]);
+        assert!(e.contains(path, &[1, 4]), "second derivation lost");
+        assert_eq!(path_set(&e, path), tc_reference(&[(1, 2), (1, 3), (3, 4)]));
+    }
+
+    #[test]
+    fn counting_tracks_duplicate_derivations_without_rederivation() {
+        // A purely non-recursive program: out(x) :- a(x); out(x) :- b(x).
+        // Deleting a(7) must keep out(7) alive through b(7) using the
+        // count alone (no DRed pass runs in a non-recursive stratum).
+        let mut e = DeltaEngine::new();
+        let a = e.relation("a", 1);
+        let b = e.relation("b", 1);
+        let out = e.relation("out", 1);
+        e.rule(
+            CAtom {
+                rel: out,
+                terms: vec![v(0)],
+            },
+            vec![CAtom {
+                rel: a,
+                terms: vec![v(0)],
+            }],
+        );
+        e.rule(
+            CAtom {
+                rel: out,
+                terms: vec![v(0)],
+            },
+            vec![CAtom {
+                rel: b,
+                terms: vec![v(0)],
+            }],
+        );
+        e.seal();
+        e.insert(a, &[7]);
+        e.insert(b, &[7]);
+        assert!(e.contains(out, &[7]));
+        let before = e.stats().rederived;
+        e.remove(a, &[7]);
+        assert!(
+            e.contains(out, &[7]),
+            "count should keep the second support"
+        );
+        e.remove(b, &[7]);
+        assert!(!e.contains(out, &[7]));
+        assert_eq!(
+            e.stats().rederived,
+            before,
+            "counting path must not invoke DRed"
+        );
+    }
+
+    #[test]
+    fn random_edit_sequences_match_scratch_evaluation() {
+        // Deterministic splitmix64, same as the workspace RNG.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as u32
+        };
+        let (mut e, edge, path) = tc_engine();
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for step in 0..300 {
+            let a = next() % 7;
+            let b = next() % 7;
+            let grow = live.is_empty() || next() % 3 != 0;
+            if grow {
+                if !live.contains(&(a, b)) {
+                    live.push((a, b));
+                    e.insert(edge, &[a, b]);
+                }
+            } else {
+                let i = (next() as usize) % live.len();
+                let (x, y) = live.swap_remove(i);
+                e.remove(edge, &[x, y]);
+            }
+            assert_eq!(
+                path_set(&e, path),
+                tc_reference(&live),
+                "divergence at step {step} (live edges: {live:?})"
+            );
+        }
+        assert!(
+            e.stats().rederived > 0,
+            "streams never exercised DRed re-derivation"
+        );
+    }
+
+    #[test]
+    fn multi_stratum_programs_propagate_deletions_downstream() {
+        // Stratum 1: path = TC(edge). Stratum 2 (non-recursive):
+        // reach(y) :- path(1, y); pair(x,y) :- reach(x), reach(y).
+        let mut e = DeltaEngine::new();
+        let edge = e.relation("edge", 2);
+        let path = e.relation("path", 2);
+        let reach = e.relation("reach", 1);
+        let pair = e.relation("pair", 2);
+        e.rule(
+            CAtom {
+                rel: path,
+                terms: vec![v(0), v(1)],
+            },
+            vec![CAtom {
+                rel: edge,
+                terms: vec![v(0), v(1)],
+            }],
+        );
+        e.rule(
+            CAtom {
+                rel: path,
+                terms: vec![v(0), v(2)],
+            },
+            vec![
+                CAtom {
+                    rel: path,
+                    terms: vec![v(0), v(1)],
+                },
+                CAtom {
+                    rel: edge,
+                    terms: vec![v(1), v(2)],
+                },
+            ],
+        );
+        e.rule(
+            CAtom {
+                rel: reach,
+                terms: vec![v(1)],
+            },
+            vec![CAtom {
+                rel: path,
+                terms: vec![CTerm::Const(1), v(1)],
+            }],
+        );
+        e.rule(
+            CAtom {
+                rel: pair,
+                terms: vec![v(0), v(1)],
+            },
+            vec![
+                CAtom {
+                    rel: reach,
+                    terms: vec![v(0)],
+                },
+                CAtom {
+                    rel: reach,
+                    terms: vec![v(1)],
+                },
+            ],
+        );
+        e.seal();
+        for &(a, b) in &[(1, 2), (2, 3), (1, 4)] {
+            e.insert(edge, &[a, b]);
+        }
+        assert_eq!(e.len(reach), 3); // 2, 3, 4
+        assert_eq!(e.len(pair), 9);
+        // Cutting 2->3 kills reach(3) and every pair involving 3.
+        e.remove(edge, &[2, 3]);
+        assert_eq!(e.len(reach), 2);
+        assert_eq!(e.len(pair), 4);
+        assert!(!e.contains(pair, &[3, 3]));
+        // Diamond in the derived stratum: re-adding restores everything.
+        e.insert(edge, &[2, 3]);
+        assert_eq!(e.len(pair), 9);
+    }
+}

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod builder;
+pub mod delta;
 pub mod hash;
 pub mod hierarchy;
 pub mod ids;
@@ -56,6 +57,7 @@ pub mod stats;
 pub mod validate;
 
 pub use builder::ProgramBuilder;
+pub use delta::{DeltaError, ProgramDelta};
 pub use hierarchy::Hierarchy;
 pub use ids::{FieldId, HeapId, InvoId, MethodId, SigId, TypeId, VarId};
 pub use interp::{DynamicFacts, InterpConfig, Interpreter};

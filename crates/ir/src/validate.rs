@@ -157,6 +157,205 @@ impl fmt::Display for ValidateError {
 
 impl Error for ValidateError {}
 
+/// Read-only view of the entity attributes the per-instruction checks
+/// consult. Implemented by [`Program`] itself and — in `delta.rs` — by a
+/// base program overlaid with a pending [`crate::ProgramDelta`], so a
+/// delta can be validated *before* it is applied (which is what makes
+/// in-place application safe: nothing can fail after mutation starts).
+pub(crate) trait EntityView {
+    fn var_method(&self, var: VarId) -> MethodId;
+    fn field_is_static(&self, field: FieldId) -> bool;
+    fn invo_kind(&self, invo: InvoId) -> InvoKind;
+    fn actual_args(&self, invo: InvoId) -> &[VarId];
+    fn actual_return(&self, invo: InvoId) -> Option<VarId>;
+    fn sig_arity(&self, sig: crate::ids::SigId) -> usize;
+    fn method_is_static(&self, meth: MethodId) -> bool;
+    fn formals_len(&self, meth: MethodId) -> usize;
+}
+
+impl EntityView for Program {
+    fn var_method(&self, var: VarId) -> MethodId {
+        Program::var_method(self, var)
+    }
+    fn field_is_static(&self, field: FieldId) -> bool {
+        Program::field_is_static(self, field)
+    }
+    fn invo_kind(&self, invo: InvoId) -> InvoKind {
+        Program::invo_kind(self, invo)
+    }
+    fn actual_args(&self, invo: InvoId) -> &[VarId] {
+        Program::actual_args(self, invo)
+    }
+    fn actual_return(&self, invo: InvoId) -> Option<VarId> {
+        Program::actual_return(self, invo)
+    }
+    fn sig_arity(&self, sig: crate::ids::SigId) -> usize {
+        Program::sig_arity(self, sig)
+    }
+    fn method_is_static(&self, meth: MethodId) -> bool {
+        Program::method_is_static(self, meth)
+    }
+    fn formals_len(&self, meth: MethodId) -> usize {
+        Program::formals(self, meth).len()
+    }
+}
+
+/// Checks that `entry` is a legal analysis root: a static method without
+/// parameters.
+pub(crate) fn check_entry_point<V: EntityView>(
+    view: &V,
+    entry: MethodId,
+) -> Result<(), ValidateError> {
+    if !view.method_is_static(entry) || view.formals_len(entry) != 0 {
+        return Err(ValidateError::BadEntryPoint { method: entry });
+    }
+    Ok(())
+}
+
+/// Checks one instruction of `meth`'s body against the view.
+pub(crate) fn check_instr<V: EntityView>(
+    view: &V,
+    meth: MethodId,
+    instr: &Instr,
+) -> Result<(), ValidateError> {
+    let own = |var: VarId| -> Result<(), ValidateError> {
+        if view.var_method(var) == meth {
+            Ok(())
+        } else {
+            Err(ValidateError::ForeignVariable { method: meth, var })
+        }
+    };
+    match *instr {
+        Instr::Alloc { var, .. } => own(var)?,
+        Instr::Move { to, from } | Instr::Cast { to, from, .. } => {
+            own(to)?;
+            own(from)?;
+        }
+        Instr::Load { to, base, field } => {
+            own(to)?;
+            own(base)?;
+            if view.field_is_static(field) {
+                return Err(ValidateError::BadFieldKind {
+                    method: meth,
+                    field,
+                    access: FieldAccess::InstanceLoad,
+                });
+            }
+        }
+        Instr::Store { base, from, field } => {
+            own(base)?;
+            own(from)?;
+            if view.field_is_static(field) {
+                return Err(ValidateError::BadFieldKind {
+                    method: meth,
+                    field,
+                    access: FieldAccess::InstanceStore,
+                });
+            }
+        }
+        Instr::Throw { var } => own(var)?,
+        Instr::SLoad { to, field } => {
+            own(to)?;
+            if !view.field_is_static(field) {
+                return Err(ValidateError::BadFieldKind {
+                    method: meth,
+                    field,
+                    access: FieldAccess::StaticLoad,
+                });
+            }
+        }
+        Instr::SStore { field, from } => {
+            own(from)?;
+            if !view.field_is_static(field) {
+                return Err(ValidateError::BadFieldKind {
+                    method: meth,
+                    field,
+                    access: FieldAccess::StaticStore,
+                });
+            }
+        }
+        Instr::VCall { base, sig, invo } => {
+            own(base)?;
+            for &a in view.actual_args(invo) {
+                own(a)?;
+            }
+            if let Some(r) = view.actual_return(invo) {
+                own(r)?;
+            }
+            if view.invo_kind(invo) != InvoKind::Virtual {
+                return Err(ValidateError::BadCallKind {
+                    method: meth,
+                    invo,
+                    expected: InvoKind::Virtual,
+                    found: view.invo_kind(invo),
+                    target: None,
+                });
+            }
+            if view.actual_args(invo).len() != view.sig_arity(sig) {
+                return Err(ValidateError::ArityMismatch {
+                    method: meth,
+                    invo,
+                    callee: None,
+                    got: view.actual_args(invo).len(),
+                    expected: view.sig_arity(sig),
+                });
+            }
+        }
+        Instr::SCall { target, invo } => {
+            for &a in view.actual_args(invo) {
+                own(a)?;
+            }
+            if let Some(r) = view.actual_return(invo) {
+                own(r)?;
+            }
+            if view.invo_kind(invo) != InvoKind::Static {
+                return Err(ValidateError::BadCallKind {
+                    method: meth,
+                    invo,
+                    expected: InvoKind::Static,
+                    found: view.invo_kind(invo),
+                    target: None,
+                });
+            }
+            if !view.method_is_static(target) {
+                return Err(ValidateError::BadCallKind {
+                    method: meth,
+                    invo,
+                    expected: InvoKind::Static,
+                    found: InvoKind::Static,
+                    target: Some(target),
+                });
+            }
+            if view.actual_args(invo).len() != view.formals_len(target) {
+                return Err(ValidateError::ArityMismatch {
+                    method: meth,
+                    invo,
+                    callee: Some(target),
+                    got: view.actual_args(invo).len(),
+                    expected: view.formals_len(target),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that a catch clause's binder variable belongs to `meth`.
+pub(crate) fn check_catch_binder<V: EntityView>(
+    view: &V,
+    meth: MethodId,
+    binder: VarId,
+) -> Result<(), ValidateError> {
+    if view.var_method(binder) == meth {
+        Ok(())
+    } else {
+        Err(ValidateError::ForeignVariable {
+            method: meth,
+            var: binder,
+        })
+    }
+}
+
 /// Checks all well-formedness invariants of `program`.
 ///
 /// # Errors
@@ -167,135 +366,14 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
         return Err(ValidateError::NoEntryPoint);
     }
     for &entry in program.entry_points() {
-        if !program.method_is_static(entry) || !program.formals(entry).is_empty() {
-            return Err(ValidateError::BadEntryPoint { method: entry });
-        }
+        check_entry_point(program, entry)?;
     }
-
     for meth in program.methods() {
-        let own = |var: VarId| -> Result<(), ValidateError> {
-            if program.var_method(var) == meth {
-                Ok(())
-            } else {
-                Err(ValidateError::ForeignVariable { method: meth, var })
-            }
-        };
         for instr in program.instrs(meth) {
-            match *instr {
-                Instr::Alloc { var, .. } => own(var)?,
-                Instr::Move { to, from } | Instr::Cast { to, from, .. } => {
-                    own(to)?;
-                    own(from)?;
-                }
-                Instr::Load { to, base, field } => {
-                    own(to)?;
-                    own(base)?;
-                    if program.field_is_static(field) {
-                        return Err(ValidateError::BadFieldKind {
-                            method: meth,
-                            field,
-                            access: FieldAccess::InstanceLoad,
-                        });
-                    }
-                }
-                Instr::Store { base, from, field } => {
-                    own(base)?;
-                    own(from)?;
-                    if program.field_is_static(field) {
-                        return Err(ValidateError::BadFieldKind {
-                            method: meth,
-                            field,
-                            access: FieldAccess::InstanceStore,
-                        });
-                    }
-                }
-                Instr::Throw { var } => own(var)?,
-                Instr::SLoad { to, field } => {
-                    own(to)?;
-                    if !program.field_is_static(field) {
-                        return Err(ValidateError::BadFieldKind {
-                            method: meth,
-                            field,
-                            access: FieldAccess::StaticLoad,
-                        });
-                    }
-                }
-                Instr::SStore { field, from } => {
-                    own(from)?;
-                    if !program.field_is_static(field) {
-                        return Err(ValidateError::BadFieldKind {
-                            method: meth,
-                            field,
-                            access: FieldAccess::StaticStore,
-                        });
-                    }
-                }
-                Instr::VCall { base, sig, invo } => {
-                    own(base)?;
-                    for &a in program.actual_args(invo) {
-                        own(a)?;
-                    }
-                    if let Some(r) = program.actual_return(invo) {
-                        own(r)?;
-                    }
-                    if program.invo_kind(invo) != InvoKind::Virtual {
-                        return Err(ValidateError::BadCallKind {
-                            method: meth,
-                            invo,
-                            expected: InvoKind::Virtual,
-                            found: program.invo_kind(invo),
-                            target: None,
-                        });
-                    }
-                    if program.actual_args(invo).len() != program.sig_arity(sig) {
-                        return Err(ValidateError::ArityMismatch {
-                            method: meth,
-                            invo,
-                            callee: None,
-                            got: program.actual_args(invo).len(),
-                            expected: program.sig_arity(sig),
-                        });
-                    }
-                }
-                Instr::SCall { target, invo } => {
-                    for &a in program.actual_args(invo) {
-                        own(a)?;
-                    }
-                    if let Some(r) = program.actual_return(invo) {
-                        own(r)?;
-                    }
-                    if program.invo_kind(invo) != InvoKind::Static {
-                        return Err(ValidateError::BadCallKind {
-                            method: meth,
-                            invo,
-                            expected: InvoKind::Static,
-                            found: program.invo_kind(invo),
-                            target: None,
-                        });
-                    }
-                    if !program.method_is_static(target) {
-                        return Err(ValidateError::BadCallKind {
-                            method: meth,
-                            invo,
-                            expected: InvoKind::Static,
-                            found: InvoKind::Static,
-                            target: Some(target),
-                        });
-                    }
-                    if program.actual_args(invo).len() != program.formals(target).len() {
-                        return Err(ValidateError::ArityMismatch {
-                            method: meth,
-                            invo,
-                            callee: Some(target),
-                            got: program.actual_args(invo).len(),
-                            expected: program.formals(target).len(),
-                        });
-                    }
-                }
-            }
+            check_instr(program, meth, instr)?;
         }
         for &(_, binder) in program.catches(meth) {
-            own(binder)?;
+            check_catch_binder(program, meth, binder)?;
         }
     }
     Ok(())

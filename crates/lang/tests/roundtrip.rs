@@ -12,7 +12,9 @@ use pta_workload::{generate, WorkloadConfig};
 /// of per-variable points-to sizes, the edge count, and reachable-method
 /// count. Equal programs (up to renaming) must produce equal signatures.
 fn signature(program: &Program, analysis: Analysis) -> (Vec<usize>, usize, usize, u64) {
-    let r = AnalysisSession::new(program).policy(analysis).run();
+    let r = AnalysisSession::open(program.clone())
+        .policy(analysis)
+        .solve();
     let mut sizes: Vec<usize> = program
         .vars()
         .map(|v| r.points_to(v).len())

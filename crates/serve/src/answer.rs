@@ -287,7 +287,9 @@ fn evaluate(req: &Request, resident: &Resident, ctx: &mut ReqCtx) -> Result<Stri
             out.push_str("]}");
             Ok(out)
         }
-        Op::Health | Op::Stats | Op::Shutdown => unreachable!("daemon-side op"),
+        Op::Update { .. } | Op::Health | Op::Stats | Op::Shutdown => {
+            unreachable!("daemon-side op")
+        }
     }
 }
 

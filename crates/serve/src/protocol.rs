@@ -14,9 +14,29 @@
 //! | `devirt`     | `program?`, `policy?`, `invo` (index)    | dispatch targets          |
 //! | `cast_check` | `program?`, `policy?`, `method`, `instr` | may-fail verdict          |
 //! | `findings`   | `program?`, `policy?`, `var`             | client findings for var   |
+//! | `update`     | `program?`, `edits` (array)              | new version + per-policy  |
 //! | `health`     | —                                        | liveness + queue depth    |
 //! | `stats`      | —                                        | full daemon statistics    |
 //! | `shutdown`   | —                                        | ack, then graceful drain  |
+//!
+//! An `update` edits the resident program in place and re-establishes
+//! every resident policy's fixpoint — incrementally when the session
+//! retained its solver state, by re-solving otherwise. Each element of
+//! `edits` is an object tagged by `"edit"`:
+//!
+//! ```text
+//! {"edit":"alloc","method":"Main.main","to":"p","class":"A","label":"h9"}
+//! {"edit":"move","method":"Main.main","to":"x","from":"y"}
+//! {"edit":"remove","method":"Main.main","index":3}
+//! {"edit":"clear","method":"Main.main"}
+//! {"edit":"entry","method":"Main.boot"}
+//! {"edit":"remove_entry","method":"Main.boot"}
+//! ```
+//!
+//! Methods are addressed by qualified name, classes by name, variables
+//! by name within the method (`"to"` vars that do not exist yet are
+//! created). `remove` addresses an instruction by its index in the
+//! method body.
 //!
 //! `program` may be omitted when exactly one program is resident;
 //! `policy` defaults to the first policy the daemon was started with.
@@ -85,6 +105,32 @@ impl ErrorCode {
     }
 }
 
+/// One parsed element of an `update` request's `"edits"` array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditSpec {
+    /// Append `to = new class` to `method` (creating `to` if needed).
+    Alloc {
+        method: String,
+        to: String,
+        class: String,
+        label: String,
+    },
+    /// Append `to = from` to `method`.
+    Move {
+        method: String,
+        to: String,
+        from: String,
+    },
+    /// Remove the instruction at `index` in `method`'s body.
+    Remove { method: String, index: u64 },
+    /// Remove every instruction of `method`.
+    Clear { method: String },
+    /// Add `method` to the entry-point set.
+    Entry { method: String },
+    /// Remove `method` from the entry-point set.
+    RemoveEntry { method: String },
+}
+
 /// What a query asks of the resident analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Op {
@@ -92,6 +138,7 @@ pub enum Op {
     Devirt { invo: u64 },
     CastCheck { method: String, instr: u64 },
     Findings { var: String },
+    Update { edits: Vec<EditSpec> },
     Health,
     Stats,
     Shutdown,
@@ -106,6 +153,7 @@ impl Op {
             Op::Devirt { .. } => "devirt",
             Op::CastCheck { .. } => "cast_check",
             Op::Findings { .. } => "findings",
+            Op::Update { .. } => "update",
             Op::Health => "health",
             Op::Stats => "stats",
             Op::Shutdown => "shutdown",
@@ -119,6 +167,13 @@ impl Op {
             self,
             Op::PointsTo { .. } | Op::Devirt { .. } | Op::CastCheck { .. } | Op::Findings { .. }
         )
+    }
+
+    /// Whether this op mutates the resident state (takes the write
+    /// lock instead of a read lock).
+    #[must_use]
+    pub fn is_update(&self) -> bool {
+        matches!(self, Op::Update { .. })
     }
 }
 
@@ -145,6 +200,42 @@ pub fn error_line(id: u64, code: ErrorCode, message: &str) -> String {
         code.as_str(),
         json::escape(message)
     )
+}
+
+/// Parses one element of an `update` request's `"edits"` array.
+fn parse_edit(item: &Value) -> Result<EditSpec, String> {
+    let str_field = |key: &str| -> Result<String, String> {
+        match item.get(key) {
+            Some(Value::String(s)) => Ok(s.clone()),
+            _ => Err(format!("edit missing string field \"{key}\"")),
+        }
+    };
+    let kind = str_field("edit")?;
+    let method = str_field("method")?;
+    Ok(match kind.as_str() {
+        "alloc" => EditSpec::Alloc {
+            method,
+            to: str_field("to")?,
+            class: str_field("class")?,
+            label: str_field("label")?,
+        },
+        "move" => EditSpec::Move {
+            method,
+            to: str_field("to")?,
+            from: str_field("from")?,
+        },
+        "remove" => {
+            let index = item
+                .get("index")
+                .and_then(Value::as_u64)
+                .ok_or("edit \"remove\" needs a non-negative integer \"index\"")?;
+            EditSpec::Remove { method, index }
+        }
+        "clear" => EditSpec::Clear { method },
+        "entry" => EditSpec::Entry { method },
+        "remove_entry" => EditSpec::RemoveEntry { method },
+        other => return Err(format!("unknown edit kind \"{other}\"")),
+    })
 }
 
 /// Parses one request line. On failure returns `(best-effort id, code,
@@ -204,6 +295,19 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, ErrorCode, String)> {
         "findings" => Op::Findings {
             var: req_str("var")?,
         },
+        "update" => {
+            let Some(Value::Array(items)) = v.get("edits") else {
+                return Err(fail("\"edits\" must be an array of edit objects"));
+            };
+            if items.is_empty() {
+                return Err(fail("\"edits\" must not be empty"));
+            }
+            let mut edits = Vec::with_capacity(items.len());
+            for item in items {
+                edits.push(parse_edit(item).map_err(|m| fail(&m))?);
+            }
+            Op::Update { edits }
+        }
         "health" => Op::Health,
         "stats" => Op::Stats,
         "shutdown" => Op::Shutdown,
@@ -253,6 +357,66 @@ mod tests {
         ] {
             let r = parse_request(&format!("{{\"id\":5,\"op\":\"{op}\"}}")).unwrap();
             assert_eq!(r.op, want);
+        }
+    }
+
+    #[test]
+    fn parses_update_edit_scripts() {
+        let r = parse_request(
+            r#"{"id":6,"op":"update","program":"app","edits":[
+                {"edit":"alloc","method":"A.main","to":"x","class":"B","label":"h9"},
+                {"edit":"move","method":"A.main","to":"y","from":"x"},
+                {"edit":"remove","method":"A.main","index":3},
+                {"edit":"clear","method":"B.helper"},
+                {"edit":"entry","method":"B.boot"},
+                {"edit":"remove_entry","method":"A.main"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(r.program.as_deref(), Some("app"));
+        assert!(r.op.is_update());
+        let Op::Update { edits } = r.op else {
+            unreachable!()
+        };
+        assert_eq!(edits.len(), 6);
+        assert_eq!(
+            edits[0],
+            EditSpec::Alloc {
+                method: "A.main".into(),
+                to: "x".into(),
+                class: "B".into(),
+                label: "h9".into(),
+            }
+        );
+        assert_eq!(
+            edits[2],
+            EditSpec::Remove {
+                method: "A.main".into(),
+                index: 3
+            }
+        );
+        assert_eq!(
+            edits[5],
+            EditSpec::RemoveEntry {
+                method: "A.main".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_edit_scripts() {
+        for line in [
+            // Missing, empty, or mistyped edits array.
+            r#"{"id":1,"op":"update"}"#,
+            r#"{"id":1,"op":"update","edits":[]}"#,
+            r#"{"id":1,"op":"update","edits":"clear"}"#,
+            // Unknown kind, missing fields, mistyped index.
+            r#"{"id":1,"op":"update","edits":[{"edit":"explode","method":"A.m"}]}"#,
+            r#"{"id":1,"op":"update","edits":[{"edit":"alloc","method":"A.m","to":"x"}]}"#,
+            r#"{"id":1,"op":"update","edits":[{"edit":"remove","method":"A.m","index":-1}]}"#,
+            r#"{"id":1,"op":"update","edits":[{"edit":"clear"}]}"#,
+        ] {
+            let (id, code, _) = parse_request(line).unwrap_err();
+            assert_eq!((id, code), (1, ErrorCode::BadRequest), "accepted: {line}");
         }
     }
 

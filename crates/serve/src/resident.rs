@@ -17,13 +17,16 @@
 
 use std::fmt::Write as _;
 use std::str::FromStr;
+use std::sync::Arc;
 use std::time::Instant;
 
 use pta_clients::{run_check, CheckReport, CheckSpec, ClientBackend};
 use pta_core::{Analysis, AnalysisSession, Budget, PointsToResult, Termination};
-use pta_ir::Program;
+use pta_ir::{MethodId, Program, ProgramDelta, VarId};
 use pta_lang::parse_program;
 use pta_workload::{dacapo_workload, DACAPO_NAMES};
+
+use crate::protocol::EditSpec;
 
 /// Where a resident program comes from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +115,10 @@ impl Default for SolveConfig {
 /// One solved (program, policy) pair.
 pub struct PolicyEntry {
     pub policy: Analysis,
+    /// The owned session behind `result`. Kept alive between requests so
+    /// `update` can maintain the fixpoint incrementally instead of
+    /// re-solving from scratch.
+    session: AnalysisSession<Analysis>,
     /// The result queries are answered from. When `partial`, this is the
     /// context-insensitive fallback, not the tripped primary solve.
     pub result: PointsToResult,
@@ -122,10 +129,13 @@ pub struct PolicyEntry {
     pub partial: bool,
     /// How the primary solve ended (`Complete` when `!partial`).
     pub termination: Termination,
-    /// Wall-clock startup solve time (primary + any fallback), ms.
+    /// Wall-clock solve time of the most recent (re-)solve, ms.
     pub solve_ms: u64,
     /// Primary solve step count.
     pub steps: u64,
+    /// `true` when the most recent `update` was absorbed by incremental
+    /// maintenance rather than a from-scratch re-solve.
+    pub incremental: bool,
 }
 
 impl PolicyEntry {
@@ -143,7 +153,9 @@ impl PolicyEntry {
 /// A resident program with one entry per configured policy.
 pub struct ResidentProgram {
     pub name: String,
-    pub program: Program,
+    pub program: Arc<Program>,
+    /// Monotone program version: 1 at startup, +1 per applied `update`.
+    pub version: u64,
     pub entries: Vec<PolicyEntry>,
 }
 
@@ -183,7 +195,7 @@ impl Resident {
             if programs.iter().any(|p| p.name == name) {
                 return Err(format!("duplicate resident program name \"{name}\""));
             }
-            let program = source.load()?;
+            let program = Arc::new(source.load()?);
             let mut entries = Vec::new();
             for &policy in &policies {
                 entries.push(solve_entry(&program, policy, solve));
@@ -191,6 +203,7 @@ impl Resident {
             programs.push(ResidentProgram {
                 name,
                 program,
+                version: 1,
                 entries,
             });
         }
@@ -248,6 +261,53 @@ impl Resident {
         self.programs.iter().map(|p| p.name.as_str()).collect()
     }
 
+    /// Applies one `update` request: edits the named resident program
+    /// and re-establishes every policy's fixpoint — incrementally when
+    /// the entry's session retained its solver state.
+    pub fn update(
+        &mut self,
+        name: Option<&str>,
+        edits: &[EditSpec],
+        solve: &SolveConfig,
+    ) -> Result<UpdateOutcome, String> {
+        let idx = match name {
+            Some(n) => self
+                .programs
+                .iter()
+                .position(|p| p.name == n)
+                .ok_or_else(|| {
+                    format!(
+                        "no resident program \"{n}\" (have: {})",
+                        self.names().join(", ")
+                    )
+                })?,
+            None if self.programs.len() == 1 => 0,
+            None => {
+                return Err(format!(
+                    "\"program\" is required with several resident programs (have: {})",
+                    self.names().join(", ")
+                ));
+            }
+        };
+        let rp = &mut self.programs[idx];
+        let delta = build_delta(&rp.program, edits)?;
+        // Validate the delta once up front so a bad edit script fails
+        // atomically instead of leaving entries on different versions.
+        let new_program = Arc::new(rp.program.apply_delta(&delta).map_err(|e| e.to_string())?);
+        let mut entries = Vec::with_capacity(rp.entries.len());
+        for e in &mut rp.entries {
+            e.apply(&delta, solve)?;
+            entries.push((e.policy, e.incremental, e.solve_ms));
+        }
+        rp.program = new_program;
+        rp.version += 1;
+        Ok(UpdateOutcome {
+            program: rp.name.clone(),
+            version: rp.version,
+            entries,
+        })
+    }
+
     /// One line per (program, policy) pair for startup logging.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -269,14 +329,15 @@ impl Resident {
     }
 }
 
-fn solve_entry(program: &Program, policy: Analysis, solve: &SolveConfig) -> PolicyEntry {
-    let started = Instant::now();
-    let primary = AnalysisSession::new(program)
-        .policy(policy)
-        .threads(solve.threads)
-        .budget(solve.budget.clone())
-        .share(solve.share)
-        .run();
+/// Resolves a primary solve into the answer source queries use,
+/// engaging the context-insensitive fallback when the solve tripped its
+/// budget — the serve analog of the batch CLI's exit-3 partial result.
+/// Returns `(result, report, partial, termination, steps)`.
+fn resolve_primary(
+    primary: PointsToResult,
+    program: &Arc<Program>,
+    solve: &SolveConfig,
+) -> (PointsToResult, CheckReport, bool, Termination, u64) {
     let termination = primary.termination();
     let steps = primary.solver_stats().steps;
     let (result, partial) = if termination.is_complete() {
@@ -284,13 +345,12 @@ fn solve_entry(program: &Program, policy: Analysis, solve: &SolveConfig) -> Poli
     } else {
         // Budget tripped: answer from the context-insensitive baseline,
         // solved to completion (it is the cheapest policy by orders of
-        // magnitude), and tag every response partial — the serve analog
-        // of the batch CLI's exit-3 partial result.
-        let fallback = AnalysisSession::new(program)
+        // magnitude), and tag every response partial.
+        let fallback = AnalysisSession::from_arc(Arc::clone(program))
             .policy(Analysis::Insens)
             .threads(solve.threads)
             .share(solve.share)
-            .run();
+            .solve();
         (fallback, true)
     };
     let report = run_check(
@@ -299,15 +359,107 @@ fn solve_entry(program: &Program, policy: Analysis, solve: &SolveConfig) -> Poli
         &CheckSpec::default(),
         ClientBackend::Direct,
     );
+    (result, report, partial, termination, steps)
+}
+
+fn solve_entry(program: &Arc<Program>, policy: Analysis, solve: &SolveConfig) -> PolicyEntry {
+    let started = Instant::now();
+    let mut session = AnalysisSession::from_arc(Arc::clone(program))
+        .policy(policy)
+        .threads(solve.threads)
+        .budget(solve.budget.clone())
+        .share(solve.share)
+        .incremental(true);
+    let primary = session.solve();
+    let (result, report, partial, termination, steps) = resolve_primary(primary, program, solve);
     PolicyEntry {
         policy,
+        session,
         result,
         report,
         partial,
         termination,
         solve_ms: started.elapsed().as_millis() as u64,
         steps,
+        incremental: false,
     }
+}
+
+impl PolicyEntry {
+    /// Applies one program delta to this entry — incrementally when the
+    /// session retained its fixpoint, by re-solving otherwise.
+    fn apply(&mut self, delta: &ProgramDelta, solve: &SolveConfig) -> Result<(), String> {
+        let started = Instant::now();
+        let primary = self.session.apply(delta).map_err(|e| e.to_string())?;
+        self.incremental = self.session.last_apply_was_incremental();
+        let program = Arc::clone(self.session.program());
+        let (result, report, partial, termination, steps) =
+            resolve_primary(primary, &program, solve);
+        self.result = result;
+        self.report = report;
+        self.partial = partial;
+        self.termination = termination;
+        self.steps = steps;
+        self.solve_ms = started.elapsed().as_millis() as u64;
+        Ok(())
+    }
+}
+
+/// The per-policy outcome report of one applied `update`.
+pub struct UpdateOutcome {
+    pub program: String,
+    pub version: u64,
+    /// `(policy, maintained incrementally, solve_ms)` per entry.
+    pub entries: Vec<(Analysis, bool, u64)>,
+}
+
+/// Resolves the edit script's names against `program` and builds the
+/// corresponding [`ProgramDelta`].
+fn build_delta(program: &Program, edits: &[EditSpec]) -> Result<ProgramDelta, String> {
+    let find_method = |name: &str| -> Result<MethodId, String> {
+        program
+            .methods()
+            .find(|&m| program.method_qualified_name(m) == name)
+            .ok_or_else(|| format!("no method named \"{name}\""))
+    };
+    let find_var = |meth: MethodId, name: &str| -> Option<VarId> {
+        program
+            .vars()
+            .find(|&v| program.var_method(v) == meth && program.var_name(v) == name)
+    };
+    let mut delta = ProgramDelta::new(program);
+    for edit in edits {
+        match edit {
+            EditSpec::Alloc {
+                method,
+                to,
+                class,
+                label,
+            } => {
+                let m = find_method(method)?;
+                let ty = program
+                    .types()
+                    .find(|&t| program.type_name(t) == class)
+                    .ok_or_else(|| format!("no class named \"{class}\""))?;
+                let var = find_var(m, to).unwrap_or_else(|| delta.var(m, to));
+                delta.alloc(m, var, ty, label);
+            }
+            EditSpec::Move { method, to, from } => {
+                let m = find_method(method)?;
+                let from = find_var(m, from)
+                    .ok_or_else(|| format!("no variable \"{from}\" in {method}"))?;
+                let to = find_var(m, to).unwrap_or_else(|| delta.var(m, to));
+                delta.move_(m, to, from);
+            }
+            EditSpec::Remove { method, index } => {
+                delta.remove_instr(find_method(method)?, *index as usize);
+            }
+            EditSpec::Clear { method } => delta.clear_method(find_method(method)?),
+            EditSpec::Entry { method } => delta.entry_point(find_method(method)?),
+            EditSpec::RemoveEntry { method } => delta.remove_entry_point(find_method(method)?),
+        }
+    }
+    Ok(delta)
 }
 
 #[cfg(test)]
@@ -354,6 +506,70 @@ mod tests {
         // The fallback is a complete insens result, so answers exist.
         assert!(e.result.termination().is_complete());
         assert!(e.result.reachable_method_count() > 0);
+    }
+
+    #[test]
+    fn updates_bump_the_version_and_stay_incremental() {
+        let mut r = Resident::build(
+            &sources("luindex:0.1"),
+            &["insens".into(), "2obj+H".into()],
+            &SolveConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.programs[0].version, 1);
+        let base = Arc::clone(&r.programs[0].program);
+        let entry = base.entry_points()[0];
+        let edits = vec![EditSpec::Alloc {
+            method: base.method_qualified_name(entry),
+            to: "fresh_upd".into(),
+            class: base.type_name(base.method_declaring(entry)).to_owned(),
+            label: "upd_h0".into(),
+        }];
+        let out = r.update(None, &edits, &SolveConfig::default()).unwrap();
+        assert_eq!(out.version, 2);
+        assert_eq!(r.programs[0].version, 2);
+        // luindex:0.1 has no reachable exception traffic, so an additive
+        // edit is absorbed incrementally by every resident policy.
+        assert!(out.entries.iter().all(|&(_, incremental, _)| incremental));
+        // The fresh allocation is visible to queries against the entry.
+        let np = Arc::clone(&r.programs[0].program);
+        let var = np
+            .vars()
+            .find(|&v| np.var_name(v) == "fresh_upd")
+            .expect("delta-created variable");
+        let p = r.program(None).unwrap();
+        let e = r.entry(p, None).unwrap();
+        assert!(e.result.termination().is_complete());
+        assert_eq!(e.result.points_to(var).len(), 1);
+    }
+
+    #[test]
+    fn bad_edit_scripts_fail_atomically() {
+        let mut r = Resident::build(
+            &sources("luindex:0.1"),
+            &["insens".into()],
+            &SolveConfig::default(),
+        )
+        .unwrap();
+        for edits in [
+            vec![EditSpec::Clear {
+                method: "No.such".into(),
+            }],
+            vec![EditSpec::Move {
+                method: r.programs[0]
+                    .program
+                    .method_qualified_name(r.programs[0].program.entry_points()[0]),
+                to: "x".into(),
+                from: "no_such_var".into(),
+            }],
+        ] {
+            assert!(r.update(None, &edits, &SolveConfig::default()).is_err());
+            assert_eq!(r.programs[0].version, 1, "failed update must not bump");
+        }
+        // `program` is required only when several programs are resident.
+        assert!(r
+            .update(Some("missing"), &[], &SolveConfig::default())
+            .is_err());
     }
 
     #[test]

@@ -31,7 +31,7 @@ use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use pta_govern::{memtrack, CancelToken};
@@ -111,7 +111,9 @@ struct QueueState {
 
 /// State shared by readers, workers, and the drain loop.
 struct Shared {
-    resident: Resident,
+    /// Queries take the read lock; `update` requests take the write
+    /// lock for the duration of the re-solve.
+    resident: RwLock<Resident>,
     cfg: ServeConfig,
     queue: Mutex<QueueState>,
     available: Condvar,
@@ -172,19 +174,21 @@ impl Shared {
 
     fn stats_line(&self, id: u64) -> String {
         let mut policies = String::new();
-        for p in &self.resident.programs {
+        for p in &self.resident.read().unwrap().programs {
             for e in &p.entries {
                 if !policies.is_empty() {
                     policies.push(',');
                 }
                 policies.push_str(&format!(
-                    "{{\"program\":\"{}\",\"policy\":\"{}\",\"status\":\"{}\",\"termination\":\"{}\",\"steps\":{},\"solve_ms\":{}}}",
+                    "{{\"program\":\"{}\",\"version\":{},\"policy\":\"{}\",\"status\":\"{}\",\"termination\":\"{}\",\"steps\":{},\"solve_ms\":{},\"incremental\":{}}}",
                     crate::json::escape(&p.name),
+                    p.version,
                     e.policy.name(),
                     e.status(),
                     e.termination.as_str(),
                     e.steps,
-                    e.solve_ms
+                    e.solve_ms,
+                    e.incremental
                 ));
             }
         }
@@ -338,7 +342,42 @@ impl Shared {
         let mut ts = self.trace.scope_named(id as u32, &format!("request {id}"));
         let t0 = ts.now_ns();
         let mut ctx = ReqCtx::new(cancel, deadline, max_steps);
-        let line = answer(&job.req, &self.resident, &mut ctx);
+        let line = if let Op::Update { edits } = &job.req.op {
+            let mut resident = self.resident.write().unwrap();
+            match resident.update(job.req.program.as_deref(), edits, &self.cfg.solve) {
+                Ok(outcome) => {
+                    let mut out = format!(
+                        "{{\"id\":{},\"ok\":true,\"op\":\"update\",\"program\":\"{}\",\"version\":{},\"policies\":[",
+                        id,
+                        crate::json::escape(&outcome.program),
+                        outcome.version
+                    );
+                    for (i, (policy, incremental, solve_ms)) in outcome.entries.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!(
+                            "{{\"policy\":\"{}\",\"incremental\":{},\"solve_ms\":{}}}",
+                            policy.name(),
+                            incremental,
+                            solve_ms
+                        ));
+                    }
+                    out.push_str("]}");
+                    out
+                }
+                Err(m) => {
+                    let code = if m.starts_with("no resident program") {
+                        ErrorCode::UnknownProgram
+                    } else {
+                        ErrorCode::BadRequest
+                    };
+                    error_line(id, code, &m)
+                }
+            }
+        } else {
+            answer(&job.req, &self.resident.read().unwrap(), &mut ctx)
+        };
         ts.complete(
             job.req.op.name(),
             "serve",
@@ -402,7 +441,7 @@ pub fn launch(cfg: ServeConfig) -> Result<ServerHandle, String> {
     };
     let workers = cfg.workers.max(1);
     let shared = Arc::new(Shared {
-        resident,
+        resident: RwLock::new(resident),
         queue: Mutex::new(QueueState {
             jobs: VecDeque::new(),
             draining: false,
@@ -548,7 +587,10 @@ pub fn run(cfg: ServeConfig) -> Result<i32, String> {
     if let Some(port) = handle.port {
         eprintln!("pta serve: listening on 127.0.0.1:{port}");
     }
-    eprintln!("{}", handle.shared.resident.summary().trim_end());
+    eprintln!(
+        "{}",
+        handle.shared.resident.read().unwrap().summary().trim_end()
+    );
     Ok(handle.wait())
 }
 

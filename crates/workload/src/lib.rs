@@ -39,11 +39,13 @@
 
 pub mod config;
 pub mod dacapo;
+pub mod edits;
 pub mod gen;
 pub mod prelude;
 
 pub use config::WorkloadConfig;
 pub use dacapo::{dacapo_config, dacapo_suite, dacapo_workload, DACAPO_NAMES};
+pub use edits::{materialize, replay, shrink_steps, Edit, EditStream};
 pub use gen::generate;
 pub use prelude::{build_array_list, build_pair, ArrayListClasses, PairClasses};
 

@@ -264,10 +264,14 @@ mod tests {
         b.entry_point(main);
         let p = b.finish().unwrap();
 
-        let coarse = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
+        let coarse = AnalysisSession::open(p.clone())
+            .policy(Analysis::OneObj)
+            .solve();
         assert_eq!(coarse.points_to(g1).len(), 2, "1obj conflates the entries");
 
-        let fine = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
+        let fine = AnalysisSession::open(p.clone())
+            .policy(Analysis::TwoObjH)
+            .solve();
         assert_eq!(fine.points_to(g1), &[h_red], "2obj+H separates the lists");
         assert_eq!(fine.points_to(g2), &[h_blue]);
     }
@@ -293,7 +297,7 @@ mod tests {
         b.entry_point(main);
         let p = b.finish().unwrap();
         for analysis in [Analysis::Insens, Analysis::TwoObjH, Analysis::SThreeObj2H] {
-            let r = AnalysisSession::new(&p).policy(analysis).run();
+            let r = AnalysisSession::open(p.clone()).policy(analysis).solve();
             assert_eq!(r.points_to(got), &[hx], "{analysis}");
         }
     }
@@ -317,7 +321,9 @@ mod tests {
         b.vcall(main, p_var, "getSecond", &[], Some(s), "second");
         b.entry_point(main);
         let p = b.finish().unwrap();
-        let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+        let r = AnalysisSession::open(p.clone())
+            .policy(Analysis::Insens)
+            .solve();
         assert_eq!(r.points_to(f), &[ha]);
         assert_eq!(r.points_to(s), &[hb]);
     }

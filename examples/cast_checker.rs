@@ -87,7 +87,9 @@ fn main() {
         Analysis::STwoObjH,
         Analysis::UTwoObjH,
     ] {
-        let result = AnalysisSession::new(&program).policy(analysis).run();
+        let result = AnalysisSession::open(program.clone())
+            .policy(analysis)
+            .solve();
         let (failing, total) = may_fail_casts(&program, &result);
         println!(
             "=== {analysis}: {} of {total} casts may fail",

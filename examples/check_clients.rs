@@ -26,7 +26,9 @@ fn main() {
         "analysis", "taint", "escape", "nullness"
     );
     for analysis in Analysis::ALL {
-        let result = AnalysisSession::new(&program).policy(analysis).run();
+        let result = AnalysisSession::open(program.clone())
+            .policy(analysis)
+            .solve();
         let report = run_check(&program, &result, &spec, ClientBackend::CrossValidated);
         let m = client_metrics(&report);
         println!(

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use pta_core::{Analysis, AnalysisSession};
+use pta_core::{Analysis, AnalysisSession, Backend};
 use pta_workload::{generate, WorkloadConfig};
 
 fn main() {
@@ -35,13 +35,16 @@ fn main() {
         Analysis::STwoObjH,
     ] {
         let t0 = Instant::now();
-        let fast = AnalysisSession::new(&program).policy(analysis).run();
+        let fast = AnalysisSession::open(program.clone())
+            .policy(analysis)
+            .solve();
         let fast_time = t0.elapsed();
 
         let t1 = Instant::now();
-        let (slow, stats) = AnalysisSession::new(&program)
+        let slow = AnalysisSession::open(program.clone())
             .policy(analysis)
-            .run_datalog_with_stats();
+            .backend(Backend::Datalog)
+            .solve();
         let slow_time = t1.elapsed();
 
         // Cross-validate everything observable.
@@ -67,8 +70,8 @@ fn main() {
             fast_time,
             slow_time,
             slow_time.as_secs_f64() / fast_time.as_secs_f64().max(1e-9),
-            stats.rounds,
-            stats.strata,
+            slow.solver_stats().engine_rounds,
+            slow.solver_stats().engine_strata,
         );
     }
 

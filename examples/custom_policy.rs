@@ -96,7 +96,9 @@ impl ContextPolicy for CallSiteTailTwoObj {
 
 fn report<P: ContextPolicy + Clone + 'static>(program: &Program, policy: &P) {
     let start = std::time::Instant::now();
-    let result = AnalysisSession::new(program).policy(policy.clone()).run();
+    let result = AnalysisSession::open(program.clone())
+        .policy(policy.clone())
+        .solve();
     let elapsed = start.elapsed().as_secs_f64();
     let m = precision_metrics(program, &result);
     println!(

@@ -39,7 +39,9 @@ fn main() {
         Analysis::TwoObjH,
         Analysis::STwoObjH,
     ] {
-        let result = AnalysisSession::new(&program).policy(analysis).run();
+        let result = AnalysisSession::open(program.clone())
+            .policy(analysis)
+            .solve();
         let mono = mono_virtual_calls(&program, &result);
         let (poly, reachable) = poly_virtual_calls(&program, &result);
         println!(
@@ -55,7 +57,9 @@ fn main() {
     }
 
     let (best_analysis, _) = best.expect("at least one analysis ran");
-    let result = AnalysisSession::new(&program).policy(best_analysis).run();
+    let result = AnalysisSession::open(program.clone())
+        .policy(best_analysis)
+        .solve();
     let mono = mono_virtual_calls(&program, &result);
     println!("\nSample devirtualization opportunities found by {best_analysis}:");
     for site in mono.iter().take(8) {

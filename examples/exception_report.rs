@@ -57,7 +57,7 @@ fn main() {
     let p = parse_program(DEMO).expect("demo parses");
     println!("demo: two channels, one armed with a Timeout, one with a Corrupt\n");
     for analysis in [Analysis::Insens, Analysis::SBOneObj, Analysis::STwoObjH] {
-        let r = AnalysisSession::new(&p).policy(analysis).run();
+        let r = AnalysisSession::open(p.clone()).policy(analysis).solve();
         let sites: Vec<&str> = r
             .uncaught_exceptions()
             .iter()
@@ -91,7 +91,9 @@ fn main() {
         Analysis::TwoObjH,
         Analysis::STwoObjH,
     ] {
-        let r = AnalysisSession::new(&program).policy(analysis).run();
+        let r = AnalysisSession::open(program.clone())
+            .policy(analysis)
+            .solve();
         println!(
             "  {analysis:>10}: {:>3} uncaught exception sites",
             r.uncaught_exceptions().len()

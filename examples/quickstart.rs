@@ -69,10 +69,10 @@ fn main() {
         .collect();
 
     for analysis in [Analysis::Insens, Analysis::OneObj, Analysis::SAOneObj] {
-        let result = AnalysisSession::new(&program)
+        let result = AnalysisSession::open(program.clone())
             .policy(analysis)
             .keep_tuples(true)
-            .run();
+            .solve();
         println!("=== {analysis} ===");
         for &var in &interesting {
             let meth = program.method_qualified_name(program.var_method(var));

@@ -52,6 +52,19 @@
 //! pta workload NAME [--scale S] [--print]
 //!                                        generate a synthetic DaCapo
 //!                                        workload; --print emits it as .jir
+//! pta update FILE.jir [options]          replay a deterministic edit stream
+//!                                        against a long-lived session and
+//!                                        byte-compare the incrementally
+//!                                        maintained result with a
+//!                                        from-scratch solve after every edit
+//!     --workload NAME:SCALE edit a synthetic workload instead of a file
+//!     --edits N            number of edits to replay (default 5)
+//!     --seed S             edit-stream RNG seed (default 1)
+//!     --analysis NAME      policy to maintain (repeatable; default S-2obj+H)
+//!     --datalog            maintain on the Datalog back end instead
+//!     --threads N          dense-solver worker count for both sides
+//!                          (exit 0 when every step is identical, 1 on the
+//!                          first divergence)
 //! pta lint FILE.jir [options]            check a .jir program without
 //!                                        running any analysis
 //!     --format text|json   output format (default text)
@@ -138,7 +151,7 @@ use pta_govern::parse_byte_size;
 use pta_ir::Program;
 use pta_lang::{parse_program, print_program};
 use pta_serve::{FaultInjector, ProgramSource, ServeConfig};
-use pta_workload::{dacapo_config, generate, DACAPO_NAMES};
+use pta_workload::{dacapo_config, generate, EditStream, DACAPO_NAMES};
 
 /// Count heap usage so `--stats` can report `peak_rss_bytes` exactly
 /// (see `pta_govern::memtrack`); delegates to the system allocator.
@@ -187,12 +200,13 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("workload") => cmd_workload(&args[1..]),
+        Some("update") => cmd_update(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage: pta <list|analyze|explain|workload|lint|check|serve> ...  (see --help in the README)"
+                "usage: pta <list|analyze|explain|workload|update|lint|check|serve> ...  (see --help in the README)"
             );
             ExitCode::from(EXIT_USAGE)
         }
@@ -437,7 +451,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     }
     for analysis in analyses {
         let start = std::time::Instant::now();
-        let mut session = AnalysisSession::new(&program)
+        let mut session = AnalysisSession::open(program.clone())
             .policy(analysis)
             .backend(if datalog {
                 Backend::Datalog
@@ -461,7 +475,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             session.effective_threads()
         };
         let t_run = ts.now_ns();
-        let result: PointsToResult = session.run();
+        let result: PointsToResult = session.solve();
         let elapsed = start.elapsed();
         if ts.is_enabled() {
             let t_end = ts.now_ns();
@@ -788,10 +802,10 @@ fn cmd_explain(args: &[String]) -> ExitCode {
         return usage_error(format!("no allocation site labeled {obj_label}"));
     }
 
-    let result = AnalysisSession::new(&program)
+    let result = AnalysisSession::open(program.clone())
         .policy(analysis)
         .track_provenance(true)
-        .run();
+        .solve();
     let mut printed = false;
     for &var in &vars {
         for &heap in &heaps {
@@ -1078,7 +1092,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
 
     let governed = !budget.is_unlimited() || degrade;
     let cancel = governed.then(CancelToken::linked_to_sigint);
-    let mut session = AnalysisSession::new(&program)
+    let mut session = AnalysisSession::open(program.clone())
         .policy(analysis)
         .backend(if datalog {
             Backend::Datalog
@@ -1091,7 +1105,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     if let Some(token) = &cancel {
         session = session.cancel(token.clone());
     }
-    let result = session.run();
+    let result = session.solve();
     let report = run_check(&program, &result, &spec, client_backend);
     let diags = report.to_diagnostics(&program);
     if json {
@@ -1165,6 +1179,195 @@ fn cmd_workload(args: &[String]) -> ExitCode {
         println!("{name} @ {scale}: {}", pta_ir::ProgramStats::of(&program));
     }
     ExitCode::SUCCESS
+}
+
+const UPDATE_USAGE: &str = "usage: pta update FILE.jir [--workload NAME:SCALE] [--edits N] \
+[--seed S] [--analysis NAME] [--datalog] [--threads N]";
+
+/// A canonical rendering of everything a [`PointsToResult`] answers:
+/// per-variable points-to sets, per-site call targets, the reachable
+/// set, escaping exceptions, and the context-sensitive cardinalities
+/// (raw context ids are interner-order dependent and not comparable
+/// across runs, but the counts are canonical). Two results are
+/// equivalent iff their fingerprints are byte-identical.
+fn result_fingerprint(program: &Program, r: &PointsToResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for v in program.vars() {
+        let mut pts: Vec<usize> = r.points_to(v).iter().map(|h| h.index()).collect();
+        pts.sort_unstable();
+        let _ = writeln!(out, "v{} {pts:?}", v.index());
+    }
+    for i in program.invos() {
+        let mut targets: Vec<usize> = r.call_targets(i).iter().map(|m| m.index()).collect();
+        targets.sort_unstable();
+        let _ = writeln!(out, "i{} {targets:?}", i.index());
+    }
+    let mut reach: Vec<usize> = r.reachable_methods().map(|m| m.index()).collect();
+    reach.sort_unstable();
+    let _ = writeln!(out, "reach {reach:?}");
+    let mut uncaught: Vec<usize> = r.uncaught_exceptions().iter().map(|h| h.index()).collect();
+    uncaught.sort_unstable();
+    let _ = writeln!(out, "uncaught {uncaught:?}");
+    let _ = writeln!(
+        out,
+        "ctx {} {} {}",
+        r.ctx_var_points_to_count(),
+        r.ctx_call_graph_edge_count(),
+        r.ctx_reachable_count()
+    );
+    out
+}
+
+/// `pta update`: replay a deterministic edit stream against a long-lived
+/// [`AnalysisSession`] and compare the incrementally maintained result
+/// with a from-scratch solve after every edit (the CI smoke for the
+/// incremental engine). Exits 0 when every step is byte-identical, 1 on
+/// the first divergence.
+fn cmd_update(args: &[String]) -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut workload: Option<String> = None;
+    let mut analyses: Vec<Analysis> = Vec::new();
+    let mut edits = 5usize;
+    let mut seed = 1u64;
+    let mut datalog = false;
+    let mut threads = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                i += 1;
+                match args.get(i) {
+                    Some(spec) => workload = Some(spec.clone()),
+                    None => return usage_error("--workload needs NAME:SCALE"),
+                }
+            }
+            "--edits" => {
+                i += 1;
+                edits = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if (1..=100_000).contains(&n) => n,
+                    _ => return usage_error("--edits needs a count in [1, 100000]"),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => s,
+                    None => return usage_error("--seed needs a non-negative integer"),
+                };
+            }
+            "--analysis" => {
+                i += 1;
+                match args.get(i).map(|s| s.parse::<Analysis>()) {
+                    Some(Ok(a)) => analyses.push(a),
+                    _ => return usage_error("--analysis needs a known name (try `pta list`)"),
+                }
+            }
+            "--datalog" => datalog = true,
+            "--threads" => {
+                i += 1;
+                threads = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage_error("--threads needs a worker count"),
+                };
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_owned()),
+            other => return usage_error(format!("unknown flag {other} ({UPDATE_USAGE})")),
+        }
+        i += 1;
+    }
+    let base: Program = match (&path, &workload) {
+        (Some(p), None) => {
+            let source = match std::fs::read_to_string(p) {
+                Ok(s) => s,
+                Err(e) => return io_error(format!("cannot read {p}: {e}")),
+            };
+            match parse_program(&source) {
+                Ok(prog) => prog,
+                Err(e) => return parse_error(p, &e),
+            }
+        }
+        (None, Some(spec)) => {
+            let Some((name, scale)) = spec.split_once(':') else {
+                return usage_error("--workload needs NAME:SCALE");
+            };
+            if !DACAPO_NAMES.contains(&name) {
+                return usage_error(format!("unknown workload {name}; names: {DACAPO_NAMES:?}"));
+            }
+            match scale.parse::<f64>() {
+                Ok(s) if s.is_finite() && s > 0.0 && s <= 1024.0 => {
+                    generate(&dacapo_config(name, s))
+                }
+                _ => return usage_error("--workload scale must be a finite number in (0, 1024]"),
+            }
+        }
+        _ => {
+            eprintln!("{UPDATE_USAGE}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if analyses.is_empty() {
+        analyses.push(Analysis::STwoObjH);
+    }
+    let backend = if datalog {
+        Backend::Datalog
+    } else {
+        Backend::Dense
+    };
+    let mut failed = false;
+    for &analysis in &analyses {
+        let mut stream = EditStream::new(base.clone(), seed);
+        let mut session = AnalysisSession::open(base.clone())
+            .policy(analysis)
+            .backend(backend)
+            .threads(threads)
+            .incremental(true);
+        session.solve();
+        let mut incremental = 0usize;
+        let mut diverged: Option<usize> = None;
+        for step in 0..edits {
+            let delta = stream.next_delta();
+            let maintained = match session.apply(&delta) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{}", pta_lint::Diagnostic::error("E031", e.to_string()));
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            };
+            if session.last_apply_was_incremental() {
+                incremental += 1;
+            }
+            let scratch_fp = {
+                let mut scratch = AnalysisSession::open(stream.program().clone())
+                    .policy(analysis)
+                    .backend(backend)
+                    .threads(threads);
+                result_fingerprint(stream.program(), &scratch.solve())
+            };
+            if result_fingerprint(stream.program(), &maintained) != scratch_fp {
+                diverged = Some(step + 1);
+                break;
+            }
+        }
+        match diverged {
+            Some(step) => {
+                failed = true;
+                println!(
+                    "{}: DIVERGED from scratch at edit {step}/{edits} (seed {seed})",
+                    analysis.name()
+                );
+            }
+            None => println!(
+                "{}: {edits} edits, {incremental} incremental, identical to scratch",
+                analysis.name()
+            ),
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 const SERVE_USAGE: &str = "usage: pta serve [FILE.jir ...] [--workload NAME:SCALE] \

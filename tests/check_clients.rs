@@ -37,7 +37,9 @@ fn client_backends_agree_byte_for_byte_across_policies() {
     let program = fixture_workload("luindex", 0.1, 2);
     let spec = spec();
     for analysis in Analysis::ALL {
-        let result = AnalysisSession::new(&program).policy(analysis).run();
+        let result = AnalysisSession::open(program.clone())
+            .policy(analysis)
+            .solve();
         let direct = run_check(&program, &result, &spec, ClientBackend::Direct);
         let datalog = run_check(&program, &result, &spec, ClientBackend::Datalog);
         assert_eq!(direct, datalog, "{analysis}: reports diverge");
@@ -63,15 +65,17 @@ fn points_to_backends_and_thread_counts_agree() {
         Analysis::SAOneObj,
         Analysis::STwoObjH,
     ] {
-        let dense = AnalysisSession::new(&program).policy(analysis).run();
-        let parallel = AnalysisSession::new(&program)
+        let dense = AnalysisSession::open(program.clone())
+            .policy(analysis)
+            .solve();
+        let parallel = AnalysisSession::open(program.clone())
             .policy(analysis)
             .threads(4)
-            .run();
-        let datalog = AnalysisSession::new(&program)
+            .solve();
+        let datalog = AnalysisSession::open(program.clone())
             .policy(analysis)
             .backend(Backend::Datalog)
-            .run();
+            .solve();
         let baseline = report_bytes(
             &program,
             &run_check(&program, &dense, &spec, ClientBackend::CrossValidated),
@@ -94,7 +98,9 @@ fn hybrids_report_strictly_fewer_alarms_than_their_pure_bases() {
     let program = fixture_workload("luindex", 0.1, 3);
     let spec = spec();
     let count = |analysis: Analysis| {
-        let result = AnalysisSession::new(&program).policy(analysis).run();
+        let result = AnalysisSession::open(program.clone())
+            .policy(analysis)
+            .solve();
         let r = run_check(&program, &result, &spec, ClientBackend::Direct);
         (r.taint.len(), r.escape.len(), r.nullness.len())
     };
@@ -140,7 +146,9 @@ fn full_matrix_client_backends_agree() {
     for name in DACAPO_NAMES {
         let program = fixture_workload(name, 0.05, 1);
         for analysis in Analysis::ALL {
-            let result = AnalysisSession::new(&program).policy(analysis).run();
+            let result = AnalysisSession::open(program.clone())
+                .policy(analysis)
+                .solve();
             let direct = run_check(&program, &result, &spec, ClientBackend::Direct);
             let datalog = run_check(&program, &result, &spec, ClientBackend::Datalog);
             assert_eq!(direct, datalog, "{name}/{analysis}");

@@ -15,7 +15,7 @@ const MOTIVATING: &str = include_str!("../examples/programs/motivating.jir");
 #[test]
 fn minimal_report_golden() {
     let program = parse_program(MOTIVATING).unwrap();
-    let result = AnalysisSession::new(&program).run();
+    let result = AnalysisSession::open(program.clone()).solve();
     let report = AnalysisReport {
         analysis: Analysis::Insens.name(),
         backend: "specialized",
@@ -41,7 +41,7 @@ fn minimal_report_golden() {
 #[test]
 fn demoted_sites_golden() {
     let program = parse_program(MOTIVATING).unwrap();
-    let result = AnalysisSession::new(&program).run();
+    let result = AnalysisSession::open(program.clone()).solve();
     let demoted = vec![("C.run".to_owned(), 21u32), ("D.go".to_owned(), 17u32)];
     let report = AnalysisReport {
         analysis: Analysis::Insens.name(),
@@ -68,9 +68,9 @@ fn demoted_sites_golden() {
 #[test]
 fn stats_ride_under_the_stats_key() {
     let program = parse_program(MOTIVATING).unwrap();
-    let result = AnalysisSession::new(&program)
+    let result = AnalysisSession::open(program.clone())
         .policy(Analysis::STwoObjH)
-        .run();
+        .solve();
     let report = AnalysisReport {
         analysis: Analysis::STwoObjH.name(),
         backend: "specialized",
@@ -121,10 +121,10 @@ fn stats_ride_under_the_stats_key() {
 #[test]
 fn profile_rides_under_the_profile_key() {
     let program = parse_program(MOTIVATING).unwrap();
-    let result = AnalysisSession::new(&program)
+    let result = AnalysisSession::open(program.clone())
         .policy(Analysis::STwoObjH)
         .profile(true)
-        .run();
+        .solve();
     let report = AnalysisReport {
         analysis: Analysis::STwoObjH.name(),
         backend: "specialized",
@@ -145,9 +145,9 @@ fn profile_rides_under_the_profile_key() {
     assert!(json.contains("\"hot_vars\":[{\"name\":\""));
     assert!(json.contains("\"set_promotions\":"));
     // An unprofiled result stays lean even when the embed is requested.
-    let unprofiled = AnalysisSession::new(&program)
+    let unprofiled = AnalysisSession::open(program.clone())
         .policy(Analysis::STwoObjH)
-        .run();
+        .solve();
     let lean = AnalysisReport {
         analysis: Analysis::STwoObjH.name(),
         backend: "specialized",
@@ -166,10 +166,10 @@ fn profile_rides_under_the_profile_key() {
 #[test]
 fn parallel_runs_expose_shard_stats() {
     let program = parse_program(MOTIVATING).unwrap();
-    let result = AnalysisSession::new(&program)
+    let result = AnalysisSession::open(program.clone())
         .policy(Analysis::STwoObjH)
         .threads(2)
-        .run();
+        .solve();
     let report = AnalysisReport {
         analysis: Analysis::STwoObjH.name(),
         backend: "specialized",
@@ -212,9 +212,9 @@ fn parallel_runs_expose_shard_stats() {
 #[test]
 fn metrics_and_array_shape_golden() {
     let program = parse_program(MOTIVATING).unwrap();
-    let result = AnalysisSession::new(&program)
+    let result = AnalysisSession::open(program.clone())
         .policy(Analysis::OneObj)
-        .run();
+        .solve();
     let metrics = precision_metrics(&program, &result);
     let reports = [AnalysisReport {
         analysis: Analysis::OneObj.name(),
@@ -259,7 +259,7 @@ fn json_string_escaping() {
     // Analysis names never need escaping today, but the emitter must not
     // corrupt a future name or backend label containing specials.
     let program = parse_program(MOTIVATING).unwrap();
-    let result = AnalysisSession::new(&program).run();
+    let result = AnalysisSession::open(program.clone()).solve();
     let report = AnalysisReport {
         analysis: "a\"b\\c",
         backend: "x\ny",

@@ -13,11 +13,13 @@ use hybrid_pta::workload::{generate, WorkloadConfig};
 use hybrid_pta::{AnalysisSession, Backend};
 
 fn assert_identical(program: &Program, analysis: Analysis, label: &str) {
-    let fast = AnalysisSession::new(program).policy(analysis).run();
-    let slow = AnalysisSession::new(program)
+    let fast = AnalysisSession::open(program.clone())
+        .policy(analysis)
+        .solve();
+    let slow = AnalysisSession::open(program.clone())
         .policy(analysis)
         .backend(Backend::Datalog)
-        .run();
+        .solve();
     for var in program.vars() {
         assert_eq!(
             fast.points_to(var),
@@ -162,29 +164,30 @@ fn assert_partial_subset(
 fn starved_partials_are_subsets_of_complete_runs_on_every_dacapo_config() {
     for name in hybrid_pta::workload::DACAPO_NAMES {
         let program = hybrid_pta::workload::dacapo_workload(name, 0.15);
-        let complete_fast = AnalysisSession::new(&program)
+        let complete_fast = AnalysisSession::open(program.clone())
             .policy(Analysis::STwoObjH)
-            .run();
-        let complete_slow = AnalysisSession::new(&program)
+            .solve();
+        let complete_slow = AnalysisSession::open(program.clone())
             .policy(Analysis::STwoObjH)
             .backend(Backend::Datalog)
-            .run();
+            .solve();
 
         // Specialized solver starved by a step budget, checked against the
         // Datalog back end's complete fixpoint.
-        let partial_fast = AnalysisSession::new(&program)
+        let partial_fast = AnalysisSession::open(program.clone())
             .policy(Analysis::STwoObjH)
             .budget(Budget::unlimited().with_max_steps(150))
-            .run();
+            .solve();
         assert_eq!(partial_fast.termination(), Termination::StepLimit);
         assert_partial_subset(&program, &partial_fast, &complete_slow, name);
 
         // Datalog engine starved by a round budget, checked against the
         // specialized solver's complete fixpoint.
-        let (partial_slow, _) = AnalysisSession::new(&program)
+        let partial_slow = AnalysisSession::open(program.clone())
             .policy(Analysis::STwoObjH)
+            .backend(Backend::Datalog)
             .budget(Budget::unlimited().with_max_steps(2))
-            .run_datalog_with_stats();
+            .solve();
         assert_eq!(partial_slow.termination(), Termination::StepLimit);
         assert_partial_subset(&program, &partial_slow, &complete_fast, name);
     }
@@ -197,15 +200,15 @@ fn starved_partials_are_subsets_of_complete_runs_on_every_dacapo_config() {
 fn degraded_runs_over_approximate_the_datalog_fixpoint() {
     for name in ["antlr", "luindex", "xalan"] {
         let program = hybrid_pta::workload::dacapo_workload(name, 0.15);
-        let precise = AnalysisSession::new(&program)
+        let precise = AnalysisSession::open(program.clone())
             .policy(Analysis::STwoObjH)
             .backend(Backend::Datalog)
-            .run();
-        let coarse = AnalysisSession::new(&program)
+            .solve();
+        let coarse = AnalysisSession::open(program.clone())
             .policy(Analysis::STwoObjH)
             .budget(Budget::unlimited().with_max_steps(400))
             .degrade(true)
-            .run();
+            .solve();
         assert_eq!(coarse.termination(), Termination::Complete, "{name}");
         for var in program.vars() {
             for h in precise.points_to(var) {

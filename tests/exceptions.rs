@@ -61,7 +61,7 @@ fn var(program: &Program, meth: &str, name: &str) -> VarId {
 fn thrown_objects_bind_to_matching_clauses_and_escape_otherwise() {
     let p = parse_program(SOURCE).unwrap();
     for analysis in Analysis::ALL {
-        let r = AnalysisSession::new(&p).policy(analysis).run();
+        let r = AnalysisSession::open(p.clone()).policy(analysis).solve();
         // The ParseErr thrown inside parse() unwinds to drive()'s clause.
         let pe = var(&p, "Driver.drive", "pe");
         assert_eq!(
@@ -89,11 +89,11 @@ fn thrown_objects_bind_to_matching_clauses_and_escape_otherwise() {
 fn both_back_ends_agree_on_exception_flows() {
     let p = parse_program(SOURCE).unwrap();
     for analysis in [Analysis::Insens, Analysis::OneObj, Analysis::STwoObjH] {
-        let fast = AnalysisSession::new(&p).policy(analysis).run();
-        let slow = AnalysisSession::new(&p)
+        let fast = AnalysisSession::open(p.clone()).policy(analysis).solve();
+        let slow = AnalysisSession::open(p.clone())
             .policy(analysis)
             .backend(Backend::Datalog)
-            .run();
+            .solve();
         for v in p.vars() {
             assert_eq!(fast.points_to(v), slow.points_to(v), "{analysis} at {v:?}");
         }
@@ -120,7 +120,7 @@ fn interpreter_agrees_on_catch_bindings_and_uncaught() {
     assert_eq!(facts.uncaught.len(), 1);
     // Every dynamic fact is covered by every analysis.
     for analysis in Analysis::ALL {
-        let r = AnalysisSession::new(&p).policy(analysis).run();
+        let r = AnalysisSession::open(p.clone()).policy(analysis).solve();
         for &(v, site) in &facts.var_points_to {
             assert!(r.points_to(v).contains(&site), "{analysis}");
         }
@@ -167,12 +167,16 @@ fn exception_precision_tracks_context() {
     let p = parse_program(src).unwrap();
 
     // Insens: both run() results see both errors.
-    let coarse = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+    let coarse = AnalysisSession::open(p.clone())
+        .policy(Analysis::Insens)
+        .solve();
     assert_eq!(coarse.points_to(var(&p, "Main.main", "r1")).len(), 2);
 
     // SB-1obj: run's context carries the call site, boom's context the
     // thrower object — each result sees only its own error.
-    let fine = AnalysisSession::new(&p).policy(Analysis::SBOneObj).run();
+    let fine = AnalysisSession::open(p.clone())
+        .policy(Analysis::SBOneObj)
+        .solve();
     assert_eq!(fine.points_to(var(&p, "Main.main", "r1")).len(), 1);
     assert_eq!(fine.points_to(var(&p, "Main.main", "r2")).len(), 1);
 }

@@ -37,7 +37,7 @@ fn all_fixtures_parse_and_analyze_under_every_analysis() {
     for (name, src) in FIXTURES {
         let p = parse(name, src);
         for analysis in Analysis::ALL {
-            let r = AnalysisSession::new(&p).policy(analysis).run();
+            let r = AnalysisSession::open(p.clone()).policy(analysis).solve();
             assert!(r.reachable_method_count() > 0, "{name}/{analysis}");
         }
     }
@@ -50,7 +50,7 @@ fn all_fixtures_are_soundly_analyzed() {
         let facts = Interpreter::new(&p, InterpConfig::default()).run();
         assert!(!facts.truncated, "{name}: fixture should terminate");
         for analysis in [Analysis::Insens, Analysis::OneObj, Analysis::STwoObjH] {
-            let r = AnalysisSession::new(&p).policy(analysis).run();
+            let r = AnalysisSession::open(p.clone()).policy(analysis).solve();
             for &(var, site) in &facts.var_points_to {
                 assert!(
                     r.points_to(var).contains(&site),
@@ -78,7 +78,7 @@ fn all_fixtures_are_soundly_analyzed() {
 fn static_dispatch_fixture_distinguishes_hybrid_depth() {
     let p = parse("static_dispatch", FIXTURES[1].1);
     let expect = |analysis: Analysis, failing: usize| {
-        let r = AnalysisSession::new(&p).policy(analysis).run();
+        let r = AnalysisSession::open(p.clone()).policy(analysis).solve();
         let (f, total) = may_fail_casts(&p, &r);
         assert_eq!(total, 2, "{analysis}");
         assert_eq!(f.len(), failing, "{analysis}: may-fail casts");
@@ -100,13 +100,13 @@ fn static_dispatch_fixture_distinguishes_hybrid_depth() {
 fn linked_list_fixture_needs_heap_context_to_separate_lists() {
     let p = parse("linked_list", FIXTURES[3].1);
     for coarse in [Analysis::Insens, Analysis::OneObj, Analysis::OneCall] {
-        let r = AnalysisSession::new(&p).policy(coarse).run();
+        let r = AnalysisSession::open(p.clone()).policy(coarse).solve();
         let (f, total) = may_fail_casts(&p, &r);
         assert_eq!(total, 2, "{coarse}");
         assert_eq!(f.len(), 2, "{coarse} mixes the two lists' nodes");
     }
     for fine in [Analysis::TwoObjH, Analysis::STwoObjH, Analysis::ThreeObj2H] {
-        let r = AnalysisSession::new(&p).policy(fine).run();
+        let r = AnalysisSession::open(p.clone()).policy(fine).solve();
         let (f, _) = may_fail_casts(&p, &r);
         assert!(f.is_empty(), "{fine} separates the lists: {f:?}");
     }
@@ -119,12 +119,16 @@ fn linked_list_fixture_needs_heap_context_to_separate_lists() {
 #[test]
 fn factory_chain_fixture_needs_heap_context() {
     let p = parse("factory_chain", FIXTURES[4].1);
-    let one_obj = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
+    let one_obj = AnalysisSession::open(p.clone())
+        .policy(Analysis::OneObj)
+        .solve();
     let (f, total) = may_fail_casts(&p, &one_obj);
     assert_eq!(total, 2);
     assert_eq!(f.len(), 2, "1obj conflates the two factories");
 
-    let two_obj = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
+    let two_obj = AnalysisSession::open(p.clone())
+        .policy(Analysis::TwoObjH)
+        .solve();
     let (f, _) = may_fail_casts(&p, &two_obj);
     assert!(f.is_empty(), "2obj+H's heap context separates them: {f:?}");
 
@@ -138,7 +142,9 @@ fn factory_chain_fixture_needs_heap_context() {
 #[test]
 fn visitor_fixture_devirtualizes_cleanly() {
     let p = parse("visitor", FIXTURES[2].1);
-    let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
+    let r = AnalysisSession::open(p.clone())
+        .policy(Analysis::OneObj)
+        .solve();
     let (poly, total) = hybrid_pta::clients::poly_virtual_calls(&p, &r);
     assert!(total >= 5, "visitor fixture has dispatch sites");
     assert!(

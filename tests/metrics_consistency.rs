@@ -10,12 +10,14 @@ fn metrics_invariants_hold_for_all_analyses() {
     let program = generate(&WorkloadConfig::small(7));
     let insens = precision_metrics(
         &program,
-        &AnalysisSession::new(&program)
+        &AnalysisSession::open(program.clone())
             .policy(Analysis::Insens)
-            .run(),
+            .solve(),
     );
     for analysis in Analysis::ALL {
-        let result = AnalysisSession::new(&program).policy(analysis).run();
+        let result = AnalysisSession::open(program.clone())
+            .policy(analysis)
+            .solve();
         let m = precision_metrics(&program, &result);
 
         assert!(m.may_fail_casts <= m.reachable_casts, "{analysis}");
@@ -59,9 +61,9 @@ fn insens_has_exactly_one_context() {
     let program = generate(&WorkloadConfig::tiny(1));
     let m = precision_metrics(
         &program,
-        &AnalysisSession::new(&program)
+        &AnalysisSession::open(program.clone())
             .policy(Analysis::Insens)
-            .run(),
+            .solve(),
     );
     assert_eq!(m.contexts, 1);
     assert_eq!(m.heap_contexts, 1);
@@ -80,7 +82,9 @@ fn heap_context_counts_track_analysis_family() {
     ] {
         let m = precision_metrics(
             &program,
-            &AnalysisSession::new(&program).policy(analysis).run(),
+            &AnalysisSession::open(program.clone())
+                .policy(analysis)
+                .solve(),
         );
         assert_eq!(m.heap_contexts, 1, "{analysis} has no heap context");
     }
@@ -93,7 +97,9 @@ fn heap_context_counts_track_analysis_family() {
     ] {
         let m = precision_metrics(
             &program,
-            &AnalysisSession::new(&program).policy(analysis).run(),
+            &AnalysisSession::open(program.clone())
+                .policy(analysis)
+                .solve(),
         );
         assert!(
             m.heap_contexts > 1,
@@ -110,14 +116,16 @@ fn reference_counts_are_stable_across_analyses() {
     let program = dacapo_workload("luindex", 0.3);
     let insens = precision_metrics(
         &program,
-        &AnalysisSession::new(&program)
+        &AnalysisSession::open(program.clone())
             .policy(Analysis::Insens)
-            .run(),
+            .solve(),
     );
     for analysis in [Analysis::OneObj, Analysis::STwoObjH] {
         let m = precision_metrics(
             &program,
-            &AnalysisSession::new(&program).policy(analysis).run(),
+            &AnalysisSession::open(program.clone())
+                .policy(analysis)
+                .solve(),
         );
         assert!(m.reachable_casts <= insens.reachable_casts);
         assert!(m.reachable_virtual_calls <= insens.reachable_virtual_calls);
@@ -132,9 +140,9 @@ fn every_dacapo_workload_analyzes_cleanly_at_miniature_scale() {
         let program = dacapo_workload(name, 0.1);
         let m = precision_metrics(
             &program,
-            &AnalysisSession::new(&program)
+            &AnalysisSession::open(program.clone())
                 .policy(Analysis::STwoObjH)
-                .run(),
+                .solve(),
         );
         assert!(m.reachable_methods > 5, "{name}");
         assert!(m.ctx_var_points_to > 0, "{name}");
@@ -150,14 +158,16 @@ fn soak_scale_8_full_analysis_set() {
     let program = dacapo_workload("antlr", 8.0);
     let insens = precision_metrics(
         &program,
-        &AnalysisSession::new(&program)
+        &AnalysisSession::open(program.clone())
             .policy(Analysis::Insens)
-            .run(),
+            .solve(),
     );
     for analysis in Analysis::ALL {
         let m = precision_metrics(
             &program,
-            &AnalysisSession::new(&program).policy(analysis).run(),
+            &AnalysisSession::open(program.clone())
+                .policy(analysis)
+                .solve(),
         );
         assert!(m.may_fail_casts <= insens.may_fail_casts, "{analysis}");
         assert!(m.ctx_var_points_to > 0, "{analysis}");
@@ -178,21 +188,21 @@ fn one_obj_h_is_dominated_by_two_type_h() {
         let program = dacapo_workload(name, 1.0);
         let one_obj = precision_metrics(
             &program,
-            &AnalysisSession::new(&program)
+            &AnalysisSession::open(program.clone())
                 .policy(Analysis::OneObj)
-                .run(),
+                .solve(),
         );
         let one_obj_h = precision_metrics(
             &program,
-            &AnalysisSession::new(&program)
+            &AnalysisSession::open(program.clone())
                 .policy(Analysis::OneObjH)
-                .run(),
+                .solve(),
         );
         let two_type = precision_metrics(
             &program,
-            &AnalysisSession::new(&program)
+            &AnalysisSession::open(program.clone())
                 .policy(Analysis::TwoTypeH)
-                .run(),
+                .solve(),
         );
 
         // "much less precise" than 2type+H:
@@ -231,10 +241,10 @@ fn client_metrics_on_degraded_runs_are_tagged_partial() {
     let spec = CheckSpec::parse(TAINT_SPEC).unwrap();
 
     // Starve the solve: the result is a sound prefix, not a fixpoint.
-    let starved = AnalysisSession::new(&program)
+    let starved = AnalysisSession::open(program.clone())
         .policy(Analysis::STwoObjH)
         .budget(Budget::default().with_max_steps(10))
-        .run();
+        .solve();
     assert!(!starved.termination().is_complete());
     let report = run_check(&program, &starved, &spec, ClientBackend::CrossValidated);
     assert!(report.partial, "starved result must tag the report partial");
@@ -242,9 +252,9 @@ fn client_metrics_on_degraded_runs_are_tagged_partial() {
     assert_eq!(diags[0].code, "W023", "partial tag leads the diagnostics");
 
     // A complete run of the same cell is not tagged.
-    let complete = AnalysisSession::new(&program)
+    let complete = AnalysisSession::open(program.clone())
         .policy(Analysis::STwoObjH)
-        .run();
+        .solve();
     let report = run_check(&program, &complete, &spec, ClientBackend::CrossValidated);
     assert!(!report.partial);
     assert!(report

@@ -54,7 +54,9 @@ const SECTION1: &str = r#"
 #[test]
 fn section1_one_obj_separates_the_receivers() {
     let p = parse_program(SECTION1).unwrap();
-    let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
+    let r = AnalysisSession::open(p.clone())
+        .policy(Analysis::OneObj)
+        .solve();
     let r1 = var(&p, "Client.main", "r1");
     let r2 = var(&p, "Client.main", "r2");
     assert_eq!(heaps_of(&p, &r, r1), vec!["Client.main/new Object#2"]);
@@ -69,7 +71,9 @@ fn section1_one_obj_separates_the_receivers() {
 #[test]
 fn section1_one_call_also_separates_these_sites() {
     let p = parse_program(SECTION1).unwrap();
-    let r = AnalysisSession::new(&p).policy(Analysis::OneCall).run();
+    let r = AnalysisSession::open(p.clone())
+        .policy(Analysis::OneCall)
+        .solve();
     assert_eq!(r.points_to(var(&p, "Client.main", "r1")).len(), 1);
     assert_eq!(r.points_to(var(&p, "Client.main", "r2")).len(), 1);
 }
@@ -78,7 +82,9 @@ fn section1_one_call_also_separates_these_sites() {
 #[test]
 fn section1_insens_conflates() {
     let p = parse_program(SECTION1).unwrap();
-    let r = AnalysisSession::new(&p).policy(Analysis::Insens).run();
+    let r = AnalysisSession::open(p.clone())
+        .policy(Analysis::Insens)
+        .solve();
     assert_eq!(r.points_to(var(&p, "Client.main", "r1")).len(), 2);
     assert_eq!(r.points_to(var(&p, "Client.main", "r2")).len(), 2);
 }
@@ -105,7 +111,9 @@ const SECTION22: &str = r#"
 #[test]
 fn section22_one_obj_conflates_static_calls() {
     let p = parse_program(SECTION22).unwrap();
-    let r = AnalysisSession::new(&p).policy(Analysis::OneObj).run();
+    let r = AnalysisSession::open(p.clone())
+        .policy(Analysis::OneObj)
+        .solve();
     assert_eq!(r.points_to(var(&p, "Main.main", "ra")).len(), 2);
     assert_eq!(r.points_to(var(&p, "Main.main", "rb")).len(), 2);
 }
@@ -116,7 +124,7 @@ fn section22_one_obj_conflates_static_calls() {
 fn section22_selective_hybrids_distinguish_static_calls() {
     let p = parse_program(SECTION22).unwrap();
     for analysis in [Analysis::SAOneObj, Analysis::SBOneObj, Analysis::UOneObj] {
-        let r = AnalysisSession::new(&p).policy(analysis).run();
+        let r = AnalysisSession::open(p.clone()).policy(analysis).solve();
         assert_eq!(
             r.points_to(var(&p, "Main.main", "ra")).len(),
             1,
@@ -160,7 +168,9 @@ const SECTION32_CHAIN: &str = r#"
 fn section32_static_chain_separates_only_under_selective_hybrid() {
     let p = parse_program(SECTION32_CHAIN).unwrap();
 
-    let s = AnalysisSession::new(&p).policy(Analysis::STwoObjH).run();
+    let s = AnalysisSession::open(p.clone())
+        .policy(Analysis::STwoObjH)
+        .solve();
     assert_eq!(
         s.points_to(var(&p, "Driver.go", "ra")).len(),
         1,
@@ -168,14 +178,18 @@ fn section32_static_chain_separates_only_under_selective_hybrid() {
     );
     assert_eq!(s.points_to(var(&p, "Driver.go", "rb")).len(), 1);
 
-    let u = AnalysisSession::new(&p).policy(Analysis::UTwoObjH).run();
+    let u = AnalysisSession::open(p.clone())
+        .policy(Analysis::UTwoObjH)
+        .solve();
     assert_eq!(
         u.points_to(var(&p, "Driver.go", "ra")).len(),
         2,
         "U-2obj+H's single invocation slot is overwritten at the inner call"
     );
 
-    let base = AnalysisSession::new(&p).policy(Analysis::TwoObjH).run();
+    let base = AnalysisSession::open(p.clone())
+        .policy(Analysis::TwoObjH)
+        .solve();
     assert_eq!(
         base.points_to(var(&p, "Driver.go", "ra")).len(),
         2,
@@ -184,7 +198,9 @@ fn section32_static_chain_separates_only_under_selective_hybrid() {
 
     // And 2call+H also separates (two call-site slots), matching §3.2's
     // remark that deeper call-site context handles nested static calls.
-    let cc = AnalysisSession::new(&p).policy(Analysis::TwoCallH).run();
+    let cc = AnalysisSession::open(p.clone())
+        .policy(Analysis::TwoCallH)
+        .solve();
     assert_eq!(cc.points_to(var(&p, "Driver.go", "ra")).len(), 1);
 }
 
@@ -231,7 +247,7 @@ fn paired_virtual_calls_separate_only_with_call_site_in_merge() {
         ),
         (Analysis::OneCall, 1, "call-site context"),
     ] {
-        let r = AnalysisSession::new(&p).policy(analysis).run();
+        let r = AnalysisSession::open(p.clone()).policy(analysis).solve();
         assert_eq!(
             r.points_to(var(&p, "Main.main", "ra")).len(),
             expected,

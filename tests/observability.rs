@@ -51,11 +51,11 @@ fn heap(program: &Program, label: &str) -> HeapId {
 
 fn traced_run(program: &Program, threads: usize) -> (PointsToResult, Trace) {
     let trace = Trace::enabled();
-    let result = AnalysisSession::new(program)
+    let result = AnalysisSession::open(program.clone())
         .policy(Analysis::STwoObjH)
         .threads(threads)
         .trace(trace.clone())
-        .run();
+        .solve();
     (result, trace)
 }
 
@@ -171,10 +171,10 @@ fn sequential_traces_are_deterministic_across_runs() {
 #[test]
 fn explain_walks_the_motivating_derivation() {
     let program = parse_program(SECTION1).unwrap();
-    let result = AnalysisSession::new(&program)
+    let result = AnalysisSession::open(program.clone())
         .policy(Analysis::STwoObjH)
         .track_provenance(true)
-        .run();
+        .solve();
     let r1 = var(&program, "Client.main", "r1");
     let obj1 = heap(&program, "Client.main/new Object#2");
     let chain = result
@@ -196,9 +196,9 @@ fn explain_walks_the_motivating_derivation() {
 
     // Without provenance tracking the same query declines loudly
     // (None), never a wrong chain.
-    let untracked = AnalysisSession::new(&program)
+    let untracked = AnalysisSession::open(program.clone())
         .policy(Analysis::STwoObjH)
-        .run();
+        .solve();
     assert!(untracked.explain(&program, r1, obj1).is_none());
 }
 
@@ -208,11 +208,11 @@ fn explain_walks_the_motivating_derivation() {
 fn profile_and_trace_agree_on_rule_activity() {
     let program = parse_program(SECTION1).unwrap();
     let trace = Trace::enabled();
-    let result = AnalysisSession::new(&program)
+    let result = AnalysisSession::open(program.clone())
         .policy(Analysis::STwoObjH)
         .trace(trace.clone())
         .profile(true)
-        .run();
+        .solve();
     let profile = result.profile().expect("profiled run records a profile");
     let doc = json::parse(&trace.to_chrome_json()).unwrap();
     let events = validate_timeline(&doc);

@@ -65,8 +65,10 @@ fn guaranteed_refinements_hold_on_tiny_workloads() {
     for seed in 0..6 {
         let program = generate(&WorkloadConfig::tiny(seed));
         for (fine, coarse) in GUARANTEED {
-            let f = AnalysisSession::new(&program).policy(fine).run();
-            let c = AnalysisSession::new(&program).policy(coarse).run();
+            let f = AnalysisSession::open(program.clone()).policy(fine).solve();
+            let c = AnalysisSession::open(program.clone())
+                .policy(coarse)
+                .solve();
             assert_refines(
                 &program,
                 &f,
@@ -82,8 +84,10 @@ fn guaranteed_refinements_hold_on_dacapo_miniatures() {
     for name in ["antlr", "bloat", "xalan"] {
         let program = dacapo_workload(name, 0.2);
         for (fine, coarse) in GUARANTEED {
-            let f = AnalysisSession::new(&program).policy(fine).run();
-            let c = AnalysisSession::new(&program).policy(coarse).run();
+            let f = AnalysisSession::open(program.clone()).policy(fine).solve();
+            let c = AnalysisSession::open(program.clone())
+                .policy(coarse)
+                .solve();
             assert_refines(&program, &f, &c, &format!("{name}: {fine} vs {coarse}"));
         }
     }
@@ -93,11 +97,13 @@ fn guaranteed_refinements_hold_on_dacapo_miniatures() {
 fn every_analysis_refines_insens() {
     for seed in [1u64, 5] {
         let program = generate(&WorkloadConfig::tiny(seed));
-        let insens = AnalysisSession::new(&program)
+        let insens = AnalysisSession::open(program.clone())
             .policy(Analysis::Insens)
-            .run();
+            .solve();
         for analysis in Analysis::ALL {
-            let r = AnalysisSession::new(&program).policy(analysis).run();
+            let r = AnalysisSession::open(program.clone())
+                .policy(analysis)
+                .solve();
             assert_refines(
                 &program,
                 &r,
@@ -118,12 +124,12 @@ fn sa_1obj_is_incomparable_but_useful() {
     let mut sa_better_somewhere = false;
     for name in ["antlr", "chart", "jython", "pmd"] {
         let program = dacapo_workload(name, 0.3);
-        let sa = AnalysisSession::new(&program)
+        let sa = AnalysisSession::open(program.clone())
             .policy(Analysis::SAOneObj)
-            .run();
-        let base = AnalysisSession::new(&program)
+            .solve();
+        let base = AnalysisSession::open(program.clone())
             .policy(Analysis::OneObj)
-            .run();
+            .solve();
         let (sa_fail, _) = hybrid_pta::clients::may_fail_casts(&program, &sa);
         let (base_fail, _) = hybrid_pta::clients::may_fail_casts(&program, &base);
         if sa_fail.len() < base_fail.len() {

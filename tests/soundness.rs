@@ -22,7 +22,9 @@ fn dynamic_facts(program: &Program) -> DynamicFacts {
 }
 
 fn assert_sound(program: &Program, facts: &DynamicFacts, analysis: Analysis) {
-    let result = AnalysisSession::new(program).policy(analysis).run();
+    let result = AnalysisSession::open(program.clone())
+        .policy(analysis)
+        .solve();
     for &(var, site) in &facts.var_points_to {
         assert!(
             result.points_to(var).contains(&site),
@@ -94,7 +96,9 @@ fn dynamically_failing_casts_are_flagged() {
             continue;
         }
         for analysis in [Analysis::Insens, Analysis::OneObj, Analysis::STwoObjH] {
-            let result = AnalysisSession::new(&program).policy(analysis).run();
+            let result = AnalysisSession::open(program.clone())
+                .policy(analysis)
+                .solve();
             let (failing, _) = hybrid_pta::clients::may_fail_casts(&program, &result);
             for &(meth, idx) in &facts.failed_casts {
                 assert!(
