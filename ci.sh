@@ -249,6 +249,60 @@ done
 test "$(grep -c '"ok":true' /tmp/ci-serve.out)" -eq 6
 echo "    serve smoke OK: four query kinds answered, graceful drain exited 0"
 
+# Gating: telemetry smoke. Exercise three query ops plus the `metrics`
+# op over stdio and assert exact counter values in both renderings
+# (the JSON registry dump and the escaped Prometheus text), then probe
+# the HTTP exposition endpoint of a TCP-only daemon with a raw GET over
+# /dev/tcp and require a well-formed scrape. Counter values are exact:
+# per-op request counts are deterministic functions of the request
+# stream.
+echo "==> tier-1: telemetry smoke (metrics op + Prometheus endpoint)"
+printf '%s\n' \
+  '{"id":1,"op":"points_to","var":"r"}' \
+  '{"id":2,"op":"points_to","var":"r"}' \
+  '{"id":3,"op":"devirt","invo":0}' \
+  '{"id":4,"op":"metrics"}' \
+  '{"id":5,"op":"shutdown"}' \
+  | ./target/release/pta serve /tmp/ci-serve.jir --policy S-2obj+H \
+      --events /tmp/ci-serve-events.jsonl > /tmp/ci-serve-metrics.out
+grep -q '"name":"pta_requests_total","labels":{"op":"points_to"},"value":2' /tmp/ci-serve-metrics.out
+grep -q '"name":"pta_requests_total","labels":{"op":"devirt"},"value":1' /tmp/ci-serve-metrics.out
+grep -q '"name":"pta_solve_total","labels":{},"value":1' /tmp/ci-serve-metrics.out
+grep -q 'pta_requests_total{op=\\"points_to\\"} 2' /tmp/ci-serve-metrics.out
+grep -q '"event":"daemon_start"' /tmp/ci-serve-events.jsonl
+grep -q '"event":"request","id":1,"op":"points_to","status":"ok"' /tmp/ci-serve-events.jsonl
+grep -q '"event":"shutdown","forced":false' /tmp/ci-serve-events.jsonl
+rm -f /tmp/ci-metrics-port /tmp/ci-serve-port
+./target/release/pta serve /tmp/ci-serve.jir --no-stdin \
+  --port 0 --port-file /tmp/ci-serve-port \
+  --metrics-addr 127.0.0.1:0 --metrics-port-file /tmp/ci-metrics-port \
+  2>/dev/null & SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s /tmp/ci-metrics-port ] && [ -s /tmp/ci-serve-port ] && break
+  sleep 0.1
+done
+# One answered query, *then* the scrape: the worker records the latency
+# observation before the response line is written, so by the time the
+# client has the answer the histogram deterministically holds 1 sample.
+exec 4<>"/dev/tcp/127.0.0.1/$(cat /tmp/ci-serve-port)"
+printf '{"id":8,"op":"points_to","var":"r"}\n' >&4
+read -r answer_line <&4
+echo "$answer_line" | grep -q '"ok":true'
+exec 3<>"/dev/tcp/127.0.0.1/$(cat /tmp/ci-metrics-port)"
+printf 'GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n' >&3
+SCRAPE=$(cat <&3)
+exec 3<&- 3>&-
+echo "$SCRAPE" | head -n 1 | grep -q '200 OK'
+echo "$SCRAPE" | grep -q '# TYPE pta_request_latency_us histogram'
+echo "$SCRAPE" | grep -q '^pta_request_latency_us_count{op="points_to"} 1$'
+echo "$SCRAPE" | grep -q '# TYPE pta_solver_vpt_inserted_total counter'
+echo "$SCRAPE" | grep -q '^pta_solve_total 1$'
+printf '{"id":9,"op":"shutdown"}\n' >&4
+read -r _ack <&4 || true
+exec 4<&- 4>&-
+wait "$SERVE_PID"
+echo "    telemetry smoke OK: exact counters in both renderings, endpoint scraped"
+
 # Non-gating: 500-request fault-injection soak. Replays a seeded mixed
 # query stream (2% injected faults: delays, forced cancellations, budget
 # exhaustion, garbled responses) from 4 concurrent connections against
@@ -259,11 +313,36 @@ echo "    serve smoke OK: four query kinds answered, graceful drain exited 0"
 echo "==> serve fault-injection soak (non-gating)"
 if ./target/release/soak --requests 500 --seed 42 --fault-rate 0.02 \
      > /tmp/ci-soak.out 2>&1; then
-  tail -n 2 /tmp/ci-soak.out | sed 's/^/    /'
+  tail -n 3 /tmp/ci-soak.out | sed 's/^/    /'
 else
   echo "    WARNING: serve soak failed (non-gating); re-run manually:"
   echo "    ./target/release/soak --requests 500 --seed 42 --fault-rate 0.02"
   tail -n 5 /tmp/ci-soak.out | sed 's/^/    /'
+fi
+
+# Non-gating: serve telemetry drift. Reruns the soak single-threaded
+# (the deterministic configuration BENCH_serve.json pins) and compares
+# the counter digest of the daemon's Prometheus exposition against the
+# checked-in baseline. The digest covers counters only — deterministic
+# sums of per-request increments decided by (seed, id) — so any
+# mismatch means the telemetry or the request lifecycle changed
+# observably, not that the machine is slower.
+echo "==> serve telemetry drift vs BENCH_serve.json (non-gating)"
+if ./target/release/soak --requests 500 --seed 42 --fault-rate 0.02 \
+     --threads 1 --json /tmp/bench-serve.json > /tmp/ci-soak-drift.out 2>&1; then
+  WANT=$(grep -o '"metrics_digest":"[0-9a-f]*"' BENCH_serve.json)
+  GOT=$(grep -o '"metrics_digest":"[0-9a-f]*"' /tmp/bench-serve.json)
+  if [ "$WANT" = "$GOT" ]; then
+    echo "    telemetry drift OK: counter digest matches the baseline ($GOT)"
+  else
+    echo "    WARNING: telemetry counter digest drifted (non-gating):"
+    echo "    baseline $WANT, current $GOT"
+    echo "    If the change is intended, regenerate the baseline and commit it:"
+    echo "    ./target/release/soak --requests 500 --seed 42 --fault-rate 0.02 --threads 1 --json BENCH_serve.json"
+  fi
+else
+  echo "    WARNING: telemetry drift soak failed (non-gating)"
+  tail -n 5 /tmp/ci-soak-drift.out | sed 's/^/    /'
 fi
 
 echo "==> CI green"

@@ -18,9 +18,19 @@
 //!    around inside a generous wall-clock bound instead of wedging a
 //!    worker.
 //!
+//! It also measures the client-observed latency distribution in the
+//! shared fixed-bucket histogram from `pta-obs` (p50/p95/p99 are bucket
+//! upper bounds), pulls the daemon's own metrics via the `metrics` op,
+//! cross-checks the request counters against the planned stream, and
+//! folds the counter section of the Prometheus exposition into a
+//! digest. Counters are commutative sums of per-request increments
+//! decided by `(seed, id)` alone, so with `--threads 1` the digest is
+//! byte-identical across reruns — `BENCH_serve.json` pins it.
+//!
 //! Usage: `soak [--requests N] [--seed S] [--fault-rate R] [--threads N]
-//! [--workers N] [--connections N] [--workload NAME:SCALE]`. Exits 0 on a
-//! clean pass, 1 with a report on any violation.
+//! [--workers N] [--connections N] [--workload NAME:SCALE]
+//! [--json FILE]`. Exits 0 on a clean pass, 1 with a report on any
+//! violation.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -33,6 +43,8 @@ use std::time::{Duration, Instant};
 use pta_govern::CancelToken;
 use pta_ir::rng::Rng;
 use pta_ir::Instr;
+use pta_obs::{Metrics, LATENCY_BUCKETS_US};
+use pta_serve::json::Value;
 use pta_serve::{
     answer, garble_line, launch, FaultInjector, FaultKind, ProgramSource, ReqCtx, Request,
     Resident, ServeConfig,
@@ -61,6 +73,7 @@ struct Args {
     workers: usize,
     connections: usize,
     workload: String,
+    json_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         connections: 4,
         workload: "luindex:0.3".to_string(),
+        json_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -88,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => a.workers = need(i + 1)?.parse().map_err(|e| format!("{e}"))?,
             "--connections" => a.connections = need(i + 1)?.parse().map_err(|e| format!("{e}"))?,
             "--workload" => a.workload = need(i + 1)?.clone(),
+            "--json" => a.json_out = Some(need(i + 1)?.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -220,6 +235,55 @@ fn expected_line(p: &Planned, resident: &Resident) -> String {
     }
 }
 
+/// Sends one control request on a fresh connection and returns the
+/// single response line.
+fn control_request(port: u16, line: &str) -> String {
+    let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect for control op");
+    stream.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer.write_all(format!("{line}\n").as_bytes()).unwrap();
+    let mut out = String::new();
+    reader.read_line(&mut out).unwrap();
+    out.trim_end().to_string()
+}
+
+/// FNV-1a over the counter sections of a Prometheus exposition (the
+/// `# TYPE ... counter` header and its series lines, in registry
+/// order). Counters are deterministic sums of per-request increments
+/// decided by `(seed, id)`, so this digest is rerun-stable; latency
+/// histograms and point-in-time gauges are excluded by construction.
+fn digest_counters(prom: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut absorb = |line: &str| {
+        for &b in line.as_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= u64::from(b'\n');
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    let mut counting = false;
+    for line in prom.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            counting = rest.ends_with(" counter");
+        }
+        if counting {
+            absorb(line);
+        }
+    }
+    format!("{hash:016x}")
+}
+
+/// The value of one exposition series, e.g.
+/// `prom_value(text, "pta_requests_total{op=\"devirt\"}")`.
+fn prom_value(prom: &str, series: &str) -> Option<u64> {
+    prom.lines().find_map(|l| {
+        l.strip_prefix(series)
+            .and_then(|rest| rest.trim().parse().ok())
+    })
+}
+
 /// Pulls the request id back out of a response line (normal responses
 /// carry `"id":N`, garbled ones are `!garble N`).
 fn response_id(line: &str) -> Option<u64> {
@@ -318,6 +382,10 @@ fn main() -> ExitCode {
     let hangs = Arc::new(AtomicU64::new(0));
     let max_latency_us = Arc::new(AtomicU64::new(0));
     let max_cancel_latency_us = Arc::new(AtomicU64::new(0));
+    // Client-observed latency distribution, in the same fixed buckets
+    // the daemon uses for `pta_request_latency_us`.
+    let client_metrics = Metrics::enabled();
+    let latency_hist = client_metrics.histogram("soak_request_latency_us", &[], LATENCY_BUCKETS_US);
     let expected = Arc::new(expected);
     let cancel_ids: Arc<Vec<u64>> = Arc::new(
         planned
@@ -339,6 +407,7 @@ fn main() -> ExitCode {
         let max_latency_us = Arc::clone(&max_latency_us);
         let max_cancel_latency_us = Arc::clone(&max_cancel_latency_us);
         let cancel_ids = Arc::clone(&cancel_ids);
+        let latency_hist = latency_hist.clone();
         let connections = args.connections;
         clients.push(std::thread::spawn(move || {
             let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
@@ -379,6 +448,7 @@ fn main() -> ExitCode {
                 let latency = sent_at.remove(&id).map_or(Duration::ZERO, |t| t.elapsed());
                 let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
                 max_latency_us.fetch_max(us, Ordering::SeqCst);
+                latency_hist.observe(us);
                 if cancel_ids.contains(&id) {
                     max_cancel_latency_us.fetch_max(us, Ordering::SeqCst);
                 }
@@ -405,16 +475,16 @@ fn main() -> ExitCode {
     let replay_elapsed = replay_start.elapsed();
 
     // Pull the daemon's own accounting before shutting it down.
-    let stats = {
-        let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect for stats");
-        stream.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
-        let mut writer = stream.try_clone().unwrap();
-        let mut reader = BufReader::new(stream);
-        writer.write_all(b"{\"id\":0,\"op\":\"stats\"}\n").unwrap();
-        let mut line = String::new();
-        reader.read_line(&mut line).unwrap();
-        line.trim_end().to_string()
-    };
+    let stats = control_request(port, "{\"id\":0,\"op\":\"stats\"}");
+    let metrics_reply = control_request(port, "{\"id\":0,\"op\":\"metrics\"}");
+    let prometheus = pta_serve::json::parse(&metrics_reply)
+        .ok()
+        .and_then(|v| match v.get("prometheus") {
+            Some(Value::String(s)) => Some(s.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let digest = digest_counters(&prometheus);
 
     handle.request_shutdown();
     let exit = handle.wait();
@@ -423,13 +493,48 @@ fn main() -> ExitCode {
     let n_hangs = hangs.load(Ordering::SeqCst);
     let max_lat = Duration::from_micros(max_latency_us.load(Ordering::SeqCst));
     let max_cancel_lat = Duration::from_micros(max_cancel_latency_us.load(Ordering::SeqCst));
+    let (p50, p95, p99) = (
+        latency_hist.quantile(0.50),
+        latency_hist.quantile(0.95),
+        latency_hist.quantile(0.99),
+    );
     println!(
         "soak: {} requests in {:.1?} | faults {} | max latency {:.1?} | max cancel latency {:.1?}",
         args.requests, replay_elapsed, predicted_faults, max_lat, max_cancel_lat
     );
+    println!("soak: latency p50 <= {p50}us, p95 <= {p95}us, p99 <= {p99}us (bucket upper bounds)");
+    println!("soak: metrics digest {digest}");
     println!("soak: daemon stats: {stats}");
 
     let mut failed = false;
+    // Cross-check: the daemon's own request counters must account for
+    // exactly the planned query stream (plus the stats + metrics pulls
+    // this driver makes, counted under their own op labels).
+    let counted: u64 = ["points_to", "findings", "devirt", "cast_check"]
+        .iter()
+        .map(|op| {
+            prom_value(&prometheus, &format!("pta_requests_total{{op=\"{op}\"}}")).unwrap_or(0)
+        })
+        .sum();
+    if counted != args.requests {
+        println!(
+            "soak: FAIL: daemon query counters sum to {counted}, want {} requests",
+            args.requests
+        );
+        failed = true;
+    }
+    if prom_value(&prometheus, "pta_requests_shed_total").unwrap_or(0) != 0 {
+        println!("soak: FAIL: requests were shed; the window should keep the queue under capacity");
+        failed = true;
+    }
+    let hist_count = prom_value(
+        &prometheus,
+        "pta_request_latency_us_count{op=\"points_to\"}",
+    );
+    if hist_count.is_none_or(|n| n == 0) {
+        println!("soak: FAIL: daemon latency histogram recorded no points_to observations");
+        failed = true;
+    }
     if n_hangs > 0 {
         println!("soak: FAIL: {n_hangs} hang(s)");
         failed = true;
@@ -454,6 +559,26 @@ fn main() -> ExitCode {
             args.requests
         );
         failed = true;
+    }
+    if let Some(path) = &args.json_out {
+        let row = format!(
+            "[\n  {{\"schema_version\":1,\"driver\":\"soak\",\"workload\":\"{}\",\"requests\":{},\"seed\":{},\"fault_rate\":{},\"threads\":{},\"workers\":{},\"connections\":{},\"faults\":{},\"replay_ms\":{},\"p50_us\":{p50},\"p95_us\":{p95},\"p99_us\":{p99},\"max_us\":{},\"metrics_digest\":\"{digest}\",\"passed\":{}}}\n]\n",
+            args.workload,
+            args.requests,
+            args.seed,
+            args.fault_rate,
+            args.threads,
+            args.workers,
+            args.connections,
+            predicted_faults,
+            replay_elapsed.as_millis(),
+            max_latency_us.load(Ordering::SeqCst),
+            !failed
+        );
+        if let Err(e) = std::fs::write(path, row) {
+            eprintln!("soak: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
     }
     if failed {
         ExitCode::FAILURE

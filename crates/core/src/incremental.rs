@@ -67,10 +67,35 @@ use crate::policy::ContextPolicy;
 /// Result of [`Solver::apply_delta`].
 pub(crate) enum ApplyOutcome {
     /// The fixpoint was maintained in place.
-    Done(Termination),
+    Done(Termination, ApplyStats),
     /// Incremental maintenance is not applicable; the caller should solve
     /// from scratch. The string names the reason (surfaced in logs/tests).
     Fallback(&'static str),
+}
+
+/// Counters describing one successful incremental apply: how large the
+/// invalidation cone was (all zero for purely additive deltas) and how
+/// many `VarPointsTo` tuples the maintenance run re-derived or newly
+/// derived. Surfaced through
+/// [`AnalysisSession::last_apply_stats`](crate::session::AnalysisSession::last_apply_stats)
+/// and exported as telemetry gauges by the daemon.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// `true` if the delta retracted facts (the DRed path ran).
+    pub retraction: bool,
+    /// Suspect `(var, ctx)` keys cleared and re-derived.
+    pub cone_keys: u64,
+    /// Suspect `(object, field)` entries cleared and re-derived.
+    pub cone_flds: u64,
+    /// Suspect static field cells cleared and re-derived.
+    pub cone_statics: u64,
+    /// Suspect call sites whose edges were removed and re-derived.
+    pub cone_sites: u64,
+    /// Suspect `Reachable` pairs tombstoned.
+    pub cone_reach: u64,
+    /// `VarPointsTo` tuples inserted by the maintenance run (re-seeded
+    /// re-derivations plus genuinely new tuples).
+    pub maintained_tuples: u64,
 }
 
 /// Below this many suspect keys the churn ratio is not consulted at all —
@@ -136,12 +161,20 @@ impl<P: ContextPolicy> Solver<P> {
             return ApplyOutcome::Fallback("retraction under live exception flow");
         }
 
+        let mut apply_stats = ApplyStats::default();
+        let vpt_before = self.stats.vpt_inserted;
         if retracting {
             let cone = self.collect_cone(delta, new_program);
             let total_keys = self.entries.len();
             if cone.keys.len() > CHURN_MIN_KEYS && cone.keys.len() * CHURN_DENOM > total_keys {
                 return ApplyOutcome::Fallback("retraction cone exceeds churn threshold");
             }
+            apply_stats.retraction = true;
+            apply_stats.cone_keys = cone.keys.len() as u64;
+            apply_stats.cone_flds = cone.flds.len() as u64;
+            apply_stats.cone_statics = cone.statics.len() as u64;
+            apply_stats.cone_sites = cone.sites.len() as u64;
+            apply_stats.cone_reach = cone.reach.len() as u64;
             // Retraction shrinks sets behind the dirty tracking's back;
             // drop the projection cache and rebuild it at the next
             // result build.
@@ -153,7 +186,9 @@ impl<P: ContextPolicy> Solver<P> {
             self.swap_program_additive(new_program, delta);
         }
         self.seed_additive(delta);
-        ApplyOutcome::Done(self.run_loop())
+        let termination = self.run_loop();
+        apply_stats.maintained_tuples = self.stats.vpt_inserted - vpt_before;
+        ApplyOutcome::Done(termination, apply_stats)
     }
 
     /// Installs the new program and its static index, growing the

@@ -87,4 +87,5 @@ pub use pta_govern::{Budget, BudgetMeter, CancelToken, Termination};
 pub use pta_obs::{Profile, Trace};
 pub use results::{CtxVarPointsTo, DemotedSite, Derivation, PointsToResult, SolverStats};
 pub use session::{AnalysisSession, Backend};
+pub use solver::incremental::ApplyStats;
 pub use solver::SolverConfig;

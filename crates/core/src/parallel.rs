@@ -1634,6 +1634,7 @@ fn merge_results<P: ContextPolicy>(
         s.sets_interned = shard.store.sets_interned();
         s.sets_shared = shard.store.sets_shared();
         s.bytes_saved = shard.store.bytes_saved();
+        s.sets_evicted = shard.store.sets_evicted();
         shard_stats.push(s);
         stats.absorb(&s);
     }

@@ -115,6 +115,9 @@ pub struct PtsStore {
     /// Bytes of would-be-duplicate word arrays dropped on intern hits
     /// (`bytes_saved`).
     bytes_saved: u64,
+    /// Superseded representations evicted by [`PtsStore::release`]
+    /// (`sets_evicted`) — a cumulative event count.
+    evicted: u64,
     /// Deterministic model of bytes held by bitmap-stage representations
     /// (private bitmaps each; interned representations once).
     heap_bytes: u64,
@@ -161,6 +164,13 @@ impl PtsStore {
     #[must_use]
     pub fn bytes_saved(&self) -> u64 {
         self.bytes_saved
+    }
+
+    /// Superseded representations evicted by [`PtsStore::release`]
+    /// (cumulative).
+    #[must_use]
+    pub fn sets_evicted(&self) -> u64 {
+        self.evicted
     }
 
     /// Modeled bytes currently held by bitmap-stage representations.
@@ -216,6 +226,7 @@ impl PtsStore {
             // a probe matches at most one entry regardless of order.
             if let Some(pos) = bucket.iter().position(|r| Arc::ptr_eq(r, rep)) {
                 let dead = bucket.swap_remove(pos);
+                self.evicted += 1;
                 self.heap_bytes = self.heap_bytes.saturating_sub(dead.byte_size());
                 if bucket.is_empty() {
                     self.index.remove(&hash);

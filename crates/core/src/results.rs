@@ -158,6 +158,9 @@ pub struct SolverStats {
     pub sets_shared: u64,
     /// Bytes of duplicate set representations avoided by unification.
     pub bytes_saved: u64,
+    /// Superseded shared representations evicted from the hash-consing
+    /// store after an overlay flush replaced them (0 under `--no-share`).
+    pub sets_evicted: u64,
     /// Fixpoint rounds executed by the Datalog engine (0 for dense runs).
     pub engine_rounds: u64,
     /// Strata executed by the Datalog engine (0 for dense runs).
@@ -213,6 +216,7 @@ impl SolverStats {
             ("sets_interned", self.sets_interned),
             ("sets_shared", self.sets_shared),
             ("bytes_saved", self.bytes_saved),
+            ("sets_evicted", self.sets_evicted),
             ("engine_rounds", self.engine_rounds),
             ("engine_strata", self.engine_strata),
             ("engine_rows", self.engine_rows),
@@ -248,6 +252,7 @@ impl SolverStats {
             (&mut self.sets_interned, other.sets_interned),
             (&mut self.sets_shared, other.sets_shared),
             (&mut self.bytes_saved, other.bytes_saved),
+            (&mut self.sets_evicted, other.sets_evicted),
             (&mut self.engine_rounds, other.engine_rounds),
             (&mut self.engine_strata, other.engine_strata),
             (&mut self.engine_rows, other.engine_rows),

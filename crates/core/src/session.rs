@@ -68,7 +68,7 @@ use crate::fault::FaultPlan;
 use crate::parallel::solve_parallel;
 use crate::policy::{Analysis, ContextPolicy};
 use crate::results::PointsToResult;
-use crate::solver::incremental::ApplyOutcome;
+use crate::solver::incremental::{ApplyOutcome, ApplyStats};
 use crate::solver::{solve_sequential, Solver, SolverConfig};
 
 /// A tiny well-formed program parked in the session's (and retained
@@ -119,6 +119,10 @@ pub struct AnalysisSession<P: ContextPolicy = Analysis> {
     retained: Option<Solver<P>>,
     last_apply_was_incremental: bool,
     last_fallback: Option<&'static str>,
+    last_apply_stats: Option<ApplyStats>,
+    /// Telemetry registry (disabled by default); solves and applies
+    /// export their outcome counters into it.
+    metrics: pta_obs::Metrics,
 }
 
 impl AnalysisSession<Analysis> {
@@ -141,6 +145,8 @@ impl AnalysisSession<Analysis> {
             retained: None,
             last_apply_was_incremental: false,
             last_fallback: None,
+            last_apply_stats: None,
+            metrics: pta_obs::Metrics::disabled(),
         }
     }
 
@@ -171,6 +177,8 @@ impl<P: ContextPolicy> AnalysisSession<P> {
             retained: None,
             last_apply_was_incremental: false,
             last_fallback: None,
+            last_apply_stats: None,
+            metrics: self.metrics,
         }
     }
 
@@ -287,6 +295,21 @@ impl<P: ContextPolicy> AnalysisSession<P> {
         self
     }
 
+    /// Attaches a [`pta_obs::Metrics`] registry: every
+    /// [`AnalysisSession::solve`] exports its solver counters
+    /// (`pta_solver_*`, per-shard `pta_shard_*`) and every
+    /// [`AnalysisSession::apply`] its outcome
+    /// (`pta_apply_total{mode=...}`, fallback reasons, cone sizes) into
+    /// it. A disabled registry (the default) is a true no-op. Pure
+    /// observability: unlike the other builders this does *not* drop
+    /// retained solver state, so a resident session can be instrumented
+    /// without losing its incremental eligibility.
+    #[must_use]
+    pub fn metrics(mut self, metrics: pta_obs::Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// Opts the session into incremental fixpoint maintenance: eligible
     /// solves retain their solver state so a later
     /// [`AnalysisSession::apply`] can maintain the fixpoint in place
@@ -323,6 +346,14 @@ impl<P: ContextPolicy> AnalysisSession<P> {
     /// re-solve, if it did.
     pub fn last_fallback(&self) -> Option<&'static str> {
         self.last_fallback
+    }
+
+    /// Maintenance counters from the last incremental
+    /// [`AnalysisSession::apply`] (cone sizes, maintained tuples), or
+    /// `None` if the last apply re-solved from scratch (or no apply has
+    /// happened yet).
+    pub fn last_apply_stats(&self) -> Option<ApplyStats> {
+        self.last_apply_stats
     }
 
     /// `true` while solver state is retained for incremental maintenance.
@@ -377,7 +408,17 @@ impl<P: ContextPolicy> AnalysisSession<P> {
     where
         P: Clone + 'static,
     {
+        let result = self.solve_inner();
+        self.export_solve_metrics(&result);
+        result
+    }
+
+    fn solve_inner(&mut self) -> PointsToResult
+    where
+        P: Clone + 'static,
+    {
         self.retained = None;
+        self.last_apply_stats = None;
         match self.backend {
             Backend::Dense => {
                 let threads = self.effective_threads();
@@ -422,9 +463,10 @@ impl<P: ContextPolicy> AnalysisSession<P> {
         let new_program = self.advance_program(delta)?;
         self.last_apply_was_incremental = false;
         self.last_fallback = None;
+        self.last_apply_stats = None;
         if let Some(mut solver) = self.retained.take() {
             match solver.apply_delta(&new_program, delta) {
-                ApplyOutcome::Done(termination) => {
+                ApplyOutcome::Done(termination, apply_stats) => {
                     self.program = new_program;
                     self.version += 1;
                     let keep = termination == Termination::Complete && !solver.has_demotions();
@@ -433,6 +475,8 @@ impl<P: ContextPolicy> AnalysisSession<P> {
                         self.retained = Some(solver);
                     }
                     self.last_apply_was_incremental = true;
+                    self.last_apply_stats = Some(apply_stats);
+                    self.export_apply_metrics();
                     return Ok(result);
                 }
                 ApplyOutcome::Fallback(reason) => {
@@ -442,7 +486,64 @@ impl<P: ContextPolicy> AnalysisSession<P> {
         }
         self.program = new_program;
         self.version += 1;
-        Ok(self.solve())
+        let result = self.solve();
+        self.export_apply_metrics();
+        Ok(result)
+    }
+
+    /// Exports one solve's counters into the attached metrics registry.
+    /// Solver stats are exported only for from-scratch solves: a retained
+    /// solver's stats are cumulative across applies, so re-adding them
+    /// after each maintenance run would double-count (incremental applies
+    /// export their own deltas in [`AnalysisSession::export_apply_metrics`]).
+    fn export_solve_metrics(&self, result: &PointsToResult) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        let m = &self.metrics;
+        m.counter("pta_solve_total", &[]).inc();
+        for (name, value) in result.solver_stats().fields() {
+            if name == "peak_worklist" {
+                m.gauge("pta_solver_peak_worklist", &[]).fetch_max(value);
+            } else {
+                m.counter(&format!("pta_solver_{name}_total"), &[])
+                    .add(value);
+            }
+        }
+        for (i, s) in result.shard_stats().iter().enumerate() {
+            let shard = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &shard)];
+            m.counter("pta_shard_rounds_total", labels)
+                .add(s.par_rounds);
+            m.counter("pta_shard_msgs_total", labels).add(s.par_msgs);
+            m.counter("pta_shard_steps_total", labels).add(s.steps);
+        }
+    }
+
+    /// Exports one apply's outcome: which path ran, the fallback reason
+    /// if any, and (for incremental applies) the invalidation-cone sizes
+    /// and maintained-tuple count.
+    fn export_apply_metrics(&self) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        let m = &self.metrics;
+        if let Some(s) = self.last_apply_stats {
+            m.counter("pta_apply_total", &[("mode", "incremental")])
+                .inc();
+            m.counter("pta_apply_maintained_tuples_total", &[])
+                .add(s.maintained_tuples);
+            m.gauge("pta_apply_cone_keys", &[]).set(s.cone_keys);
+            m.gauge("pta_apply_cone_flds", &[]).set(s.cone_flds);
+            m.gauge("pta_apply_cone_statics", &[]).set(s.cone_statics);
+            m.gauge("pta_apply_cone_sites", &[]).set(s.cone_sites);
+            m.gauge("pta_apply_cone_reach", &[]).set(s.cone_reach);
+        } else {
+            m.counter("pta_apply_total", &[("mode", "full")]).inc();
+            let reason = self.last_fallback.unwrap_or("no retained solver");
+            m.counter("pta_apply_fallback_total", &[("reason", reason)])
+                .inc();
+        }
     }
 
     /// Produces the next program version from `delta`.

@@ -1689,6 +1689,7 @@ impl<P: ContextPolicy> Solver<P> {
         self.stats.sets_interned = self.store.sets_interned();
         self.stats.sets_shared = self.store.sets_shared();
         self.stats.bytes_saved = self.store.bytes_saved();
+        self.stats.sets_evicted = self.store.sets_evicted();
         self.demoted_sites.sort_unstable_by_key(|d| d.method);
 
         // Resolves a dense (key, object) pair to the public tuple form.

@@ -36,6 +36,14 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+pub mod eventlog;
+pub mod metrics;
+
+pub use eventlog::{EventLog, Field};
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricKind, Metrics, MetricsScope, LATENCY_BUCKETS_US,
+};
+
 /// An event phase, mirroring the Chrome trace-event `ph` field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
@@ -171,17 +179,25 @@ impl Trace {
         all
     }
 
-    /// Event counts keyed by `(category, name)`, sorted — timestamps and
-    /// durations excluded. Two runs of a deterministic workload must
-    /// produce identical count vectors; the determinism tests rely on
-    /// this.
+    /// Event counts keyed structurally by `(name, category)` and sorted
+    /// on that pair — timestamps and durations excluded. Counting is
+    /// structural (not on a rendered `cat/name` string) so a name
+    /// containing `/` can never collide with another category, and the
+    /// order never depends on how the key happens to render. Each entry
+    /// is returned as a `("cat/name", count)` pair. Two runs of a
+    /// deterministic workload must produce identical count vectors; the
+    /// determinism tests rely on this.
     #[must_use]
     pub fn event_counts(&self) -> Vec<(String, usize)> {
-        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        let mut counts: std::collections::BTreeMap<(String, &'static str), usize> =
+            Default::default();
         for ev in self.events() {
-            *counts.entry(format!("{}/{}", ev.cat, ev.name)).or_default() += 1;
+            *counts.entry((ev.name, ev.cat)).or_default() += 1;
         }
-        counts.into_iter().collect()
+        counts
+            .into_iter()
+            .map(|((name, cat), n)| (format!("{cat}/{name}"), n))
+            .collect()
     }
 
     /// Renders the flushed events as Chrome trace-event JSON.
@@ -264,7 +280,7 @@ fn push_us(out: &mut String, ns: u64) {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -435,11 +451,16 @@ pub struct Profile {
 
 impl Profile {
     /// Rules sorted by cumulative time, most expensive first; ties break
-    /// by fires then name so the order is deterministic.
+    /// by fires (descending), then name (ascending), then derived
+    /// (descending), so the order is fully deterministic even for rules
+    /// sharing a name — it never depends on the back end's insertion
+    /// order.
     #[must_use]
     pub fn top_rules(&self, k: usize) -> Vec<&RuleStat> {
         let mut sorted: Vec<&RuleStat> = self.rules.iter().collect();
-        sorted.sort_by(|a, b| (b.ns, b.fires, &a.name).cmp(&(a.ns, a.fires, &b.name)));
+        sorted.sort_by(|a, b| {
+            (b.ns, b.fires, &a.name, b.derived).cmp(&(a.ns, a.fires, &b.name, a.derived))
+        });
         sorted.truncate(k);
         sorted
     }
@@ -594,6 +615,76 @@ mod tests {
             t.event_counts(),
             vec![("c/x".to_owned(), 2), ("c/y".to_owned(), 1)]
         );
+    }
+
+    #[test]
+    fn event_counts_are_structural_and_ordered_by_name_then_cat() {
+        let t = Trace::enabled();
+        {
+            let mut s = t.scope(1);
+            // Slash-ambiguous pair: cat="c", name="x/y" vs cat="c/x",
+            // name="y" render identically but must count separately.
+            s.instant("x/y", "c", &[]);
+            s.instant("y", "c/x", &[]);
+            s.instant("y", "c/x", &[]);
+            // Same name under two categories: ordered name-first, so
+            // both "m" entries are adjacent regardless of category.
+            s.instant("m", "zeta", &[]);
+            s.instant("m", "alpha", &[]);
+            s.instant("a", "zeta", &[]);
+        }
+        assert_eq!(
+            t.event_counts(),
+            vec![
+                ("zeta/a".to_owned(), 1),
+                ("alpha/m".to_owned(), 1),
+                ("zeta/m".to_owned(), 1),
+                ("c/x/y".to_owned(), 1),
+                ("c/x/y".to_owned(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn top_rules_order_is_deterministic_under_ties() {
+        let mk = |name: &str, fires, derived, ns| RuleStat {
+            name: name.into(),
+            fires,
+            derived,
+            ns,
+        };
+        let mut p = Profile {
+            rules: vec![
+                mk("b", 5, 1, 100),
+                mk("a", 5, 1, 100), // ns+fires tie: name breaks it
+                mk("c", 9, 1, 100), // ns tie: fires break it
+                mk("d", 2, 7, 50),
+                mk("d", 2, 3, 50), // full tie on (ns, fires, name): derived breaks it
+            ],
+            hot_vars: Vec::new(),
+            set_promotions: 0,
+        };
+        let order = |p: &Profile| {
+            p.top_rules(10)
+                .iter()
+                .map(|r| (r.name.clone(), r.derived))
+                .collect::<Vec<_>>()
+        };
+        let first = order(&p);
+        assert_eq!(
+            first,
+            vec![
+                ("c".to_owned(), 1),
+                ("a".to_owned(), 1),
+                ("b".to_owned(), 1),
+                ("d".to_owned(), 7),
+                ("d".to_owned(), 3),
+            ]
+        );
+        // Reversing the back end's insertion order must not change the
+        // ranking.
+        p.rules.reverse();
+        assert_eq!(order(&p), first);
     }
 
     #[test]

@@ -60,6 +60,66 @@ fn disabled_recorder_allocates_nothing() {
 }
 
 #[test]
+fn disabled_metrics_and_event_log_allocate_nothing() {
+    use pta_obs::{EventLog, Field, Metrics};
+
+    let metrics = Metrics::disabled();
+    let log = EventLog::disabled();
+    // Disabled registration returns no-op handles without touching any
+    // registry (there is none to touch).
+    let counter = metrics.counter("req_total", &[("op", "points_to")]);
+    let gauge = metrics.gauge("queue_depth", &[]);
+    let hist = metrics.histogram("lat_us", &[], pta_obs::LATENCY_BUCKETS_US);
+    let mut scope = metrics.scope();
+
+    let before = allocs();
+    for i in 0..10_000u64 {
+        counter.inc();
+        counter.add(i);
+        gauge.set(i);
+        gauge.add(1);
+        gauge.sub(1);
+        gauge.fetch_max(i);
+        hist.observe(i);
+        scope.inc(&counter);
+        scope.observe(&hist, i);
+        log.emit(
+            "request",
+            &[("op", Field::Str("points_to")), ("i", Field::U64(i))],
+        );
+        assert_eq!(counter.get(), 0);
+        assert_eq!(hist.count(), 0);
+    }
+    scope.flush();
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled metrics/event log must not allocate on the hot path"
+    );
+    // Even handle registration on the disabled path stays alloc-free.
+    let before = allocs();
+    let c2 = metrics.counter("other_total", &[("a", "b")]);
+    c2.inc();
+    let after = allocs();
+    assert_eq!(after - before, 0, "disabled registration must not allocate");
+}
+
+#[test]
+fn enabled_metrics_are_observed_by_the_counter() {
+    // Sanity: enabled registration and exposition *do* allocate, proving
+    // the zero above is meaningful.
+    let metrics = pta_obs::Metrics::enabled();
+    let before = allocs();
+    let c = metrics.counter("req_total", &[("op", "stats")]);
+    c.inc();
+    let text = metrics.to_prometheus();
+    let after = allocs();
+    assert!(after > before, "enabled metrics should allocate");
+    assert!(text.contains("req_total{op=\"stats\"} 1"));
+}
+
+#[test]
 fn enabled_recorder_is_observed_by_the_counter() {
     // Sanity: the same loop with an enabled trace *does* allocate, proving
     // the counter is live and the zero above is meaningful.

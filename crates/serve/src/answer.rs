@@ -287,7 +287,7 @@ fn evaluate(req: &Request, resident: &Resident, ctx: &mut ReqCtx) -> Result<Stri
             out.push_str("]}");
             Ok(out)
         }
-        Op::Update { .. } | Op::Health | Op::Stats | Op::Shutdown => {
+        Op::Update { .. } | Op::Health | Op::Stats | Op::Metrics | Op::Shutdown => {
             unreachable!("daemon-side op")
         }
     }

@@ -17,6 +17,7 @@
 //! | `update`     | `program?`, `edits` (array)              | new version + per-policy  |
 //! | `health`     | —                                        | liveness + queue depth    |
 //! | `stats`      | —                                        | full daemon statistics    |
+//! | `metrics`    | —                                        | metrics JSON + Prometheus |
 //! | `shutdown`   | —                                        | ack, then graceful drain  |
 //!
 //! An `update` edits the resident program in place and re-establishes
@@ -141,6 +142,7 @@ pub enum Op {
     Update { edits: Vec<EditSpec> },
     Health,
     Stats,
+    Metrics,
     Shutdown,
 }
 
@@ -156,6 +158,7 @@ impl Op {
             Op::Update { .. } => "update",
             Op::Health => "health",
             Op::Stats => "stats",
+            Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
         }
     }
@@ -310,6 +313,7 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, ErrorCode, String)> {
         }
         "health" => Op::Health,
         "stats" => Op::Stats,
+        "metrics" => Op::Metrics,
         "shutdown" => Op::Shutdown,
         other => return Err((id, ErrorCode::BadRequest, format!("unknown op \"{other}\""))),
     };
@@ -353,6 +357,7 @@ mod tests {
         for (op, want) in [
             ("health", Op::Health),
             ("stats", Op::Stats),
+            ("metrics", Op::Metrics),
             ("shutdown", Op::Shutdown),
         ] {
             let r = parse_request(&format!("{{\"id\":5,\"op\":\"{op}\"}}")).unwrap();

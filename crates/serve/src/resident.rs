@@ -24,6 +24,7 @@ use pta_clients::{run_check, CheckReport, CheckSpec, ClientBackend};
 use pta_core::{Analysis, AnalysisSession, Budget, PointsToResult, Termination};
 use pta_ir::{MethodId, Program, ProgramDelta, VarId};
 use pta_lang::parse_program;
+use pta_obs::Metrics;
 use pta_workload::{dacapo_workload, DACAPO_NAMES};
 
 use crate::protocol::EditSpec;
@@ -100,6 +101,10 @@ pub struct SolveConfig {
     pub budget: Budget,
     /// Hash-consed shared points-to sets (the batch default).
     pub share: bool,
+    /// The daemon's metrics registry, attached to every resident
+    /// session so solver/apply counters land in one place. Disabled by
+    /// default (records nothing, allocates nothing).
+    pub metrics: Metrics,
 }
 
 impl Default for SolveConfig {
@@ -108,6 +113,7 @@ impl Default for SolveConfig {
             threads: 1,
             budget: Budget::unlimited(),
             share: true,
+            metrics: Metrics::disabled(),
         }
     }
 }
@@ -136,6 +142,9 @@ pub struct PolicyEntry {
     /// `true` when the most recent `update` was absorbed by incremental
     /// maintenance rather than a from-scratch re-solve.
     pub incremental: bool,
+    /// Why the most recent `update` fell back to a from-scratch
+    /// re-solve (`None` at startup and after incremental updates).
+    pub last_fallback: Option<&'static str>,
 }
 
 impl PolicyEntry {
@@ -297,7 +306,7 @@ impl Resident {
         let mut entries = Vec::with_capacity(rp.entries.len());
         for e in &mut rp.entries {
             e.apply(&delta, solve)?;
-            entries.push((e.policy, e.incremental, e.solve_ms));
+            entries.push((e.policy, e.incremental, e.solve_ms, e.last_fallback));
         }
         rp.program = new_program;
         rp.version += 1;
@@ -306,6 +315,27 @@ impl Resident {
             version: rp.version,
             entries,
         })
+    }
+
+    /// Exports per-entry state gauges (`pta_policy_*`, labeled by
+    /// program and policy) into `m`. Called after startup solves and
+    /// after every applied update, so the exposition endpoint always
+    /// reflects the current resident state.
+    pub fn export_gauges(&self, m: &Metrics) {
+        if !m.is_enabled() {
+            return;
+        }
+        for p in &self.programs {
+            m.gauge("pta_program_version", &[("program", &p.name)])
+                .set(p.version);
+            for e in &p.entries {
+                let labels: &[(&str, &str)] = &[("program", &p.name), ("policy", e.policy.name())];
+                m.gauge("pta_policy_solve_ms", labels).set(e.solve_ms);
+                m.gauge("pta_policy_steps", labels).set(e.steps);
+                m.gauge("pta_policy_partial", labels)
+                    .set(u64::from(e.partial));
+            }
+        }
     }
 
     /// One line per (program, policy) pair for startup logging.
@@ -350,6 +380,7 @@ fn resolve_primary(
             .policy(Analysis::Insens)
             .threads(solve.threads)
             .share(solve.share)
+            .metrics(solve.metrics.clone())
             .solve();
         (fallback, true)
     };
@@ -369,7 +400,8 @@ fn solve_entry(program: &Arc<Program>, policy: Analysis, solve: &SolveConfig) ->
         .threads(solve.threads)
         .budget(solve.budget.clone())
         .share(solve.share)
-        .incremental(true);
+        .incremental(true)
+        .metrics(solve.metrics.clone());
     let primary = session.solve();
     let (result, report, partial, termination, steps) = resolve_primary(primary, program, solve);
     PolicyEntry {
@@ -382,6 +414,7 @@ fn solve_entry(program: &Arc<Program>, policy: Analysis, solve: &SolveConfig) ->
         solve_ms: started.elapsed().as_millis() as u64,
         steps,
         incremental: false,
+        last_fallback: None,
     }
 }
 
@@ -392,6 +425,7 @@ impl PolicyEntry {
         let started = Instant::now();
         let primary = self.session.apply(delta).map_err(|e| e.to_string())?;
         self.incremental = self.session.last_apply_was_incremental();
+        self.last_fallback = self.session.last_fallback();
         let program = Arc::clone(self.session.program());
         let (result, report, partial, termination, steps) =
             resolve_primary(primary, &program, solve);
@@ -409,8 +443,9 @@ impl PolicyEntry {
 pub struct UpdateOutcome {
     pub program: String,
     pub version: u64,
-    /// `(policy, maintained incrementally, solve_ms)` per entry.
-    pub entries: Vec<(Analysis, bool, u64)>,
+    /// `(policy, maintained incrementally, solve_ms, fallback reason)`
+    /// per entry; the reason is `None` for incremental maintenance.
+    pub entries: Vec<(Analysis, bool, u64, Option<&'static str>)>,
 }
 
 /// Resolves the edit script's names against `program` and builds the
@@ -530,7 +565,10 @@ mod tests {
         assert_eq!(r.programs[0].version, 2);
         // luindex:0.1 has no reachable exception traffic, so an additive
         // edit is absorbed incrementally by every resident policy.
-        assert!(out.entries.iter().all(|&(_, incremental, _)| incremental));
+        assert!(out
+            .entries
+            .iter()
+            .all(|&(_, incremental, _, fallback)| incremental && fallback.is_none()));
         // The fresh allocation is visible to queries against the entry.
         let np = Arc::clone(&r.programs[0].program);
         let var = np

@@ -28,14 +28,14 @@
 //!    a clean drain, 3 when the drain was forced.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use pta_govern::{memtrack, CancelToken};
-use pta_obs::{events_to_chrome_json, Event, Trace};
+use pta_obs::{events_to_chrome_json, Event, EventLog, Field, Metrics, Trace, LATENCY_BUCKETS_US};
 
 use crate::answer::{answer, ReqCtx};
 use crate::fault::{garble_line, FaultInjector, FaultKind};
@@ -66,6 +66,14 @@ pub struct ServeConfig {
     pub faults: Option<FaultInjector>,
     /// Chrome-trace output path; enables per-request spans.
     pub trace_path: Option<String>,
+    /// Prometheus exposition address (`host:port`, port 0 =
+    /// OS-assigned); `None` disables the HTTP endpoint (the `metrics`
+    /// op still answers over the regular protocol).
+    pub metrics_addr: Option<String>,
+    /// Where to write the bound metrics port (for test orchestration).
+    pub metrics_port_file: Option<String>,
+    /// Structured event-log path; enables request-lifecycle events.
+    pub events_path: Option<String>,
     /// Serve the stdin/stdout channel (EOF initiates shutdown). TCP-only
     /// deployments turn this off so a closed stdin doesn't stop them.
     pub use_stdin: bool,
@@ -87,6 +95,9 @@ impl Default for ServeConfig {
             port_file: None,
             faults: None,
             trace_path: None,
+            metrics_addr: None,
+            metrics_port_file: None,
+            events_path: None,
             use_stdin: true,
             max_line_bytes: 1 << 20,
         }
@@ -134,6 +145,13 @@ struct Shared {
     trace: Trace,
     /// Drained trace events, capped — the daemon's trace memory bound.
     trace_events: Mutex<Vec<Event>>,
+    /// The daemon's metrics registry — always enabled: the `metrics`
+    /// op and the exposition endpoint must answer whether or not any
+    /// flag was passed. Resident sessions share this handle, so solver
+    /// and apply counters land beside the request counters.
+    metrics: Metrics,
+    /// Structured lifecycle event log (disabled unless `--events`).
+    events: EventLog,
 }
 
 /// Caps the daemon's retained trace events (oldest dropped first).
@@ -180,7 +198,7 @@ impl Shared {
                     policies.push(',');
                 }
                 policies.push_str(&format!(
-                    "{{\"program\":\"{}\",\"version\":{},\"policy\":\"{}\",\"status\":\"{}\",\"termination\":\"{}\",\"steps\":{},\"solve_ms\":{},\"incremental\":{}}}",
+                    "{{\"program\":\"{}\",\"version\":{},\"policy\":\"{}\",\"status\":\"{}\",\"termination\":\"{}\",\"steps\":{},\"solve_ms\":{},\"incremental\":{},\"last_fallback\":{}}}",
                     crate::json::escape(&p.name),
                     p.version,
                     e.policy.name(),
@@ -188,7 +206,11 @@ impl Shared {
                     e.termination.as_str(),
                     e.steps,
                     e.solve_ms,
-                    e.incremental
+                    e.incremental,
+                    match e.last_fallback {
+                        Some(reason) => format!("\"{}\"", crate::json::escape(reason)),
+                        None => "null".to_string(),
+                    }
                 ));
             }
         }
@@ -212,6 +234,18 @@ impl Shared {
         )
     }
 
+    /// The `metrics` op's response: the registry as JSON alongside the
+    /// same registry rendered in Prometheus text format (escaped into
+    /// one string field), so clients pick whichever they parse.
+    fn metrics_line(&self, id: u64) -> String {
+        format!(
+            "{{\"id\":{},\"ok\":true,\"op\":\"metrics\",\"metrics\":{},\"prometheus\":\"{}\"}}",
+            id,
+            self.metrics.to_json(),
+            crate::json::escape(&self.metrics.to_prometheus())
+        )
+    }
+
     /// Handles one raw request line from a reader thread. Parse errors
     /// and control ops are answered inline; queries go through
     /// admission. Returns `true` when the line asked for shutdown.
@@ -224,10 +258,16 @@ impl Shared {
             Ok(req) => req,
             Err((id, code, msg)) => {
                 self.errors.fetch_add(1, Ordering::SeqCst);
+                self.metrics
+                    .counter("pta_request_errors_total", &[("code", code.as_str())])
+                    .inc();
                 Shared::write_line(reply, &error_line(id, code, &msg));
                 return false;
             }
         };
+        self.metrics
+            .counter("pta_requests_total", &[("op", req.op.name())])
+            .inc();
         match req.op {
             Op::Health => {
                 Shared::write_line(reply, &self.health_line(req.id));
@@ -235,6 +275,10 @@ impl Shared {
             }
             Op::Stats => {
                 Shared::write_line(reply, &self.stats_line(req.id));
+                false
+            }
+            Op::Metrics => {
+                Shared::write_line(reply, &self.metrics_line(req.id));
                 false
             }
             Op::Shutdown => {
@@ -273,23 +317,26 @@ impl Shared {
                     admitted: Instant::now(),
                     fault,
                 });
+                self.metrics
+                    .gauge("pta_queue_depth", &[])
+                    .set(q.jobs.len() as u64);
                 None
             }
         };
         match verdict {
-            Some(ErrorCode::Overloaded) => {
-                self.shed.fetch_add(1, Ordering::SeqCst);
-                Shared::write_line(
-                    reply,
-                    &error_line(
-                        id,
-                        ErrorCode::Overloaded,
-                        "admission queue full; retry later",
-                    ),
-                );
-            }
             Some(code) => {
-                Shared::write_line(reply, &error_line(id, code, "daemon is draining"));
+                self.metrics
+                    .counter("pta_request_errors_total", &[("code", code.as_str())])
+                    .inc();
+                let message = if code == ErrorCode::Overloaded {
+                    self.shed.fetch_add(1, Ordering::SeqCst);
+                    self.metrics.counter("pta_requests_shed_total", &[]).inc();
+                    self.events.emit("shed", &[("id", Field::U64(id))]);
+                    "admission queue full; retry later"
+                } else {
+                    "daemon is draining"
+                };
+                Shared::write_line(reply, &error_line(id, code, message));
             }
             None => self.available.notify_one(),
         }
@@ -305,7 +352,11 @@ impl Shared {
                         // Under the lock: drain can never see "queue
                         // empty and nothing in flight" while this job is
                         // in hand.
-                        self.in_flight.fetch_add(1, Ordering::SeqCst);
+                        let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                        self.metrics
+                            .gauge("pta_queue_depth", &[])
+                            .set(q.jobs.len() as u64);
+                        self.metrics.gauge("pta_in_flight", &[]).set(now as u64);
                         break job;
                     }
                     if q.draining {
@@ -315,7 +366,8 @@ impl Shared {
                 }
             };
             self.serve_job(slot, job);
-            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            let now = self.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
+            self.metrics.gauge("pta_in_flight", &[]).set(now as u64);
         }
     }
 
@@ -328,6 +380,9 @@ impl Shared {
         let mut max_steps = None;
         if let Some(kind) = job.fault {
             self.faulted.fetch_add(1, Ordering::SeqCst);
+            self.metrics
+                .counter("pta_requests_faulted_total", &[("kind", kind.as_str())])
+                .inc();
             match kind {
                 FaultKind::Delay => {
                     let ms = self.cfg.faults.as_ref().unwrap().delay_ms(id);
@@ -346,22 +401,46 @@ impl Shared {
             let mut resident = self.resident.write().unwrap();
             match resident.update(job.req.program.as_deref(), edits, &self.cfg.solve) {
                 Ok(outcome) => {
+                    resident.export_gauges(&self.metrics);
+                    let incremental = outcome
+                        .entries
+                        .iter()
+                        .filter(|&&(_, inc, _, _)| inc)
+                        .count() as u64;
+                    self.events.emit(
+                        "policy_update",
+                        &[
+                            ("program", Field::Str(&outcome.program)),
+                            ("version", Field::U64(outcome.version)),
+                            ("policies", Field::U64(outcome.entries.len() as u64)),
+                            ("incremental", Field::U64(incremental)),
+                        ],
+                    );
                     let mut out = format!(
                         "{{\"id\":{},\"ok\":true,\"op\":\"update\",\"program\":\"{}\",\"version\":{},\"policies\":[",
                         id,
                         crate::json::escape(&outcome.program),
                         outcome.version
                     );
-                    for (i, (policy, incremental, solve_ms)) in outcome.entries.iter().enumerate() {
+                    for (i, (policy, incremental, solve_ms, fallback)) in
+                        outcome.entries.iter().enumerate()
+                    {
                         if i > 0 {
                             out.push(',');
                         }
                         out.push_str(&format!(
-                            "{{\"policy\":\"{}\",\"incremental\":{},\"solve_ms\":{}}}",
+                            "{{\"policy\":\"{}\",\"incremental\":{},\"solve_ms\":{}",
                             policy.name(),
                             incremental,
                             solve_ms
                         ));
+                        if let Some(reason) = fallback {
+                            out.push_str(&format!(
+                                ",\"fallback\":\"{}\"",
+                                crate::json::escape(reason)
+                            ));
+                        }
+                        out.push('}');
                     }
                     out.push_str("]}");
                     out
@@ -391,9 +470,38 @@ impl Shared {
         self.max_request_peak
             .fetch_max(peak_bytes, Ordering::SeqCst);
         self.active.lock().unwrap()[slot] = None;
+        let code = error_code_of(&line);
         if line.contains("\"ok\":false") {
             self.errors.fetch_add(1, Ordering::SeqCst);
+            self.metrics
+                .counter(
+                    "pta_request_errors_total",
+                    &[("code", code.unwrap_or("unknown"))],
+                )
+                .inc();
         }
+        if code == Some(ErrorCode::DeadlineExceeded.as_str()) {
+            self.metrics
+                .counter("pta_deadline_miss_total", &[("op", job.req.op.name())])
+                .inc();
+        }
+        let latency_us = job.admitted.elapsed().as_micros() as u64;
+        self.metrics
+            .histogram(
+                "pta_request_latency_us",
+                &[("op", job.req.op.name())],
+                LATENCY_BUCKETS_US,
+            )
+            .observe(latency_us);
+        self.events.emit(
+            "request",
+            &[
+                ("id", Field::U64(id)),
+                ("op", Field::Str(job.req.op.name())),
+                ("status", Field::Str(code.unwrap_or("ok"))),
+                ("latency_us", Field::U64(latency_us)),
+            ],
+        );
         let out = if job.fault == Some(FaultKind::Garble) {
             garble_line(id)
         } else {
@@ -425,15 +533,56 @@ impl Shared {
 pub struct ServerHandle {
     /// The TCP port actually bound, when `cfg.port` was set.
     pub port: Option<u16>,
+    /// The Prometheus exposition port, when `cfg.metrics_addr` was set.
+    pub metrics_port: Option<u16>,
     shared: Arc<Shared>,
     workers: Vec<std::thread::JoinHandle<()>>,
     sigterm: CancelToken,
 }
 
+impl ServerHandle {
+    /// The daemon's metrics registry (for in-process embedding/tests).
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        self.shared.metrics.clone()
+    }
+}
+
 /// Builds the resident state and starts readers + workers. Returns
 /// `Err` for configuration problems (bad program, unbindable port).
-pub fn launch(cfg: ServeConfig) -> Result<ServerHandle, String> {
+pub fn launch(mut cfg: ServeConfig) -> Result<ServerHandle, String> {
+    let metrics = Metrics::enabled();
+    cfg.solve.metrics = metrics.clone();
+    let events = match &cfg.events_path {
+        Some(path) => {
+            EventLog::to_file(path).map_err(|e| format!("cannot open event log {path}: {e}"))?
+        }
+        None => EventLog::disabled(),
+    };
     let resident = Resident::build(&cfg.sources, &cfg.policies, &cfg.solve)?;
+    resident.export_gauges(&metrics);
+    events.emit(
+        "daemon_start",
+        &[
+            ("programs", Field::U64(resident.programs.len() as u64)),
+            ("policies", Field::U64(resident.policies.len() as u64)),
+            ("workers", Field::U64(cfg.workers.max(1) as u64)),
+        ],
+    );
+    for p in &resident.programs {
+        for e in &p.entries {
+            events.emit(
+                "policy_solved",
+                &[
+                    ("program", Field::Str(&p.name)),
+                    ("policy", Field::Str(e.policy.name())),
+                    ("status", Field::Str(e.status())),
+                    ("steps", Field::U64(e.steps)),
+                    ("solve_ms", Field::U64(e.solve_ms)),
+                ],
+            );
+        }
+    }
     let trace = if cfg.trace_path.is_some() {
         Trace::enabled()
     } else {
@@ -458,6 +607,8 @@ pub fn launch(cfg: ServeConfig) -> Result<ServerHandle, String> {
         max_request_peak: AtomicU64::new(0),
         trace,
         trace_events: Mutex::new(Vec::new()),
+        metrics,
+        events,
         cfg,
     });
 
@@ -495,6 +646,29 @@ pub fn launch(cfg: ServeConfig) -> Result<ServerHandle, String> {
             .map_err(|e| format!("cannot spawn acceptor: {e}"))?;
     }
 
+    let mut metrics_port = None;
+    if let Some(addr) = &shared.cfg.metrics_addr {
+        let listener = TcpListener::bind(addr.as_str())
+            .map_err(|e| format!("cannot bind metrics endpoint {addr}: {e}"))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound metrics address: {e}"))?
+            .port();
+        metrics_port = Some(bound);
+        if let Some(path) = &shared.cfg.metrics_port_file {
+            std::fs::write(path, format!("{bound}\n"))
+                .map_err(|e| format!("cannot write metrics port file {path}: {e}"))?;
+        }
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot configure metrics listener: {e}"))?;
+        let s = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-metrics".into())
+            .spawn(move || metrics_loop(&s, &listener))
+            .map_err(|e| format!("cannot spawn metrics endpoint: {e}"))?;
+    }
+
     if shared.cfg.use_stdin {
         let s = Arc::clone(&shared);
         std::thread::Builder::new()
@@ -511,6 +685,7 @@ pub fn launch(cfg: ServeConfig) -> Result<ServerHandle, String> {
 
     Ok(ServerHandle {
         port,
+        metrics_port,
         shared,
         workers: worker_handles,
         sigterm: CancelToken::linked_to_sigterm(),
@@ -568,6 +743,17 @@ impl ServerHandle {
             let events = self.shared.trace_events.lock().unwrap();
             let _ = std::fs::write(path, events_to_chrome_json(&events));
         }
+        self.shared.events.emit(
+            "shutdown",
+            &[
+                ("forced", Field::Bool(forced)),
+                (
+                    "served",
+                    Field::U64(self.shared.served.load(Ordering::SeqCst)),
+                ),
+                ("shed", Field::U64(self.shared.shed.load(Ordering::SeqCst))),
+            ],
+        );
         if forced {
             3
         } else {
@@ -587,11 +773,85 @@ pub fn run(cfg: ServeConfig) -> Result<i32, String> {
     if let Some(port) = handle.port {
         eprintln!("pta serve: listening on 127.0.0.1:{port}");
     }
+    if let Some(port) = handle.metrics_port {
+        eprintln!("pta serve: metrics on http://127.0.0.1:{port}/metrics");
+    }
     eprintln!(
         "{}",
         handle.shared.resident.read().unwrap().summary().trim_end()
     );
     Ok(handle.wait())
+}
+
+/// Extracts the wire error code from a rendered response line, if any
+/// (`{"id":N,"ok":false,"error":"CODE",...}` → `Some("CODE")`).
+fn error_code_of(line: &str) -> Option<&str> {
+    let rest = &line[line.find("\"error\":\"")? + 9..];
+    rest.split('"').next()
+}
+
+/// Accepts Prometheus scrapes on the metrics endpoint until shutdown.
+fn metrics_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let s = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("serve-scrape".into())
+                    .spawn(move || serve_scrape(&s, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answers one scrape connection. Just enough HTTP/1.1 for a
+/// Prometheus scraper or `curl`: the request head is read up to a
+/// small cap, only the request line is inspected, `GET /metrics` gets
+/// the exposition text, anything else a 404, and the connection
+/// closes after one response.
+fn serve_scrape(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(2_000)));
+    let mut head = [0u8; 4096];
+    let mut len = 0;
+    while len < head.len() {
+        match stream.read(&mut head[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if head[..len].windows(4).any(|w| w == b"\r\n\r\n")
+                    || head[..len].windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let request = String::from_utf8_lossy(&head[..len]);
+    let first = request.lines().next().unwrap_or("");
+    let path_matches = first
+        .strip_prefix("GET ")
+        .is_some_and(|rest| rest == "/metrics" || rest.starts_with("/metrics "));
+    let (status, body) = if path_matches {
+        ("200 OK", shared.metrics.to_prometheus())
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let _ = stream.write_all(
+        format!(
+            "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    let _ = stream.flush();
 }
 
 fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
@@ -706,6 +966,18 @@ fn read_loop<R: BufRead>(shared: &Arc<Shared>, mut reader: R, reply: &Reply) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn error_codes_are_extracted_from_response_lines() {
+        assert_eq!(
+            error_code_of("{\"id\":1,\"ok\":false,\"error\":\"overloaded\",\"message\":\"m\"}"),
+            Some("overloaded")
+        );
+        assert_eq!(
+            error_code_of("{\"id\":1,\"ok\":true,\"op\":\"health\"}"),
+            None
+        );
+    }
 
     #[test]
     fn bounded_reads_preserve_line_sync() {

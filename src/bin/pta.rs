@@ -99,6 +99,12 @@
 //!     --fault-seed N       injection decision seed (default 0)
 //!     --no-share           disable hash-consed sets in startup solves
 //!     --trace FILE         Chrome trace of the request lifecycle
+//!     --metrics-addr H:P   serve Prometheus text at http://H:P/metrics
+//!                          (port 0 = OS-assigned); the `metrics` op
+//!                          answers over the protocol regardless
+//!     --metrics-port-file PATH  write the bound metrics port to PATH
+//!     --events FILE        append one JSON line per lifecycle event
+//!                          (start, solves, requests, sheds, shutdown)
 //! pta check FILE.jir [options]           run the client-analysis suite
 //!                                        (taint W020, escape W021,
 //!                                        nullness W022) over one analysis
@@ -1374,7 +1380,8 @@ const SERVE_USAGE: &str = "usage: pta serve [FILE.jir ...] [--workload NAME:SCAL
 [--policy NAME] [--threads N] [--workers N] [--queue N] [--deadline-ms N] [--drain-ms N] \
 [--solve-timeout SECS] [--solve-max-steps N] [--solve-max-memory BYTES] [--port N] \
 [--port-file PATH] [--no-stdin] [--inject-faults RATE,KINDS] [--fault-seed N] \
-[--no-share] [--trace FILE]";
+[--no-share] [--trace FILE] [--metrics-addr HOST:PORT] [--metrics-port-file PATH] \
+[--events FILE]";
 
 /// `pta serve`: parse the daemon flags into a [`ServeConfig`] and hand off
 /// to `pta_serve::run`, which owns the request lifecycle. Exit codes: 0 on
@@ -1514,6 +1521,31 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 match args.get(i) {
                     Some(p) => cfg.trace_path = Some(p.clone()),
                     None => return usage_error("--trace needs an output file path"),
+                }
+            }
+            "--metrics-addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) if a.contains(':') => cfg.metrics_addr = Some(a.clone()),
+                    _ => {
+                        return usage_error(
+                            "--metrics-addr needs HOST:PORT (e.g. 127.0.0.1:9464; port 0 = OS-assigned)",
+                        )
+                    }
+                }
+            }
+            "--metrics-port-file" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => cfg.metrics_port_file = Some(p.clone()),
+                    None => return usage_error("--metrics-port-file needs an output file path"),
+                }
+            }
+            "--events" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => cfg.events_path = Some(p.clone()),
+                    None => return usage_error("--events needs an output file path"),
                 }
             }
             "--no-stdin" => cfg.use_stdin = false,
